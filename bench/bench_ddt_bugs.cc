@@ -1,0 +1,80 @@
+/**
+ * @file
+ * §6.1.1 reproduction: DDT+ bug finding on the two seeded-bug drivers
+ * (the paper's RTL8029 and AMD PCnet analogs). The paper reports 7
+ * bugs total: 2 discoverable under SC-SE (symbolic hardware only) and
+ * 5 more once local-consistency interface annotations inject symbolic
+ * registry configuration, allocator failures and ioctl arguments.
+ */
+
+#include <cstdio>
+
+#include "tools/ddt.hh"
+
+using namespace s2e;
+using namespace s2e::tools;
+
+namespace {
+
+DdtResult
+runOne(guest::DriverKind kind, core::ConsistencyModel model,
+       bool annotations)
+{
+    DdtConfig config;
+    config.driver = kind;
+    config.model = model;
+    config.annotations = annotations;
+    config.maxWallSeconds = 25;
+    config.maxInstructions = 20'000'000;
+    Ddt ddt(config);
+    return ddt.run();
+}
+
+void
+printKinds(const DdtResult &r)
+{
+    for (const auto &kind : r.bugKinds)
+        std::printf("      - %s\n", kind.c_str());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::setbuf(stdout, nullptr);
+    std::printf("=== §6.1.1: DDT+ automated driver testing ===\n\n");
+
+    size_t scse_total = 0, lc_total = 0;
+    for (guest::DriverKind kind :
+         {guest::DriverKind::Dma, guest::DriverKind::Pio}) {
+        std::printf("driver %s:\n", guest::driverName(kind));
+
+        DdtResult scse =
+            runOne(kind, core::ConsistencyModel::ScSe, false);
+        std::printf("  SC-SE (symbolic hardware only): %zu bug classes, "
+                    "%zu paths, coverage %.0f%%\n",
+                    scse.bugKinds.size(), scse.pathsExplored,
+                    scse.driverCoverage * 100);
+        printKinds(scse);
+
+        DdtResult lc = runOne(kind, core::ConsistencyModel::Lc, true);
+        std::printf("  LC (+interface annotations): %zu bug classes, "
+                    "%zu paths, coverage %.0f%%\n",
+                    lc.bugKinds.size(), lc.pathsExplored,
+                    lc.driverCoverage * 100);
+        printKinds(lc);
+
+        scse_total += scse.bugKinds.size();
+        lc_total += lc.bugKinds.size();
+        std::printf("\n");
+    }
+
+    std::printf("totals: SC-SE %zu bug classes, LC %zu bug classes "
+                "(paper: 2 of 7 bugs under SC-SE, +5 with LC)\n",
+                scse_total, lc_total);
+    std::printf("Shape check vs paper: LC finds strictly more bug "
+                "classes than SC-SE: %s\n",
+                lc_total > scse_total ? "YES" : "NO");
+    return 0;
+}

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * §5 ablation: the bitfield-theory expression simplifier. The DBT's
+ * machine-code view of the guest produces flag-extraction expressions
+ * (masks, shifts, zero-extensions); the simplifier propagates known
+ * bits bottom-up and demanded bits top-down before queries reach the
+ * bit-blaster. This benchmark builds that query population both ways
+ * and compares node counts and end-to-end solver time, plus a whole-
+ * guest run with the simplifier disabled.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/engine.hh"
+#include "expr/simplify.hh"
+#include "solver/solver.hh"
+#include "vm/devices.hh"
+
+using namespace s2e;
+
+namespace {
+
+/** Build a DBT-flag-shaped condition over symbolic byte variables. */
+expr::ExprRef
+flagCondition(expr::ExprBuilder &b, int salt)
+{
+    using expr::ExprRef;
+    ExprRef x = b.freshVar("fx", 8);
+    ExprRef y = b.freshVar("fy", 8);
+    ExprRef wx = b.zext(x, 32);
+    ExprRef wy = b.zext(y, 32);
+    // res = wx - wy; flags computed the way the translator lowers them.
+    ExprRef res = b.sub(wx, wy);
+    ExprRef z = b.zext(b.eq(res, b.constant(0, 32)), 32);
+    ExprRef n = b.zext(b.slt(res, b.constant(0, 32)), 32);
+    ExprRef c = b.zext(b.ult(wx, wy), 32);
+    ExprRef axb = b.bXor(wx, wy);
+    ExprRef axr = b.bXor(wx, res);
+    ExprRef v = b.zext(
+        b.slt(b.bAnd(axb, axr), b.constant(0, 32)), 32);
+    // Pack into a flags word, then extract a condition bit back out —
+    // exactly the mask/shift churn the simplifier collapses.
+    ExprRef flags = b.bOr(
+        b.bOr(z, b.shl(n, b.constant(1, 32))),
+        b.bOr(b.shl(c, b.constant(2, 32)),
+              b.shl(v, b.constant(3, 32))));
+    ExprRef bit = b.bAnd(
+        b.lshr(flags, b.constant(static_cast<uint32_t>(salt % 4), 32)),
+        b.constant(1, 32));
+    return b.eq(bit, b.constant(1, 32));
+}
+
+double
+solvePopulation(bool use_simplifier, size_t &nodes_blasted)
+{
+    expr::ExprBuilder b;
+    solver::SolverOptions opts;
+    opts.useSimplifier = use_simplifier;
+    opts.useModelCache = false;
+    solver::Solver solver(b, opts);
+
+    nodes_blasted = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < 120; ++i) {
+        expr::ExprRef cond = flagCondition(b, i);
+        nodes_blasted += cond->nodeCount();
+        (void)solver.mayBeTrue({}, cond);
+        (void)solver.mustBeTrue({}, cond);
+    }
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+double
+guestRunSeconds(bool use_simplifier)
+{
+    vm::MachineConfig m;
+    m.ramSize = 64 * 1024;
+    m.program = isa::assemble(R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        s2e_symreg r1
+        movi r10, 0
+    loop:
+        mov r2, r1
+        andi r2, 0xFF
+        cmpi r2, 64           ; flag-heavy symbolic branches
+        jb low
+        xori r1, 0x5A
+    low:
+        shri r1, 1
+        addi r10, 1
+        cmpi r10, 6
+        jb loop
+        hlt
+    )");
+    m.deviceSetup = [](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+    };
+    core::EngineConfig config;
+    config.solverOptions.useSimplifier = use_simplifier;
+    config.maxWallSeconds = 30;
+    core::Engine engine(m, config);
+    core::RunResult r = engine.run();
+    return r.wallSeconds;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::setbuf(stdout, nullptr);
+    std::printf("=== §5 ablation: bitfield-theory simplifier ===\n\n");
+
+    // Direct measurement of expression shrinkage.
+    {
+        expr::ExprBuilder b;
+        expr::Simplifier simp(b);
+        size_t in_nodes = 0, out_nodes = 0;
+        for (int i = 0; i < 40; ++i) {
+            expr::ExprRef cond = flagCondition(b, i);
+            in_nodes += cond->nodeCount();
+            out_nodes += simp.simplify(cond)->nodeCount();
+        }
+        std::printf("flag-expression DAG nodes: %zu -> %zu "
+                    "(%.1f%% removed by the simplifier)\n",
+                    in_nodes, out_nodes,
+                    100.0 * (in_nodes - out_nodes) / in_nodes);
+    }
+
+    size_t nodes_plain = 0, nodes_simplified = 0;
+    double t_plain = solvePopulation(false, nodes_plain);
+    double t_simplified = solvePopulation(true, nodes_simplified);
+    std::printf("\nsolver time on 240 flag queries: %.3fs without vs "
+                "%.3fs with the simplifier (%.2fx)\n",
+                t_plain, t_simplified, t_plain / t_simplified);
+
+    double g_plain = guestRunSeconds(false);
+    double g_simplified = guestRunSeconds(true);
+    std::printf("whole-guest symbolic run: %.3fs without vs %.3fs with "
+                "(%.2fx)\n",
+                g_plain, g_simplified, g_plain / g_simplified);
+
+    std::printf("\nShape check vs paper (§5): the simplifier reduces "
+                "expression size on machine-code flag patterns: %s\n",
+                nodes_plain >= nodes_simplified ? "YES" : "NO");
+    std::printf("Shape check: no slowdown from enabling the simplifier "
+                "(within 20%%): %s\n",
+                t_simplified <= t_plain * 1.2 ? "YES" : "NO");
+    return 0;
+}

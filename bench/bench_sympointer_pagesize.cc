@@ -1,0 +1,137 @@
+/**
+ * @file
+ * §6.2 reproduction: the symbolic-pointer page-size trade-off. When a
+ * memory access uses a symbolic pointer, the engine passes the
+ * contents of the containing "small page" to the solver as an
+ * if-then-else chain; the page size is configurable. The paper found
+ * that with 256-byte pages S2E explored 7,082 paths in an hour at
+ * 0.06 s per query, while 4 KB pages dropped it to 2,000 paths at
+ * 0.15 s per query. The same sweep here varies the window over a
+ * fixed time budget.
+ */
+
+#include <cstdio>
+
+#include "core/engine.hh"
+#include "vm/devices.hh"
+
+using namespace s2e;
+
+namespace {
+
+const char *kGuest = R"(
+        .equ TABLE, 0x8000
+        .entry main
+    main:
+        movi sp, 0x7000
+        movi r9, 0            ; hit counter
+        movi r10, 60          ; iterations
+    loop:
+        s2e_symrange r2, 0, 4000
+        movi r3, TABLE
+        add r3, r2
+        ldb r4, [r3]          ; symbolic-pointer load
+        cmpi r4, 7            ; branch over the ite chain
+        jne miss
+        addi r9, 1
+    miss:
+        subi r10, 1
+        cmpi r10, 0
+        jne loop
+        hlt
+)";
+
+struct CellResult {
+    uint64_t instructions;
+    uint64_t paths;
+    double avgQueryMs;
+    uint64_t queries;
+    double wall;
+};
+
+CellResult
+runWithWindow(uint32_t window, double budget_seconds)
+{
+    vm::MachineConfig m;
+    m.ramSize = 64 * 1024;
+    isa::Program program = isa::assemble(kGuest);
+    // Fill the lookup table with a sparse pattern (value 7 every 97th
+    // byte) so the hit branch is feasible but rare.
+    isa::Program::Section table;
+    table.addr = 0x8000;
+    table.bytes.resize(4096, 1);
+    for (size_t i = 0; i < table.bytes.size(); i += 97)
+        table.bytes[i] = 7;
+    program.sections.push_back(table);
+    m.program = program;
+    m.deviceSetup = [](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+    };
+
+    core::EngineConfig config;
+    config.symPointerWindow = window;
+    config.maxWallSeconds = budget_seconds;
+    config.maxStatesCreated = 4096;
+    core::Engine engine(m, config);
+    core::RunResult r = engine.run();
+
+    CellResult cell;
+    cell.instructions = r.totalInstructions;
+    cell.paths = r.statesCreated;
+    cell.queries = engine.solver().stats().get("solver.queries");
+    double solver_secs = engine.solver().stats().seconds("solver.time");
+    cell.avgQueryMs =
+        cell.queries ? 1000.0 * solver_secs /
+                           static_cast<double>(cell.queries)
+                     : 0;
+    cell.wall = r.wallSeconds;
+    return cell;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::setbuf(stdout, nullptr);
+    const double kBudget = 4.0;
+    std::printf("=== §6.2: symbolic-pointer page-size sweep "
+                "(%.0fs budget per window) ===\n\n",
+                kBudget);
+    std::printf("(paper, 1h budget: 256-byte pages -> 7,082 paths at "
+                "0.06 s/query; 4 KB pages -> 2,000 paths at 0.15 "
+                "s/query)\n\n");
+    std::printf("%-10s %12s %10s %14s %10s\n", "window", "instructions",
+                "paths", "avg query", "queries");
+
+    double small_rate = 0, large_rate = 0;
+    double small_query = 0, large_query = 0;
+    for (uint32_t window : {64u, 128u, 512u, 2048u, 4096u}) {
+        CellResult cell = runWithWindow(window, kBudget);
+        std::printf("%7uB %13llu %10llu %11.3fms %10llu\n", window,
+                    static_cast<unsigned long long>(cell.instructions),
+                    static_cast<unsigned long long>(cell.paths),
+                    cell.avgQueryMs,
+                    static_cast<unsigned long long>(cell.queries));
+        double rate = cell.wall > 0
+                          ? static_cast<double>(cell.instructions) /
+                                cell.wall
+                          : 0;
+        if (window == 128) {
+            small_rate = rate;
+            small_query = cell.avgQueryMs;
+        }
+        if (window == 4096) {
+            large_rate = rate;
+            large_query = cell.avgQueryMs;
+        }
+    }
+
+    std::printf("\nShape check vs paper: small windows make faster "
+                "progress than 4 KB windows: %s\n",
+                small_rate > large_rate ? "YES" : "NO");
+    std::printf("Shape check vs paper: average query time grows with "
+                "the window: %s\n",
+                large_query > small_query ? "YES" : "NO");
+    return 0;
+}

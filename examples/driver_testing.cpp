@@ -1,0 +1,68 @@
+/**
+ * @file
+ * DDT+ example: testing a closed-source NIC driver (paper §6.1.1).
+ *
+ * Runs the DMA ("pcnet"-style) driver first under strict system-level
+ * consistency (symbolic hardware only), then under local consistency
+ * with kernel-interface annotations, and prints the bugs each setup
+ * finds — reproducing the paper's "2 bugs under SC-SE, more with LC"
+ * result in miniature.
+ *
+ *   $ ./examples/driver_testing
+ */
+
+#include <cstdio>
+
+#include "tools/ddt.hh"
+
+using namespace s2e;
+using namespace s2e::tools;
+
+namespace {
+
+void
+report(const char *label, const DdtResult &result)
+{
+    std::printf("%s:\n", label);
+    std::printf("  paths explored:  %zu\n", result.pathsExplored);
+    std::printf("  driver coverage: %.0f%%\n",
+                result.driverCoverage * 100);
+    std::printf("  bug classes:     %zu\n", result.bugKinds.size());
+    for (const auto &kind : result.bugKinds)
+        std::printf("    - %s\n", kind.c_str());
+    // One concrete report per class, like DDT's crash dumps.
+    std::printf("  sample reports:\n");
+    std::set<std::string> seen;
+    for (const auto &bug : result.bugs) {
+        if (!seen.insert(bug.kind).second)
+            continue;
+        std::printf("    [%s] %s (state %d)\n", bug.kind.c_str(),
+                    bug.message.c_str(), bug.stateId);
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    DdtConfig scse;
+    scse.driver = guest::DriverKind::Dma;
+    scse.model = core::ConsistencyModel::ScSe;
+    scse.annotations = false;
+    scse.maxWallSeconds = 15;
+    Ddt strict(scse);
+    report("SC-SE (symbolic hardware is the only symbolic input)",
+           strict.run());
+
+    DdtConfig lc;
+    lc.driver = guest::DriverKind::Dma;
+    lc.model = core::ConsistencyModel::Lc;
+    lc.annotations = true;
+    lc.maxWallSeconds = 25;
+    Ddt local(lc);
+    report("LC (+ registry, allocator and ioctl annotations)",
+           local.run());
+    return 0;
+}

@@ -1,0 +1,65 @@
+#include "core/consistency.hh"
+
+namespace s2e::core {
+
+const char *
+consistencyModelName(ConsistencyModel model)
+{
+    switch (model) {
+      case ConsistencyModel::ScCe: return "SC-CE";
+      case ConsistencyModel::ScUe: return "SC-UE";
+      case ConsistencyModel::ScSe: return "SC-SE";
+      case ConsistencyModel::Lc: return "LC";
+      case ConsistencyModel::RcOc: return "RC-OC";
+      case ConsistencyModel::RcCc: return "RC-CC";
+    }
+    return "<bad>";
+}
+
+ConsistencyPolicy
+policyFor(ConsistencyModel model)
+{
+    ConsistencyPolicy p;
+    p.model = model;
+    switch (model) {
+      case ConsistencyModel::ScCe:
+        p.symbolicInputsEnabled = false;
+        p.symbolicHardwareAllowed = false;
+        p.envSymbolicBranch = EnvSymbolicBranchPolicy::ConcretizeHard;
+        break;
+      case ConsistencyModel::ScUe:
+        // Unit-level: the environment is a black box; symbolic data
+        // reaching it is concretized with a hard constraint, curtailing
+        // globally feasible paths (paper §3.2.1).
+        p.envSymbolicBranch = EnvSymbolicBranchPolicy::ConcretizeHard;
+        p.symbolicHardwareAllowed = false;
+        break;
+      case ConsistencyModel::ScSe:
+        // System-level: symbolic data crosses the boundary freely and
+        // the environment forks too; the only admissible symbolic
+        // inputs come from outside the system (hardware).
+        p.forkInEnvironment = true;
+        p.envSymbolicBranch = EnvSymbolicBranchPolicy::Fork;
+        break;
+      case ConsistencyModel::Lc:
+        // Local consistency: environment outputs may be symbolified
+        // per API contract (done by Annotation plugins); if the
+        // resulting inconsistency ever reaches environment control
+        // flow, the path is aborted (paper §3.2.2).
+        p.envSymbolicBranch = EnvSymbolicBranchPolicy::Abort;
+        break;
+      case ConsistencyModel::RcOc:
+        // Overapproximate: unconstrained environment outputs, soft
+        // concretization when the environment must run.
+        p.envSymbolicBranch = EnvSymbolicBranchPolicy::ConcretizeSoft;
+        break;
+      case ConsistencyModel::RcCc:
+        // CFG consistency: follow every unit edge, skip the solver.
+        p.ignoreFeasibility = true;
+        p.envSymbolicBranch = EnvSymbolicBranchPolicy::ConcretizeSoft;
+        break;
+    }
+    return p;
+}
+
+} // namespace s2e::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Execution consistency models (paper §3).
+ *
+ * The six models — SC-CE, SC-UE, SC-SE, LC, RC-OC, RC-CC — are
+ * expressed as a policy object consulted by the engine at every
+ * decision point that involves the unit/environment boundary or the
+ * treatment of symbolic data. Table 1 of the paper maps each model to
+ * consistency/completeness; policyFor() encodes the mechanics of §3.2.
+ */
+
+#ifndef S2E_CORE_CONSISTENCY_HH
+#define S2E_CORE_CONSISTENCY_HH
+
+namespace s2e::core {
+
+/** The six consistency models of paper §3.1. */
+enum class ConsistencyModel {
+    ScCe, ///< strictly consistent concrete execution (fuzzing)
+    ScUe, ///< strictly consistent unit-level execution (DART-style)
+    ScSe, ///< strictly consistent system-level execution (full SE)
+    Lc,   ///< local consistency
+    RcOc, ///< overapproximate consistency
+    RcCc, ///< CFG consistency
+};
+
+const char *consistencyModelName(ConsistencyModel model);
+
+/** What to do when *environment* code branches on symbolic data. */
+enum class EnvSymbolicBranchPolicy {
+    Fork,            ///< explore both sides (SC-SE)
+    ConcretizeHard,  ///< pick a value, constrain permanently (SC-UE)
+    Abort,           ///< kill the path: inconsistency reached the
+                     ///< environment's control flow (LC rule, §3.2.2)
+    ConcretizeSoft,  ///< pick a value, constrain; relaxed models accept
+                     ///< the resulting incompleteness (RC-OC / RC-CC)
+};
+
+/** Mechanical knobs derived from the model. */
+struct ConsistencyPolicy {
+    ConsistencyModel model;
+
+    /** False only under SC-CE: symbolic-injection opcodes become
+     *  no-ops and the whole run is one concrete path. */
+    bool symbolicInputsEnabled = true;
+
+    /** Fork on symbolic branches inside the environment (SC-SE). */
+    bool forkInEnvironment = false;
+
+    /** Behavior when environment code branches on symbolic data. */
+    EnvSymbolicBranchPolicy envSymbolicBranch =
+        EnvSymbolicBranchPolicy::ConcretizeSoft;
+
+    /** RC-CC: follow both sides of every unit branch without checking
+     *  feasibility and without recording constraints. */
+    bool ignoreFeasibility = false;
+
+    /** Hardware (port/MMIO reads from devices marked symbolic) returns
+     *  unconstrained symbolic values — the DDT-style symbolic-hardware
+     *  input source, available under SC-SE and relaxed models. */
+    bool symbolicHardwareAllowed = true;
+};
+
+/** The paper-§3.2 mechanics for each model. */
+ConsistencyPolicy policyFor(ConsistencyModel model);
+
+} // namespace s2e::core
+
+#endif // S2E_CORE_CONSISTENCY_HH

@@ -1,0 +1,1153 @@
+#include "core/engine.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace s2e::core {
+
+using dbt::MicroOp;
+using dbt::UOp;
+
+namespace {
+
+/** Default scheduling policy: depth-first (run the newest state). */
+class DfsSearcher : public Searcher
+{
+  public:
+    const char *name() const override { return "dfs"; }
+    ExecutionState *
+    select(const std::vector<ExecutionState *> &active) override
+    {
+        return active.back();
+    }
+};
+
+/** Concrete fast-path semantics, shared with the vanilla executor. */
+uint32_t
+concreteBinary(UOp op, uint32_t a, uint32_t b)
+{
+    switch (op) {
+      case UOp::Add: return a + b;
+      case UOp::Sub: return a - b;
+      case UOp::Mul: return a * b;
+      case UOp::UDiv: return b ? a / b : 0xFFFFFFFFu;
+      case UOp::SDiv: {
+        int32_t sa = static_cast<int32_t>(a);
+        int32_t sb = static_cast<int32_t>(b);
+        if (sb == 0)
+            return 0xFFFFFFFFu;
+        if (sb == -1 && sa == INT32_MIN)
+            return a;
+        return static_cast<uint32_t>(sa / sb);
+      }
+      case UOp::URem: return b ? a % b : a;
+      case UOp::SRem: {
+        int32_t sa = static_cast<int32_t>(a);
+        int32_t sb = static_cast<int32_t>(b);
+        if (sb == 0)
+            return a;
+        if (sb == -1)
+            return 0;
+        return static_cast<uint32_t>(sa % sb);
+      }
+      case UOp::And: return a & b;
+      case UOp::Or: return a | b;
+      case UOp::Xor: return a ^ b;
+      case UOp::Shl: return b >= 32 ? 0 : a << b;
+      case UOp::Shr: return b >= 32 ? 0 : a >> b;
+      case UOp::Sar: {
+        int32_t sa = static_cast<int32_t>(a);
+        return static_cast<uint32_t>(b >= 32 ? (sa < 0 ? -1 : 0)
+                                             : (sa >> b));
+      }
+      case UOp::CmpEq: return a == b;
+      case UOp::CmpUlt: return a < b;
+      case UOp::CmpSlt:
+        return static_cast<int32_t>(a) < static_cast<int32_t>(b);
+      default:
+        panic("concreteBinary: bad uop");
+    }
+}
+
+/** Symbolic lowering for the same binary micro-ops. */
+ExprRef
+symbolicBinary(UOp op, ExprRef a, ExprRef b, ExprBuilder &bld)
+{
+    switch (op) {
+      case UOp::Add: return bld.add(a, b);
+      case UOp::Sub: return bld.sub(a, b);
+      case UOp::Mul: return bld.mul(a, b);
+      case UOp::UDiv: return bld.udiv(a, b);
+      case UOp::SDiv: return bld.sdiv(a, b);
+      case UOp::URem: return bld.urem(a, b);
+      case UOp::SRem: return bld.srem(a, b);
+      case UOp::And: return bld.bAnd(a, b);
+      case UOp::Or: return bld.bOr(a, b);
+      case UOp::Xor: return bld.bXor(a, b);
+      case UOp::Shl: return bld.shl(a, b);
+      case UOp::Shr: return bld.lshr(a, b);
+      case UOp::Sar: return bld.ashr(a, b);
+      case UOp::CmpEq: return bld.zext(bld.eq(a, b), 32);
+      case UOp::CmpUlt: return bld.zext(bld.ult(a, b), 32);
+      case UOp::CmpSlt: return bld.zext(bld.slt(a, b), 32);
+      default:
+        panic("symbolicBinary: bad uop");
+    }
+}
+
+} // namespace
+
+Engine::Engine(vm::MachineConfig machine, EngineConfig config)
+    : machine_(std::move(machine)), config_(config),
+      policy_(policyFor(config.model)), builder_(),
+      solver_(builder_, config.solverOptions),
+      searcher_(std::make_unique<DfsSearcher>())
+{
+    auto initial = std::make_unique<ExecutionState>(machine_.ramSize,
+                                                    [this] {
+                                                        vm::DeviceSet set;
+                                                        if (machine_.deviceSetup)
+                                                            machine_.deviceSetup(set);
+                                                        return set;
+                                                    }());
+    initial->setId(nextStateId_++);
+    initial->mem.loadProgram(machine_.program);
+    initial->cpu.pc = machine_.program.entry;
+    states_.push_back(std::move(initial));
+    active_.push_back(states_.back().get());
+}
+
+Engine::~Engine() = default;
+
+void
+Engine::setSearcher(std::unique_ptr<Searcher> searcher)
+{
+    S2E_ASSERT(searcher != nullptr, "null searcher");
+    searcher_ = std::move(searcher);
+    for (ExecutionState *s : active_)
+        searcher_->stateAdded(*s);
+}
+
+ExecutionState &
+Engine::initialState()
+{
+    return *states_.front();
+}
+
+std::vector<ExecutionState *>
+Engine::activeStates() const
+{
+    return active_;
+}
+
+bool
+Engine::isUnitPc(uint32_t pc) const
+{
+    if (config_.unitRanges.empty())
+        return true;
+    for (const auto &[lo, hi] : config_.unitRanges)
+        if (pc >= lo && pc < hi)
+            return true;
+    return false;
+}
+
+dbt::CodeReader
+Engine::codeReaderFor(ExecutionState &state)
+{
+    return [&state](uint32_t addr, uint8_t *out) {
+        return state.mem.readConcreteByte(addr, out);
+    };
+}
+
+vm::DeviceBus
+Engine::deviceBusFor(ExecutionState &state)
+{
+    vm::DeviceBus bus;
+    bus.readMem = [this, &state](uint32_t addr) -> uint8_t {
+        if (!state.mem.inBounds(addr, 1))
+            return 0;
+        uint8_t byte = 0;
+        if (state.mem.readConcreteByte(addr, &byte))
+            return byte;
+        // DMA read of a symbolic byte: concretize in place (the
+        // device is part of the concrete domain).
+        ExprRef e = state.mem.byteExpr(addr, builder_);
+        auto v = solver_.getValue(state.constraints,
+                                  builder_.zext(e, 32));
+        uint8_t cv = v ? static_cast<uint8_t>(*v) : 0;
+        state.addConstraint(
+            builder_.eq(e, builder_.constant(cv, 8)));
+        state.mem.writeConcreteByte(addr, cv);
+        stats_.add("engine.dma_concretizations");
+        return cv;
+    };
+    bus.writeMem = [this, &state](uint32_t addr, uint8_t value) {
+        if (!state.mem.inBounds(addr, 1))
+            return;
+        state.mem.writeConcreteByte(addr, value);
+        if (tbCache_.overlapsCode(addr, 1))
+            tbCache_.notifyWrite(addr, 1);
+        // DMA writes are memory accesses too: analyzers (e.g. the
+        // MemoryChecker catching device overruns) need to see them.
+        if (!events_.onMemoryAccess.empty()) {
+            MemAccessInfo info{addr, 1, true, false, nullptr};
+            events_.onMemoryAccess.emit(state, info);
+        }
+    };
+    bus.raiseIrq = [&state](unsigned irq) {
+        state.cpu.pendingIrqs |= 1u << irq;
+    };
+    return bus;
+}
+
+std::shared_ptr<dbt::TranslationBlock>
+Engine::fetchBlock(ExecutionState &state)
+{
+    dbt::CodeReader reader = codeReaderFor(state);
+    auto tb = tbCache_.lookup(state.cpu.pc, reader);
+    if (tb)
+        return tb;
+
+    tb = translator_.translate(state.cpu.pc, reader);
+    stats_.add("engine.translations");
+    if (tb->instrPcs.empty())
+        return tb; // decode fault; caller handles
+
+    // onInstrTranslation: let plugins inspect and mark instructions.
+    if (!events_.onInstrTranslation.empty()) {
+        for (size_t i = 0; i < tb->instrPcs.size(); ++i) {
+            uint8_t buf[10];
+            size_t avail = 0;
+            for (; avail < sizeof(buf); ++avail)
+                if (!reader(tb->instrPcs[i] +
+                                static_cast<uint32_t>(avail),
+                            &buf[avail]))
+                    break;
+            isa::Instruction instr;
+            if (!isa::decode(buf, avail, instr))
+                continue;
+            bool mark = false;
+            events_.onInstrTranslation.emit(state, tb->instrPcs[i], instr,
+                                            &mark);
+            if (mark)
+                tb->marked[i] = true;
+        }
+    }
+    tbCache_.insert(tb, reader);
+    return tb;
+}
+
+ExprRef
+Engine::makeRegSymbolic(ExecutionState &state, unsigned reg,
+                        const std::string &name,
+                        std::optional<std::pair<uint32_t, uint32_t>> range)
+{
+    S2E_ASSERT(reg < isa::kNumRegs, "bad register %u", reg);
+    if (!policy_.symbolicInputsEnabled) {
+        // SC-CE: inputs stay concrete; return the current value.
+        return state.cpu.regs[reg].toExpr(builder_);
+    }
+    ExprRef var = builder_.freshVar(name, 32);
+    if (range) {
+        state.addConstraint(
+            builder_.uge(var, builder_.constant(range->first, 32)));
+        state.addConstraint(
+            builder_.ule(var, builder_.constant(range->second, 32)));
+    }
+    state.cpu.regs[reg] = Value(var);
+    stats_.add("engine.symbolic_values_created");
+    return var;
+}
+
+void
+Engine::makeMemSymbolic(ExecutionState &state, uint32_t addr, uint32_t len,
+                        const std::string &name)
+{
+    if (!policy_.symbolicInputsEnabled)
+        return;
+    for (uint32_t i = 0; i < len; ++i) {
+        if (!state.mem.inBounds(addr + i, 1))
+            break;
+        ExprRef var = builder_.freshVar(
+            strprintf("%s[%u]", name.c_str(), i), 8);
+        state.mem.makeSymbolic(addr + i, var);
+    }
+    if (tbCache_.overlapsCode(addr, len))
+        tbCache_.notifyWrite(addr, len);
+    stats_.add("engine.symbolic_values_created", len);
+}
+
+std::optional<uint32_t>
+Engine::concretize(ExecutionState &state, const Value &value,
+                   const char *reason)
+{
+    if (value.isConcrete())
+        return value.concrete();
+    stats_.add(strprintf("engine.concretizations.%s", reason));
+    auto v = solver_.getValue(state.constraints, value.expr());
+    if (!v) {
+        killState(state, StateStatus::Unsat,
+                  strprintf("unsatisfiable constraints while "
+                            "concretizing (%s)",
+                            reason));
+        return std::nullopt;
+    }
+    uint32_t cv = static_cast<uint32_t>(*v);
+    // The soft constraint of §2.2: concretization corsets the path.
+    state.addConstraint(
+        builder_.eq(value.expr(), builder_.constant(cv, 32)));
+    return cv;
+}
+
+std::optional<uint32_t>
+Engine::readRegConcrete(ExecutionState &state, unsigned reg)
+{
+    S2E_ASSERT(reg < isa::kNumRegs, "bad register %u", reg);
+    auto v = concretize(state, state.cpu.regs[reg], "reg_read");
+    if (v)
+        state.cpu.regs[reg] = Value(*v);
+    return v;
+}
+
+void
+Engine::killState(ExecutionState &state, StateStatus status,
+                  const std::string &message)
+{
+    if (!state.isActive())
+        return;
+    state.status = status;
+    state.statusMessage = message;
+}
+
+ExecutionState *
+Engine::forkState(ExecutionState &state)
+{
+    return fork(state, builder_.trueExpr());
+}
+
+ExecutionState *
+Engine::fork(ExecutionState &state, ExprRef condition)
+{
+    if (config_.maxStatesCreated &&
+        states_.size() >= config_.maxStatesCreated) {
+        stats_.add("engine.forks_suppressed_budget");
+        return nullptr;
+    }
+    auto child = state.clone(nextStateId_++);
+    ExecutionState *child_ptr = child.get();
+    states_.push_back(std::move(child));
+    active_.push_back(child_ptr);
+    stats_.add("engine.forks");
+
+    ForkInfo info{&state, child_ptr, condition};
+    events_.onExecutionFork.emit(info);
+    searcher_->stateAdded(*child_ptr);
+    return child_ptr;
+}
+
+uint32_t
+Engine::handleBranch(ExecutionState &state, const Value &cond,
+                     uint32_t branch_pc, uint32_t taken_pc,
+                     uint32_t fallthrough_pc)
+{
+    if (cond.isConcrete())
+        return cond.concrete() ? taken_pc : fallthrough_pc;
+
+    state.symInstrCount++;
+    ExprRef c = builder_.ne(cond.toExpr(builder_),
+                            builder_.constant(0, 32));
+
+    bool in_unit = isUnitPc(branch_pc);
+    bool may_fork = state.multiPathEnabled &&
+                    (in_unit || policy_.forkInEnvironment);
+
+    if (!in_unit && !policy_.forkInEnvironment) {
+        // Environment branches on symbolic data: consistency policy.
+        switch (policy_.envSymbolicBranch) {
+          case EnvSymbolicBranchPolicy::Abort:
+            killState(state, StateStatus::Aborted,
+                      strprintf("environment branch on symbolic data at "
+                                "0x%x (LC propagation rule)",
+                                branch_pc));
+            return fallthrough_pc;
+          case EnvSymbolicBranchPolicy::ConcretizeHard:
+          case EnvSymbolicBranchPolicy::ConcretizeSoft: {
+            stats_.add("engine.env_branch_concretizations");
+            auto v = concretize(state, cond, "env_branch");
+            if (!v)
+                return fallthrough_pc;
+            return *v ? taken_pc : fallthrough_pc;
+          }
+          case EnvSymbolicBranchPolicy::Fork:
+            break; // fall through to forking below
+        }
+        may_fork = state.multiPathEnabled;
+    }
+
+    if (!may_fork) {
+        // Multi-path disabled (s2e_dis): soft-concretize the branch.
+        auto v = concretize(state, cond, "branch_singlepath");
+        if (!v)
+            return fallthrough_pc;
+        return *v ? taken_pc : fallthrough_pc;
+    }
+
+    if (policy_.ignoreFeasibility && in_unit) {
+        // RC-CC: follow both CFG edges, skip the solver, record
+        // nothing (the state is allowed to become inconsistent).
+        ExecutionState *child = fork(state, c);
+        if (child)
+            child->cpu.pc = fallthrough_pc;
+        stats_.add("engine.cfg_forks");
+        return taken_pc;
+    }
+
+    auto feasibility = solver_.checkBranch(state.constraints, c);
+    if (feasibility.trueFeasible && feasibility.falseFeasible) {
+        ExecutionState *child = fork(state, c);
+        state.addConstraint(c);
+        if (child) {
+            child->addConstraint(builder_.lnot(c));
+            child->cpu.pc = fallthrough_pc;
+        }
+        return taken_pc;
+    }
+    if (feasibility.trueFeasible) {
+        state.addConstraint(c);
+        return taken_pc;
+    }
+    state.addConstraint(builder_.lnot(c));
+    return fallthrough_pc;
+}
+
+Value
+Engine::symbolicLoad(ExecutionState &state, const Value &addr, unsigned len)
+{
+    stats_.add("engine.symbolic_pointer_loads");
+    ExprRef a = addr.expr();
+
+    // Pick the window containing one feasible address, constrain the
+    // pointer into it (the paper's page-content-passing scheme: only
+    // a small page of memory is handed to the solver).
+    auto example = solver_.getValue(state.constraints, a);
+    if (!example) {
+        killState(state, StateStatus::Unsat,
+                  "unsatisfiable constraints at symbolic load");
+        return Value(0u);
+    }
+    uint32_t window = config_.symPointerWindow;
+    uint32_t base = static_cast<uint32_t>(*example) & ~(window - 1);
+    if (!state.mem.inBounds(base, window)) {
+        killState(state, StateStatus::Crashed,
+                  strprintf("symbolic pointer window 0x%x out of bounds",
+                            base));
+        return Value(0u);
+    }
+    ExprRef lo = builder_.constant(base, 32);
+    ExprRef hi = builder_.constant(base + window - len, 32);
+    ExprRef in_window = builder_.land(builder_.uge(a, lo),
+                                      builder_.ule(a, hi));
+    if (!solver_.mustBeTrue(state.constraints, in_window)) {
+        state.addConstraint(in_window); // soft window constraint
+        stats_.add("engine.symbolic_pointer_window_constrained");
+    }
+
+    // Build the ite chain over the window contents.
+    Value result;
+    bool first = true;
+    ExprRef read = nullptr;
+    for (uint32_t off = window - len + 1; off-- > 0;) {
+        uint32_t candidate = base + off;
+        ExprRef byte = state.mem.byteExpr(candidate, builder_);
+        ExprRef word = byte;
+        for (unsigned i = 1; i < len; ++i)
+            word = builder_.concat(
+                state.mem.byteExpr(candidate + i, builder_), word);
+        if (first) {
+            read = word;
+            first = false;
+        } else {
+            read = builder_.ite(
+                builder_.eq(a, builder_.constant(candidate, 32)), word,
+                read);
+        }
+    }
+    stats_.high("engine.symbolic_pointer_max_window", window);
+    result = Value(read);
+    (void)result;
+    return Value(read);
+}
+
+Value
+Engine::loadFrom(ExecutionState &state, uint32_t addr, unsigned len,
+                 bool sign_extend)
+{
+    // MMIO window.
+    if (addr >= vm::kMmioBase) {
+        for (const auto &[lo, hi] : config_.symbolicMmioRanges) {
+            if (addr >= lo && addr < hi &&
+                policy_.symbolicHardwareAllowed &&
+                policy_.symbolicInputsEnabled) {
+                stats_.add("engine.symbolic_hardware_reads");
+                return Value(builder_.freshVar(
+                    strprintf("mmio_%x", addr), 32));
+            }
+        }
+        vm::Device *dev = state.devices.findMmio(addr);
+        if (!dev) {
+            killState(state, StateStatus::Crashed,
+                      strprintf("MMIO read from unmapped 0x%x", addr));
+            return Value(0u);
+        }
+        vm::DeviceBus bus = deviceBusFor(state);
+        return Value(dev->mmioRead(addr, len, bus));
+    }
+
+    if (!state.mem.inBounds(addr, len)) {
+        killState(state, StateStatus::Crashed,
+                  strprintf("memory read at 0x%x (+%u) out of bounds",
+                            addr, len));
+        return Value(0u);
+    }
+    Value v = state.mem.read(addr, len, builder_);
+    if (len == 4)
+        return v;
+    if (v.isConcrete()) {
+        uint32_t raw = v.concrete();
+        if (sign_extend)
+            return Value(static_cast<uint32_t>(signExtend(raw, len * 8)));
+        return Value(raw);
+    }
+    ExprRef e = v.expr();
+    return Value(sign_extend ? builder_.sext(e, 32) : builder_.zext(e, 32));
+}
+
+bool
+Engine::storeTo(ExecutionState &state, uint32_t addr, const Value &value,
+                unsigned len)
+{
+    if (addr >= vm::kMmioBase) {
+        vm::Device *dev = state.devices.findMmio(addr);
+        if (!dev) {
+            killState(state, StateStatus::Crashed,
+                      strprintf("MMIO write to unmapped 0x%x", addr));
+            return false;
+        }
+        Value v = value;
+        auto conc = concretize(state, v, "mmio_write");
+        if (!conc)
+            return false;
+        vm::DeviceBus bus = deviceBusFor(state);
+        dev->mmioWrite(addr, *conc, len, bus);
+        return true;
+    }
+
+    if (!state.mem.inBounds(addr, len)) {
+        killState(state, StateStatus::Crashed,
+                  strprintf("memory write at 0x%x (+%u) out of bounds",
+                            addr, len));
+        return false;
+    }
+
+    if (value.isConcrete()) {
+        state.mem.write(addr, Value(value.concrete()), len, builder_);
+    } else {
+        ExprRef e = value.expr();
+        if (len < 4)
+            e = builder_.extract(e, 0, len * 8);
+        state.mem.write(addr, Value(e), len, builder_);
+    }
+    if (tbCache_.overlapsCode(addr, len))
+        tbCache_.notifyWrite(addr, len);
+    return true;
+}
+
+Value
+Engine::ioRead(ExecutionState &state, uint32_t port)
+{
+    uint16_t p = static_cast<uint16_t>(port);
+    for (const auto &[lo, hi] : config_.symbolicPortRanges) {
+        if (p >= lo && p <= hi && policy_.symbolicHardwareAllowed &&
+            policy_.symbolicInputsEnabled) {
+            stats_.add("engine.symbolic_hardware_reads");
+            Value v(builder_.freshVar(strprintf("port_%x", p), 32));
+            events_.onPortAccess.emit(state, p, v, false);
+            return v;
+        }
+    }
+    vm::Device *dev = state.devices.findPort(p);
+    Value result(0xFFFFFFFFu); // floating bus
+    if (dev) {
+        vm::DeviceBus bus = deviceBusFor(state);
+        result = Value(dev->ioRead(p, bus));
+    }
+    events_.onPortAccess.emit(state, p, result, false);
+    return result;
+}
+
+void
+Engine::ioWrite(ExecutionState &state, uint32_t port, const Value &value)
+{
+    uint16_t p = static_cast<uint16_t>(port);
+    // Analyzers see the value *before* concretization so they can
+    // detect symbolic (e.g. secret-tainted) data leaving the system.
+    events_.onPortAccess.emit(state, p, value, true);
+    vm::Device *dev = state.devices.findPort(p);
+    if (!dev)
+        return;
+    auto conc = concretize(state, value, "port_write");
+    if (!conc)
+        return;
+    vm::DeviceBus bus = deviceBusFor(state);
+    dev->ioWrite(p, *conc, bus);
+}
+
+Value
+Engine::packFlags(ExecutionState &state) const
+{
+    const CpuState &cpu = state.cpu;
+    bool all_concrete = true;
+    for (const Value &f : cpu.flags)
+        if (f.isSymbolic())
+            all_concrete = false;
+    uint32_t ie = cpu.intEnabled ? 1u : 0u;
+    if (all_concrete) {
+        uint32_t w = (cpu.flags[0].concrete() & 1) |
+                     ((cpu.flags[1].concrete() & 1) << 1) |
+                     ((cpu.flags[2].concrete() & 1) << 2) |
+                     ((cpu.flags[3].concrete() & 1) << 3) | (ie << 4);
+        return Value(w);
+    }
+    ExprBuilder &bld = const_cast<ExprBuilder &>(builder_);
+    ExprRef w = bld.constant(ie << 4, 32);
+    for (unsigned i = 0; i < 4; ++i) {
+        ExprRef f = cpu.flags[i].toExpr(bld);
+        ExprRef bit = bld.bAnd(f, bld.constant(1, 32));
+        w = bld.bOr(w, bld.shl(bit, bld.constant(i, 32)));
+    }
+    return Value(w);
+}
+
+void
+Engine::unpackFlags(ExecutionState &state, const Value &word)
+{
+    if (word.isConcrete()) {
+        uint32_t w = word.concrete();
+        for (unsigned i = 0; i < 4; ++i)
+            state.cpu.flags[i] = Value((w >> i) & 1);
+        state.cpu.intEnabled = (w >> 4) & 1;
+        return;
+    }
+    ExprRef w = word.expr();
+    for (unsigned i = 0; i < 4; ++i)
+        state.cpu.flags[i] = Value(builder_.bAnd(
+            builder_.lshr(w, builder_.constant(i, 32)),
+            builder_.constant(1, 32)));
+    // The interrupt-enable bit must be concrete to schedule delivery.
+    ExprRef ie_bit = builder_.bAnd(builder_.lshr(w, builder_.constant(4, 32)),
+                                   builder_.constant(1, 32));
+    Value ie(ie_bit);
+    auto conc = concretize(state, ie, "iret_ie");
+    state.cpu.intEnabled = conc.value_or(0) != 0;
+}
+
+void
+Engine::enterInterrupt(ExecutionState &state, unsigned vector,
+                       uint32_t return_pc)
+{
+    events_.onException.emit(state, vector);
+
+    // Push flags, then the return pc.
+    Value flags = packFlags(state);
+    auto push = [&](const Value &v) -> bool {
+        auto sp = concretize(state, state.cpu.regs[isa::kRegSp], "push_sp");
+        if (!sp)
+            return false;
+        uint32_t nsp = *sp - 4;
+        state.cpu.regs[isa::kRegSp] = Value(nsp);
+        return storeTo(state, nsp, v, 4);
+    };
+    if (!push(flags) || !push(Value(return_pc)))
+        return;
+    state.cpu.intEnabled = false;
+
+    uint32_t ivt_entry = vm::kIvtBase + 4 * vector;
+    Value handler = loadFrom(state, ivt_entry, 4, false);
+    if (!state.isActive())
+        return;
+    auto h = concretize(state, handler, "ivt");
+    if (!h)
+        return;
+    if (*h == 0) {
+        killState(state, StateStatus::Crashed,
+                  strprintf("unhandled interrupt vector 0x%x", vector));
+        return;
+    }
+    state.cpu.interruptDepth++;
+    state.cpu.pc = *h;
+}
+
+void
+Engine::deliverInterrupts(ExecutionState &state)
+{
+    if (!state.cpu.intEnabled || state.cpu.pendingIrqs == 0)
+        return;
+    unsigned irq = __builtin_ctz(state.cpu.pendingIrqs);
+    state.cpu.pendingIrqs &= ~(1u << irq);
+    stats_.add("engine.interrupts_delivered");
+    enterInterrupt(state, irq, state.cpu.pc);
+}
+
+void
+Engine::execS2Op(ExecutionState &state, const MicroOp &op,
+                 const std::vector<Value> &temps, uint32_t instr_pc,
+                 uint32_t next_pc, uint32_t *next_pc_out)
+{
+    (void)instr_pc;
+    auto opcode = static_cast<isa::Opcode>(op.imm);
+    switch (opcode) {
+      case isa::Opcode::Cli:
+        state.cpu.intEnabled = false;
+        break;
+      case isa::Opcode::Sti:
+        state.cpu.intEnabled = true;
+        break;
+      case isa::Opcode::S2Ena:
+        state.multiPathEnabled = true;
+        break;
+      case isa::Opcode::S2Dis:
+        state.multiPathEnabled = false;
+        break;
+      case isa::Opcode::S2SymReg:
+        makeRegSymbolic(state, op.reg,
+                        strprintf("sym_r%u_%llu", op.reg,
+                                  static_cast<unsigned long long>(
+                                      symNameCounter_++)));
+        break;
+      case isa::Opcode::S2SymRange: {
+        uint32_t lo = temps[op.a].concrete();
+        uint32_t hi = temps[op.b].concrete();
+        makeRegSymbolic(state, op.reg,
+                        strprintf("sym_r%u_%llu", op.reg,
+                                  static_cast<unsigned long long>(
+                                      symNameCounter_++)),
+                        std::make_pair(lo, hi));
+        break;
+      }
+      case isa::Opcode::S2SymMem: {
+        auto addr = concretize(state, temps[op.a], "s2symmem_addr");
+        auto len = concretize(state, temps[op.b], "s2symmem_len");
+        if (addr && len)
+            makeMemSymbolic(state, *addr, *len,
+                            strprintf("sym_mem_%llu",
+                                      static_cast<unsigned long long>(
+                                          symNameCounter_++)));
+        break;
+      }
+      case isa::Opcode::S2Out:
+        events_.onGuestOutput.emit(state, temps[op.a]);
+        break;
+      case isa::Opcode::S2Concrete: {
+        auto v = readRegConcrete(state, op.reg);
+        (void)v;
+        break;
+      }
+      case isa::Opcode::S2Assert: {
+        const Value &v = temps[op.a];
+        if (v.isConcrete()) {
+            if (v.concrete() == 0) {
+                events_.onBug.emit(
+                    state, strprintf("s2e_assert failed at 0x%x",
+                                     instr_pc));
+                killState(state, StateStatus::Crashed,
+                          strprintf("assertion failed at 0x%x", instr_pc));
+            }
+            break;
+        }
+        ExprRef nonzero = builder_.ne(v.toExpr(builder_),
+                                      builder_.constant(0, 32));
+        if (solver_.mayBeTrue(state.constraints,
+                              builder_.lnot(nonzero))) {
+            events_.onBug.emit(
+                state,
+                strprintf("s2e_assert may fail at 0x%x", instr_pc));
+            if (!solver_.mayBeTrue(state.constraints, nonzero)) {
+                killState(state, StateStatus::Crashed,
+                          strprintf("assertion always fails at 0x%x",
+                                    instr_pc));
+                break;
+            }
+        }
+        state.addConstraint(nonzero);
+        break;
+      }
+      case isa::Opcode::S2Kill:
+        state.exitCode = op.imm2;
+        killState(state, StateStatus::Killed,
+                  strprintf("s2e_kill(%u)", op.imm2));
+        break;
+      default:
+        panic("execS2Op: unexpected opcode %s", isa::opcodeName(opcode));
+    }
+    *next_pc_out = next_pc;
+}
+
+bool
+Engine::executeBlock(ExecutionState &state)
+{
+    deliverInterrupts(state);
+    if (!state.isActive())
+        return false;
+
+    // Advance virtual device time on this state's private clock.
+    {
+        vm::DeviceBus bus = deviceBusFor(state);
+        state.devices.tickAll(state.instrCount, bus);
+    }
+
+    auto tb = fetchBlock(state);
+    if (tb->instrPcs.empty()) {
+        killState(state, StateStatus::Crashed,
+                  strprintf("invalid instruction at 0x%x", state.cpu.pc));
+        return false;
+    }
+    tb->execCount++;
+    state.blockCount++;
+    state.instrCount += tb->instrPcs.size();
+    events_.onBlockExecute.emit(state, *tb);
+
+    std::vector<Value> temps(tb->numTemps);
+    uint32_t next_pc = tb->pc + tb->byteSize;
+    bool fire_mem_events = !events_.onMemoryAccess.empty();
+    bool fire_instr_events = !events_.onInstrExecution.empty();
+    size_t next_instr = 0;
+
+    for (size_t op_index = 0; op_index < tb->ops.size(); ++op_index) {
+        // Per-instruction boundary bookkeeping (marked instructions).
+        while (next_instr < tb->instrOpIndex.size() &&
+               tb->instrOpIndex[next_instr] == op_index) {
+            if (fire_instr_events && tb->marked[next_instr])
+                events_.onInstrExecution.emit(state,
+                                              tb->instrPcs[next_instr]);
+            next_instr++;
+        }
+        if (!state.isActive())
+            return false;
+
+        const MicroOp &op = tb->ops[op_index];
+        switch (op.op) {
+          case UOp::Const:
+            temps[op.dst] = Value(op.imm);
+            break;
+          case UOp::GetReg:
+            temps[op.dst] = state.cpu.regs[op.reg];
+            break;
+          case UOp::SetReg:
+            state.cpu.regs[op.reg] = temps[op.a];
+            break;
+          case UOp::GetFlag:
+            temps[op.dst] = state.cpu.flags[op.reg];
+            break;
+          case UOp::SetFlag:
+            state.cpu.flags[op.reg] = temps[op.a];
+            break;
+
+          case UOp::Not:
+          case UOp::Neg: {
+            const Value &a = temps[op.a];
+            if (a.isConcrete()) {
+                temps[op.dst] = Value(op.op == UOp::Not ? ~a.concrete()
+                                                        : 0 - a.concrete());
+            } else {
+                state.symInstrCount++;
+                temps[op.dst] = Value(op.op == UOp::Not
+                                          ? builder_.bNot(a.expr())
+                                          : builder_.neg(a.expr()));
+            }
+            break;
+          }
+
+          case UOp::Add:
+          case UOp::Sub:
+          case UOp::Mul:
+          case UOp::UDiv:
+          case UOp::SDiv:
+          case UOp::URem:
+          case UOp::SRem:
+          case UOp::And:
+          case UOp::Or:
+          case UOp::Xor:
+          case UOp::Shl:
+          case UOp::Shr:
+          case UOp::Sar:
+          case UOp::CmpEq:
+          case UOp::CmpUlt:
+          case UOp::CmpSlt: {
+            const Value &a = temps[op.a];
+            const Value &b = temps[op.b];
+            if (a.isConcrete() && b.isConcrete()) {
+                temps[op.dst] =
+                    Value(concreteBinary(op.op, a.concrete(),
+                                         b.concrete()));
+            } else {
+                state.symInstrCount++;
+                temps[op.dst] = Value(symbolicBinary(
+                    op.op, a.toExpr(builder_), b.toExpr(builder_),
+                    builder_));
+            }
+            break;
+          }
+
+          case UOp::Load: {
+            Value addr = temps[op.a];
+            bool sym_addr = addr.isSymbolic();
+            Value result;
+            uint32_t resolved = 0;
+            ExprRef addr_expr = nullptr;
+            if (sym_addr) {
+                ExprRef sum = builder_.add(
+                    addr.toExpr(builder_),
+                    builder_.constant(op.imm, 32));
+                Value full(sum);
+                if (full.isConcrete()) {
+                    resolved = full.concrete();
+                    result = loadFrom(state, resolved, op.size,
+                                      op.signExt);
+                } else {
+                    addr_expr = sum;
+                    result = symbolicLoad(state, full, op.size);
+                    if (op.size < 4 && result.isSymbolic())
+                        result = Value(
+                            op.signExt
+                                ? builder_.sext(result.expr(), 32)
+                                : builder_.zext(result.expr(), 32));
+                    auto ex = solver_.getValue(state.constraints, sum);
+                    resolved = ex ? static_cast<uint32_t>(*ex) : 0;
+                }
+            } else {
+                resolved = addr.concrete() + op.imm;
+                result = loadFrom(state, resolved, op.size, op.signExt);
+            }
+            if (!state.isActive())
+                return false;
+            temps[op.dst] = result;
+            if (fire_mem_events) {
+                MemAccessInfo info{resolved, op.size, false, sym_addr,
+                                   &temps[op.dst], addr_expr};
+                events_.onMemoryAccess.emit(state, info);
+            }
+            break;
+          }
+
+          case UOp::Store: {
+            Value addr = temps[op.a];
+            uint32_t resolved;
+            ExprRef addr_expr = nullptr;
+            if (addr.isSymbolic()) {
+                // Symbolic store addresses are soft-concretized (the
+                // read side gets the ite treatment; see DESIGN.md).
+                // The pre-concretization expression is reported to
+                // analyzers so they can range-check the pointer.
+                ExprRef sum = builder_.add(addr.toExpr(builder_),
+                                           builder_.constant(op.imm, 32));
+                if (!Value(sum).isConcrete())
+                    addr_expr = sum;
+                auto v = concretize(state, Value(sum), "store_addr");
+                if (!v)
+                    return false;
+                resolved = *v;
+                stats_.add("engine.symbolic_pointer_stores");
+            } else {
+                resolved = addr.concrete() + op.imm;
+            }
+            if (fire_mem_events) {
+                MemAccessInfo info{resolved, op.size, true,
+                                   addr.isSymbolic(), &temps[op.b],
+                                   addr_expr};
+                events_.onMemoryAccess.emit(state, info);
+            }
+            if (!storeTo(state, resolved, temps[op.b], op.size))
+                return false;
+            break;
+          }
+
+          case UOp::In: {
+            auto port = concretize(state, temps[op.a], "port_read");
+            if (!port)
+                return false;
+            temps[op.dst] = ioRead(state, *port);
+            break;
+          }
+          case UOp::Out: {
+            auto port = concretize(state, temps[op.a], "port_write_port");
+            if (!port)
+                return false;
+            ioWrite(state, *port, temps[op.b]);
+            break;
+          }
+
+          case UOp::Goto:
+          case UOp::CallDir:
+            next_pc = op.imm;
+            break;
+          case UOp::GotoInd:
+          case UOp::Ret: {
+            auto target = concretize(state, temps[op.a], "indirect_jump");
+            if (!target)
+                return false;
+            next_pc = *target;
+            break;
+          }
+          case UOp::Branch: {
+            uint32_t branch_pc = tb->instrPcs.empty()
+                                     ? tb->pc
+                                     : tb->instrPcs.back();
+            next_pc = handleBranch(state, temps[op.a], branch_pc, op.imm,
+                                   op.imm2);
+            if (!state.isActive())
+                return false;
+            break;
+          }
+          case UOp::IntSw: {
+            state.cpu.pc = op.imm2; // return address = next instruction
+            enterInterrupt(state, op.imm, op.imm2);
+            if (!state.isActive())
+                return false;
+            next_pc = state.cpu.pc;
+            break;
+          }
+          case UOp::IretOp: {
+            // Pop pc, then flags.
+            auto sp = concretize(state, state.cpu.regs[isa::kRegSp],
+                                 "iret_sp");
+            if (!sp)
+                return false;
+            Value ret_pc = loadFrom(state, *sp, 4, false);
+            Value flags = loadFrom(state, *sp + 4, 4, false);
+            if (!state.isActive())
+                return false;
+            state.cpu.regs[isa::kRegSp] = Value(*sp + 8);
+            unpackFlags(state, flags);
+            if (state.cpu.interruptDepth > 0)
+                state.cpu.interruptDepth--;
+            auto target = concretize(state, ret_pc, "iret_pc");
+            if (!target)
+                return false;
+            next_pc = *target;
+            break;
+          }
+          case UOp::Halt:
+            killState(state, StateStatus::Halted, "hlt");
+            return false;
+
+          case UOp::S2Op:
+            execS2Op(state, op, temps, tb->instrPcForOp(op_index),
+                     next_pc, &next_pc);
+            if (!state.isActive())
+                return false;
+            break;
+        }
+    }
+
+    state.cpu.pc = next_pc;
+    return state.isActive();
+}
+
+void
+Engine::finishState(ExecutionState &state)
+{
+    events_.onStateKill.emit(state);
+    searcher_->stateRemoved(state);
+}
+
+void
+Engine::accountMemory()
+{
+    uint64_t total = 0;
+    for (ExecutionState *s : active_)
+        total += s->memoryFootprint();
+    stats_.high("engine.memory_high_watermark", total);
+    stats_.high("engine.max_active_states", active_.size());
+}
+
+RunResult
+Engine::run()
+{
+    RunResult result;
+    auto start = std::chrono::steady_clock::now();
+    uint64_t start_instr = stats_.get("engine.instructions");
+
+    while (!active_.empty()) {
+        double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+        uint64_t executed =
+            stats_.get("engine.instructions") - start_instr;
+        if ((config_.maxWallSeconds > 0 &&
+             elapsed > config_.maxWallSeconds) ||
+            (config_.maxInstructions > 0 &&
+             executed > config_.maxInstructions)) {
+            result.budgetExhausted = true;
+            for (ExecutionState *s : active_)
+                killState(*s, StateStatus::BudgetExceeded, "run budget");
+        }
+
+        if (!result.budgetExhausted) {
+            ExecutionState *state = searcher_->select(active_);
+            S2E_ASSERT(state && state->isActive(),
+                       "searcher returned inactive state");
+            uint64_t instr_before = state->instrCount;
+            for (unsigned i = 0;
+                 i < config_.timesliceBlocks && state->isActive(); ++i) {
+                if (!executeBlock(*state))
+                    break;
+            }
+            stats_.add("engine.instructions",
+                       state->instrCount - instr_before);
+        }
+
+        // Sweep terminated states.
+        size_t w = 0;
+        for (size_t r = 0; r < active_.size(); ++r) {
+            if (active_[r]->isActive()) {
+                active_[w++] = active_[r];
+            } else {
+                finishState(*active_[r]);
+            }
+        }
+        active_.resize(w);
+        accountMemory();
+    }
+
+    result.wallSeconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    result.totalInstructions =
+        stats_.get("engine.instructions") - start_instr;
+    result.forks = stats_.get("engine.forks");
+    result.statesCreated = states_.size();
+    for (const auto &s : states_) {
+        result.totalBlocks += s->blockCount;
+        switch (s->status) {
+          case StateStatus::Halted:
+          case StateStatus::Killed:
+            result.completed++;
+            break;
+          case StateStatus::Crashed:
+          case StateStatus::Unsat:
+            result.crashed++;
+            break;
+          case StateStatus::Aborted:
+            result.aborted++;
+            break;
+          default:
+            break;
+        }
+    }
+    return result;
+}
+
+} // namespace s2e::core

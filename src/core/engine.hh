@@ -1,0 +1,238 @@
+/**
+ * @file
+ * The selective symbolic execution engine (paper §2, §5).
+ *
+ * The engine drives a set of ExecutionStates through the DBT. Every
+ * micro-op runs on a concrete fast path when its inputs are concrete
+ * and builds expressions otherwise, so "most instructions run
+ * natively even in the symbolic domain". The unit/environment code
+ * partition (unitRanges) plus the active ConsistencyPolicy decide
+ * where forking happens and what happens to symbolic data crossing
+ * the boundary — this is the selective part.
+ */
+
+#ifndef S2E_CORE_ENGINE_HH
+#define S2E_CORE_ENGINE_HH
+
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/consistency.hh"
+#include "core/events.hh"
+#include "core/state.hh"
+#include "dbt/translator.hh"
+#include "solver/solver.hh"
+#include "vm/machine.hh"
+
+namespace s2e::core {
+
+/** Picks which state runs next (paper's priority-based selection). */
+class Searcher
+{
+  public:
+    virtual ~Searcher() = default;
+    virtual const char *name() const = 0;
+    virtual void stateAdded(ExecutionState &state) { (void)state; }
+    virtual void stateRemoved(ExecutionState &state) { (void)state; }
+    /** Select from a non-empty active set. */
+    virtual ExecutionState *
+    select(const std::vector<ExecutionState *> &active) = 0;
+};
+
+/** Engine configuration. */
+struct EngineConfig {
+    ConsistencyModel model = ConsistencyModel::ScSe;
+
+    /** Code ranges forming the *unit* (the symbolic domain). Empty
+     *  means the whole system is the unit. */
+    std::vector<std::pair<uint32_t, uint32_t>> unitRanges;
+
+    /** Port ranges behaving as symbolic hardware (reads return fresh
+     *  unconstrained symbolic values when the model allows it). */
+    std::vector<std::pair<uint16_t, uint16_t>> symbolicPortRanges;
+
+    /** MMIO ranges behaving as symbolic hardware. */
+    std::vector<std::pair<uint32_t, uint32_t>> symbolicMmioRanges;
+
+    /** Symbolic-pointer solver window (the §5 "small pages" passed to
+     *  the constraint solver; §6.2 sweeps 128 B vs 4 KB). */
+    uint32_t symPointerWindow = 128;
+
+    /** Run budgets; 0 disables the budget. */
+    uint64_t maxInstructions = 0;
+    double maxWallSeconds = 0;
+    size_t maxStatesCreated = 0;
+
+    /** Translation blocks per scheduling quantum. */
+    unsigned timesliceBlocks = 64;
+
+    solver::SolverOptions solverOptions;
+};
+
+/** Aggregate outcome of a run() call. */
+struct RunResult {
+    uint64_t totalInstructions = 0;
+    uint64_t totalBlocks = 0;
+    uint64_t forks = 0;
+    size_t statesCreated = 0;
+    size_t completed = 0; ///< halted or killed cleanly
+    size_t crashed = 0;
+    size_t aborted = 0;
+    bool budgetExhausted = false;
+    double wallSeconds = 0;
+};
+
+/**
+ * The platform core. Owns the expression builder, the solver, the
+ * translation cache, the event hub and all execution states.
+ */
+class Engine
+{
+  public:
+    Engine(vm::MachineConfig machine, EngineConfig config);
+    ~Engine();
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    ExprBuilder &builder() { return builder_; }
+    solver::Solver &solver() { return solver_; }
+    EventHub &events() { return events_; }
+    Stats &stats() { return stats_; }
+    const EngineConfig &config() const { return config_; }
+    const ConsistencyPolicy &policy() const { return policy_; }
+
+    /** Replace the scheduling policy (default: depth-first). */
+    void setSearcher(std::unique_ptr<Searcher> searcher);
+    Searcher *searcher() const { return searcher_.get(); }
+
+    /** The initial state (available before run() for setup). */
+    ExecutionState &initialState();
+
+    /** Explore until no active states remain or a budget trips. */
+    RunResult run();
+
+    // --- State management (plugin API) --------------------------------
+
+    const std::vector<std::unique_ptr<ExecutionState>> &allStates() const
+    {
+        return states_;
+    }
+    std::vector<ExecutionState *> activeStates() const;
+
+    /** Terminate a state with the given status. */
+    void killState(ExecutionState &state, StateStatus status,
+                   const std::string &message);
+
+    /**
+     * Plugin API: unconditionally fork `state`. The returned child is
+     * an identical copy (same pc, no added constraints) that the
+     * caller may then diverge (e.g. inject a failure return value) —
+     * the mechanism behind eager environment-behavior injection.
+     * Returns nullptr if the state budget is exhausted.
+     *
+     * The child resumes at the start of the current translation
+     * block; call this from hooks on block-leader instructions
+     * (branch targets, function entries) so the child's re-execution
+     * cannot clobber injected values.
+     */
+    ExecutionState *forkState(ExecutionState &state);
+
+    /** Is this pc inside the unit (symbolic domain)? */
+    bool isUnitPc(uint32_t pc) const;
+
+    // --- Symbolic-value helpers (plugin API) ---------------------------
+
+    /** Make a register symbolic; optional inclusive range constraint. */
+    ExprRef makeRegSymbolic(ExecutionState &state, unsigned reg,
+                            const std::string &name,
+                            std::optional<std::pair<uint32_t, uint32_t>>
+                                range = std::nullopt);
+
+    /** Make a memory byte range symbolic. */
+    void makeMemSymbolic(ExecutionState &state, uint32_t addr, uint32_t len,
+                         const std::string &name);
+
+    /**
+     * Force a value concrete: returns a satisfying concrete value and
+     * adds the equality (soft) constraint. Kills the state and returns
+     * nullopt when constraints are unsatisfiable.
+     */
+    std::optional<uint32_t> concretize(ExecutionState &state,
+                                       const Value &value,
+                                       const char *reason);
+
+    /** Read a register, concretizing if needed. */
+    std::optional<uint32_t> readRegConcrete(ExecutionState &state,
+                                            unsigned reg);
+
+    /** Drop all cached translations (after runtime re-marking). */
+    void flushTranslationCache() { tbCache_.clear(); }
+
+    dbt::TbCache &tbCache() { return tbCache_; }
+
+  private:
+    struct TempFile; // per-block temp values
+
+    dbt::CodeReader codeReaderFor(ExecutionState &state);
+    vm::DeviceBus deviceBusFor(ExecutionState &state);
+    std::shared_ptr<dbt::TranslationBlock> fetchBlock(ExecutionState &state);
+
+    /** Execute one TB. Returns false when the state stopped. */
+    bool executeBlock(ExecutionState &state);
+    void deliverInterrupts(ExecutionState &state);
+    void enterInterrupt(ExecutionState &state, unsigned vector,
+                        uint32_t return_pc);
+
+    Value packFlags(ExecutionState &state) const;
+    void unpackFlags(ExecutionState &state, const Value &word);
+
+    /** Handle a symbolic branch condition; returns chosen target. */
+    uint32_t handleBranch(ExecutionState &state, const Value &cond,
+                          uint32_t branch_pc, uint32_t taken_pc,
+                          uint32_t fallthrough_pc);
+
+    /** Fork the state on `condition`; parent takes the true side. */
+    ExecutionState *fork(ExecutionState &state, ExprRef condition);
+
+    /** Resolve a load at a symbolic address via the window/ite scheme. */
+    Value symbolicLoad(ExecutionState &state, const Value &addr,
+                       unsigned len);
+
+    Value loadFrom(ExecutionState &state, uint32_t addr, unsigned len,
+                   bool sign_extend);
+    bool storeTo(ExecutionState &state, uint32_t addr, const Value &value,
+                 unsigned len);
+
+    Value ioRead(ExecutionState &state, uint32_t port);
+    void ioWrite(ExecutionState &state, uint32_t port, const Value &value);
+
+    void execS2Op(ExecutionState &state, const dbt::MicroOp &op,
+                  const std::vector<Value> &temps, uint32_t instr_pc,
+                  uint32_t next_pc, uint32_t *next_pc_out);
+
+    void finishState(ExecutionState &state);
+    void accountMemory();
+
+    vm::MachineConfig machine_;
+    EngineConfig config_;
+    ConsistencyPolicy policy_;
+    ExprBuilder builder_;
+    solver::Solver solver_;
+    EventHub events_;
+    Stats stats_;
+    dbt::Translator translator_;
+    dbt::TbCache tbCache_;
+    std::unique_ptr<Searcher> searcher_;
+
+    std::vector<std::unique_ptr<ExecutionState>> states_;
+    std::vector<ExecutionState *> active_;
+    int nextStateId_ = 0;
+    uint64_t symNameCounter_ = 0;
+    bool anyTranslationSubscriber_ = false;
+};
+
+} // namespace s2e::core
+
+#endif // S2E_CORE_ENGINE_HH

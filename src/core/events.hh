@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The publish/subscribe event hub (paper §4.2, Table 2).
+ *
+ * Plugins register callbacks for the core events the platform raises:
+ * instruction translation, execution of marked instructions, state
+ * forking, exceptions and memory accesses. onInstrTranslation fires
+ * once per instruction per translation (translate-once/execute-many:
+ * marking an instruction there makes onInstrExecution fire for it on
+ * every execution with no cost for unmarked instructions).
+ */
+
+#ifndef S2E_CORE_EVENTS_HH
+#define S2E_CORE_EVENTS_HH
+
+#include <functional>
+#include <vector>
+
+#include "core/state.hh"
+#include "dbt/ir.hh"
+#include "isa/isa.hh"
+
+namespace s2e::core {
+
+/** Minimal multicast signal. Subscription handles are indices. */
+template <typename... Args>
+class Signal
+{
+  public:
+    using Callback = std::function<void(Args...)>;
+
+    size_t
+    subscribe(Callback cb)
+    {
+        callbacks_.push_back(std::move(cb));
+        return callbacks_.size() - 1;
+    }
+
+    void
+    emit(Args... args) const
+    {
+        for (const auto &cb : callbacks_)
+            if (cb)
+                cb(args...);
+    }
+
+    bool empty() const
+    {
+        for (const auto &cb : callbacks_)
+            if (cb)
+                return false;
+        return true;
+    }
+
+  private:
+    std::vector<Callback> callbacks_;
+};
+
+class ExecutionState;
+
+/** Fork event payload: parent keeps the true branch by convention. */
+struct ForkInfo {
+    ExecutionState *parent;
+    ExecutionState *child;
+    ExprRef condition; ///< constraint added to the parent
+};
+
+/** Memory access payload. Symbolic addresses are reported after
+ *  resolution; `addr` is the resolved concrete address and `addrExpr`
+ *  carries the original symbolic address (null when concrete) so
+ *  analyzers can reason about the whole feasible range. */
+struct MemAccessInfo {
+    uint32_t addr;
+    unsigned size;
+    bool isWrite;
+    bool wasSymbolicAddress;
+    const Value *value;  ///< written or loaded value
+    ExprRef addrExpr = nullptr;
+};
+
+/** All core events exported by the platform. */
+struct EventHub {
+    /**
+     * DBT is about to translate one guest instruction. Set *mark to
+     * make onInstrExecution fire for this instruction at runtime.
+     */
+    Signal<ExecutionState &, uint32_t /*pc*/, const isa::Instruction &,
+           bool * /*mark*/>
+        onInstrTranslation;
+
+    /** A marked instruction is about to execute. */
+    Signal<ExecutionState &, uint32_t /*pc*/> onInstrExecution;
+
+    /** Execution is about to fork (both states already exist). */
+    Signal<const ForkInfo &> onExecutionFork;
+
+    /** The interrupt pin was asserted (hardware or software). */
+    Signal<ExecutionState &, unsigned /*vector*/> onException;
+
+    /** Guest memory data access (not code fetch). */
+    Signal<ExecutionState &, const MemAccessInfo &> onMemoryAccess;
+
+    /** A translation block is about to execute (coverage backbone). */
+    Signal<ExecutionState &, const dbt::TranslationBlock &> onBlockExecute;
+
+    /** A state terminated (any non-running status). */
+    Signal<ExecutionState &> onStateKill;
+
+    /** Port I/O access: port, value (read result or written value),
+     *  isWrite. Fires after reads resolve and before writes land. */
+    Signal<ExecutionState &, uint16_t, const Value &, bool> onPortAccess;
+
+    /** s2e_out opcode: the guest logged a value. */
+    Signal<ExecutionState &, const Value &> onGuestOutput;
+
+    /** s2e_assert failed (bug found): state + message. */
+    Signal<ExecutionState &, const std::string &> onBug;
+};
+
+} // namespace s2e::core
+
+#endif // S2E_CORE_EVENTS_HH

@@ -1,0 +1,196 @@
+#include "core/memory.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace s2e::core {
+
+namespace {
+/** All states initially share one immutable zero page. */
+const std::shared_ptr<MemoryState::Page> &
+zeroPage()
+{
+    static const auto page = std::make_shared<MemoryState::Page>();
+    return page;
+}
+} // namespace
+
+MemoryState::MemoryState(uint32_t size) : size_(size)
+{
+    uint32_t num_pages = (size + kMemPageSize - 1) >> kMemPageBits;
+    pages_.assign(num_pages, nullptr);
+}
+
+const MemoryState::Page *
+MemoryState::pageFor(uint32_t addr) const
+{
+    uint32_t idx = addr >> kMemPageBits;
+    S2E_ASSERT(idx < pages_.size(), "memory access at 0x%x out of range",
+               addr);
+    const auto &p = pages_[idx];
+    return p ? p.get() : zeroPage().get();
+}
+
+MemoryState::Page *
+MemoryState::writablePageFor(uint32_t addr)
+{
+    uint32_t idx = addr >> kMemPageBits;
+    S2E_ASSERT(idx < pages_.size(), "memory access at 0x%x out of range",
+               addr);
+    auto &p = pages_[idx];
+    if (!p) {
+        p = std::make_shared<Page>();
+    } else if (p.use_count() > 1) {
+        p = std::make_shared<Page>(*p); // copy-on-write
+    }
+    return p.get();
+}
+
+bool
+MemoryState::readConcreteByte(uint32_t addr, uint8_t *out) const
+{
+    if (!inBounds(addr, 1))
+        return false;
+    const Page *p = pageFor(addr);
+    uint16_t off = addr & (kMemPageSize - 1);
+    if (!p->symbolic.empty() && p->symbolic.count(off))
+        return false;
+    *out = p->bytes[off];
+    return true;
+}
+
+bool
+MemoryState::rangeHasSymbolic(uint32_t addr, uint32_t len) const
+{
+    if (len == 0)
+        return false;
+    uint32_t end = addr + len;
+    for (uint32_t a = addr; a < end;) {
+        const Page *p = pageFor(a);
+        uint16_t off = a & (kMemPageSize - 1);
+        uint32_t in_page = std::min<uint32_t>(kMemPageSize - off, end - a);
+        if (!p->symbolic.empty()) {
+            auto it = p->symbolic.lower_bound(off);
+            if (it != p->symbolic.end() &&
+                it->first < off + in_page)
+                return true;
+        }
+        a += in_page;
+    }
+    return false;
+}
+
+ExprRef
+MemoryState::byteExpr(uint32_t addr, ExprBuilder &builder) const
+{
+    const Page *p = pageFor(addr);
+    uint16_t off = addr & (kMemPageSize - 1);
+    auto it = p->symbolic.find(off);
+    if (it != p->symbolic.end())
+        return it->second;
+    return builder.constant(p->bytes[off], 8);
+}
+
+Value
+MemoryState::read(uint32_t addr, unsigned len, ExprBuilder &builder) const
+{
+    S2E_ASSERT(inBounds(addr, len), "read at 0x%x len %u out of bounds",
+               addr, len);
+    if (!rangeHasSymbolic(addr, len)) {
+        uint32_t v = 0;
+        for (unsigned i = 0; i < len; ++i) {
+            const Page *p = pageFor(addr + i);
+            v |= static_cast<uint32_t>(
+                     p->bytes[(addr + i) & (kMemPageSize - 1)])
+                 << (8 * i);
+        }
+        // The result width is 8*len; the concrete Value carries it
+        // implicitly (values are zero-extended machine words).
+        return Value(v);
+    }
+    // Symbolic path: little-endian concat of byte expressions.
+    ExprRef e = byteExpr(addr, builder);
+    for (unsigned i = 1; i < len; ++i)
+        e = builder.concat(byteExpr(addr + i, builder), e);
+    return Value(e);
+}
+
+void
+MemoryState::write(uint32_t addr, const Value &value, unsigned len,
+                   ExprBuilder &builder)
+{
+    S2E_ASSERT(inBounds(addr, len), "write at 0x%x len %u out of bounds",
+               addr, len);
+    if (value.isConcrete()) {
+        uint32_t v = value.concrete();
+        for (unsigned i = 0; i < len; ++i)
+            writeConcreteByte(addr + i, (v >> (8 * i)) & 0xFF);
+        return;
+    }
+    ExprRef e = value.expr();
+    S2E_ASSERT(e->width() == 8 * len,
+               "write width mismatch: expr w%u for %u bytes", e->width(),
+               len);
+    for (unsigned i = 0; i < len; ++i) {
+        ExprRef byte = builder.extract(e, 8 * i, 8);
+        if (byte->isConstant())
+            writeConcreteByte(addr + i, static_cast<uint8_t>(byte->value()));
+        else
+            makeSymbolic(addr + i, byte);
+    }
+}
+
+void
+MemoryState::makeSymbolic(uint32_t addr, ExprRef byte_expr)
+{
+    S2E_ASSERT(byte_expr->width() == 8, "symbolic byte must be 8 bits");
+    Page *p = writablePageFor(addr);
+    p->symbolic[addr & (kMemPageSize - 1)] = byte_expr;
+}
+
+void
+MemoryState::writeConcreteByte(uint32_t addr, uint8_t value)
+{
+    Page *p = writablePageFor(addr);
+    uint16_t off = addr & (kMemPageSize - 1);
+    p->bytes[off] = value;
+    if (!p->symbolic.empty())
+        p->symbolic.erase(off);
+}
+
+void
+MemoryState::loadProgram(const isa::Program &program)
+{
+    for (const auto &section : program.sections) {
+        S2E_ASSERT(inBounds(section.addr,
+                            static_cast<unsigned>(section.bytes.size())),
+                   "program section at 0x%x overflows RAM", section.addr);
+        for (size_t i = 0; i < section.bytes.size(); ++i)
+            writeConcreteByte(section.addr + static_cast<uint32_t>(i),
+                              section.bytes[i]);
+    }
+}
+
+uint64_t
+MemoryState::privatePages() const
+{
+    uint64_t n = 0;
+    for (const auto &p : pages_)
+        if (p && p.use_count() == 1)
+            n++;
+    return n;
+}
+
+uint64_t
+MemoryState::symbolicByteCount() const
+{
+    uint64_t n = 0;
+    for (const auto &p : pages_)
+        if (p)
+            n += p->symbolic.size();
+    return n;
+}
+
+} // namespace s2e::core

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Copy-on-write guest physical memory with a symbolic byte overlay.
+ *
+ * Memory is split into pages shared between execution states via
+ * shared_ptr; a write to a shared page first privatizes it. Each page
+ * carries a sparse map of symbolic bytes on top of its concrete
+ * storage, so symbolic data can flow through memory without eager
+ * concretization (the paper's lazy-concretization optimization: a
+ * symbolic buffer written to the virtual disk stays symbolic).
+ */
+
+#ifndef S2E_CORE_MEMORY_HH
+#define S2E_CORE_MEMORY_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/value.hh"
+#include "isa/assembler.hh"
+
+namespace s2e::core {
+
+/** COW page granularity. */
+constexpr uint32_t kMemPageBits = 10;
+constexpr uint32_t kMemPageSize = 1u << kMemPageBits;
+
+/** Guest physical memory for one execution state. */
+class MemoryState
+{
+  public:
+    explicit MemoryState(uint32_t size);
+
+    /** COW sharing: copies share pages until written. */
+    MemoryState(const MemoryState &) = default;
+    MemoryState &operator=(const MemoryState &) = default;
+    MemoryState(MemoryState &&) = default;
+    MemoryState &operator=(MemoryState &&) = default;
+
+    uint32_t size() const { return size_; }
+
+    bool
+    inBounds(uint32_t addr, unsigned len) const
+    {
+        return addr < size_ && size_ - addr >= len;
+    }
+
+    /**
+     * Read one concrete byte. Returns false when out of bounds or the
+     * byte is symbolic (used by the code fetcher: symbolic code is a
+     * translation fault).
+     */
+    bool readConcreteByte(uint32_t addr, uint8_t *out) const;
+
+    /** Read size (1/2/4) bytes, little-endian; width of result = 8*size.
+     *  Caller must check bounds. */
+    Value read(uint32_t addr, unsigned len, ExprBuilder &builder) const;
+
+    /** Write size bytes. Caller must check bounds. */
+    void write(uint32_t addr, const Value &value, unsigned len,
+               ExprBuilder &builder);
+
+    /** Any symbolic bytes in [addr, addr+len)? */
+    bool rangeHasSymbolic(uint32_t addr, uint32_t len) const;
+
+    /** Mark one byte symbolic with the given 8-bit expression. */
+    void makeSymbolic(uint32_t addr, ExprRef byte_expr);
+
+    /** The byte at addr as an 8-bit expression (concrete -> constant). */
+    ExprRef byteExpr(uint32_t addr, ExprBuilder &builder) const;
+
+    /** Overwrite with a concrete byte (drops any symbolic overlay). */
+    void writeConcreteByte(uint32_t addr, uint8_t value);
+
+    /** Load program sections (concrete initialization). */
+    void loadProgram(const isa::Program &program);
+
+    /** Pages privatized by this state (memory-accounting proxy used by
+     *  the Fig 8 experiment). */
+    uint64_t privatePages() const;
+
+    /** Total count of symbolic bytes currently live. */
+    uint64_t symbolicByteCount() const;
+
+    /** One COW page: concrete bytes plus a sparse symbolic overlay. */
+    struct Page {
+        std::vector<uint8_t> bytes;   ///< kMemPageSize
+        std::map<uint16_t, ExprRef> symbolic;
+        Page() : bytes(kMemPageSize, 0) {}
+    };
+
+  private:
+    const Page *pageFor(uint32_t addr) const;
+    Page *writablePageFor(uint32_t addr);
+
+    uint32_t size_;
+    std::vector<std::shared_ptr<Page>> pages_;
+};
+
+} // namespace s2e::core
+
+#endif // S2E_CORE_MEMORY_HH

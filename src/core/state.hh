@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Execution state: one node of the symbolic execution tree.
+ *
+ * An ExecutionState is the paper's ExecState object — the complete
+ * virtual machine state along one path: CPU (registers may hold
+ * symbolic expressions), COW physical memory, private device copies,
+ * the path constraints, the state's own virtual clock, and per-plugin
+ * state (PluginState, cloned together with the state on fork).
+ */
+
+#ifndef S2E_CORE_STATE_HH
+#define S2E_CORE_STATE_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/memory.hh"
+#include "core/value.hh"
+#include "vm/machine.hh"
+
+namespace s2e::core {
+
+/** CPU register file and execution flags for one path. */
+struct CpuState {
+    Value regs[isa::kNumRegs];
+    uint32_t pc = 0;
+    /** Condition flags as 0/1 Values (32-bit wide like the temps). */
+    Value flags[4];
+    bool intEnabled = false;
+    uint32_t pendingIrqs = 0; ///< bitmask of asserted lines
+    /** Nesting depth of interrupt handlers (0 = mainline code). */
+    uint32_t interruptDepth = 0;
+    bool halted = false;
+};
+
+/**
+ * Base class for plugin per-path state (paper §4.2). A plugin stores
+ * its per-path data in a PluginState hanging off the ExecutionState;
+ * clone() is called whenever the engine forks.
+ */
+class PluginState
+{
+  public:
+    virtual ~PluginState() = default;
+    virtual std::unique_ptr<PluginState> clone() const = 0;
+};
+
+/** Why a state stopped executing. */
+enum class StateStatus {
+    Running,
+    Halted,      ///< guest executed hlt
+    Killed,      ///< s2e_kill or a selector killed it
+    Aborted,     ///< consistency violation (LC propagation rule)
+    Crashed,     ///< guest fault (bad memory access, decode fault...)
+    Unsat,       ///< constraints became unsatisfiable (engine bug guard)
+    BudgetExceeded,
+};
+
+const char *stateStatusName(StateStatus status);
+
+/** One path through the system. */
+class ExecutionState
+{
+  public:
+    ExecutionState(uint32_t ram_size, const vm::DeviceSet &devices);
+
+    /** Fork: deep-copies devices and plugin states, shares memory COW. */
+    std::unique_ptr<ExecutionState> clone(int new_id) const;
+
+    int id() const { return id_; }
+    void setId(int id) { id_ = id; }
+    int parentId() const { return parentId_; }
+    uint32_t forkDepth() const { return forkDepth_; }
+
+    CpuState cpu;
+    MemoryState mem;
+    vm::DeviceSet devices;
+
+    /** Path constraints (width-1 expressions, all conjoined). */
+    std::vector<ExprRef> constraints;
+
+    /** Per-state virtual clock, in executed guest instructions. It
+     *  freezes while the state is not scheduled (paper §5). */
+    uint64_t instrCount = 0;
+    /** Instructions that actually touched symbolic data. */
+    uint64_t symInstrCount = 0;
+    /** Translation blocks executed. */
+    uint64_t blockCount = 0;
+
+    /** Multi-path mode toggle (s2e_ena / s2e_dis opcodes). */
+    bool multiPathEnabled = true;
+
+    StateStatus status = StateStatus::Running;
+    uint32_t exitCode = 0;
+    std::string statusMessage;
+
+    bool isActive() const { return status == StateStatus::Running; }
+
+    void
+    addConstraint(ExprRef c)
+    {
+        S2E_ASSERT(c->width() == 1, "constraint must be width 1");
+        if (!c->isTrue())
+            constraints.push_back(c);
+    }
+
+    // --- Plugin state ------------------------------------------------
+
+    /** Fetch or lazily create this plugin's per-path state. */
+    template <typename T>
+    T *
+    pluginState(const void *plugin_key)
+    {
+        auto it = pluginStates_.find(plugin_key);
+        if (it == pluginStates_.end()) {
+            auto created = std::make_unique<T>();
+            T *raw = created.get();
+            pluginStates_[plugin_key] = std::move(created);
+            return raw;
+        }
+        return static_cast<T *>(it->second.get());
+    }
+
+    /** Lookup without creation (may return nullptr). */
+    PluginState *
+    findPluginState(const void *plugin_key) const
+    {
+        auto it = pluginStates_.find(plugin_key);
+        return it == pluginStates_.end() ? nullptr : it->second.get();
+    }
+
+    // --- Accounting ----------------------------------------------------
+
+    /** Approximate private memory footprint in bytes (Fig 8 metric):
+     *  privatized COW pages + constraint nodes + symbolic bytes. */
+    uint64_t memoryFootprint() const;
+
+  private:
+    ExecutionState(const ExecutionState &) = default;
+
+    int id_ = 0;
+    int parentId_ = -1;
+    uint32_t forkDepth_ = 0;
+    std::map<const void *, std::unique_ptr<PluginState>> pluginStates_;
+};
+
+} // namespace s2e::core
+
+#endif // S2E_CORE_STATE_HH

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Concrete-or-symbolic machine word.
+ *
+ * Every register, flag and temp in the engine holds a Value: a plain
+ * uint32 on the concrete fast path, or a pointer into the expression
+ * DAG when symbolic. This is the mechanism behind the paper's shared
+ * machine-state representation — the same storage serves the concrete
+ * (QEMU-like) and symbolic (KLEE-like) executors, so crossing the
+ * boundary costs nothing and needs no data marshalling.
+ */
+
+#ifndef S2E_CORE_VALUE_HH
+#define S2E_CORE_VALUE_HH
+
+#include "expr/builder.hh"
+#include "expr/expr.hh"
+
+namespace s2e::core {
+
+using expr::ExprBuilder;
+using expr::ExprRef;
+
+/** A 32-bit guest value, concrete or symbolic. */
+class Value
+{
+  public:
+    Value() : concrete_(0), expr_(nullptr) {}
+    Value(uint32_t v) : concrete_(v), expr_(nullptr) {}
+
+    /** Wrap an expression; constants collapse to the concrete form. */
+    explicit Value(ExprRef e)
+    {
+        if (e->isConstant()) {
+            concrete_ = static_cast<uint32_t>(e->value());
+            expr_ = nullptr;
+        } else {
+            concrete_ = 0;
+            expr_ = e;
+        }
+    }
+
+    bool isConcrete() const { return expr_ == nullptr; }
+    bool isSymbolic() const { return expr_ != nullptr; }
+
+    uint32_t
+    concrete() const
+    {
+        S2E_ASSERT(isConcrete(), "concrete() on symbolic value");
+        return concrete_;
+    }
+
+    /** The symbolic expression (symbolic values only). */
+    ExprRef
+    expr() const
+    {
+        S2E_ASSERT(isSymbolic(), "expr() on concrete value");
+        return expr_;
+    }
+
+    /** Materialize as an expression of the given width. */
+    ExprRef
+    toExpr(ExprBuilder &builder, unsigned width = 32) const
+    {
+        if (isConcrete())
+            return builder.constant(concrete_, width);
+        S2E_ASSERT(expr_->width() == width,
+                   "toExpr width mismatch: have %u want %u", expr_->width(),
+                   width);
+        return expr_;
+    }
+
+    bool
+    operator==(const Value &o) const
+    {
+        return isConcrete() == o.isConcrete() &&
+               (isConcrete() ? concrete_ == o.concrete_
+                             : expr_ == o.expr_);
+    }
+
+  private:
+    uint32_t concrete_;
+    ExprRef expr_;
+};
+
+} // namespace s2e::core
+
+#endif // S2E_CORE_VALUE_HH

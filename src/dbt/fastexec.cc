@@ -1,0 +1,207 @@
+#include "dbt/fastexec.hh"
+
+#include <cstring>
+
+#include "support/bitops.hh"
+#include "support/logging.hh"
+
+namespace s2e::dbt {
+
+void
+FastMachine::load(const isa::Program &program)
+{
+    for (const auto &section : program.sections) {
+        S2E_ASSERT(section.addr + section.bytes.size() <= mem.size(),
+                   "program section at 0x%x overflows RAM", section.addr);
+        std::memcpy(mem.data() + section.addr, section.bytes.data(),
+                    section.bytes.size());
+    }
+    pc = program.entry;
+}
+
+FastRunResult
+fastRun(FastMachine &m, uint64_t max_instructions, TbCache *cache)
+{
+    Translator translator;
+    TbCache local_cache;
+    if (!cache)
+        cache = &local_cache;
+
+    CodeReader reader = [&m](uint32_t addr, uint8_t *out) {
+        if (addr >= m.mem.size())
+            return false;
+        *out = m.mem[addr];
+        return true;
+    };
+
+    FastRunResult result;
+    std::vector<uint32_t> temps;
+
+    while (result.instructions < max_instructions) {
+        if (m.pc >= m.mem.size()) {
+            result.finalPc = m.pc;
+            return result;
+        }
+        std::shared_ptr<TranslationBlock> tb = cache->lookup(m.pc, reader);
+        if (!tb) {
+            tb = translator.translate(m.pc, reader);
+            if (tb->instrPcs.empty()) {
+                result.finalPc = m.pc;
+                return result; // decode fault
+            }
+            cache->insert(tb, reader);
+        }
+        result.blocks++;
+        result.instructions += tb->instrPcs.size();
+
+        temps.resize(tb->numTemps);
+        uint32_t next_pc = m.pc + tb->byteSize;
+        bool leave = false;
+
+        for (const MicroOp &op : tb->ops) {
+            switch (op.op) {
+              case UOp::Const: temps[op.dst] = op.imm; break;
+              case UOp::GetReg: temps[op.dst] = m.regs[op.reg]; break;
+              case UOp::SetReg: m.regs[op.reg] = temps[op.a]; break;
+              case UOp::GetFlag: temps[op.dst] = m.flags[op.reg]; break;
+              case UOp::SetFlag: m.flags[op.reg] = temps[op.a]; break;
+              case UOp::Add:
+                temps[op.dst] = temps[op.a] + temps[op.b];
+                break;
+              case UOp::Sub:
+                temps[op.dst] = temps[op.a] - temps[op.b];
+                break;
+              case UOp::Mul:
+                temps[op.dst] = temps[op.a] * temps[op.b];
+                break;
+              case UOp::UDiv:
+                temps[op.dst] = temps[op.b] ? temps[op.a] / temps[op.b]
+                                            : 0xFFFFFFFFu;
+                break;
+              case UOp::SDiv: {
+                int32_t a = static_cast<int32_t>(temps[op.a]);
+                int32_t b = static_cast<int32_t>(temps[op.b]);
+                if (b == 0)
+                    temps[op.dst] = 0xFFFFFFFFu;
+                else if (b == -1 && a == INT32_MIN)
+                    temps[op.dst] = static_cast<uint32_t>(a);
+                else
+                    temps[op.dst] = static_cast<uint32_t>(a / b);
+                break;
+              }
+              case UOp::URem:
+                temps[op.dst] = temps[op.b] ? temps[op.a] % temps[op.b]
+                                            : temps[op.a];
+                break;
+              case UOp::SRem: {
+                int32_t a = static_cast<int32_t>(temps[op.a]);
+                int32_t b = static_cast<int32_t>(temps[op.b]);
+                if (b == 0)
+                    temps[op.dst] = temps[op.a];
+                else if (b == -1)
+                    temps[op.dst] = 0;
+                else
+                    temps[op.dst] = static_cast<uint32_t>(a % b);
+                break;
+              }
+              case UOp::And:
+                temps[op.dst] = temps[op.a] & temps[op.b];
+                break;
+              case UOp::Or:
+                temps[op.dst] = temps[op.a] | temps[op.b];
+                break;
+              case UOp::Xor:
+                temps[op.dst] = temps[op.a] ^ temps[op.b];
+                break;
+              case UOp::Shl:
+                temps[op.dst] = temps[op.b] >= 32
+                                    ? 0
+                                    : temps[op.a] << temps[op.b];
+                break;
+              case UOp::Shr:
+                temps[op.dst] = temps[op.b] >= 32
+                                    ? 0
+                                    : temps[op.a] >> temps[op.b];
+                break;
+              case UOp::Sar: {
+                uint32_t s = temps[op.b];
+                int32_t a = static_cast<int32_t>(temps[op.a]);
+                temps[op.dst] = static_cast<uint32_t>(
+                    s >= 32 ? (a < 0 ? -1 : 0) : (a >> s));
+                break;
+              }
+              case UOp::Not: temps[op.dst] = ~temps[op.a]; break;
+              case UOp::Neg: temps[op.dst] = 0 - temps[op.a]; break;
+              case UOp::CmpEq:
+                temps[op.dst] = temps[op.a] == temps[op.b];
+                break;
+              case UOp::CmpUlt:
+                temps[op.dst] = temps[op.a] < temps[op.b];
+                break;
+              case UOp::CmpSlt:
+                temps[op.dst] = static_cast<int32_t>(temps[op.a]) <
+                                static_cast<int32_t>(temps[op.b]);
+                break;
+              case UOp::Load: {
+                uint32_t addr = temps[op.a] + op.imm;
+                uint32_t v = 0;
+                if (addr + op.size <= m.mem.size()) {
+                    for (unsigned i = 0; i < op.size; ++i)
+                        v |= static_cast<uint32_t>(m.mem[addr + i])
+                             << (8 * i);
+                    if (op.signExt)
+                        v = static_cast<uint32_t>(
+                            signExtend(v, op.size * 8));
+                }
+                temps[op.dst] = v;
+                break;
+              }
+              case UOp::Store: {
+                uint32_t addr = temps[op.a] + op.imm;
+                if (addr + op.size <= m.mem.size()) {
+                    uint32_t v = temps[op.b];
+                    for (unsigned i = 0; i < op.size; ++i)
+                        m.mem[addr + i] = (v >> (8 * i)) & 0xFF;
+                    cache->notifyWrite(addr, op.size);
+                }
+                break;
+              }
+              case UOp::In: temps[op.dst] = 0; break;
+              case UOp::Out: break;
+              case UOp::Goto:
+              case UOp::CallDir:
+                next_pc = op.imm;
+                break;
+              case UOp::GotoInd:
+              case UOp::Ret:
+                next_pc = temps[op.a];
+                break;
+              case UOp::Branch:
+                next_pc = temps[op.a] ? op.imm : op.imm2;
+                break;
+              case UOp::IntSw:
+              case UOp::Halt:
+                result.halted = true;
+                leave = true;
+                break;
+              case UOp::IretOp:
+                leave = true;
+                break;
+              case UOp::S2Op:
+                break; // S2E opcodes are no-ops in the vanilla machine
+            }
+            if (leave)
+                break;
+        }
+
+        m.pc = next_pc;
+        if (result.halted || leave) {
+            result.finalPc = m.pc;
+            return result;
+        }
+    }
+    result.finalPc = m.pc;
+    return result;
+}
+
+} // namespace s2e::dbt

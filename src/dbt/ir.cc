@@ -1,0 +1,110 @@
+#include "dbt/ir.hh"
+
+#include "support/logging.hh"
+
+namespace s2e::dbt {
+
+namespace {
+const char *
+uopName(UOp op)
+{
+    switch (op) {
+      case UOp::Const: return "const";
+      case UOp::GetReg: return "get_reg";
+      case UOp::SetReg: return "set_reg";
+      case UOp::Add: return "add";
+      case UOp::Sub: return "sub";
+      case UOp::Mul: return "mul";
+      case UOp::UDiv: return "udiv";
+      case UOp::SDiv: return "sdiv";
+      case UOp::URem: return "urem";
+      case UOp::SRem: return "srem";
+      case UOp::And: return "and";
+      case UOp::Or: return "or";
+      case UOp::Xor: return "xor";
+      case UOp::Shl: return "shl";
+      case UOp::Shr: return "shr";
+      case UOp::Sar: return "sar";
+      case UOp::Not: return "not";
+      case UOp::Neg: return "neg";
+      case UOp::CmpEq: return "cmp_eq";
+      case UOp::CmpUlt: return "cmp_ult";
+      case UOp::CmpSlt: return "cmp_slt";
+      case UOp::Load: return "load";
+      case UOp::Store: return "store";
+      case UOp::GetFlag: return "get_flag";
+      case UOp::SetFlag: return "set_flag";
+      case UOp::In: return "in";
+      case UOp::Out: return "out";
+      case UOp::Goto: return "goto";
+      case UOp::GotoInd: return "goto_ind";
+      case UOp::Branch: return "branch";
+      case UOp::CallDir: return "call";
+      case UOp::Ret: return "ret";
+      case UOp::IntSw: return "int";
+      case UOp::IretOp: return "iret";
+      case UOp::Halt: return "halt";
+      case UOp::S2Op: return "s2op";
+    }
+    return "<bad>";
+}
+} // namespace
+
+std::string
+MicroOp::toString() const
+{
+    switch (op) {
+      case UOp::Const:
+        return strprintf("t%u = const 0x%x", dst, imm);
+      case UOp::GetReg:
+        return strprintf("t%u = r%u", dst, reg);
+      case UOp::SetReg:
+        return strprintf("r%u = t%u", reg, a);
+      case UOp::GetFlag:
+        return strprintf("t%u = flag%u", dst, reg);
+      case UOp::SetFlag:
+        return strprintf("flag%u = t%u", reg, a);
+      case UOp::Load:
+        return strprintf("t%u = load%u [t%u+0x%x]%s", dst, size * 8, a, imm,
+                         signExt ? " sext" : "");
+      case UOp::Store:
+        return strprintf("store%u [t%u+0x%x] = t%u", size * 8, a, imm, b);
+      case UOp::Not:
+      case UOp::Neg:
+        return strprintf("t%u = %s t%u", dst, uopName(op), a);
+      case UOp::Goto:
+      case UOp::CallDir:
+        return strprintf("%s 0x%x", uopName(op), imm);
+      case UOp::GotoInd:
+      case UOp::Ret:
+        return strprintf("%s t%u", uopName(op), a);
+      case UOp::Branch:
+        return strprintf("branch t%u ? 0x%x : 0x%x", a, imm, imm2);
+      case UOp::IntSw:
+        return strprintf("int 0x%x", imm);
+      case UOp::IretOp:
+      case UOp::Halt:
+        return uopName(op);
+      case UOp::In:
+        return strprintf("t%u = in t%u", dst, a);
+      case UOp::Out:
+        return strprintf("out t%u, t%u", a, b);
+      case UOp::S2Op:
+        return strprintf("s2op %s", isa::opcodeName(
+                                        static_cast<isa::Opcode>(imm)));
+      default:
+        return strprintf("t%u = %s t%u, t%u", dst, uopName(op), a, b);
+    }
+}
+
+std::string
+TranslationBlock::toString() const
+{
+    std::string out = strprintf("TB @0x%x (%zu instrs, %zu uops)\n", pc,
+                                instrPcs.size(), ops.size());
+    for (size_t i = 0; i < ops.size(); ++i)
+        out += "  " + ops[i].toString() + "\n";
+    return out;
+}
+
+} // namespace s2e::dbt

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Micro-op intermediate representation produced by the dynamic binary
+ * translator.
+ *
+ * Guest instructions are lowered into straight-line translation blocks
+ * (TBs) of micro-ops over virtual temporaries, the way QEMU lowers
+ * x86 into TCG ops (and S2E further into LLVM). Condition flags are
+ * computed explicitly with mask/shift/compare micro-ops, which is what
+ * produces the bitfield-heavy symbolic expressions that the paper's
+ * §5 simplifier exists to clean up.
+ */
+
+#ifndef S2E_DBT_IR_HH
+#define S2E_DBT_IR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace s2e::dbt {
+
+/** Condition flags, stored as 0/1 temps at execution time. */
+enum class Flag : uint8_t { Z = 0, N = 1, C = 2, V = 3 };
+
+/** Micro-operations. Unless noted, dst/a/b are temp indices. */
+enum class UOp : uint8_t {
+    Const,  ///< t[dst] = imm
+    GetReg, ///< t[dst] = reg[reg]
+    SetReg, ///< reg[reg] = t[a]
+
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    SDiv,
+    URem,
+    SRem,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Sar,
+    Not, ///< t[dst] = ~t[a]
+    Neg, ///< t[dst] = -t[a]
+
+    CmpEq,  ///< t[dst] = t[a] == t[b]
+    CmpUlt, ///< t[dst] = t[a] <u t[b]
+    CmpSlt, ///< t[dst] = t[a] <s t[b]
+
+    Load,  ///< t[dst] = mem[t[a] + imm]; size 1/2/4; signExt
+    Store, ///< mem[t[a] + imm] = t[b]; size 1/2/4
+
+    GetFlag, ///< t[dst] = flag[reg]   (reg reused as flag id)
+    SetFlag, ///< flag[reg] = t[a]
+
+    In,  ///< t[dst] = io_read(port = t[a])
+    Out, ///< io_write(port = t[a], value = t[b])
+
+    // Terminators (each TB ends with exactly one)
+    Goto,    ///< pc = imm
+    GotoInd, ///< pc = t[a]
+    Branch,  ///< pc = t[a] != 0 ? imm : imm2
+    CallDir, ///< push handled by earlier uops; pc = imm (kept distinct
+             ///< from Goto so analyzers can spot calls)
+    Ret,     ///< pc = t[a] (distinct from GotoInd for analyzers)
+    IntSw,   ///< software interrupt, vector = imm
+    IretOp,  ///< return from interrupt
+    Halt,    ///< stop the machine
+
+    S2Op, ///< custom S2E opcode; imm = isa opcode byte, operands in
+          ///< reg / a / imm2 as defined by the opcode
+};
+
+/** One micro-op. Fixed-size POD for dense TB storage. */
+struct MicroOp {
+    UOp op = UOp::Const;
+    uint8_t size = 4;      ///< access size for Load/Store
+    bool signExt = false;  ///< sign-extending load
+    uint8_t reg = 0;       ///< guest register / flag id
+    uint16_t dst = 0;
+    uint16_t a = 0;
+    uint16_t b = 0;
+    uint32_t imm = 0;
+    uint32_t imm2 = 0;
+
+    std::string toString() const;
+};
+
+/**
+ * A translated block: the micro-ops for a straight-line run of guest
+ * instructions ending at the first control-flow instruction.
+ */
+struct TranslationBlock {
+    uint32_t pc = 0;       ///< guest address of the first instruction
+    uint32_t byteSize = 0; ///< guest bytes covered
+    uint16_t numTemps = 0;
+    std::vector<MicroOp> ops;
+
+    /** Guest pc of each instruction in the block, in order. */
+    std::vector<uint32_t> instrPcs;
+    /** Index into ops[] where each guest instruction begins. */
+    std::vector<uint32_t> instrOpIndex;
+    /** Per-instruction mark set by onInstrTranslation subscribers. */
+    std::vector<bool> marked;
+
+    uint64_t execCount = 0;
+
+    /** Guest pc of the instruction that owns ops[op_index]. */
+    uint32_t
+    instrPcForOp(size_t op_index) const
+    {
+        uint32_t pc_out = pc;
+        for (size_t i = 0; i < instrOpIndex.size(); ++i) {
+            if (instrOpIndex[i] > op_index)
+                break;
+            pc_out = instrPcs[i];
+        }
+        return pc_out;
+    }
+
+    std::string toString() const;
+};
+
+} // namespace s2e::dbt
+
+#endif // S2E_DBT_IR_HH

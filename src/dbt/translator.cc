@@ -1,0 +1,763 @@
+#include "dbt/translator.hh"
+
+#include "support/logging.hh"
+
+namespace s2e::dbt {
+
+using isa::Cond;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+/** Helper building one TB's micro-op list. */
+class BlockBuilder
+{
+  public:
+    explicit BlockBuilder(TranslationBlock &tb) : tb_(tb) {}
+
+    uint16_t
+    newTemp()
+    {
+        return tb_.numTemps++;
+    }
+
+    uint16_t
+    emitConst(uint32_t value)
+    {
+        uint16_t t = newTemp();
+        MicroOp op;
+        op.op = UOp::Const;
+        op.dst = t;
+        op.imm = value;
+        tb_.ops.push_back(op);
+        return t;
+    }
+
+    uint16_t
+    emitGetReg(uint8_t reg)
+    {
+        uint16_t t = newTemp();
+        MicroOp op;
+        op.op = UOp::GetReg;
+        op.dst = t;
+        op.reg = reg;
+        tb_.ops.push_back(op);
+        return t;
+    }
+
+    void
+    emitSetReg(uint8_t reg, uint16_t src)
+    {
+        MicroOp op;
+        op.op = UOp::SetReg;
+        op.reg = reg;
+        op.a = src;
+        tb_.ops.push_back(op);
+    }
+
+    uint16_t
+    emitBin(UOp uop, uint16_t a, uint16_t b)
+    {
+        uint16_t t = newTemp();
+        MicroOp op;
+        op.op = uop;
+        op.dst = t;
+        op.a = a;
+        op.b = b;
+        tb_.ops.push_back(op);
+        return t;
+    }
+
+    uint16_t
+    emitUn(UOp uop, uint16_t a)
+    {
+        uint16_t t = newTemp();
+        MicroOp op;
+        op.op = uop;
+        op.dst = t;
+        op.a = a;
+        tb_.ops.push_back(op);
+        return t;
+    }
+
+    uint16_t
+    emitLoad(uint16_t base, uint32_t offset, uint8_t size, bool sign_ext)
+    {
+        uint16_t t = newTemp();
+        MicroOp op;
+        op.op = UOp::Load;
+        op.dst = t;
+        op.a = base;
+        op.imm = offset;
+        op.size = size;
+        op.signExt = sign_ext;
+        tb_.ops.push_back(op);
+        return t;
+    }
+
+    void
+    emitStore(uint16_t base, uint32_t offset, uint16_t value, uint8_t size)
+    {
+        MicroOp op;
+        op.op = UOp::Store;
+        op.a = base;
+        op.b = value;
+        op.imm = offset;
+        op.size = size;
+        tb_.ops.push_back(op);
+    }
+
+    uint16_t
+    emitGetFlag(Flag f)
+    {
+        uint16_t t = newTemp();
+        MicroOp op;
+        op.op = UOp::GetFlag;
+        op.dst = t;
+        op.reg = static_cast<uint8_t>(f);
+        tb_.ops.push_back(op);
+        return t;
+    }
+
+    void
+    emitSetFlag(Flag f, uint16_t src)
+    {
+        MicroOp op;
+        op.op = UOp::SetFlag;
+        op.reg = static_cast<uint8_t>(f);
+        op.a = src;
+        tb_.ops.push_back(op);
+    }
+
+    void
+    emitRaw(MicroOp op)
+    {
+        tb_.ops.push_back(op);
+    }
+
+    /** Z and N from a result temp. */
+    void
+    emitFlagsZN(uint16_t result)
+    {
+        uint16_t zero = emitConst(0);
+        uint16_t z = emitBin(UOp::CmpEq, result, zero);
+        emitSetFlag(Flag::Z, z);
+        uint16_t n = emitBin(UOp::CmpSlt, result, zero);
+        emitSetFlag(Flag::N, n);
+    }
+
+    void
+    emitFlagsClearCV()
+    {
+        uint16_t zero = emitConst(0);
+        emitSetFlag(Flag::C, zero);
+        emitSetFlag(Flag::V, zero);
+    }
+
+    /**
+     * Full add flags: C = result <u a; V = sign(~(a^b) & (a^result)).
+     * The mask/shift shape mirrors how QEMU's x86 frontend computes
+     * eflags — this is the bitfield-heavy pattern from paper §5.
+     */
+    void
+    emitFlagsAdd(uint16_t a, uint16_t b, uint16_t result)
+    {
+        emitFlagsZN(result);
+        uint16_t c = emitBin(UOp::CmpUlt, result, a);
+        emitSetFlag(Flag::C, c);
+        uint16_t axb = emitBin(UOp::Xor, a, b);
+        uint16_t naxb = emitUn(UOp::Not, axb);
+        uint16_t axr = emitBin(UOp::Xor, a, result);
+        uint16_t ov = emitBin(UOp::And, naxb, axr);
+        uint16_t zero = emitConst(0);
+        uint16_t v = emitBin(UOp::CmpSlt, ov, zero);
+        emitSetFlag(Flag::V, v);
+    }
+
+    /** Sub/cmp flags: C = a <u b (borrow); V = sign((a^b) & (a^result)). */
+    void
+    emitFlagsSub(uint16_t a, uint16_t b, uint16_t result)
+    {
+        emitFlagsZN(result);
+        uint16_t c = emitBin(UOp::CmpUlt, a, b);
+        emitSetFlag(Flag::C, c);
+        uint16_t axb = emitBin(UOp::Xor, a, b);
+        uint16_t axr = emitBin(UOp::Xor, a, result);
+        uint16_t ov = emitBin(UOp::And, axb, axr);
+        uint16_t zero = emitConst(0);
+        uint16_t v = emitBin(UOp::CmpSlt, ov, zero);
+        emitSetFlag(Flag::V, v);
+    }
+
+    /** Condition-code evaluation into a 0/1 temp. */
+    uint16_t
+    emitCond(Cond cc)
+    {
+        uint16_t zero = emitConst(0);
+        auto flag_is_zero = [&](Flag f) {
+            return emitBin(UOp::CmpEq, emitGetFlag(f), zero);
+        };
+        switch (cc) {
+          case Cond::Eq:
+            return emitGetFlag(Flag::Z);
+          case Cond::Ne:
+            return flag_is_zero(Flag::Z);
+          case Cond::Ult:
+            return emitGetFlag(Flag::C);
+          case Cond::Uge:
+            return flag_is_zero(Flag::C);
+          case Cond::Ule:
+            return emitBin(UOp::Or, emitGetFlag(Flag::C),
+                           emitGetFlag(Flag::Z));
+          case Cond::Ugt: {
+            uint16_t cz = emitBin(UOp::Or, emitGetFlag(Flag::C),
+                                  emitGetFlag(Flag::Z));
+            return emitBin(UOp::CmpEq, cz, zero);
+          }
+          case Cond::Slt:
+            return emitBin(UOp::Xor, emitGetFlag(Flag::N),
+                           emitGetFlag(Flag::V));
+          case Cond::Sge: {
+            uint16_t nv = emitBin(UOp::Xor, emitGetFlag(Flag::N),
+                                  emitGetFlag(Flag::V));
+            return emitBin(UOp::CmpEq, nv, zero);
+          }
+          case Cond::Sle: {
+            uint16_t nv = emitBin(UOp::Xor, emitGetFlag(Flag::N),
+                                  emitGetFlag(Flag::V));
+            return emitBin(UOp::Or, emitGetFlag(Flag::Z), nv);
+          }
+          case Cond::Sgt: {
+            uint16_t nv = emitBin(UOp::Xor, emitGetFlag(Flag::N),
+                                  emitGetFlag(Flag::V));
+            uint16_t le = emitBin(UOp::Or, emitGetFlag(Flag::Z), nv);
+            return emitBin(UOp::CmpEq, le, zero);
+          }
+        }
+        panic("emitCond: bad cc");
+    }
+
+    /** push value-temp: sp -= 4; [sp] = value. */
+    void
+    emitPush(uint16_t value)
+    {
+        uint16_t sp = emitGetReg(isa::kRegSp);
+        uint16_t four = emitConst(4);
+        uint16_t nsp = emitBin(UOp::Sub, sp, four);
+        emitSetReg(isa::kRegSp, nsp);
+        emitStore(nsp, 0, value, 4);
+    }
+
+    /** pop: t = [sp]; sp += 4. */
+    uint16_t
+    emitPop()
+    {
+        uint16_t sp = emitGetReg(isa::kRegSp);
+        uint16_t v = emitLoad(sp, 0, 4, false);
+        uint16_t four = emitConst(4);
+        uint16_t nsp = emitBin(UOp::Add, sp, four);
+        emitSetReg(isa::kRegSp, nsp);
+        return v;
+    }
+
+  private:
+    TranslationBlock &tb_;
+};
+
+/** Maps a gisa ALU opcode to (uop, flag style). */
+struct AluLowering {
+    UOp uop;
+    enum class Flags { AddStyle, SubStyle, Logic } flags;
+    bool writeResult;
+};
+
+bool
+aluLowering(Opcode op, AluLowering &out, bool &is_imm)
+{
+    is_imm = false;
+    switch (op) {
+      case Opcode::AddI: is_imm = true; [[fallthrough]];
+      case Opcode::Add:
+        out = {UOp::Add, AluLowering::Flags::AddStyle, true};
+        return true;
+      case Opcode::SubI: is_imm = true; [[fallthrough]];
+      case Opcode::Sub:
+        out = {UOp::Sub, AluLowering::Flags::SubStyle, true};
+        return true;
+      case Opcode::CmpI: is_imm = true; [[fallthrough]];
+      case Opcode::Cmp:
+        out = {UOp::Sub, AluLowering::Flags::SubStyle, false};
+        return true;
+      case Opcode::AndI: is_imm = true; [[fallthrough]];
+      case Opcode::And:
+        out = {UOp::And, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::TestI: is_imm = true; [[fallthrough]];
+      case Opcode::Test:
+        out = {UOp::And, AluLowering::Flags::Logic, false};
+        return true;
+      case Opcode::OrI: is_imm = true; [[fallthrough]];
+      case Opcode::Or:
+        out = {UOp::Or, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::XorI: is_imm = true; [[fallthrough]];
+      case Opcode::Xor:
+        out = {UOp::Xor, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::ShlI: is_imm = true; [[fallthrough]];
+      case Opcode::Shl:
+        out = {UOp::Shl, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::ShrI: is_imm = true; [[fallthrough]];
+      case Opcode::Shr:
+        out = {UOp::Shr, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::SarI: is_imm = true; [[fallthrough]];
+      case Opcode::Sar:
+        out = {UOp::Sar, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::MulI: is_imm = true; [[fallthrough]];
+      case Opcode::Mul:
+        out = {UOp::Mul, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::UDiv:
+        out = {UOp::UDiv, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::SDiv:
+        out = {UOp::SDiv, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::URem:
+        out = {UOp::URem, AluLowering::Flags::Logic, true};
+        return true;
+      case Opcode::SRem:
+        out = {UOp::SRem, AluLowering::Flags::Logic, true};
+        return true;
+      default:
+        return false;
+    }
+}
+
+struct MemLowering {
+    uint8_t size;
+    bool signExt;
+    bool isStore;
+};
+
+bool
+memLowering(Opcode op, MemLowering &out)
+{
+    switch (op) {
+      case Opcode::Ldb: out = {1, false, false}; return true;
+      case Opcode::Ldbs: out = {1, true, false}; return true;
+      case Opcode::Ldh: out = {2, false, false}; return true;
+      case Opcode::Ldhs: out = {2, true, false}; return true;
+      case Opcode::Ldw: out = {4, false, false}; return true;
+      case Opcode::Stb: out = {1, false, true}; return true;
+      case Opcode::Sth: out = {2, false, true}; return true;
+      case Opcode::Stw: out = {4, false, true}; return true;
+      default: return false;
+    }
+}
+
+} // namespace
+
+std::shared_ptr<TranslationBlock>
+Translator::translate(uint32_t start_pc, const CodeReader &reader)
+{
+    auto tb = std::make_shared<TranslationBlock>();
+    tb->pc = start_pc;
+    BlockBuilder bb(*tb);
+
+    uint32_t pc = start_pc;
+    bool terminated = false;
+
+    for (unsigned count = 0;
+         count < config_.maxInstrsPerBlock && !terminated; ++count) {
+        // Fetch up to the longest encoding.
+        uint8_t buf[10];
+        size_t avail = 0;
+        for (; avail < sizeof(buf); ++avail) {
+            if (!reader(pc + static_cast<uint32_t>(avail), &buf[avail]))
+                break;
+        }
+        Instruction instr;
+        if (!isa::decode(buf, avail, instr)) {
+            // Decode fault: an empty block signals the engine to raise
+            // a guest exception; a partially filled block just ends.
+            break;
+        }
+
+        tb->instrPcs.push_back(pc);
+        tb->instrOpIndex.push_back(static_cast<uint32_t>(tb->ops.size()));
+        uint32_t next_pc = pc + instr.length;
+
+        AluLowering alu;
+        bool is_imm = false;
+        MemLowering mem;
+
+        switch (instr.op) {
+          case Opcode::Nop:
+            break;
+          case Opcode::MovI: {
+            uint16_t t = bb.emitConst(instr.imm);
+            bb.emitSetReg(instr.r1, t);
+            break;
+          }
+          case Opcode::Mov: {
+            uint16_t t = bb.emitGetReg(instr.r2);
+            bb.emitSetReg(instr.r1, t);
+            break;
+          }
+          case Opcode::NotR: {
+            uint16_t a = bb.emitGetReg(instr.r1);
+            uint16_t t = bb.emitUn(UOp::Not, a);
+            bb.emitSetReg(instr.r1, t);
+            bb.emitFlagsZN(t);
+            bb.emitFlagsClearCV();
+            break;
+          }
+          case Opcode::NegR: {
+            uint16_t a = bb.emitGetReg(instr.r1);
+            uint16_t t = bb.emitUn(UOp::Neg, a);
+            bb.emitSetReg(instr.r1, t);
+            bb.emitFlagsZN(t);
+            bb.emitFlagsClearCV();
+            break;
+          }
+          case Opcode::Push: {
+            uint16_t v = bb.emitGetReg(instr.r1);
+            bb.emitPush(v);
+            break;
+          }
+          case Opcode::Pop: {
+            uint16_t v = bb.emitPop();
+            bb.emitSetReg(instr.r1, v);
+            break;
+          }
+          case Opcode::Jmp: {
+            MicroOp op;
+            op.op = UOp::Goto;
+            op.imm = instr.imm;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          case Opcode::JmpR: {
+            uint16_t t = bb.emitGetReg(instr.r1);
+            MicroOp op;
+            op.op = UOp::GotoInd;
+            op.a = t;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          case Opcode::Call: {
+            uint16_t ret = bb.emitConst(next_pc);
+            bb.emitPush(ret);
+            MicroOp op;
+            op.op = UOp::CallDir;
+            op.imm = instr.imm;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          case Opcode::CallR: {
+            uint16_t ret = bb.emitConst(next_pc);
+            bb.emitPush(ret);
+            uint16_t t = bb.emitGetReg(instr.r1);
+            MicroOp op;
+            op.op = UOp::GotoInd;
+            op.a = t;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          case Opcode::Ret: {
+            uint16_t t = bb.emitPop();
+            MicroOp op;
+            op.op = UOp::Ret;
+            op.a = t;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          case Opcode::Jcc: {
+            uint16_t cond = bb.emitCond(instr.cc);
+            MicroOp op;
+            op.op = UOp::Branch;
+            op.a = cond;
+            op.imm = instr.imm;
+            op.imm2 = next_pc;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          case Opcode::Int: {
+            MicroOp op;
+            op.op = UOp::IntSw;
+            op.imm = instr.imm;
+            op.imm2 = next_pc;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          case Opcode::Iret: {
+            MicroOp op;
+            op.op = UOp::IretOp;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          case Opcode::Hlt: {
+            MicroOp op;
+            op.op = UOp::Halt;
+            op.imm2 = next_pc;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          case Opcode::InI: {
+            uint16_t port = bb.emitConst(instr.imm);
+            MicroOp op;
+            op.op = UOp::In;
+            op.dst = bb.newTemp();
+            op.a = port;
+            bb.emitRaw(op);
+            bb.emitSetReg(instr.r1, op.dst);
+            break;
+          }
+          case Opcode::InR: {
+            uint16_t port = bb.emitGetReg(instr.r2);
+            MicroOp op;
+            op.op = UOp::In;
+            op.dst = bb.newTemp();
+            op.a = port;
+            bb.emitRaw(op);
+            bb.emitSetReg(instr.r1, op.dst);
+            break;
+          }
+          case Opcode::OutI: {
+            uint16_t port = bb.emitConst(instr.imm);
+            uint16_t val = bb.emitGetReg(instr.r1);
+            MicroOp op;
+            op.op = UOp::Out;
+            op.a = port;
+            op.b = val;
+            bb.emitRaw(op);
+            break;
+          }
+          case Opcode::OutR: {
+            uint16_t port = bb.emitGetReg(instr.r2);
+            uint16_t val = bb.emitGetReg(instr.r1);
+            MicroOp op;
+            op.op = UOp::Out;
+            op.a = port;
+            op.b = val;
+            bb.emitRaw(op);
+            break;
+          }
+          case Opcode::Cli:
+          case Opcode::Sti: {
+            MicroOp op;
+            op.op = UOp::S2Op;
+            op.imm = static_cast<uint32_t>(instr.op);
+            op.imm2 = instr.op == Opcode::Sti ? 1 : 0;
+            bb.emitRaw(op);
+            break;
+          }
+          case Opcode::S2SymMem: {
+            uint16_t addr = bb.emitGetReg(instr.r1);
+            uint16_t len = bb.emitGetReg(instr.r2);
+            MicroOp op;
+            op.op = UOp::S2Op;
+            op.imm = static_cast<uint32_t>(instr.op);
+            op.a = addr;
+            op.b = len;
+            bb.emitRaw(op);
+            break;
+          }
+          case Opcode::S2SymReg:
+          case Opcode::S2Concrete: {
+            MicroOp op;
+            op.op = UOp::S2Op;
+            op.imm = static_cast<uint32_t>(instr.op);
+            op.reg = instr.r1;
+            bb.emitRaw(op);
+            break;
+          }
+          case Opcode::S2SymRange: {
+            MicroOp op;
+            op.op = UOp::S2Op;
+            op.imm = static_cast<uint32_t>(instr.op);
+            op.reg = instr.r1;
+            op.a = bb.emitConst(instr.imm);
+            op.b = bb.emitConst(instr.imm2);
+            bb.emitRaw(op);
+            break;
+          }
+          case Opcode::S2Ena:
+          case Opcode::S2Dis: {
+            MicroOp op;
+            op.op = UOp::S2Op;
+            op.imm = static_cast<uint32_t>(instr.op);
+            bb.emitRaw(op);
+            break;
+          }
+          case Opcode::S2Out:
+          case Opcode::S2Assert: {
+            uint16_t v = bb.emitGetReg(instr.r1);
+            MicroOp op;
+            op.op = UOp::S2Op;
+            op.imm = static_cast<uint32_t>(instr.op);
+            op.reg = instr.r1;
+            op.a = v;
+            bb.emitRaw(op);
+            break;
+          }
+          case Opcode::S2Kill: {
+            MicroOp op;
+            op.op = UOp::S2Op;
+            op.imm = static_cast<uint32_t>(instr.op);
+            op.imm2 = instr.imm;
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
+          default: {
+            if (aluLowering(instr.op, alu, is_imm)) {
+                uint16_t a = bb.emitGetReg(instr.r1);
+                uint16_t b = is_imm ? bb.emitConst(instr.imm)
+                                    : bb.emitGetReg(instr.r2);
+                uint16_t res = bb.emitBin(alu.uop, a, b);
+                if (alu.writeResult)
+                    bb.emitSetReg(instr.r1, res);
+                switch (alu.flags) {
+                  case AluLowering::Flags::AddStyle:
+                    bb.emitFlagsAdd(a, b, res);
+                    break;
+                  case AluLowering::Flags::SubStyle:
+                    bb.emitFlagsSub(a, b, res);
+                    break;
+                  case AluLowering::Flags::Logic:
+                    bb.emitFlagsZN(res);
+                    bb.emitFlagsClearCV();
+                    break;
+                }
+            } else if (memLowering(instr.op, mem)) {
+                uint16_t base = bb.emitGetReg(instr.r2);
+                if (mem.isStore) {
+                    uint16_t v = bb.emitGetReg(instr.r1);
+                    bb.emitStore(base, instr.imm, v, mem.size);
+                } else {
+                    uint16_t v = bb.emitLoad(base, instr.imm, mem.size,
+                                             mem.signExt);
+                    bb.emitSetReg(instr.r1, v);
+                }
+            } else {
+                panic("translator: unhandled opcode %s",
+                      isa::opcodeName(instr.op));
+            }
+            break;
+          }
+        }
+
+        pc = next_pc;
+    }
+
+    tb->byteSize = pc - start_pc;
+    tb->marked.assign(tb->instrPcs.size(), false);
+
+    // Chain to the next block if we fell off the instruction limit.
+    if (!terminated && !tb->instrPcs.empty()) {
+        MicroOp op;
+        op.op = UOp::Goto;
+        op.imm = pc;
+        tb->ops.push_back(op);
+    }
+    return tb;
+}
+
+// --- TbCache ------------------------------------------------------------
+
+uint64_t
+TbCache::checksum(const TranslationBlock &tb, const CodeReader &reader) const
+{
+    uint64_t h = 0xcbf29ce484222325ULL;
+    for (uint32_t i = 0; i < tb.byteSize; ++i) {
+        uint8_t byte = 0;
+        if (!reader(tb.pc + i, &byte))
+            return ~0ULL;
+        h = (h ^ byte) * 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::shared_ptr<TranslationBlock>
+TbCache::lookup(uint32_t pc, const CodeReader &reader)
+{
+    auto it = blocks_.find(pc);
+    if (it == blocks_.end()) {
+        misses_++;
+        return nullptr;
+    }
+    const Entry &entry = it->second;
+    // Verify pages that were ever written (self-modifying code may
+    // diverge between states sharing this cache).
+    uint32_t first_page = pc >> kCodePageBits;
+    uint32_t last_page = (pc + entry.tb->byteSize - 1) >> kCodePageBits;
+    for (uint32_t page = first_page; page <= last_page; ++page) {
+        if (dirtyPages_.count(page)) {
+            if (checksum(*entry.tb, reader) != entry.checksum) {
+                misses_++;
+                return nullptr;
+            }
+            break;
+        }
+    }
+    hits_++;
+    return entry.tb;
+}
+
+void
+TbCache::insert(const std::shared_ptr<TranslationBlock> &tb,
+                const CodeReader &reader)
+{
+    Entry entry;
+    entry.tb = tb;
+    entry.checksum = checksum(*tb, reader);
+    blocks_[tb->pc] = entry;
+    uint32_t first_page = tb->pc >> kCodePageBits;
+    uint32_t last_page =
+        tb->byteSize ? (tb->pc + tb->byteSize - 1) >> kCodePageBits
+                     : first_page;
+    for (uint32_t page = first_page; page <= last_page; ++page)
+        pageIndex_[page].push_back(tb->pc);
+}
+
+void
+TbCache::notifyWrite(uint32_t addr, uint32_t len)
+{
+    if (len == 0)
+        return;
+    for (uint32_t page = addr >> kCodePageBits;
+         page <= (addr + len - 1) >> kCodePageBits; ++page) {
+        auto it = pageIndex_.find(page);
+        if (it == pageIndex_.end())
+            continue;
+        dirtyPages_.insert(page);
+        for (uint32_t tb_pc : it->second)
+            blocks_.erase(tb_pc);
+        pageIndex_.erase(it);
+    }
+}
+
+void
+TbCache::clear()
+{
+    blocks_.clear();
+    pageIndex_.clear();
+    dirtyPages_.clear();
+}
+
+} // namespace s2e::dbt

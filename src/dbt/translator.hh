@@ -1,0 +1,114 @@
+/**
+ * @file
+ * The dynamic binary translator: lowers gisa instructions into
+ * micro-op translation blocks, plus the translation-block cache.
+ */
+
+#ifndef S2E_DBT_TRANSLATOR_HH
+#define S2E_DBT_TRANSLATOR_HH
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "dbt/ir.hh"
+#include "support/stats.hh"
+
+namespace s2e::dbt {
+
+/**
+ * Reads one byte of guest code at `addr` into *out. Returns false when
+ * the address is unmapped or holds symbolic data (symbolic code bytes
+ * force retranslation failure; self-decrypting guests first write
+ * concrete bytes, which is supported).
+ */
+using CodeReader = std::function<bool(uint32_t addr, uint8_t *out)>;
+
+/** Translator configuration. */
+struct TranslatorConfig {
+    unsigned maxInstrsPerBlock = 16;
+};
+
+/**
+ * Stateless gisa -> micro-op lowering. A TB covers a straight-line
+ * run of instructions and ends at the first control-flow instruction
+ * (or the block limit, in which case it chains with a Goto).
+ */
+class Translator
+{
+  public:
+    explicit Translator(TranslatorConfig config = {}) : config_(config) {}
+
+    /**
+     * Translate a block starting at pc. On an undecodable first
+     * instruction the returned block has empty instrPcs (a decode
+     * fault the engine turns into a guest exception).
+     */
+    std::shared_ptr<TranslationBlock> translate(uint32_t pc,
+                                                const CodeReader &reader);
+
+  private:
+    TranslatorConfig config_;
+};
+
+/** Page granularity used for self-modifying-code invalidation. */
+constexpr uint32_t kCodePageBits = 10;
+constexpr uint32_t kCodePageSize = 1u << kCodePageBits;
+
+/**
+ * Global translation-block cache shared by all execution states.
+ * Blocks are invalidated when guest code writes to a page containing
+ * translated code; pages that have ever been written are additionally
+ * checksum-verified on lookup, so states whose self-modified code
+ * diverged never execute a stale block.
+ */
+class TbCache
+{
+  public:
+    /** Look up a valid block, verifying dirty pages via `reader`. */
+    std::shared_ptr<TranslationBlock> lookup(uint32_t pc,
+                                             const CodeReader &reader);
+
+    void insert(const std::shared_ptr<TranslationBlock> &tb,
+                const CodeReader &reader);
+
+    /** A guest write hit [addr, addr+len): drop affected blocks. */
+    void notifyWrite(uint32_t addr, uint32_t len);
+
+    /** True if [addr, addr+len) overlaps any translated code page
+     *  (callers can skip notifyWrite bookkeeping otherwise). */
+    bool
+    overlapsCode(uint32_t addr, uint32_t len) const
+    {
+        for (uint32_t page = addr >> kCodePageBits;
+             page <= (addr + len - 1) >> kCodePageBits; ++page)
+            if (pageIndex_.count(page))
+                return true;
+        return false;
+    }
+
+    void clear();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    size_t size() const { return blocks_.size(); }
+
+  private:
+    uint64_t checksum(const TranslationBlock &tb,
+                      const CodeReader &reader) const;
+
+    struct Entry {
+        std::shared_ptr<TranslationBlock> tb;
+        uint64_t checksum = 0;
+    };
+    std::unordered_map<uint32_t, Entry> blocks_;
+    std::unordered_map<uint32_t, std::vector<uint32_t>> pageIndex_;
+    std::unordered_set<uint32_t> dirtyPages_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+} // namespace s2e::dbt
+
+#endif // S2E_DBT_TRANSLATOR_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Hash-consing expression builder with constant folding.
+ *
+ * The builder owns every Expr node it creates (arena allocation) and
+ * guarantees structural uniqueness, so ExprRef pointer equality is
+ * structural equality. Aggressive local folding keeps the DAG small
+ * before the heavier bitfield simplifier (simplify.hh) runs.
+ */
+
+#ifndef S2E_EXPR_BUILDER_HH
+#define S2E_EXPR_BUILDER_HH
+
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "expr/expr.hh"
+
+namespace s2e::expr {
+
+/**
+ * Factory and owner of all expression nodes. One builder per engine;
+ * not thread safe.
+ */
+class ExprBuilder
+{
+  public:
+    ExprBuilder();
+    ExprBuilder(const ExprBuilder &) = delete;
+    ExprBuilder &operator=(const ExprBuilder &) = delete;
+
+    // --- Leaves -----------------------------------------------------
+
+    /** Bitvector constant of the given width (value truncated). */
+    ExprRef constant(uint64_t value, unsigned width);
+
+    ExprRef trueExpr() { return true_; }
+    ExprRef falseExpr() { return false_; }
+    ExprRef boolean(bool b) { return b ? true_ : false_; }
+
+    /**
+     * Fresh symbolic variable; every call returns a distinct variable
+     * even for the same base name (a counter is appended).
+     */
+    ExprRef freshVar(const std::string &base, unsigned width);
+
+    /** Named variable; repeated calls with the same name return the
+     *  same variable (widths must then agree). */
+    ExprRef var(const std::string &name, unsigned width);
+
+    /** Number of variables created so far. */
+    uint64_t numVars() const { return nextVarId_; }
+
+    /** Look up a variable node by id (panics if unknown). */
+    ExprRef varById(uint64_t id) const;
+
+    // --- Arithmetic / bitwise ---------------------------------------
+
+    ExprRef add(ExprRef a, ExprRef b);
+    ExprRef sub(ExprRef a, ExprRef b);
+    ExprRef mul(ExprRef a, ExprRef b);
+    ExprRef udiv(ExprRef a, ExprRef b);
+    ExprRef sdiv(ExprRef a, ExprRef b);
+    ExprRef urem(ExprRef a, ExprRef b);
+    ExprRef srem(ExprRef a, ExprRef b);
+
+    ExprRef bAnd(ExprRef a, ExprRef b);
+    ExprRef bOr(ExprRef a, ExprRef b);
+    ExprRef bXor(ExprRef a, ExprRef b);
+    ExprRef bNot(ExprRef a);
+    ExprRef neg(ExprRef a);
+
+    ExprRef shl(ExprRef a, ExprRef amount);
+    ExprRef lshr(ExprRef a, ExprRef amount);
+    ExprRef ashr(ExprRef a, ExprRef amount);
+
+    // --- Width changers ---------------------------------------------
+
+    /** Concat(high, low): width = high.width + low.width (<= 64). */
+    ExprRef concat(ExprRef high, ExprRef low);
+
+    /** Extract `width` bits starting at bit `offset`. */
+    ExprRef extract(ExprRef a, unsigned offset, unsigned width);
+
+    ExprRef zext(ExprRef a, unsigned width);
+    ExprRef sext(ExprRef a, unsigned width);
+
+    // --- Comparisons (result width 1) -------------------------------
+
+    ExprRef eq(ExprRef a, ExprRef b);
+    ExprRef ne(ExprRef a, ExprRef b);
+    ExprRef ult(ExprRef a, ExprRef b);
+    ExprRef ule(ExprRef a, ExprRef b);
+    ExprRef ugt(ExprRef a, ExprRef b) { return ult(b, a); }
+    ExprRef uge(ExprRef a, ExprRef b) { return ule(b, a); }
+    ExprRef slt(ExprRef a, ExprRef b);
+    ExprRef sle(ExprRef a, ExprRef b);
+    ExprRef sgt(ExprRef a, ExprRef b) { return slt(b, a); }
+    ExprRef sge(ExprRef a, ExprRef b) { return sle(b, a); }
+
+    // --- Control ----------------------------------------------------
+
+    ExprRef ite(ExprRef cond, ExprRef thenE, ExprRef elseE);
+
+    // --- Boolean (width-1) helpers ----------------------------------
+
+    ExprRef land(ExprRef a, ExprRef b) { return bAnd(a, b); }
+    ExprRef lor(ExprRef a, ExprRef b) { return bOr(a, b); }
+    ExprRef lnot(ExprRef a) { return bNot(a); }
+    ExprRef implies(ExprRef a, ExprRef b) { return lor(lnot(a), b); }
+
+    // --- Introspection ----------------------------------------------
+
+    /** Total distinct nodes allocated (constants included). */
+    size_t numNodes() const { return arena_.size(); }
+
+    /** Constant-fold a binary op on raw values (exposed for tests). */
+    static uint64_t foldBinary(Kind kind, uint64_t a, uint64_t b,
+                               unsigned width);
+
+  private:
+    ExprRef intern(Kind kind, unsigned width, unsigned aux, uint64_t value,
+                   ExprRef k0, ExprRef k1, ExprRef k2,
+                   const std::string *name);
+    ExprRef binary(Kind kind, ExprRef a, ExprRef b);
+    ExprRef compare(Kind kind, ExprRef a, ExprRef b);
+
+    struct NodeHash {
+        size_t operator()(const Expr *e) const;
+    };
+    struct NodeEq {
+        bool operator()(const Expr *a, const Expr *b) const;
+    };
+
+    std::deque<Expr> arena_;
+    std::unordered_set<Expr *, NodeHash, NodeEq> table_;
+    std::deque<std::string> names_;
+    std::unordered_map<std::string, ExprRef> namedVars_;
+    std::vector<ExprRef> varsById_;
+    uint64_t nextVarId_ = 0;
+    ExprRef true_ = nullptr;
+    ExprRef false_ = nullptr;
+};
+
+} // namespace s2e::expr
+
+#endif // S2E_EXPR_BUILDER_HH

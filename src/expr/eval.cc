@@ -1,0 +1,92 @@
+#include "expr/eval.hh"
+
+#include "expr/builder.hh"
+#include "support/bitops.hh"
+
+namespace s2e::expr {
+
+namespace {
+
+uint64_t
+evalRec(ExprRef e, const Assignment &a,
+        std::unordered_map<ExprRef, uint64_t> &memo)
+{
+    auto it = memo.find(e);
+    if (it != memo.end())
+        return it->second;
+
+    uint64_t result = 0;
+    switch (e->kind()) {
+      case Kind::Constant:
+        result = e->value();
+        break;
+      case Kind::Variable:
+        result = truncate(a.lookup(e->varId()), e->width());
+        break;
+      case Kind::Not:
+        result = truncate(~evalRec(e->kid(0), a, memo), e->width());
+        break;
+      case Kind::Neg:
+        result = truncate(0 - evalRec(e->kid(0), a, memo), e->width());
+        break;
+      case Kind::Extract:
+        result = truncate(evalRec(e->kid(0), a, memo) >> e->aux(),
+                          e->width());
+        break;
+      case Kind::ZExt:
+        result = evalRec(e->kid(0), a, memo);
+        break;
+      case Kind::SExt: {
+        uint64_t v = evalRec(e->kid(0), a, memo);
+        result = truncate(
+            static_cast<uint64_t>(signExtend(v, e->kid(0)->width())),
+            e->width());
+        break;
+      }
+      case Kind::Concat: {
+        uint64_t hi = evalRec(e->kid(0), a, memo);
+        uint64_t lo = evalRec(e->kid(1), a, memo);
+        result = (hi << e->kid(1)->width()) | lo;
+        break;
+      }
+      case Kind::Ite:
+        result = evalRec(e->kid(0), a, memo)
+                     ? evalRec(e->kid(1), a, memo)
+                     : evalRec(e->kid(2), a, memo);
+        break;
+      default: {
+        uint64_t x = evalRec(e->kid(0), a, memo);
+        uint64_t y = evalRec(e->kid(1), a, memo);
+        // Comparisons operate at the operand width, not the result width.
+        unsigned w = (e->width() == 1 && e->kid(0)->width() != 1)
+                         ? e->kid(0)->width()
+                         : e->width();
+        switch (e->kind()) {
+          case Kind::Eq:
+          case Kind::Ult:
+          case Kind::Ule:
+          case Kind::Slt:
+          case Kind::Sle:
+            w = e->kid(0)->width();
+            break;
+          default:
+            break;
+        }
+        result = ExprBuilder::foldBinary(e->kind(), x, y, w);
+        break;
+      }
+    }
+    memo[e] = result;
+    return result;
+}
+
+} // namespace
+
+uint64_t
+evaluate(ExprRef e, const Assignment &assignment)
+{
+    std::unordered_map<ExprRef, uint64_t> memo;
+    return evalRec(e, assignment, memo);
+}
+
+} // namespace s2e::expr

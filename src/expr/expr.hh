@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Symbolic bitvector expression DAG.
+ *
+ * Expressions are immutable, hash-consed nodes owned by an ExprBuilder
+ * arena; user code passes ExprRef (a plain pointer) around. Widths are
+ * 1..64 bits. Boolean expressions are width-1 bitvectors.
+ *
+ * This replaces the KLEE expression library in the original S2E. The
+ * x86-to-LLVM translation in S2E produced flag-extraction heavy
+ * expressions (masks, shifts, bitfield tests); our DBT produces the
+ * same shapes from gisa condition flags, which is what the §5 bitfield
+ * simplifier targets.
+ */
+
+#ifndef S2E_EXPR_EXPR_HH
+#define S2E_EXPR_EXPR_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/logging.hh"
+
+namespace s2e::expr {
+
+/** Expression node kinds. */
+enum class Kind : uint8_t {
+    // Leaves
+    Constant,
+    Variable,
+
+    // Arithmetic (operands and result share width)
+    Add,
+    Sub,
+    Mul,
+    UDiv,
+    SDiv,
+    URem,
+    SRem,
+
+    // Bitwise
+    And,
+    Or,
+    Xor,
+    Not,
+    Neg,
+
+    // Shifts (shift amount has the same width as the value)
+    Shl,
+    LShr,
+    AShr,
+
+    // Width changers
+    Concat,  ///< kid0 = high bits, kid1 = low bits
+    Extract, ///< aux0 = bit offset; node width = extracted width
+    ZExt,
+    SExt,
+
+    // Comparisons (result width 1)
+    Eq,
+    Ult,
+    Ule,
+    Slt,
+    Sle,
+
+    // Ternary select: kid0 (width 1) ? kid1 : kid2
+    Ite,
+};
+
+/** Human-readable kind name. */
+const char *kindName(Kind kind);
+
+/** Number of child operands for a kind. */
+unsigned kindArity(Kind kind);
+
+class Expr;
+using ExprRef = const Expr *;
+
+/**
+ * One immutable expression node. Construction goes through ExprBuilder
+ * only, which guarantees structural uniqueness: two ExprRef compare
+ * equal iff the expressions are structurally identical.
+ */
+class Expr
+{
+  public:
+    Kind kind() const { return kind_; }
+    unsigned width() const { return width_; }
+
+    bool isConstant() const { return kind_ == Kind::Constant; }
+    bool isVariable() const { return kind_ == Kind::Variable; }
+
+    /** True if this is the width-1 constant 1 / 0. */
+    bool isTrue() const { return isConstant() && width_ == 1 && value_ == 1; }
+    bool isFalse() const { return isConstant() && width_ == 1 && value_ == 0; }
+
+    /** Constant value (valid only for Constant nodes). */
+    uint64_t
+    value() const
+    {
+        S2E_ASSERT(isConstant(), "value() on non-constant");
+        return value_;
+    }
+
+    /** Variable id / name (valid only for Variable nodes). */
+    uint64_t
+    varId() const
+    {
+        S2E_ASSERT(isVariable(), "varId() on non-variable");
+        return value_;
+    }
+    const std::string &name() const;
+
+    /** Extract offset, ZExt/SExt target width is width(). */
+    unsigned
+    aux() const
+    {
+        return aux_;
+    }
+
+    unsigned arity() const { return kindArity(kind_); }
+
+    ExprRef
+    kid(unsigned i) const
+    {
+        S2E_ASSERT(i < arity(), "kid index %u out of range", i);
+        return kids_[i];
+    }
+
+    /** Stable hash computed at construction. */
+    uint64_t hash() const { return hash_; }
+
+    /** Total node count of the DAG rooted here (shared nodes counted once). */
+    size_t nodeCount() const;
+
+    /** Render as an s-expression, e.g. (add w32 x (const w32 4)). */
+    std::string toString() const;
+
+  private:
+    friend class ExprBuilder;
+    Expr() = default;
+
+    Kind kind_ = Kind::Constant;
+    unsigned width_ = 0;
+    unsigned aux_ = 0;
+    uint64_t value_ = 0; ///< constant value, or variable id
+    ExprRef kids_[3] = {nullptr, nullptr, nullptr};
+    uint64_t hash_ = 0;
+    const std::string *name_ = nullptr; ///< variable name (interned)
+};
+
+} // namespace s2e::expr
+
+#endif // S2E_EXPR_EXPR_HH

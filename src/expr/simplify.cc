@@ -1,0 +1,415 @@
+#include "expr/simplify.hh"
+
+#include <unordered_map>
+
+namespace s2e::expr {
+
+namespace {
+
+/** Known-bits transfer for addition: low bits are known up to the
+ *  first position where a carry becomes uncertain. */
+KnownBits
+knownAdd(const KnownBits &a, const KnownBits &b, unsigned width)
+{
+    KnownBits out;
+    unsigned carry_known = 1; // carry into bit 0 is known 0
+    unsigned carry = 0;
+    for (unsigned i = 0; i < width && carry_known; ++i) {
+        bool a_known = ((a.zeros | a.ones) >> i) & 1;
+        bool b_known = ((b.zeros | b.ones) >> i) & 1;
+        if (!a_known || !b_known)
+            break;
+        unsigned abit = (a.ones >> i) & 1;
+        unsigned bbit = (b.ones >> i) & 1;
+        unsigned sum = abit + bbit + carry;
+        if (sum & 1)
+            out.ones |= 1ULL << i;
+        else
+            out.zeros |= 1ULL << i;
+        carry = sum >> 1;
+    }
+    return out;
+}
+
+KnownBits
+knownBitsRec(ExprRef e, std::unordered_map<ExprRef, KnownBits> &memo)
+{
+    auto it = memo.find(e);
+    if (it != memo.end())
+        return it->second;
+
+    unsigned w = e->width();
+    uint64_t mask = lowMask(w);
+    KnownBits out = KnownBits::unknown();
+
+    switch (e->kind()) {
+      case Kind::Constant:
+        out = KnownBits::constant(e->value(), w);
+        break;
+      case Kind::Variable:
+        break;
+      case Kind::And: {
+        KnownBits a = knownBitsRec(e->kid(0), memo);
+        KnownBits b = knownBitsRec(e->kid(1), memo);
+        out.ones = a.ones & b.ones;
+        out.zeros = (a.zeros | b.zeros) & mask;
+        break;
+      }
+      case Kind::Or: {
+        KnownBits a = knownBitsRec(e->kid(0), memo);
+        KnownBits b = knownBitsRec(e->kid(1), memo);
+        out.ones = a.ones | b.ones;
+        out.zeros = a.zeros & b.zeros;
+        break;
+      }
+      case Kind::Xor: {
+        KnownBits a = knownBitsRec(e->kid(0), memo);
+        KnownBits b = knownBitsRec(e->kid(1), memo);
+        uint64_t both = (a.zeros | a.ones) & (b.zeros | b.ones);
+        uint64_t v = a.ones ^ b.ones;
+        out.ones = v & both;
+        out.zeros = ~v & both & mask;
+        break;
+      }
+      case Kind::Not: {
+        KnownBits a = knownBitsRec(e->kid(0), memo);
+        out.ones = a.zeros;
+        out.zeros = a.ones;
+        break;
+      }
+      case Kind::Shl: {
+        if (e->kid(1)->isConstant()) {
+            uint64_t s = e->kid(1)->value();
+            if (s >= w) {
+                out = KnownBits::constant(0, w);
+            } else {
+                KnownBits a = knownBitsRec(e->kid(0), memo);
+                out.ones = (a.ones << s) & mask;
+                out.zeros = ((a.zeros << s) | lowMask(s)) & mask;
+            }
+        }
+        break;
+      }
+      case Kind::LShr: {
+        if (e->kid(1)->isConstant()) {
+            uint64_t s = e->kid(1)->value();
+            if (s >= w) {
+                out = KnownBits::constant(0, w);
+            } else {
+                KnownBits a = knownBitsRec(e->kid(0), memo);
+                out.ones = a.ones >> s;
+                out.zeros =
+                    ((a.zeros >> s) | (~(mask >> s) & mask)) & mask;
+            }
+        }
+        break;
+      }
+      case Kind::AShr: {
+        if (e->kid(1)->isConstant()) {
+            uint64_t s = e->kid(1)->value();
+            KnownBits a = knownBitsRec(e->kid(0), memo);
+            if (s >= w)
+                s = w - 1;
+            out.ones = a.ones >> s;
+            out.zeros = (a.zeros >> s) & mask;
+            uint64_t fill = (~(mask >> s)) & mask;
+            bool sign_known_one = (a.ones >> (w - 1)) & 1;
+            bool sign_known_zero = (a.zeros >> (w - 1)) & 1;
+            if (sign_known_one)
+                out.ones |= fill;
+            else if (sign_known_zero)
+                out.zeros |= fill;
+            break;
+        }
+        break;
+      }
+      case Kind::Concat: {
+        KnownBits hi = knownBitsRec(e->kid(0), memo);
+        KnownBits lo = knownBitsRec(e->kid(1), memo);
+        unsigned lw = e->kid(1)->width();
+        out.ones = (hi.ones << lw) | lo.ones;
+        out.zeros = (hi.zeros << lw) | lo.zeros;
+        break;
+      }
+      case Kind::Extract: {
+        KnownBits a = knownBitsRec(e->kid(0), memo);
+        out.ones = (a.ones >> e->aux()) & mask;
+        out.zeros = (a.zeros >> e->aux()) & mask;
+        break;
+      }
+      case Kind::ZExt: {
+        KnownBits a = knownBitsRec(e->kid(0), memo);
+        unsigned iw = e->kid(0)->width();
+        out.ones = a.ones;
+        out.zeros = a.zeros | (mask & ~lowMask(iw));
+        break;
+      }
+      case Kind::SExt: {
+        KnownBits a = knownBitsRec(e->kid(0), memo);
+        unsigned iw = e->kid(0)->width();
+        out.ones = a.ones;
+        out.zeros = a.zeros;
+        uint64_t fill = mask & ~lowMask(iw);
+        if ((a.ones >> (iw - 1)) & 1)
+            out.ones |= fill;
+        else if ((a.zeros >> (iw - 1)) & 1)
+            out.zeros |= fill;
+        break;
+      }
+      case Kind::Add: {
+        KnownBits a = knownBitsRec(e->kid(0), memo);
+        KnownBits b = knownBitsRec(e->kid(1), memo);
+        out = knownAdd(a, b, w);
+        break;
+      }
+      case Kind::Ite: {
+        KnownBits c = knownBitsRec(e->kid(0), memo);
+        if (c.allKnown(1)) {
+            out = knownBitsRec(e->kid(c.value() ? 1 : 2), memo);
+        } else {
+            KnownBits a = knownBitsRec(e->kid(1), memo);
+            KnownBits b = knownBitsRec(e->kid(2), memo);
+            out.ones = a.ones & b.ones;
+            out.zeros = a.zeros & b.zeros;
+        }
+        break;
+      }
+      case Kind::Eq: {
+        // If the operands have contradictory known bits, the equality
+        // is statically false.
+        KnownBits a = knownBitsRec(e->kid(0), memo);
+        KnownBits b = knownBitsRec(e->kid(1), memo);
+        if ((a.ones & b.zeros) || (a.zeros & b.ones))
+            out = KnownBits::constant(0, 1);
+        break;
+      }
+      default:
+        break; // unknown
+    }
+
+    S2E_ASSERT((out.zeros & out.ones) == 0, "inconsistent known bits");
+    memo[e] = out;
+    return out;
+}
+
+/** Highest set bit position + 1 (i.e., number of live low bits). */
+unsigned
+liveWidth(uint64_t demanded)
+{
+    return demanded == 0 ? 0 : 64 - __builtin_clzll(demanded);
+}
+
+} // namespace
+
+KnownBits
+knownBits(ExprRef e)
+{
+    std::unordered_map<ExprRef, KnownBits> memo;
+    return knownBitsRec(e, memo);
+}
+
+ExprRef
+Simplifier::simplify(ExprRef e)
+{
+    stats_.nodesIn += e->nodeCount();
+    ExprRef out = simplifyDemanded(e, lowMask(e->width()));
+    stats_.nodesOut += out->nodeCount();
+    return out;
+}
+
+ExprRef
+Simplifier::simplifyDemanded(ExprRef e, uint64_t demanded)
+{
+    demanded &= lowMask(e->width());
+    if (e->isConstant())
+        return e;
+    if (demanded == 0)
+        return builder_.constant(0, e->width());
+
+    Key key{e, demanded};
+    auto it = memo_.find(key);
+    if (it != memo_.end())
+        return it->second;
+
+    ExprBuilder &b = builder_;
+    unsigned w = e->width();
+    ExprRef out = e;
+
+    switch (e->kind()) {
+      case Kind::And: {
+        ExprRef rhs = e->kid(1);
+        if (rhs->isConstant()) {
+            if ((rhs->value() & demanded) == demanded) {
+                // Mask keeps every demanded bit: drop the And.
+                stats_.opsDropped++;
+                out = simplifyDemanded(e->kid(0), demanded);
+                break;
+            }
+            ExprRef a =
+                simplifyDemanded(e->kid(0), demanded & rhs->value());
+            out = b.bAnd(a, rhs);
+            break;
+        }
+        ExprRef a = simplifyDemanded(e->kid(0), demanded);
+        ExprRef c = simplifyDemanded(e->kid(1), demanded);
+        out = b.bAnd(a, c);
+        break;
+      }
+      case Kind::Or: {
+        ExprRef rhs = e->kid(1);
+        if (rhs->isConstant()) {
+            if ((rhs->value() & demanded) == 0) {
+                stats_.opsDropped++;
+                out = simplifyDemanded(e->kid(0), demanded);
+                break;
+            }
+            ExprRef a =
+                simplifyDemanded(e->kid(0), demanded & ~rhs->value());
+            out = b.bOr(a, rhs);
+            break;
+        }
+        ExprRef a = simplifyDemanded(e->kid(0), demanded);
+        ExprRef c = simplifyDemanded(e->kid(1), demanded);
+        out = b.bOr(a, c);
+        break;
+      }
+      case Kind::Xor: {
+        ExprRef rhs = e->kid(1);
+        if (rhs->isConstant() && (rhs->value() & demanded) == 0) {
+            stats_.opsDropped++;
+            out = simplifyDemanded(e->kid(0), demanded);
+            break;
+        }
+        ExprRef a = simplifyDemanded(e->kid(0), demanded);
+        ExprRef c = simplifyDemanded(e->kid(1), demanded);
+        out = b.bXor(a, c);
+        break;
+      }
+      case Kind::Not:
+        out = b.bNot(simplifyDemanded(e->kid(0), demanded));
+        break;
+      case Kind::Shl: {
+        if (e->kid(1)->isConstant()) {
+            uint64_t s = e->kid(1)->value();
+            if (s < w) {
+                ExprRef a = simplifyDemanded(e->kid(0), demanded >> s);
+                out = b.shl(a, e->kid(1));
+                break;
+            }
+        }
+        goto generic;
+      }
+      case Kind::LShr: {
+        if (e->kid(1)->isConstant()) {
+            uint64_t s = e->kid(1)->value();
+            if (s < w) {
+                ExprRef a = simplifyDemanded(
+                    e->kid(0), (demanded << s) & lowMask(w));
+                out = b.lshr(a, e->kid(1));
+                break;
+            }
+        }
+        goto generic;
+      }
+      case Kind::Extract: {
+        ExprRef a = simplifyDemanded(e->kid(0), demanded << e->aux());
+        out = b.extract(a, e->aux(), w);
+        break;
+      }
+      case Kind::ZExt: {
+        unsigned iw = e->kid(0)->width();
+        ExprRef a = simplifyDemanded(e->kid(0), demanded & lowMask(iw));
+        out = b.zext(a, w);
+        break;
+      }
+      case Kind::Concat: {
+        unsigned lw = e->kid(1)->width();
+        ExprRef lo = simplifyDemanded(e->kid(1), demanded & lowMask(lw));
+        ExprRef hi = simplifyDemanded(e->kid(0), demanded >> lw);
+        out = b.concat(hi, lo);
+        break;
+      }
+      case Kind::Add:
+      case Kind::Sub: {
+        // Carries only propagate upward: bits above the highest
+        // demanded bit are irrelevant in the operands.
+        uint64_t need = lowMask(liveWidth(demanded));
+        ExprRef a = simplifyDemanded(e->kid(0), need);
+        ExprRef c = simplifyDemanded(e->kid(1), need);
+        out = e->kind() == Kind::Add ? b.add(a, c) : b.sub(a, c);
+        break;
+      }
+      case Kind::Ite: {
+        ExprRef cond = simplifyDemanded(e->kid(0), 1);
+        ExprRef t = simplifyDemanded(e->kid(1), demanded);
+        ExprRef f = simplifyDemanded(e->kid(2), demanded);
+        out = b.ite(cond, t, f);
+        break;
+      }
+      case Kind::Eq:
+      case Kind::Ult:
+      case Kind::Ule:
+      case Kind::Slt:
+      case Kind::Sle: {
+        // Comparisons demand every operand bit.
+        uint64_t full = lowMask(e->kid(0)->width());
+        ExprRef a = simplifyDemanded(e->kid(0), full);
+        ExprRef c = simplifyDemanded(e->kid(1), full);
+        switch (e->kind()) {
+          case Kind::Eq: out = b.eq(a, c); break;
+          case Kind::Ult: out = b.ult(a, c); break;
+          case Kind::Ule: out = b.ule(a, c); break;
+          case Kind::Slt: out = b.slt(a, c); break;
+          default: out = b.sle(a, c); break;
+        }
+        break;
+      }
+      generic:
+      default: {
+        // Generic: simplify children with full demand.
+        if (e->arity() == 2) {
+            ExprRef a = simplifyDemanded(e->kid(0),
+                                         lowMask(e->kid(0)->width()));
+            ExprRef c = simplifyDemanded(e->kid(1),
+                                         lowMask(e->kid(1)->width()));
+            if (a != e->kid(0) || c != e->kid(1)) {
+                switch (e->kind()) {
+                  case Kind::Mul: out = b.mul(a, c); break;
+                  case Kind::UDiv: out = b.udiv(a, c); break;
+                  case Kind::SDiv: out = b.sdiv(a, c); break;
+                  case Kind::URem: out = b.urem(a, c); break;
+                  case Kind::SRem: out = b.srem(a, c); break;
+                  case Kind::Shl: out = b.shl(a, c); break;
+                  case Kind::LShr: out = b.lshr(a, c); break;
+                  case Kind::AShr: out = b.ashr(a, c); break;
+                  default: break;
+                }
+            }
+        } else if (e->kind() == Kind::SExt) {
+            ExprRef a = simplifyDemanded(e->kid(0),
+                                         lowMask(e->kid(0)->width()));
+            out = b.sext(a, w);
+        } else if (e->kind() == Kind::Neg) {
+            uint64_t need = lowMask(liveWidth(demanded));
+            out = b.neg(simplifyDemanded(e->kid(0), need));
+        }
+        break;
+      }
+    }
+
+    // Known-bits collapse: if every demanded bit of the result is
+    // statically known and the rest are not demanded, fold to constant.
+    if (!out->isConstant()) {
+        KnownBits kb = knownBits(out);
+        if ((demanded & ~(kb.zeros | kb.ones)) == 0 &&
+            demanded == lowMask(out->width())) {
+            stats_.constantsFolded++;
+            out = b.constant(kb.ones, out->width());
+        }
+    }
+
+    memo_[key] = out;
+    return out;
+}
+
+} // namespace s2e::expr

@@ -1,0 +1,1018 @@
+#include "guest/drivers.hh"
+
+#include "guest/layout.hh"
+#include "support/logging.hh"
+
+namespace s2e::guest {
+
+const char *
+driverName(DriverKind kind)
+{
+    switch (kind) {
+      case DriverKind::Dma: return "pcnet";
+      case DriverKind::Pio: return "rtl8029";
+      case DriverKind::Mmio: return "91c111";
+      case DriverKind::Ring: return "rtl8139";
+    }
+    return "<bad>";
+}
+
+const char *
+driverDeviceName(DriverKind kind)
+{
+    switch (kind) {
+      case DriverKind::Dma: return "dmanic";
+      case DriverKind::Pio: return "pionic";
+      case DriverKind::Mmio: return "mmionic";
+      case DriverKind::Ring: return "ringnic";
+    }
+    return "<bad>";
+}
+
+std::pair<uint16_t, uint16_t>
+driverPortRange(DriverKind kind)
+{
+    switch (kind) {
+      case DriverKind::Dma: return {0x50, 0x57};
+      case DriverKind::Pio: return {0x40, 0x47};
+      case DriverKind::Ring: return {0x60, 0x67};
+      case DriverKind::Mmio: return {0, 0}; // MMIO device
+    }
+    return {0, 0};
+}
+
+std::pair<uint32_t, uint32_t>
+driverMmioRange(DriverKind kind)
+{
+    if (kind == DriverKind::Mmio)
+        return {0xF0001000u, 0xF0001010u};
+    return {0, 0};
+}
+
+std::vector<DriverKind>
+allDriverKinds()
+{
+    return {DriverKind::Dma, DriverKind::Pio, DriverKind::Mmio,
+            DriverKind::Ring};
+}
+
+namespace {
+
+/** Globals shared by all driver variants (placed in kDriverData). */
+const char *kDriverEqus = R"(
+        .equ G_RXBUF,   0x28000   ; staging buffer (heap pointer)
+        .equ G_STATS,   0x28004   ; event counter (race target)
+        .equ G_TXCOUNT, 0x28008
+        .equ G_MTU,     0x2800C
+        .equ G_INITED,  0x28010
+        .equ G_PROMISC, 0x28014
+        .equ G_THRESH,  0x28020   ; 8-word threshold table (ioctl)
+        .equ IVT_NIC,   0x104     ; IRQ 1 vector slot
+)";
+
+/**
+ * DMA ("pcnet") driver. Seeded bugs:
+ *   B1 leak        init bails on MAC-override config without freeing
+ *   B2 overflow    recv copy loop bounded by device-claimed length
+ *   B3 null-deref  card-type-2 path uses staging without alloc check
+ *   B4 wild-write  ioctl(3) indexes the threshold table unchecked
+ *   B5 double-free init MTU-fail path frees staging but keeps pointer
+ *   B8 data-race   promiscuous send path bumps G_STATS without cli
+ */
+std::string
+dmaDriverSource()
+{
+    return std::string(kDriverEqus) + R"(
+        .equ NIC_CMD, 0x50
+        .equ NIC_STATUS, 0x51
+        .equ NIC_TXADDR, 0x52
+        .equ NIC_TXLEN, 0x53
+        .equ NIC_RXADDR, 0x54
+        .equ NIC_RXBUFSZ, 0x55
+        .equ NIC_RXLEN, 0x56
+        .equ NIC_CARDTYPE, 0x57
+
+        .org 0x20000
+drv_init:
+        ; probe the card id
+        in r4, NIC_CARDTYPE
+        cmpi r4, 0x2621
+        jne dma_init_noprobe
+        ; CardType registry setting selects the init flavor
+        movi r0, 6
+        movi r1, 1               ; CFG_CARDTYPE
+        int 0x30
+        mov r8, r1
+        cmpi r8, 2
+        ja dma_init_badtype
+        ; allocate the 256-byte rx staging buffer
+        movi r0, 4
+        movi r1, 256
+        int 0x30
+        movi r4, G_RXBUF
+        stw [r4], r1
+        cmpi r8, 0
+        jeq dma_init_type0
+        cmpi r8, 1
+        jeq dma_init_type1
+        jmp dma_init_type2
+dma_init_type0:
+        movi r4, 1               ; reset
+        out NIC_CMD, r4
+        jmp dma_init_common
+dma_init_type1:
+        movi r4, 1
+        out NIC_CMD, r4
+        ; MAC override unsupported on this card flavor
+        movi r0, 6
+        movi r1, 2               ; CFG_MACOVERRIDE
+        int 0x30
+        cmpi r1, 0
+        jeq dma_init_common
+        ; BUG B1: error return forgets the staging buffer (leak)
+        movi r4, G_RXBUF
+        movi r5, 0
+        stw [r4], r5
+        movi r1, 1
+        ret
+dma_init_type2:
+        ; BUG B3: uses the staging buffer with no allocation check
+        movi r4, G_RXBUF
+        ldw r5, [r4]
+        movi r6, 0xAB
+        stb [r5], r6             ; null write when alloc failed
+        movi r4, 1
+        out NIC_CMD, r4
+        jmp dma_init_common
+dma_init_common:
+        movi r4, G_RXBUF
+        ldw r5, [r4]
+        cmpi r5, 0
+        jeq dma_init_allocfail
+        ; MTU sanity from the registry
+        movi r0, 6
+        movi r1, 5               ; CFG_MTU
+        int 0x30
+        cmpi r1, 0
+        jeq dma_init_mtu_ok
+        cmpi r1, 4096
+        ja dma_init_mtu_bad
+        movi r4, G_MTU
+        stw [r4], r1
+dma_init_mtu_ok:
+        ; cache promiscuous mode
+        movi r0, 6
+        movi r1, 3               ; CFG_PROMISCUOUS
+        int 0x30
+        movi r4, G_PROMISC
+        stw [r4], r1
+        ; install the ISR and enable card interrupts
+        movi r4, drv_isr
+        movi r5, IVT_NIC
+        stw [r5], r4
+        movi r4, 8               ; IEN
+        out NIC_CMD, r4
+        movi r4, G_INITED
+        movi r5, 1
+        stw [r4], r5
+        movi r1, 0
+        ret
+dma_init_mtu_bad:
+        ; BUG B5: frees the staging buffer but keeps the stale pointer
+        movi r0, 5
+        movi r4, G_RXBUF
+        ldw r1, [r4]
+        int 0x30
+        movi r1, 1
+        ret
+dma_init_allocfail:
+        movi r1, 1
+        ret
+dma_init_noprobe:
+        movi r1, 1
+        ret
+dma_init_badtype:
+        movi r1, 1
+        ret
+
+drv_send:                        ; r1 ptr, r2 len -> r1 status
+        movi r4, G_INITED
+        ldw r4, [r4]
+        cmpi r4, 0
+        jeq dma_send_notinit
+        movi r4, G_MTU
+        ldw r4, [r4]
+        cmpi r4, 0
+        jne dma_send_havemtu
+        movi r4, 1500
+dma_send_havemtu:
+        cmp r2, r4
+        ja dma_send_toolong
+        cmpi r2, 0
+        jeq dma_send_toolong
+        out NIC_TXADDR, r1
+        out NIC_TXLEN, r2
+        movi r4, 2               ; TXSTART
+        out NIC_CMD, r4
+        ; bounded TXDONE poll
+        movi r5, 4
+dma_send_poll:
+        in r4, NIC_STATUS
+        testi r4, 2
+        jne dma_send_sent
+        subi r5, 1
+        cmpi r5, 0
+        jne dma_send_poll
+        movi r1, 2               ; timeout
+        ret
+dma_send_sent:
+        movi r4, G_TXCOUNT
+        ldw r5, [r4]
+        addi r5, 1
+        stw [r4], r5
+        movi r4, G_PROMISC
+        ldw r4, [r4]
+        cmpi r4, 0
+        jeq dma_send_protected
+        ; BUG B8: unprotected read-modify-write racing with drv_isr
+        movi r4, G_STATS
+        ldw r5, [r4]
+        addi r5, 1
+        stw [r4], r5
+        jmp dma_send_ok
+dma_send_protected:
+        cli
+        movi r4, G_STATS
+        ldw r5, [r4]
+        addi r5, 1
+        stw [r4], r5
+        sti
+dma_send_ok:
+        movi r1, 0
+        ret
+dma_send_notinit:
+        movi r1, 1
+        ret
+dma_send_toolong:
+        movi r1, 3
+        ret
+
+drv_recv:                        ; r1 buf, r2 bufsz -> r1 len
+        mov r9, r1               ; user buffer
+        mov r10, r2              ; user buffer size (ignored by B2!)
+        in r4, NIC_STATUS
+        testi r4, 4              ; RXRDY
+        jeq dma_recv_none
+        in r11, NIC_RXLEN        ; device-claimed frame length
+        ; fetch the frame into the staging buffer (correctly bounded)
+        movi r4, G_RXBUF
+        ldw r12, [r4]
+        out NIC_RXADDR, r12
+        movi r4, 256
+        out NIC_RXBUFSZ, r4
+        movi r4, 4               ; RXFETCH
+        out NIC_CMD, r4
+        ; BUG B2: copy loop bounded by the *claimed* length, not the
+        ; user buffer size (r10). Symbolic hardware exposes this.
+        movi r5, 0
+dma_recv_copy:
+        cmp r5, r11
+        jae dma_recv_done
+        mov r6, r12
+        add r6, r5
+        ldb r7, [r6]
+        mov r6, r9
+        add r6, r5
+        stb [r6], r7
+        addi r5, 1
+        cmpi r5, 32              ; hard stop so paths stay bounded
+        jb dma_recv_copy
+dma_recv_done:
+        mov r1, r5
+        ret
+dma_recv_none:
+        movi r1, 0
+        ret
+
+drv_ioctl:                       ; r1 code, r2 arg -> r1
+        cmpi r1, 1
+        jeq dma_ioctl_stats
+        cmpi r1, 2
+        jeq dma_ioctl_mtu
+        cmpi r1, 3
+        jeq dma_ioctl_thresh
+        movi r1, 0xFFFFFFFF      ; unknown code
+        ret
+dma_ioctl_stats:
+        movi r4, G_STATS
+        ldw r1, [r4]
+        ret
+dma_ioctl_mtu:
+        cmpi r2, 4096
+        ja dma_ioctl_bad
+        movi r4, G_MTU
+        stw [r4], r2
+        movi r1, 0
+        ret
+dma_ioctl_thresh:
+        ; BUG B4: index = arg >> 8, stored into the heap-allocated
+        ; staging buffer without a bounds check (the paper's
+        ; SetInformationHandler-style unvalidated-input bug)
+        mov r4, r2
+        shri r4, 8
+        shli r4, 2
+        movi r5, G_RXBUF
+        ldw r5, [r5]
+        add r5, r4
+        stw [r5], r2
+        movi r1, 0
+        ret
+dma_ioctl_bad:
+        movi r1, 0xFFFFFFFF
+        ret
+
+drv_isr:
+        push r4                  ; async entry: preserve scratch regs
+        push r5
+        movi r4, G_STATS         ; racy counter shared with drv_send
+        ldw r5, [r4]
+        addi r5, 1
+        stw [r4], r5
+        pop r5
+        pop r4
+        iret
+
+drv_unload:
+        movi r4, G_RXBUF
+        ldw r1, [r4]
+        cmpi r1, 0
+        jeq dma_unload_done
+        movi r0, 5               ; double free after the B5 path
+        int 0x30
+        movi r4, G_RXBUF
+        movi r5, 0
+        stw [r4], r5
+dma_unload_done:
+        movi r1, 0
+        ret
+)";
+}
+
+/**
+ * PIO ("rtl8029") driver. Seeded bugs:
+ *   B6 use-after-free  send logs from its scratch copy after freeing
+ *                      it when the status register reports an error
+ *   B7 leak            recv's zero-length path leaks its scratch
+ */
+std::string
+pioDriverSource()
+{
+    return std::string(kDriverEqus) + R"(
+        .equ PN_CMD, 0x40
+        .equ PN_STATUS, 0x41
+        .equ PN_DATA, 0x42
+        .equ PN_TXLEN, 0x43
+        .equ PN_RXLEN, 0x44
+        .equ PN_MACIDX, 0x45
+        .equ PN_MACVAL, 0x46
+        .equ PN_CFG, 0x47
+
+        .org 0x20000
+drv_init:
+        ; read out the 6-byte MAC; all-zero means no card
+        movi r8, 0               ; accumulated OR of MAC bytes
+        movi r5, 0
+pio_init_macloop:
+        out PN_MACIDX, r5
+        in r4, PN_MACVAL
+        or r8, r4
+        addi r5, 1
+        cmpi r5, 6
+        jb pio_init_macloop
+        cmpi r8, 0
+        jeq pio_init_nocard
+        ; reset + interrupt enable
+        movi r4, 1
+        out PN_CMD, r4
+        movi r4, drv_isr
+        movi r5, IVT_NIC
+        stw [r5], r4
+        movi r4, 8
+        out PN_CMD, r4
+        ; scratch buffer for tx copies
+        movi r0, 4
+        movi r1, 64
+        int 0x30
+        cmpi r1, 0
+        jeq pio_init_nomem
+        movi r4, G_RXBUF
+        stw [r4], r1
+        movi r4, G_INITED
+        movi r5, 1
+        stw [r4], r5
+        movi r1, 0
+        ret
+pio_init_nocard:
+        movi r1, 1
+        ret
+pio_init_nomem:
+        movi r1, 2
+        ret
+
+drv_send:                        ; r1 ptr, r2 len -> r1
+        movi r4, G_INITED
+        ldw r4, [r4]
+        cmpi r4, 0
+        jeq pio_send_notinit
+        cmpi r2, 0
+        jeq pio_send_badlen
+        cmpi r2, 64
+        ja pio_send_badlen
+        mov r9, r1
+        mov r10, r2
+        ; allocate a scratch copy (the card latches PIO data slowly)
+        movi r0, 4
+        movi r1, 64
+        int 0x30
+        cmpi r1, 0
+        jeq pio_send_nomem
+        mov r11, r1              ; scratch
+        mov r2, r9
+        mov r3, r10
+        call memcpy
+        ; push the bytes through the data port
+        out PN_TXLEN, r10
+        movi r5, 0
+pio_send_push:
+        mov r6, r11
+        add r6, r5
+        ldb r7, [r6]
+        out PN_DATA, r7
+        addi r5, 1
+        cmp r5, r10
+        jb pio_send_push
+        movi r4, 2               ; TX
+        out PN_CMD, r4
+        ; free the scratch, then check how it went
+        movi r0, 5
+        mov r1, r11
+        int 0x30
+        in r4, PN_STATUS
+        testi r4, 8              ; ERROR
+        jeq pio_send_ok
+        ; BUG B6: "log" the first payload byte from the freed scratch
+        ldb r5, [r11]
+        movi r4, G_STATS
+        stw [r4], r5
+        movi r1, 4
+        ret
+pio_send_ok:
+        movi r4, G_TXCOUNT
+        ldw r5, [r4]
+        addi r5, 1
+        stw [r4], r5
+        movi r1, 0
+        ret
+pio_send_notinit:
+        movi r1, 1
+        ret
+pio_send_badlen:
+        movi r1, 2
+        ret
+pio_send_nomem:
+        movi r1, 3
+        ret
+
+drv_recv:                        ; r1 buf, r2 bufsz -> r1 len
+        mov r9, r1
+        mov r10, r2
+        in r4, PN_STATUS
+        testi r4, 4              ; RXRDY
+        jeq pio_recv_none
+        ; scratch for header peeking
+        movi r0, 4
+        movi r1, 16
+        int 0x30
+        mov r11, r1
+        in r12, PN_RXLEN
+        cmpi r12, 0
+        jne pio_recv_havelen
+        ; BUG B7: a ready-but-empty frame "cannot happen" per spec;
+        ; this early return leaks the scratch buffer
+        movi r1, 0
+        ret
+pio_recv_havelen:
+        ; clamp to the caller's buffer
+        cmp r12, r10
+        jbe pio_recv_clamped
+        mov r12, r10
+pio_recv_clamped:
+        movi r5, 0
+pio_recv_pull:
+        cmp r5, r12
+        jae pio_recv_ack
+        in r7, PN_DATA
+        mov r6, r9
+        add r6, r5
+        stb [r6], r7
+        addi r5, 1
+        jmp pio_recv_pull
+pio_recv_ack:
+        movi r4, 4               ; RXACK
+        out PN_CMD, r4
+        movi r0, 5               ; free the scratch on the good path
+        mov r1, r11
+        int 0x30
+        mov r1, r12
+        ret
+pio_recv_none:
+        movi r1, 0
+        ret
+
+drv_ioctl:                       ; r1 code, r2 arg -> r1
+        cmpi r1, 1
+        jeq pio_ioctl_stats
+        cmpi r1, 2
+        jeq pio_ioctl_cfg
+        movi r1, 0xFFFFFFFF
+        ret
+pio_ioctl_stats:
+        movi r4, G_TXCOUNT
+        ldw r1, [r4]
+        ret
+pio_ioctl_cfg:
+        out PN_CFG, r2
+        movi r1, 0
+        ret
+
+drv_isr:
+        push r4
+        push r5
+        movi r4, G_TXCOUNT       ; benign: ISR touches its own counter
+        ldw r5, [r4]
+        stw [r4], r5
+        pop r5
+        pop r4
+        iret
+
+drv_unload:
+        movi r4, G_RXBUF
+        ldw r1, [r4]
+        cmpi r1, 0
+        jeq pio_unload_done
+        movi r0, 5
+        int 0x30
+        movi r4, G_RXBUF
+        movi r5, 0
+        stw [r4], r5
+pio_unload_done:
+        movi r1, 0
+        ret
+)";
+}
+
+/** Bank-switched MMIO ("91c111") driver — no seeded bugs; its bank
+ *  juggling provides branchy coverage structure. */
+std::string
+mmioDriverSource()
+{
+    return std::string(kDriverEqus) + R"(
+        .equ MN_BASE, 0xF0001000
+        .equ MN_BANK, 0xE
+
+        .org 0x20000
+drv_init:
+        movi r9, MN_BASE
+        ; bank 1: MAC must be programmed
+        movi r4, 1
+        stw [r9+0xE], r4
+        ldw r5, [r9+0]
+        cmpi r5, 0
+        jeq mmio_init_nocard
+        ; bank 0: control per configuration
+        movi r4, 0
+        stw [r9+0xE], r4
+        movi r0, 6
+        movi r1, 3               ; CFG_PROMISCUOUS
+        int 0x30
+        cmpi r1, 0
+        jeq mmio_init_plain
+        movi r4, 7               ; txen | rxen | ien
+        jmp mmio_init_ctrl
+mmio_init_plain:
+        movi r4, 5               ; txen | ien
+mmio_init_ctrl:
+        stw [r9+0], r4
+        movi r4, drv_isr
+        movi r5, IVT_NIC
+        stw [r5], r4
+        movi r4, G_INITED
+        movi r5, 1
+        stw [r4], r5
+        movi r1, 0
+        ret
+mmio_init_nocard:
+        movi r1, 1
+        ret
+
+drv_send:                        ; r1 ptr, r2 len -> r1
+        movi r4, G_INITED
+        ldw r4, [r4]
+        cmpi r4, 0
+        jeq mmio_send_notinit
+        cmpi r2, 0
+        jeq mmio_send_badlen
+        cmpi r2, 256
+        ja mmio_send_badlen
+        movi r9, MN_BASE
+        ; bank 2: program length, stream the payload into the FIFO
+        movi r4, 2
+        stw [r9+0xE], r4
+        stw [r9+4], r2           ; TxLen
+        movi r5, 0
+mmio_send_fifo:
+        cmp r5, r2
+        jae mmio_send_go
+        mov r6, r1
+        add r6, r5
+        ldb r7, [r6]
+        stw [r9+0], r7           ; FIFO window
+        addi r5, 1
+        jmp mmio_send_fifo
+mmio_send_go:
+        movi r4, 0
+        stw [r9+0xE], r4
+        movi r4, 2               ; TX command
+        stw [r9+8], r4
+        movi r1, 0
+        ret
+mmio_send_notinit:
+        movi r1, 1
+        ret
+mmio_send_badlen:
+        movi r1, 2
+        ret
+
+drv_recv:                        ; r1 buf, r2 bufsz -> r1 len
+        mov r10, r1
+        mov r11, r2
+        movi r9, MN_BASE
+        movi r4, 0
+        stw [r9+0xE], r4
+        ldw r4, [r9+4]           ; status
+        testi r4, 4              ; RXRDY
+        jeq mmio_recv_none
+        movi r4, 2
+        stw [r9+0xE], r4
+        ldw r12, [r9+8]          ; RxLen
+        cmp r12, r11
+        jbe mmio_recv_sized
+        mov r12, r11             ; clamp
+mmio_recv_sized:
+        movi r5, 0
+mmio_recv_fifo:
+        cmp r5, r12
+        jae mmio_recv_ack
+        ldw r7, [r9+0]           ; FIFO window
+        mov r6, r10
+        add r6, r5
+        stb [r6], r7
+        addi r5, 1
+        jmp mmio_recv_fifo
+mmio_recv_ack:
+        movi r4, 0
+        stw [r9+0xE], r4
+        movi r4, 4               ; RXACK
+        stw [r9+8], r4
+        mov r1, r12
+        ret
+mmio_recv_none:
+        movi r1, 0
+        ret
+
+drv_ioctl:                       ; r1 code, r2 arg -> r1
+        cmpi r1, 1
+        jeq mmio_ioctl_mac
+        movi r1, 0xFFFFFFFF
+        ret
+mmio_ioctl_mac:
+        movi r9, MN_BASE
+        movi r4, 1
+        stw [r9+0xE], r4
+        ldw r1, [r9+0]
+        movi r4, 0
+        stw [r9+0xE], r4
+        ret
+
+drv_isr:
+        push r4
+        push r5
+        movi r4, G_STATS
+        ldw r5, [r4]
+        addi r5, 1
+        stw [r4], r5
+        pop r5
+        pop r4
+        iret
+
+drv_unload:
+        movi r9, MN_BASE
+        movi r4, 0
+        stw [r9+0xE], r4
+        movi r4, 1               ; reset
+        stw [r9+8], r4
+        movi r1, 0
+        ret
+)";
+}
+
+/** Ring-buffer DMA ("rtl8139") driver — clean; the ring wraparound
+ *  logic gives the richest control flow of the four. */
+std::string
+ringDriverSource()
+{
+    return std::string(kDriverEqus) + R"(
+        .equ RN_CMD, 0x60
+        .equ RN_STATUS, 0x61
+        .equ RN_RINGADDR, 0x62
+        .equ RN_RINGSIZE, 0x63
+        .equ RN_WRPTR, 0x64
+        .equ RN_RDPTR, 0x65
+        .equ RN_TXADDR, 0x66
+        .equ RN_TXLEN, 0x67
+        .equ G_RING,    0x28018   ; ring base pointer
+        .equ G_RINGSZ,  0x2801C
+        .equ G_RD,      0x28024   ; local read pointer
+
+        .org 0x20000
+drv_init:
+        ; allocate the receive ring
+        movi r0, 4
+        movi r1, 128
+        int 0x30
+        cmpi r1, 0
+        jeq ring_init_nomem
+        movi r4, G_RING
+        stw [r4], r1
+        movi r4, G_RINGSZ
+        movi r5, 128
+        stw [r4], r5
+        out RN_RINGADDR, r1
+        out RN_RINGSIZE, r5
+        movi r4, drv_isr
+        movi r5, IVT_NIC
+        stw [r5], r4
+        movi r4, 12              ; RXENABLE | IEN
+        out RN_CMD, r4
+        movi r4, G_INITED
+        movi r5, 1
+        stw [r4], r5
+        movi r1, 0
+        ret
+ring_init_nomem:
+        movi r1, 1
+        ret
+
+drv_send:                        ; r1 ptr, r2 len -> r1
+        movi r4, G_INITED
+        ldw r4, [r4]
+        cmpi r4, 0
+        jeq ring_send_notinit
+        cmpi r2, 0
+        jeq ring_send_badlen
+        out RN_TXADDR, r1
+        out RN_TXLEN, r2
+        movi r4, 2               ; TX0
+        out RN_CMD, r4
+        movi r5, 4
+ring_send_poll:
+        in r4, RN_STATUS
+        testi r4, 2
+        jne ring_send_ok
+        subi r5, 1
+        cmpi r5, 0
+        jne ring_send_poll
+        movi r1, 2
+        ret
+ring_send_ok:
+        movi r1, 0
+        ret
+ring_send_notinit:
+        movi r1, 1
+        ret
+ring_send_badlen:
+        movi r1, 3
+        ret
+
+; ring_readbyte: r4 = byte at local read ptr, advancing with wrap
+ring_readbyte:
+        movi r5, G_RING
+        ldw r5, [r5]
+        movi r6, G_RD
+        ldw r7, [r6]
+        mov r4, r5
+        add r4, r7
+        ldb r4, [r4]
+        addi r7, 1
+        movi r5, G_RINGSZ
+        ldw r5, [r5]
+        cmp r7, r5
+        jb ring_readbyte_nowrap
+        movi r7, 0
+ring_readbyte_nowrap:
+        stw [r6], r7
+        ret
+
+drv_recv:                        ; r1 buf, r2 bufsz -> r1 len
+        mov r9, r1
+        mov r10, r2
+        movi r4, G_INITED
+        ldw r4, [r4]
+        cmpi r4, 0
+        jeq ring_recv_none
+        in r4, RN_WRPTR
+        movi r5, G_RD
+        ldw r5, [r5]
+        cmp r4, r5
+        jeq ring_recv_none       ; ring empty
+        ; read the 4-byte length header
+        call ring_readbyte
+        mov r11, r4
+        call ring_readbyte
+        shli r4, 8
+        or r11, r4
+        call ring_readbyte
+        shli r4, 16
+        or r11, r4
+        call ring_readbyte
+        shli r4, 24
+        or r11, r4
+        ; defensive clamp against a corrupt header
+        movi r5, G_RINGSZ
+        ldw r5, [r5]
+        cmp r11, r5
+        jb ring_recv_lenok
+        movi r1, 0               ; corrupt ring: drop everything
+        movi r4, G_RD
+        in r5, RN_WRPTR
+        stw [r4], r5
+        out RN_RDPTR, r5
+        ret
+ring_recv_lenok:
+        movi r12, 0              ; copied count
+ring_recv_copy:
+        cmp r12, r11
+        jae ring_recv_done
+        call ring_readbyte
+        cmp r12, r10             ; clamp to caller buffer
+        jae ring_recv_skip
+        mov r6, r9
+        add r6, r12
+        stb [r6], r4
+ring_recv_skip:
+        addi r12, 1
+        jmp ring_recv_copy
+ring_recv_done:
+        ; publish the read pointer to the device
+        movi r4, G_RD
+        ldw r4, [r4]
+        out RN_RDPTR, r4
+        mov r1, r12
+        cmp r12, r10
+        jbe ring_recv_ret
+        mov r1, r10
+ring_recv_ret:
+        ret
+ring_recv_none:
+        movi r1, 0
+        ret
+
+drv_ioctl:                       ; r1 code, r2 arg -> r1
+        cmpi r1, 1
+        jeq ring_ioctl_wrptr
+        cmpi r1, 2
+        jeq ring_ioctl_stats
+        movi r1, 0xFFFFFFFF
+        ret
+ring_ioctl_wrptr:
+        in r1, RN_WRPTR
+        ret
+ring_ioctl_stats:
+        movi r4, G_STATS
+        ldw r1, [r4]
+        ret
+
+drv_isr:
+        push r4
+        push r5
+        movi r4, G_STATS
+        ldw r5, [r4]
+        addi r5, 1
+        stw [r4], r5
+        pop r5
+        pop r4
+        iret
+
+drv_unload:
+        movi r4, 1               ; reset (drops the ring registration)
+        out RN_CMD, r4
+        movi r4, G_RING
+        ldw r1, [r4]
+        cmpi r1, 0
+        jeq ring_unload_done
+        movi r0, 5
+        int 0x30
+        movi r4, G_RING
+        movi r5, 0
+        stw [r4], r5
+ring_unload_done:
+        movi r1, 0
+        ret
+)";
+}
+
+} // namespace
+
+std::string
+driverSource(DriverKind kind)
+{
+    switch (kind) {
+      case DriverKind::Dma: return dmaDriverSource();
+      case DriverKind::Pio: return pioDriverSource();
+      case DriverKind::Mmio: return mmioDriverSource();
+      case DriverKind::Ring: return ringDriverSource();
+    }
+    panic("driverSource: bad kind");
+}
+
+std::string
+driverHarnessSource()
+{
+    return R"(
+        ; drivers may clobber any register, so the harness keeps its
+        ; pointers in memory slots
+        .equ H_RXPTR, 0x40060
+        .equ H_TXPTR, 0x40064
+        .equ H_INITST, 0x40068
+
+        .org 0x30000
+        .entry harness_main
+harness_main:
+        movi sp, 0x7F000
+        sti
+        call drv_init
+        movi r4, H_INITST
+        stw [r4], r1
+        ; user rx buffer (8 bytes)
+        movi r0, 4
+        movi r1, 8
+        int 0x30
+        movi r4, H_RXPTR
+        stw [r4], r1
+        movi r4, H_INITST
+        ldw r4, [r4]
+        cmpi r4, 0
+        jne harness_cleanup      ; init failed
+        ; exercise ioctl
+        movi r1, 2
+        movi r2, 1500
+        call drv_ioctl
+        movi r1, 1
+        movi r2, 0
+        call drv_ioctl
+        ; tx buffer
+        movi r0, 4
+        movi r1, 32
+        int 0x30
+        movi r4, H_TXPTR
+        stw [r4], r1
+        cmpi r1, 0
+        jeq harness_cleanup
+        movi r2, 0x5A
+        movi r3, 32
+        call memset
+        movi r4, H_TXPTR
+        ldw r1, [r4]
+        movi r2, 32
+        call drv_send
+        ; receive into the 8-byte user buffer
+        movi r4, H_RXPTR
+        ldw r1, [r4]
+        movi r2, 8
+        call drv_recv
+        ; release the tx buffer
+        movi r0, 5
+        movi r4, H_TXPTR
+        ldw r1, [r4]
+        int 0x30
+harness_cleanup:
+        movi r0, 5
+        movi r4, H_RXPTR
+        ldw r1, [r4]
+        int 0x30
+        call drv_unload
+        hlt
+)";
+}
+
+} // namespace s2e::guest

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Guest NIC drivers (gisa assembly), one per virtual NIC model.
+ *
+ * These are the reproduction's stand-ins for the paper's four
+ * closed-source Windows network drivers (Table 5): each implements a
+ * different hardware protocol against its device. The DMA and PIO
+ * drivers carry seeded bugs mirroring DDT's findings (§6.1.1) —
+ * memory leaks, a copy-loop overflow, a null dereference, a double
+ * free, a use-after-free and an ISR/mainline data race. Which bugs
+ * are reachable depends on the consistency model: two need only
+ * symbolic hardware (SC-SE); the rest need LC-style interface
+ * annotations (symbolic registry config / alloc-failure injection).
+ *
+ * Common driver ABI (call/ret):
+ *   drv_init()                 -> r1 = 0 ok, nonzero fail
+ *   drv_send(r1 ptr, r2 len)   -> r1 = 0 ok
+ *   drv_recv(r1 buf, r2 bufsz) -> r1 = received length (0 if none)
+ *   drv_ioctl(r1 code, r2 arg) -> r1 = result
+ *   drv_unload()
+ *   drv_isr                    (installed into the IVT by drv_init)
+ */
+
+#ifndef S2E_GUEST_DRIVERS_HH
+#define S2E_GUEST_DRIVERS_HH
+
+#include <string>
+#include <vector>
+
+namespace s2e::guest {
+
+/** Identifies one of the four drivers / NIC models. */
+enum class DriverKind { Dma, Pio, Mmio, Ring };
+
+const char *driverName(DriverKind kind);
+
+/** The driver's assembly source (placed at kDriverCode). */
+std::string driverSource(DriverKind kind);
+
+/** Device factory name matching the driver ("dmanic", "pionic"...). */
+const char *driverDeviceName(DriverKind kind);
+
+/** Symbolic-hardware port range for the driver's device (lo, hi
+ *  inclusive); Mmio uses an MMIO range instead (see driverMmioRange). */
+std::pair<uint16_t, uint16_t> driverPortRange(DriverKind kind);
+std::pair<uint32_t, uint32_t> driverMmioRange(DriverKind kind);
+
+/** All four kinds, for sweep experiments. */
+std::vector<DriverKind> allDriverKinds();
+
+/**
+ * The guest-side exerciser: calls the driver entry points in sequence
+ * (init, ioctl, send, recv, unload) with heap buffers, mirroring the
+ * paper's per-entry-point exploration script (§6.3).
+ */
+std::string driverHarnessSource();
+
+} // namespace s2e::guest
+
+#endif // S2E_GUEST_DRIVERS_HH

@@ -1,0 +1,328 @@
+#include "guest/kernel.hh"
+
+namespace s2e::guest {
+
+std::string
+kernelSource()
+{
+    return R"(
+; ===================== mini-kernel ====================================
+        .equ CONSOLE, 0x10
+        .equ CFG_STORE, 0x8000
+        .equ HEAP_BRK_PTR, 0xFF00
+        .equ FREELIST_HEAD, 0xFF04
+        .equ HEAP_BASE, 0x10000
+        .equ HEAP_END, 0x20000
+        .equ LIVE_MAGIC, 0xA110C8ED
+        .equ FREE_MAGIC, 0xF4EE0000
+
+; Syscall vector (0x30): 0x100 + 4*0x30 = 0x1C0
+        .org 0x1C0
+        .word sys_dispatch
+
+; Initial heap state
+        .org 0xFF00
+        .word HEAP_BASE          ; brk
+        .word 0                  ; free list empty
+
+        .org 0x400
+; --- syscall dispatcher -----------------------------------------------
+; ABI: nr in r0, args r1..r3, result r1. Clobbers r0, r2..r7.
+sys_dispatch:
+        cmpi r0, 1
+        jeq sys_exit
+        cmpi r0, 2
+        jeq sys_putc
+        cmpi r0, 3
+        jeq sys_write
+        cmpi r0, 4
+        jeq sys_alloc
+        cmpi r0, 5
+        jeq sys_free
+        cmpi r0, 6
+        jeq sys_getcfg
+        cmpi r0, 7
+        jeq sys_setcfg
+        jmp kpanic               ; unknown syscall
+
+sys_exit:
+        s2e_kill 0
+
+sys_putc:
+        out CONSOLE, r1
+        iret
+
+sys_write:                       ; r1 = ptr, r2 = len
+sys_write_loop:
+        cmpi r2, 0
+        jeq sys_write_done
+        ldb r3, [r1]
+        out CONSOLE, r3
+        addi r1, 1
+        subi r2, 1
+        jmp sys_write_loop
+sys_write_done:
+        iret
+
+; --- allocator ---------------------------------------------------------
+; Chunk layout: [size u32][magic u32][user data ...][8-byte redzone]
+; Freed chunks keep a next pointer at user offset 0.
+sys_alloc:                       ; r1 = size -> r1 = ptr or 0, r2 = size
+        mov r2, r1               ; keep requested size for the hook
+        addi r1, 7
+        andi r1, 0xFFFFFFF8      ; round to 8
+        mov r3, r1               ; r3 = rounded size
+        ; first-fit scan of the free list
+        movi r4, FREELIST_HEAD
+        ldw r5, [r4]
+sys_alloc_scan:
+        cmpi r5, 0
+        jeq sys_alloc_bump
+        ldw r6, [r5]             ; candidate size
+        cmp r6, r3
+        jae sys_alloc_take
+        mov r4, r5
+        addi r4, 8               ; &chunk->next (user offset 0)
+        ldw r5, [r4]
+        jmp sys_alloc_scan
+sys_alloc_take:
+        ldw r6, [r5+8]           ; next
+        stw [r4], r6             ; unlink
+        movi r6, LIVE_MAGIC
+        stw [r5+4], r6
+        mov r1, r5
+        addi r1, 8
+        jmp sys_alloc_done
+sys_alloc_bump:
+        movi r4, HEAP_BRK_PTR
+        ldw r5, [r4]
+        mov r6, r5
+        add r6, r3
+        addi r6, 16              ; header + redzone
+        movi r7, HEAP_END
+        cmp r6, r7
+        ja sys_alloc_fail
+        stw [r4], r6
+        stw [r5], r3
+        movi r6, LIVE_MAGIC
+        stw [r5+4], r6
+        mov r1, r5
+        addi r1, 8
+        jmp sys_alloc_done
+sys_alloc_fail:
+        movi r1, 0
+sys_alloc_done:                  ; MemoryChecker hook: r1 = ptr, r2 = size
+        iret
+
+sys_free:                        ; r1 = ptr
+sys_free_entry:                  ; MemoryChecker hook: r1 = ptr
+        cmpi r1, 0
+        jeq sys_free_done
+        mov r2, r1
+        subi r2, 8
+        ldw r3, [r2+4]
+        movi r4, LIVE_MAGIC
+        cmp r3, r4
+        jne kpanic               ; bad/double free corrupts the heap
+        movi r3, FREE_MAGIC
+        stw [r2+4], r3
+        movi r4, FREELIST_HEAD
+        ldw r5, [r4]
+        stw [r2+8], r5
+        stw [r4], r2
+sys_free_done:
+        iret
+
+; --- config store (registry analog) ------------------------------------
+sys_getcfg:                      ; r1 = key -> r1 = value (0 if absent)
+        movi r2, CFG_STORE
+        movi r3, 0
+sys_getcfg_scan:
+        cmpi r3, 32
+        jae sys_getcfg_missing
+        ldw r4, [r2]
+        cmp r4, r1
+        jeq sys_getcfg_hit
+        addi r2, 8
+        addi r3, 1
+        jmp sys_getcfg_scan
+sys_getcfg_hit:
+        ldw r1, [r2+4]
+        iret
+sys_getcfg_missing:
+        movi r1, 0
+        iret
+
+sys_setcfg:                      ; r1 = key, r2 = value
+        movi r3, CFG_STORE
+        movi r4, 0
+sys_setcfg_scan:
+        cmpi r4, 32
+        jae kpanic               ; store full
+        ldw r5, [r3]
+        cmp r5, r1               ; existing key
+        jeq sys_setcfg_put
+        cmpi r5, 0               ; empty slot
+        jeq sys_setcfg_claim
+        addi r3, 8
+        addi r4, 1
+        jmp sys_setcfg_scan
+sys_setcfg_claim:
+        stw [r3], r1
+sys_setcfg_put:
+        stw [r3+4], r2
+        iret
+
+; --- panic --------------------------------------------------------------
+kpanic:
+        movi r1, 'P'
+        out CONSOLE, r1
+        movi r1, 'A'
+        out CONSOLE, r1
+        movi r1, 'N'
+        out CONSOLE, r1
+        movi r1, 'I'
+        out CONSOLE, r1
+        movi r1, 'C'
+        out CONSOLE, r1
+        s2e_kill 0xEE
+
+; ===================== kernel library ==================================
+; Call ABI: args r1..r3, result r1; r4..r7 are scratch. Args clobbered.
+
+; strlen(r1 str) -> r1
+strlen:
+        mov r4, r1
+        movi r1, 0
+strlen_loop:
+        ldb r5, [r4]
+        cmpi r5, 0
+        jeq strlen_done
+        addi r1, 1
+        addi r4, 1
+        jmp strlen_loop
+strlen_done:
+        ret
+
+; memcpy(r1 dst, r2 src, r3 len)
+memcpy:
+        cmpi r3, 0
+        jeq memcpy_done
+        ldb r4, [r2]
+        stb [r1], r4
+        addi r1, 1
+        addi r2, 1
+        subi r3, 1
+        jmp memcpy
+memcpy_done:
+        ret
+
+; memset(r1 dst, r2 val, r3 len)
+memset:
+        cmpi r3, 0
+        jeq memset_done
+        stb [r1], r2
+        addi r1, 1
+        subi r3, 1
+        jmp memset
+memset_done:
+        ret
+
+; strcmp(r1 a, r2 b) -> r1 (0 if equal, 1 otherwise)
+strcmp:
+strcmp_loop:
+        ldb r4, [r1]
+        ldb r5, [r2]
+        cmp r4, r5
+        jne strcmp_diff
+        cmpi r4, 0
+        jeq strcmp_equal
+        addi r1, 1
+        addi r2, 1
+        jmp strcmp_loop
+strcmp_equal:
+        movi r1, 0
+        ret
+strcmp_diff:
+        movi r1, 1
+        ret
+
+; strncpy(r1 dst, r2 src, r3 n): copies at most n bytes, NUL-padding
+strncpy:
+strncpy_loop:
+        cmpi r3, 0
+        jeq strncpy_done
+        ldb r4, [r2]
+        stb [r1], r4
+        addi r1, 1
+        subi r3, 1
+        cmpi r4, 0
+        jeq strncpy_pad
+        addi r2, 1
+        jmp strncpy_loop
+strncpy_pad:
+        cmpi r3, 0
+        jeq strncpy_done
+        movi r4, 0
+        stb [r1], r4
+        addi r1, 1
+        subi r3, 1
+        jmp strncpy_pad
+strncpy_done:
+        ret
+
+; checksum16(r1 buf, r2 len) -> r1: rotating 16-bit byte sum
+checksum16:
+        movi r4, 0
+checksum_loop:
+        cmpi r2, 0
+        jeq checksum_done
+        ldb r5, [r1]
+        add r4, r5
+        shli r4, 1               ; rotate-ish mix
+        mov r5, r4
+        shri r5, 16
+        andi r4, 0xFFFF
+        add r4, r5
+        addi r1, 1
+        subi r2, 1
+        jmp checksum_loop
+checksum_done:
+        mov r1, r4
+        andi r1, 0xFFFF
+        ret
+)";
+}
+
+void
+setConfig(core::ExecutionState &state, core::ExprBuilder &builder,
+          uint32_t key, uint32_t value)
+{
+    for (unsigned slot = 0; slot < 32; ++slot) {
+        uint32_t addr = kConfigStore + slot * 8;
+        core::Value existing = state.mem.read(addr, 4, builder);
+        uint32_t k = existing.isConcrete() ? existing.concrete() : 0;
+        if (k == 0 || k == key) {
+            state.mem.write(addr, core::Value(key), 4, builder);
+            state.mem.write(addr + 4, core::Value(value), 4, builder);
+            return;
+        }
+    }
+    panic("guest config store full");
+}
+
+uint32_t
+addConfigString(core::ExecutionState &state, core::ExprBuilder &builder,
+                uint32_t offset, const std::string &text)
+{
+    uint32_t addr = kConfigStrings + offset;
+    for (size_t i = 0; i < text.size(); ++i)
+        state.mem.write(addr + static_cast<uint32_t>(i),
+                        core::Value(static_cast<uint32_t>(text[i])), 1,
+                        builder);
+    state.mem.write(addr + static_cast<uint32_t>(text.size()),
+                    core::Value(0u), 1, builder);
+    return addr;
+}
+
+} // namespace s2e::guest

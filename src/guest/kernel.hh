@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The guest mini-kernel and kernel-mode library, in gisa assembly.
+ *
+ * kernelSource() returns the assembly for the kernel region: the
+ * syscall dispatcher (int 0x30), a free-list heap allocator with
+ * redzones and live/free chunk magics, the registry-like config
+ * store, a panic routine, and the string library that applications
+ * link against (the "environment" of the paper's experiments).
+ *
+ * Compose a guest system as kernelSource() + driverSource(...) +
+ * application source, then assemble the concatenation.
+ */
+
+#ifndef S2E_GUEST_KERNEL_HH
+#define S2E_GUEST_KERNEL_HH
+
+#include <string>
+
+#include "core/state.hh"
+#include "guest/layout.hh"
+
+namespace s2e::guest {
+
+/** Kernel + library assembly (defines symbols used by apps/drivers). */
+std::string kernelSource();
+
+/**
+ * Host-side helper: write a (key, value) pair into the guest config
+ * store of a state (the MSWinRegistry-style input channel).
+ */
+void setConfig(core::ExecutionState &state, core::ExprBuilder &builder,
+               uint32_t key, uint32_t value);
+
+/** Host-side helper: copy a string into the config string area and
+ *  return its guest address. Strings are packed sequentially. */
+uint32_t addConfigString(core::ExecutionState &state,
+                         core::ExprBuilder &builder, uint32_t offset,
+                         const std::string &text);
+
+} // namespace s2e::guest
+
+#endif // S2E_GUEST_KERNEL_HH

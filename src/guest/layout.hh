@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Guest memory layout and kernel ABI constants, shared between the
+ * guest assembly sources and host-side tools/tests.
+ *
+ * The guest software stack stands in for the paper's Windows stack:
+ * a mini-kernel (syscalls, heap allocator, registry-like config
+ * store), a kernel-mode library (string routines, NIC helper lib),
+ * drivers in a dedicated code region (the DDT/REV unit), and
+ * applications on top.
+ */
+
+#ifndef S2E_GUEST_LAYOUT_HH
+#define S2E_GUEST_LAYOUT_HH
+
+#include <cstdint>
+
+namespace s2e::guest {
+
+// --- Memory map ---------------------------------------------------------
+
+constexpr uint32_t kIvtBase = 0x100;       ///< interrupt vectors
+constexpr uint32_t kKernelCode = 0x400;    ///< kernel + lib code
+constexpr uint32_t kConfigStore = 0x8000;  ///< 32 (key,value) pairs
+constexpr uint32_t kConfigStrings = 0x8200;///< string payload area
+constexpr uint32_t kHeapState = 0xFF00;    ///< brk ptr, freelist head
+constexpr uint32_t kHeapBase = 0x10000;
+constexpr uint32_t kHeapEnd = 0x20000;
+constexpr uint32_t kDriverCode = 0x20000;  ///< driver region (the unit)
+constexpr uint32_t kDriverCodeEnd = 0x28000;
+constexpr uint32_t kDriverData = 0x28000;  ///< driver globals
+constexpr uint32_t kDriverDataEnd = 0x29000;
+constexpr uint32_t kAppCode = 0x30000;
+constexpr uint32_t kAppCodeEnd = 0x40000;
+constexpr uint32_t kAppData = 0x40000;
+constexpr uint32_t kStackTop = 0x7F000;
+constexpr uint32_t kRamSize = 0x80000; ///< 512 KB guest RAM
+
+// --- Syscall ABI (int 0x30; nr in r0, args r1..r3, result r1) ----------
+
+constexpr uint32_t kSysExit = 1;
+constexpr uint32_t kSysPutc = 2;
+constexpr uint32_t kSysWrite = 3;
+constexpr uint32_t kSysAlloc = 4;
+constexpr uint32_t kSysFree = 5;
+constexpr uint32_t kSysGetCfg = 6;
+constexpr uint32_t kSysSetCfg = 7;
+
+// --- Config-store keys (the MSWinRegistry analog) -----------------------
+
+constexpr uint32_t kCfgCardType = 1;
+constexpr uint32_t kCfgMacOverride = 2;
+constexpr uint32_t kCfgPromiscuous = 3;
+constexpr uint32_t kCfgLicensePtr = 4;
+constexpr uint32_t kCfgMtu = 5;
+constexpr uint32_t kCfgSymReply = 8; ///< ping: symbolify the reply
+
+// --- Heap chunk magic ----------------------------------------------------
+
+constexpr uint32_t kChunkLiveMagic = 0xA110C8ED;
+constexpr uint32_t kChunkFreeMagic = 0xF4EE0000;
+constexpr uint32_t kChunkRedzone = 8;
+
+} // namespace s2e::guest
+
+#endif // S2E_GUEST_LAYOUT_HH

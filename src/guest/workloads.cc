@@ -1,0 +1,831 @@
+#include "guest/workloads.hh"
+
+namespace s2e::guest {
+
+std::string
+urlParserSource()
+{
+    return R"(
+        .equ CONSOLE, 0x10
+        .equ URLBUF, 0x40000
+
+        .org 0x30000
+        .entry url_main
+url_main:
+        movi sp, 0x7F000
+        movi r1, URLBUF
+        call parse_url
+        s2e_out r1
+        hlt
+
+; parse_url(r1 buf) -> r1 = '/' segment count, 0xFFFFFFFF on bad URL
+parse_url:
+        mov r8, r1
+        ; scheme must be "http://"
+        ldb r4, [r8+0]
+        cmpi r4, 'h'
+        jne url_bad
+        ldb r4, [r8+1]
+        cmpi r4, 't'
+        jne url_bad
+        ldb r4, [r8+2]
+        cmpi r4, 't'
+        jne url_bad
+        ldb r4, [r8+3]
+        cmpi r4, 'p'
+        jne url_bad
+        ldb r4, [r8+4]
+        cmpi r4, ':'
+        jne url_bad
+        ldb r4, [r8+5]
+        cmpi r4, '/'
+        jne url_bad
+        ldb r4, [r8+6]
+        cmpi r4, '/'
+        jne url_bad
+        addi r8, 7
+        movi r9, 0               ; segment count
+        movi r10, 0              ; path hash
+        movi r11, 0              ; length guard
+url_loop:
+        ldb r4, [r8]
+        cmpi r4, 0
+        jeq url_done
+        cmpi r4, '?'
+        jeq url_query
+        ; hash = hash*31 + c
+        mov r5, r10
+        shli r10, 5
+        sub r10, r5
+        add r10, r4
+        cmpi r4, '/'
+        jne url_notslash
+        addi r9, 1
+        call seg_work            ; 10 extra instructions per '/'
+url_notslash:
+        cmpi r4, '%'
+        jne url_next
+        ; percent-decoding consumes two more characters
+        addi r8, 1
+        ldb r5, [r8]
+        cmpi r5, 0
+        jeq url_bad
+        addi r8, 1
+        ldb r5, [r8]
+        cmpi r5, 0
+        jeq url_bad
+url_next:
+        addi r8, 1
+        addi r11, 1
+        cmpi r11, 40             ; kUrlMaxLen
+        jb url_loop
+        jmp url_done
+url_query:
+        addi r8, 1
+url_qloop:
+        ldb r4, [r8]
+        cmpi r4, 0
+        jeq url_done
+        mov r5, r10
+        shli r10, 5
+        sub r10, r5
+        add r10, r4
+        addi r8, 1
+        addi r11, 1
+        cmpi r11, 40
+        jb url_qloop
+url_done:
+        mov r1, r9
+        ret
+url_bad:
+        movi r1, 0xFFFFFFFF
+        ret
+
+; Together with the counter bump at the call site, each '/' costs
+; exactly 10 extra instructions (addi + call + push + movi + 4x addi
+; + pop + ret) -- the signature PROFS measures in §6.1.3.
+seg_work:
+        push r4
+        movi r4, 0
+        addi r4, 1
+        addi r4, 1
+        addi r4, 1
+        addi r4, 1
+        pop r4
+        ret
+)";
+}
+
+std::string
+pingSource(bool patched)
+{
+    std::string rr_bug = patched ? R"(
+        ; patched: skip the malformed option and keep parsing
+        addi r12, 1
+        jmp ping_optloop
+)"
+                                 : R"(
+        ; BUG (CVE-style): no room for addresses -> 'continue' without
+        ; advancing the option cursor: infinite loop on this reply
+        jmp ping_optloop
+)";
+
+    return R"(
+        .equ CONSOLE, 0x10
+        .equ REQBUF, 0x40080
+        .equ REPLYBUF, 0x40100
+
+        .org 0x30000
+        .entry ping_main
+ping_main:
+        movi sp, 0x7F000
+        sti
+        call drv_init
+        cmpi r1, 0
+        jne ping_fail
+        ; build the echo request: type 8, code 0, id, seq, payload
+        movi r8, REQBUF
+        movi r4, 8
+        stb [r8+0], r4
+        movi r4, 0
+        stb [r8+1], r4
+        movi r4, 0x77
+        stb [r8+4], r4
+        movi r4, 0x01
+        stb [r8+6], r4
+        movi r10, 8              ; payload fill
+ping_fill:
+        mov r5, r8
+        add r5, r10
+        stb [r5], r10
+        addi r10, 1
+        cmpi r10, 16
+        jb ping_fill
+        ; checksum over the 16-byte packet
+        mov r1, r8
+        movi r2, 16
+        call checksum16
+        stb [r8+2], r1
+        shri r1, 8
+        stb [r8+3], r1
+        ; transmit (the NIC is in loopback: the echo comes back)
+        movi r1, REQBUF
+        movi r2, 16
+        call drv_send
+        cmpi r1, 0
+        jne ping_fail
+        ; receive the reply
+        movi r9, REPLYBUF
+        mov r1, r9
+        movi r2, 64
+        call drv_recv
+        cmpi r1, 0
+        jeq ping_fail
+        ; the network may answer anything: symbolify when configured
+        movi r0, 6
+        movi r1, 8               ; CFG_SYMREPLY
+        int 0x30
+        cmpi r1, 0
+        jeq ping_parse
+        mov r1, r9
+        movi r2, 12
+        s2e_symmem r1, r2
+ping_parse:
+        ; reply "IP header": byte 0 is IHL in words (5..15); options
+        ; occupy bytes 8 .. 8+(ihl-5)*4
+        ldb r4, [r9]
+        cmpi r4, 5
+        jb ping_badhdr
+        cmpi r4, 15
+        ja ping_badhdr
+        subi r4, 5
+        shli r4, 2
+        mov r11, r4              ; total option bytes
+        movi r12, 0              ; option cursor
+ping_optloop:
+        cmp r12, r11
+        jae ping_ok
+        mov r5, r9
+        addi r5, 8
+        add r5, r12
+        ldb r6, [r5]             ; option type
+        cmpi r6, 0               ; end of options
+        jeq ping_ok
+        cmpi r6, 1               ; NOP: single byte
+        jne ping_not_nop
+        addi r12, 1
+        jmp ping_optloop
+ping_not_nop:
+        ldb r7, [r5+1]           ; option length
+        cmpi r6, 7               ; RECORD ROUTE
+        jne ping_otheropt
+        cmpi r7, 4
+        jae ping_rr_ok
+)" + rr_bug + R"(
+ping_rr_ok:
+        ; walk the recorded route: per-byte processing makes the
+        ; reply's option length dominate the execution-time envelope
+        ; (real record-route options carry at most 9 addresses; the
+        ; cap also keeps the walk's fork tree bounded)
+        mov r4, r7
+        subi r4, 2               ; payload bytes in this option
+        andi r4, 15
+ping_rr_walk:
+        cmpi r4, 0
+        jeq ping_rr_next
+        movi r5, 20              ; per-hop processing (concrete loop,
+ping_rr_hop:                     ;  so it adds cost but never forks)
+        addi r13, 7
+        muli r13, 3
+        subi r5, 1
+        cmpi r5, 0
+        jne ping_rr_hop
+        subi r4, 1
+        jmp ping_rr_walk
+ping_rr_next:
+        add r12, r7
+        jmp ping_optloop
+ping_otheropt:
+        cmpi r7, 2
+        jb ping_badhdr           ; malformed option
+        add r12, r7
+        jmp ping_optloop
+ping_ok:
+        movi r4, 'Y'
+        out CONSOLE, r4
+        hlt
+ping_badhdr:
+        movi r4, 'E'
+        out CONSOLE, r4
+        hlt
+ping_fail:
+        movi r4, 'F'
+        out CONSOLE, r4
+        hlt
+)";
+}
+
+std::string
+luaSource()
+{
+    return R"(
+        .equ CONSOLE, 0x10
+        .equ L_INPUT, 0x40200
+        .equ L_TOKBUF, 0x40300
+        .equ L_BC, 0x40400
+        .equ L_VARS, 0x40500
+        .equ L_VSTACK, 0x40600
+        .equ L_CUR, 0x40700
+        .equ L_EMIT, 0x40704
+
+        .org 0x30000
+        .entry lua_main
+lua_main:
+        movi sp, 0x7F000
+        movi r1, L_INPUT
+        call lex
+        cmpi r1, 0
+        jne lua_lexerr
+        movi r4, L_CUR
+        movi r5, 0
+        stw [r4], r5
+        movi r4, L_EMIT
+        stw [r4], r5
+        call parse
+        cmpi r1, 0
+        jne lua_parseerr
+        movi r1, 0               ; emit HALT
+        movi r2, 0
+        call emit
+        call interp
+        cmpi r1, 0
+        jne lua_runerr
+        movi r4, 'K'
+        out CONSOLE, r4
+        hlt
+lua_lexerr:
+        movi r4, 'L'
+        out CONSOLE, r4
+        hlt
+lua_parseerr:
+        movi r4, 'P'
+        out CONSOLE, r4
+        hlt
+lua_runerr:
+        movi r4, 'R'
+        out CONSOLE, r4
+        hlt
+
+; ======================= lexer =========================================
+; lex(r1 input) -> r1 = 0 ok / 1 error; tokens to L_TOKBUF as
+; [kind u8][value u8]: 0 EOF, 1 NUM, 2 VAR, 3 '+', 4 '-', 5 '*',
+; 6 '/', 7 '(', 8 ')', 9 '=', 10 ';', 11 '!'
+lex:
+        mov r8, r1
+        movi r9, L_TOKBUF
+        movi r10, 0              ; token count guard
+lex_loop:
+        cmpi r10, 62
+        ja lex_err               ; too many tokens
+        ldb r4, [r8]
+        cmpi r4, 0
+        jeq lex_eof
+        cmpi r4, ' '
+        jne lex_nonspace
+        addi r8, 1
+        jmp lex_loop
+lex_nonspace:
+        cmpi r4, '0'
+        jb lex_notdigit
+        cmpi r4, '9'
+        ja lex_notdigit
+        movi r5, 0               ; parse the number
+lex_num:
+        ldb r4, [r8]
+        cmpi r4, '0'
+        jb lex_numdone
+        cmpi r4, '9'
+        ja lex_numdone
+        muli r5, 10
+        add r5, r4
+        subi r5, '0'
+        andi r5, 0xFF
+        addi r8, 1
+        jmp lex_num
+lex_numdone:
+        movi r4, 1
+        stb [r9], r4
+        stb [r9+1], r5
+        addi r9, 2
+        addi r10, 1
+        jmp lex_loop
+lex_notdigit:
+        cmpi r4, 'a'
+        jb lex_notvar
+        cmpi r4, 'z'
+        ja lex_notvar
+        movi r5, 2
+        stb [r9], r5
+        subi r4, 'a'
+        stb [r9+1], r4
+        addi r9, 2
+        addi r10, 1
+        addi r8, 1
+        jmp lex_loop
+lex_notvar:
+        movi r5, 0
+        cmpi r4, '+'
+        jne lex_n1
+        movi r5, 3
+lex_n1: cmpi r4, '-'
+        jne lex_n2
+        movi r5, 4
+lex_n2: cmpi r4, '*'
+        jne lex_n3
+        movi r5, 5
+lex_n3: cmpi r4, '/'
+        jne lex_n4
+        movi r5, 6
+lex_n4: cmpi r4, '('
+        jne lex_n5
+        movi r5, 7
+lex_n5: cmpi r4, ')'
+        jne lex_n6
+        movi r5, 8
+lex_n6: cmpi r4, '='
+        jne lex_n7
+        movi r5, 9
+lex_n7: cmpi r4, ';'
+        jne lex_n8
+        movi r5, 10
+lex_n8: cmpi r4, '!'
+        jne lex_n9
+        movi r5, 11
+lex_n9: cmpi r5, 0
+        jeq lex_err              ; unknown character
+        stb [r9], r5
+        movi r5, 0
+        stb [r9+1], r5
+        addi r9, 2
+        addi r10, 1
+        addi r8, 1
+        jmp lex_loop
+lex_eof:
+        movi r4, 0
+        stb [r9], r4
+        stb [r9+1], r4
+        movi r1, 0
+        ret
+lex_err:
+        movi r1, 1
+        ret
+
+; ======================= parser ========================================
+; tok_peek -> r1 = kind, r2 = value (does not advance)
+tok_peek:
+        movi r4, L_CUR
+        ldw r5, [r4]
+        movi r6, L_TOKBUF
+        add r6, r5
+        add r6, r5
+        ldb r1, [r6]
+        ldb r2, [r6+1]
+        ret
+tok_next:
+        movi r4, L_CUR
+        ldw r5, [r4]
+        addi r5, 1
+        stw [r4], r5
+        ret
+; emit(r1 op, r2 arg)
+emit:
+        movi r4, L_EMIT
+        ldw r5, [r4]
+        cmpi r5, 126
+        ja emit_full
+        movi r6, L_BC
+        add r6, r5
+        stb [r6], r1
+        stb [r6+1], r2
+        addi r5, 2
+        stw [r4], r5
+emit_full:
+        ret
+
+; parse -> r1 = 0 ok / 1 error. Grammar:
+;   program := { stmt ';' } EOF
+;   stmt    := VAR '=' expr | '!' expr
+parse:
+parse_loop:
+        call tok_peek
+        cmpi r1, 0               ; EOF
+        jeq parse_ok
+        cmpi r1, 2               ; VAR '=' expr
+        jeq parse_assign
+        cmpi r1, 11              ; '!' expr
+        jeq parse_print
+        jmp parse_err
+parse_assign:
+        push r2                  ; variable index
+        call tok_next
+        call tok_peek
+        cmpi r1, 9               ; '='
+        jne parse_err_pop
+        call tok_next
+        call p_expr
+        cmpi r1, 0
+        jne parse_err_pop
+        pop r2
+        movi r1, 3               ; STORE
+        call emit
+        jmp parse_semi
+parse_print:
+        call tok_next
+        call p_expr
+        cmpi r1, 0
+        jne parse_err
+        movi r1, 8               ; PRINT
+        movi r2, 0
+        call emit
+parse_semi:
+        call tok_peek
+        cmpi r1, 10              ; ';'
+        jne parse_err
+        call tok_next
+        jmp parse_loop
+parse_err_pop:
+        pop r2
+parse_err:
+        movi r1, 1
+        ret
+parse_ok:
+        movi r1, 0
+        ret
+
+; expr := term { (+|-) term }
+p_expr:
+        call p_term
+        cmpi r1, 0
+        jne p_expr_ret
+p_expr_loop:
+        call tok_peek
+        cmpi r1, 3               ; '+'
+        jeq p_expr_add
+        cmpi r1, 4               ; '-'
+        jeq p_expr_sub
+        movi r1, 0
+        ret
+p_expr_add:
+        call tok_next
+        call p_term
+        cmpi r1, 0
+        jne p_expr_ret
+        movi r1, 4               ; ADD
+        movi r2, 0
+        call emit
+        jmp p_expr_loop
+p_expr_sub:
+        call tok_next
+        call p_term
+        cmpi r1, 0
+        jne p_expr_ret
+        movi r1, 5               ; SUB
+        movi r2, 0
+        call emit
+        jmp p_expr_loop
+p_expr_ret:
+        ret
+
+; term := factor { (*|/) factor }
+p_term:
+        call p_factor
+        cmpi r1, 0
+        jne p_term_ret
+p_term_loop:
+        call tok_peek
+        cmpi r1, 5               ; '*'
+        jeq p_term_mul
+        cmpi r1, 6               ; '/'
+        jeq p_term_div
+        movi r1, 0
+        ret
+p_term_mul:
+        call tok_next
+        call p_factor
+        cmpi r1, 0
+        jne p_term_ret
+        movi r1, 6               ; MUL
+        movi r2, 0
+        call emit
+        jmp p_term_loop
+p_term_div:
+        call tok_next
+        call p_factor
+        cmpi r1, 0
+        jne p_term_ret
+        movi r1, 7               ; DIV
+        movi r2, 0
+        call emit
+        jmp p_term_loop
+p_term_ret:
+        ret
+
+; factor := NUM | VAR | '(' expr ')'
+p_factor:
+        call tok_peek
+        cmpi r1, 1               ; NUM
+        jne p_factor_notnum
+        call tok_next
+        movi r1, 1               ; PUSH
+        call emit
+        movi r1, 0
+        ret
+p_factor_notnum:
+        cmpi r1, 2               ; VAR
+        jne p_factor_notvar
+        call tok_next
+        movi r1, 2               ; LOAD
+        call emit
+        movi r1, 0
+        ret
+p_factor_notvar:
+        cmpi r1, 7               ; '('
+        jne p_factor_err
+        call tok_next
+        call p_expr
+        cmpi r1, 0
+        jne p_factor_ret
+        call tok_peek
+        cmpi r1, 8               ; ')'
+        jne p_factor_err
+        call tok_next
+        movi r1, 0
+        ret
+p_factor_err:
+        movi r1, 1
+p_factor_ret:
+        ret
+
+; ======================= interpreter ===================================
+; interp -> r1 = 0 ok / 1 runtime error. Stack machine over L_BC.
+interp:
+interp_start:                    ; annotation hook for LC / RC-OC
+        movi r8, L_BC            ; bytecode pc
+        movi r9, L_VSTACK        ; value stack pointer (grows up)
+interp_loop:
+        movi r4, L_BC+128
+        cmp r8, r4
+        jae interp_err           ; ran off the bytecode
+        ldb r4, [r8]             ; opcode
+        ldb r5, [r8+1]           ; argument
+        addi r8, 2
+        cmpi r4, 0
+        jeq interp_halt
+        cmpi r4, 1
+        jeq op_push
+        cmpi r4, 2
+        jeq op_load
+        cmpi r4, 3
+        jeq op_store
+        cmpi r4, 4
+        jeq op_add
+        cmpi r4, 5
+        jeq op_sub
+        cmpi r4, 6
+        jeq op_mul
+        cmpi r4, 7
+        jeq op_div
+        cmpi r4, 8
+        jeq op_print
+        jmp interp_err           ; invalid opcode
+op_push:
+        stw [r9], r5
+        addi r9, 4
+        jmp interp_loop
+op_load:
+        cmpi r5, 26
+        jae interp_err
+        shli r5, 2
+        movi r6, L_VARS
+        add r6, r5
+        ldw r6, [r6]
+        stw [r9], r6
+        addi r9, 4
+        jmp interp_loop
+op_store:
+        cmpi r5, 26
+        jae interp_err
+        movi r6, L_VSTACK
+        cmp r9, r6
+        jbe interp_err           ; stack underflow
+        subi r9, 4
+        ldw r6, [r9]
+        shli r5, 2
+        movi r7, L_VARS
+        add r7, r5
+        stw [r7], r6
+        jmp interp_loop
+op_add:
+        call vpop2
+        cmpi r1, 1
+        jeq interp_err
+        add r6, r7
+        stw [r9], r6
+        addi r9, 4
+        jmp interp_loop
+op_sub:
+        call vpop2
+        cmpi r1, 1
+        jeq interp_err
+        sub r6, r7
+        stw [r9], r6
+        addi r9, 4
+        jmp interp_loop
+op_mul:
+        call vpop2
+        cmpi r1, 1
+        jeq interp_err
+        mul r6, r7
+        stw [r9], r6
+        addi r9, 4
+        jmp interp_loop
+op_div:
+        call vpop2
+        cmpi r1, 1
+        jeq interp_err
+        cmpi r7, 0
+        jeq interp_err           ; division by zero
+        udiv r6, r7
+        stw [r9], r6
+        addi r9, 4
+        jmp interp_loop
+op_print:
+        movi r6, L_VSTACK
+        cmp r9, r6
+        jbe interp_err
+        subi r9, 4
+        ldw r1, [r9]
+        call print_u32
+        jmp interp_loop
+interp_halt:
+        movi r1, 0
+        ret
+interp_err:
+        movi r1, 1
+        ret
+
+; vpop2: pops rhs into r7 and lhs into r6; r1 = 1 on underflow
+vpop2:
+        movi r6, L_VSTACK+4
+        cmp r9, r6
+        jbe vpop2_under
+        subi r9, 4
+        ldw r7, [r9]
+        subi r9, 4
+        ldw r6, [r9]
+        movi r1, 0
+        ret
+vpop2_under:
+        movi r1, 1
+        ret
+
+; print_u32(r1): decimal + newline on the console
+print_u32:
+        movi r6, 0               ; digit count
+pd_loop:
+        movi r5, 10
+        mov r4, r1
+        urem r4, r5
+        addi r4, '0'
+        push r4
+        addi r6, 1
+        udiv r1, r5
+        cmpi r1, 0
+        jne pd_loop
+pd_emit:
+        pop r4
+        out CONSOLE, r4
+        subi r6, 1
+        cmpi r6, 0
+        jne pd_emit
+        movi r4, '\n'
+        out CONSOLE, r4
+        ret
+)";
+}
+
+std::string
+licenseCheckSource()
+{
+    return R"(
+        .equ CONSOLE, 0x10
+
+        .org 0x30000
+        .entry lic_main
+lic_main:
+        movi sp, 0x7F000
+        ; the license key pointer lives in the registry
+        movi r0, 6
+        movi r1, 4               ; CFG_LICENSEPTR
+        int 0x30
+        cmpi r1, 0
+        jeq lic_nokey
+        mov r8, r1
+        ; length must be exactly 8
+        mov r1, r8
+        call strlen
+        cmpi r1, 8
+        jne lic_bad
+        ; prefix "S2"
+        ldb r4, [r8]
+        cmpi r4, 'S'
+        jne lic_bad
+        ldb r4, [r8+1]
+        cmpi r4, '2'
+        jne lic_bad
+        ; characters 2..6 are digits; accumulate their sum
+        movi r9, 0
+        movi r10, 2
+lic_digits:
+        mov r5, r8
+        add r5, r10
+        ldb r4, [r5]
+        cmpi r4, '0'
+        jb lic_bad
+        cmpi r4, '9'
+        ja lic_bad
+        subi r4, '0'
+        add r9, r4
+        addi r10, 1
+        cmpi r10, 7
+        jb lic_digits
+        ; checksum: digit sum mod 7 must be 3
+        movi r5, 7
+        urem r9, r5
+        cmpi r9, 3
+        jne lic_bad
+        ; legacy 'X' suffix path has a latent assertion bug
+        ldb r4, [r8+7]
+        cmpi r4, 'X'
+        jne lic_ok
+        ldb r4, [r8+2]
+        cmpi r4, '9'
+        jne lic_ok
+        movi r4, 0
+        s2e_assert r4            ; fails for S29ddddX-style valid keys
+lic_ok:
+        movi r4, 'V'
+        out CONSOLE, r4
+        hlt
+lic_bad:
+        movi r4, 'B'
+        out CONSOLE, r4
+        hlt
+lic_nokey:
+        movi r4, 'N'
+        out CONSOLE, r4
+        hlt
+)";
+}
+
+} // namespace s2e::guest

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Application workloads (gisa assembly) reproducing the paper's
+ * evaluation subjects:
+ *
+ *  - urlParserSource(): an Apache-style URL parser whose cost is
+ *    linear in the number of '/' characters (10 extra instructions
+ *    per '/'), with percent-decoding and query parsing — the §6.1.3
+ *    PROFS subject;
+ *  - pingSource(): a ping clone that transmits an echo request via
+ *    the DMA NIC (loopback) and parses the reply's IP options. The
+ *    unpatched variant contains the real ping bug: a record-route
+ *    option with length < 4 loops forever because the parser
+ *    `continue`s without advancing;
+ *  - luaSource(): a lexer + recursive-descent parser + stack-machine
+ *    interpreter for a tiny expression/statement language — the
+ *    Table 6 / Figs 7-9 subject whose parser is deliberately hostile
+ *    to symbolic execution;
+ *  - licenseCheckSource(): the intro's license-key validation demo
+ *    with a deep-path assertion failure.
+ *
+ * All expect kernelSource() to be concatenated first; pingSource()
+ * additionally needs driverSource(DriverKind::Dma).
+ */
+
+#ifndef S2E_GUEST_WORKLOADS_HH
+#define S2E_GUEST_WORKLOADS_HH
+
+#include <string>
+
+namespace s2e::guest {
+
+/** Address of the URL input buffer (kAppData). */
+constexpr uint32_t kUrlBuffer = 0x40000;
+/** Maximum URL length the parser accepts. */
+constexpr uint32_t kUrlMaxLen = 40;
+
+std::string urlParserSource();
+
+/** Ping reply buffer address (for symbolification). */
+constexpr uint32_t kPingReplyBuffer = 0x40100;
+
+std::string pingSource(bool patched);
+
+/** Lua program text buffer / compiled bytecode area. */
+constexpr uint32_t kLuaInput = 0x40200;
+constexpr uint32_t kLuaBytecode = 0x40400;
+constexpr uint32_t kLuaMaxBytecode = 128; ///< bytes (2-byte instrs)
+/** Bytecode opcode values (op byte, arg byte). */
+constexpr uint32_t kLuaOpHalt = 0;
+constexpr uint32_t kLuaOpPush = 1;  ///< push literal arg
+constexpr uint32_t kLuaOpLoad = 2;  ///< push variable arg (0..25)
+constexpr uint32_t kLuaOpStore = 3; ///< pop into variable arg
+constexpr uint32_t kLuaOpAdd = 4;
+constexpr uint32_t kLuaOpSub = 5;
+constexpr uint32_t kLuaOpMul = 6;
+constexpr uint32_t kLuaOpDiv = 7;
+constexpr uint32_t kLuaOpPrint = 8;
+constexpr uint32_t kLuaOpMax = 8;
+/** Label the LC/RC-OC annotation hooks onto (start of interpreter). */
+std::string luaSource();
+
+/** License key string address (read via the config store). */
+constexpr uint32_t kLicenseKeyLen = 8;
+
+std::string licenseCheckSource();
+
+} // namespace s2e::guest
+
+#endif // S2E_GUEST_WORKLOADS_HH

@@ -1,0 +1,811 @@
+#include "isa/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+
+#include "support/logging.hh"
+
+namespace s2e::isa {
+
+size_t
+Program::size() const
+{
+    size_t total = 0;
+    for (const auto &s : sections)
+        total += s.bytes.size();
+    return total;
+}
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    size_t a = s.find_first_not_of(" \t\r");
+    if (a == std::string::npos)
+        return "";
+    size_t z = s.find_last_not_of(" \t\r");
+    return s.substr(a, z - a + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+/** Split an operand list on commas (respecting quotes and brackets). */
+std::vector<std::string>
+splitOperands(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    bool in_quote = false;
+    int bracket = 0;
+    for (char c : s) {
+        if (c == '"' )
+            in_quote = !in_quote;
+        if (!in_quote) {
+            if (c == '[')
+                bracket++;
+            if (c == ']')
+                bracket--;
+            if (c == ',' && bracket == 0) {
+                out.push_back(trim(cur));
+                cur.clear();
+                continue;
+            }
+        }
+        cur += c;
+    }
+    cur = trim(cur);
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::optional<uint8_t>
+parseReg(const std::string &tok)
+{
+    std::string t = lower(trim(tok));
+    if (t == "sp")
+        return kRegSp;
+    if (t.size() >= 2 && t[0] == 'r') {
+        unsigned v = 0;
+        for (size_t i = 1; i < t.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                return std::nullopt;
+            v = v * 10 + (t[i] - '0');
+        }
+        if (v < kNumRegs)
+            return static_cast<uint8_t>(v);
+    }
+    return std::nullopt;
+}
+
+/** A line item produced by pass 1. */
+struct Item {
+    enum class Type { Instr, Data } type = Type::Instr;
+    unsigned line = 0;
+    uint32_t addr = 0;
+    // Instr:
+    Opcode op = Opcode::Nop;
+    Cond cc = Cond::Eq;
+    std::optional<uint8_t> r1, r2;
+    std::string immExpr;  ///< expression for imm
+    std::string imm2Expr; ///< expression for imm2
+    // Data:
+    unsigned elemSize = 0; ///< 1, 2 or 4; 0 for raw bytes
+    std::vector<std::string> dataExprs;
+    std::vector<uint8_t> rawBytes;
+};
+
+struct CondMnemonic {
+    const char *name;
+    Cond cc;
+};
+
+const CondMnemonic kCondMnemonics[] = {
+    {"jeq", Cond::Eq},   {"jz", Cond::Eq},   {"jne", Cond::Ne},
+    {"jnz", Cond::Ne},   {"jb", Cond::Ult},  {"jult", Cond::Ult},
+    {"jae", Cond::Uge},  {"juge", Cond::Uge}, {"jbe", Cond::Ule},
+    {"jule", Cond::Ule}, {"ja", Cond::Ugt},  {"jugt", Cond::Ugt},
+    {"jlt", Cond::Slt},  {"jslt", Cond::Slt}, {"jge", Cond::Sge},
+    {"jsge", Cond::Sge}, {"jle", Cond::Sle}, {"jsle", Cond::Sle},
+    {"jgt", Cond::Sgt},  {"jsgt", Cond::Sgt},
+};
+
+/** reg/reg vs reg/imm opcode pairs. */
+struct AluMnemonic {
+    const char *name;
+    Opcode regForm;
+    Opcode immForm; ///< Nop if no immediate form
+};
+
+const AluMnemonic kAluMnemonics[] = {
+    {"mov", Opcode::Mov, Opcode::MovI},
+    {"add", Opcode::Add, Opcode::AddI},
+    {"sub", Opcode::Sub, Opcode::SubI},
+    {"and", Opcode::And, Opcode::AndI},
+    {"or", Opcode::Or, Opcode::OrI},
+    {"xor", Opcode::Xor, Opcode::XorI},
+    {"shl", Opcode::Shl, Opcode::ShlI},
+    {"shr", Opcode::Shr, Opcode::ShrI},
+    {"sar", Opcode::Sar, Opcode::SarI},
+    {"mul", Opcode::Mul, Opcode::MulI},
+    {"cmp", Opcode::Cmp, Opcode::CmpI},
+    {"test", Opcode::Test, Opcode::TestI},
+    {"udiv", Opcode::UDiv, Opcode::Nop},
+    {"sdiv", Opcode::SDiv, Opcode::Nop},
+    {"urem", Opcode::URem, Opcode::Nop},
+    {"srem", Opcode::SRem, Opcode::Nop},
+};
+
+struct MemMnemonic {
+    const char *name;
+    Opcode op;
+    bool isStore;
+};
+
+const MemMnemonic kMemMnemonics[] = {
+    {"ldb", Opcode::Ldb, false},  {"ldbs", Opcode::Ldbs, false},
+    {"ldh", Opcode::Ldh, false},  {"ldhs", Opcode::Ldhs, false},
+    {"ldw", Opcode::Ldw, false},  {"stb", Opcode::Stb, true},
+    {"sth", Opcode::Sth, true},   {"stw", Opcode::Stw, true},
+};
+
+/** The assembler driver: two passes over pre-parsed items. */
+class Assembler
+{
+  public:
+    Program
+    run(const std::string &source)
+    {
+        pass1(source);
+        pass2();
+        program_.symbols = symbols_;
+        if (!entryName_.empty()) {
+            auto it = symbols_.find(entryName_);
+            if (it == symbols_.end())
+                throw AsmError(entryLine_,
+                               "undefined entry symbol '" + entryName_ +
+                                   "'");
+            program_.entry = it->second;
+        }
+        return std::move(program_);
+    }
+
+  private:
+    // ----- Expression evaluation -----------------------------------
+
+    struct ExprParser {
+        const std::string &s;
+        size_t pos = 0;
+        const std::map<std::string, uint32_t> &syms;
+        unsigned line;
+        bool allowUndef;
+        bool sawUndef = false;
+
+        void
+        skipWs()
+        {
+            while (pos < s.size() && std::isspace(
+                                         static_cast<unsigned char>(s[pos])))
+                pos++;
+        }
+
+        int64_t
+        parsePrimary()
+        {
+            skipWs();
+            if (pos >= s.size())
+                throw AsmError(line, "expected expression in '" + s + "'");
+            char c = s[pos];
+            if (c == '(') {
+                pos++;
+                int64_t v = parseExpr();
+                skipWs();
+                if (pos >= s.size() || s[pos] != ')')
+                    throw AsmError(line, "missing ')' in '" + s + "'");
+                pos++;
+                return v;
+            }
+            if (c == '-') {
+                pos++;
+                return -parsePrimary();
+            }
+            if (c == '~') {
+                pos++;
+                return ~parsePrimary();
+            }
+            if (c == '\'') {
+                // character literal, with \n \t \0 \\ escapes
+                pos++;
+                if (pos >= s.size())
+                    throw AsmError(line, "bad char literal");
+                char v = s[pos++];
+                if (v == '\\' && pos < s.size()) {
+                    char e = s[pos++];
+                    switch (e) {
+                      case 'n': v = '\n'; break;
+                      case 't': v = '\t'; break;
+                      case '0': v = '\0'; break;
+                      case 'r': v = '\r'; break;
+                      default: v = e; break;
+                    }
+                }
+                if (pos >= s.size() || s[pos] != '\'')
+                    throw AsmError(line, "unterminated char literal");
+                pos++;
+                return static_cast<unsigned char>(v);
+            }
+            if (std::isdigit(static_cast<unsigned char>(c))) {
+                size_t used = 0;
+                int64_t v;
+                std::string rest = s.substr(pos);
+                try {
+                    if (rest.size() > 2 && rest[0] == '0' &&
+                        (rest[1] == 'x' || rest[1] == 'X')) {
+                        v = static_cast<int64_t>(
+                            std::stoull(rest.substr(2), &used, 16));
+                        used += 2;
+                    } else if (rest.size() > 2 && rest[0] == '0' &&
+                               (rest[1] == 'b' || rest[1] == 'B')) {
+                        v = static_cast<int64_t>(
+                            std::stoull(rest.substr(2), &used, 2));
+                        used += 2;
+                    } else {
+                        v = static_cast<int64_t>(
+                            std::stoull(rest, &used, 10));
+                    }
+                } catch (const std::exception &) {
+                    throw AsmError(line, "bad number in '" + s + "'");
+                }
+                pos += used;
+                return v;
+            }
+            if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' ||
+                c == '.') {
+                size_t start = pos;
+                while (pos < s.size() &&
+                       (std::isalnum(static_cast<unsigned char>(s[pos])) ||
+                        s[pos] == '_' || s[pos] == '.'))
+                    pos++;
+                std::string name = s.substr(start, pos - start);
+                auto it = syms.find(name);
+                if (it == syms.end()) {
+                    if (allowUndef) {
+                        sawUndef = true;
+                        return 0;
+                    }
+                    throw AsmError(line, "undefined symbol '" + name + "'");
+                }
+                return it->second;
+            }
+            throw AsmError(line, "unexpected character '" +
+                                     std::string(1, c) + "' in '" + s + "'");
+        }
+
+        int64_t
+        parseExpr()
+        {
+            int64_t v = parsePrimary();
+            for (;;) {
+                skipWs();
+                if (pos < s.size() && (s[pos] == '+' || s[pos] == '-')) {
+                    char op = s[pos++];
+                    int64_t rhs = parsePrimary();
+                    v = op == '+' ? v + rhs : v - rhs;
+                } else {
+                    break;
+                }
+            }
+            return v;
+        }
+    };
+
+    uint32_t
+    evalExpr(const std::string &text, unsigned line, bool allowUndef = false,
+             bool *sawUndef = nullptr)
+    {
+        ExprParser p{text, 0, symbols_, line, allowUndef};
+        int64_t v = p.parseExpr();
+        p.skipWs();
+        if (p.pos != text.size())
+            throw AsmError(line, "trailing junk in expression '" + text +
+                                     "'");
+        if (sawUndef)
+            *sawUndef = p.sawUndef;
+        return static_cast<uint32_t>(v);
+    }
+
+    // ----- Pass 1: sizing, labels, directives -----------------------
+
+    void
+    pass1(const std::string &source)
+    {
+        uint32_t pc = 0;
+        unsigned line_no = 0;
+        size_t start = 0;
+        while (start <= source.size()) {
+            size_t end = source.find('\n', start);
+            std::string raw = source.substr(
+                start, end == std::string::npos ? std::string::npos
+                                                : end - start);
+            start = end == std::string::npos ? source.size() + 1 : end + 1;
+            line_no++;
+
+            // Strip comments, respecting string and char literals
+            // (';' is both the comment marker and a valid char).
+            bool in_quote = false;
+            bool in_char = false;
+            for (size_t i = 0; i < raw.size(); ++i) {
+                char c = raw[i];
+                if (c == '\\' && (in_quote || in_char)) {
+                    i++; // skip the escaped character
+                    continue;
+                }
+                if (c == '"' && !in_char)
+                    in_quote = !in_quote;
+                else if (c == '\'' && !in_quote)
+                    in_char = !in_char;
+                if (!in_quote && !in_char && (c == ';' || c == '#')) {
+                    raw = raw.substr(0, i);
+                    break;
+                }
+            }
+            std::string text = trim(raw);
+
+            // Labels (possibly several on one line).
+            for (;;) {
+                size_t colon = text.find(':');
+                if (colon == std::string::npos)
+                    break;
+                std::string head = trim(text.substr(0, colon));
+                // Only treat as label when head is a valid identifier.
+                bool ident = !head.empty();
+                for (char c : head)
+                    if (!std::isalnum(static_cast<unsigned char>(c)) &&
+                        c != '_' && c != '.')
+                        ident = false;
+                if (!ident)
+                    break;
+                if (symbols_.count(head))
+                    throw AsmError(line_no,
+                                   "duplicate label '" + head + "'");
+                symbols_[head] = pc;
+                text = trim(text.substr(colon + 1));
+            }
+            if (text.empty())
+                continue;
+
+            // Mnemonic and operands.
+            size_t sp = text.find_first_of(" \t");
+            std::string mnem = lower(
+                sp == std::string::npos ? text : text.substr(0, sp));
+            std::string rest =
+                sp == std::string::npos ? "" : trim(text.substr(sp + 1));
+            std::vector<std::string> ops = splitOperands(rest);
+
+            if (mnem[0] == '.') {
+                pc = directive(mnem, ops, rest, pc, line_no);
+                continue;
+            }
+
+            Item item = parseInstr(mnem, ops, line_no);
+            item.addr = pc;
+            pc += instrLength(item.op);
+            items_.push_back(std::move(item));
+        }
+    }
+
+    uint32_t
+    directive(const std::string &mnem, const std::vector<std::string> &ops,
+              const std::string &rest, uint32_t pc, unsigned line)
+    {
+        if (mnem == ".org") {
+            if (ops.size() != 1)
+                throw AsmError(line, ".org needs one operand");
+            return evalExpr(ops[0], line); // sections derived in pass 2
+        }
+        if (mnem == ".entry") {
+            if (ops.size() != 1)
+                throw AsmError(line, ".entry needs one symbol");
+            entryName_ = ops[0];
+            entryLine_ = line;
+            return pc;
+        }
+        if (mnem == ".equ") {
+            if (ops.size() != 2)
+                throw AsmError(line, ".equ needs name, value");
+            uint32_t value = evalExpr(ops[1], line);
+            auto it = symbols_.find(ops[0]);
+            if (it != symbols_.end()) {
+                // Concatenated sources may share constants; only a
+                // conflicting redefinition is an error.
+                if (it->second != value)
+                    throw AsmError(line, "conflicting redefinition of '" +
+                                             ops[0] + "'");
+                return pc;
+            }
+            symbols_[ops[0]] = value;
+            return pc;
+        }
+        if (mnem == ".word" || mnem == ".half" || mnem == ".byte") {
+            unsigned esz = mnem == ".word" ? 4 : mnem == ".half" ? 2 : 1;
+            if (ops.empty())
+                throw AsmError(line, mnem + " needs operands");
+            Item item;
+            item.type = Item::Type::Data;
+            item.line = line;
+            item.addr = pc;
+            item.elemSize = esz;
+            item.dataExprs = ops;
+            items_.push_back(std::move(item));
+            return pc + esz * static_cast<uint32_t>(ops.size());
+        }
+        if (mnem == ".asciz" || mnem == ".ascii") {
+            std::string content = parseStringLiteral(rest, line);
+            Item item;
+            item.type = Item::Type::Data;
+            item.line = line;
+            item.addr = pc;
+            item.rawBytes.assign(content.begin(), content.end());
+            if (mnem == ".asciz")
+                item.rawBytes.push_back(0);
+            uint32_t len = static_cast<uint32_t>(item.rawBytes.size());
+            items_.push_back(std::move(item));
+            return pc + len;
+        }
+        if (mnem == ".space") {
+            if (ops.empty() || ops.size() > 2)
+                throw AsmError(line, ".space needs size [, fill]");
+            uint32_t n = evalExpr(ops[0], line);
+            uint8_t fill = ops.size() == 2
+                               ? static_cast<uint8_t>(evalExpr(ops[1], line))
+                               : 0;
+            Item item;
+            item.type = Item::Type::Data;
+            item.line = line;
+            item.addr = pc;
+            item.rawBytes.assign(n, fill);
+            items_.push_back(std::move(item));
+            return pc + n;
+        }
+        if (mnem == ".align") {
+            if (ops.size() != 1)
+                throw AsmError(line, ".align needs one operand");
+            uint32_t a = evalExpr(ops[0], line);
+            if (a == 0 || (a & (a - 1)))
+                throw AsmError(line, ".align must be a power of two");
+            uint32_t pad = (a - (pc % a)) % a;
+            if (pad) {
+                Item item;
+                item.type = Item::Type::Data;
+                item.line = line;
+                item.addr = pc;
+                item.rawBytes.assign(pad, 0);
+                items_.push_back(std::move(item));
+            }
+            return pc + pad;
+        }
+        throw AsmError(line, "unknown directive '" + mnem + "'");
+    }
+
+    std::string
+    parseStringLiteral(const std::string &rest, unsigned line)
+    {
+        size_t q1 = rest.find('"');
+        size_t q2 = rest.rfind('"');
+        if (q1 == std::string::npos || q2 <= q1)
+            throw AsmError(line, "expected string literal");
+        std::string raw = rest.substr(q1 + 1, q2 - q1 - 1);
+        std::string out;
+        for (size_t i = 0; i < raw.size(); ++i) {
+            if (raw[i] == '\\' && i + 1 < raw.size()) {
+                char e = raw[++i];
+                switch (e) {
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  case '0': out += '\0'; break;
+                  case 'r': out += '\r'; break;
+                  default: out += e; break;
+                }
+            } else {
+                out += raw[i];
+            }
+        }
+        return out;
+    }
+
+    // ----- Instruction parsing --------------------------------------
+
+    Item
+    parseInstr(const std::string &mnem, const std::vector<std::string> &ops,
+               unsigned line)
+    {
+        Item item;
+        item.line = line;
+
+        auto needOps = [&](size_t n) {
+            if (ops.size() != n)
+                throw AsmError(line, mnem + " expects " +
+                                         std::to_string(n) + " operand(s)");
+        };
+
+        // No-operand instructions.
+        static const std::map<std::string, Opcode> simple = {
+            {"nop", Opcode::Nop},     {"hlt", Opcode::Hlt},
+            {"ret", Opcode::Ret},     {"iret", Opcode::Iret},
+            {"cli", Opcode::Cli},     {"sti", Opcode::Sti},
+            {"s2e_ena", Opcode::S2Ena}, {"s2e_dis", Opcode::S2Dis},
+        };
+        if (auto it = simple.find(mnem); it != simple.end()) {
+            needOps(0);
+            item.op = it->second;
+            return item;
+        }
+
+        // One-register instructions.
+        static const std::map<std::string, Opcode> onereg = {
+            {"push", Opcode::Push},       {"pop", Opcode::Pop},
+            {"not", Opcode::NotR},        {"neg", Opcode::NegR},
+            {"s2e_symreg", Opcode::S2SymReg},
+            {"s2e_out", Opcode::S2Out},
+            {"s2e_assert", Opcode::S2Assert},
+            {"s2e_concrete", Opcode::S2Concrete},
+        };
+        if (auto it = onereg.find(mnem); it != onereg.end()) {
+            needOps(1);
+            auto r = parseReg(ops[0]);
+            if (!r)
+                throw AsmError(line, "expected register, got '" + ops[0] +
+                                         "'");
+            item.op = it->second;
+            item.r1 = r;
+            return item;
+        }
+
+        // ALU reg/reg or reg/imm.
+        for (const auto &alu : kAluMnemonics) {
+            if (mnem == alu.name ||
+                (alu.immForm != Opcode::Nop &&
+                 mnem == std::string(alu.name) + "i")) {
+                needOps(2);
+                auto rd = parseReg(ops[0]);
+                if (!rd)
+                    throw AsmError(line, "expected register destination");
+                item.r1 = rd;
+                auto rs = parseReg(ops[1]);
+                if (rs && mnem == alu.name) {
+                    item.op = alu.regForm;
+                    item.r2 = rs;
+                } else {
+                    if (alu.immForm == Opcode::Nop)
+                        throw AsmError(line, mnem +
+                                                 " has no immediate form");
+                    item.op = alu.immForm;
+                    item.immExpr = ops[1];
+                }
+                return item;
+            }
+        }
+
+        // Memory operations.
+        for (const auto &mm : kMemMnemonics) {
+            if (mnem != mm.name)
+                continue;
+            needOps(2);
+            const std::string &reg_op = mm.isStore ? ops[1] : ops[0];
+            const std::string &mem_op = mm.isStore ? ops[0] : ops[1];
+            auto r = parseReg(reg_op);
+            if (!r)
+                throw AsmError(line, "expected register operand");
+            parseMemOperand(mem_op, item, line);
+            item.op = mm.op;
+            item.r1 = r;
+            return item;
+        }
+
+        // Control flow.
+        if (mnem == "jmp" || mnem == "call") {
+            needOps(1);
+            if (auto r = parseReg(ops[0])) {
+                item.op = mnem == "jmp" ? Opcode::JmpR : Opcode::CallR;
+                item.r1 = r;
+            } else {
+                item.op = mnem == "jmp" ? Opcode::Jmp : Opcode::Call;
+                item.immExpr = ops[0];
+            }
+            return item;
+        }
+        for (const auto &cm : kCondMnemonics) {
+            if (mnem == cm.name) {
+                needOps(1);
+                item.op = Opcode::Jcc;
+                item.cc = cm.cc;
+                item.immExpr = ops[0];
+                return item;
+            }
+        }
+        if (mnem == "int") {
+            needOps(1);
+            item.op = Opcode::Int;
+            item.immExpr = ops[0];
+            return item;
+        }
+        if (mnem == "s2e_kill") {
+            needOps(1);
+            item.op = Opcode::S2Kill;
+            item.immExpr = ops[0];
+            return item;
+        }
+
+        // Port I/O.
+        if (mnem == "in") {
+            needOps(2);
+            auto rd = parseReg(ops[0]);
+            if (!rd)
+                throw AsmError(line, "in: expected register destination");
+            item.r1 = rd;
+            if (auto rp = parseReg(ops[1])) {
+                item.op = Opcode::InR;
+                item.r2 = rp;
+            } else {
+                item.op = Opcode::InI;
+                item.immExpr = ops[1];
+            }
+            return item;
+        }
+        if (mnem == "out") {
+            needOps(2);
+            auto rs = parseReg(ops[1]);
+            if (!rs)
+                throw AsmError(line, "out: expected register source");
+            item.r1 = rs;
+            if (auto rp = parseReg(ops[0])) {
+                item.op = Opcode::OutR;
+                // encoding: OutR r1=src, r2=port reg
+                item.r2 = rp;
+            } else {
+                item.op = Opcode::OutI;
+                item.immExpr = ops[0];
+            }
+            return item;
+        }
+
+        // S2E multi-operand opcodes.
+        if (mnem == "s2e_symmem") {
+            needOps(2);
+            auto ra = parseReg(ops[0]);
+            auto rl = parseReg(ops[1]);
+            if (!ra || !rl)
+                throw AsmError(line, "s2e_symmem expects two registers");
+            item.op = Opcode::S2SymMem;
+            item.r1 = ra;
+            item.r2 = rl;
+            return item;
+        }
+        if (mnem == "s2e_symrange") {
+            needOps(3);
+            auto r = parseReg(ops[0]);
+            if (!r)
+                throw AsmError(line, "s2e_symrange expects a register");
+            item.op = Opcode::S2SymRange;
+            item.r1 = r;
+            item.immExpr = ops[1];
+            item.imm2Expr = ops[2];
+            return item;
+        }
+
+        throw AsmError(line, "unknown mnemonic '" + mnem + "'");
+    }
+
+    void
+    parseMemOperand(const std::string &s, Item &item, unsigned line)
+    {
+        std::string t = trim(s);
+        if (t.size() < 2 || t.front() != '[' || t.back() != ']')
+            throw AsmError(line, "expected memory operand, got '" + s + "'");
+        std::string inner = trim(t.substr(1, t.size() - 2));
+        // Forms: [reg], [reg+expr], [reg-expr]
+        size_t op_pos = std::string::npos;
+        // Find the first top-level + or - after the register name.
+        for (size_t i = 1; i < inner.size(); ++i) {
+            if (inner[i] == '+' || inner[i] == '-') {
+                op_pos = i;
+                break;
+            }
+        }
+        std::string reg_text =
+            op_pos == std::string::npos ? inner : inner.substr(0, op_pos);
+        auto r = parseReg(reg_text);
+        if (!r)
+            throw AsmError(line, "memory base must be a register in '" + s +
+                                     "'");
+        item.r2 = r;
+        if (op_pos != std::string::npos) {
+            // Keep the sign as part of the expression.
+            item.immExpr = inner.substr(op_pos);
+            if (item.immExpr[0] == '+')
+                item.immExpr = item.immExpr.substr(1);
+        }
+    }
+
+    // ----- Pass 2: encoding ------------------------------------------
+
+    void
+    pass2()
+    {
+        // Rebuild sections from scratch: find the section each item
+        // belongs to. Simplification: sections were created in order
+        // and items are in address order within their section.
+        // We re-derive sections directly from items for robustness.
+        program_.sections.clear();
+        Program::Section *cur = nullptr;
+        uint32_t expected = 0;
+
+        for (const Item &item : items_) {
+            if (!cur || item.addr != expected) {
+                program_.sections.emplace_back();
+                cur = &program_.sections.back();
+                cur->addr = item.addr;
+                expected = item.addr;
+            }
+
+            if (item.type == Item::Type::Data) {
+                if (!item.rawBytes.empty() || item.dataExprs.empty()) {
+                    cur->bytes.insert(cur->bytes.end(),
+                                      item.rawBytes.begin(),
+                                      item.rawBytes.end());
+                    expected += item.rawBytes.size();
+                } else {
+                    for (const auto &e : item.dataExprs) {
+                        uint32_t v = evalExpr(e, item.line);
+                        for (unsigned i = 0; i < item.elemSize; ++i)
+                            cur->bytes.push_back((v >> (8 * i)) & 0xFF);
+                        expected += item.elemSize;
+                    }
+                }
+                continue;
+            }
+
+            Instruction instr;
+            instr.op = item.op;
+            instr.cc = item.cc;
+            instr.r1 = item.r1.value_or(0);
+            instr.r2 = item.r2.value_or(0);
+            if (!item.immExpr.empty())
+                instr.imm = evalExpr(item.immExpr, item.line);
+            if (!item.imm2Expr.empty())
+                instr.imm2 = evalExpr(item.imm2Expr, item.line);
+            size_t before = cur->bytes.size();
+            encode(instr, cur->bytes);
+            uint32_t encoded =
+                static_cast<uint32_t>(cur->bytes.size() - before);
+            S2E_ASSERT(encoded == instrLength(item.op),
+                       "pass2 length mismatch at line %u", item.line);
+            expected += encoded;
+        }
+    }
+
+    Program program_;
+    std::map<std::string, uint32_t> symbols_;
+    std::vector<Item> items_;
+    std::string entryName_;
+    unsigned entryLine_ = 0;
+};
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    Assembler assembler;
+    return assembler.run(source);
+}
+
+} // namespace s2e::isa

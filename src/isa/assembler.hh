@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Two-pass assembler for gisa.
+ *
+ * Guest software in this repository (mini-kernel, drivers, workloads)
+ * is written in gisa assembly text and assembled at test/benchmark
+ * startup. Supported syntax:
+ *
+ *   ; comment                      . line comments with ';' or '#'
+ *   .org 0x1000                    . set location counter
+ *   .entry main                    . program entry point
+ *   .equ NAME, expr                . named constant
+ *   .word e1, e2, ...              . 32-bit data
+ *   .half e1, ...                  . 16-bit data
+ *   .byte e1, ...                  . 8-bit data
+ *   .asciz "text"                  . NUL-terminated string
+ *   .space n [, fill]              . n fill bytes
+ *   .align n                       . pad to n-byte boundary
+ *   label:                         . define label
+ *       movi r1, 10
+ *       mov  r1, r2                . 'mov r1, 5' auto-selects movi
+ *       ldw  r2, [r1+4]            . loads/stores: [reg], [reg+expr]
+ *       stw  [r1+8], r2
+ *       jeq  label                 . jcc mnemonics: jeq jne jb jae
+ *       call func                  .   jbe ja jlt jge jle jgt
+ *       in   r1, 0x10              . port I/O, imm or reg port
+ *       s2e_symreg r1              . S2E custom opcodes
+ *
+ * Expressions: integers (dec/0x/0b/'c'), labels, .equ names, unary -,
+ * binary + and -.
+ */
+
+#ifndef S2E_ISA_ASSEMBLER_HH
+#define S2E_ISA_ASSEMBLER_HH
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hh"
+
+namespace s2e::isa {
+
+/** Assembly failure, carrying the 1-based source line. */
+class AsmError : public std::runtime_error
+{
+  public:
+    AsmError(unsigned line, const std::string &message)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             message),
+          line_(line)
+    {
+    }
+    unsigned line() const { return line_; }
+
+  private:
+    unsigned line_;
+};
+
+/** An assembled program image. */
+struct Program {
+    struct Section {
+        uint32_t addr = 0;
+        std::vector<uint8_t> bytes;
+    };
+    std::vector<Section> sections;
+    uint32_t entry = 0;
+    std::map<std::string, uint32_t> symbols;
+
+    /** Address of a symbol; throws std::out_of_range if undefined. */
+    uint32_t
+    symbol(const std::string &name) const
+    {
+        return symbols.at(name);
+    }
+
+    /** Total byte size across sections. */
+    size_t size() const;
+};
+
+/**
+ * Assemble a full program from source text.
+ * @throws AsmError on any syntax or semantic error.
+ */
+Program assemble(const std::string &source);
+
+} // namespace s2e::isa
+
+#endif // S2E_ISA_ASSEMBLER_HH

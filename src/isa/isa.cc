@@ -1,0 +1,414 @@
+#include "isa/isa.hh"
+
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace s2e::isa {
+
+const char *
+opcodeName(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop: return "nop";
+      case Opcode::Hlt: return "hlt";
+      case Opcode::Ret: return "ret";
+      case Opcode::Iret: return "iret";
+      case Opcode::Cli: return "cli";
+      case Opcode::Sti: return "sti";
+      case Opcode::Push: return "push";
+      case Opcode::Pop: return "pop";
+      case Opcode::JmpR: return "jmpr";
+      case Opcode::CallR: return "callr";
+      case Opcode::NotR: return "not";
+      case Opcode::NegR: return "neg";
+      case Opcode::Mov: return "mov";
+      case Opcode::Add: return "add";
+      case Opcode::Sub: return "sub";
+      case Opcode::And: return "and";
+      case Opcode::Or: return "or";
+      case Opcode::Xor: return "xor";
+      case Opcode::Shl: return "shl";
+      case Opcode::Shr: return "shr";
+      case Opcode::Sar: return "sar";
+      case Opcode::Mul: return "mul";
+      case Opcode::UDiv: return "udiv";
+      case Opcode::SDiv: return "sdiv";
+      case Opcode::URem: return "urem";
+      case Opcode::SRem: return "srem";
+      case Opcode::Cmp: return "cmp";
+      case Opcode::Test: return "test";
+      case Opcode::MovI: return "movi";
+      case Opcode::AddI: return "addi";
+      case Opcode::SubI: return "subi";
+      case Opcode::AndI: return "andi";
+      case Opcode::OrI: return "ori";
+      case Opcode::XorI: return "xori";
+      case Opcode::ShlI: return "shli";
+      case Opcode::ShrI: return "shri";
+      case Opcode::SarI: return "sari";
+      case Opcode::MulI: return "muli";
+      case Opcode::CmpI: return "cmpi";
+      case Opcode::TestI: return "testi";
+      case Opcode::Ldb: return "ldb";
+      case Opcode::Ldbs: return "ldbs";
+      case Opcode::Ldh: return "ldh";
+      case Opcode::Ldhs: return "ldhs";
+      case Opcode::Ldw: return "ldw";
+      case Opcode::Stb: return "stb";
+      case Opcode::Sth: return "sth";
+      case Opcode::Stw: return "stw";
+      case Opcode::Jmp: return "jmp";
+      case Opcode::Call: return "call";
+      case Opcode::Jcc: return "jcc";
+      case Opcode::Int: return "int";
+      case Opcode::InI: return "ini";
+      case Opcode::OutI: return "outi";
+      case Opcode::InR: return "inr";
+      case Opcode::OutR: return "outr";
+      case Opcode::S2SymMem: return "s2e_symmem";
+      case Opcode::S2SymReg: return "s2e_symreg";
+      case Opcode::S2SymRange: return "s2e_symrange";
+      case Opcode::S2Ena: return "s2e_ena";
+      case Opcode::S2Dis: return "s2e_dis";
+      case Opcode::S2Out: return "s2e_out";
+      case Opcode::S2Kill: return "s2e_kill";
+      case Opcode::S2Assert: return "s2e_assert";
+      case Opcode::S2Concrete: return "s2e_concrete";
+    }
+    return "<bad>";
+}
+
+const char *
+condName(Cond cc)
+{
+    switch (cc) {
+      case Cond::Eq: return "eq";
+      case Cond::Ne: return "ne";
+      case Cond::Ult: return "ult";
+      case Cond::Uge: return "uge";
+      case Cond::Ule: return "ule";
+      case Cond::Ugt: return "ugt";
+      case Cond::Slt: return "slt";
+      case Cond::Sge: return "sge";
+      case Cond::Sle: return "sle";
+      case Cond::Sgt: return "sgt";
+    }
+    return "<bad>";
+}
+
+unsigned
+instrLength(Opcode op)
+{
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Hlt:
+      case Opcode::Ret:
+      case Opcode::Iret:
+      case Opcode::Cli:
+      case Opcode::Sti:
+      case Opcode::S2Ena:
+      case Opcode::S2Dis:
+        return 1;
+      case Opcode::Push:
+      case Opcode::Pop:
+      case Opcode::JmpR:
+      case Opcode::CallR:
+      case Opcode::NotR:
+      case Opcode::NegR:
+      case Opcode::S2SymReg:
+      case Opcode::S2Out:
+      case Opcode::S2Kill:
+      case Opcode::S2Assert:
+      case Opcode::S2Concrete:
+      case Opcode::Int:
+        return 2;
+      case Opcode::Mov:
+      case Opcode::Add:
+      case Opcode::Sub:
+      case Opcode::And:
+      case Opcode::Or:
+      case Opcode::Xor:
+      case Opcode::Shl:
+      case Opcode::Shr:
+      case Opcode::Sar:
+      case Opcode::Mul:
+      case Opcode::UDiv:
+      case Opcode::SDiv:
+      case Opcode::URem:
+      case Opcode::SRem:
+      case Opcode::Cmp:
+      case Opcode::Test:
+      case Opcode::InR:
+      case Opcode::OutR:
+      case Opcode::S2SymMem:
+        return 3;
+      case Opcode::InI:
+      case Opcode::OutI:
+        return 4;
+      case Opcode::Jmp:
+      case Opcode::Call:
+        return 5;
+      case Opcode::MovI:
+      case Opcode::AddI:
+      case Opcode::SubI:
+      case Opcode::AndI:
+      case Opcode::OrI:
+      case Opcode::XorI:
+      case Opcode::ShlI:
+      case Opcode::ShrI:
+      case Opcode::SarI:
+      case Opcode::MulI:
+      case Opcode::CmpI:
+      case Opcode::TestI:
+      case Opcode::Jcc:
+        return 6;
+      case Opcode::Ldb:
+      case Opcode::Ldbs:
+      case Opcode::Ldh:
+      case Opcode::Ldhs:
+      case Opcode::Ldw:
+      case Opcode::Stb:
+      case Opcode::Sth:
+      case Opcode::Stw:
+        return 7;
+      case Opcode::S2SymRange:
+        return 10;
+    }
+    return 0;
+}
+
+bool
+isValidOpcode(uint8_t byte)
+{
+    auto op = static_cast<Opcode>(byte);
+    return instrLength(op) != 0 && opcodeName(op)[0] != '<';
+}
+
+namespace {
+uint32_t
+read32(const uint8_t *p)
+{
+    uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v; // host is little-endian (x86/ARM little)
+}
+
+uint16_t
+read16(const uint8_t *p)
+{
+    uint16_t v;
+    std::memcpy(&v, p, 2);
+    return v;
+}
+} // namespace
+
+bool
+decode(const uint8_t *buf, size_t avail, Instruction &out)
+{
+    if (avail < 1 || !isValidOpcode(buf[0]))
+        return false;
+    auto op = static_cast<Opcode>(buf[0]);
+    unsigned len = instrLength(op);
+    if (avail < len)
+        return false;
+
+    out = Instruction();
+    out.op = op;
+    out.length = static_cast<uint8_t>(len);
+
+    switch (len) {
+      case 1:
+        break;
+      case 2:
+        if (op == Opcode::Int || op == Opcode::S2Kill)
+            out.imm = buf[1];
+        else
+            out.r1 = buf[1];
+        break;
+      case 3:
+        out.r1 = buf[1];
+        out.r2 = buf[2];
+        break;
+      case 4: // InI / OutI: [op][r][imm16]
+        out.r1 = buf[1];
+        out.imm = read16(buf + 2);
+        break;
+      case 5: // Jmp / Call: [op][imm32]
+        out.imm = read32(buf + 1);
+        break;
+      case 6:
+        if (op == Opcode::Jcc) {
+            if (buf[1] > static_cast<uint8_t>(Cond::Sgt))
+                return false;
+            out.cc = static_cast<Cond>(buf[1]);
+            out.imm = read32(buf + 2);
+        } else { // reg, imm32
+            out.r1 = buf[1];
+            out.imm = read32(buf + 2);
+        }
+        break;
+      case 7: // memory: [op][r1][r2][imm32]
+        out.r1 = buf[1];
+        out.r2 = buf[2];
+        out.imm = read32(buf + 3);
+        break;
+      case 10: // S2SymRange: [op][r][lo32][hi32]
+        out.r1 = buf[1];
+        out.imm = read32(buf + 2);
+        out.imm2 = read32(buf + 6);
+        break;
+      default:
+        return false;
+    }
+    if (out.r1 >= kNumRegs || out.r2 >= kNumRegs)
+        return false;
+    return true;
+}
+
+void
+encode(const Instruction &instr, std::vector<uint8_t> &out)
+{
+    unsigned len = instrLength(instr.op);
+    S2E_ASSERT(len != 0, "encode of invalid opcode");
+    out.push_back(static_cast<uint8_t>(instr.op));
+    auto put32 = [&](uint32_t v) {
+        out.push_back(v & 0xFF);
+        out.push_back((v >> 8) & 0xFF);
+        out.push_back((v >> 16) & 0xFF);
+        out.push_back((v >> 24) & 0xFF);
+    };
+    switch (len) {
+      case 1:
+        break;
+      case 2:
+        if (instr.op == Opcode::Int || instr.op == Opcode::S2Kill)
+            out.push_back(instr.imm & 0xFF);
+        else
+            out.push_back(instr.r1);
+        break;
+      case 3:
+        out.push_back(instr.r1);
+        out.push_back(instr.r2);
+        break;
+      case 4:
+        out.push_back(instr.r1);
+        out.push_back(instr.imm & 0xFF);
+        out.push_back((instr.imm >> 8) & 0xFF);
+        break;
+      case 5:
+        put32(instr.imm);
+        break;
+      case 6:
+        if (instr.op == Opcode::Jcc)
+            out.push_back(static_cast<uint8_t>(instr.cc));
+        else
+            out.push_back(instr.r1);
+        put32(instr.imm);
+        break;
+      case 7:
+        out.push_back(instr.r1);
+        out.push_back(instr.r2);
+        put32(instr.imm);
+        break;
+      case 10:
+        out.push_back(instr.r1);
+        put32(instr.imm);
+        put32(instr.imm2);
+        break;
+    }
+}
+
+bool
+isBlockTerminator(Opcode op)
+{
+    switch (op) {
+      case Opcode::Jmp:
+      case Opcode::Jcc:
+      case Opcode::JmpR:
+      case Opcode::Call:
+      case Opcode::CallR:
+      case Opcode::Ret:
+      case Opcode::Iret:
+      case Opcode::Int:
+      case Opcode::Hlt:
+      case Opcode::S2Kill:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::string
+Instruction::toString() const
+{
+    auto reg = [](uint8_t r) {
+        return r == kRegSp ? std::string("sp") : strprintf("r%u", r);
+    };
+    switch (op) {
+      case Opcode::Nop:
+      case Opcode::Hlt:
+      case Opcode::Ret:
+      case Opcode::Iret:
+      case Opcode::Cli:
+      case Opcode::Sti:
+      case Opcode::S2Ena:
+      case Opcode::S2Dis:
+        return opcodeName(op);
+      case Opcode::Push:
+      case Opcode::Pop:
+      case Opcode::JmpR:
+      case Opcode::CallR:
+      case Opcode::NotR:
+      case Opcode::NegR:
+      case Opcode::S2SymReg:
+      case Opcode::S2Out:
+      case Opcode::S2Assert:
+      case Opcode::S2Concrete:
+        return strprintf("%s %s", opcodeName(op), reg(r1).c_str());
+      case Opcode::Int:
+      case Opcode::S2Kill:
+        return strprintf("%s 0x%x", opcodeName(op), imm);
+      case Opcode::Jmp:
+      case Opcode::Call:
+        return strprintf("%s 0x%x", opcodeName(op), imm);
+      case Opcode::Jcc:
+        return strprintf("j%s 0x%x", condName(cc), imm);
+      case Opcode::InI:
+        return strprintf("in %s, 0x%x", reg(r1).c_str(), imm);
+      case Opcode::OutI:
+        return strprintf("out 0x%x, %s", imm, reg(r1).c_str());
+      case Opcode::InR:
+        return strprintf("in %s, %s", reg(r1).c_str(), reg(r2).c_str());
+      case Opcode::OutR:
+        return strprintf("out %s, %s", reg(r1).c_str(), reg(r2).c_str());
+      case Opcode::S2SymMem:
+        return strprintf("s2e_symmem %s, %s", reg(r1).c_str(),
+                         reg(r2).c_str());
+      case Opcode::S2SymRange:
+        return strprintf("s2e_symrange %s, %u, %u", reg(r1).c_str(), imm,
+                         imm2);
+      case Opcode::Ldb:
+      case Opcode::Ldbs:
+      case Opcode::Ldh:
+      case Opcode::Ldhs:
+      case Opcode::Ldw:
+        return strprintf("%s %s, [%s%+d]", opcodeName(op), reg(r1).c_str(),
+                         reg(r2).c_str(), static_cast<int32_t>(imm));
+      case Opcode::Stb:
+      case Opcode::Sth:
+      case Opcode::Stw:
+        return strprintf("%s [%s%+d], %s", opcodeName(op), reg(r2).c_str(),
+                         static_cast<int32_t>(imm), reg(r1).c_str());
+      default:
+        if (instrLength(op) == 3)
+            return strprintf("%s %s, %s", opcodeName(op), reg(r1).c_str(),
+                             reg(r2).c_str());
+        if (instrLength(op) == 6)
+            return strprintf("%s %s, 0x%x", opcodeName(op), reg(r1).c_str(),
+                             imm);
+        return opcodeName(op);
+    }
+}
+
+} // namespace s2e::isa

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * The gisa guest instruction set.
+ *
+ * gisa is the 32-bit guest ISA executed by the s2e-lite VM. It stands
+ * in for x86 in the original S2E: it has condition flags (producing
+ * the bitfield-heavy symbolic expressions the §5 simplifier targets),
+ * variable-length encoding (exercising the DBT), port I/O and MMIO
+ * (the device boundary), software and hardware interrupts, and the
+ * custom S2E opcodes of paper §4.2 (S2SYM / S2ENA / S2DIS / S2OUT...).
+ *
+ * Registers: r0..r15 (r15 doubles as the stack pointer, alias `sp`),
+ * plus pc and the four condition flags Z N C V. Little-endian memory.
+ */
+
+#ifndef S2E_ISA_ISA_HH
+#define S2E_ISA_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2e::isa {
+
+/** Number of general-purpose registers; r15 is the stack pointer. */
+constexpr unsigned kNumRegs = 16;
+constexpr unsigned kRegSp = 15;
+
+/** Opcode space. Encodings are byte-granular, see instrLength(). */
+enum class Opcode : uint8_t {
+    // Class A: no operands (1 byte)
+    Nop = 0x00,
+    Hlt = 0x01,
+    Ret = 0x02,
+    Iret = 0x03,
+    Cli = 0x04,
+    Sti = 0x05,
+
+    // Class B: one register (2 bytes)
+    Push = 0x08,
+    Pop = 0x09,
+    JmpR = 0x0A,
+    CallR = 0x0B,
+    NotR = 0x0C,
+    NegR = 0x0D,
+
+    // Class C: reg, reg (3 bytes)
+    Mov = 0x10,
+    Add = 0x11,
+    Sub = 0x12,
+    And = 0x13,
+    Or = 0x14,
+    Xor = 0x15,
+    Shl = 0x16,
+    Shr = 0x17,
+    Sar = 0x18,
+    Mul = 0x19,
+    UDiv = 0x1A,
+    SDiv = 0x1B,
+    URem = 0x1C,
+    SRem = 0x1D,
+    Cmp = 0x1E,
+    Test = 0x1F,
+
+    // Class D: reg, imm32 (6 bytes)
+    MovI = 0x30,
+    AddI = 0x31,
+    SubI = 0x32,
+    AndI = 0x33,
+    OrI = 0x34,
+    XorI = 0x35,
+    ShlI = 0x36,
+    ShrI = 0x37,
+    SarI = 0x38,
+    MulI = 0x39,
+    CmpI = 0x3A,
+    TestI = 0x3B,
+
+    // Class E: memory, reg + [reg + imm32] (7 bytes)
+    Ldb = 0x40,  ///< load byte, zero-extend
+    Ldbs = 0x41, ///< load byte, sign-extend
+    Ldh = 0x42,  ///< load half, zero-extend
+    Ldhs = 0x43, ///< load half, sign-extend
+    Ldw = 0x44,  ///< load word
+    Stb = 0x45,
+    Sth = 0x46,
+    Stw = 0x47,
+
+    // Class F: imm32 (5 bytes)
+    Jmp = 0x50,
+    Call = 0x51,
+
+    // Jcc: cc byte + imm32 (6 bytes)
+    Jcc = 0x52,
+
+    // Int: imm8 (2 bytes)
+    Int = 0x53,
+
+    // Port I/O
+    InI = 0x54,  ///< in r, imm16       (4 bytes)
+    OutI = 0x55, ///< out imm16, r      (4 bytes)
+    InR = 0x56,  ///< in r1, r2         (3 bytes)
+    OutR = 0x57, ///< out r1, r2        (3 bytes)
+
+    // S2E custom opcodes (paper §4.2)
+    S2SymMem = 0xF0,   ///< [op][raddr][rlen]: make memory symbolic (3)
+    S2SymReg = 0xF1,   ///< [op][r]: make register symbolic (2)
+    S2SymRange = 0xF2, ///< [op][r][lo32][hi32]: constrained symbolic (10)
+    S2Ena = 0xF3,      ///< enable multi-path execution (1)
+    S2Dis = 0xF4,      ///< disable multi-path execution (1)
+    S2Out = 0xF5,      ///< [op][r]: log value of r (2)
+    S2Kill = 0xF6,     ///< [op][imm8 status]: terminate this path (2)
+    S2Assert = 0xF7,   ///< [op][r]: report bug if r == 0 (2)
+    S2Concrete = 0xF8, ///< [op][r]: force-concretize register (2)
+};
+
+/** Branch condition codes for Jcc. */
+enum class Cond : uint8_t {
+    Eq = 0,  ///< Z
+    Ne = 1,  ///< !Z
+    Ult = 2, ///< C          (aka jb)
+    Uge = 3, ///< !C         (aka jae)
+    Ule = 4, ///< C | Z      (aka jbe)
+    Ugt = 5, ///< !C & !Z    (aka ja)
+    Slt = 6, ///< N ^ V
+    Sge = 7, ///< !(N ^ V)
+    Sle = 8, ///< Z | (N ^ V)
+    Sgt = 9, ///< !Z & !(N ^ V)
+};
+
+const char *opcodeName(Opcode op);
+const char *condName(Cond cc);
+
+/** A decoded instruction. */
+struct Instruction {
+    Opcode op = Opcode::Nop;
+    uint8_t r1 = 0;
+    uint8_t r2 = 0;
+    Cond cc = Cond::Eq;
+    uint32_t imm = 0;
+    uint32_t imm2 = 0;  ///< second immediate (S2SymRange hi bound)
+    uint8_t length = 1; ///< encoded size in bytes
+
+    /** Disassemble to text. */
+    std::string toString() const;
+};
+
+/** Encoded length of an opcode's instruction, in bytes. */
+unsigned instrLength(Opcode op);
+
+/** True if the byte is a defined opcode. */
+bool isValidOpcode(uint8_t byte);
+
+/**
+ * Decode one instruction from a byte buffer.
+ * @return true on success; false on invalid opcode or short buffer.
+ */
+bool decode(const uint8_t *buf, size_t avail, Instruction &out);
+
+/** Encode an instruction; appends to out. */
+void encode(const Instruction &instr, std::vector<uint8_t> &out);
+
+/** True for instructions that end a translation block. */
+bool isBlockTerminator(Opcode op);
+
+} // namespace s2e::isa
+
+#endif // S2E_ISA_ISA_HH

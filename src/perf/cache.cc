@@ -1,0 +1,167 @@
+#include "perf/cache.hh"
+
+#include "support/logging.hh"
+
+namespace s2e::perf {
+
+namespace {
+unsigned
+log2floor(uint32_t v)
+{
+    S2E_ASSERT(v != 0 && (v & (v - 1)) == 0, "value %u not a power of two",
+               v);
+    return 31 - __builtin_clz(v);
+}
+} // namespace
+
+Cache::Cache(Config config) : config_(std::move(config))
+{
+    S2E_ASSERT(config_.associativity >= 1, "associativity must be >= 1");
+    lineBits_ = log2floor(config_.lineSize);
+    uint32_t lines = config_.size / config_.lineSize;
+    S2E_ASSERT(lines % config_.associativity == 0,
+               "cache geometry mismatch");
+    numSets_ = lines / config_.associativity;
+    S2E_ASSERT((numSets_ & (numSets_ - 1)) == 0,
+               "set count must be a power of two");
+    ways_.assign(static_cast<size_t>(numSets_) * config_.associativity,
+                 Way());
+}
+
+bool
+Cache::access(uint32_t addr)
+{
+    clock_++;
+    uint32_t line = addr >> lineBits_;
+    uint32_t set = line & (numSets_ - 1);
+    uint32_t tag = line >> log2floor(numSets_);
+    Way *base = &ways_[static_cast<size_t>(set) * config_.associativity];
+
+    Way *victim = base;
+    for (uint32_t w = 0; w < config_.associativity; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == tag) {
+            way.lastUse = clock_;
+            hits_++;
+            return true;
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lastUse < victim->lastUse) {
+            victim = &way;
+        }
+    }
+    misses_++;
+    victim->valid = true;
+    victim->tag = tag;
+    victim->lastUse = clock_;
+    return false;
+}
+
+void
+Cache::reset()
+{
+    for (auto &w : ways_)
+        w.valid = false;
+    clock_ = hits_ = misses_ = 0;
+}
+
+Tlb::Tlb(unsigned entries, uint32_t page_size)
+    : entries_(entries), pageBits_(log2floor(page_size))
+{
+}
+
+bool
+Tlb::access(uint32_t addr)
+{
+    clock_++;
+    uint32_t vpn = addr >> pageBits_;
+    Entry *victim = &entries_[0];
+    for (auto &e : entries_) {
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = clock_;
+            hits_++;
+            return true;
+        }
+        if (!e.valid)
+            victim = &e;
+        else if (victim->valid && e.lastUse < victim->lastUse)
+            victim = &e;
+    }
+    misses_++;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = clock_;
+    return false;
+}
+
+void
+Tlb::reset()
+{
+    for (auto &e : entries_)
+        e.valid = false;
+    clock_ = hits_ = misses_ = 0;
+}
+
+DemandPager::DemandPager(unsigned resident_pages, uint32_t page_size)
+    : frames_(resident_pages), pageBits_(log2floor(page_size))
+{
+}
+
+bool
+DemandPager::access(uint32_t addr)
+{
+    clock_++;
+    uint32_t vpn = addr >> pageBits_;
+    Entry *victim = &frames_[0];
+    for (auto &f : frames_) {
+        if (f.valid && f.vpn == vpn) {
+            f.lastUse = clock_;
+            return false;
+        }
+        if (!f.valid)
+            victim = &f;
+        else if (victim->valid && f.lastUse < victim->lastUse)
+            victim = &f;
+    }
+    faults_++;
+    victim->valid = true;
+    victim->vpn = vpn;
+    victim->lastUse = clock_;
+    return true;
+}
+
+void
+DemandPager::reset()
+{
+    for (auto &f : frames_)
+        f.valid = false;
+    clock_ = 0;
+    faults_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy(const Config &config)
+    : l1i_(config.l1i), l1d_(config.l1d), l2_(config.l2),
+      tlb_(config.tlbEntries), pager_(config.residentPages)
+{
+}
+
+void
+MemoryHierarchy::fetch(uint32_t pc)
+{
+    tlb_.access(pc);
+    pager_.access(pc);
+    if (!l1i_.access(pc))
+        l2_.access(pc);
+}
+
+void
+MemoryHierarchy::data(uint32_t addr)
+{
+    tlb_.access(addr);
+    pager_.access(addr);
+    if (!l1d_.access(addr))
+        l2_.access(addr);
+}
+
+} // namespace s2e::perf

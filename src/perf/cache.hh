@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Performance-model substrate: set-associative caches with LRU
+ * replacement, a TLB, and a demand-paging resident-set model.
+ *
+ * PROFS (the multi-path in-vivo performance profiler of §6.1.3)
+ * simulates a configurable hierarchy per execution path: the models
+ * here are plain copyable values so they clone with the path's
+ * PluginState. The default configuration matches the paper: 64 KB
+ * I1/D1 (64-byte lines, 2-way) + 1 MB L2 (64-byte lines, 4-way).
+ */
+
+#ifndef S2E_PERF_CACHE_HH
+#define S2E_PERF_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2e::perf {
+
+/** One set-associative cache level with LRU replacement. */
+class Cache
+{
+  public:
+    struct Config {
+        std::string name = "cache";
+        uint32_t size = 64 * 1024;
+        uint32_t lineSize = 64;
+        uint32_t associativity = 2;
+    };
+
+    explicit Cache(Config config);
+
+    /** Access one address; returns true on hit (and updates LRU). */
+    bool access(uint32_t addr);
+
+    void reset();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    const Config &config() const { return config_; }
+
+  private:
+    struct Way {
+        uint32_t tag = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    Config config_;
+    uint32_t numSets_;
+    uint32_t lineBits_;
+    std::vector<Way> ways_; ///< numSets_ * associativity
+    uint64_t clock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/** A fully-associative TLB over fixed-size pages, LRU replacement. */
+class Tlb
+{
+  public:
+    explicit Tlb(unsigned entries = 64, uint32_t page_size = 4096);
+
+    bool access(uint32_t addr);
+    void reset();
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+
+  private:
+    struct Entry {
+        uint32_t vpn = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> entries_;
+    uint32_t pageBits_;
+    uint64_t clock_ = 0;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+/**
+ * Demand-paging model: the first touch of each page is a (soft) page
+ * fault; an LRU resident-set limit models memory pressure evictions.
+ */
+class DemandPager
+{
+  public:
+    explicit DemandPager(unsigned resident_pages = 1024,
+                         uint32_t page_size = 4096);
+
+    /** Touch an address; returns true if this access page-faulted. */
+    bool access(uint32_t addr);
+    void reset();
+
+    uint64_t faults() const { return faults_; }
+
+  private:
+    struct Entry {
+        uint32_t vpn = 0;
+        uint64_t lastUse = 0;
+        bool valid = false;
+    };
+    std::vector<Entry> frames_;
+    uint32_t pageBits_;
+    uint64_t clock_ = 0;
+    uint64_t faults_ = 0;
+};
+
+/** The full hierarchy PROFS simulates per path. */
+class MemoryHierarchy
+{
+  public:
+    struct Config {
+        Cache::Config l1i{"I1", 64 * 1024, 64, 2};
+        Cache::Config l1d{"D1", 64 * 1024, 64, 2};
+        Cache::Config l2{"L2", 1024 * 1024, 64, 4};
+        unsigned tlbEntries = 64;
+        unsigned residentPages = 1024;
+    };
+
+    MemoryHierarchy() : MemoryHierarchy(Config()) {}
+    explicit MemoryHierarchy(const Config &config);
+
+    /** Instruction fetch at pc. */
+    void fetch(uint32_t pc);
+    /** Data access. */
+    void data(uint32_t addr);
+
+    uint64_t l1iMisses() const { return l1i_.misses(); }
+    uint64_t l1dMisses() const { return l1d_.misses(); }
+    uint64_t l2Misses() const { return l2_.misses(); }
+    uint64_t totalCacheMisses() const
+    {
+        return l1i_.misses() + l1d_.misses() + l2_.misses();
+    }
+    uint64_t tlbMisses() const { return tlb_.misses(); }
+    uint64_t pageFaults() const { return pager_.faults(); }
+
+  private:
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Tlb tlb_;
+    DemandPager pager_;
+};
+
+} // namespace s2e::perf
+
+#endif // S2E_PERF_CACHE_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * BugCheck analyzer: the WinBugCheck equivalent (paper §4.1). Catches
+ * guest kernel panics (execution reaching the kernel's panic routine),
+ * guest crashes (faulting states) and bugs reported by other plugins,
+ * collecting them into one report list with reproduction inputs.
+ */
+
+#ifndef S2E_PLUGINS_BUGCHECK_HH
+#define S2E_PLUGINS_BUGCHECK_HH
+
+#include "expr/eval.hh"
+#include "plugins/memchecker.hh"
+#include "plugins/plugin.hh"
+
+namespace s2e::plugins {
+
+/** A bug with the concrete inputs that reproduce it. */
+struct CrashRecord {
+    int stateId;
+    std::string kind;
+    std::string message;
+    uint32_t pc;
+    /** Satisfying assignment for the path (the test case). */
+    expr::Assignment inputs;
+    bool inputsValid = false;
+};
+
+class BugCheck : public Plugin
+{
+  public:
+    struct Config {
+        /** pc of the guest kernel's panic routine (0 = none). */
+        uint32_t panicPc = 0;
+        /** Generate concrete reproduction inputs for each bug. */
+        bool computeInputs = true;
+    };
+
+    explicit BugCheck(Engine &engine) : BugCheck(engine, Config()) {}
+    BugCheck(Engine &engine, Config config);
+
+    const char *name() const override { return "bug-check"; }
+
+    const std::vector<CrashRecord> &crashes() const { return crashes_; }
+
+  private:
+    void record(ExecutionState &state, const std::string &kind,
+                const std::string &message);
+
+    Config config_;
+    std::vector<CrashRecord> crashes_;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_BUGCHECK_HH

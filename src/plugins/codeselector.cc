@@ -1,0 +1,32 @@
+#include "plugins/codeselector.hh"
+
+namespace s2e::plugins {
+
+CodeSelector::CodeSelector(Engine &engine, std::vector<Range> ranges)
+    : Plugin(engine), ranges_(std::move(ranges))
+{
+    defaultMultiPath_ = true;
+    for (const Range &r : ranges_)
+        if (r.include)
+            defaultMultiPath_ = false;
+
+    engine_.events().onBlockExecute.subscribe(
+        [this](ExecutionState &state, const dbt::TranslationBlock &tb) {
+            bool want = multiPathAt(tb.pc);
+            if (state.multiPathEnabled != want) {
+                state.multiPathEnabled = want;
+                toggles_++;
+            }
+        });
+}
+
+bool
+CodeSelector::multiPathAt(uint32_t pc) const
+{
+    for (const Range &r : ranges_)
+        if (pc >= r.lo && pc < r.hi)
+            return r.include;
+    return defaultMultiPath_;
+}
+
+} // namespace s2e::plugins

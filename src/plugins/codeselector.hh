@@ -1,0 +1,54 @@
+/**
+ * @file
+ * CodeSelector plugin (paper §4.1): code-based path selection.
+ *
+ * Takes a list of program-counter ranges, each an inclusion or an
+ * exclusion range, and toggles the state's multi-path mode as
+ * execution enters and leaves them — so forking only happens inside
+ * the code of interest (e.g. a browser's SSL module) while the rest
+ * of the stack runs single-path. This is the dynamic counterpart of
+ * EngineConfig::unitRanges, which selects the consistency boundary;
+ * CodeSelector selects where *forking* is allowed and can be layered
+ * on top (e.g. narrow exploration to one driver entry point).
+ */
+
+#ifndef S2E_PLUGINS_CODESELECTOR_HH
+#define S2E_PLUGINS_CODESELECTOR_HH
+
+#include "plugins/plugin.hh"
+
+namespace s2e::plugins {
+
+class CodeSelector : public Plugin
+{
+  public:
+    struct Range {
+        uint32_t lo;
+        uint32_t hi;     ///< exclusive
+        bool include;    ///< true: multi-path inside; false: outside
+    };
+
+    /**
+     * @param ranges evaluated in order; the first matching range
+     *        decides. With no match: multi-path iff there is no
+     *        inclusion range at all (exclusion-only configs default
+     *        to multi-path outside the excluded code).
+     */
+    CodeSelector(Engine &engine, std::vector<Range> ranges);
+
+    const char *name() const override { return "code-selector"; }
+
+    /** Decision for a pc (exposed for tests). */
+    bool multiPathAt(uint32_t pc) const;
+
+    uint64_t toggles() const { return toggles_; }
+
+  private:
+    std::vector<Range> ranges_;
+    bool defaultMultiPath_;
+    uint64_t toggles_ = 0;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_CODESELECTOR_HH

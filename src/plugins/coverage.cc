@@ -1,0 +1,116 @@
+#include "plugins/coverage.hh"
+
+#include "plugins/searchers.hh"
+#include "support/logging.hh"
+
+namespace s2e::plugins {
+
+StaticBlocks
+staticBasicBlocks(const isa::Program &program, uint32_t lo, uint32_t hi)
+{
+    // Gather the raw bytes of [lo, hi) from the program sections.
+    std::vector<uint8_t> bytes(hi - lo, 0);
+    std::vector<bool> present(hi - lo, false);
+    for (const auto &section : program.sections) {
+        for (size_t i = 0; i < section.bytes.size(); ++i) {
+            uint32_t addr = section.addr + static_cast<uint32_t>(i);
+            if (addr >= lo && addr < hi) {
+                bytes[addr - lo] = section.bytes[i];
+                present[addr - lo] = true;
+            }
+        }
+    }
+
+    // Pass 1: linear sweep; collect instruction starts, terminator
+    // ends and direct branch targets.
+    std::set<uint32_t> instr_starts;
+    std::set<uint32_t> leaders;
+    leaders.insert(lo);
+    uint32_t pc = lo;
+    while (pc < hi) {
+        if (!present[pc - lo]) {
+            pc++;
+            continue;
+        }
+        isa::Instruction instr;
+        if (!isa::decode(bytes.data() + (pc - lo), hi - pc, instr)) {
+            pc++; // resynchronize
+            continue;
+        }
+        instr_starts.insert(pc);
+        uint32_t next = pc + instr.length;
+        switch (instr.op) {
+          case isa::Opcode::Jmp:
+          case isa::Opcode::Call:
+            if (instr.imm >= lo && instr.imm < hi)
+                leaders.insert(instr.imm);
+            leaders.insert(next);
+            break;
+          case isa::Opcode::Jcc:
+            if (instr.imm >= lo && instr.imm < hi)
+                leaders.insert(instr.imm);
+            leaders.insert(next);
+            break;
+          default:
+            if (isa::isBlockTerminator(instr.op))
+                leaders.insert(next);
+            break;
+        }
+        pc = next;
+    }
+
+    // Pass 2: block starts are leaders that coincide with decoded
+    // instruction starts.
+    StaticBlocks out;
+    for (uint32_t leader : leaders)
+        if (instr_starts.count(leader))
+            out.starts.insert(leader);
+    return out;
+}
+
+CoverageTracker::CoverageTracker(
+    Engine &engine, std::vector<std::pair<uint32_t, uint32_t>> ranges)
+    : Plugin(engine), ranges_(std::move(ranges)),
+      start_(std::chrono::steady_clock::now())
+{
+    engine_.events().onBlockExecute.subscribe(
+        [this](ExecutionState &, const dbt::TranslationBlock &tb) {
+            if (seenTbPcs_.count(tb.pc))
+                return;
+            seenTbPcs_.insert(tb.pc);
+            bool grew = false;
+            for (uint32_t pc : tb.instrPcs) {
+                if (inRanges(pc) && coveredPcs_.insert(pc).second)
+                    grew = true;
+            }
+            if (grew) {
+                epoch_++;
+                double t = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start_)
+                               .count();
+                timeline_.emplace_back(t, coveredPcs_.size());
+            }
+        });
+}
+
+size_t
+CoverageTracker::coveredBlocks(const StaticBlocks &blocks) const
+{
+    size_t covered = 0;
+    for (uint32_t start : blocks.starts)
+        if (coveredPcs_.count(start))
+            covered++;
+    return covered;
+}
+
+core::ExecutionState *
+MaxCoverageSearcher::select(
+    const std::vector<core::ExecutionState *> &active)
+{
+    for (core::ExecutionState *s : active)
+        if (!coverage_.isCovered(s->cpu.pc))
+            return s;
+    return active[rng_.below(active.size())];
+}
+
+} // namespace s2e::plugins

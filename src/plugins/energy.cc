@@ -1,0 +1,112 @@
+#include "plugins/energy.hh"
+
+namespace s2e::plugins {
+
+EnergyProfile::EnergyProfile(Engine &engine, PowerModel model)
+    : Plugin(engine), model_(model)
+{
+    // Translate-once/execute-many: the per-block cost is summed at
+    // translation time and merely added per execution.
+    engine_.events().onInstrTranslation.subscribe(
+        [this](ExecutionState &, uint32_t pc, const isa::Instruction &i,
+               bool *) { blockCost_[pc] = costOf(i.op); });
+
+    engine_.events().onBlockExecute.subscribe(
+        [this](ExecutionState &state, const dbt::TranslationBlock &tb) {
+            auto *es = state.pluginState<EnergyState>(this);
+            for (uint32_t pc : tb.instrPcs) {
+                auto it = blockCost_.find(pc);
+                es->picojoules +=
+                    it != blockCost_.end() ? it->second : model_.alu;
+            }
+        });
+
+    engine_.events().onStateKill.subscribe([this](ExecutionState &state) {
+        const auto *es = static_cast<const EnergyState *>(
+            state.findPluginState(this));
+        if (es)
+            results_.push_back(
+                {state.id(), state.status, es->picojoules});
+    });
+}
+
+double
+EnergyProfile::costOf(isa::Opcode op) const
+{
+    using isa::Opcode;
+    switch (op) {
+      case Opcode::Ldb:
+      case Opcode::Ldbs:
+      case Opcode::Ldh:
+      case Opcode::Ldhs:
+      case Opcode::Ldw:
+      case Opcode::Stb:
+      case Opcode::Sth:
+      case Opcode::Stw:
+      case Opcode::Push:
+      case Opcode::Pop:
+        return model_.memory;
+      case Opcode::Mul:
+      case Opcode::MulI:
+      case Opcode::UDiv:
+      case Opcode::SDiv:
+      case Opcode::URem:
+      case Opcode::SRem:
+        return model_.multiplyDivide;
+      case Opcode::InI:
+      case Opcode::InR:
+      case Opcode::OutI:
+      case Opcode::OutR:
+        return model_.io;
+      case Opcode::Jmp:
+      case Opcode::JmpR:
+      case Opcode::Jcc:
+      case Opcode::Call:
+      case Opcode::CallR:
+      case Opcode::Ret:
+      case Opcode::Int:
+      case Opcode::Iret:
+        return model_.control;
+      default:
+        return model_.alu;
+    }
+}
+
+std::pair<double, double>
+EnergyProfile::envelope() const
+{
+    double lo = 0, hi = 0;
+    bool first = true;
+    for (const auto &p : results_) {
+        if (p.status != core::StateStatus::Halted &&
+            p.status != core::StateStatus::Killed)
+            continue;
+        if (first) {
+            lo = hi = p.picojoules;
+            first = false;
+        } else {
+            lo = std::min(lo, p.picojoules);
+            hi = std::max(hi, p.picojoules);
+        }
+    }
+    return {lo, hi};
+}
+
+int
+EnergyProfile::hungriestPath() const
+{
+    int id = -1;
+    double best = -1;
+    for (const auto &p : results_) {
+        if (p.status != core::StateStatus::Halted &&
+            p.status != core::StateStatus::Killed)
+            continue;
+        if (p.picojoules > best) {
+            best = p.picojoules;
+            id = p.stateId;
+        }
+    }
+    return id;
+}
+
+} // namespace s2e::plugins

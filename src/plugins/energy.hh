@@ -1,0 +1,71 @@
+/**
+ * @file
+ * EnergyProfile analyzer — the paper's §6.1.4 "other uses" sketch:
+ * "given a power consumption model, S2E could find energy-hogging
+ * paths and help the developer optimize them."
+ *
+ * The power model assigns an energy cost to each instruction class
+ * (ALU, memory, multiply/divide, I/O); per-path totals accumulate in
+ * PluginState. Multi-path exploration then yields the energy envelope
+ * of an input family and the concrete inputs of the hungriest path.
+ */
+
+#ifndef S2E_PLUGINS_ENERGY_HH
+#define S2E_PLUGINS_ENERGY_HH
+
+#include "plugins/plugin.hh"
+
+namespace s2e::plugins {
+
+/** Per-instruction-class energy cost, in arbitrary pico-joule units. */
+struct PowerModel {
+    double alu = 1.0;
+    double memory = 3.0;      ///< loads/stores
+    double multiplyDivide = 6.0;
+    double io = 10.0;         ///< port and MMIO accesses
+    double control = 1.5;     ///< branches/calls/returns
+};
+
+/** Per-path accumulated energy. */
+struct EnergyState : public core::PluginState {
+    double picojoules = 0;
+    std::unique_ptr<core::PluginState>
+    clone() const override
+    {
+        return std::make_unique<EnergyState>(*this);
+    }
+};
+
+class EnergyProfile : public Plugin
+{
+  public:
+    EnergyProfile(Engine &engine, PowerModel model = PowerModel());
+
+    const char *name() const override { return "energy-profile"; }
+
+    struct PathEnergy {
+        int stateId;
+        core::StateStatus status;
+        double picojoules;
+    };
+
+    const std::vector<PathEnergy> &results() const { return results_; }
+
+    /** Min/max over completed paths. */
+    std::pair<double, double> envelope() const;
+
+    /** State id of the hungriest completed path (-1 if none). */
+    int hungriestPath() const;
+
+  private:
+    double costOf(isa::Opcode op) const;
+
+    PowerModel model_;
+    /** Per-translation-block energy, computed once at translation. */
+    std::unordered_map<uint32_t, double> blockCost_;
+    std::vector<PathEnergy> results_;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_ENERGY_HH

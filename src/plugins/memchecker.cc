@@ -1,0 +1,166 @@
+#include "plugins/memchecker.hh"
+
+#include <set>
+
+namespace s2e::plugins {
+
+MemoryChecker::MemoryChecker(Engine &engine, Annotation &annotation,
+                             Config config)
+    : Plugin(engine), config_(config)
+{
+    // Allocation hook: record the chunk returned by the allocator.
+    if (config_.allocReturnPc) {
+        annotation.at(config_.allocReturnPc, [this](ExecutionState &state,
+                                                    Engine &eng) {
+            auto addr = eng.readRegConcrete(state, config_.allocAddrReg);
+            auto size = eng.readRegConcrete(state, config_.allocSizeReg);
+            if (!addr || !size)
+                return;
+            if (*addr == 0)
+                return; // allocation failure path
+            auto *hs = state.pluginState<HeapState>(this);
+            hs->live[*addr] = *size;
+            hs->freed.erase(*addr);
+        });
+    }
+
+    // Free hook.
+    if (config_.freeEntryPc) {
+        annotation.at(config_.freeEntryPc, [this](ExecutionState &state,
+                                                  Engine &eng) {
+            auto addr = eng.readRegConcrete(state, config_.freeAddrReg);
+            if (!addr)
+                return;
+            auto *hs = state.pluginState<HeapState>(this);
+            auto it = hs->live.find(*addr);
+            if (it != hs->live.end()) {
+                hs->freed[*addr] = it->second;
+                hs->live.erase(it);
+                return;
+            }
+            if (hs->freed.count(*addr)) {
+                report(state, "double-free",
+                       strprintf("double free of chunk 0x%x", *addr));
+            } else if (*addr != 0) {
+                report(state, "invalid-free",
+                       strprintf("free of unallocated pointer 0x%x",
+                                 *addr));
+            }
+        });
+    }
+
+    // Track the executing block for unit filtering.
+    engine_.events().onBlockExecute.subscribe(
+        [this](ExecutionState &state, const dbt::TranslationBlock &tb) {
+            state.pluginState<HeapState>(this)->currentBlockPc = tb.pc;
+        });
+
+    // Access checking.
+    engine_.events().onMemoryAccess.subscribe([this](ExecutionState &state,
+                                                     const core::
+                                                         MemAccessInfo &info) {
+        auto *hs = state.pluginState<HeapState>(this);
+        if (config_.unitOnly && !engine_.isUnitPc(hs->currentBlockPc))
+            return;
+        if (info.addr < config_.nullGuardEnd) {
+            report(state, "null-deref",
+                   strprintf("%s at 0x%x inside the null guard page "
+                             "(pc block 0x%x)",
+                             info.isWrite ? "write" : "read", info.addr,
+                             hs->currentBlockPc));
+            return;
+        }
+        if (info.addr < config_.heapBase || info.addr >= config_.heapEnd)
+            return;
+
+        // Find the chunk containing (or nearest below) this address.
+        auto containing = [&](const std::map<uint32_t, uint32_t> &chunks)
+            -> const std::pair<const uint32_t, uint32_t> * {
+            auto it = chunks.upper_bound(info.addr);
+            if (it == chunks.begin())
+                return nullptr;
+            --it;
+            return &*it;
+        };
+
+        const auto *live = containing(hs->live);
+        if (live && info.addr + info.size <= live->first + live->second) {
+            // Concretized access is inside the chunk, but a symbolic
+            // pointer may still be able to escape it: ask the solver
+            // (the DDT-style symbolic bounds check).
+            if (info.addrExpr) {
+                auto &bld = engine_.builder();
+                expr::ExprRef past_end = bld.ugt(
+                    info.addrExpr,
+                    bld.constant(live->first + live->second - info.size,
+                                 32));
+                expr::ExprRef before = bld.ult(info.addrExpr,
+                                         bld.constant(live->first, 32));
+                if (engine_.solver().mayBeTrue(state.constraints,
+                                               bld.lor(past_end,
+                                                       before))) {
+                    report(state, "overflow",
+                           strprintf("symbolic pointer into chunk 0x%x "
+                                     "(size %u) can escape its bounds "
+                                     "(pc block 0x%x)",
+                                     live->first, live->second,
+                                     hs->currentBlockPc));
+                }
+            }
+            return; // concretized access itself is in bounds
+        }
+        if (live && info.addr < live->first + live->second + config_.redzone &&
+            info.addr + info.size > live->first + live->second) {
+            report(state, "overflow",
+                   strprintf("heap overflow at 0x%x (chunk 0x%x size %u, "
+                             "pc block 0x%x)",
+                             info.addr, live->first, live->second,
+                             hs->currentBlockPc));
+            return;
+        }
+        const auto *dead = containing(hs->freed);
+        if (dead && info.addr < dead->first + dead->second) {
+            report(state, "use-after-free",
+                   strprintf("access to freed chunk 0x%x at 0x%x",
+                             dead->first, info.addr));
+            return;
+        }
+        report(state, "wild-access",
+               strprintf("heap access at 0x%x outside any chunk "
+                         "(pc block 0x%x)",
+                         info.addr, hs->currentBlockPc));
+    });
+
+    // Leak detection at path termination.
+    engine_.events().onStateKill.subscribe([this](ExecutionState &state) {
+        if (state.status != core::StateStatus::Halted &&
+            state.status != core::StateStatus::Killed)
+            return; // abnormal paths would over-report
+        const auto *hs = static_cast<const HeapState *>(
+            state.findPluginState(this));
+        if (!hs)
+            return;
+        for (const auto &[addr, size] : hs->live)
+            report(state, "leak",
+                   strprintf("leaked chunk 0x%x (%u bytes)", addr, size));
+    });
+}
+
+void
+MemoryChecker::report(ExecutionState &state, const std::string &kind,
+                      const std::string &message)
+{
+    reports_.push_back({state.id(), kind, message});
+    engine_.events().onBug.emit(state, kind + ": " + message);
+}
+
+size_t
+MemoryChecker::distinctBugs() const
+{
+    std::set<std::pair<std::string, std::string>> uniq;
+    for (const auto &r : reports_)
+        uniq.insert({r.kind, r.message});
+    return uniq.size();
+}
+
+} // namespace s2e::plugins

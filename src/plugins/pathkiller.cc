@@ -1,0 +1,57 @@
+#include "plugins/pathkiller.hh"
+
+namespace s2e::plugins {
+
+PathKiller::PathKiller(Engine &engine, const CoverageTracker &coverage,
+                       Config config)
+    : Plugin(engine), coverage_(coverage), config_(config)
+{
+    engine_.events().onBlockExecute.subscribe(
+        [this](ExecutionState &state, const dbt::TranslationBlock &tb) {
+            uint64_t epoch = coverage_.coverageEpoch();
+            if (epoch != lastEpoch_) {
+                lastEpoch_ = epoch;
+                blocksSinceGrowth_ = 0;
+            } else {
+                blocksSinceGrowth_++;
+            }
+
+            // Loop killer: repeats only count while the path makes no
+            // progress of its own (no block it has never seen).
+            if (config_.maxLoopVisits) {
+                auto *ps = state.pluginState<PathKillerState>(this);
+                if (ps->seenBlocks.insert(tb.pc).second) {
+                    ps->blockVisits.clear();
+                } else {
+                    uint32_t visits = ++ps->blockVisits[tb.pc];
+                    if (visits > config_.maxLoopVisits) {
+                        killed_++;
+                        engine_.killState(
+                            state, core::StateStatus::Killed,
+                            strprintf("path-killer: block 0x%x "
+                                      "repeated %u times without "
+                                      "progress",
+                                      tb.pc, visits));
+                        return;
+                    }
+                }
+            }
+
+            // Stagnation killer: keep only the current state.
+            if (config_.stagnationBlocks &&
+                blocksSinceGrowth_ > config_.stagnationBlocks) {
+                blocksSinceGrowth_ = 0;
+                sweeps_++;
+                for (ExecutionState *other : engine_.activeStates()) {
+                    if (other != &state) {
+                        killed_++;
+                        engine_.killState(
+                            *other, core::StateStatus::Killed,
+                            "path-killer: coverage stagnation sweep");
+                    }
+                }
+            }
+        });
+}
+
+} // namespace s2e::plugins

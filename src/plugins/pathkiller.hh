@@ -1,0 +1,70 @@
+/**
+ * @file
+ * PathKiller selector (paper §4.1, §6.3): prunes paths that are no
+ * longer of interest. Two policies:
+ *
+ *  - loop killer: a path whose program counter sequence repeats more
+ *    than N times without contributing new coverage is stuck in a
+ *    polling loop and gets killed;
+ *  - stagnation killer: when *global* coverage has not grown for a
+ *    configurable number of executed blocks, all paths but one are
+ *    killed so exploration can move to the next entry point (the
+ *    driver-exercise policy of §6.3).
+ */
+
+#ifndef S2E_PLUGINS_PATHKILLER_HH
+#define S2E_PLUGINS_PATHKILLER_HH
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "plugins/coverage.hh"
+#include "plugins/plugin.hh"
+
+namespace s2e::plugins {
+
+/** Per-path loop bookkeeping. */
+struct PathKillerState : public core::PluginState {
+    std::unordered_map<uint32_t, uint32_t> blockVisits;
+    /** Blocks this path has ever executed; reaching a new one is
+     *  progress and resets the repeat counters. */
+    std::unordered_set<uint32_t> seenBlocks;
+    std::unique_ptr<core::PluginState>
+    clone() const override
+    {
+        return std::make_unique<PathKillerState>(*this);
+    }
+};
+
+class PathKiller : public Plugin
+{
+  public:
+    struct Config {
+        /** Kill a path after a block repeats this many times with no
+         *  new global coverage (0 disables). */
+        uint32_t maxLoopVisits = 0;
+        /** Kill all paths but one after this many blocks execute with
+         *  no new global coverage (0 disables). */
+        uint64_t stagnationBlocks = 0;
+    };
+
+    PathKiller(Engine &engine, const CoverageTracker &coverage,
+               Config config);
+
+    const char *name() const override { return "path-killer"; }
+
+    uint64_t pathsKilled() const { return killed_; }
+    uint64_t stagnationSweeps() const { return sweeps_; }
+
+  private:
+    const CoverageTracker &coverage_;
+    Config config_;
+    uint64_t killed_ = 0;
+    uint64_t sweeps_ = 0;
+    uint64_t blocksSinceGrowth_ = 0;
+    uint64_t lastEpoch_ = 0;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_PATHKILLER_HH

@@ -1,0 +1,97 @@
+#include "plugins/perfprofile.hh"
+
+namespace s2e::plugins {
+
+namespace {
+PerfState *
+perfStateFor(ExecutionState &state, const void *key,
+             const perf::MemoryHierarchy::Config &config)
+{
+    auto *existing =
+        static_cast<PerfState *>(state.findPluginState(key));
+    if (existing)
+        return existing;
+    // First touch on this path: create with the configured hierarchy.
+    auto *created = state.pluginState<PerfState>(key);
+    *created = PerfState(config);
+    return created;
+}
+} // namespace
+
+PerformanceProfile::PerformanceProfile(Engine &engine, Config config)
+    : Plugin(engine), config_(std::move(config))
+{
+    engine_.events().onBlockExecute.subscribe(
+        [this](ExecutionState &state, const dbt::TranslationBlock &tb) {
+            auto *ps = perfStateFor(state, this, config_.hierarchy);
+            for (uint32_t pc : tb.instrPcs)
+                ps->hier.fetch(pc);
+            if (config_.findBestCase &&
+                state.instrCount > bestInstructions_) {
+                abandoned_++;
+                engine_.killState(state, core::StateStatus::Killed,
+                                  "perf: exceeded best-case bound");
+            }
+        });
+
+    engine_.events().onMemoryAccess.subscribe(
+        [this](ExecutionState &state, const core::MemAccessInfo &info) {
+            auto *ps = perfStateFor(state, this, config_.hierarchy);
+            ps->hier.data(info.addr);
+        });
+
+    engine_.events().onStateKill.subscribe([this](ExecutionState &state) {
+        const auto *ps =
+            static_cast<const PerfState *>(state.findPluginState(this));
+        if (!ps)
+            return;
+        PathPerf p;
+        p.stateId = state.id();
+        p.status = state.status;
+        p.instructions = state.instrCount;
+        p.l1iMisses = ps->hier.l1iMisses();
+        p.l1dMisses = ps->hier.l1dMisses();
+        p.l2Misses = ps->hier.l2Misses();
+        p.cacheMisses = ps->hier.totalCacheMisses();
+        p.tlbMisses = ps->hier.tlbMisses();
+        p.pageFaults = ps->hier.pageFaults();
+        results_.push_back(p);
+        if (config_.findBestCase &&
+            state.status == core::StateStatus::Halted &&
+            state.instrCount < bestInstructions_)
+            bestInstructions_ = state.instrCount;
+    });
+}
+
+PerformanceProfile::Envelope
+PerformanceProfile::envelope() const
+{
+    Envelope env;
+    for (const auto &p : results_) {
+        if (p.status != core::StateStatus::Halted &&
+            p.status != core::StateStatus::Killed)
+            continue;
+        if (env.paths == 0) {
+            env.minInstructions = env.maxInstructions = p.instructions;
+            env.minCacheMisses = env.maxCacheMisses = p.cacheMisses;
+            env.minPageFaults = env.maxPageFaults = p.pageFaults;
+        } else {
+            env.minInstructions =
+                std::min(env.minInstructions, p.instructions);
+            env.maxInstructions =
+                std::max(env.maxInstructions, p.instructions);
+            env.minCacheMisses =
+                std::min(env.minCacheMisses, p.cacheMisses);
+            env.maxCacheMisses =
+                std::max(env.maxCacheMisses, p.cacheMisses);
+            env.minPageFaults =
+                std::min(env.minPageFaults, p.pageFaults);
+            env.maxPageFaults =
+                std::max(env.maxPageFaults, p.pageFaults);
+        }
+        env.paths++;
+    }
+    return env;
+}
+
+} // namespace s2e::plugins

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * PerformanceProfile analyzer (paper §6.1.3): counts instructions and
+ * simulates a configurable cache/TLB/paging hierarchy along *every*
+ * explored path, yielding the multi-path performance envelope that
+ * single-path profilers (Valgrind/Oprofile) cannot produce.
+ *
+ * With findBestCase enabled it reproduces the paper's best-case-input
+ * search: any path whose metric exceeds the best completed path so
+ * far is abandoned (via the PathKiller mechanism).
+ */
+
+#ifndef S2E_PLUGINS_PERFPROFILE_HH
+#define S2E_PLUGINS_PERFPROFILE_HH
+
+#include "perf/cache.hh"
+#include "plugins/plugin.hh"
+
+namespace s2e::plugins {
+
+/** Per-path simulated hierarchy. */
+struct PerfState : public core::PluginState {
+    PerfState() : hier(perf::MemoryHierarchy::Config()) {}
+    explicit PerfState(const perf::MemoryHierarchy::Config &config)
+        : hier(config)
+    {
+    }
+    perf::MemoryHierarchy hier;
+    std::unique_ptr<core::PluginState>
+    clone() const override
+    {
+        return std::make_unique<PerfState>(*this);
+    }
+};
+
+/** Final numbers for one path. */
+struct PathPerf {
+    int stateId;
+    core::StateStatus status;
+    uint64_t instructions;
+    uint64_t l1iMisses;
+    uint64_t l1dMisses;
+    uint64_t l2Misses;
+    uint64_t cacheMisses; ///< total across levels
+    uint64_t tlbMisses;
+    uint64_t pageFaults;
+};
+
+class PerformanceProfile : public Plugin
+{
+  public:
+    struct Config {
+        perf::MemoryHierarchy::Config hierarchy;
+        /** Abandon paths whose instruction count exceeds the best
+         *  completed path so far (best-case-input search). */
+        bool findBestCase = false;
+    };
+
+    explicit PerformanceProfile(Engine &engine)
+        : PerformanceProfile(engine, Config())
+    {
+    }
+    PerformanceProfile(Engine &engine, Config config);
+
+    const char *name() const override { return "performance-profile"; }
+
+    /** Profiles of all terminated paths. */
+    const std::vector<PathPerf> &results() const { return results_; }
+
+    /** Envelope over completed (halted/killed) paths. */
+    struct Envelope {
+        uint64_t minInstructions = 0;
+        uint64_t maxInstructions = 0;
+        uint64_t minCacheMisses = 0;
+        uint64_t maxCacheMisses = 0;
+        uint64_t minPageFaults = 0;
+        uint64_t maxPageFaults = 0;
+        size_t paths = 0;
+    };
+    Envelope envelope() const;
+
+    uint64_t pathsAbandoned() const { return abandoned_; }
+
+  private:
+    Config config_;
+    std::vector<PathPerf> results_;
+    uint64_t bestInstructions_ = ~0ULL;
+    uint64_t abandoned_ = 0;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_PERFPROFILE_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Plugin base class.
+ *
+ * A plugin is a selector (influences path exploration) or an analyzer
+ * (passively observes paths); both use the same interface (paper
+ * §4.2). Plugins subscribe to EventHub signals in their constructor
+ * and keep per-path data in PluginState objects keyed by the plugin
+ * instance (see ExecutionState::pluginState).
+ */
+
+#ifndef S2E_PLUGINS_PLUGIN_HH
+#define S2E_PLUGINS_PLUGIN_HH
+
+#include "core/engine.hh"
+
+namespace s2e::plugins {
+
+using core::Engine;
+using core::ExecutionState;
+
+/** Generic per-path counter, for plugins that just need to bound
+ *  how often something happens along one path. */
+struct CounterState : public core::PluginState {
+    uint64_t count = 0;
+    std::unique_ptr<core::PluginState>
+    clone() const override
+    {
+        return std::make_unique<CounterState>(*this);
+    }
+};
+
+/** Base class for all selectors and analyzers. */
+class Plugin
+{
+  public:
+    explicit Plugin(Engine &engine) : engine_(engine) {}
+    virtual ~Plugin() = default;
+    Plugin(const Plugin &) = delete;
+    Plugin &operator=(const Plugin &) = delete;
+
+    virtual const char *name() const = 0;
+
+    Engine &engine() { return engine_; }
+
+  protected:
+    Engine &engine_;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_PLUGIN_HH

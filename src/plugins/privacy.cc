@@ -1,0 +1,82 @@
+#include "plugins/privacy.hh"
+
+namespace s2e::plugins {
+
+PrivacyAnalyzer::PrivacyAnalyzer(Engine &engine) : Plugin(engine)
+{
+    engine_.events().onPortAccess.subscribe(
+        [this](ExecutionState &state, uint16_t port,
+               const core::Value &value, bool is_write) {
+            if (!is_write || value.isConcrete())
+                return;
+            if (!dependsOnSecret(value.expr()))
+                return;
+            std::string msg = strprintf(
+                "secret-derived data written to port 0x%x", port);
+            leaks_.push_back({state.id(), "privacy-leak", msg});
+            engine_.events().onBug.emit(state, "privacy-leak: " + msg);
+        });
+
+    // MMIO writes leave the system too; they reach devices through
+    // the memory-access event with a device address.
+    engine_.events().onMemoryAccess.subscribe(
+        [this](ExecutionState &state, const core::MemAccessInfo &info) {
+            if (!info.isWrite || info.addr < vm::kMmioBase)
+                return;
+            if (!info.value || info.value->isConcrete())
+                return;
+            if (!dependsOnSecret(info.value->expr()))
+                return;
+            std::string msg = strprintf(
+                "secret-derived data written to MMIO 0x%x", info.addr);
+            leaks_.push_back({state.id(), "privacy-leak", msg});
+            engine_.events().onBug.emit(state, "privacy-leak: " + msg);
+        });
+}
+
+void
+PrivacyAnalyzer::markSecret(expr::ExprRef variable)
+{
+    S2E_ASSERT(variable->isVariable(), "markSecret needs a variable");
+    secretVarIds_.insert(variable->varId());
+}
+
+void
+PrivacyAnalyzer::markSecretRange(core::ExecutionState &state,
+                                 uint32_t addr, uint32_t len)
+{
+    auto &bld = engine_.builder();
+    for (uint32_t i = 0; i < len; ++i) {
+        if (!state.mem.inBounds(addr + i, 1) ||
+            !state.mem.rangeHasSymbolic(addr + i, 1))
+            continue;
+        expr::ExprRef byte = state.mem.byteExpr(addr + i, bld);
+        if (byte->isVariable())
+            secretVarIds_.insert(byte->varId());
+    }
+}
+
+namespace {
+bool
+dependsOn(expr::ExprRef e, const std::unordered_set<uint64_t> &ids,
+          std::unordered_set<expr::ExprRef> &seen)
+{
+    if (!seen.insert(e).second)
+        return false;
+    if (e->isVariable())
+        return ids.count(e->varId()) != 0;
+    for (unsigned i = 0; i < e->arity(); ++i)
+        if (dependsOn(e->kid(i), ids, seen))
+            return true;
+    return false;
+}
+} // namespace
+
+bool
+PrivacyAnalyzer::dependsOnSecret(expr::ExprRef e) const
+{
+    std::unordered_set<expr::ExprRef> seen;
+    return dependsOn(e, secretVarIds_, seen);
+}
+
+} // namespace s2e::plugins

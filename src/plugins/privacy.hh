@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PrivacyAnalyzer — the paper's §6.1.4 sketch: "by monitoring the
+ * flow of symbolic input values (e.g. credit card numbers) through
+ * the software stack, S2E could tell whether any of the data leaks
+ * outside the system."
+ *
+ * Secrets are symbolic variables registered with markSecret(); the
+ * analyzer watches everything that leaves the system (port and MMIO
+ * writes) and reports a leak whenever the outgoing value's expression
+ * depends on a secret variable. Because symbolic data flows lazily
+ * through memory and registers, any copying/massaging the guest does
+ * is tracked for free — the in-vivo advantage the paper highlights.
+ */
+
+#ifndef S2E_PLUGINS_PRIVACY_HH
+#define S2E_PLUGINS_PRIVACY_HH
+
+#include <unordered_set>
+
+#include "plugins/memchecker.hh" // BugReport
+#include "plugins/plugin.hh"
+
+namespace s2e::plugins {
+
+class PrivacyAnalyzer : public Plugin
+{
+  public:
+    explicit PrivacyAnalyzer(Engine &engine);
+
+    const char *name() const override { return "privacy-analyzer"; }
+
+    /** Register a symbolic variable as secret. */
+    void markSecret(expr::ExprRef variable);
+
+    /** Mark every symbolic byte currently overlaying [addr, addr+len)
+     *  of the state as secret. */
+    void markSecretRange(core::ExecutionState &state, uint32_t addr,
+                         uint32_t len);
+
+    const std::vector<BugReport> &leaks() const { return leaks_; }
+
+  private:
+    bool dependsOnSecret(expr::ExprRef e) const;
+
+    std::unordered_set<uint64_t> secretVarIds_;
+    std::vector<BugReport> leaks_;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_PRIVACY_HH

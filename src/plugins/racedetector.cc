@@ -1,0 +1,48 @@
+#include "plugins/racedetector.hh"
+
+namespace s2e::plugins {
+
+DataRaceDetector::DataRaceDetector(Engine &engine, Config config)
+    : Plugin(engine), config_(config)
+{
+    engine_.events().onBlockExecute.subscribe(
+        [this](ExecutionState &state, const dbt::TranslationBlock &tb) {
+            state.pluginState<RaceState>(this)->currentBlockPc = tb.pc;
+        });
+
+    engine_.events().onMemoryAccess.subscribe([this](ExecutionState &state,
+                                                     const core::
+                                                         MemAccessInfo &info) {
+        if (info.addr < config_.watchBase || info.addr >= config_.watchEnd)
+            return;
+        auto *rs = state.pluginState<RaceState>(this);
+        if (config_.unitOnly && !engine_.isUnitPc(rs->currentBlockPc))
+            return;
+
+        bool in_irq = state.cpu.interruptDepth > 0;
+        uint8_t &bits = rs->history[info.addr];
+        if (in_irq && info.isWrite) {
+            bits |= RaceState::IrqWrite;
+        } else if (!in_irq && state.cpu.intEnabled && info.isWrite) {
+            // Only mainline *writes* race with an ISR writer: a torn
+            // read-modify-write loses the interrupt's update. Plain
+            // reads of a word-sized counter are benign here.
+            bits |= RaceState::MainUnprotectedAccess;
+        }
+
+        if (bits == (RaceState::IrqWrite |
+                     RaceState::MainUnprotectedAccess) &&
+            !rs->reported[info.addr]) {
+            rs->reported[info.addr] = true;
+            std::string msg = strprintf(
+                "location 0x%x written in interrupt context and "
+                "accessed from mainline with interrupts enabled "
+                "(block 0x%x)",
+                info.addr, rs->currentBlockPc);
+            reports_.push_back({state.id(), "data-race", msg});
+            engine_.events().onBug.emit(state, "data-race: " + msg);
+        }
+    });
+}
+
+} // namespace s2e::plugins

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * DataRaceDetector analyzer (paper §4.1). In the single-CPU guest,
+ * the race class that matters for drivers is interrupt-handler vs
+ * mainline: a location written from interrupt context and accessed
+ * from mainline code *with interrupts enabled* (i.e., outside a
+ * cli/sti critical section) can be torn by an interrupt arriving
+ * between the access's micro-steps.
+ */
+
+#ifndef S2E_PLUGINS_RACEDETECTOR_HH
+#define S2E_PLUGINS_RACEDETECTOR_HH
+
+#include <unordered_map>
+
+#include "plugins/memchecker.hh" // BugReport
+#include "plugins/plugin.hh"
+
+namespace s2e::plugins {
+
+/** Per-path access history. */
+struct RaceState : public core::PluginState {
+    enum Ctx : uint8_t {
+        IrqWrite = 1,
+        MainUnprotectedAccess = 2,
+    };
+    std::unordered_map<uint32_t, uint8_t> history; ///< addr -> Ctx bits
+    std::unordered_map<uint32_t, bool> reported;
+    uint32_t currentBlockPc = 0;
+    std::unique_ptr<core::PluginState>
+    clone() const override
+    {
+        return std::make_unique<RaceState>(*this);
+    }
+};
+
+class DataRaceDetector : public Plugin
+{
+  public:
+    struct Config {
+        /** Data range to monitor (e.g., the driver's globals). */
+        uint32_t watchBase = 0;
+        uint32_t watchEnd = 0;
+        bool unitOnly = true;
+    };
+
+    DataRaceDetector(Engine &engine, Config config);
+
+    const char *name() const override { return "data-race-detector"; }
+
+    const std::vector<BugReport> &reports() const { return reports_; }
+
+  private:
+    Config config_;
+    std::vector<BugReport> reports_;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_RACEDETECTOR_HH

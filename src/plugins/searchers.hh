@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Priority-based path selection (paper §4.1): DepthFirst,
+ * BreadthFirst, Random and MaxCoverage searchers.
+ */
+
+#ifndef S2E_PLUGINS_SEARCHERS_HH
+#define S2E_PLUGINS_SEARCHERS_HH
+
+#include "core/engine.hh"
+#include "support/rng.hh"
+
+namespace s2e::plugins {
+
+/** Newest state first (default engine behavior, re-exported). */
+class DepthFirstSearcher : public core::Searcher
+{
+  public:
+    const char *name() const override { return "depth-first"; }
+    core::ExecutionState *
+    select(const std::vector<core::ExecutionState *> &active) override
+    {
+        return active.back();
+    }
+};
+
+/** Oldest state first. */
+class BreadthFirstSearcher : public core::Searcher
+{
+  public:
+    const char *name() const override { return "breadth-first"; }
+    core::ExecutionState *
+    select(const std::vector<core::ExecutionState *> &active) override
+    {
+        return active.front();
+    }
+};
+
+/** Uniformly random state. */
+class RandomSearcher : public core::Searcher
+{
+  public:
+    explicit RandomSearcher(uint64_t seed = 1) : rng_(seed) {}
+    const char *name() const override { return "random"; }
+    core::ExecutionState *
+    select(const std::vector<core::ExecutionState *> &active) override
+    {
+        return active[rng_.below(active.size())];
+    }
+
+  private:
+    Rng rng_;
+};
+
+class CoverageTracker;
+
+/**
+ * Prefers states whose next block has not been covered yet, falling
+ * back to random choice (works with CoverageTracker, paper §4.1).
+ */
+class MaxCoverageSearcher : public core::Searcher
+{
+  public:
+    MaxCoverageSearcher(const CoverageTracker &coverage, uint64_t seed = 1)
+        : coverage_(coverage), rng_(seed)
+    {
+    }
+    const char *name() const override { return "max-coverage"; }
+    core::ExecutionState *
+    select(const std::vector<core::ExecutionState *> &active) override;
+
+  private:
+    const CoverageTracker &coverage_;
+    Rng rng_;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_SEARCHERS_HH

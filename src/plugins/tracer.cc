@@ -1,0 +1,76 @@
+#include "plugins/tracer.hh"
+
+#include "vm/device.hh"
+
+namespace s2e::plugins {
+
+ExecutionTracer::ExecutionTracer(Engine &engine, Config config)
+    : Plugin(engine), config_(std::move(config))
+{
+    if (config_.traceBlocks) {
+        engine_.events().onBlockExecute.subscribe(
+            [this](ExecutionState &state,
+                   const dbt::TranslationBlock &tb) {
+                auto *ts = state.pluginState<TraceState>(this);
+                ts->currentBlockPc = tb.pc;
+                if (!inRanges(tb.pc) ||
+                    ts->entries.size() >= config_.maxEntriesPerPath)
+                    return;
+                ts->entries.push_back(
+                    {TraceEntry::Kind::Block, tb.pc, 0, 0, 0});
+            });
+    }
+    if (config_.traceMemory || config_.traceMmio) {
+        engine_.events().onMemoryAccess.subscribe(
+            [this](ExecutionState &state,
+                   const core::MemAccessInfo &info) {
+                auto *ts = state.pluginState<TraceState>(this);
+                if (!inRanges(ts->currentBlockPc) ||
+                    ts->entries.size() >= config_.maxEntriesPerPath)
+                    return;
+                bool is_mmio = info.addr >= vm::kMmioBase;
+                uint32_t v = info.value && info.value->isConcrete()
+                                 ? info.value->concrete()
+                                 : 0;
+                if (is_mmio && config_.traceMmio) {
+                    // MMIO device accesses are hardware I/O.
+                    ts->entries.push_back(
+                        {info.isWrite ? TraceEntry::Kind::PortOut
+                                      : TraceEntry::Kind::PortIn,
+                         ts->currentBlockPc, info.addr, v,
+                         static_cast<uint8_t>(info.size)});
+                    return;
+                }
+                if (!config_.traceMemory)
+                    return;
+                ts->entries.push_back(
+                    {info.isWrite ? TraceEntry::Kind::MemWrite
+                                  : TraceEntry::Kind::MemRead,
+                     ts->currentBlockPc, info.addr, v,
+                     static_cast<uint8_t>(info.size)});
+            });
+    }
+    if (config_.tracePortIo) {
+        engine_.events().onPortAccess.subscribe(
+            [this](ExecutionState &state, uint16_t port,
+                   const core::Value &value, bool is_write) {
+                auto *ts = state.pluginState<TraceState>(this);
+                if (!inRanges(ts->currentBlockPc) ||
+                    ts->entries.size() >= config_.maxEntriesPerPath)
+                    return;
+                uint32_t v =
+                    value.isConcrete() ? value.concrete() : 0;
+                ts->entries.push_back(
+                    {is_write ? TraceEntry::Kind::PortOut
+                              : TraceEntry::Kind::PortIn,
+                     ts->currentBlockPc, port, v, 4});
+            });
+    }
+    engine_.events().onStateKill.subscribe([this](ExecutionState &state) {
+        const auto *ts = traceOf(state);
+        if (ts && !ts->entries.empty())
+            finished_.emplace_back(state.id(), *ts);
+    });
+}
+
+} // namespace s2e::plugins

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * ExecutionTracer analyzer (paper §4.1): selectively records executed
+ * instructions, memory accesses and hardware I/O along each path.
+ * REV+ feeds these traces to its offline CFG reconstructor.
+ */
+
+#ifndef S2E_PLUGINS_TRACER_HH
+#define S2E_PLUGINS_TRACER_HH
+
+#include "plugins/plugin.hh"
+
+namespace s2e::plugins {
+
+/** One trace record. */
+struct TraceEntry {
+    enum class Kind : uint8_t { Block, MemRead, MemWrite, PortIn, PortOut };
+    Kind kind;
+    uint32_t pc;      ///< block pc (Block) or current block pc
+    uint32_t addr;    ///< memory address / port number
+    uint32_t value;   ///< data value (concrete or example)
+    uint8_t size;
+};
+
+/** Per-path trace storage. */
+struct TraceState : public core::PluginState {
+    std::vector<TraceEntry> entries;
+    uint32_t currentBlockPc = 0;
+    std::unique_ptr<core::PluginState>
+    clone() const override
+    {
+        return std::make_unique<TraceState>(*this);
+    }
+};
+
+/** Configurable tracer. */
+class ExecutionTracer : public Plugin
+{
+  public:
+    struct Config {
+        bool traceBlocks = true;
+        bool traceMemory = false;
+        bool tracePortIo = true;
+        /** Record MMIO accesses as hardware I/O (bank-switched NICs
+         *  expose their whole protocol through MMIO). */
+        bool traceMmio = true;
+        /** Restrict block tracing to these ranges (empty = all). */
+        std::vector<std::pair<uint32_t, uint32_t>> ranges;
+        size_t maxEntriesPerPath = 1u << 20;
+    };
+
+    explicit ExecutionTracer(Engine &engine)
+        : ExecutionTracer(engine, Config())
+    {
+    }
+    ExecutionTracer(Engine &engine, Config config);
+
+    const char *name() const override { return "tracer"; }
+
+    /** The trace of a given state (nullptr if none was recorded). */
+    const TraceState *traceOf(const ExecutionState &state) const
+    {
+        return static_cast<const TraceState *>(
+            state.findPluginState(this));
+    }
+
+    /** Traces of all terminated states, appended at kill time. */
+    const std::vector<std::pair<int, TraceState>> &finishedTraces() const
+    {
+        return finished_;
+    }
+
+  private:
+    bool
+    inRanges(uint32_t pc) const
+    {
+        if (config_.ranges.empty())
+            return true;
+        for (const auto &[lo, hi] : config_.ranges)
+            if (pc >= lo && pc < hi)
+                return true;
+        return false;
+    }
+
+    Config config_;
+    std::vector<std::pair<int, TraceState>> finished_;
+};
+
+} // namespace s2e::plugins
+
+#endif // S2E_PLUGINS_TRACER_HH

@@ -1,0 +1,539 @@
+#include "solver/sat.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hh"
+
+namespace s2e::sat {
+
+SatSolver::SatSolver() = default;
+
+SatSolver::~SatSolver()
+{
+    for (Clause *c : clauses_)
+        delete c;
+    for (Clause *c : learnts_)
+        delete c;
+}
+
+Var
+SatSolver::newVar()
+{
+    Var v = static_cast<Var>(assigns_.size());
+    assigns_.push_back(LBool::Undef);
+    phase_.push_back(false);
+    reason_.push_back(nullptr);
+    level_.push_back(0);
+    activity_.push_back(0.0);
+    seen_.push_back(0);
+    heapPos_.push_back(-1);
+    watches_.emplace_back();
+    watches_.emplace_back();
+    heapInsert(v);
+    return v;
+}
+
+bool
+SatSolver::addClause(const std::vector<Lit> &lits_in)
+{
+    S2E_ASSERT(decisionLevel() == 0, "addClause above root level");
+    if (!ok_)
+        return false;
+
+    // Sort, dedupe, drop false literals, detect tautologies and
+    // satisfied clauses.
+    std::vector<Lit> lits(lits_in);
+    std::sort(lits.begin(), lits.end());
+    std::vector<Lit> out;
+    Lit prev = -1;
+    for (Lit l : lits) {
+        S2E_ASSERT(litVar(l) < numVars(), "clause uses unknown var");
+        if (l == prev)
+            continue;
+        if (prev >= 0 && l == litNot(prev))
+            return true; // tautology: x | !x
+        LBool v = litValue(l);
+        if (v == LBool::True)
+            return true; // already satisfied at root
+        if (v == LBool::False)
+            continue; // root-false literal: drop
+        out.push_back(l);
+        prev = l;
+    }
+
+    if (out.empty()) {
+        ok_ = false;
+        return false;
+    }
+    if (out.size() == 1) {
+        enqueue(out[0], nullptr);
+        if (propagate() != nullptr) {
+            ok_ = false;
+            return false;
+        }
+        return true;
+    }
+
+    Clause *c = new Clause();
+    c->lits = std::move(out);
+    clauses_.push_back(c);
+    attachClause(c);
+    return true;
+}
+
+void
+SatSolver::attachClause(Clause *c)
+{
+    S2E_ASSERT(c->lits.size() >= 2, "attach of short clause");
+    watches_[litNot(c->lits[0])].push_back({c, c->lits[1]});
+    watches_[litNot(c->lits[1])].push_back({c, c->lits[0]});
+}
+
+void
+SatSolver::enqueue(Lit l, Clause *reason)
+{
+    Var v = litVar(l);
+    S2E_ASSERT(assigns_[v] == LBool::Undef, "enqueue of assigned var");
+    assigns_[v] = lboolFrom(!litNeg(l));
+    phase_[v] = !litNeg(l);
+    reason_[v] = reason;
+    level_[v] = decisionLevel();
+    trail_.push_back(l);
+}
+
+SatSolver::Clause *
+SatSolver::propagate()
+{
+    while (qhead_ < trail_.size()) {
+        Lit p = trail_[qhead_++];
+        propagations_++;
+        std::vector<Watcher> &ws = watches_[p];
+        size_t i = 0, j = 0;
+        while (i < ws.size()) {
+            Watcher w = ws[i];
+            if (litValue(w.blocker) == LBool::True) {
+                ws[j++] = ws[i++];
+                continue;
+            }
+            Clause *c = w.clause;
+            std::vector<Lit> &lits = c->lits;
+            // Normalize so lits[0] is the other watched literal.
+            Lit not_p = litNot(p);
+            if (lits[0] == not_p)
+                std::swap(lits[0], lits[1]);
+            S2E_ASSERT(lits[1] == not_p, "watch invariant broken");
+            Lit first = lits[0];
+            if (first != w.blocker && litValue(first) == LBool::True) {
+                ws[j++] = {c, first};
+                i++;
+                continue;
+            }
+            // Look for a new literal to watch.
+            bool moved = false;
+            for (size_t k = 2; k < lits.size(); ++k) {
+                if (litValue(lits[k]) != LBool::False) {
+                    std::swap(lits[1], lits[k]);
+                    watches_[litNot(lits[1])].push_back({c, first});
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved) {
+                i++;
+                continue;
+            }
+            // Clause is unit or conflicting.
+            ws[j++] = {c, first};
+            i++;
+            if (litValue(first) == LBool::False) {
+                // Conflict: copy remaining watchers and bail.
+                while (i < ws.size())
+                    ws[j++] = ws[i++];
+                ws.resize(j);
+                qhead_ = trail_.size();
+                return c;
+            }
+            enqueue(first, c);
+        }
+        ws.resize(j);
+    }
+    return nullptr;
+}
+
+void
+SatSolver::analyze(Clause *conflict, std::vector<Lit> &out_learnt,
+                   int &out_btlevel)
+{
+    out_learnt.clear();
+    out_learnt.push_back(0); // placeholder for the asserting literal
+    int path_count = 0;
+    Lit p = -1;
+    size_t index = trail_.size();
+
+    Clause *c = conflict;
+    do {
+        S2E_ASSERT(c != nullptr, "analyze hit a decision without reason");
+        bumpClauseActivity(c);
+        for (Lit q : c->lits) {
+            if (q == p)
+                continue;
+            Var v = litVar(q);
+            if (!seen_[v] && level_[v] > 0) {
+                seen_[v] = 1;
+                bumpVarActivity(v);
+                if (level_[v] >= decisionLevel())
+                    path_count++;
+                else
+                    out_learnt.push_back(q);
+            }
+        }
+        // Select next literal on the trail to expand.
+        while (!seen_[litVar(trail_[index - 1])])
+            index--;
+        index--;
+        p = trail_[index];
+        c = reason_[litVar(p)];
+        seen_[litVar(p)] = 0;
+        path_count--;
+    } while (path_count > 0);
+    out_learnt[0] = litNot(p);
+
+    // Clause minimization: drop literals implied by the rest.
+    // (Light-weight local check: a literal whose reason's literals are
+    // all already in the clause or at level 0 is redundant.)
+    auto redundant = [&](Lit l) {
+        Clause *r = reason_[litVar(l)];
+        if (!r)
+            return false;
+        for (Lit q : r->lits) {
+            Var v = litVar(q);
+            if (v == litVar(l))
+                continue;
+            if (level_[v] > 0 && !seen_[v])
+                return false;
+        }
+        return true;
+    };
+    // Mark for the redundancy check; remember every marked variable
+    // so the scratch flags are fully cleared afterwards (stale flags
+    // would corrupt later conflict analyses).
+    std::vector<Var> marked;
+    marked.reserve(out_learnt.size());
+    for (Lit l : out_learnt) {
+        seen_[litVar(l)] = 1;
+        marked.push_back(litVar(l));
+    }
+    size_t w = 1;
+    for (size_t r = 1; r < out_learnt.size(); ++r) {
+        if (!redundant(out_learnt[r]))
+            out_learnt[w++] = out_learnt[r];
+    }
+    for (Var v : marked)
+        seen_[v] = 0;
+    out_learnt.resize(w);
+
+    // Compute backtrack level: highest level among lits[1..].
+    out_btlevel = 0;
+    if (out_learnt.size() > 1) {
+        size_t max_i = 1;
+        for (size_t k = 2; k < out_learnt.size(); ++k)
+            if (level_[litVar(out_learnt[k])] >
+                level_[litVar(out_learnt[max_i])])
+                max_i = k;
+        std::swap(out_learnt[1], out_learnt[max_i]);
+        out_btlevel = level_[litVar(out_learnt[1])];
+    }
+}
+
+void
+SatSolver::cancelUntil(int lvl)
+{
+    if (decisionLevel() <= lvl)
+        return;
+    for (size_t i = trail_.size(); i > static_cast<size_t>(trailLim_[lvl]);
+         --i) {
+        Var v = litVar(trail_[i - 1]);
+        assigns_[v] = LBool::Undef;
+        reason_[v] = nullptr;
+        if (heapPos_[v] < 0)
+            heapInsert(v);
+    }
+    trail_.resize(trailLim_[lvl]);
+    trailLim_.resize(lvl);
+    qhead_ = trail_.size();
+}
+
+Lit
+SatSolver::pickBranchLit()
+{
+    while (!heapEmpty()) {
+        Var v = heapPopMax();
+        if (assigns_[v] == LBool::Undef)
+            return mkLit(v, !phase_[v]);
+    }
+    return -1;
+}
+
+void
+SatSolver::bumpVarActivity(Var v)
+{
+    activity_[v] += varInc_;
+    if (activity_[v] > 1e100) {
+        for (auto &a : activity_)
+            a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+    if (heapPos_[v] >= 0)
+        heapUpdate(v);
+}
+
+void
+SatSolver::bumpClauseActivity(Clause *c)
+{
+    if (!c->learnt)
+        return;
+    c->activity += static_cast<float>(claInc_);
+    if (c->activity > 1e20f) {
+        for (Clause *lc : learnts_)
+            lc->activity *= 1e-20f;
+        claInc_ *= 1e-20;
+    }
+}
+
+void
+SatSolver::decayActivities()
+{
+    varInc_ /= 0.95;
+    claInc_ /= 0.999;
+}
+
+void
+SatSolver::reduceDB()
+{
+    // Remove the least active half of the learnt clauses, keeping
+    // clauses that are currently reasons.
+    std::vector<Clause *> keep;
+    std::vector<Clause *> sorted = learnts_;
+    std::sort(sorted.begin(), sorted.end(),
+              [](Clause *a, Clause *b) { return a->activity > b->activity; });
+    std::vector<bool> locked_set;
+    auto isLocked = [&](Clause *c) {
+        Lit first = c->lits[0];
+        return litValue(first) == LBool::True &&
+               reason_[litVar(first)] == c;
+    };
+    size_t limit = sorted.size() / 2;
+    for (size_t i = 0; i < sorted.size(); ++i) {
+        Clause *c = sorted[i];
+        if (i < limit || isLocked(c) || c->lits.size() == 2) {
+            keep.push_back(c);
+        } else {
+            // Detach from watch lists.
+            for (int k = 0; k < 2; ++k) {
+                auto &ws = watches_[litNot(c->lits[k])];
+                for (size_t x = 0; x < ws.size(); ++x) {
+                    if (ws[x].clause == c) {
+                        ws[x] = ws.back();
+                        ws.pop_back();
+                        break;
+                    }
+                }
+            }
+            delete c;
+        }
+    }
+    learnts_ = std::move(keep);
+}
+
+bool
+SatSolver::verifyModel() const
+{
+    for (const Clause *c : clauses_) {
+        bool any = false;
+        for (Lit l : c->lits)
+            if (modelTrue(l))
+                any = true;
+        if (!any)
+            return false;
+    }
+    return true;
+}
+
+int64_t
+SatSolver::lubyWindow(uint64_t restarts)
+{
+    // Luby sequence via Knuth's reluctant-doubling pair, scaled by a
+    // base window of 128 conflicts.
+    uint64_t u = 1, v = 1;
+    for (uint64_t i = 0; i < restarts; ++i) {
+        if ((u & (~u + 1)) == v) {
+            u++;
+            v = 1;
+        } else {
+            v <<= 1;
+        }
+    }
+    return static_cast<int64_t>(v) * 128;
+}
+
+SatResult
+SatSolver::solve(const std::vector<Lit> &assumptions, int64_t maxConflicts)
+{
+    if (!ok_)
+        return SatResult::Unsat;
+    cancelUntil(0);
+
+    uint64_t restarts = 0;
+    int64_t restart_budget = lubyWindow(restarts);
+    uint64_t conflicts_this_call = 0;
+    size_t learnt_cap = clauses_.size() / 2 + 1000;
+
+    for (;;) {
+        Clause *conflict = propagate();
+        if (conflict != nullptr) {
+            conflicts_++;
+            conflicts_this_call++;
+            restart_budget--;
+            if (decisionLevel() == 0) {
+                ok_ = false;
+                return SatResult::Unsat;
+            }
+            std::vector<Lit> learnt;
+            int bt_level = 0;
+            analyze(conflict, learnt, bt_level);
+            cancelUntil(bt_level);
+            if (learnt.size() == 1) {
+                enqueue(learnt[0], nullptr);
+            } else {
+                Clause *c = new Clause();
+                c->learnt = true;
+                c->lits = learnt;
+                learnts_.push_back(c);
+                attachClause(c);
+                bumpClauseActivity(c);
+                enqueue(learnt[0], c);
+            }
+            decayActivities();
+            if (maxConflicts >= 0 &&
+                conflicts_this_call > static_cast<uint64_t>(maxConflicts)) {
+                cancelUntil(0);
+                return SatResult::Unknown;
+            }
+            continue;
+        }
+
+        if (restart_budget <= 0) {
+            restarts++;
+            restart_budget = lubyWindow(restarts);
+            cancelUntil(0);
+            continue;
+        }
+        if (learnts_.size() > learnt_cap) {
+            reduceDB();
+            learnt_cap += learnt_cap / 2;
+        }
+
+        // Apply assumptions as pseudo-decisions in order.
+        if (static_cast<size_t>(decisionLevel()) < assumptions.size()) {
+            Lit a = assumptions[decisionLevel()];
+            LBool v = litValue(a);
+            if (v == LBool::True) {
+                trailLim_.push_back(static_cast<int>(trail_.size()));
+                continue;
+            }
+            if (v == LBool::False) {
+                // Assumptions conflict with the formula.
+                cancelUntil(0);
+                return SatResult::Unsat;
+            }
+            trailLim_.push_back(static_cast<int>(trail_.size()));
+            enqueue(a, nullptr);
+            continue;
+        }
+
+        Lit next = pickBranchLit();
+        if (next < 0) {
+            // Full satisfying assignment: snapshot it as the model and
+            // restore the solver to root level so more clauses can be
+            // added afterwards.
+            model_ = assigns_;
+            cancelUntil(0);
+            return SatResult::Sat;
+        }
+        decisions_++;
+        trailLim_.push_back(static_cast<int>(trail_.size()));
+        enqueue(next, nullptr);
+    }
+}
+
+// --- Indexed binary max-heap over activity ---------------------------
+
+void
+SatSolver::heapInsert(Var v)
+{
+    heapPos_[v] = static_cast<int>(heap_.size());
+    heap_.push_back(v);
+    heapSiftUp(heapPos_[v]);
+}
+
+void
+SatSolver::heapUpdate(Var v)
+{
+    heapSiftUp(heapPos_[v]);
+}
+
+Var
+SatSolver::heapPopMax()
+{
+    Var top = heap_[0];
+    heapPos_[top] = -1;
+    Var last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_[0] = last;
+        heapPos_[last] = 0;
+        heapSiftDown(0);
+    }
+    return top;
+}
+
+void
+SatSolver::heapSiftUp(int i)
+{
+    Var v = heap_[i];
+    while (i > 0) {
+        int parent = (i - 1) / 2;
+        if (activity_[heap_[parent]] >= activity_[v])
+            break;
+        heap_[i] = heap_[parent];
+        heapPos_[heap_[i]] = i;
+        i = parent;
+    }
+    heap_[i] = v;
+    heapPos_[v] = i;
+}
+
+void
+SatSolver::heapSiftDown(int i)
+{
+    Var v = heap_[i];
+    int n = static_cast<int>(heap_.size());
+    for (;;) {
+        int child = 2 * i + 1;
+        if (child >= n)
+            break;
+        if (child + 1 < n &&
+            activity_[heap_[child + 1]] > activity_[heap_[child]])
+            child++;
+        if (activity_[heap_[child]] <= activity_[v])
+            break;
+        heap_[i] = heap_[child];
+        heapPos_[heap_[i]] = i;
+        i = child;
+    }
+    heap_[i] = v;
+    heapPos_[v] = i;
+}
+
+} // namespace s2e::sat

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * CDCL SAT solver: two-watched-literal propagation, VSIDS decision
+ * heuristic with an indexed binary heap, first-UIP clause learning,
+ * phase saving, Luby restarts and learnt-clause reduction.
+ *
+ * This is the decision procedure underneath the bitvector bit-blaster
+ * (bitblast.hh); together they replace the STP solver the original
+ * S2E inherited from KLEE.
+ */
+
+#ifndef S2E_SOLVER_SAT_HH
+#define S2E_SOLVER_SAT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "support/stats.hh"
+
+namespace s2e::sat {
+
+using Var = int32_t;
+using Lit = int32_t; ///< 2*var + (negated ? 1 : 0)
+
+inline Lit
+mkLit(Var v, bool neg = false)
+{
+    return v * 2 + (neg ? 1 : 0);
+}
+inline Var
+litVar(Lit l)
+{
+    return l >> 1;
+}
+inline bool
+litNeg(Lit l)
+{
+    return l & 1;
+}
+inline Lit
+litNot(Lit l)
+{
+    return l ^ 1;
+}
+
+/** Three-valued assignment. */
+enum class LBool : int8_t { False = 0, True = 1, Undef = 2 };
+
+inline LBool
+lboolFrom(bool b)
+{
+    return b ? LBool::True : LBool::False;
+}
+inline LBool
+lboolNot(LBool v)
+{
+    switch (v) {
+      case LBool::False: return LBool::True;
+      case LBool::True: return LBool::False;
+      default: return LBool::Undef;
+    }
+}
+
+/** Result of a solve() call. */
+enum class SatResult { Sat, Unsat, Unknown };
+
+/**
+ * The solver. Variables are created with newVar(); clauses reference
+ * them by literal. A solved instance exposes the model via value().
+ */
+class SatSolver
+{
+  public:
+    SatSolver();
+    ~SatSolver();
+    SatSolver(const SatSolver &) = delete;
+    SatSolver &operator=(const SatSolver &) = delete;
+
+    /** Allocate a fresh variable; returns its index. */
+    Var newVar();
+
+    int numVars() const { return static_cast<int>(assigns_.size()); }
+
+    /**
+     * Add a clause (disjunction of literals). Returns false if the
+     * formula is already trivially unsatisfiable.
+     */
+    bool addClause(const std::vector<Lit> &lits);
+    bool addClause(Lit a) { return addClause(std::vector<Lit>{a}); }
+    bool addClause(Lit a, Lit b) { return addClause(std::vector<Lit>{a, b}); }
+    bool
+    addClause(Lit a, Lit b, Lit c)
+    {
+        return addClause(std::vector<Lit>{a, b, c});
+    }
+
+    /**
+     * Solve under the given assumptions. maxConflicts < 0 means no
+     * budget; on budget exhaustion returns Unknown.
+     */
+    SatResult solve(const std::vector<Lit> &assumptions = {},
+                    int64_t maxConflicts = -1);
+
+    /** Model value of a variable after a Sat result. */
+    LBool value(Var v) const { return model_[v]; }
+    bool modelTrue(Lit l) const
+    {
+        LBool v = model_[litVar(l)];
+        return litNeg(l) ? v == LBool::False : v == LBool::True;
+    }
+
+    /** True once the clause database is known unsatisfiable. */
+    bool inConflict() const { return !ok_; }
+
+    /** Invariant check: does the last model satisfy every original
+     *  clause? (Debug aid; O(clauses).) */
+    bool verifyModel() const;
+
+    uint64_t numConflicts() const { return conflicts_; }
+    uint64_t numDecisions() const { return decisions_; }
+    uint64_t numPropagations() const { return propagations_; }
+    size_t numClauses() const { return clauses_.size(); }
+    size_t numLearnts() const { return learnts_.size(); }
+
+  private:
+    struct Clause {
+        float activity = 0;
+        bool learnt = false;
+        std::vector<Lit> lits;
+    };
+
+    struct Watcher {
+        Clause *clause;
+        Lit blocker;
+    };
+
+    LBool litValue(Lit l) const
+    {
+        LBool v = assigns_[litVar(l)];
+        return litNeg(l) ? lboolNot(v) : v;
+    }
+
+    int decisionLevel() const { return static_cast<int>(trailLim_.size()); }
+
+    void attachClause(Clause *c);
+    void enqueue(Lit l, Clause *reason);
+    Clause *propagate();
+    void analyze(Clause *conflict, std::vector<Lit> &out_learnt,
+                 int &out_btlevel);
+    void cancelUntil(int level);
+    Lit pickBranchLit();
+    void bumpVarActivity(Var v);
+    void bumpClauseActivity(Clause *c);
+    void decayActivities();
+    void reduceDB();
+    static int64_t lubyWindow(uint64_t restarts);
+
+    // Indexed max-heap over variable activity.
+    void heapInsert(Var v);
+    void heapUpdate(Var v);
+    Var heapPopMax();
+    bool heapEmpty() const { return heap_.empty(); }
+    void heapSiftUp(int i);
+    void heapSiftDown(int i);
+
+    bool ok_ = true;
+    std::vector<Clause *> clauses_;
+    std::vector<Clause *> learnts_;
+    std::vector<std::vector<Watcher>> watches_; ///< indexed by Lit
+    std::vector<LBool> assigns_;
+    std::vector<LBool> model_; ///< snapshot of assigns_ at last Sat
+    std::vector<bool> phase_;  ///< saved phases
+    std::vector<Clause *> reason_;
+    std::vector<int> level_;
+    std::vector<Lit> trail_;
+    std::vector<int> trailLim_;
+    size_t qhead_ = 0;
+
+    std::vector<double> activity_;
+    double varInc_ = 1.0;
+    double claInc_ = 1.0;
+    std::vector<int> heap_;    ///< heap of vars
+    std::vector<int> heapPos_; ///< var -> heap index, -1 if absent
+
+    std::vector<uint8_t> seen_; ///< scratch for analyze()
+
+    uint64_t conflicts_ = 0;
+    uint64_t decisions_ = 0;
+    uint64_t propagations_ = 0;
+};
+
+} // namespace s2e::sat
+
+#endif // S2E_SOLVER_SAT_HH

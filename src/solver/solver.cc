@@ -1,0 +1,322 @@
+#include "solver/solver.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "support/bitops.hh"
+
+#include "solver/bitblast.hh"
+#include "support/logging.hh"
+
+namespace s2e::solver {
+
+using expr::Kind;
+
+namespace {
+
+/** Collect variable ids appearing in an expression. */
+void
+collectVars(ExprRef e, std::unordered_set<uint64_t> &vars,
+            std::unordered_set<ExprRef> &seen)
+{
+    if (!seen.insert(e).second)
+        return;
+    if (e->isVariable()) {
+        vars.insert(e->varId());
+        return;
+    }
+    for (unsigned i = 0; i < e->arity(); ++i)
+        collectVars(e->kid(i), vars, seen);
+}
+
+std::unordered_set<uint64_t>
+varsOf(ExprRef e)
+{
+    std::unordered_set<uint64_t> vars;
+    std::unordered_set<ExprRef> seen;
+    collectVars(e, vars, seen);
+    return vars;
+}
+
+} // namespace
+
+Solver::Solver(expr::ExprBuilder &builder, SolverOptions opts)
+    : builder_(builder), simplifier_(builder), opts_(opts)
+{
+}
+
+std::vector<ExprRef>
+Solver::sliceIndependent(const std::vector<ExprRef> &constraints,
+                         ExprRef query)
+{
+    if (!opts_.useIndependence)
+        return constraints;
+
+    // Transitive closure of variable sharing, seeded by the query.
+    std::vector<std::unordered_set<uint64_t>> cvars;
+    cvars.reserve(constraints.size());
+    for (ExprRef c : constraints)
+        cvars.push_back(varsOf(c));
+
+    std::unordered_set<uint64_t> active = varsOf(query);
+    std::vector<bool> included(constraints.size(), false);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < constraints.size(); ++i) {
+            if (included[i])
+                continue;
+            bool touches = false;
+            for (uint64_t v : cvars[i]) {
+                if (active.count(v)) {
+                    touches = true;
+                    break;
+                }
+            }
+            if (touches) {
+                included[i] = true;
+                changed = true;
+                for (uint64_t v : cvars[i])
+                    active.insert(v);
+            }
+        }
+    }
+
+    std::vector<ExprRef> out;
+    for (size_t i = 0; i < constraints.size(); ++i)
+        if (included[i])
+            out.push_back(constraints[i]);
+    stats_.add("solver.constraints_sliced_away",
+               constraints.size() - out.size());
+    return out;
+}
+
+bool
+Solver::tryCachedModels(const std::vector<ExprRef> &constraints,
+                        ExprRef query, Assignment *model)
+{
+    if (!opts_.useModelCache)
+        return false;
+    for (auto it = recentModels_.rbegin(); it != recentModels_.rend(); ++it) {
+        const Assignment &a = *it;
+        if (!expr::evaluateBool(query, a))
+            continue;
+        bool all = true;
+        for (ExprRef c : constraints) {
+            if (!expr::evaluateBool(c, a)) {
+                all = false;
+                break;
+            }
+        }
+        if (all) {
+            stats_.add("solver.model_cache_hits");
+            if (model)
+                *model = a;
+            return true;
+        }
+    }
+    return false;
+}
+
+CheckResult
+Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
+                 Assignment *model)
+{
+    stats_.add("solver.queries");
+    ScopedTimer timer(stats_, "solver.time");
+
+    // Simplification pass.
+    ExprRef q = query;
+    std::vector<ExprRef> cs(constraints);
+    if (opts_.useSimplifier) {
+        ScopedTimer st(stats_, "solver.simplify_time");
+        q = simplifier_.simplify(q);
+        for (auto &c : cs)
+            c = simplifier_.simplify(c);
+    }
+
+    // Constant fast paths.
+    if (q->isFalse())
+        return CheckResult::Unsat;
+    bool any_false = false;
+    for (ExprRef c : cs)
+        if (c->isFalse())
+            any_false = true;
+    if (any_false)
+        return CheckResult::Unsat;
+    cs.erase(std::remove_if(cs.begin(), cs.end(),
+                            [](ExprRef c) { return c->isTrue(); }),
+             cs.end());
+
+    // Known-bits fast path on the query alone (sound only when there
+    // are no constraints left that could contradict).
+    if (cs.empty() && q->isTrue()) {
+        if (model)
+            *model = Assignment();
+        return CheckResult::Sat;
+    }
+
+    // Independence slicing. Skipped when the caller wants a model:
+    // a model must satisfy the *entire* constraint set, including
+    // constraints unrelated to the query expression.
+    std::vector<ExprRef> sliced =
+        model ? cs : sliceIndependent(cs, q);
+
+    // Model cache.
+    if (tryCachedModels(sliced, q, model)) {
+        stats_.add("solver.cache_sat");
+        return CheckResult::Sat;
+    }
+
+    // Full SAT solving.
+    stats_.add("solver.sat_queries");
+    ScopedTimer sat_timer(stats_, "solver.sat_time");
+    sat::SatSolver sat;
+    BitBlaster blaster(sat);
+    for (ExprRef c : sliced)
+        blaster.assertTrue(c);
+    blaster.assertTrue(q);
+    if (sat.inConflict())
+        return CheckResult::Unsat;
+
+    sat::SatResult res = sat.solve({}, opts_.maxConflicts);
+    stats_.add("solver.sat_conflicts", sat.numConflicts());
+    stats_.add("solver.sat_decisions", sat.numDecisions());
+    stats_.high("solver.max_gates", blaster.numGates());
+
+    switch (res) {
+      case sat::SatResult::Unsat:
+        return CheckResult::Unsat;
+      case sat::SatResult::Unknown:
+        stats_.add("solver.unknown_results");
+        return CheckResult::Unknown;
+      case sat::SatResult::Sat: {
+        Assignment a;
+        for (const auto &[var_id, bits] : blaster.varBits()) {
+            uint64_t v = 0;
+            for (size_t i = 0; i < bits.size(); ++i)
+                if (sat.modelTrue(bits[i]))
+                    v |= 1ULL << i;
+            a.setById(var_id, v);
+        }
+        if (opts_.useModelCache) {
+            recentModels_.push_back(a);
+            if (recentModels_.size() > 64)
+                recentModels_.erase(recentModels_.begin());
+        }
+        if (model)
+            *model = std::move(a);
+        return CheckResult::Sat;
+      }
+    }
+    panic("unreachable");
+}
+
+CheckResult
+Solver::checkSat(const std::vector<ExprRef> &constraints, ExprRef query,
+                 Assignment *model)
+{
+    return solveSat(constraints, query, model);
+}
+
+bool
+Solver::mayBeTrue(const std::vector<ExprRef> &constraints, ExprRef query)
+{
+    return checkSat(constraints, query) == CheckResult::Sat;
+}
+
+bool
+Solver::mustBeTrue(const std::vector<ExprRef> &constraints, ExprRef query)
+{
+    return checkSat(constraints, builder_.lnot(query)) == CheckResult::Unsat;
+}
+
+Solver::BranchFeasibility
+Solver::checkBranch(const std::vector<ExprRef> &constraints, ExprRef cond)
+{
+    BranchFeasibility f;
+    f.trueFeasible = mayBeTrue(constraints, cond);
+    // If true is infeasible, false must be feasible (assuming the
+    // constraint set itself is satisfiable, which path invariants
+    // guarantee); skip the second query.
+    if (!f.trueFeasible) {
+        f.falseFeasible = true;
+        stats_.add("solver.branch_short_circuits");
+        return f;
+    }
+    f.falseFeasible = mayBeTrue(constraints, builder_.lnot(cond));
+    return f;
+}
+
+std::optional<uint64_t>
+Solver::getValue(const std::vector<ExprRef> &constraints, ExprRef query)
+{
+    if (query->isConstant())
+        return query->value();
+    // Slice to the constraints transitively sharing variables with
+    // the query: a value feasible under the slice is feasible under
+    // the full set (independent constraints cannot restrict it, given
+    // the path invariant that the full set is satisfiable). Without
+    // this, concretization cost grows with the whole path history.
+    std::vector<ExprRef> sliced = sliceIndependent(constraints, query);
+    Assignment model;
+    CheckResult res = solveSat(sliced, builder_.trueExpr(), &model);
+    if (res != CheckResult::Sat)
+        return std::nullopt;
+    return expr::evaluate(query, model);
+}
+
+std::optional<Assignment>
+Solver::getInitialValues(const std::vector<ExprRef> &constraints)
+{
+    Assignment model;
+    CheckResult res = checkSat(constraints, builder_.trueExpr(), &model);
+    if (res != CheckResult::Sat)
+        return std::nullopt;
+    return model;
+}
+
+std::optional<std::pair<uint64_t, uint64_t>>
+Solver::getRange(const std::vector<ExprRef> &constraints, ExprRef query)
+{
+    if (query->isConstant())
+        return std::make_pair(query->value(), query->value());
+    unsigned w = query->width();
+
+    auto feasible_le = [&](uint64_t bound) {
+        return mayBeTrue(constraints,
+                         builder_.ule(query, builder_.constant(bound, w)));
+    };
+    auto feasible_ge = [&](uint64_t bound) {
+        return mayBeTrue(constraints,
+                         builder_.uge(query, builder_.constant(bound, w)));
+    };
+
+    if (!mayBeTrue(constraints, builder_.trueExpr()))
+        return std::nullopt;
+
+    // Binary search for the minimum.
+    uint64_t lo = 0, hi = lowMask(w);
+    while (lo < hi) {
+        uint64_t mid = lo + (hi - lo) / 2;
+        if (feasible_le(mid))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    uint64_t min_v = lo;
+
+    lo = min_v;
+    hi = lowMask(w);
+    while (lo < hi) {
+        uint64_t mid = lo + (hi - lo + 1) / 2;
+        if (feasible_ge(mid))
+            lo = mid;
+        else
+            hi = mid - 1;
+    }
+    return std::make_pair(min_v, lo);
+}
+
+} // namespace s2e::solver

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Top-level constraint solver used by the symbolic execution engine.
+ *
+ * A query is a set of path constraints plus (optionally) a query
+ * expression. The pipeline mirrors KLEE's solver chain, rebuilt from
+ * scratch: bitfield simplification -> constant/known-bits fast path ->
+ * constraint independence slicing -> counterexample (model) cache ->
+ * bit-blasting -> CDCL SAT.
+ */
+
+#ifndef S2E_SOLVER_SOLVER_HH
+#define S2E_SOLVER_SOLVER_HH
+
+#include <optional>
+#include <vector>
+
+#include "expr/builder.hh"
+#include "expr/eval.hh"
+#include "expr/simplify.hh"
+#include "solver/sat.hh"
+#include "support/stats.hh"
+
+namespace s2e::solver {
+
+using expr::Assignment;
+using expr::ExprRef;
+
+/** Solver feature switches (benchmarkable ablations). */
+struct SolverOptions {
+    bool useSimplifier = true;   ///< §5 bitfield simplifier
+    bool useIndependence = true; ///< constraint independence slicing
+    bool useModelCache = true;   ///< counterexample cache / model reuse
+    int64_t maxConflicts = -1;   ///< SAT conflict budget per query
+};
+
+/** Outcome of a satisfiability check. */
+enum class CheckResult { Sat, Unsat, Unknown };
+
+/**
+ * The solver facade. All methods are complete decision procedures
+ * over 1..64-bit bitvector expressions (no arrays: symbolic memory is
+ * lowered to ite chains by the memory model, as in the paper's
+ * page-passing scheme).
+ *
+ * Contract with independence slicing enabled (the default): query
+ * methods answer relative to the *satisfiable-constraint-set
+ * invariant* the engine maintains for every path — constraints that
+ * share no variables (transitively) with the query are assumed
+ * satisfiable and sliced away. To decide raw satisfiability of an
+ * arbitrary constraint set, use getInitialValues() (which never
+ * slices) or disable useIndependence.
+ */
+class Solver
+{
+  public:
+    explicit Solver(expr::ExprBuilder &builder, SolverOptions opts = {});
+
+    /** Is `constraints && expr` satisfiable? Fills model if non-null. */
+    CheckResult checkSat(const std::vector<ExprRef> &constraints,
+                         ExprRef expr, Assignment *model = nullptr);
+
+    /** May `expr` be true under the constraints? */
+    bool mayBeTrue(const std::vector<ExprRef> &constraints, ExprRef expr);
+
+    /** Must `expr` be true under the constraints? */
+    bool mustBeTrue(const std::vector<ExprRef> &constraints, ExprRef expr);
+
+    /** Both directions with one entry point (forking uses this). */
+    struct BranchFeasibility {
+        bool trueFeasible;
+        bool falseFeasible;
+    };
+    BranchFeasibility checkBranch(const std::vector<ExprRef> &constraints,
+                                  ExprRef cond);
+
+    /**
+     * A concrete value for `expr` consistent with the constraints.
+     * Returns nullopt when the constraints are unsatisfiable.
+     */
+    std::optional<uint64_t> getValue(const std::vector<ExprRef> &constraints,
+                                     ExprRef expr);
+
+    /**
+     * Satisfying assignment covering every variable in the constraint
+     * set (used to produce test cases / crash inputs).
+     */
+    std::optional<Assignment>
+    getInitialValues(const std::vector<ExprRef> &constraints);
+
+    /** Minimum and maximum of expr under the constraints (binary
+     *  search over mustBeTrue bounds). */
+    std::optional<std::pair<uint64_t, uint64_t>>
+    getRange(const std::vector<ExprRef> &constraints, ExprRef expr);
+
+    Stats &stats() { return stats_; }
+    const SolverOptions &options() const { return opts_; }
+
+  private:
+    std::vector<ExprRef>
+    sliceIndependent(const std::vector<ExprRef> &constraints, ExprRef expr);
+    CheckResult solveSat(const std::vector<ExprRef> &constraints,
+                         ExprRef expr, Assignment *model);
+    bool tryCachedModels(const std::vector<ExprRef> &constraints,
+                         ExprRef expr, Assignment *model);
+
+    expr::ExprBuilder &builder_;
+    expr::Simplifier simplifier_;
+    SolverOptions opts_;
+    Stats stats_;
+    std::vector<Assignment> recentModels_; ///< bounded model cache
+};
+
+} // namespace s2e::solver
+
+#endif // S2E_SOLVER_SOLVER_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Bit-manipulation helpers shared by the expression library (known-bits
+ * analysis), the bit-blaster, and the ISA decoder.
+ */
+
+#ifndef S2E_SUPPORT_BITOPS_HH
+#define S2E_SUPPORT_BITOPS_HH
+
+#include <cstdint>
+
+namespace s2e {
+
+/** Mask with the low `width` bits set; width in [0, 64]. */
+inline uint64_t
+lowMask(unsigned width)
+{
+    return width >= 64 ? ~0ULL : ((1ULL << width) - 1);
+}
+
+/** Truncate value to `width` bits. */
+inline uint64_t
+truncate(uint64_t value, unsigned width)
+{
+    return value & lowMask(width);
+}
+
+/** Sign-extend the low `width` bits of value to 64 bits. */
+inline int64_t
+signExtend(uint64_t value, unsigned width)
+{
+    if (width == 0 || width >= 64)
+        return static_cast<int64_t>(value);
+    uint64_t sign = 1ULL << (width - 1);
+    return static_cast<int64_t>((value ^ sign) - sign);
+}
+
+/** True if the low `width` bits of value have the sign bit set. */
+inline bool
+signBit(uint64_t value, unsigned width)
+{
+    return width != 0 && ((value >> (width - 1)) & 1);
+}
+
+/**
+ * Known-bits lattice element: bit i of `zeros` set means bit i is known
+ * to be 0; bit i of `ones` set means known 1. Disjoint by invariant.
+ */
+struct KnownBits
+{
+    uint64_t zeros = 0;
+    uint64_t ones = 0;
+
+    /** All bits within `width` known? */
+    bool
+    allKnown(unsigned width) const
+    {
+        return ((zeros | ones) & lowMask(width)) == lowMask(width);
+    }
+
+    uint64_t value() const { return ones; }
+
+    static KnownBits
+    constant(uint64_t v, unsigned width)
+    {
+        return {~v & lowMask(width), v & lowMask(width)};
+    }
+
+    static KnownBits unknown() { return {0, 0}; }
+};
+
+} // namespace s2e
+
+#endif // S2E_SUPPORT_BITOPS_HH

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Status-message and error-exit helpers, following the gem5 idiom:
+ * panic() for internal platform bugs (abort), fatal() for user error
+ * (clean exit), warn()/inform() for non-fatal status.
+ */
+
+#ifndef S2E_SUPPORT_LOGGING_HH
+#define S2E_SUPPORT_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace s2e {
+
+/** Verbosity levels for status messages. */
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Get/set the global verbosity level (default: Warn). */
+LogLevel logLevel();
+void setLogLevel(LogLevel level);
+
+/**
+ * Report an internal platform bug and abort. Never returns.
+ * Use for conditions that cannot happen unless s2e-lite itself is broken.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an unrecoverable user error (bad configuration, invalid guest
+ * image, ...) and exit(1). Never returns.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Report a suspicious but survivable condition. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report normal operating status. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Report developer debugging detail (only at LogLevel::Debug). */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** printf-style formatting into a std::string. */
+std::string strprintf(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+std::string vstrprintf(const char *fmt, va_list ap);
+
+} // namespace s2e
+
+/**
+ * Internal invariant check that survives NDEBUG builds; calls panic()
+ * with location information on failure.
+ */
+#define S2E_ASSERT(cond, ...)                                               \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::s2e::panic("assertion '%s' failed at %s:%d: %s", #cond,       \
+                         __FILE__, __LINE__,                                \
+                         ::s2e::strprintf(__VA_ARGS__).c_str());            \
+        }                                                                   \
+    } while (0)
+
+#endif // S2E_SUPPORT_LOGGING_HH

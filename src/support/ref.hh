@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Intrusive reference counting, used by the expression DAG where
+ * shared_ptr's control-block overhead would dominate (expressions are
+ * allocated by the million during symbolic execution).
+ */
+
+#ifndef S2E_SUPPORT_REF_HH
+#define S2E_SUPPORT_REF_HH
+
+#include <cstdint>
+#include <utility>
+
+namespace s2e {
+
+/**
+ * Base class adding an intrusive reference count. Not thread safe:
+ * the engine is single-threaded by design (states are explored one at
+ * a time, like the original S2E engine core).
+ */
+class RefCounted
+{
+  public:
+    RefCounted() = default;
+    RefCounted(const RefCounted &) = delete;
+    RefCounted &operator=(const RefCounted &) = delete;
+
+    void incRef() const { ++refCount_; }
+
+    /** Returns true when the count dropped to zero and *this must die. */
+    bool decRef() const { return --refCount_ == 0; }
+
+    uint32_t refCount() const { return refCount_; }
+
+  protected:
+    ~RefCounted() = default;
+
+  private:
+    mutable uint32_t refCount_ = 0;
+};
+
+/** Intrusive smart pointer over RefCounted types. */
+template <typename T>
+class Ref
+{
+  public:
+    Ref() = default;
+
+    Ref(T *p) : ptr_(p)
+    {
+        if (ptr_)
+            ptr_->incRef();
+    }
+
+    Ref(const Ref &o) : ptr_(o.ptr_)
+    {
+        if (ptr_)
+            ptr_->incRef();
+    }
+
+    template <typename U>
+    Ref(const Ref<U> &o) : ptr_(o.get())
+    {
+        if (ptr_)
+            ptr_->incRef();
+    }
+
+    Ref(Ref &&o) noexcept : ptr_(o.ptr_) { o.ptr_ = nullptr; }
+
+    ~Ref() { release(); }
+
+    Ref &
+    operator=(const Ref &o)
+    {
+        if (o.ptr_)
+            o.ptr_->incRef();
+        release();
+        ptr_ = o.ptr_;
+        return *this;
+    }
+
+    Ref &
+    operator=(Ref &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            ptr_ = o.ptr_;
+            o.ptr_ = nullptr;
+        }
+        return *this;
+    }
+
+    T *get() const { return ptr_; }
+    T *operator->() const { return ptr_; }
+    T &operator*() const { return *ptr_; }
+    explicit operator bool() const { return ptr_ != nullptr; }
+
+    bool operator==(const Ref &o) const { return ptr_ == o.ptr_; }
+    bool operator!=(const Ref &o) const { return ptr_ != o.ptr_; }
+    bool operator<(const Ref &o) const { return ptr_ < o.ptr_; }
+
+  private:
+    void
+    release()
+    {
+        if (ptr_ && ptr_->decRef())
+            delete ptr_;
+        ptr_ = nullptr;
+    }
+
+    T *ptr_ = nullptr;
+};
+
+} // namespace s2e
+
+#endif // S2E_SUPPORT_REF_HH

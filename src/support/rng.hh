@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation. All randomized
+ * components (Random searcher, fuzzing baseline, workload generators)
+ * take an explicit Rng so whole-platform runs are reproducible.
+ */
+
+#ifndef S2E_SUPPORT_RNG_HH
+#define S2E_SUPPORT_RNG_HH
+
+#include <cstdint>
+
+namespace s2e {
+
+/** splitmix64-seeded xoshiro256** generator. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x5eed5eed5eed5eedULL)
+    {
+        // splitmix64 to spread the seed across the state.
+        uint64_t x = seed;
+        for (auto &w : s_) {
+            x += 0x9e3779b97f4a7c15ULL;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+            w = z ^ (z >> 31);
+        }
+    }
+
+    /** Uniform 64-bit value. */
+    uint64_t
+    next()
+    {
+        auto rotl = [](uint64_t v, int k) {
+            return (v << k) | (v >> (64 - k));
+        };
+        uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform value in [0, bound); bound must be nonzero. */
+    uint64_t
+    below(uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    real()
+    {
+        return (next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Bernoulli draw with probability p. */
+    bool chance(double p) { return real() < p; }
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace s2e
+
+#endif // S2E_SUPPORT_RNG_HH

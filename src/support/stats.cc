@@ -1,0 +1,19 @@
+#include "support/stats.hh"
+
+#include "support/logging.hh"
+
+namespace s2e {
+
+std::string
+Stats::toString() const
+{
+    std::string out;
+    for (const auto &[name, value] : counters_)
+        out += strprintf("%s = %llu\n", name.c_str(),
+                         static_cast<unsigned long long>(value));
+    for (const auto &[name, secs] : seconds_)
+        out += strprintf("%s = %.6f s\n", name.c_str(), secs);
+    return out;
+}
+
+} // namespace s2e

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lightweight named-statistics registry. Engine components register
+ * counters and timers here; benchmark harnesses snapshot and print
+ * them (e.g., the solver-time fractions of Fig 9).
+ */
+
+#ifndef S2E_SUPPORT_STATS_HH
+#define S2E_SUPPORT_STATS_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace s2e {
+
+/** A mutable bag of named counters (u64) and accumulated durations. */
+class Stats
+{
+  public:
+    /** Add delta to counter name (creating it at zero). */
+    void
+    add(const std::string &name, uint64_t delta = 1)
+    {
+        counters_[name] += delta;
+    }
+
+    void
+    set(const std::string &name, uint64_t value)
+    {
+        counters_[name] = value;
+    }
+
+    /** Track a maximum (e.g., memory high watermark). */
+    void
+    high(const std::string &name, uint64_t value)
+    {
+        auto &slot = counters_[name];
+        if (value > slot)
+            slot = value;
+    }
+
+    uint64_t
+    get(const std::string &name) const
+    {
+        auto it = counters_.find(name);
+        return it == counters_.end() ? 0 : it->second;
+    }
+
+    /** Accumulate wall-clock seconds under a named timer. */
+    void
+    addSeconds(const std::string &name, double secs)
+    {
+        seconds_[name] += secs;
+    }
+
+    double
+    seconds(const std::string &name) const
+    {
+        auto it = seconds_.find(name);
+        return it == seconds_.end() ? 0.0 : it->second;
+    }
+
+    const std::map<std::string, uint64_t> &counters() const
+    {
+        return counters_;
+    }
+    const std::map<std::string, double> &timers() const { return seconds_; }
+
+    void
+    clear()
+    {
+        counters_.clear();
+        seconds_.clear();
+    }
+
+    /** Render all stats as "name = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+    std::map<std::string, double> seconds_;
+};
+
+/** RAII wall-clock timer accumulating into a Stats entry. */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(Stats &stats, std::string name)
+        : stats_(stats), name_(std::move(name)),
+          start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    ~ScopedTimer()
+    {
+        auto end = std::chrono::steady_clock::now();
+        stats_.addSeconds(
+            name_, std::chrono::duration<double>(end - start_).count());
+    }
+
+  private:
+    Stats &stats_;
+    std::string name_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace s2e
+
+#endif // S2E_SUPPORT_STATS_HH

@@ -1,0 +1,155 @@
+#include "tools/modelsweep.hh"
+
+#include "guest/kernel.hh"
+#include "guest/layout.hh"
+#include "guest/workloads.hh"
+#include "plugins/annotation.hh"
+#include "plugins/coverage.hh"
+#include "plugins/pathkiller.hh"
+#include "tools/ddt.hh"
+#include "vm/devices.hh"
+
+namespace s2e::tools {
+
+using core::ConsistencyModel;
+
+namespace {
+
+SweepResult
+metricsFrom(core::Engine &engine, const core::RunResult &run,
+            double coverage, ConsistencyModel model)
+{
+    SweepResult r;
+    r.model = model;
+    r.wallSeconds = run.wallSeconds;
+    r.coverage = coverage;
+    r.memoryHighWatermark =
+        engine.stats().get("engine.memory_high_watermark");
+    r.solverSeconds = engine.solver().stats().seconds("solver.time");
+    r.solverFraction =
+        run.wallSeconds > 0 ? r.solverSeconds / run.wallSeconds : 0;
+    r.solverQueries = engine.solver().stats().get("solver.queries");
+    r.avgQuerySeconds =
+        r.solverQueries ? r.solverSeconds /
+                              static_cast<double>(r.solverQueries)
+                        : 0;
+    r.pathsExplored = run.statesCreated;
+    r.instructions = run.totalInstructions;
+    r.budgetExhausted = run.budgetExhausted;
+    return r;
+}
+
+} // namespace
+
+SweepResult
+runDriverSweep(guest::DriverKind kind, ConsistencyModel model,
+               const SweepBudget &budget)
+{
+    DdtConfig config;
+    config.driver = kind;
+    config.model = model;
+    config.annotations = true; // applied only where the model allows
+    config.maxInstructions = budget.maxInstructions;
+    config.maxWallSeconds = budget.maxWallSeconds;
+    config.maxStates = budget.maxStates;
+
+    Ddt ddt(config);
+    DdtResult result = ddt.run();
+    return metricsFrom(ddt.engine(), result.run, result.driverCoverage,
+                       model);
+}
+
+SweepResult
+runLuaSweep(ConsistencyModel model, const SweepBudget &budget,
+            unsigned symbolic_input_len, unsigned symbolic_bytecode_ops)
+{
+    isa::Program program =
+        isa::assemble(guest::kernelSource() + guest::luaSource());
+
+    vm::MachineConfig machine;
+    machine.ramSize = guest::kRamSize;
+    machine.program = program;
+    machine.deviceSetup = [](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+    };
+
+    core::EngineConfig engine_config;
+    engine_config.model = model;
+    // The unit is the interpreter; lexer+parser+kernel are the
+    // environment (the paper's Lua split, §6.3).
+    engine_config.unitRanges = {
+        {program.symbol("interp"), guest::kAppCodeEnd}};
+    engine_config.maxInstructions = budget.maxInstructions;
+    engine_config.maxWallSeconds = budget.maxWallSeconds;
+    engine_config.maxStatesCreated = budget.maxStates;
+
+    core::Engine engine(machine, engine_config);
+    plugins::Annotation annotation(engine);
+    plugins::CoverageTracker coverage(
+        engine,
+        std::vector<std::pair<uint32_t, uint32_t>>{
+            {guest::kAppCode, guest::kAppCodeEnd}});
+    plugins::PathKiller::Config pk;
+    pk.maxLoopVisits = 500;
+    plugins::PathKiller killer(engine, coverage, pk);
+
+    auto &state = engine.initialState();
+    auto &bld = engine.builder();
+
+    // Concrete seed program: two statements exercising every opcode.
+    std::string seed = "a=2+3;!a*4;";
+    for (size_t i = 0; i <= seed.size(); ++i)
+        state.mem.write(guest::kLuaInput + static_cast<uint32_t>(i),
+                        core::Value(i < seed.size()
+                                        ? static_cast<uint32_t>(seed[i])
+                                        : 0u),
+                        1, bld);
+
+    switch (model) {
+      case ConsistencyModel::ScSe:
+      case ConsistencyModel::ScUe:
+        // Symbolic program text (the parser-hostile setup).
+        engine.makeMemSymbolic(state, guest::kLuaInput,
+                               symbolic_input_len, "lua_input");
+        state.mem.write(guest::kLuaInput + symbolic_input_len,
+                        core::Value(0u), 1, bld);
+        break;
+      case ConsistencyModel::Lc:
+      case ConsistencyModel::RcOc: {
+        // Concrete text; symbolify the compiled bytecode right before
+        // the interpreter runs. LC constrains opcodes/args to the
+        // bytecode contract; RC-OC leaves them unconstrained.
+        bool constrained = model == ConsistencyModel::Lc;
+        annotation.at(
+            program.symbol("interp"),
+            [constrained, symbolic_bytecode_ops](
+                core::ExecutionState &st, core::Engine &eng) {
+                auto &b = eng.builder();
+                for (unsigned i = 0; i < symbolic_bytecode_ops; ++i) {
+                    uint32_t addr = guest::kLuaBytecode + 2 * i;
+                    eng.makeMemSymbolic(st, addr, 2, "lua_bc");
+                    if (constrained) {
+                        expr::ExprRef op = st.mem.byteExpr(addr, b);
+                        expr::ExprRef arg = st.mem.byteExpr(addr + 1, b);
+                        st.addConstraint(b.ule(
+                            op, b.constant(guest::kLuaOpMax, 8)));
+                        st.addConstraint(
+                            b.ule(arg, b.constant(25, 8)));
+                    }
+                }
+            });
+        break;
+      }
+      case ConsistencyModel::ScCe:
+      case ConsistencyModel::RcCc:
+        break; // concrete input
+    }
+
+    core::RunResult run = engine.run();
+    plugins::StaticBlocks blocks = plugins::staticBasicBlocks(
+        program, guest::kAppCode, guest::kAppCodeEnd);
+    return metricsFrom(engine, run, coverage.coverageFraction(blocks),
+                       model);
+}
+
+} // namespace s2e::tools

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The §6.3 experiment driver: run a target (driver or the Lua-like
+ * interpreter) to completion under each execution consistency model
+ * and measure running time, basic-block coverage, memory high
+ * watermark, and constraint-solving time — the data behind Table 6
+ * and Figures 7, 8 and 9.
+ */
+
+#ifndef S2E_TOOLS_MODELSWEEP_HH
+#define S2E_TOOLS_MODELSWEEP_HH
+
+#include "core/consistency.hh"
+#include "guest/drivers.hh"
+
+namespace s2e::tools {
+
+/** Metrics from one (target, model) run. */
+struct SweepResult {
+    core::ConsistencyModel model;
+    double wallSeconds = 0;
+    double coverage = 0;               ///< basic-block fraction
+    uint64_t memoryHighWatermark = 0;  ///< bytes (Fig 8)
+    double solverSeconds = 0;
+    double solverFraction = 0;         ///< of wall time (Fig 9 left)
+    double avgQuerySeconds = 0;        ///< (Fig 9 right)
+    uint64_t solverQueries = 0;
+    size_t pathsExplored = 0;
+    uint64_t instructions = 0;
+    bool budgetExhausted = false;
+};
+
+/** Budgets shared by every sweep cell. */
+struct SweepBudget {
+    uint64_t maxInstructions = 2'000'000;
+    double maxWallSeconds = 20.0;
+    size_t maxStates = 256;
+};
+
+/** Explore one NIC driver under `model` (DDT-style setup). */
+SweepResult runDriverSweep(guest::DriverKind kind,
+                           core::ConsistencyModel model,
+                           const SweepBudget &budget);
+
+/**
+ * Explore the Lua-like interpreter under `model`:
+ *  - SC-SE / SC-UE: the program text is symbolic;
+ *  - LC: concrete text, constrained symbolic bytecode injected after
+ *    the parser (the paper's §6.3 setup);
+ *  - RC-OC: unconstrained symbolic bytecode;
+ *  - SC-CE / RC-CC: concrete text (RC-CC follows all CFG edges).
+ */
+SweepResult runLuaSweep(core::ConsistencyModel model,
+                        const SweepBudget &budget,
+                        unsigned symbolicInputLen = 5,
+                        unsigned symbolicBytecodeOps = 4);
+
+} // namespace s2e::tools
+
+#endif // S2E_TOOLS_MODELSWEEP_HH

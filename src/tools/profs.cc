@@ -1,0 +1,165 @@
+#include "tools/profs.hh"
+
+#include <algorithm>
+
+#include "guest/drivers.hh"
+#include "guest/kernel.hh"
+#include "guest/layout.hh"
+#include "guest/workloads.hh"
+#include "plugins/coverage.hh"
+#include "plugins/pathkiller.hh"
+#include "plugins/searchers.hh"
+#include "vm/devices.hh"
+#include "vm/nic.hh"
+
+namespace s2e::tools {
+
+ProfsReport
+profileMachine(const ProfsConfig &config, vm::MachineConfig machine,
+               const std::vector<std::pair<uint32_t, uint32_t>> &unit,
+               const std::function<void(core::Engine &)> &setup)
+{
+    core::EngineConfig engine_config;
+    engine_config.model = config.model;
+    engine_config.unitRanges = unit;
+    engine_config.maxInstructions = config.maxInstructions;
+    engine_config.maxWallSeconds = config.maxWallSeconds;
+    engine_config.maxStatesCreated = config.maxStates;
+    // Long scheduling quanta: a path stuck in a loop accumulates
+    // enough same-block repeats within one quantum for the loop
+    // killer to catch it even when thousands of sibling paths share
+    // the run budget.
+    engine_config.timesliceBlocks = 4096;
+
+    core::Engine engine(std::move(machine), engine_config);
+
+    plugins::PerformanceProfile::Config pc;
+    pc.hierarchy = config.hierarchy;
+    pc.findBestCase = config.findBestCase;
+    plugins::PerformanceProfile profile(engine, pc);
+
+    ProfsReport report;
+    engine.events().onGuestOutput.subscribe(
+        [&report](core::ExecutionState &state, const core::Value &v) {
+            if (v.isConcrete())
+                report.guestOutputs[state.id()] = v.concrete();
+        });
+
+    // Per-path runaway detection, two layers:
+    //  - an instruction cap per path (coarse),
+    //  - the PathKiller loop detector: the same block executing
+    //    thousands of times on one path with no new coverage is the
+    //    infinite-loop signature (the paper's polling-loop killer).
+    uint64_t cap = config.perPathInstructionCap;
+    engine.events().onBlockExecute.subscribe(
+        [cap, &engine](core::ExecutionState &state,
+                       const dbt::TranslationBlock &) {
+            if (cap && state.instrCount > cap)
+                engine.killState(state,
+                                 core::StateStatus::BudgetExceeded,
+                                 "profs: per-path instruction cap");
+        });
+    plugins::CoverageTracker coverage(engine);
+    plugins::PathKiller::Config pk;
+    pk.maxLoopVisits = 500;
+    plugins::PathKiller loop_killer(engine, coverage, pk);
+
+    // Fair scheduling so a runaway path cannot be starved behind a
+    // broad fork tree (nor the reverse).
+    engine.setSearcher(std::make_unique<plugins::RandomSearcher>(7));
+
+    if (setup)
+        setup(engine);
+
+    report.run = engine.run();
+    report.paths = profile.results();
+    report.envelope = profile.envelope();
+    report.wallSeconds = report.run.wallSeconds;
+    report.solverSeconds = engine.solver().stats().seconds("solver.time");
+    // Unbounded-path detection: a path that tripped the per-path cap
+    // (or otherwise dwarfed every completed path) is the infinite-
+    // loop signature.
+    uint64_t max_completed = 0;
+    for (const auto &p : report.paths)
+        if (p.status == core::StateStatus::Halted)
+            max_completed = std::max(max_completed, p.instructions);
+    for (const auto &p : report.paths) {
+        if (p.status != core::StateStatus::BudgetExceeded)
+            continue;
+        if ((cap && p.instructions > cap) ||
+            p.instructions > 4 * std::max<uint64_t>(max_completed, 1))
+            report.unboundedSuspected = true;
+    }
+    if (loop_killer.pathsKilled() > 0)
+        report.unboundedSuspected = true;
+    return report;
+}
+
+ProfsReport
+profileUrlParser(const ProfsConfig &config, unsigned symbolic_len)
+{
+    vm::MachineConfig machine;
+    machine.ramSize = guest::kRamSize;
+    machine.program =
+        isa::assemble(guest::kernelSource() + guest::urlParserSource());
+    machine.deviceSetup = [](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+    };
+
+    // The unit is the application (the parser); kernel + lib are the
+    // environment.
+    std::vector<std::pair<uint32_t, uint32_t>> unit = {
+        {guest::kAppCode, guest::kAppCodeEnd}};
+
+    return profileMachine(
+        config, std::move(machine), unit,
+        [symbolic_len](core::Engine &engine) {
+            auto &state = engine.initialState();
+            auto &bld = engine.builder();
+            // Concrete "http://" prefix keeps the path family focused
+            // on parser behavior, as the paper's workload did; the
+            // remaining characters are symbolic.
+            const char *prefix = "http://";
+            uint32_t addr = guest::kUrlBuffer;
+            for (const char *p = prefix; *p; ++p)
+                state.mem.write(addr++, core::Value(uint32_t(*p)), 1,
+                                bld);
+            engine.makeMemSymbolic(state, addr, symbolic_len, "url");
+            state.mem.write(addr + symbolic_len, core::Value(0u), 1,
+                            bld);
+        });
+}
+
+ProfsReport
+profilePing(const ProfsConfig &config, bool patched)
+{
+    vm::MachineConfig machine;
+    machine.ramSize = guest::kRamSize;
+    machine.program = isa::assemble(
+        guest::kernelSource() + guest::driverSource(guest::DriverKind::Dma) +
+        guest::pingSource(patched));
+    machine.deviceSetup = [](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+        auto nic = std::make_unique<vm::DmaNic>();
+        nic->setLoopback(true);
+        devices.add(std::move(nic));
+    };
+
+    // The unit spans the app and the driver (ping + its NIC driver);
+    // the kernel is the environment.
+    std::vector<std::pair<uint32_t, uint32_t>> unit = {
+        {guest::kDriverCode, guest::kDriverCodeEnd},
+        {guest::kAppCode, guest::kAppCodeEnd}};
+
+    return profileMachine(config, std::move(machine), unit,
+                          [](core::Engine &engine) {
+                              auto &state = engine.initialState();
+                              auto &bld = engine.builder();
+                              guest::setConfig(state, bld,
+                                               guest::kCfgCardType, 0);
+                              guest::setConfig(state, bld,
+                                               guest::kCfgSymReply, 1);
+                          });
+}
+
+} // namespace s2e::tools

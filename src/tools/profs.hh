@@ -1,0 +1,77 @@
+/**
+ * @file
+ * PROFS: multi-path in-vivo performance profiler (paper §6.1.3) —
+ * the first use of symbolic execution for performance analysis.
+ *
+ * PROFS attaches the PerformanceProfile analyzer (instruction counts
+ * + simulated cache/TLB/paging hierarchy per path) to a symbolic run
+ * of a workload, producing the *performance envelope* over entire
+ * input families instead of a single-profile number. It reproduces
+ * the paper's three experiments: the Apache-style URL parser (cost
+ * linear in '/' count, constant cache misses), the ping client (the
+ * record-route infinite loop shows up as an unbounded path), and
+ * best-case-input search via path abandonment.
+ */
+
+#ifndef S2E_TOOLS_PROFS_HH
+#define S2E_TOOLS_PROFS_HH
+
+#include <map>
+#include <memory>
+
+#include "core/engine.hh"
+#include "plugins/perfprofile.hh"
+
+namespace s2e::tools {
+
+/** PROFS configuration. */
+struct ProfsConfig {
+    core::ConsistencyModel model = core::ConsistencyModel::Lc;
+    perf::MemoryHierarchy::Config hierarchy; ///< paper's default sizes
+    uint64_t maxInstructions = 5'000'000;
+    double maxWallSeconds = 60.0;
+    size_t maxStates = 4096;
+    bool findBestCase = false;
+    /** A single path exceeding this many instructions is reported as
+     *  a suspected unbounded execution (the infinite-loop signal the
+     *  ping experiment relies on). */
+    uint64_t perPathInstructionCap = 150'000;
+};
+
+/** Profiling outcome. */
+struct ProfsReport {
+    std::vector<plugins::PathPerf> paths;
+    plugins::PerformanceProfile::Envelope envelope;
+    /** Per-path guest-reported value (the URL parser outputs its
+     *  segment count via s2e_out), keyed by state id. */
+    std::map<int, uint32_t> guestOutputs;
+    /** True when some path never terminated within the budget — the
+     *  ping experiment's "no upper bound" signal. */
+    bool unboundedSuspected = false;
+    double solverSeconds = 0.0;
+    double wallSeconds = 0.0;
+    core::RunResult run;
+};
+
+/** Profile the URL parser over all URLs with `symbolic_len` symbolic
+ *  characters (NUL-terminated at that length). */
+ProfsReport profileUrlParser(const ProfsConfig &config,
+                             unsigned symbolic_len);
+
+/** Profile ping against all 12-byte network replies (loopback DMA
+ *  NIC, reply symbolified at the network interface). */
+ProfsReport profilePing(const ProfsConfig &config, bool patched);
+
+/**
+ * Generic entry point: profile an arbitrary machine. `setup` runs
+ * against the initial state before exploration (inject symbolic
+ * inputs there).
+ */
+ProfsReport
+profileMachine(const ProfsConfig &config, vm::MachineConfig machine,
+               const std::vector<std::pair<uint32_t, uint32_t>> &unit,
+               const std::function<void(core::Engine &)> &setup);
+
+} // namespace s2e::tools
+
+#endif // S2E_TOOLS_PROFS_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Virtual device interface.
+ *
+ * Devices are owned per execution path: when the engine forks a state
+ * it clone()s every device, which is how S2E keeps virtual device
+ * state private to each path (the paper uses QEMU's snapshot
+ * mechanism; cloning small device objects is the equivalent here).
+ *
+ * Devices reach guest memory (DMA) and the interrupt controller only
+ * through the DeviceBus callbacks supplied by the engine, so the
+ * engine can interpose (e.g. concretize symbolic bytes that a DMA
+ * read touches, per the active consistency model).
+ */
+
+#ifndef S2E_VM_DEVICE_HH
+#define S2E_VM_DEVICE_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace s2e::vm {
+
+/** Engine-provided callbacks a device uses during an access or tick. */
+struct DeviceBus {
+    /** Read one byte of guest physical memory (concretized view). */
+    std::function<uint8_t(uint32_t addr)> readMem;
+    /** Write one byte of guest physical memory. */
+    std::function<void(uint32_t addr, uint8_t value)> writeMem;
+    /** Assert an interrupt line. */
+    std::function<void(unsigned irq)> raiseIrq;
+};
+
+/**
+ * Base class for all virtual devices. Subclasses must be copyable via
+ * clone() with no shared mutable state between the copies.
+ */
+class Device
+{
+  public:
+    virtual ~Device() = default;
+
+    virtual const std::string &name() const = 0;
+
+    /** Deep copy for state forking. */
+    virtual std::unique_ptr<Device> clone() const = 0;
+
+    virtual void reset() {}
+
+    // --- Port I/O ----------------------------------------------------
+
+    /** Does this device decode the given I/O port? */
+    virtual bool ownsPort(uint16_t port) const
+    {
+        (void)port;
+        return false;
+    }
+    virtual uint32_t
+    ioRead(uint16_t port, DeviceBus &bus)
+    {
+        (void)port;
+        (void)bus;
+        return 0;
+    }
+    virtual void
+    ioWrite(uint16_t port, uint32_t value, DeviceBus &bus)
+    {
+        (void)port;
+        (void)value;
+        (void)bus;
+    }
+
+    // --- MMIO ----------------------------------------------------------
+
+    /** Does this device decode the given physical address? */
+    virtual bool ownsMmio(uint32_t addr) const
+    {
+        (void)addr;
+        return false;
+    }
+    virtual uint32_t
+    mmioRead(uint32_t addr, unsigned size, DeviceBus &bus)
+    {
+        (void)addr;
+        (void)size;
+        (void)bus;
+        return 0;
+    }
+    virtual void
+    mmioWrite(uint32_t addr, uint32_t value, unsigned size, DeviceBus &bus)
+    {
+        (void)addr;
+        (void)value;
+        (void)size;
+        (void)bus;
+    }
+
+    // --- Virtual time --------------------------------------------------
+
+    /**
+     * Advance device time. `now` is the state's virtual instruction
+     * count; each state has its own virtual clock that freezes while
+     * the state is not being run (paper §5).
+     */
+    virtual void
+    tick(uint64_t now, DeviceBus &bus)
+    {
+        (void)now;
+        (void)bus;
+    }
+};
+
+/** MMIO window base: physical addresses at or above this are devices. */
+constexpr uint32_t kMmioBase = 0xF0000000u;
+
+/** Interrupt vector table: 32 vectors of 4 bytes each. */
+constexpr uint32_t kIvtBase = 0x100;
+constexpr unsigned kNumIrqs = 32;
+
+/** Well-known IRQ lines. */
+constexpr unsigned kIrqTimer = 0;
+constexpr unsigned kIrqNic = 1;
+constexpr unsigned kIrqDisk = 2;
+/** Software interrupt vector used for system calls by convention. */
+constexpr unsigned kSyscallVector = 0x30;
+
+} // namespace s2e::vm
+
+#endif // S2E_VM_DEVICE_HH

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Basic virtual devices: console, timer, block disk.
+ */
+
+#ifndef S2E_VM_DEVICES_HH
+#define S2E_VM_DEVICES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vm/device.hh"
+
+namespace s2e::vm {
+
+/**
+ * Write-only character console on port 0x10 (data) with a status port
+ * 0x11 that always reads ready. Output accumulates per path, so each
+ * execution path has its own console transcript.
+ */
+class ConsoleDevice : public Device
+{
+  public:
+    static constexpr uint16_t kDataPort = 0x10;
+    static constexpr uint16_t kStatusPort = 0x11;
+
+    const std::string &name() const override { return name_; }
+    std::unique_ptr<Device> clone() const override
+    {
+        return std::make_unique<ConsoleDevice>(*this);
+    }
+
+    bool
+    ownsPort(uint16_t port) const override
+    {
+        return port == kDataPort || port == kStatusPort;
+    }
+
+    uint32_t
+    ioRead(uint16_t port, DeviceBus &) override
+    {
+        return port == kStatusPort ? 1 : 0;
+    }
+
+    void
+    ioWrite(uint16_t port, uint32_t value, DeviceBus &) override
+    {
+        if (port == kDataPort)
+            output_ += static_cast<char>(value & 0xFF);
+    }
+
+    /** Everything the guest printed on this path. */
+    const std::string &output() const { return output_; }
+
+  private:
+    std::string name_ = "console";
+    std::string output_;
+};
+
+/**
+ * Periodic timer raising kIrqTimer every `period` virtual instructions
+ * once started. Ports: 0x20 control (1 = start, 0 = stop), 0x21 period
+ * (32-bit), 0x22 current tick count (read-only).
+ */
+class TimerDevice : public Device
+{
+  public:
+    static constexpr uint16_t kCtrlPort = 0x20;
+    static constexpr uint16_t kPeriodPort = 0x21;
+    static constexpr uint16_t kCountPort = 0x22;
+
+    const std::string &name() const override { return name_; }
+    std::unique_ptr<Device> clone() const override
+    {
+        return std::make_unique<TimerDevice>(*this);
+    }
+
+    bool
+    ownsPort(uint16_t port) const override
+    {
+        return port >= kCtrlPort && port <= kCountPort;
+    }
+
+    uint32_t
+    ioRead(uint16_t port, DeviceBus &) override
+    {
+        switch (port) {
+          case kCtrlPort: return running_ ? 1 : 0;
+          case kPeriodPort: return period_;
+          case kCountPort: return static_cast<uint32_t>(ticks_);
+          default: return 0;
+        }
+    }
+
+    void
+    ioWrite(uint16_t port, uint32_t value, DeviceBus &) override
+    {
+        switch (port) {
+          case kCtrlPort:
+            running_ = (value & 1) != 0;
+            armed_ = false;
+            break;
+          case kPeriodPort:
+            period_ = value ? value : 1;
+            break;
+          default:
+            break;
+        }
+    }
+
+    void
+    tick(uint64_t now, DeviceBus &bus) override
+    {
+        if (!running_)
+            return;
+        if (!armed_) {
+            next_ = now + period_;
+            armed_ = true;
+            return;
+        }
+        if (now >= next_) {
+            ticks_++;
+            next_ = now + period_;
+            bus.raiseIrq(kIrqTimer);
+        }
+    }
+
+    uint64_t tickCount() const { return ticks_; }
+
+  private:
+    std::string name_ = "timer";
+    bool running_ = false;
+    bool armed_ = false;
+    uint32_t period_ = 1000;
+    uint64_t next_ = 0;
+    uint64_t ticks_ = 0;
+};
+
+/**
+ * Simple DMA block disk, 512-byte sectors.
+ * Ports: 0x30 command (1 = read, 2 = write), 0x31 sector number,
+ * 0x32 DMA address, 0x33 status (1 = ok, 2 = error).
+ * Completion raises kIrqDisk.
+ */
+class DiskDevice : public Device
+{
+  public:
+    static constexpr uint16_t kCmdPort = 0x30;
+    static constexpr uint16_t kSectorPort = 0x31;
+    static constexpr uint16_t kAddrPort = 0x32;
+    static constexpr uint16_t kStatusPort = 0x33;
+    static constexpr unsigned kSectorSize = 512;
+
+    explicit DiskDevice(unsigned num_sectors = 64)
+        : data_(num_sectors * kSectorSize, 0)
+    {
+    }
+
+    const std::string &name() const override { return name_; }
+    std::unique_ptr<Device> clone() const override
+    {
+        return std::make_unique<DiskDevice>(*this);
+    }
+
+    bool
+    ownsPort(uint16_t port) const override
+    {
+        return port >= kCmdPort && port <= kStatusPort;
+    }
+
+    uint32_t
+    ioRead(uint16_t port, DeviceBus &) override
+    {
+        switch (port) {
+          case kStatusPort: return status_;
+          case kSectorPort: return sector_;
+          case kAddrPort: return addr_;
+          default: return 0;
+        }
+    }
+
+    void
+    ioWrite(uint16_t port, uint32_t value, DeviceBus &bus) override
+    {
+        switch (port) {
+          case kSectorPort:
+            sector_ = value;
+            break;
+          case kAddrPort:
+            addr_ = value;
+            break;
+          case kCmdPort: {
+            uint64_t offset =
+                static_cast<uint64_t>(sector_) * kSectorSize;
+            if (offset + kSectorSize > data_.size()) {
+                status_ = 2;
+                break;
+            }
+            if (value == 1) { // read sector -> memory
+                for (unsigned i = 0; i < kSectorSize; ++i)
+                    bus.writeMem(addr_ + i, data_[offset + i]);
+                status_ = 1;
+                bus.raiseIrq(kIrqDisk);
+            } else if (value == 2) { // write memory -> sector
+                for (unsigned i = 0; i < kSectorSize; ++i)
+                    data_[offset + i] = bus.readMem(addr_ + i);
+                status_ = 1;
+                bus.raiseIrq(kIrqDisk);
+            } else {
+                status_ = 2;
+            }
+            break;
+          }
+          default:
+            break;
+        }
+    }
+
+    /** Direct backing-store access for test harnesses. */
+    std::vector<uint8_t> &data() { return data_; }
+    const std::vector<uint8_t> &data() const { return data_; }
+
+  private:
+    std::string name_ = "disk";
+    std::vector<uint8_t> data_;
+    uint32_t sector_ = 0;
+    uint32_t addr_ = 0;
+    uint32_t status_ = 0;
+};
+
+} // namespace s2e::vm
+
+#endif // S2E_VM_DEVICES_HH

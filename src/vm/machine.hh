@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Machine configuration and the per-path device set.
+ */
+
+#ifndef S2E_VM_MACHINE_HH
+#define S2E_VM_MACHINE_HH
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "isa/assembler.hh"
+#include "vm/device.hh"
+
+namespace s2e::vm {
+
+/**
+ * The devices attached to one execution path. Cloned on fork so every
+ * path owns private device state (paper §5's snapshot mechanism).
+ */
+class DeviceSet
+{
+  public:
+    DeviceSet() = default;
+    DeviceSet(const DeviceSet &other)
+    {
+        devices_.reserve(other.devices_.size());
+        for (const auto &d : other.devices_)
+            devices_.push_back(d->clone());
+    }
+    DeviceSet &operator=(const DeviceSet &) = delete;
+    DeviceSet(DeviceSet &&) = default;
+    DeviceSet &operator=(DeviceSet &&) = default;
+
+    void add(std::unique_ptr<Device> device)
+    {
+        devices_.push_back(std::move(device));
+    }
+
+    /** Device decoding an I/O port, or nullptr. */
+    Device *
+    findPort(uint16_t port) const
+    {
+        for (const auto &d : devices_)
+            if (d->ownsPort(port))
+                return d.get();
+        return nullptr;
+    }
+
+    /** Device decoding a physical MMIO address, or nullptr. */
+    Device *
+    findMmio(uint32_t addr) const
+    {
+        for (const auto &d : devices_)
+            if (d->ownsMmio(addr))
+                return d.get();
+        return nullptr;
+    }
+
+    Device *
+    byName(const std::string &name) const
+    {
+        for (const auto &d : devices_)
+            if (d->name() == name)
+                return d.get();
+        return nullptr;
+    }
+
+    /** Typed lookup by name. */
+    template <typename T>
+    T *
+    get(const std::string &name) const
+    {
+        return dynamic_cast<T *>(byName(name));
+    }
+
+    void
+    tickAll(uint64_t now, DeviceBus &bus) const
+    {
+        for (const auto &d : devices_)
+            d->tick(now, bus);
+    }
+
+    size_t size() const { return devices_.size(); }
+
+  private:
+    std::vector<std::unique_ptr<Device>> devices_;
+};
+
+/** Static description of the machine a run starts from. */
+struct MachineConfig {
+    uint32_t ramSize = 4 * 1024 * 1024;
+    isa::Program program;
+    /** Populates the initial device set. */
+    std::function<void(DeviceSet &)> deviceSetup;
+};
+
+} // namespace s2e::vm
+
+#endif // S2E_VM_MACHINE_HH

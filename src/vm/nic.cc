@@ -1,0 +1,406 @@
+#include "vm/nic.hh"
+
+#include "support/logging.hh"
+
+namespace s2e::vm {
+
+// --- PioNic ------------------------------------------------------------
+
+void
+PioNic::reset()
+{
+    status_ = kStReady;
+    txLen_ = 0;
+    ien_ = false;
+    macIdx_ = 0;
+    txFifo_.clear();
+    rxPos_ = 0;
+}
+
+uint32_t
+PioNic::ioRead(uint16_t port, DeviceBus &)
+{
+    switch (port) {
+      case kStatus: {
+        uint32_t st = status_;
+        if (!rxQueue_.empty())
+            st |= kStRxRdy;
+        return st;
+      }
+      case kRxLen:
+        return rxQueue_.empty()
+                   ? 0
+                   : static_cast<uint32_t>(rxQueue_.front().size());
+      case kData: {
+        if (rxQueue_.empty())
+            return 0;
+        const auto &pkt = rxQueue_.front();
+        if (rxPos_ >= pkt.size()) {
+            status_ |= kStError;
+            return 0;
+        }
+        return pkt[rxPos_++];
+      }
+      case kMacVal:
+        return macIdx_ < 6 ? mac_[macIdx_] : 0xFF;
+      case kTxLen:
+        return txLen_;
+      default:
+        return 0;
+    }
+}
+
+void
+PioNic::ioWrite(uint16_t port, uint32_t value, DeviceBus &bus)
+{
+    switch (port) {
+      case kTxLen:
+        txLen_ = value;
+        txFifo_.clear();
+        break;
+      case kData:
+        txFifo_.push_back(static_cast<uint8_t>(value));
+        break;
+      case kMacIdx:
+        macIdx_ = static_cast<uint8_t>(value);
+        break;
+      case kCmd:
+        if (value & kCmdReset)
+            reset();
+        if (value & kCmdIen)
+            ien_ = true;
+        if (value & kCmdTx) {
+            if (txFifo_.size() != txLen_ || txLen_ == 0) {
+                status_ |= kStError;
+            } else {
+                completeTx(txFifo_);
+                txFifo_.clear();
+                status_ |= kStTxDone;
+                if (ien_)
+                    bus.raiseIrq(kIrqNic);
+            }
+        }
+        if (value & kCmdRxAck) {
+            if (!rxQueue_.empty())
+                rxQueue_.pop_front();
+            rxPos_ = 0;
+            if (!rxQueue_.empty() && ien_)
+                bus.raiseIrq(kIrqNic);
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+// --- DmaNic ------------------------------------------------------------
+
+void
+DmaNic::reset()
+{
+    status_ = kStReady;
+    txAddr_ = txLen_ = 0;
+    rxAddr_ = rxBufSz_ = rxLen_ = 0;
+    ien_ = false;
+}
+
+uint32_t
+DmaNic::ioRead(uint16_t port, DeviceBus &)
+{
+    switch (port) {
+      case kStatus: {
+        uint32_t st = status_;
+        if (!rxQueue_.empty())
+            st |= kStRxRdy;
+        return st;
+      }
+      case kTxAddr: return txAddr_;
+      case kTxLen: return txLen_;
+      case kRxAddr: return rxAddr_;
+      case kRxBufSz: return rxBufSz_;
+      case kRxLen:
+        // Before a fetch this reports the pending frame's length (the
+        // "current frame length" register drivers read to size their
+        // copy loops); after a fetch it latches the DMA'd length.
+        return rxQueue_.empty()
+                   ? rxLen_
+                   : static_cast<uint32_t>(rxQueue_.front().size());
+      case kCardType: return 0x2621; // "PCnet/PCI II"-style probe id
+      default: return 0;
+    }
+}
+
+void
+DmaNic::ioWrite(uint16_t port, uint32_t value, DeviceBus &bus)
+{
+    switch (port) {
+      case kTxAddr: txAddr_ = value; break;
+      case kTxLen: txLen_ = value; break;
+      case kRxAddr: rxAddr_ = value; break;
+      case kRxBufSz: rxBufSz_ = value; break;
+      case kCmd:
+        if (value & kCmdReset)
+            reset();
+        if (value & kCmdIen)
+            ien_ = true;
+        if (value & kCmdTxStart) {
+            if (txLen_ == 0 || txLen_ > 4096) {
+                status_ |= kStError;
+            } else {
+                std::vector<uint8_t> pkt(txLen_);
+                for (uint32_t i = 0; i < txLen_; ++i)
+                    pkt[i] = bus.readMem(txAddr_ + i);
+                completeTx(std::move(pkt));
+                status_ |= kStTxDone;
+                if (ien_)
+                    bus.raiseIrq(kIrqNic);
+            }
+        }
+        if (value & kCmdRxFetch) {
+            if (rxQueue_.empty()) {
+                status_ |= kStError;
+            } else {
+                const auto &pkt = rxQueue_.front();
+                uint32_t n = static_cast<uint32_t>(pkt.size());
+                if (n > rxBufSz_)
+                    n = rxBufSz_;
+                for (uint32_t i = 0; i < n; ++i)
+                    bus.writeMem(rxAddr_ + i, pkt[i]);
+                rxLen_ = n;
+                rxQueue_.pop_front();
+                if (ien_)
+                    bus.raiseIrq(kIrqNic);
+            }
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+// --- MmioNic -----------------------------------------------------------
+
+void
+MmioNic::reset()
+{
+    bank_ = 0;
+    ctrl_ = 0;
+    status_ = kStReady;
+    txLen_ = 0;
+    txFifo_.clear();
+    rxPos_ = 0;
+}
+
+uint32_t
+MmioNic::mmioRead(uint32_t addr, unsigned, DeviceBus &)
+{
+    uint32_t off = addr - kBase;
+    if (off == kBankReg)
+        return bank_;
+    switch (bank_) {
+      case 0:
+        switch (off) {
+          case kB0Ctrl: return ctrl_;
+          case kB0Status: {
+            uint32_t st = status_;
+            if (!rxQueue_.empty() && (ctrl_ & 2))
+                st |= kStRxRdy;
+            return st;
+          }
+          default: return 0;
+        }
+      case 1:
+        switch (off) {
+          case kB1MacLo: return macLo_;
+          case kB1MacHi: return macHi_;
+          default: return 0;
+        }
+      case 2:
+        switch (off) {
+          case kB2Fifo: {
+            if (rxQueue_.empty())
+                return 0;
+            const auto &pkt = rxQueue_.front();
+            if (rxPos_ >= pkt.size())
+                return 0;
+            return pkt[rxPos_++];
+          }
+          case kB2TxLen: return txLen_;
+          case kB2RxLen:
+            return rxQueue_.empty()
+                       ? 0
+                       : static_cast<uint32_t>(rxQueue_.front().size());
+          default: return 0;
+        }
+      default:
+        return 0;
+    }
+}
+
+void
+MmioNic::mmioWrite(uint32_t addr, uint32_t value, unsigned, DeviceBus &bus)
+{
+    uint32_t off = addr - kBase;
+    if (off == kBankReg) {
+        bank_ = value & 3;
+        return;
+    }
+    switch (bank_) {
+      case 0:
+        if (off == kB0Ctrl) {
+            ctrl_ = value;
+        } else if (off == kB0Cmd) {
+            if (value & 1)
+                reset();
+            if (value & 2) { // TX
+                if (!(ctrl_ & 1) || txFifo_.size() != txLen_ ||
+                    txLen_ == 0) {
+                    // tx disabled or bad fifo fill: drop
+                } else {
+                    completeTx(txFifo_);
+                    txFifo_.clear();
+                    status_ |= kStTxDone;
+                    if (ctrl_ & 4)
+                        bus.raiseIrq(kIrqNic);
+                }
+            }
+            if (value & 4) { // RXACK
+                if (!rxQueue_.empty())
+                    rxQueue_.pop_front();
+                rxPos_ = 0;
+                if (!rxQueue_.empty() && (ctrl_ & 4))
+                    bus.raiseIrq(kIrqNic);
+            }
+        }
+        break;
+      case 1:
+        if (off == kB1MacLo)
+            macLo_ = value;
+        else if (off == kB1MacHi)
+            macHi_ = value;
+        break;
+      case 2:
+        if (off == kB2Fifo)
+            txFifo_.push_back(static_cast<uint8_t>(value));
+        else if (off == kB2TxLen) {
+            txLen_ = value;
+            txFifo_.clear();
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+// --- RingNic -----------------------------------------------------------
+
+void
+RingNic::reset()
+{
+    status_ = kStReady;
+    ringAddr_ = ringSize_ = 0;
+    wrPtr_ = rdPtr_ = 0;
+    txAddr_ = txLen_ = 0;
+    rxEnabled_ = false;
+    ien_ = false;
+}
+
+uint32_t
+RingNic::ioRead(uint16_t port, DeviceBus &)
+{
+    switch (port) {
+      case kStatus: {
+        uint32_t st = status_;
+        if (wrPtr_ != rdPtr_)
+            st |= kStRxRdy;
+        return st;
+      }
+      case kRingAddr: return ringAddr_;
+      case kRingSize: return ringSize_;
+      case kWrPtr: return wrPtr_;
+      case kRdPtr: return rdPtr_;
+      default: return 0;
+    }
+}
+
+void
+RingNic::deliverPending(DeviceBus &bus)
+{
+    while (rxEnabled_ && !rxQueue_.empty() && ringSize_ >= 8) {
+        const auto &pkt = rxQueue_.front();
+        uint32_t need = 4 + static_cast<uint32_t>(pkt.size());
+        // Free space with wraparound; keep one byte gap to
+        // disambiguate full from empty.
+        uint32_t used = (wrPtr_ + ringSize_ - rdPtr_) % ringSize_;
+        uint32_t space = ringSize_ - used - 1;
+        if (need > space) {
+            status_ |= kStRingOverflow;
+            if (ien_)
+                bus.raiseIrq(kIrqNic);
+            return;
+        }
+        auto put = [&](uint8_t byte) {
+            bus.writeMem(ringAddr_ + wrPtr_, byte);
+            wrPtr_ = (wrPtr_ + 1) % ringSize_;
+        };
+        uint32_t len = static_cast<uint32_t>(pkt.size());
+        put(len & 0xFF);
+        put((len >> 8) & 0xFF);
+        put((len >> 16) & 0xFF);
+        put((len >> 24) & 0xFF);
+        for (uint8_t byte : pkt)
+            put(byte);
+        rxQueue_.pop_front();
+        if (ien_)
+            bus.raiseIrq(kIrqNic);
+    }
+}
+
+void
+RingNic::ioWrite(uint16_t port, uint32_t value, DeviceBus &bus)
+{
+    switch (port) {
+      case kRingAddr: ringAddr_ = value; break;
+      case kRingSize: ringSize_ = value; break;
+      case kRdPtr:
+        rdPtr_ = ringSize_ ? value % ringSize_ : 0;
+        deliverPending(bus);
+        break;
+      case kTxAddr0: txAddr_ = value; break;
+      case kTxLen0: txLen_ = value; break;
+      case kCmd:
+        if (value & kCmdReset)
+            reset();
+        if (value & kCmdIen)
+            ien_ = true;
+        if (value & kCmdRxEnable) {
+            rxEnabled_ = true;
+            deliverPending(bus);
+        }
+        if (value & kCmdTx0) {
+            if (txLen_ == 0 || txLen_ > 4096) {
+                status_ |= kStRingOverflow; // reused as generic error
+            } else {
+                std::vector<uint8_t> pkt(txLen_);
+                for (uint32_t i = 0; i < txLen_; ++i)
+                    pkt[i] = bus.readMem(txAddr_ + i);
+                completeTx(std::move(pkt));
+                status_ |= kStTxDone;
+                if (ien_)
+                    bus.raiseIrq(kIrqNic);
+                deliverPending(bus); // loopback may have queued RX
+            }
+        }
+        break;
+      default:
+        break;
+    }
+}
+
+void
+RingNic::tick(uint64_t, DeviceBus &bus)
+{
+    deliverPending(bus);
+}
+
+} // namespace s2e::vm

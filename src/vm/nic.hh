@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Virtual network interface cards.
+ *
+ * Four NIC models with deliberately different hardware protocols,
+ * standing in for the four closed-source Windows drivers of the
+ * paper's evaluation (Table 5): PIO FIFO ("rtl8029-like"), register
+ * DMA ("pcnet-like"), bank-switched MMIO ("91c111-like") and DMA ring
+ * buffer ("rtl8139-like"). The guest drivers in src/guest implement
+ * one protocol each, so coverage/consistency experiments exercise
+ * genuinely different unit/environment interactions.
+ */
+
+#ifndef S2E_VM_NIC_HH
+#define S2E_VM_NIC_HH
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "vm/device.hh"
+
+namespace s2e::vm {
+
+/** Shared behavior: packet queues, loopback, host-side injection. */
+class NicBase : public Device
+{
+  public:
+    /** Queue a packet for guest reception (host/test side). */
+    void
+    injectPacket(std::vector<uint8_t> packet)
+    {
+        rxQueue_.push_back(std::move(packet));
+    }
+
+    /** Packets transmitted by the guest on this path. */
+    const std::vector<std::vector<uint8_t>> &transmitted() const
+    {
+        return txLog_;
+    }
+
+    /** In loopback mode, transmitted packets re-enter the RX queue. */
+    void setLoopback(bool on) { loopback_ = on; }
+
+    bool rxPending() const { return !rxQueue_.empty(); }
+
+  protected:
+    void
+    completeTx(std::vector<uint8_t> packet)
+    {
+        if (loopback_)
+            rxQueue_.push_back(packet);
+        txLog_.push_back(std::move(packet));
+    }
+
+    std::deque<std::vector<uint8_t>> rxQueue_;
+    std::vector<std::vector<uint8_t>> txLog_;
+    bool loopback_ = false;
+};
+
+/**
+ * PIO-FIFO NIC ("rtl8029-like"), ports 0x40..0x47.
+ *
+ * TX: write TXLEN, push TXLEN bytes through DATA, then CMD=TX.
+ * RX: poll STATUS.RXRDY, read RXLEN, pull RXLEN bytes from DATA,
+ *     then CMD=RXACK. IRQ kIrqNic on TX done / RX ready when IEN set.
+ */
+class PioNic : public NicBase
+{
+  public:
+    static constexpr uint16_t kBase = 0x40;
+    static constexpr uint16_t kCmd = kBase + 0;
+    static constexpr uint16_t kStatus = kBase + 1;
+    static constexpr uint16_t kData = kBase + 2;
+    static constexpr uint16_t kTxLen = kBase + 3;
+    static constexpr uint16_t kRxLen = kBase + 4;
+    static constexpr uint16_t kMacIdx = kBase + 5;
+    static constexpr uint16_t kMacVal = kBase + 6;
+    static constexpr uint16_t kCfg = kBase + 7;
+
+    // CMD bits
+    static constexpr uint32_t kCmdReset = 1;
+    static constexpr uint32_t kCmdTx = 2;
+    static constexpr uint32_t kCmdRxAck = 4;
+    static constexpr uint32_t kCmdIen = 8;
+    // STATUS bits
+    static constexpr uint32_t kStReady = 1;
+    static constexpr uint32_t kStTxDone = 2;
+    static constexpr uint32_t kStRxRdy = 4;
+    static constexpr uint32_t kStError = 8;
+
+    const std::string &name() const override { return name_; }
+    std::unique_ptr<Device> clone() const override
+    {
+        return std::make_unique<PioNic>(*this);
+    }
+    void reset() override;
+
+    bool
+    ownsPort(uint16_t port) const override
+    {
+        return port >= kBase && port <= kCfg;
+    }
+    uint32_t ioRead(uint16_t port, DeviceBus &bus) override;
+    void ioWrite(uint16_t port, uint32_t value, DeviceBus &bus) override;
+
+  private:
+    std::string name_ = "pionic";
+    uint32_t status_ = kStReady;
+    uint32_t txLen_ = 0;
+    bool ien_ = false;
+    uint8_t macIdx_ = 0;
+    uint8_t mac_[6] = {0x52, 0x2e, 0x29, 0x00, 0x00, 0x01};
+    std::vector<uint8_t> txFifo_;
+    size_t rxPos_ = 0;
+};
+
+/**
+ * Register-DMA NIC ("pcnet-like"), ports 0x50..0x57.
+ *
+ * TX: program TXADDR/TXLEN, CMD=TXSTART; device DMA-reads the packet.
+ * RX: program RXADDR/RXBUFSZ, CMD=RXFETCH; device DMA-writes the
+ *     packet (truncated to the buffer) and latches RXLEN.
+ */
+class DmaNic : public NicBase
+{
+  public:
+    static constexpr uint16_t kBase = 0x50;
+    static constexpr uint16_t kCmd = kBase + 0;
+    static constexpr uint16_t kStatus = kBase + 1;
+    static constexpr uint16_t kTxAddr = kBase + 2;
+    static constexpr uint16_t kTxLen = kBase + 3;
+    static constexpr uint16_t kRxAddr = kBase + 4;
+    static constexpr uint16_t kRxBufSz = kBase + 5;
+    static constexpr uint16_t kRxLen = kBase + 6;
+    static constexpr uint16_t kCardType = kBase + 7; ///< config probe
+
+    static constexpr uint32_t kCmdReset = 1;
+    static constexpr uint32_t kCmdTxStart = 2;
+    static constexpr uint32_t kCmdRxFetch = 4;
+    static constexpr uint32_t kCmdIen = 8;
+
+    static constexpr uint32_t kStReady = 1;
+    static constexpr uint32_t kStTxDone = 2;
+    static constexpr uint32_t kStRxRdy = 4;
+    static constexpr uint32_t kStError = 8;
+
+    const std::string &name() const override { return name_; }
+    std::unique_ptr<Device> clone() const override
+    {
+        return std::make_unique<DmaNic>(*this);
+    }
+    void reset() override;
+
+    bool
+    ownsPort(uint16_t port) const override
+    {
+        return port >= kBase && port <= kCardType;
+    }
+    uint32_t ioRead(uint16_t port, DeviceBus &bus) override;
+    void ioWrite(uint16_t port, uint32_t value, DeviceBus &bus) override;
+
+  private:
+    std::string name_ = "dmanic";
+    uint32_t status_ = kStReady;
+    uint32_t txAddr_ = 0, txLen_ = 0;
+    uint32_t rxAddr_ = 0, rxBufSz_ = 0, rxLen_ = 0;
+    bool ien_ = false;
+};
+
+/**
+ * Bank-switched MMIO NIC ("91c111-like"), MMIO at 0xF0001000..0xF000100F.
+ *
+ * Offset 0xE selects the register bank; banks expose control (0),
+ * MAC configuration (1) and a data FIFO window (2). All accesses are
+ * 32-bit MMIO.
+ */
+class MmioNic : public NicBase
+{
+  public:
+    static constexpr uint32_t kBase = 0xF0001000u;
+    static constexpr uint32_t kSize = 0x10;
+    static constexpr uint32_t kBankReg = 0xE;
+
+    // Bank 0 registers
+    static constexpr uint32_t kB0Ctrl = 0x0;   ///< bit0 txen, bit1 rxen, bit2 ien
+    static constexpr uint32_t kB0Status = 0x4; ///< ready/txdone/rxrdy
+    static constexpr uint32_t kB0Cmd = 0x8;    ///< 1 reset, 2 tx, 4 rxack
+    // Bank 1 registers
+    static constexpr uint32_t kB1MacLo = 0x0;
+    static constexpr uint32_t kB1MacHi = 0x4;
+    // Bank 2 registers
+    static constexpr uint32_t kB2Fifo = 0x0;  ///< byte-wise FIFO window
+    static constexpr uint32_t kB2TxLen = 0x4;
+    static constexpr uint32_t kB2RxLen = 0x8;
+
+    static constexpr uint32_t kStReady = 1;
+    static constexpr uint32_t kStTxDone = 2;
+    static constexpr uint32_t kStRxRdy = 4;
+
+    const std::string &name() const override { return name_; }
+    std::unique_ptr<Device> clone() const override
+    {
+        return std::make_unique<MmioNic>(*this);
+    }
+    void reset() override;
+
+    bool
+    ownsMmio(uint32_t addr) const override
+    {
+        return addr >= kBase && addr < kBase + kSize;
+    }
+    uint32_t mmioRead(uint32_t addr, unsigned size, DeviceBus &bus) override;
+    void mmioWrite(uint32_t addr, uint32_t value, unsigned size,
+                   DeviceBus &bus) override;
+
+  private:
+    std::string name_ = "mmionic";
+    uint32_t bank_ = 0;
+    uint32_t ctrl_ = 0;
+    uint32_t status_ = kStReady;
+    uint32_t txLen_ = 0;
+    uint32_t macLo_ = 0x292e5352, macHi_ = 0x0200;
+    std::vector<uint8_t> txFifo_;
+    size_t rxPos_ = 0;
+};
+
+/**
+ * Ring-buffer DMA NIC ("rtl8139-like"), ports 0x60..0x67.
+ *
+ * The driver programs a receive ring (RINGADDR, RINGSZ). The device
+ * DMA-writes each packet into the ring prefixed by a 4-byte length
+ * header, advancing the write pointer with wraparound; the driver
+ * consumes from its read pointer and publishes it via RDPTR. TX uses
+ * two descriptor slots.
+ */
+class RingNic : public NicBase
+{
+  public:
+    static constexpr uint16_t kBase = 0x60;
+    static constexpr uint16_t kCmd = kBase + 0;
+    static constexpr uint16_t kStatus = kBase + 1;
+    static constexpr uint16_t kRingAddr = kBase + 2;
+    static constexpr uint16_t kRingSize = kBase + 3;
+    static constexpr uint16_t kWrPtr = kBase + 4; ///< read-only
+    static constexpr uint16_t kRdPtr = kBase + 5; ///< driver-advanced
+    static constexpr uint16_t kTxAddr0 = kBase + 6;
+    static constexpr uint16_t kTxLen0 = kBase + 7;
+
+    static constexpr uint32_t kCmdReset = 1;
+    static constexpr uint32_t kCmdTx0 = 2;
+    static constexpr uint32_t kCmdRxEnable = 4;
+    static constexpr uint32_t kCmdIen = 8;
+
+    static constexpr uint32_t kStReady = 1;
+    static constexpr uint32_t kStTxDone = 2;
+    static constexpr uint32_t kStRxRdy = 4;
+    static constexpr uint32_t kStRingOverflow = 8;
+
+    const std::string &name() const override { return name_; }
+    std::unique_ptr<Device> clone() const override
+    {
+        return std::make_unique<RingNic>(*this);
+    }
+    void reset() override;
+
+    bool
+    ownsPort(uint16_t port) const override
+    {
+        return port >= kBase && port <= kTxLen0;
+    }
+    uint32_t ioRead(uint16_t port, DeviceBus &bus) override;
+    void ioWrite(uint16_t port, uint32_t value, DeviceBus &bus) override;
+    void tick(uint64_t now, DeviceBus &bus) override;
+
+  private:
+    void deliverPending(DeviceBus &bus);
+
+    std::string name_ = "ringnic";
+    uint32_t status_ = kStReady;
+    uint32_t ringAddr_ = 0, ringSize_ = 0;
+    uint32_t wrPtr_ = 0, rdPtr_ = 0;
+    uint32_t txAddr_ = 0, txLen_ = 0;
+    bool rxEnabled_ = false;
+    bool ien_ = false;
+};
+
+} // namespace s2e::vm
+
+#endif // S2E_VM_NIC_HH

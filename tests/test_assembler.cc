@@ -1,0 +1,360 @@
+/** @file Tests for the gisa two-pass assembler. */
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hh"
+
+namespace s2e::isa {
+namespace {
+
+/** Decode all instructions in a section. */
+std::vector<Instruction>
+decodeAll(const Program::Section &section)
+{
+    std::vector<Instruction> out;
+    size_t pos = 0;
+    while (pos < section.bytes.size()) {
+        Instruction instr;
+        if (!decode(section.bytes.data() + pos,
+                    section.bytes.size() - pos, instr))
+            break;
+        out.push_back(instr);
+        pos += instr.length;
+    }
+    return out;
+}
+
+TEST(Assembler, EmptyProgram)
+{
+    Program p = assemble("");
+    EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Assembler, CommentsAndBlanksIgnored)
+{
+    Program p = assemble("; comment only\n   \n# another\n");
+    EXPECT_EQ(p.size(), 0u);
+}
+
+TEST(Assembler, SimpleInstructions)
+{
+    Program p = assemble(R"(
+        movi r1, 10
+        add r1, r2
+        nop
+        hlt
+    )");
+    ASSERT_EQ(p.sections.size(), 1u);
+    auto instrs = decodeAll(p.sections[0]);
+    ASSERT_EQ(instrs.size(), 4u);
+    EXPECT_EQ(instrs[0].op, Opcode::MovI);
+    EXPECT_EQ(instrs[0].r1, 1);
+    EXPECT_EQ(instrs[0].imm, 10u);
+    EXPECT_EQ(instrs[1].op, Opcode::Add);
+    EXPECT_EQ(instrs[2].op, Opcode::Nop);
+    EXPECT_EQ(instrs[3].op, Opcode::Hlt);
+}
+
+TEST(Assembler, MovAutoSelectsImmediateForm)
+{
+    Program p = assemble("mov r1, 42\nmov r2, r3\n");
+    auto instrs = decodeAll(p.sections[0]);
+    ASSERT_EQ(instrs.size(), 2u);
+    EXPECT_EQ(instrs[0].op, Opcode::MovI);
+    EXPECT_EQ(instrs[1].op, Opcode::Mov);
+}
+
+TEST(Assembler, LabelsAndBranches)
+{
+    Program p = assemble(R"(
+        .entry start
+    start:
+        movi r1, 0
+    loop:
+        addi r1, 1
+        cmpi r1, 10
+        jne loop
+        hlt
+    )");
+    EXPECT_EQ(p.entry, p.symbol("start"));
+    auto instrs = decodeAll(p.sections[0]);
+    ASSERT_EQ(instrs.size(), 5u);
+    EXPECT_EQ(instrs[3].op, Opcode::Jcc);
+    EXPECT_EQ(instrs[3].cc, Cond::Ne);
+    EXPECT_EQ(instrs[3].imm, p.symbol("loop"));
+}
+
+TEST(Assembler, ForwardReferences)
+{
+    Program p = assemble(R"(
+        jmp end
+        nop
+    end:
+        hlt
+    )");
+    auto instrs = decodeAll(p.sections[0]);
+    EXPECT_EQ(instrs[0].imm, p.symbol("end"));
+}
+
+TEST(Assembler, MemoryOperands)
+{
+    Program p = assemble(R"(
+        ldw r1, [r2+4]
+        ldw r1, [r2]
+        stw [sp-8], r3
+        ldb r4, [r5+0x10]
+    )");
+    auto instrs = decodeAll(p.sections[0]);
+    ASSERT_EQ(instrs.size(), 4u);
+    EXPECT_EQ(instrs[0].op, Opcode::Ldw);
+    EXPECT_EQ(instrs[0].imm, 4u);
+    EXPECT_EQ(instrs[1].imm, 0u);
+    EXPECT_EQ(instrs[2].op, Opcode::Stw);
+    EXPECT_EQ(instrs[2].r2, kRegSp);
+    EXPECT_EQ(static_cast<int32_t>(instrs[2].imm), -8);
+    EXPECT_EQ(instrs[3].imm, 0x10u);
+}
+
+TEST(Assembler, EquAndExpressions)
+{
+    Program p = assemble(R"(
+        .equ BASE, 0x100
+        .equ SIZE, 32
+        movi r1, BASE+SIZE
+        movi r2, BASE-1
+        movi r3, 'A'
+        movi r4, '\n'
+    )");
+    auto instrs = decodeAll(p.sections[0]);
+    EXPECT_EQ(instrs[0].imm, 0x120u);
+    EXPECT_EQ(instrs[1].imm, 0xFFu);
+    EXPECT_EQ(instrs[2].imm, 65u);
+    EXPECT_EQ(instrs[3].imm, 10u);
+}
+
+TEST(Assembler, DataDirectives)
+{
+    Program p = assemble(R"(
+        .byte 1, 2, 0xFF
+        .half 0x1234
+        .word 0xDEADBEEF
+        .asciz "hi"
+    )");
+    ASSERT_EQ(p.sections.size(), 1u);
+    const auto &b = p.sections[0].bytes;
+    ASSERT_EQ(b.size(), 3u + 2u + 4u + 3u);
+    EXPECT_EQ(b[0], 1);
+    EXPECT_EQ(b[2], 0xFF);
+    EXPECT_EQ(b[3], 0x34); // little-endian half
+    EXPECT_EQ(b[4], 0x12);
+    EXPECT_EQ(b[5], 0xEF);
+    EXPECT_EQ(b[8], 0xDE);
+    EXPECT_EQ(b[9], 'h');
+    EXPECT_EQ(b[11], '\0');
+}
+
+TEST(Assembler, OrgCreatesSections)
+{
+    Program p = assemble(R"(
+        .org 0x100
+        nop
+        .org 0x2000
+        hlt
+    )");
+    ASSERT_EQ(p.sections.size(), 2u);
+    EXPECT_EQ(p.sections[0].addr, 0x100u);
+    EXPECT_EQ(p.sections[1].addr, 0x2000u);
+}
+
+TEST(Assembler, AlignPads)
+{
+    Program p = assemble(R"(
+        .org 0x10
+        nop
+        .align 8
+    data:
+        .word 1
+    )");
+    EXPECT_EQ(p.symbol("data"), 0x18u);
+}
+
+TEST(Assembler, SpaceReserves)
+{
+    Program p = assemble(R"(
+        .org 0
+    buf:
+        .space 16, 0xAB
+    after:
+        nop
+    )");
+    EXPECT_EQ(p.symbol("after"), 16u);
+    EXPECT_EQ(p.sections[0].bytes[0], 0xAB);
+}
+
+TEST(Assembler, WordWithLabelReference)
+{
+    Program p = assemble(R"(
+        .org 0x100
+    table:
+        .word handler, 0
+    handler:
+        hlt
+    )");
+    const auto &b = p.sections[0].bytes;
+    uint32_t v = b[0] | (b[1] << 8) | (b[2] << 16) | (b[3] << 24);
+    EXPECT_EQ(v, p.symbol("handler"));
+}
+
+TEST(Assembler, S2EOpcodes)
+{
+    Program p = assemble(R"(
+        s2e_symreg r1
+        s2e_symrange r2, 0, 100
+        s2e_symmem r3, r4
+        s2e_ena
+        s2e_dis
+        s2e_out r5
+        s2e_kill 3
+        s2e_assert r6
+    )");
+    auto instrs = decodeAll(p.sections[0]);
+    ASSERT_EQ(instrs.size(), 8u);
+    EXPECT_EQ(instrs[0].op, Opcode::S2SymReg);
+    EXPECT_EQ(instrs[1].op, Opcode::S2SymRange);
+    EXPECT_EQ(instrs[1].imm, 0u);
+    EXPECT_EQ(instrs[1].imm2, 100u);
+    EXPECT_EQ(instrs[6].op, Opcode::S2Kill);
+    EXPECT_EQ(instrs[6].imm, 3u);
+}
+
+TEST(Assembler, JccAliases)
+{
+    Program p = assemble(R"(
+    t:
+        jb t
+        jae t
+        jlt t
+        jge t
+    )");
+    auto instrs = decodeAll(p.sections[0]);
+    EXPECT_EQ(instrs[0].cc, Cond::Ult);
+    EXPECT_EQ(instrs[1].cc, Cond::Uge);
+    EXPECT_EQ(instrs[2].cc, Cond::Slt);
+    EXPECT_EQ(instrs[3].cc, Cond::Sge);
+}
+
+TEST(Assembler, ErrorUndefinedSymbol)
+{
+    EXPECT_THROW(assemble("jmp nowhere\n"), AsmError);
+}
+
+TEST(Assembler, ErrorDuplicateLabel)
+{
+    EXPECT_THROW(assemble("a:\na:\n"), AsmError);
+}
+
+TEST(Assembler, ErrorBadMnemonic)
+{
+    EXPECT_THROW(assemble("frobnicate r1\n"), AsmError);
+}
+
+TEST(Assembler, ErrorWrongOperandCount)
+{
+    EXPECT_THROW(assemble("add r1\n"), AsmError);
+}
+
+TEST(Assembler, ErrorBadRegister)
+{
+    EXPECT_THROW(assemble("push r16\n"), AsmError);
+}
+
+TEST(Assembler, ErrorReportsLineNumber)
+{
+    try {
+        assemble("nop\nnop\nbadop r1\n");
+        FAIL() << "expected AsmError";
+    } catch (const AsmError &e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+}
+
+TEST(Assembler, ErrorUndefinedEntry)
+{
+    EXPECT_THROW(assemble(".entry missing\nnop\n"), AsmError);
+}
+
+TEST(Assembler, UnaryOperatorsInExpressions)
+{
+    Program p = assemble(R"(
+        .equ MASK, ~7
+        movi r1, MASK
+        movi r2, -(3+2)
+        movi r3, (1+2)+(3+4)
+    )");
+    auto instrs = decodeAll(p.sections[0]);
+    EXPECT_EQ(instrs[0].imm, 0xFFFFFFF8u);
+    EXPECT_EQ(static_cast<int32_t>(instrs[1].imm), -5);
+    EXPECT_EQ(instrs[2].imm, 10u);
+}
+
+TEST(Assembler, SemicolonCharLiteralIsNotAComment)
+{
+    Program p = assemble("movi r1, ';'   ; trailing comment\n");
+    auto instrs = decodeAll(p.sections[0]);
+    ASSERT_EQ(instrs.size(), 1u);
+    EXPECT_EQ(instrs[0].imm, static_cast<uint32_t>(';'));
+}
+
+TEST(Assembler, AsciiHasNoTerminator)
+{
+    Program p = assemble(".ascii \"ab\"\n.byte 7\n");
+    const auto &b = p.sections[0].bytes;
+    ASSERT_EQ(b.size(), 3u);
+    EXPECT_EQ(b[0], 'a');
+    EXPECT_EQ(b[2], 7);
+}
+
+TEST(Assembler, EscapesInStrings)
+{
+    Program p = assemble(".asciz \"a\\n\\t\\\\\"\n");
+    const auto &b = p.sections[0].bytes;
+    ASSERT_EQ(b.size(), 5u);
+    EXPECT_EQ(b[1], '\n');
+    EXPECT_EQ(b[2], '\t');
+    EXPECT_EQ(b[3], '\\');
+    EXPECT_EQ(b[4], '\0');
+}
+
+TEST(Assembler, EquRedefinitionSameValueAllowed)
+{
+    Program p = assemble(".equ A, 5\n.equ A, 5\nmovi r1, A\n");
+    EXPECT_EQ(decodeAll(p.sections[0])[0].imm, 5u);
+}
+
+TEST(Assembler, EquRedefinitionConflictRejected)
+{
+    EXPECT_THROW(assemble(".equ A, 5\n.equ A, 6\n"), AsmError);
+}
+
+TEST(Assembler, MultipleLabelsOneAddress)
+{
+    Program p = assemble("a: b: c: nop\n");
+    EXPECT_EQ(p.symbol("a"), p.symbol("b"));
+    EXPECT_EQ(p.symbol("b"), p.symbol("c"));
+}
+
+TEST(Assembler, BinaryLiterals)
+{
+    Program p = assemble("movi r1, 0b1010\n");
+    EXPECT_EQ(decodeAll(p.sections[0])[0].imm, 10u);
+}
+
+TEST(Assembler, DivHasNoImmediateForm)
+{
+    EXPECT_THROW(assemble("udiv r1, 3\n"), AsmError);
+    Program p = assemble("udiv r1, r2\n");
+    EXPECT_EQ(decodeAll(p.sections[0])[0].op, Opcode::UDiv);
+}
+
+} // namespace
+} // namespace s2e::isa

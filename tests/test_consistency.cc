@@ -1,0 +1,227 @@
+/** @file Tests for the consistency-model policy mapping (§3) and the
+ *  engine behaviors each model implies beyond the basic cases covered
+ *  in test_engine.cc. */
+
+#include <gtest/gtest.h>
+
+#include "core/consistency.hh"
+#include "core/engine.hh"
+#include "vm/devices.hh"
+
+namespace s2e::core {
+namespace {
+
+TEST(ConsistencyPolicy, Names)
+{
+    EXPECT_STREQ(consistencyModelName(ConsistencyModel::ScCe), "SC-CE");
+    EXPECT_STREQ(consistencyModelName(ConsistencyModel::ScUe), "SC-UE");
+    EXPECT_STREQ(consistencyModelName(ConsistencyModel::ScSe), "SC-SE");
+    EXPECT_STREQ(consistencyModelName(ConsistencyModel::Lc), "LC");
+    EXPECT_STREQ(consistencyModelName(ConsistencyModel::RcOc), "RC-OC");
+    EXPECT_STREQ(consistencyModelName(ConsistencyModel::RcCc), "RC-CC");
+}
+
+TEST(ConsistencyPolicy, ScCeDisablesEverySymbolicSource)
+{
+    ConsistencyPolicy p = policyFor(ConsistencyModel::ScCe);
+    EXPECT_FALSE(p.symbolicInputsEnabled);
+    EXPECT_FALSE(p.symbolicHardwareAllowed);
+    EXPECT_FALSE(p.forkInEnvironment);
+    EXPECT_FALSE(p.ignoreFeasibility);
+}
+
+TEST(ConsistencyPolicy, ScUeBlackBoxesTheEnvironment)
+{
+    ConsistencyPolicy p = policyFor(ConsistencyModel::ScUe);
+    EXPECT_TRUE(p.symbolicInputsEnabled);
+    EXPECT_FALSE(p.symbolicHardwareAllowed);
+    EXPECT_FALSE(p.forkInEnvironment);
+    EXPECT_EQ(p.envSymbolicBranch,
+              EnvSymbolicBranchPolicy::ConcretizeHard);
+}
+
+TEST(ConsistencyPolicy, ScSeIsFullySymbolic)
+{
+    ConsistencyPolicy p = policyFor(ConsistencyModel::ScSe);
+    EXPECT_TRUE(p.forkInEnvironment);
+    EXPECT_TRUE(p.symbolicHardwareAllowed);
+    EXPECT_EQ(p.envSymbolicBranch, EnvSymbolicBranchPolicy::Fork);
+    EXPECT_FALSE(p.ignoreFeasibility);
+}
+
+TEST(ConsistencyPolicy, LcAbortsOnPropagation)
+{
+    ConsistencyPolicy p = policyFor(ConsistencyModel::Lc);
+    EXPECT_EQ(p.envSymbolicBranch, EnvSymbolicBranchPolicy::Abort);
+    EXPECT_FALSE(p.forkInEnvironment);
+}
+
+TEST(ConsistencyPolicy, RcCcSkipsTheSolver)
+{
+    ConsistencyPolicy p = policyFor(ConsistencyModel::RcCc);
+    EXPECT_TRUE(p.ignoreFeasibility);
+}
+
+namespace {
+vm::MachineConfig
+machineFor(const std::string &source)
+{
+    vm::MachineConfig m;
+    m.ramSize = 256 * 1024;
+    m.program = isa::assemble(source);
+    m.deviceSetup = [](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+    };
+    return m;
+}
+} // namespace
+
+TEST(ConsistencyEngine, RcCcStatesMayBeInternallyInconsistent)
+{
+    // RC-CC records no constraints: the "impossible" branch's state
+    // has an empty constraint set even though its data contradicts
+    // the path taken.
+    EngineConfig config;
+    config.model = ConsistencyModel::RcCc;
+    Engine engine(machineFor(R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        s2e_symrange r1, 0, 9
+        cmpi r1, 100
+        ja impossible
+        movi r2, 1
+        hlt
+    impossible:
+        movi r2, 2
+        hlt
+    )"),
+                  config);
+    engine.run();
+    for (const auto &s : engine.allStates()) {
+        if (s->cpu.regs[2].isConcrete() &&
+            s->cpu.regs[2].concrete() == 2) {
+            // Only the injection-range constraints are present — the
+            // branch condition was not recorded.
+            EXPECT_LE(s->constraints.size(), 2u);
+        }
+    }
+}
+
+TEST(ConsistencyEngine, RcCcDoesNotConsultSolverForBranches)
+{
+    EngineConfig config;
+    config.model = ConsistencyModel::RcCc;
+    Engine engine(machineFor(R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        s2e_symreg r1
+        cmpi r1, 5
+        jb a
+    a:  cmpi r1, 50
+        jb b
+    b:  hlt
+    )"),
+                  config);
+    engine.run();
+    // Branch 1 forks once; both resulting states fork at branch 2:
+    // three CFG forks, four paths, no solver involvement.
+    EXPECT_EQ(engine.stats().get("engine.cfg_forks"), 3u);
+    EXPECT_EQ(engine.allStates().size(), 4u);
+    EXPECT_EQ(engine.solver().stats().get("solver.queries"), 0u);
+}
+
+TEST(ConsistencyEngine, LcAbortMessageNamesThePropagation)
+{
+    vm::MachineConfig m = machineFor(R"(
+        .entry main
+        .org 0x0
+    main:
+        movi sp, 0x8000
+        s2e_symreg r1
+        jmp env
+        .org 0x1000
+    env:
+        cmpi r1, 3
+        jb x
+    x:  hlt
+    )");
+    EngineConfig config;
+    config.model = ConsistencyModel::Lc;
+    config.unitRanges = {{0x0, 0x1000}};
+    Engine engine(m, config);
+    engine.run();
+    const auto &state = *engine.allStates()[0];
+    ASSERT_EQ(state.status, StateStatus::Aborted);
+    EXPECT_NE(state.statusMessage.find("LC propagation rule"),
+              std::string::npos);
+}
+
+TEST(ConsistencyEngine, LcSymbolicDataMayPassThroughEnvUntouched)
+{
+    // Lazy concretization under LC: the environment copies symbolic
+    // data without branching on it — the path survives and the data
+    // stays symbolic (the paper's disk-buffer example).
+    vm::MachineConfig m = machineFor(R"(
+        .entry main
+        .org 0x0
+    main:
+        movi sp, 0x8000
+        s2e_symreg r1
+        movi r2, 0x9000
+        stw [r2], r1
+        call env_copy
+        movi r3, 0x9100
+        ldw r4, [r3]        ; read the copy back in the unit
+        cmpi r4, 7
+        jeq y
+        movi r5, 0
+        hlt
+    y:  movi r5, 1
+        hlt
+        .org 0x1000
+    env_copy:               ; environment: copies 4 bytes, no branches
+        movi r4, 0x9000
+        ldw r5, [r4]
+        movi r4, 0x9100
+        stw [r4], r5
+        ret
+    )");
+    EngineConfig config;
+    config.model = ConsistencyModel::Lc;
+    config.unitRanges = {{0x0, 0x1000}};
+    Engine engine(m, config);
+    core::RunResult r = engine.run();
+    // Both outcomes of the unit's branch on the copied data exist:
+    // the data flowed through the environment symbolically.
+    EXPECT_EQ(r.statesCreated, 2u);
+    EXPECT_EQ(r.aborted, 0u);
+}
+
+TEST(ConsistencyEngine, ScCeIsSingleConcretePath)
+{
+    EngineConfig config;
+    config.model = ConsistencyModel::ScCe;
+    Engine engine(machineFor(R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        movi r1, 3
+        s2e_symrange r1, 0, 100  ; ignored under SC-CE
+        s2e_symreg r2            ; ignored too
+        cmpi r1, 3
+        jeq keep
+        s2e_kill 9
+    keep:
+        hlt
+    )"),
+                  config);
+    core::RunResult r = engine.run();
+    EXPECT_EQ(r.statesCreated, 1u);
+    EXPECT_EQ(engine.allStates()[0]->status, StateStatus::Halted);
+    EXPECT_EQ(engine.solver().stats().get("solver.queries"), 0u);
+}
+
+} // namespace
+} // namespace s2e::core

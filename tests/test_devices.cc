@@ -1,0 +1,317 @@
+/** @file Unit tests for virtual devices (console, timer, disk, NICs). */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "vm/devices.hh"
+#include "vm/machine.hh"
+#include "vm/nic.hh"
+
+namespace s2e::vm {
+namespace {
+
+/** Test fixture providing a fake bus over a small byte array. */
+class DeviceTest : public ::testing::Test
+{
+  protected:
+    DeviceTest()
+    {
+        bus.readMem = [this](uint32_t addr) {
+            return addr < sizeof(ram) ? ram[addr] : 0;
+        };
+        bus.writeMem = [this](uint32_t addr, uint8_t v) {
+            if (addr < sizeof(ram))
+                ram[addr] = v;
+        };
+        bus.raiseIrq = [this](unsigned irq) { irqs[irq]++; };
+    }
+
+    uint8_t ram[4096] = {0};
+    std::map<unsigned, int> irqs;
+    DeviceBus bus;
+};
+
+TEST_F(DeviceTest, ConsoleCapturesOutput)
+{
+    ConsoleDevice console;
+    console.ioWrite(ConsoleDevice::kDataPort, 'h', bus);
+    console.ioWrite(ConsoleDevice::kDataPort, 'i', bus);
+    EXPECT_EQ(console.output(), "hi");
+    EXPECT_EQ(console.ioRead(ConsoleDevice::kStatusPort, bus), 1u);
+}
+
+TEST_F(DeviceTest, ConsoleCloneIsIndependent)
+{
+    ConsoleDevice console;
+    console.ioWrite(ConsoleDevice::kDataPort, 'a', bus);
+    auto copy = console.clone();
+    console.ioWrite(ConsoleDevice::kDataPort, 'b', bus);
+    EXPECT_EQ(static_cast<ConsoleDevice *>(copy.get())->output(), "a");
+    EXPECT_EQ(console.output(), "ab");
+}
+
+TEST_F(DeviceTest, TimerRaisesIrqPeriodically)
+{
+    TimerDevice timer;
+    timer.ioWrite(TimerDevice::kPeriodPort, 100, bus);
+    timer.ioWrite(TimerDevice::kCtrlPort, 1, bus);
+    for (uint64_t now = 0; now <= 1000; now += 10)
+        timer.tick(now, bus);
+    EXPECT_GE(irqs[kIrqTimer], 8);
+    EXPECT_LE(irqs[kIrqTimer], 10);
+}
+
+TEST_F(DeviceTest, TimerStoppedDoesNotFire)
+{
+    TimerDevice timer;
+    timer.ioWrite(TimerDevice::kPeriodPort, 10, bus);
+    for (uint64_t now = 0; now < 500; now += 5)
+        timer.tick(now, bus);
+    EXPECT_EQ(irqs[kIrqTimer], 0);
+}
+
+TEST_F(DeviceTest, DiskReadWriteSector)
+{
+    DiskDevice disk(4);
+    // Fill sector 2 directly.
+    for (unsigned i = 0; i < DiskDevice::kSectorSize; ++i)
+        disk.data()[2 * DiskDevice::kSectorSize + i] =
+            static_cast<uint8_t>(i);
+    disk.ioWrite(DiskDevice::kSectorPort, 2, bus);
+    disk.ioWrite(DiskDevice::kAddrPort, 0x100, bus);
+    disk.ioWrite(DiskDevice::kCmdPort, 1, bus); // read
+    EXPECT_EQ(disk.ioRead(DiskDevice::kStatusPort, bus), 1u);
+    EXPECT_EQ(ram[0x100], 0);
+    EXPECT_EQ(ram[0x100 + 37], 37);
+    EXPECT_EQ(irqs[kIrqDisk], 1);
+
+    // Write modified memory back to sector 1.
+    ram[0x100] = 0x99;
+    disk.ioWrite(DiskDevice::kSectorPort, 1, bus);
+    disk.ioWrite(DiskDevice::kCmdPort, 2, bus); // write
+    EXPECT_EQ(disk.data()[1 * DiskDevice::kSectorSize], 0x99);
+}
+
+TEST_F(DeviceTest, DiskRejectsOutOfRangeSector)
+{
+    DiskDevice disk(4);
+    disk.ioWrite(DiskDevice::kSectorPort, 99, bus);
+    disk.ioWrite(DiskDevice::kCmdPort, 1, bus);
+    EXPECT_EQ(disk.ioRead(DiskDevice::kStatusPort, bus), 2u); // error
+}
+
+TEST_F(DeviceTest, PioNicTransmit)
+{
+    PioNic nic;
+    nic.ioWrite(PioNic::kTxLen, 3, bus);
+    nic.ioWrite(PioNic::kData, 0xAA, bus);
+    nic.ioWrite(PioNic::kData, 0xBB, bus);
+    nic.ioWrite(PioNic::kData, 0xCC, bus);
+    nic.ioWrite(PioNic::kCmd, PioNic::kCmdTx, bus);
+    ASSERT_EQ(nic.transmitted().size(), 1u);
+    EXPECT_EQ(nic.transmitted()[0],
+              (std::vector<uint8_t>{0xAA, 0xBB, 0xCC}));
+    EXPECT_TRUE(nic.ioRead(PioNic::kStatus, bus) & PioNic::kStTxDone);
+}
+
+TEST_F(DeviceTest, PioNicTxLengthMismatchSetsError)
+{
+    PioNic nic;
+    nic.ioWrite(PioNic::kTxLen, 5, bus);
+    nic.ioWrite(PioNic::kData, 1, bus); // only 1 of 5 bytes
+    nic.ioWrite(PioNic::kCmd, PioNic::kCmdTx, bus);
+    EXPECT_TRUE(nic.ioRead(PioNic::kStatus, bus) & PioNic::kStError);
+    EXPECT_TRUE(nic.transmitted().empty());
+}
+
+TEST_F(DeviceTest, PioNicReceiveFlow)
+{
+    PioNic nic;
+    nic.injectPacket({10, 20, 30});
+    EXPECT_TRUE(nic.ioRead(PioNic::kStatus, bus) & PioNic::kStRxRdy);
+    EXPECT_EQ(nic.ioRead(PioNic::kRxLen, bus), 3u);
+    EXPECT_EQ(nic.ioRead(PioNic::kData, bus), 10u);
+    EXPECT_EQ(nic.ioRead(PioNic::kData, bus), 20u);
+    EXPECT_EQ(nic.ioRead(PioNic::kData, bus), 30u);
+    nic.ioWrite(PioNic::kCmd, PioNic::kCmdRxAck, bus);
+    EXPECT_FALSE(nic.ioRead(PioNic::kStatus, bus) & PioNic::kStRxRdy);
+}
+
+TEST_F(DeviceTest, PioNicMacReadout)
+{
+    PioNic nic;
+    nic.ioWrite(PioNic::kMacIdx, 0, bus);
+    EXPECT_EQ(nic.ioRead(PioNic::kMacVal, bus), 0x52u);
+    nic.ioWrite(PioNic::kMacIdx, 7, bus);
+    EXPECT_EQ(nic.ioRead(PioNic::kMacVal, bus), 0xFFu); // out of range
+}
+
+TEST_F(DeviceTest, DmaNicTransmitReadsMemory)
+{
+    DmaNic nic;
+    ram[0x20] = 0xDE;
+    ram[0x21] = 0xAD;
+    nic.ioWrite(DmaNic::kTxAddr, 0x20, bus);
+    nic.ioWrite(DmaNic::kTxLen, 2, bus);
+    nic.ioWrite(DmaNic::kCmd, DmaNic::kCmdIen | DmaNic::kCmdTxStart, bus);
+    ASSERT_EQ(nic.transmitted().size(), 1u);
+    EXPECT_EQ(nic.transmitted()[0], (std::vector<uint8_t>{0xDE, 0xAD}));
+    EXPECT_EQ(irqs[kIrqNic], 1);
+}
+
+TEST_F(DeviceTest, DmaNicReceiveTruncatesToBuffer)
+{
+    DmaNic nic;
+    nic.injectPacket({1, 2, 3, 4, 5, 6, 7, 8});
+    nic.ioWrite(DmaNic::kRxAddr, 0x40, bus);
+    nic.ioWrite(DmaNic::kRxBufSz, 4, bus);
+    nic.ioWrite(DmaNic::kCmd, DmaNic::kCmdRxFetch, bus);
+    EXPECT_EQ(nic.ioRead(DmaNic::kRxLen, bus), 4u);
+    EXPECT_EQ(ram[0x40], 1);
+    EXPECT_EQ(ram[0x43], 4);
+    EXPECT_EQ(ram[0x44], 0); // truncated
+}
+
+TEST_F(DeviceTest, DmaNicCardTypeProbe)
+{
+    DmaNic nic;
+    EXPECT_EQ(nic.ioRead(DmaNic::kCardType, bus), 0x2621u);
+}
+
+TEST_F(DeviceTest, MmioNicBankSwitching)
+{
+    MmioNic nic;
+    nic.mmioWrite(MmioNic::kBase + MmioNic::kBankReg, 1, 4, bus);
+    EXPECT_EQ(nic.mmioRead(MmioNic::kBase + MmioNic::kBankReg, 4, bus),
+              1u);
+    uint32_t mac_lo = nic.mmioRead(MmioNic::kBase + MmioNic::kB1MacLo, 4,
+                                   bus);
+    EXPECT_EQ(mac_lo, 0x292e5352u);
+    // Same offset in bank 0 is the control register, not the MAC.
+    nic.mmioWrite(MmioNic::kBase + MmioNic::kBankReg, 0, 4, bus);
+    EXPECT_NE(nic.mmioRead(MmioNic::kBase + MmioNic::kB0Ctrl, 4, bus),
+              mac_lo);
+}
+
+TEST_F(DeviceTest, MmioNicTransmitViaFifo)
+{
+    MmioNic nic;
+    auto wr = [&](uint32_t off, uint32_t v) {
+        nic.mmioWrite(MmioNic::kBase + off, v, 4, bus);
+    };
+    wr(MmioNic::kBankReg, 0);
+    wr(MmioNic::kB0Ctrl, 1 | 4); // txen + ien
+    wr(MmioNic::kBankReg, 2);
+    wr(MmioNic::kB2TxLen, 2);
+    wr(MmioNic::kB2Fifo, 0x11);
+    wr(MmioNic::kB2Fifo, 0x22);
+    wr(MmioNic::kBankReg, 0);
+    wr(MmioNic::kB0Cmd, 2); // TX
+    ASSERT_EQ(nic.transmitted().size(), 1u);
+    EXPECT_EQ(nic.transmitted()[0], (std::vector<uint8_t>{0x11, 0x22}));
+    EXPECT_EQ(irqs[kIrqNic], 1);
+}
+
+TEST_F(DeviceTest, MmioNicTxDisabledDrops)
+{
+    MmioNic nic;
+    auto wr = [&](uint32_t off, uint32_t v) {
+        nic.mmioWrite(MmioNic::kBase + off, v, 4, bus);
+    };
+    wr(MmioNic::kBankReg, 2);
+    wr(MmioNic::kB2TxLen, 1);
+    wr(MmioNic::kB2Fifo, 0x33);
+    wr(MmioNic::kBankReg, 0);
+    wr(MmioNic::kB0Cmd, 2); // TX with txen clear
+    EXPECT_TRUE(nic.transmitted().empty());
+}
+
+TEST_F(DeviceTest, RingNicDeliversWithLengthHeader)
+{
+    RingNic nic;
+    nic.ioWrite(RingNic::kRingAddr, 0x100, bus);
+    nic.ioWrite(RingNic::kRingSize, 64, bus);
+    nic.injectPacket({0xAB, 0xCD});
+    nic.ioWrite(RingNic::kCmd, RingNic::kCmdRxEnable, bus);
+    EXPECT_EQ(nic.ioRead(RingNic::kWrPtr, bus), 6u); // 4 hdr + 2 data
+    EXPECT_EQ(ram[0x100], 2);  // length lo
+    EXPECT_EQ(ram[0x104], 0xAB);
+    EXPECT_EQ(ram[0x105], 0xCD);
+}
+
+TEST_F(DeviceTest, RingNicWrapsAround)
+{
+    RingNic nic;
+    nic.ioWrite(RingNic::kRingAddr, 0x100, bus);
+    nic.ioWrite(RingNic::kRingSize, 16, bus);
+    nic.ioWrite(RingNic::kCmd, RingNic::kCmdRxEnable, bus);
+    nic.injectPacket({1, 2, 3, 4});       // 8 bytes with header
+    nic.tick(0, bus);
+    nic.ioWrite(RingNic::kRdPtr, 8, bus); // consume
+    nic.injectPacket({5, 6, 7, 8});       // wraps
+    nic.tick(1, bus);
+    EXPECT_EQ(nic.ioRead(RingNic::kWrPtr, bus), 0u); // wrapped exactly
+}
+
+TEST_F(DeviceTest, RingNicOverflowSetsStatus)
+{
+    RingNic nic;
+    nic.ioWrite(RingNic::kRingAddr, 0x100, bus);
+    nic.ioWrite(RingNic::kRingSize, 8, bus);
+    nic.ioWrite(RingNic::kCmd, RingNic::kCmdRxEnable, bus);
+    nic.injectPacket({1, 2, 3, 4, 5, 6}); // 10 > 7 free
+    nic.tick(0, bus);
+    EXPECT_TRUE(nic.ioRead(RingNic::kStatus, bus) &
+                RingNic::kStRingOverflow);
+}
+
+TEST_F(DeviceTest, LoopbackReinjectsTransmit)
+{
+    DmaNic nic;
+    nic.setLoopback(true);
+    ram[0] = 0x5A;
+    nic.ioWrite(DmaNic::kTxAddr, 0, bus);
+    nic.ioWrite(DmaNic::kTxLen, 1, bus);
+    nic.ioWrite(DmaNic::kCmd, DmaNic::kCmdTxStart, bus);
+    EXPECT_TRUE(nic.rxPending());
+    EXPECT_TRUE(nic.ioRead(DmaNic::kStatus, bus) & DmaNic::kStRxRdy);
+}
+
+TEST_F(DeviceTest, DeviceSetCloneIsDeep)
+{
+    DeviceSet set;
+    set.add(std::make_unique<ConsoleDevice>());
+    set.add(std::make_unique<PioNic>());
+    auto *console = set.get<ConsoleDevice>("console");
+    console->ioWrite(ConsoleDevice::kDataPort, 'x', bus);
+
+    DeviceSet copy(set);
+    auto *console2 = copy.get<ConsoleDevice>("console");
+    ASSERT_NE(console2, nullptr);
+    EXPECT_NE(console2, console);
+    EXPECT_EQ(console2->output(), "x");
+    console2->ioWrite(ConsoleDevice::kDataPort, 'y', bus);
+    EXPECT_EQ(console->output(), "x");
+}
+
+TEST_F(DeviceTest, DeviceSetPortDispatch)
+{
+    DeviceSet set;
+    set.add(std::make_unique<ConsoleDevice>());
+    set.add(std::make_unique<DmaNic>());
+    EXPECT_EQ(set.findPort(ConsoleDevice::kDataPort)->name(), "console");
+    EXPECT_EQ(set.findPort(DmaNic::kCmd)->name(), "dmanic");
+    EXPECT_EQ(set.findPort(0x999), nullptr);
+}
+
+TEST_F(DeviceTest, DeviceSetMmioDispatch)
+{
+    DeviceSet set;
+    set.add(std::make_unique<MmioNic>());
+    EXPECT_NE(set.findMmio(MmioNic::kBase), nullptr);
+    EXPECT_EQ(set.findMmio(MmioNic::kBase + MmioNic::kSize), nullptr);
+}
+
+} // namespace
+} // namespace s2e::vm

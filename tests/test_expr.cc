@@ -1,0 +1,299 @@
+/** @file Unit and property tests for the expression library. */
+
+#include <gtest/gtest.h>
+
+#include "expr/builder.hh"
+#include "expr/eval.hh"
+#include "support/bitops.hh"
+#include "support/rng.hh"
+
+namespace s2e::expr {
+namespace {
+
+class ExprTest : public ::testing::Test
+{
+  protected:
+    ExprBuilder b;
+};
+
+TEST_F(ExprTest, ConstantsAreInterned)
+{
+    EXPECT_EQ(b.constant(5, 32), b.constant(5, 32));
+    EXPECT_NE(b.constant(5, 32), b.constant(5, 16));
+    EXPECT_NE(b.constant(5, 32), b.constant(6, 32));
+}
+
+TEST_F(ExprTest, ConstantsTruncate)
+{
+    EXPECT_EQ(b.constant(0x1FF, 8)->value(), 0xFFu);
+}
+
+TEST_F(ExprTest, StructuralSharing)
+{
+    ExprRef x = b.var("x", 32);
+    ExprRef e1 = b.add(x, b.constant(1, 32));
+    ExprRef e2 = b.add(x, b.constant(1, 32));
+    EXPECT_EQ(e1, e2);
+}
+
+TEST_F(ExprTest, NamedVarIsStable)
+{
+    EXPECT_EQ(b.var("x", 32), b.var("x", 32));
+    EXPECT_NE(b.var("x", 32), b.var("y", 32));
+}
+
+TEST_F(ExprTest, FreshVarsDiffer)
+{
+    EXPECT_NE(b.freshVar("v", 8), b.freshVar("v", 8));
+}
+
+TEST_F(ExprTest, ConstantFolding)
+{
+    EXPECT_EQ(b.add(b.constant(3, 8), b.constant(4, 8)), b.constant(7, 8));
+    EXPECT_EQ(b.mul(b.constant(16, 8), b.constant(16, 8)),
+              b.constant(0, 8)); // wraps
+    EXPECT_EQ(b.sub(b.constant(0, 8), b.constant(1, 8)),
+              b.constant(0xFF, 8));
+}
+
+TEST_F(ExprTest, DivisionByZeroSemantics)
+{
+    // udiv by 0 yields all-ones; urem by 0 yields the dividend.
+    EXPECT_EQ(b.udiv(b.constant(7, 8), b.constant(0, 8)),
+              b.constant(0xFF, 8));
+    EXPECT_EQ(b.urem(b.constant(7, 8), b.constant(0, 8)), b.constant(7, 8));
+}
+
+TEST_F(ExprTest, SignedDivisionEdgeCases)
+{
+    // INT_MIN / -1 == INT_MIN (wraps).
+    EXPECT_EQ(b.sdiv(b.constant(0x80, 8), b.constant(0xFF, 8)),
+              b.constant(0x80, 8));
+    EXPECT_EQ(b.srem(b.constant(0x80, 8), b.constant(0xFF, 8)),
+              b.constant(0, 8));
+    EXPECT_EQ(b.sdiv(b.constant(0xF9, 8), b.constant(2, 8)),
+              b.constant(0xFD, 8)); // -7 / 2 == -3
+}
+
+TEST_F(ExprTest, Identities)
+{
+    ExprRef x = b.var("x", 32);
+    ExprRef zero = b.constant(0, 32);
+    ExprRef ones = b.constant(~0u, 32);
+    EXPECT_EQ(b.add(x, zero), x);
+    EXPECT_EQ(b.sub(x, zero), x);
+    EXPECT_EQ(b.sub(x, x), zero);
+    EXPECT_EQ(b.mul(x, b.constant(1, 32)), x);
+    EXPECT_EQ(b.mul(x, zero), zero);
+    EXPECT_EQ(b.bAnd(x, zero), zero);
+    EXPECT_EQ(b.bAnd(x, ones), x);
+    EXPECT_EQ(b.bOr(x, zero), x);
+    EXPECT_EQ(b.bOr(x, ones), ones);
+    EXPECT_EQ(b.bXor(x, x), zero);
+    EXPECT_EQ(b.bXor(x, zero), x);
+    EXPECT_EQ(b.shl(x, zero), x);
+    EXPECT_EQ(b.bNot(b.bNot(x)), x);
+    EXPECT_EQ(b.neg(b.neg(x)), x);
+}
+
+TEST_F(ExprTest, CommutativeCanonicalization)
+{
+    ExprRef x = b.var("x", 32);
+    ExprRef y = b.var("y", 32);
+    EXPECT_EQ(b.add(x, y), b.add(y, x));
+    EXPECT_EQ(b.mul(x, y), b.mul(y, x));
+    EXPECT_EQ(b.bAnd(x, y), b.bAnd(y, x));
+    EXPECT_EQ(b.eq(x, y), b.eq(y, x));
+}
+
+TEST_F(ExprTest, CompareFolding)
+{
+    ExprRef x = b.var("x", 32);
+    EXPECT_TRUE(b.eq(x, x)->isTrue());
+    EXPECT_TRUE(b.ule(x, x)->isTrue());
+    EXPECT_TRUE(b.ult(x, x)->isFalse());
+    EXPECT_TRUE(b.ult(b.constant(3, 8), b.constant(5, 8))->isTrue());
+    EXPECT_TRUE(b.slt(b.constant(0xFF, 8), b.constant(0, 8))->isTrue());
+}
+
+TEST_F(ExprTest, BoolEqualitySimplifies)
+{
+    ExprRef c = b.eq(b.var("x", 32), b.constant(1, 32));
+    EXPECT_EQ(b.eq(c, b.trueExpr()), c);
+    EXPECT_EQ(b.eq(c, b.falseExpr()), b.lnot(c));
+}
+
+TEST_F(ExprTest, ExtractOfConcat)
+{
+    ExprRef hi = b.var("hi", 8);
+    ExprRef lo = b.var("lo", 8);
+    ExprRef cc = b.concat(hi, lo);
+    EXPECT_EQ(cc->width(), 16u);
+    EXPECT_EQ(b.extract(cc, 0, 8), lo);
+    EXPECT_EQ(b.extract(cc, 8, 8), hi);
+}
+
+TEST_F(ExprTest, ExtractCompose)
+{
+    ExprRef x = b.var("x", 32);
+    ExprRef e = b.extract(b.extract(x, 8, 16), 4, 8);
+    EXPECT_EQ(e, b.extract(x, 12, 8));
+}
+
+TEST_F(ExprTest, ExtractOfZExtAboveOriginal)
+{
+    ExprRef x = b.var("x", 8);
+    ExprRef e = b.extract(b.zext(x, 32), 16, 8);
+    EXPECT_EQ(e, b.constant(0, 8));
+    EXPECT_EQ(b.extract(b.zext(x, 32), 0, 8), x);
+}
+
+TEST_F(ExprTest, ZExtSExtChains)
+{
+    ExprRef x = b.var("x", 8);
+    EXPECT_EQ(b.zext(b.zext(x, 16), 32), b.zext(x, 32));
+    EXPECT_EQ(b.sext(b.sext(x, 16), 32), b.sext(x, 32));
+    EXPECT_EQ(b.zext(x, 8), x);
+}
+
+TEST_F(ExprTest, ConcatZeroHighIsZExt)
+{
+    ExprRef x = b.var("x", 8);
+    EXPECT_EQ(b.concat(b.constant(0, 8), x), b.zext(x, 16));
+}
+
+TEST_F(ExprTest, IteSimplifications)
+{
+    ExprRef c = b.eq(b.var("x", 32), b.constant(0, 32));
+    ExprRef a = b.var("a", 8);
+    EXPECT_EQ(b.ite(b.trueExpr(), a, b.constant(0, 8)), a);
+    EXPECT_EQ(b.ite(b.falseExpr(), a, b.constant(0, 8)), b.constant(0, 8));
+    EXPECT_EQ(b.ite(c, a, a), a);
+    EXPECT_EQ(b.ite(c, b.trueExpr(), b.falseExpr()), c);
+    EXPECT_EQ(b.ite(c, b.falseExpr(), b.trueExpr()), b.lnot(c));
+}
+
+TEST_F(ExprTest, EvaluateLeaves)
+{
+    ExprRef x = b.var("x", 32);
+    Assignment a;
+    a.set(x, 41);
+    EXPECT_EQ(evaluate(x, a), 41u);
+    EXPECT_EQ(evaluate(b.constant(7, 16), a), 7u);
+}
+
+TEST_F(ExprTest, EvaluateCompound)
+{
+    ExprRef x = b.var("x", 32);
+    ExprRef y = b.var("y", 32);
+    Assignment a;
+    a.set(x, 10);
+    a.set(y, 3);
+    EXPECT_EQ(evaluate(b.add(x, y), a), 13u);
+    EXPECT_EQ(evaluate(b.sub(x, y), a), 7u);
+    EXPECT_EQ(evaluate(b.mul(x, y), a), 30u);
+    EXPECT_EQ(evaluate(b.udiv(x, y), a), 3u);
+    EXPECT_EQ(evaluate(b.urem(x, y), a), 1u);
+    EXPECT_TRUE(evaluateBool(b.ult(y, x), a));
+    EXPECT_FALSE(evaluateBool(b.eq(x, y), a));
+}
+
+TEST_F(ExprTest, EvaluateSignedOps)
+{
+    ExprRef x = b.var("x", 8);
+    Assignment a;
+    a.set(x, 0xF9); // -7
+    EXPECT_EQ(evaluate(b.sdiv(x, b.constant(2, 8)), a), 0xFDu); // -3
+    EXPECT_EQ(evaluate(b.ashr(x, b.constant(1, 8)), a), 0xFCu); // -4
+    EXPECT_TRUE(evaluateBool(b.slt(x, b.constant(0, 8)), a));
+    EXPECT_FALSE(evaluateBool(b.ult(x, b.constant(0x80, 8)), a));
+}
+
+TEST_F(ExprTest, EvaluateWidthChangers)
+{
+    ExprRef x = b.var("x", 8);
+    Assignment a;
+    a.set(x, 0x9A);
+    EXPECT_EQ(evaluate(b.zext(x, 16), a), 0x9Au);
+    EXPECT_EQ(evaluate(b.sext(x, 16), a), 0xFF9Au);
+    EXPECT_EQ(evaluate(b.extract(x, 4, 4), a), 0x9u);
+    EXPECT_EQ(evaluate(b.concat(x, x), a), 0x9A9Au);
+}
+
+TEST_F(ExprTest, NodeCountSharesSubtrees)
+{
+    ExprRef x = b.var("x", 32);
+    ExprRef sum = b.add(x, x);
+    EXPECT_EQ(sum->nodeCount(), 2u);
+}
+
+TEST_F(ExprTest, ToStringRoundTripMentions)
+{
+    ExprRef x = b.var("x", 32);
+    ExprRef e = b.add(x, b.constant(4, 32));
+    std::string s = e->toString();
+    EXPECT_NE(s.find("add"), std::string::npos);
+    EXPECT_NE(s.find("x"), std::string::npos);
+}
+
+/**
+ * Property test: builder folding must agree with the evaluator on
+ * random expressions. Builds random trees and checks that evaluating
+ * the built (possibly folded) tree matches direct computation.
+ */
+TEST_F(ExprTest, PropertyFoldingMatchesEval)
+{
+    Rng rng(123);
+    ExprRef x = b.var("x", 16);
+    ExprRef y = b.var("y", 16);
+
+    for (int iter = 0; iter < 500; ++iter) {
+        uint64_t xv = rng.next() & 0xFFFF;
+        uint64_t yv = rng.next() & 0xFFFF;
+        Assignment a;
+        a.set(x, xv);
+        a.set(y, yv);
+
+        // Build a random 2-level expression.
+        auto operand = [&](int pick) -> ExprRef {
+            switch (pick % 3) {
+              case 0: return x;
+              case 1: return y;
+              default: return b.constant(rng.next(), 16);
+            }
+        };
+        Kind kinds[] = {Kind::Add, Kind::Sub, Kind::Mul, Kind::UDiv,
+                        Kind::URem, Kind::And, Kind::Or, Kind::Xor,
+                        Kind::Shl, Kind::LShr, Kind::AShr, Kind::SDiv,
+                        Kind::SRem};
+        Kind k = kinds[rng.below(13)];
+        ExprRef lhs = operand(static_cast<int>(rng.next()));
+        ExprRef rhs = operand(static_cast<int>(rng.next()));
+
+        ExprRef built;
+        switch (k) {
+          case Kind::Add: built = b.add(lhs, rhs); break;
+          case Kind::Sub: built = b.sub(lhs, rhs); break;
+          case Kind::Mul: built = b.mul(lhs, rhs); break;
+          case Kind::UDiv: built = b.udiv(lhs, rhs); break;
+          case Kind::URem: built = b.urem(lhs, rhs); break;
+          case Kind::And: built = b.bAnd(lhs, rhs); break;
+          case Kind::Or: built = b.bOr(lhs, rhs); break;
+          case Kind::Xor: built = b.bXor(lhs, rhs); break;
+          case Kind::Shl: built = b.shl(lhs, rhs); break;
+          case Kind::LShr: built = b.lshr(lhs, rhs); break;
+          case Kind::AShr: built = b.ashr(lhs, rhs); break;
+          case Kind::SDiv: built = b.sdiv(lhs, rhs); break;
+          default: built = b.srem(lhs, rhs); break;
+        }
+
+        uint64_t expect = ExprBuilder::foldBinary(k, evaluate(lhs, a),
+                                                  evaluate(rhs, a), 16);
+        EXPECT_EQ(evaluate(built, a), expect)
+            << kindName(k) << " lhs=" << evaluate(lhs, a)
+            << " rhs=" << evaluate(rhs, a);
+    }
+}
+
+} // namespace
+} // namespace s2e::expr

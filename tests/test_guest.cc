@@ -1,0 +1,526 @@
+/** @file Integration tests: the guest software stack running on the
+ *  engine (kernel, drivers, workloads), mostly concretely. */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+#include "guest/drivers.hh"
+#include "guest/kernel.hh"
+#include "guest/workloads.hh"
+#include "vm/devices.hh"
+#include "vm/nic.hh"
+
+namespace s2e::guest {
+namespace {
+
+using core::Engine;
+using core::EngineConfig;
+using core::ExecutionState;
+using core::StateStatus;
+
+vm::MachineConfig
+machineFor(const std::string &source, DriverKind kind = DriverKind::Dma,
+           bool loopback = false)
+{
+    vm::MachineConfig m;
+    m.ramSize = kRamSize;
+    m.program = isa::assemble(source);
+    m.deviceSetup = [kind, loopback](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+        devices.add(std::make_unique<vm::TimerDevice>());
+        std::unique_ptr<vm::NicBase> nic;
+        switch (kind) {
+          case DriverKind::Dma:
+            nic = std::make_unique<vm::DmaNic>();
+            break;
+          case DriverKind::Pio:
+            nic = std::make_unique<vm::PioNic>();
+            break;
+          case DriverKind::Mmio:
+            nic = std::make_unique<vm::MmioNic>();
+            break;
+          case DriverKind::Ring:
+            nic = std::make_unique<vm::RingNic>();
+            break;
+        }
+        nic->setLoopback(loopback);
+        devices.add(std::move(nic));
+    };
+    return m;
+}
+
+std::string
+consoleOf(const ExecutionState &state)
+{
+    auto *console = state.devices.get<vm::ConsoleDevice>("console");
+    return console ? console->output() : "";
+}
+
+// --- Kernel --------------------------------------------------------------
+
+TEST(GuestKernel, SyscallWriteToConsole)
+{
+    std::string src = kernelSource() + R"(
+        .org 0x30000
+        .entry main
+    main:
+        movi sp, 0x7F000
+        movi r0, 3
+        movi r1, msg
+        movi r2, 5
+        int 0x30
+        hlt
+    msg:
+        .asciz "hello"
+    )";
+    Engine engine(machineFor(src), EngineConfig{});
+    engine.run();
+    EXPECT_EQ(engine.allStates()[0]->status, StateStatus::Halted);
+    EXPECT_EQ(consoleOf(*engine.allStates()[0]), "hello");
+}
+
+TEST(GuestKernel, AllocFreeReuse)
+{
+    std::string src = kernelSource() + R"(
+        .org 0x30000
+        .entry main
+    main:
+        movi sp, 0x7F000
+        movi r0, 4
+        movi r1, 32
+        int 0x30
+        mov r10, r1          ; first chunk
+        s2e_assert r10
+        movi r0, 5
+        mov r1, r10
+        int 0x30
+        movi r0, 4
+        movi r1, 24          ; fits in the freed 32-byte chunk
+        int 0x30
+        mov r11, r1
+        ; free-list reuse must return the same chunk
+        cmp r10, r11
+        jne fail
+        hlt
+    fail:
+        s2e_kill 9
+    )";
+    Engine engine(machineFor(src), EngineConfig{});
+    engine.run();
+    EXPECT_EQ(engine.allStates()[0]->status, StateStatus::Halted);
+}
+
+TEST(GuestKernel, AllocExhaustionReturnsNull)
+{
+    std::string src = kernelSource() + R"(
+        .org 0x30000
+        .entry main
+    main:
+        movi sp, 0x7F000
+        movi r0, 4
+        movi r1, 0x20000     ; bigger than the whole heap
+        int 0x30
+        cmpi r1, 0
+        jne fail
+        hlt
+    fail:
+        s2e_kill 9
+    )";
+    Engine engine(machineFor(src), EngineConfig{});
+    engine.run();
+    EXPECT_EQ(engine.allStates()[0]->status, StateStatus::Halted);
+}
+
+TEST(GuestKernel, DoubleFreePanics)
+{
+    std::string src = kernelSource() + R"(
+        .org 0x30000
+        .entry main
+    main:
+        movi sp, 0x7F000
+        movi r0, 4
+        movi r1, 16
+        int 0x30
+        mov r10, r1
+        movi r0, 5
+        mov r1, r10
+        int 0x30
+        movi r0, 5
+        mov r1, r10
+        int 0x30             ; double free -> kernel panic
+        hlt
+    )";
+    Engine engine(machineFor(src), EngineConfig{});
+    engine.run();
+    const auto &state = *engine.allStates()[0];
+    EXPECT_EQ(state.status, StateStatus::Killed);
+    EXPECT_EQ(state.exitCode, 0xEEu);
+    EXPECT_EQ(consoleOf(state), "PANIC");
+}
+
+TEST(GuestKernel, ConfigStoreRoundTrip)
+{
+    std::string src = kernelSource() + R"(
+        .org 0x30000
+        .entry main
+    main:
+        movi sp, 0x7F000
+        movi r0, 7           ; setcfg(42, 1234)
+        movi r1, 42
+        movi r2, 1234
+        int 0x30
+        movi r0, 6           ; getcfg(42)
+        movi r1, 42
+        int 0x30
+        cmpi r1, 1234
+        jne fail
+        movi r0, 6           ; absent key reads 0
+        movi r1, 99
+        int 0x30
+        cmpi r1, 0
+        jne fail
+        hlt
+    fail:
+        s2e_kill 9
+    )";
+    Engine engine(machineFor(src), EngineConfig{});
+    engine.run();
+    EXPECT_EQ(engine.allStates()[0]->status, StateStatus::Halted);
+}
+
+TEST(GuestKernel, HostConfigHelperVisibleToGuest)
+{
+    std::string src = kernelSource() + R"(
+        .org 0x30000
+        .entry main
+    main:
+        movi sp, 0x7F000
+        movi r0, 6
+        movi r1, 1           ; CFG_CARDTYPE
+        int 0x30
+        s2e_out r1
+        cmpi r1, 2
+        jne fail
+        hlt
+    fail:
+        s2e_kill 9
+    )";
+    Engine engine(machineFor(src), EngineConfig{});
+    setConfig(engine.initialState(), engine.builder(), kCfgCardType, 2);
+    engine.run();
+    EXPECT_EQ(engine.allStates()[0]->status, StateStatus::Halted);
+}
+
+TEST(GuestKernel, StringLibrary)
+{
+    std::string src = kernelSource() + R"(
+        .org 0x30000
+        .entry main
+    main:
+        movi sp, 0x7F000
+        movi r1, s1
+        call strlen
+        cmpi r1, 4
+        jne fail
+        movi r1, s1
+        movi r2, s2
+        call strcmp
+        cmpi r1, 1
+        jne fail
+        movi r1, s1
+        movi r2, s1
+        call strcmp
+        cmpi r1, 0
+        jne fail
+        movi r1, 0x40000
+        movi r2, s1
+        movi r3, 5
+        call memcpy
+        movi r1, 0x40000
+        call strlen
+        cmpi r1, 4
+        jne fail
+        hlt
+    fail:
+        s2e_kill 9
+    s1: .asciz "abcd"
+    s2: .asciz "abce"
+    )";
+    Engine engine(machineFor(src), EngineConfig{});
+    engine.run();
+    EXPECT_EQ(engine.allStates()[0]->status, StateStatus::Halted);
+}
+
+// --- Drivers (concrete smoke runs) ----------------------------------------
+
+class DriverSmokeTest : public ::testing::TestWithParam<DriverKind>
+{
+};
+
+TEST_P(DriverSmokeTest, HarnessRunsCleanlyWithPacket)
+{
+    DriverKind kind = GetParam();
+    std::string src =
+        kernelSource() + driverSource(kind) + driverHarnessSource();
+    vm::MachineConfig m = machineFor(src, kind, /*loopback=*/false);
+    Engine engine(m, EngineConfig{});
+    // Queue one inbound packet so recv has something to do.
+    auto *nic = dynamic_cast<vm::NicBase *>(
+        engine.initialState().devices.byName(driverDeviceName(kind)));
+    ASSERT_NE(nic, nullptr);
+    nic->injectPacket({1, 2, 3, 4, 5, 6, 7, 8});
+    core::RunResult r = engine.run();
+    ASSERT_EQ(r.statesCreated, 1u);
+    const auto &state = *engine.allStates()[0];
+    EXPECT_EQ(state.status, StateStatus::Halted)
+        << driverName(kind) << ": " << state.statusMessage
+        << " console=" << consoleOf(state);
+    // The harness transmitted one 32-byte packet.
+    auto *final_nic = dynamic_cast<vm::NicBase *>(
+        state.devices.byName(driverDeviceName(kind)));
+    ASSERT_NE(final_nic, nullptr);
+    ASSERT_EQ(final_nic->transmitted().size(), 1u)
+        << driverName(kind);
+    EXPECT_EQ(final_nic->transmitted()[0].size(), 32u);
+    EXPECT_EQ(final_nic->transmitted()[0][0], 0x5A);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDrivers, DriverSmokeTest,
+                         ::testing::Values(DriverKind::Dma, DriverKind::Pio,
+                                           DriverKind::Mmio,
+                                           DriverKind::Ring),
+                         [](const ::testing::TestParamInfo<DriverKind> &i) {
+                             return driverName(i.param);
+                         });
+
+// --- Workloads -------------------------------------------------------------
+
+TEST(GuestWorkloads, UrlParserConcreteCountsSegments)
+{
+    std::string src = kernelSource() + urlParserSource();
+    Engine engine(machineFor(src), EngineConfig{});
+    // Write a concrete URL into the input buffer.
+    std::string url = "http://a/b/c/d";
+    auto &state = engine.initialState();
+    for (size_t i = 0; i <= url.size(); ++i)
+        state.mem.write(kUrlBuffer + static_cast<uint32_t>(i),
+                        core::Value(i < url.size() ? url[i] : 0), 1,
+                        engine.builder());
+    uint32_t segments = 0;
+    engine.events().onGuestOutput.subscribe(
+        [&](ExecutionState &, const core::Value &v) {
+            if (v.isConcrete())
+                segments = v.concrete();
+        });
+    engine.run();
+    EXPECT_EQ(engine.allStates()[0]->status, StateStatus::Halted);
+    EXPECT_EQ(segments, 3u); // /b /c /d
+}
+
+TEST(GuestWorkloads, UrlParserRejectsBadScheme)
+{
+    std::string src = kernelSource() + urlParserSource();
+    Engine engine(machineFor(src), EngineConfig{});
+    std::string url = "ftp://x";
+    auto &state = engine.initialState();
+    for (size_t i = 0; i <= url.size(); ++i)
+        state.mem.write(kUrlBuffer + static_cast<uint32_t>(i),
+                        core::Value(i < url.size() ? url[i] : 0), 1,
+                        engine.builder());
+    uint32_t result = 0;
+    engine.events().onGuestOutput.subscribe(
+        [&](ExecutionState &, const core::Value &v) {
+            if (v.isConcrete())
+                result = v.concrete();
+        });
+    engine.run();
+    EXPECT_EQ(result, 0xFFFFFFFFu);
+}
+
+TEST(GuestWorkloads, UrlParserInstructionCostLinearInSlashes)
+{
+    // The paper's signature: each extra '/' costs exactly 10 more
+    // instructions.
+    auto instr_for = [&](const std::string &url) {
+        std::string src = kernelSource() + urlParserSource();
+        Engine engine(machineFor(src), EngineConfig{});
+        auto &state = engine.initialState();
+        for (size_t i = 0; i <= url.size(); ++i)
+            state.mem.write(kUrlBuffer + static_cast<uint32_t>(i),
+                            core::Value(i < url.size() ? url[i] : 0), 1,
+                            engine.builder());
+        engine.run();
+        return engine.allStates()[0]->instrCount;
+    };
+    // Same length, different '/' counts.
+    uint64_t base = instr_for("http://aaaaaaaa");
+    uint64_t one = instr_for("http://aaaa/aaa");
+    uint64_t two = instr_for("http://aa/aa/aa");
+    EXPECT_EQ(one - base, 10u);
+    EXPECT_EQ(two - one, 10u);
+}
+
+TEST(GuestWorkloads, PingPatchedCompletes)
+{
+    std::string src = kernelSource() + driverSource(DriverKind::Dma) +
+                      pingSource(/*patched=*/true);
+    vm::MachineConfig m = machineFor(src, DriverKind::Dma,
+                                     /*loopback=*/true);
+    Engine engine(m, EngineConfig{});
+    setConfig(engine.initialState(), engine.builder(), kCfgCardType, 0);
+    engine.run();
+    const auto &state = *engine.allStates()[0];
+    EXPECT_EQ(state.status, StateStatus::Halted)
+        << state.statusMessage << " console=" << consoleOf(state);
+    EXPECT_EQ(consoleOf(state), "Y");
+}
+
+TEST(GuestWorkloads, PingUnpatchedHangsOnCraftedReply)
+{
+    // A reply with a record-route option of length 3 hangs the
+    // unpatched ping (the real bug the paper found).
+    std::string src = kernelSource() + driverSource(DriverKind::Dma) +
+                      pingSource(/*patched=*/false);
+    vm::MachineConfig m = machineFor(src, DriverKind::Dma,
+                                     /*loopback=*/false);
+    core::EngineConfig config;
+    config.maxInstructions = 200000;
+    Engine engine(m, config);
+    setConfig(engine.initialState(), engine.builder(), kCfgCardType, 0);
+    // Craft the malicious "reply": ihl=6 (4 option bytes), option
+    // type 7 (record route) with length 3.
+    auto *nic = engine.initialState().devices.get<vm::DmaNic>("dmanic");
+    std::vector<uint8_t> evil(16, 0);
+    evil[0] = 6;  // ihl
+    evil[8] = 7;  // RR option
+    evil[9] = 3;  // length 3: no room, the bug triggers
+    nic->injectPacket(evil);
+    core::RunResult r = engine.run();
+    EXPECT_TRUE(r.budgetExhausted); // infinite loop, killed by budget
+}
+
+TEST(GuestWorkloads, PingPatchedSurvivesCraftedReply)
+{
+    std::string src = kernelSource() + driverSource(DriverKind::Dma) +
+                      pingSource(/*patched=*/true);
+    vm::MachineConfig m = machineFor(src, DriverKind::Dma, false);
+    core::EngineConfig config;
+    config.maxInstructions = 200000;
+    Engine engine(m, config);
+    setConfig(engine.initialState(), engine.builder(), kCfgCardType, 0);
+    auto *nic = engine.initialState().devices.get<vm::DmaNic>("dmanic");
+    std::vector<uint8_t> evil(16, 0);
+    evil[0] = 6;
+    evil[8] = 7;
+    evil[9] = 3;
+    nic->injectPacket(evil);
+    core::RunResult r = engine.run();
+    EXPECT_FALSE(r.budgetExhausted);
+    EXPECT_EQ(engine.allStates()[0]->status, StateStatus::Halted);
+}
+
+/** Helper running the Lua guest on a concrete program string. */
+std::string
+runLua(const std::string &program)
+{
+    std::string src = kernelSource() + luaSource();
+    vm::MachineConfig m;
+    m.ramSize = kRamSize;
+    m.program = isa::assemble(src);
+    m.deviceSetup = [](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+    };
+    Engine engine(m, EngineConfig{});
+    auto &state = engine.initialState();
+    for (size_t i = 0; i <= program.size(); ++i)
+        state.mem.write(kLuaInput + static_cast<uint32_t>(i),
+                        core::Value(i < program.size() ? program[i] : 0),
+                        1, engine.builder());
+    engine.run();
+    return consoleOf(*engine.allStates()[0]);
+}
+
+TEST(GuestWorkloads, LuaArithmetic)
+{
+    EXPECT_EQ(runLua("!2+3;"), "5\nK");
+    EXPECT_EQ(runLua("!2+3*4;"), "14\nK"); // precedence
+    EXPECT_EQ(runLua("!(2+3)*4;"), "20\nK");
+    EXPECT_EQ(runLua("!10/2-1;"), "4\nK");
+}
+
+TEST(GuestWorkloads, LuaVariables)
+{
+    EXPECT_EQ(runLua("a=6;b=7;!a*b;"), "42\nK");
+    EXPECT_EQ(runLua("x=5;x=x+1;!x;"), "6\nK");
+}
+
+TEST(GuestWorkloads, LuaParseErrors)
+{
+    EXPECT_EQ(runLua("!2+;"), "P");
+    EXPECT_EQ(runLua("=5;"), "P");
+    EXPECT_EQ(runLua("!(2+3;"), "P");
+}
+
+TEST(GuestWorkloads, LuaLexErrors)
+{
+    EXPECT_EQ(runLua("!2 @ 3;"), "L");
+}
+
+TEST(GuestWorkloads, LuaRuntimeErrors)
+{
+    EXPECT_EQ(runLua("!1/0;"), "R"); // division by zero
+}
+
+TEST(GuestWorkloads, LicenseCheckAcceptsValidKey)
+{
+    std::string src = kernelSource() + licenseCheckSource();
+    Engine engine(machineFor(src), EngineConfig{});
+    auto &state = engine.initialState();
+    // digits 1+2+3+4+0 = 10, 10 % 7 = 3: valid.
+    uint32_t key_addr = addConfigString(state, engine.builder(), 0,
+                                        "S212340Z");
+    setConfig(state, engine.builder(), kCfgLicensePtr, key_addr);
+    engine.run();
+    EXPECT_EQ(consoleOf(*engine.allStates()[0]), "V");
+}
+
+TEST(GuestWorkloads, LicenseCheckRejectsInvalidKey)
+{
+    std::string src = kernelSource() + licenseCheckSource();
+    Engine engine(machineFor(src), EngineConfig{});
+    auto &state = engine.initialState();
+    uint32_t key_addr = addConfigString(state, engine.builder(), 0,
+                                        "S212350Z"); // sum 11 % 7 != 3
+    setConfig(state, engine.builder(), kCfgLicensePtr, key_addr);
+    engine.run();
+    EXPECT_EQ(consoleOf(*engine.allStates()[0]), "B");
+}
+
+TEST(GuestWorkloads, LicenseCheckSymbolicFindsBugKey)
+{
+    // Make the whole key symbolic: S2E must find the legacy-path
+    // assertion failure (key "S29***XX" shape) among the paths.
+    std::string src = kernelSource() + licenseCheckSource();
+    core::EngineConfig config;
+    config.maxInstructions = 3000000;
+    Engine engine(machineFor(src), config);
+    auto &state = engine.initialState();
+    uint32_t key_addr = addConfigString(state, engine.builder(), 0,
+                                        "AAAAAAAA");
+    setConfig(state, engine.builder(), kCfgLicensePtr, key_addr);
+    engine.makeMemSymbolic(state, key_addr, 8, "license");
+    bool bug_found = false;
+    engine.events().onBug.subscribe(
+        [&](ExecutionState &, const std::string &) { bug_found = true; });
+    engine.run();
+    EXPECT_TRUE(bug_found);
+    // And at least one path validated successfully.
+    bool valid_path = false;
+    for (const auto &s : engine.allStates())
+        if (consoleOf(*s) == "V")
+            valid_path = true;
+    EXPECT_TRUE(valid_path);
+}
+
+} // namespace
+} // namespace s2e::guest

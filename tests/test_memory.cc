@@ -1,0 +1,150 @@
+/** @file Tests for COW memory with the symbolic overlay. */
+
+#include <gtest/gtest.h>
+
+#include "core/memory.hh"
+#include "expr/eval.hh"
+
+namespace s2e::core {
+namespace {
+
+class MemoryTest : public ::testing::Test
+{
+  protected:
+    ExprBuilder b;
+    MemoryState mem{64 * 1024};
+};
+
+TEST_F(MemoryTest, ZeroInitialized)
+{
+    uint8_t byte = 0xFF;
+    ASSERT_TRUE(mem.readConcreteByte(0x1234, &byte));
+    EXPECT_EQ(byte, 0);
+    EXPECT_EQ(mem.read(0x1000, 4, b).concrete(), 0u);
+}
+
+TEST_F(MemoryTest, ConcreteReadWriteWidths)
+{
+    mem.write(0x100, Value(0xA1B2C3D4u), 4, b);
+    EXPECT_EQ(mem.read(0x100, 4, b).concrete(), 0xA1B2C3D4u);
+    EXPECT_EQ(mem.read(0x100, 1, b).concrete(), 0xD4u);
+    EXPECT_EQ(mem.read(0x101, 2, b).concrete(), 0xB2C3u);
+}
+
+TEST_F(MemoryTest, CrossPageAccess)
+{
+    uint32_t addr = kMemPageSize - 2;
+    mem.write(addr, Value(0x11223344u), 4, b);
+    EXPECT_EQ(mem.read(addr, 4, b).concrete(), 0x11223344u);
+}
+
+TEST_F(MemoryTest, BoundsChecking)
+{
+    EXPECT_TRUE(mem.inBounds(0, 4));
+    EXPECT_TRUE(mem.inBounds(64 * 1024 - 4, 4));
+    EXPECT_FALSE(mem.inBounds(64 * 1024 - 3, 4));
+    EXPECT_FALSE(mem.inBounds(64 * 1024, 1));
+    uint8_t byte;
+    EXPECT_FALSE(mem.readConcreteByte(64 * 1024, &byte));
+}
+
+TEST_F(MemoryTest, SymbolicByteRoundTrip)
+{
+    ExprRef v = b.freshVar("x", 8);
+    mem.makeSymbolic(0x200, v);
+    EXPECT_TRUE(mem.rangeHasSymbolic(0x200, 1));
+    EXPECT_FALSE(mem.rangeHasSymbolic(0x201, 8));
+    uint8_t byte;
+    EXPECT_FALSE(mem.readConcreteByte(0x200, &byte));
+    EXPECT_EQ(mem.byteExpr(0x200, b), v);
+}
+
+TEST_F(MemoryTest, SymbolicWordComposition)
+{
+    ExprRef v = b.freshVar("w", 32);
+    mem.write(0x300, Value(v), 4, b);
+    Value back = mem.read(0x300, 4, b);
+    ASSERT_TRUE(back.isSymbolic());
+    // Evaluating the read-back expression must equal the original.
+    expr::Assignment a;
+    a.set(v, 0xCAFEBABE);
+    EXPECT_EQ(expr::evaluate(back.expr(), a), 0xCAFEBABEu);
+}
+
+TEST_F(MemoryTest, ConcreteOverwriteClearsSymbolic)
+{
+    mem.makeSymbolic(0x400, b.freshVar("y", 8));
+    mem.writeConcreteByte(0x400, 0x42);
+    EXPECT_FALSE(mem.rangeHasSymbolic(0x400, 1));
+    uint8_t byte;
+    ASSERT_TRUE(mem.readConcreteByte(0x400, &byte));
+    EXPECT_EQ(byte, 0x42);
+}
+
+TEST_F(MemoryTest, PartiallySymbolicWordRead)
+{
+    mem.write(0x500, Value(0x11223344u), 4, b);
+    mem.makeSymbolic(0x501, b.freshVar("z", 8));
+    Value v = mem.read(0x500, 4, b);
+    ASSERT_TRUE(v.isSymbolic());
+    expr::Assignment a; // z defaults to 0
+    EXPECT_EQ(expr::evaluate(v.expr(), a), 0x11220044u);
+}
+
+TEST_F(MemoryTest, CowSharingUntilWrite)
+{
+    mem.write(0x600, Value(111u), 4, b);
+    MemoryState copy = mem;
+    // Reads don't privatize.
+    EXPECT_EQ(copy.read(0x600, 4, b).concrete(), 111u);
+    EXPECT_EQ(copy.privatePages(), 0u);
+    // Writing privatizes only the touched page.
+    copy.write(0x600, Value(222u), 4, b);
+    EXPECT_EQ(copy.privatePages(), 1u);
+    EXPECT_EQ(mem.read(0x600, 4, b).concrete(), 111u);
+    EXPECT_EQ(copy.read(0x600, 4, b).concrete(), 222u);
+}
+
+TEST_F(MemoryTest, CowIsolatesSymbolicOverlay)
+{
+    MemoryState copy = mem;
+    copy.makeSymbolic(0x700, b.freshVar("s", 8));
+    EXPECT_TRUE(copy.rangeHasSymbolic(0x700, 1));
+    EXPECT_FALSE(mem.rangeHasSymbolic(0x700, 1));
+}
+
+TEST_F(MemoryTest, SymbolicByteCountTracksOverlay)
+{
+    EXPECT_EQ(mem.symbolicByteCount(), 0u);
+    for (int i = 0; i < 10; ++i)
+        mem.makeSymbolic(0x800 + i, b.freshVar("c", 8));
+    EXPECT_EQ(mem.symbolicByteCount(), 10u);
+    mem.writeConcreteByte(0x800, 1);
+    EXPECT_EQ(mem.symbolicByteCount(), 9u);
+}
+
+TEST_F(MemoryTest, LoadProgramSections)
+{
+    isa::Program p = isa::assemble(R"(
+        .org 0x100
+        .byte 1, 2, 3
+        .org 0x2000
+        .word 0xAABBCCDD
+    )");
+    mem.loadProgram(p);
+    EXPECT_EQ(mem.read(0x100, 1, b).concrete(), 1u);
+    EXPECT_EQ(mem.read(0x2000, 4, b).concrete(), 0xAABBCCDDu);
+}
+
+TEST_F(MemoryTest, WriteSymbolicValueWithConstantBytesStaysConcrete)
+{
+    // zext(var,32)'s high bytes are constant zero: writing it should
+    // produce 1 symbolic byte + 3 concrete bytes.
+    ExprRef v = b.freshVar("n", 8);
+    mem.write(0x900, Value(b.zext(v, 32)), 4, b);
+    EXPECT_TRUE(mem.rangeHasSymbolic(0x900, 1));
+    EXPECT_FALSE(mem.rangeHasSymbolic(0x901, 3));
+}
+
+} // namespace
+} // namespace s2e::core

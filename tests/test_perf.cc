@@ -1,0 +1,144 @@
+/** @file Unit tests for the cache/TLB/paging performance models. */
+
+#include <gtest/gtest.h>
+
+#include "perf/cache.hh"
+
+namespace s2e::perf {
+namespace {
+
+TEST(Cache, ColdMissThenHit)
+{
+    Cache c({"t", 1024, 64, 2});
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x100));
+    EXPECT_TRUE(c.access(0x13F)); // same 64-byte line
+    EXPECT_FALSE(c.access(0x140)); // next line
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet)
+{
+    // 2-way, 64B lines, 1024B total -> 8 sets. Addresses that share
+    // set 0: stride = numSets * lineSize = 512.
+    Cache c({"t", 1024, 64, 2});
+    c.access(0x0);
+    c.access(0x200);
+    EXPECT_TRUE(c.access(0x0));   // still resident
+    c.access(0x400);              // evicts LRU = 0x200
+    EXPECT_TRUE(c.access(0x0));
+    EXPECT_FALSE(c.access(0x200)); // was evicted
+}
+
+TEST(Cache, DirectMappedConflicts)
+{
+    Cache c({"t", 512, 64, 1}); // 8 sets, direct-mapped
+    c.access(0x0);
+    c.access(0x200); // conflicts with 0x0
+    EXPECT_FALSE(c.access(0x0));
+    EXPECT_EQ(c.misses(), 3u);
+}
+
+TEST(Cache, FullyAssociativeNoConflicts)
+{
+    Cache c({"t", 512, 64, 8}); // one set, 8 ways
+    for (uint32_t i = 0; i < 8; ++i)
+        c.access(i * 0x1000);
+    for (uint32_t i = 0; i < 8; ++i)
+        EXPECT_TRUE(c.access(i * 0x1000));
+}
+
+TEST(Cache, ResetClears)
+{
+    Cache c({"t", 1024, 64, 2});
+    c.access(0x100);
+    c.reset();
+    EXPECT_FALSE(c.access(0x100));
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(Tlb, HitsWithinPage)
+{
+    Tlb tlb(4, 4096);
+    EXPECT_FALSE(tlb.access(0x1000));
+    EXPECT_TRUE(tlb.access(0x1FFF));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(Tlb, LruEvictionWhenFull)
+{
+    Tlb tlb(2, 4096);
+    tlb.access(0x1000);
+    tlb.access(0x2000);
+    tlb.access(0x1000); // refresh
+    tlb.access(0x3000); // evicts 0x2000
+    EXPECT_TRUE(tlb.access(0x1000));
+    EXPECT_FALSE(tlb.access(0x2000));
+}
+
+TEST(DemandPager, FirstTouchFaults)
+{
+    DemandPager pager(8, 4096);
+    EXPECT_TRUE(pager.access(0x5000));
+    EXPECT_FALSE(pager.access(0x5004));
+    EXPECT_EQ(pager.faults(), 1u);
+}
+
+TEST(DemandPager, ResidentSetEviction)
+{
+    DemandPager pager(2, 4096);
+    pager.access(0x1000);
+    pager.access(0x2000);
+    pager.access(0x3000); // evicts 0x1000
+    EXPECT_TRUE(pager.access(0x1000)); // major fault again
+    EXPECT_EQ(pager.faults(), 4u);
+}
+
+TEST(Hierarchy, L2CatchesL1Misses)
+{
+    MemoryHierarchy::Config config;
+    config.l1d = {"D1", 512, 64, 1};
+    config.l2 = {"L2", 4096, 64, 4};
+    MemoryHierarchy h(config);
+    h.data(0x0);
+    h.data(0x200); // L1 conflict, L2 miss
+    h.data(0x0);   // L1 miss (evicted), L2 hit
+    EXPECT_EQ(h.l1dMisses(), 3u);
+    EXPECT_EQ(h.l2Misses(), 2u);
+}
+
+TEST(Hierarchy, SeparateInstructionAndDataCaches)
+{
+    MemoryHierarchy h;
+    h.fetch(0x1000);
+    h.data(0x1000);
+    // Both miss cold: separate L1s.
+    EXPECT_EQ(h.l1iMisses(), 1u);
+    EXPECT_EQ(h.l1dMisses(), 1u);
+}
+
+TEST(Hierarchy, CopyableForStateForking)
+{
+    MemoryHierarchy a;
+    a.data(0x100);
+    MemoryHierarchy b = a; // per-path clone
+    b.data(0x200);
+    EXPECT_EQ(a.l1dMisses(), 1u);
+    EXPECT_EQ(b.l1dMisses(), 2u);
+    EXPECT_TRUE(b.totalCacheMisses() > a.totalCacheMisses());
+}
+
+TEST(Hierarchy, PaperDefaultConfiguration)
+{
+    // 64KB I1/D1 (64B lines, assoc 2) + 1MB L2 (64B lines, assoc 4).
+    MemoryHierarchy::Config config;
+    EXPECT_EQ(config.l1i.size, 64u * 1024);
+    EXPECT_EQ(config.l1i.associativity, 2u);
+    EXPECT_EQ(config.l2.size, 1024u * 1024);
+    EXPECT_EQ(config.l2.associativity, 4u);
+    EXPECT_EQ(config.l2.lineSize, 64u);
+}
+
+} // namespace
+} // namespace s2e::perf

@@ -1,0 +1,212 @@
+/** @file Unit tests for the CDCL SAT solver. */
+
+#include <gtest/gtest.h>
+
+#include "solver/sat.hh"
+#include "support/rng.hh"
+
+namespace s2e::sat {
+namespace {
+
+TEST(Sat, EmptyFormulaIsSat)
+{
+    SatSolver s;
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(Sat, SingleUnit)
+{
+    SatSolver s;
+    Var v = s.newVar();
+    s.addClause(mkLit(v));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_EQ(s.value(v), LBool::True);
+}
+
+TEST(Sat, ContradictoryUnits)
+{
+    SatSolver s;
+    Var v = s.newVar();
+    s.addClause(mkLit(v));
+    EXPECT_FALSE(s.addClause(mkLit(v, true)));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, SimpleImplicationChain)
+{
+    SatSolver s;
+    Var a = s.newVar(), b = s.newVar(), c = s.newVar();
+    s.addClause(mkLit(a));
+    s.addClause(mkLit(a, true), mkLit(b)); // a -> b
+    s.addClause(mkLit(b, true), mkLit(c)); // b -> c
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_EQ(s.value(c), LBool::True);
+}
+
+TEST(Sat, UnsatTriangle)
+{
+    SatSolver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    s.addClause(mkLit(a), mkLit(b, true));
+    s.addClause(mkLit(a, true), mkLit(b));
+    s.addClause(mkLit(a, true), mkLit(b, true));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, TautologyClauseIgnored)
+{
+    SatSolver s;
+    Var a = s.newVar();
+    EXPECT_TRUE(s.addClause(std::vector<Lit>{mkLit(a), mkLit(a, true)}));
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+}
+
+TEST(Sat, DuplicateLitsInClause)
+{
+    SatSolver s;
+    Var a = s.newVar();
+    s.addClause(std::vector<Lit>{mkLit(a), mkLit(a), mkLit(a)});
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_EQ(s.value(a), LBool::True);
+}
+
+TEST(Sat, AssumptionsRespected)
+{
+    SatSolver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a, true), mkLit(b)); // a -> b
+    EXPECT_EQ(s.solve({mkLit(a)}), SatResult::Sat);
+    EXPECT_EQ(s.value(b), LBool::True);
+    // Conflicting assumption.
+    s.addClause(mkLit(b, true));
+    EXPECT_EQ(s.solve({mkLit(a)}), SatResult::Unsat);
+    // Still satisfiable without the assumption.
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    EXPECT_EQ(s.value(a), LBool::False);
+}
+
+TEST(Sat, PigeonHole3Into2IsUnsat)
+{
+    // PHP(3,2): 3 pigeons, 2 holes. Forces real conflict analysis.
+    SatSolver s;
+    Var p[3][2];
+    for (auto &row : p)
+        for (auto &v : row)
+            v = s.newVar();
+    for (int i = 0; i < 3; ++i)
+        s.addClause(mkLit(p[i][0]), mkLit(p[i][1]));
+    for (int h = 0; h < 2; ++h)
+        for (int i = 0; i < 3; ++i)
+            for (int j = i + 1; j < 3; ++j)
+                s.addClause(mkLit(p[i][h], true), mkLit(p[j][h], true));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, PigeonHole5Into4IsUnsat)
+{
+    SatSolver s;
+    const int n = 5, m = 4;
+    std::vector<std::vector<Var>> p(n, std::vector<Var>(m));
+    for (auto &row : p)
+        for (auto &v : row)
+            v = s.newVar();
+    for (int i = 0; i < n; ++i) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < m; ++h)
+            clause.push_back(mkLit(p[i][h]));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < m; ++h)
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                s.addClause(mkLit(p[i][h], true), mkLit(p[j][h], true));
+    EXPECT_EQ(s.solve(), SatResult::Unsat);
+    EXPECT_GT(s.numConflicts(), 0u);
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown)
+{
+    // PHP(7,6) takes many conflicts; a budget of 1 must bail out.
+    SatSolver s;
+    const int n = 7, m = 6;
+    std::vector<std::vector<Var>> p(n, std::vector<Var>(m));
+    for (auto &row : p)
+        for (auto &v : row)
+            v = s.newVar();
+    for (int i = 0; i < n; ++i) {
+        std::vector<Lit> clause;
+        for (int h = 0; h < m; ++h)
+            clause.push_back(mkLit(p[i][h]));
+        s.addClause(clause);
+    }
+    for (int h = 0; h < m; ++h)
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                s.addClause(mkLit(p[i][h], true), mkLit(p[j][h], true));
+    EXPECT_EQ(s.solve({}, 1), SatResult::Unknown);
+}
+
+/** Random 3-SAT instances cross-checked against brute force. */
+TEST(Sat, PropertyRandom3SatMatchesBruteForce)
+{
+    s2e::Rng rng(2024);
+    for (int iter = 0; iter < 200; ++iter) {
+        int nvars = 4 + static_cast<int>(rng.below(7)); // 4..10
+        int nclauses = 2 + static_cast<int>(rng.below(40));
+        std::vector<std::vector<Lit>> clauses;
+        for (int c = 0; c < nclauses; ++c) {
+            std::vector<Lit> cl;
+            for (int k = 0; k < 3; ++k)
+                cl.push_back(mkLit(static_cast<Var>(rng.below(nvars)),
+                                   rng.chance(0.5)));
+            clauses.push_back(cl);
+        }
+
+        // Brute force reference.
+        bool brute_sat = false;
+        for (uint32_t m = 0; m < (1u << nvars) && !brute_sat; ++m) {
+            bool all = true;
+            for (const auto &cl : clauses) {
+                bool any = false;
+                for (Lit l : cl) {
+                    bool val = (m >> litVar(l)) & 1;
+                    if (litNeg(l) ? !val : val) {
+                        any = true;
+                        break;
+                    }
+                }
+                if (!any) {
+                    all = false;
+                    break;
+                }
+            }
+            brute_sat = all;
+        }
+
+        SatSolver s;
+        for (int v = 0; v < nvars; ++v)
+            s.newVar();
+        bool early_unsat = false;
+        for (const auto &cl : clauses)
+            if (!s.addClause(cl))
+                early_unsat = true;
+        SatResult res = early_unsat ? SatResult::Unsat : s.solve();
+        ASSERT_EQ(res == SatResult::Sat, brute_sat)
+            << "iteration " << iter;
+
+        // If SAT, the model must actually satisfy every clause.
+        if (res == SatResult::Sat) {
+            for (const auto &cl : clauses) {
+                bool any = false;
+                for (Lit l : cl)
+                    if (s.modelTrue(l))
+                        any = true;
+                ASSERT_TRUE(any);
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace s2e::sat

@@ -1,0 +1,255 @@
+/** @file Tests for the bitfield-theory simplifier (§5 of the paper). */
+
+#include <gtest/gtest.h>
+
+#include "expr/builder.hh"
+#include "expr/eval.hh"
+#include "expr/simplify.hh"
+#include "support/rng.hh"
+
+namespace s2e::expr {
+namespace {
+
+class SimplifyTest : public ::testing::Test
+{
+  protected:
+    ExprBuilder b;
+    Simplifier simp{b};
+};
+
+TEST_F(SimplifyTest, KnownBitsConstant)
+{
+    KnownBits kb = knownBits(b.constant(0xA5, 8));
+    EXPECT_TRUE(kb.allKnown(8));
+    EXPECT_EQ(kb.value(), 0xA5u);
+}
+
+TEST_F(SimplifyTest, KnownBitsVariableUnknown)
+{
+    KnownBits kb = knownBits(b.var("x", 8));
+    EXPECT_EQ(kb.zeros | kb.ones, 0u);
+}
+
+TEST_F(SimplifyTest, KnownBitsAndMask)
+{
+    // x & 0x0F: high nibble known zero.
+    KnownBits kb = knownBits(b.bAnd(b.var("x", 8), b.constant(0x0F, 8)));
+    EXPECT_EQ(kb.zeros & 0xF0u, 0xF0u);
+}
+
+TEST_F(SimplifyTest, KnownBitsOrSetsOnes)
+{
+    KnownBits kb = knownBits(b.bOr(b.var("x", 8), b.constant(0xF0, 8)));
+    EXPECT_EQ(kb.ones & 0xF0u, 0xF0u);
+}
+
+TEST_F(SimplifyTest, KnownBitsShl)
+{
+    // x << 4: low nibble known zero.
+    KnownBits kb = knownBits(b.shl(b.var("x", 8), b.constant(4, 8)));
+    EXPECT_EQ(kb.zeros & 0x0Fu, 0x0Fu);
+}
+
+TEST_F(SimplifyTest, KnownBitsZExt)
+{
+    KnownBits kb = knownBits(b.zext(b.var("x", 8), 32));
+    EXPECT_EQ(kb.zeros & 0xFFFFFF00u, 0xFFFFFF00u);
+}
+
+TEST_F(SimplifyTest, KnownBitsAddLowBits)
+{
+    // (x & ~1) + 1 has bit 0 known one.
+    ExprRef e = b.add(b.bAnd(b.var("x", 8), b.constant(0xFE, 8)),
+                      b.constant(1, 8));
+    KnownBits kb = knownBits(e);
+    EXPECT_EQ(kb.ones & 1u, 1u);
+}
+
+TEST_F(SimplifyTest, KnownBitsContradictionMakesEqFalse)
+{
+    // (x | 1) == (y & ~1) is statically false: bit 0 differs.
+    ExprRef lhs = b.bOr(b.var("x", 8), b.constant(1, 8));
+    ExprRef rhs = b.bAnd(b.var("y", 8), b.constant(0xFE, 8));
+    KnownBits kb = knownBits(b.eq(lhs, rhs));
+    EXPECT_TRUE(kb.allKnown(1));
+    EXPECT_EQ(kb.value(), 0u);
+}
+
+TEST_F(SimplifyTest, CollapsesFullyKnownExpression)
+{
+    // (x & 0) | 0x42 simplifies to the constant 0x42.
+    ExprRef e = b.bOr(b.bAnd(b.var("x", 8), b.constant(0, 8)),
+                      b.constant(0x42, 8));
+    EXPECT_EQ(simp.simplify(e), b.constant(0x42, 8));
+}
+
+TEST_F(SimplifyTest, DropsMaskCoveringDemandedBits)
+{
+    // extract low byte of (x & 0xFF): the mask is redundant.
+    ExprRef x = b.var("x", 32);
+    ExprRef e = b.extract(b.bAnd(x, b.constant(0xFF, 32)), 0, 8);
+    EXPECT_EQ(simp.simplify(e), b.extract(x, 0, 8));
+}
+
+TEST_F(SimplifyTest, DropsOrOutsideDemandedBits)
+{
+    // extract low byte of (x | 0xFF00): the Or touches ignored bits.
+    ExprRef x = b.var("x", 32);
+    ExprRef e = b.extract(b.bOr(x, b.constant(0xFF00, 32)), 0, 8);
+    EXPECT_EQ(simp.simplify(e), b.extract(x, 0, 8));
+}
+
+TEST_F(SimplifyTest, FlagExtractionPattern)
+{
+    // The DBT computes flags as ((res & 0x80000000) >> 31); testing
+    // bit 7 of an 8-bit zext'ed value folds away everything else.
+    ExprRef x = b.var("x", 8);
+    ExprRef wide = b.zext(x, 32);
+    // bit 31 of zext(x,32) is known zero -> whole expression is 0.
+    ExprRef flag =
+        b.lshr(b.bAnd(wide, b.constant(0x80000000u, 32)),
+               b.constant(31, 32));
+    EXPECT_EQ(simp.simplify(flag), b.constant(0, 32));
+}
+
+TEST_F(SimplifyTest, StatsTrackDrops)
+{
+    simp.resetStats();
+    ExprRef x = b.var("x", 32);
+    ExprRef e = b.extract(b.bOr(x, b.constant(0xFF00, 32)), 0, 8);
+    simp.simplify(e);
+    EXPECT_GE(simp.stats().opsDropped, 1u);
+}
+
+/**
+ * Soundness property: simplify(e) must evaluate identically to e on
+ * random assignments, for randomly generated bitfield-flavored
+ * expressions (masks, shifts, extracts, ors).
+ */
+TEST_F(SimplifyTest, PropertySimplifyPreservesSemantics)
+{
+    Rng rng(77);
+    ExprRef x = b.var("x", 32);
+    ExprRef y = b.var("y", 32);
+
+    for (int iter = 0; iter < 400; ++iter) {
+        // Random expression built from bitfieldy ops.
+        ExprRef e = rng.chance(0.5) ? x : y;
+        int depth = 1 + static_cast<int>(rng.below(5));
+        for (int d = 0; d < depth; ++d) {
+            switch (rng.below(8)) {
+              case 0:
+                e = b.bAnd(e, b.constant(rng.next(), 32));
+                break;
+              case 1:
+                e = b.bOr(e, b.constant(rng.next(), 32));
+                break;
+              case 2:
+                e = b.bXor(e, b.constant(rng.next(), 32));
+                break;
+              case 3:
+                e = b.shl(e, b.constant(rng.below(32), 32));
+                break;
+              case 4:
+                e = b.lshr(e, b.constant(rng.below(32), 32));
+                break;
+              case 5:
+                e = b.add(e, rng.chance(0.5) ? y : x);
+                break;
+              case 6: {
+                unsigned off = rng.below(24);
+                e = b.zext(b.extract(e, off, 8), 32);
+                break;
+              }
+              default:
+                e = b.bNot(e);
+                break;
+            }
+        }
+        ExprRef s = simp.simplify(e);
+        for (int trial = 0; trial < 8; ++trial) {
+            Assignment a;
+            a.set(x, rng.next());
+            a.set(y, rng.next());
+            ASSERT_EQ(evaluate(e, a), evaluate(s, a))
+                << "expr: " << e->toString()
+                << "\nsimplified: " << s->toString();
+        }
+    }
+}
+
+/**
+ * Soundness property for the known-bits analysis itself: every bit
+ * the lattice claims to know must match the evaluator on random
+ * assignments, across randomly composed expressions.
+ */
+TEST_F(SimplifyTest, PropertyKnownBitsAreSound)
+{
+    Rng rng(4242);
+    ExprRef x = b.var("kx", 32);
+    ExprRef y = b.var("ky", 32);
+
+    for (int iter = 0; iter < 300; ++iter) {
+        ExprRef e = rng.chance(0.5) ? x : y;
+        int depth = 1 + static_cast<int>(rng.below(6));
+        for (int d = 0; d < depth; ++d) {
+            switch (rng.below(10)) {
+              case 0: e = b.bAnd(e, b.constant(rng.next(), 32)); break;
+              case 1: e = b.bOr(e, b.constant(rng.next(), 32)); break;
+              case 2: e = b.bXor(e, rng.chance(0.5) ? x : y); break;
+              case 3: e = b.shl(e, b.constant(rng.below(32), 32)); break;
+              case 4: e = b.lshr(e, b.constant(rng.below(32), 32)); break;
+              case 5: e = b.ashr(e, b.constant(rng.below(32), 32)); break;
+              case 6: e = b.add(e, b.constant(rng.next(), 32)); break;
+              case 7:
+                e = b.zext(b.extract(e, rng.below(16), 8), 32);
+                break;
+              case 8:
+                e = b.sext(b.extract(e, rng.below(16), 8), 32);
+                break;
+              default: e = b.bNot(e); break;
+            }
+        }
+        KnownBits kb = knownBits(e);
+        ASSERT_EQ(kb.zeros & kb.ones, 0u);
+        for (int trial = 0; trial < 6; ++trial) {
+            Assignment a;
+            a.set(x, rng.next());
+            a.set(y, rng.next());
+            uint64_t v = evaluate(e, a);
+            ASSERT_EQ(v & kb.zeros, 0u) << e->toString();
+            ASSERT_EQ(v & kb.ones, kb.ones) << e->toString();
+        }
+    }
+}
+
+TEST_F(SimplifyTest, SimplifyIsIdempotent)
+{
+    ExprRef x = b.var("x", 32);
+    ExprRef e = b.extract(b.bOr(b.bAnd(x, b.constant(0xFFFF, 32)),
+                                b.constant(0xAA0000, 32)),
+                          0, 16);
+    ExprRef s1 = simp.simplify(e);
+    ExprRef s2 = simp.simplify(s1);
+    EXPECT_EQ(s1, s2);
+}
+
+TEST_F(SimplifyTest, ReducesNodeCountOnFlagPatterns)
+{
+    // A chain of flag computations (mask, shift, or) typical of DBT
+    // output; the simplifier should shrink it.
+    ExprRef x = b.var("x", 32);
+    ExprRef flags = b.constant(0, 32);
+    for (int i = 0; i < 6; ++i) {
+        ExprRef bit = b.lshr(b.bAnd(x, b.constant(1u << i, 32)),
+                             b.constant(i, 32));
+        flags = b.bOr(b.shl(bit, b.constant(i, 32)), flags);
+    }
+    // Consumer only looks at bit 0.
+    ExprRef test = b.bAnd(flags, b.constant(1, 32));
+    ExprRef s = simp.simplify(test);
+    EXPECT_LE(s->nodeCount(), test->nodeCount());
+}
+
+} // namespace
+} // namespace s2e::expr

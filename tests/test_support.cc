@@ -1,0 +1,126 @@
+/** @file Unit tests for the support library. */
+
+#include <gtest/gtest.h>
+
+#include "support/bitops.hh"
+#include "support/rng.hh"
+#include "support/stats.hh"
+
+namespace s2e {
+namespace {
+
+TEST(BitOps, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(1), 1u);
+    EXPECT_EQ(lowMask(8), 0xFFu);
+    EXPECT_EQ(lowMask(32), 0xFFFFFFFFu);
+    EXPECT_EQ(lowMask(63), 0x7FFFFFFFFFFFFFFFull);
+    EXPECT_EQ(lowMask(64), ~0ull);
+}
+
+TEST(BitOps, Truncate)
+{
+    EXPECT_EQ(truncate(0x1FF, 8), 0xFFu);
+    EXPECT_EQ(truncate(0x100, 8), 0u);
+    EXPECT_EQ(truncate(~0ull, 64), ~0ull);
+}
+
+TEST(BitOps, SignExtend)
+{
+    EXPECT_EQ(signExtend(0xFF, 8), -1);
+    EXPECT_EQ(signExtend(0x7F, 8), 127);
+    EXPECT_EQ(signExtend(0x80, 8), -128);
+    EXPECT_EQ(signExtend(0x8000, 16), -32768);
+    EXPECT_EQ(signExtend(1, 1), -1);
+    EXPECT_EQ(signExtend(0, 1), 0);
+}
+
+TEST(BitOps, SignBit)
+{
+    EXPECT_TRUE(signBit(0x80, 8));
+    EXPECT_FALSE(signBit(0x7F, 8));
+    EXPECT_TRUE(signBit(1, 1));
+}
+
+TEST(BitOps, KnownBitsConstant)
+{
+    KnownBits kb = KnownBits::constant(0xA5, 8);
+    EXPECT_TRUE(kb.allKnown(8));
+    EXPECT_EQ(kb.value(), 0xA5u);
+    EXPECT_EQ(kb.zeros & kb.ones, 0u);
+}
+
+TEST(BitOps, KnownBitsUnknown)
+{
+    KnownBits kb = KnownBits::unknown();
+    EXPECT_FALSE(kb.allKnown(1));
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Stats, CountersAccumulate)
+{
+    Stats s;
+    s.add("x");
+    s.add("x", 4);
+    EXPECT_EQ(s.get("x"), 5u);
+    EXPECT_EQ(s.get("missing"), 0u);
+}
+
+TEST(Stats, HighWatermark)
+{
+    Stats s;
+    s.high("mem", 10);
+    s.high("mem", 5);
+    s.high("mem", 20);
+    EXPECT_EQ(s.get("mem"), 20u);
+}
+
+TEST(Stats, TimersAccumulate)
+{
+    Stats s;
+    s.addSeconds("t", 0.5);
+    s.addSeconds("t", 0.25);
+    EXPECT_DOUBLE_EQ(s.seconds("t"), 0.75);
+}
+
+TEST(Stats, ScopedTimerRecordsSomething)
+{
+    Stats s;
+    {
+        ScopedTimer t(s, "scoped");
+    }
+    EXPECT_GE(s.seconds("scoped"), 0.0);
+}
+
+} // namespace
+} // namespace s2e
