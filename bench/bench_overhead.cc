@@ -71,8 +71,21 @@ instrPerSecondVanilla()
     return static_cast<double>(r.instructions) / secs;
 }
 
-double
-instrPerSecondEngine(bool symbolic)
+/** Engine-mode measurement plus the solver-resilience counters the
+ *  run accumulated (visibility into the resilience layer's cost). */
+struct EngineRun {
+    double instrPerSecond = 0;
+    uint64_t solverQueries = 0;
+    uint64_t solverUnknowns = 0;
+    uint64_t solverRetries = 0;
+    uint64_t solverTimeouts = 0;
+    uint64_t maxQueryMicros = 0;
+    size_t solverFailures = 0;
+    size_t degradedStates = 0;
+};
+
+EngineRun
+runEngine(bool symbolic)
 {
     vm::MachineConfig m;
     m.ramSize = 64 * 1024;
@@ -86,7 +99,17 @@ instrPerSecondEngine(bool symbolic)
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
-    return static_cast<double>(r.totalInstructions) / secs;
+    EngineRun out;
+    out.instrPerSecond = static_cast<double>(r.totalInstructions) / secs;
+    Stats &ss = engine.solver().stats();
+    out.solverQueries = ss.get("solver.queries");
+    out.solverUnknowns = ss.get("solver.unknown_results");
+    out.solverRetries = ss.get("solver.retries");
+    out.solverTimeouts = ss.get("solver.timeouts");
+    out.maxQueryMicros = ss.get("solver.max_query_micros");
+    out.solverFailures = r.solverFailures;
+    out.degradedStates = r.degradedStates;
+    return out;
 }
 
 } // namespace
@@ -98,8 +121,10 @@ main()
     std::printf("=== §6.2: runtime overhead vs vanilla execution ===\n\n");
 
     double vanilla = instrPerSecondVanilla();
-    double concrete = instrPerSecondEngine(false);
-    double symbolic = instrPerSecondEngine(true);
+    EngineRun concrete_run = runEngine(false);
+    EngineRun symbolic_run = runEngine(true);
+    double concrete = concrete_run.instrPerSecond;
+    double symbolic = symbolic_run.instrPerSecond;
 
     std::printf("%-28s %14.0f instr/s\n", "vanilla TB interpreter",
                 vanilla);
@@ -107,6 +132,25 @@ main()
                 "engine, concrete mode", concrete, vanilla / concrete);
     std::printf("%-28s %14.0f instr/s  (%.1fx overhead; paper ~78x)\n",
                 "engine, symbolic mode", symbolic, vanilla / symbolic);
+
+    std::printf("\n--- solver resilience counters (symbolic run) ---\n");
+    std::printf("%-28s %14llu\n", "solver.queries",
+                static_cast<unsigned long long>(symbolic_run.solverQueries));
+    std::printf("%-28s %14llu\n", "solver.unknown_results",
+                static_cast<unsigned long long>(
+                    symbolic_run.solverUnknowns));
+    std::printf("%-28s %14llu\n", "solver.retries",
+                static_cast<unsigned long long>(symbolic_run.solverRetries));
+    std::printf("%-28s %14llu\n", "solver.timeouts",
+                static_cast<unsigned long long>(
+                    symbolic_run.solverTimeouts));
+    std::printf("%-28s %14llu\n", "solver.max_query_micros",
+                static_cast<unsigned long long>(
+                    symbolic_run.maxQueryMicros));
+    std::printf("%-28s %14zu\n", "run.solverFailures",
+                symbolic_run.solverFailures);
+    std::printf("%-28s %14zu\n", "run.degradedStates",
+                symbolic_run.degradedStates);
 
     std::printf("\nShape check vs paper: symbolic >> concrete > vanilla "
                 "overhead ordering: %s\n",

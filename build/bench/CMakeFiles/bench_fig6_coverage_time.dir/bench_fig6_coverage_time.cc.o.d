@@ -235,10 +235,11 @@ bench/CMakeFiles/bench_fig6_coverage_time.dir/bench_fig6_coverage_time.cc.o: \
  /root/repo/src/support/stats.hh /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/guest/layout.hh /root/repo/src/tools/ddt.hh \
- /root/repo/src/guest/drivers.hh /root/repo/src/plugins/annotation.hh \
- /root/repo/src/plugins/bugcheck.hh /root/repo/src/plugins/memchecker.hh \
+ /root/repo/src/support/rng.hh /root/repo/src/guest/layout.hh \
+ /root/repo/src/tools/ddt.hh /root/repo/src/guest/drivers.hh \
+ /root/repo/src/plugins/annotation.hh /root/repo/src/plugins/bugcheck.hh \
+ /root/repo/src/plugins/memchecker.hh \
  /root/repo/src/plugins/pathkiller.hh \
  /root/repo/src/plugins/racedetector.hh \
- /root/repo/src/plugins/searchers.hh /root/repo/src/support/rng.hh \
- /root/repo/src/tools/rev.hh /root/repo/src/plugins/tracer.hh
+ /root/repo/src/plugins/searchers.hh /root/repo/src/tools/rev.hh \
+ /root/repo/src/plugins/tracer.hh

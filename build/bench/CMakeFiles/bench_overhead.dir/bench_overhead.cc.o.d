@@ -231,4 +231,5 @@ bench/CMakeFiles/bench_overhead.dir/bench_overhead.cc.o: \
  /root/repo/src/support/stats.hh /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/dbt/fastexec.hh /root/repo/src/vm/devices.hh
+ /root/repo/src/support/rng.hh /root/repo/src/dbt/fastexec.hh \
+ /root/repo/src/vm/devices.hh

@@ -232,5 +232,5 @@ bench/CMakeFiles/bench_profs_ping.dir/bench_profs_ping.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/plugins/perfprofile.hh /root/repo/src/perf/cache.hh \
- /root/repo/src/plugins/plugin.hh
+ /root/repo/src/support/rng.hh /root/repo/src/plugins/perfprofile.hh \
+ /root/repo/src/perf/cache.hh /root/repo/src/plugins/plugin.hh

@@ -231,4 +231,4 @@ bench/CMakeFiles/bench_simplifier_ablation.dir/bench_simplifier_ablation.cc.o: \
  /root/repo/src/support/stats.hh /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/vm/devices.hh
+ /root/repo/src/support/rng.hh /root/repo/src/vm/devices.hh

@@ -232,6 +232,6 @@ bench/CMakeFiles/bench_table5_coverage.dir/bench_table5_coverage.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/guest/drivers.hh /root/repo/src/plugins/coverage.hh \
- /root/repo/src/plugins/plugin.hh /root/repo/src/plugins/pathkiller.hh \
- /root/repo/src/plugins/tracer.hh
+ /root/repo/src/support/rng.hh /root/repo/src/guest/drivers.hh \
+ /root/repo/src/plugins/coverage.hh /root/repo/src/plugins/plugin.hh \
+ /root/repo/src/plugins/pathkiller.hh /root/repo/src/plugins/tracer.hh

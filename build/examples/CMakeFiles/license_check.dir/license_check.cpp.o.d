@@ -230,5 +230,6 @@ examples/CMakeFiles/license_check.dir/license_check.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/guest/kernel.hh /root/repo/src/guest/layout.hh \
- /root/repo/src/guest/workloads.hh /root/repo/src/vm/devices.hh
+ /root/repo/src/support/rng.hh /root/repo/src/guest/kernel.hh \
+ /root/repo/src/guest/layout.hh /root/repo/src/guest/workloads.hh \
+ /root/repo/src/vm/devices.hh

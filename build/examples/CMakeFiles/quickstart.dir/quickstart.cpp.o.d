@@ -231,4 +231,4 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/vm/devices.hh
+ /root/repo/src/support/rng.hh /root/repo/src/vm/devices.hh

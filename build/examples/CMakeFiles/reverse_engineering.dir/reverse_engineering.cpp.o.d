@@ -232,6 +232,6 @@ examples/CMakeFiles/reverse_engineering.dir/reverse_engineering.cpp.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/guest/drivers.hh /root/repo/src/plugins/coverage.hh \
- /root/repo/src/plugins/plugin.hh /root/repo/src/plugins/pathkiller.hh \
- /root/repo/src/plugins/tracer.hh
+ /root/repo/src/support/rng.hh /root/repo/src/guest/drivers.hh \
+ /root/repo/src/plugins/coverage.hh /root/repo/src/plugins/plugin.hh \
+ /root/repo/src/plugins/pathkiller.hh /root/repo/src/plugins/tracer.hh

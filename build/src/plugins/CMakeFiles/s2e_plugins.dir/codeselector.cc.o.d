@@ -231,4 +231,5 @@ src/plugins/CMakeFiles/s2e_plugins.dir/codeselector.cc.o: \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
- /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh
+ /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
+ /root/repo/src/support/rng.hh

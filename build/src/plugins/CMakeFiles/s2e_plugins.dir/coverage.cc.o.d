@@ -234,4 +234,4 @@ src/plugins/CMakeFiles/s2e_plugins.dir/coverage.cc.o: \
  /root/repo/src/support/stats.hh /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/plugins/searchers.hh /root/repo/src/support/rng.hh
+ /root/repo/src/support/rng.hh /root/repo/src/plugins/searchers.hh

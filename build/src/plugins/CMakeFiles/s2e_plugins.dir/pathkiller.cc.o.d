@@ -232,4 +232,5 @@ src/plugins/CMakeFiles/s2e_plugins.dir/pathkiller.cc.o: \
  /root/repo/src/dbt/ir.hh /root/repo/src/dbt/translator.hh \
  /root/repo/src/support/stats.hh /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
- /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh
+ /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
+ /root/repo/src/support/rng.hh

@@ -231,11 +231,11 @@ src/tools/CMakeFiles/s2e_tools.dir/ddt.cc.o: /root/repo/src/tools/ddt.cc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/guest/drivers.hh /root/repo/src/plugins/annotation.hh \
- /root/repo/src/plugins/plugin.hh /root/repo/src/plugins/bugcheck.hh \
- /root/repo/src/plugins/memchecker.hh /root/repo/src/plugins/coverage.hh \
- /root/repo/src/plugins/pathkiller.hh \
+ /root/repo/src/support/rng.hh /root/repo/src/guest/drivers.hh \
+ /root/repo/src/plugins/annotation.hh /root/repo/src/plugins/plugin.hh \
+ /root/repo/src/plugins/bugcheck.hh /root/repo/src/plugins/memchecker.hh \
+ /root/repo/src/plugins/coverage.hh /root/repo/src/plugins/pathkiller.hh \
  /root/repo/src/plugins/racedetector.hh \
- /root/repo/src/plugins/searchers.hh /root/repo/src/support/rng.hh \
- /root/repo/src/guest/kernel.hh /root/repo/src/guest/layout.hh \
- /root/repo/src/vm/devices.hh /root/repo/src/vm/nic.hh
+ /root/repo/src/plugins/searchers.hh /root/repo/src/guest/kernel.hh \
+ /root/repo/src/guest/layout.hh /root/repo/src/vm/devices.hh \
+ /root/repo/src/vm/nic.hh

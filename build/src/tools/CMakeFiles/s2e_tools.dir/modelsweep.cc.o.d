@@ -236,9 +236,8 @@ src/tools/CMakeFiles/s2e_tools.dir/modelsweep.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/plugins/coverage.hh /root/repo/src/plugins/pathkiller.hh \
- /root/repo/src/tools/ddt.hh /root/repo/src/plugins/bugcheck.hh \
- /root/repo/src/plugins/memchecker.hh \
+ /root/repo/src/support/rng.hh /root/repo/src/plugins/coverage.hh \
+ /root/repo/src/plugins/pathkiller.hh /root/repo/src/tools/ddt.hh \
+ /root/repo/src/plugins/bugcheck.hh /root/repo/src/plugins/memchecker.hh \
  /root/repo/src/plugins/racedetector.hh \
- /root/repo/src/plugins/searchers.hh /root/repo/src/support/rng.hh \
- /root/repo/src/vm/devices.hh
+ /root/repo/src/plugins/searchers.hh /root/repo/src/vm/devices.hh

@@ -232,13 +232,13 @@ src/tools/CMakeFiles/s2e_tools.dir/profs.cc.o: \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/solver/solver.hh \
  /root/repo/src/expr/eval.hh /root/repo/src/expr/simplify.hh \
  /root/repo/src/support/bitops.hh /root/repo/src/solver/sat.hh \
- /root/repo/src/plugins/perfprofile.hh /root/repo/src/perf/cache.hh \
- /root/repo/src/plugins/plugin.hh /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/support/rng.hh /root/repo/src/plugins/perfprofile.hh \
+ /root/repo/src/perf/cache.hh /root/repo/src/plugins/plugin.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/guest/drivers.hh /root/repo/src/guest/kernel.hh \
  /root/repo/src/guest/layout.hh /root/repo/src/guest/workloads.hh \
  /root/repo/src/plugins/coverage.hh /root/repo/src/plugins/pathkiller.hh \
- /root/repo/src/plugins/searchers.hh /root/repo/src/support/rng.hh \
- /root/repo/src/vm/devices.hh /root/repo/src/vm/nic.hh
+ /root/repo/src/plugins/searchers.hh /root/repo/src/vm/devices.hh \
+ /root/repo/src/vm/nic.hh

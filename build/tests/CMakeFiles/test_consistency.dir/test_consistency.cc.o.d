@@ -308,4 +308,5 @@ tests/CMakeFiles/test_consistency.dir/test_consistency.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/solver/solver.hh /root/repo/src/expr/eval.hh \
  /root/repo/src/expr/simplify.hh /root/repo/src/support/bitops.hh \
- /root/repo/src/solver/sat.hh /root/repo/src/vm/devices.hh
+ /root/repo/src/solver/sat.hh /root/repo/src/support/rng.hh \
+ /root/repo/src/vm/devices.hh

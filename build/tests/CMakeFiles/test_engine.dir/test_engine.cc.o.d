@@ -308,6 +308,6 @@ tests/CMakeFiles/test_engine.dir/test_engine.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/solver/solver.hh /root/repo/src/expr/eval.hh \
  /root/repo/src/expr/simplify.hh /root/repo/src/support/bitops.hh \
- /root/repo/src/solver/sat.hh /root/repo/src/vm/devices.hh \
- /root/repo/src/vm/nic.hh /root/repo/src/plugins/searchers.hh \
- /root/repo/src/support/rng.hh
+ /root/repo/src/solver/sat.hh /root/repo/src/support/rng.hh \
+ /root/repo/src/vm/devices.hh /root/repo/src/vm/nic.hh \
+ /root/repo/src/plugins/searchers.hh

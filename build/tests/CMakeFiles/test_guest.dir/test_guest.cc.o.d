@@ -308,7 +308,7 @@ tests/CMakeFiles/test_guest.dir/test_guest.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/solver/solver.hh /root/repo/src/expr/eval.hh \
  /root/repo/src/expr/simplify.hh /root/repo/src/support/bitops.hh \
- /root/repo/src/solver/sat.hh /root/repo/src/guest/drivers.hh \
- /root/repo/src/guest/kernel.hh /root/repo/src/guest/layout.hh \
- /root/repo/src/guest/workloads.hh /root/repo/src/vm/devices.hh \
- /root/repo/src/vm/nic.hh
+ /root/repo/src/solver/sat.hh /root/repo/src/support/rng.hh \
+ /root/repo/src/guest/drivers.hh /root/repo/src/guest/kernel.hh \
+ /root/repo/src/guest/layout.hh /root/repo/src/guest/workloads.hh \
+ /root/repo/src/vm/devices.hh /root/repo/src/vm/nic.hh

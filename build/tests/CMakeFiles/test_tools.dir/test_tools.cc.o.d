@@ -308,12 +308,13 @@ tests/CMakeFiles/test_tools.dir/test_tools.cc.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /root/repo/src/solver/solver.hh /root/repo/src/expr/eval.hh \
  /root/repo/src/expr/simplify.hh /root/repo/src/support/bitops.hh \
- /root/repo/src/solver/sat.hh /root/repo/src/guest/drivers.hh \
- /root/repo/src/plugins/annotation.hh /root/repo/src/plugins/plugin.hh \
- /root/repo/src/plugins/bugcheck.hh /root/repo/src/plugins/memchecker.hh \
- /root/repo/src/plugins/coverage.hh /root/repo/src/plugins/pathkiller.hh \
+ /root/repo/src/solver/sat.hh /root/repo/src/support/rng.hh \
+ /root/repo/src/guest/drivers.hh /root/repo/src/plugins/annotation.hh \
+ /root/repo/src/plugins/plugin.hh /root/repo/src/plugins/bugcheck.hh \
+ /root/repo/src/plugins/memchecker.hh /root/repo/src/plugins/coverage.hh \
+ /root/repo/src/plugins/pathkiller.hh \
  /root/repo/src/plugins/racedetector.hh \
- /root/repo/src/plugins/searchers.hh /root/repo/src/support/rng.hh \
- /root/repo/src/tools/modelsweep.hh /root/repo/src/tools/profs.hh \
- /root/repo/src/plugins/perfprofile.hh /root/repo/src/perf/cache.hh \
- /root/repo/src/tools/rev.hh /root/repo/src/plugins/tracer.hh
+ /root/repo/src/plugins/searchers.hh /root/repo/src/tools/modelsweep.hh \
+ /root/repo/src/tools/profs.hh /root/repo/src/plugins/perfprofile.hh \
+ /root/repo/src/perf/cache.hh /root/repo/src/tools/rev.hh \
+ /root/repo/src/plugins/tracer.hh

@@ -59,13 +59,14 @@ main()
         auto *console = s->devices.get<vm::ConsoleDevice>("console");
         if (!console || console->output() != "V" || shown >= 3)
             continue;
-        auto model = engine.solver().getInitialValues(s->constraints);
-        if (!model)
+        expr::Assignment model;
+        auto out = engine.solver().getInitialValues(s->constraints, &model);
+        if (!out.isSat())
             continue;
         // Reconstruct the key bytes from the model: variables were
         // created in order license_key[0..7].
         std::string key(8, '?');
-        for (const auto &[var_id, value] : model->values()) {
+        for (const auto &[var_id, value] : model.values()) {
             // Variable names are license_key[i]#id; recover i by id
             // ordering (the first 8 fresh vars are the key bytes).
             if (var_id < 8)

@@ -55,10 +55,12 @@ main()
     for (const auto &state : engine.allStates()) {
         uint32_t classification = state->cpu.regs[2].concrete();
         // Ask the solver for a concrete input reaching this path.
-        auto model = engine.solver().getInitialValues(state->constraints);
+        expr::Assignment model;
+        auto out =
+            engine.solver().getInitialValues(state->constraints, &model);
         uint32_t input = 0;
-        if (model && !model->values().empty())
-            input = static_cast<uint32_t>(model->values().begin()->second);
+        if (out.isSat() && !model.values().empty())
+            input = static_cast<uint32_t>(model.values().begin()->second);
         std::printf("path %d: classification r2 = %u, reproduced by "
                     "input r1 = %u\n",
                     state->id(), classification, input);

@@ -175,9 +175,20 @@ Engine::deviceBusFor(ExecutionState &state)
         // DMA read of a symbolic byte: concretize in place (the
         // device is part of the concrete domain).
         ExprRef e = state.mem.byteExpr(addr, builder_);
+        uint64_t raw = 0;
         auto v = solver_.getValue(state.constraints,
-                                  builder_.zext(e, 32));
-        uint8_t cv = v ? static_cast<uint8_t>(*v) : 0;
+                                  builder_.zext(e, 32), &raw);
+        if (v.isUnknown()) {
+            solverFailState(state, "dma_read", v,
+                            "solver gave up concretizing a DMA read");
+            return 0;
+        }
+        if (v.isUnsat()) {
+            killState(state, StateStatus::Unsat,
+                      "unsatisfiable constraints at DMA read");
+            return 0;
+        }
+        uint8_t cv = static_cast<uint8_t>(raw);
         state.addConstraint(
             builder_.eq(e, builder_.constant(cv, 8)));
         state.mem.writeConcreteByte(addr, cv);
@@ -287,15 +298,26 @@ Engine::concretize(ExecutionState &state, const Value &value,
     if (value.isConcrete())
         return value.concrete();
     stats_.add(strprintf("engine.concretizations.%s", reason));
-    auto v = solver_.getValue(state.constraints, value.expr());
-    if (!v) {
+    uint64_t raw = 0;
+    auto v = solver_.getValue(state.constraints, value.expr(), &raw);
+    if (v.isUnknown()) {
+        // A concretization site must produce *a* value; with the
+        // solver giving up there is no sound one. Kill the state as a
+        // solver failure — Unsat would misreport the path as infeasible.
+        solverFailState(state, "concretize", v,
+                        strprintf("solver gave up while concretizing "
+                                  "(%s)",
+                                  reason));
+        return std::nullopt;
+    }
+    if (v.isUnsat()) {
         killState(state, StateStatus::Unsat,
                   strprintf("unsatisfiable constraints while "
                             "concretizing (%s)",
                             reason));
         return std::nullopt;
     }
-    uint32_t cv = static_cast<uint32_t>(*v);
+    uint32_t cv = static_cast<uint32_t>(raw);
     // The soft constraint of §2.2: concretization corsets the path.
     state.addConstraint(
         builder_.eq(value.expr(), builder_.constant(cv, 32)));
@@ -320,6 +342,30 @@ Engine::killState(ExecutionState &state, StateStatus status,
         return;
     state.status = status;
     state.statusMessage = message;
+}
+
+void
+Engine::noteSolverDegraded(ExecutionState &state, const char *site,
+                           bool timed_out)
+{
+    state.degraded = true;
+    state.degradeCount++;
+    stats_.add("engine.solver_degraded");
+    stats_.add(strprintf("engine.solver_degraded.%s", site));
+    SolverDegradeInfo info{state.cpu.pc, site, timed_out, false};
+    events_.onSolverDegraded.emit(state, info);
+}
+
+void
+Engine::solverFailState(ExecutionState &state, const char *site,
+                        const solver::QueryOutcome &outcome,
+                        const std::string &message)
+{
+    stats_.add("engine.solver_failures");
+    stats_.add(strprintf("engine.solver_failures.%s", site));
+    SolverDegradeInfo info{state.cpu.pc, site, outcome.timedOut, true};
+    events_.onSolverDegraded.emit(state, info);
+    killState(state, StateStatus::SolverFailure, message);
 }
 
 ExecutionState *
@@ -406,7 +452,10 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
     }
 
     auto feasibility = solver_.checkBranch(state.constraints, c);
-    if (feasibility.trueFeasible && feasibility.falseFeasible) {
+    const auto &ts = feasibility.trueSide;
+    const auto &fs = feasibility.falseSide;
+
+    if (ts.isSat() && fs.isSat()) {
         ExecutionState *child = fork(state, c);
         state.addConstraint(c);
         if (child) {
@@ -415,7 +464,56 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
         }
         return taken_pc;
     }
-    if (feasibility.trueFeasible) {
+    if (!ts.isUnknown() && !fs.isUnknown()) {
+        // Definite answers on both sides: single feasible successor
+        // (or none — the path invariant broke, an engine bug guard).
+        if (ts.isSat()) {
+            state.addConstraint(c);
+            return taken_pc;
+        }
+        if (fs.isSat()) {
+            state.addConstraint(builder_.lnot(c));
+            return fallthrough_pc;
+        }
+        killState(state, StateStatus::Unsat,
+                  strprintf("both branch sides infeasible at 0x%x",
+                            branch_pc));
+        return fallthrough_pc;
+    }
+
+    // At least one side is Unknown: graceful degradation. Suppress the
+    // fork and follow exactly one side that is *known or made*
+    // feasible — never silently drop a definite side, never follow an
+    // infeasible one.
+    stats_.add("engine.forks_suppressed_degraded");
+    noteSolverDegraded(state, "branch", ts.timedOut || fs.timedOut);
+    if (ts.isSat()) {
+        state.addConstraint(c);
+        return taken_pc;
+    }
+    if (fs.isSat()) {
+        state.addConstraint(builder_.lnot(c));
+        return fallthrough_pc;
+    }
+    // Both Unknown (or Unknown + Unsat, which checkBranch rules out
+    // by only short-circuiting on definite Unsat): fall back to the
+    // concrete-evaluated side, like concretization does.
+    uint64_t cv = 0;
+    auto pick = solver_.getValue(state.constraints, c, &cv);
+    if (pick.isUnknown()) {
+        solverFailState(state, "branch", pick,
+                        strprintf("solver gave up on both sides of the "
+                                  "branch at 0x%x",
+                                  branch_pc));
+        return fallthrough_pc;
+    }
+    if (pick.isUnsat()) {
+        killState(state, StateStatus::Unsat,
+                  strprintf("unsatisfiable constraints at branch 0x%x",
+                            branch_pc));
+        return fallthrough_pc;
+    }
+    if (cv) {
         state.addConstraint(c);
         return taken_pc;
     }
@@ -432,14 +530,21 @@ Engine::symbolicLoad(ExecutionState &state, const Value &addr, unsigned len)
     // Pick the window containing one feasible address, constrain the
     // pointer into it (the paper's page-content-passing scheme: only
     // a small page of memory is handed to the solver).
-    auto example = solver_.getValue(state.constraints, a);
-    if (!example) {
+    uint64_t example = 0;
+    auto ex = solver_.getValue(state.constraints, a, &example);
+    if (ex.isUnknown()) {
+        solverFailState(state, "symbolic_load", ex,
+                        "solver gave up resolving a symbolic load "
+                        "address");
+        return Value(0u);
+    }
+    if (ex.isUnsat()) {
         killState(state, StateStatus::Unsat,
                   "unsatisfiable constraints at symbolic load");
         return Value(0u);
     }
     uint32_t window = config_.symPointerWindow;
-    uint32_t base = static_cast<uint32_t>(*example) & ~(window - 1);
+    uint32_t base = static_cast<uint32_t>(example) & ~(window - 1);
     if (!state.mem.inBounds(base, window)) {
         killState(state, StateStatus::Crashed,
                   strprintf("symbolic pointer window 0x%x out of bounds",
@@ -450,9 +555,16 @@ Engine::symbolicLoad(ExecutionState &state, const Value &addr, unsigned len)
     ExprRef hi = builder_.constant(base + window - len, 32);
     ExprRef in_window = builder_.land(builder_.uge(a, lo),
                                       builder_.ule(a, hi));
-    if (!solver_.mustBeTrue(state.constraints, in_window)) {
+    auto must = solver_.mustBeTrue(state.constraints, in_window);
+    if (!must.yes()) {
+        // Not *proved* inside the window (definite no, or the solver
+        // gave up): the soft constraint keeps the ite chain sound
+        // either way, but an Unknown means feasible addresses may have
+        // been cut off — record the degradation.
         state.addConstraint(in_window); // soft window constraint
         stats_.add("engine.symbolic_pointer_window_constrained");
+        if (must.isUnknown())
+            noteSolverDegraded(state, "symload_window", must.timedOut);
     }
 
     // Build the ite chain over the window contents.
@@ -769,12 +881,27 @@ Engine::execS2Op(ExecutionState &state, const MicroOp &op,
         }
         ExprRef nonzero = builder_.ne(v.toExpr(builder_),
                                       builder_.constant(0, 32));
-        if (solver_.mayBeTrue(state.constraints,
-                              builder_.lnot(nonzero))) {
+        auto may_fail = solver_.mayBeTrue(state.constraints,
+                                          builder_.lnot(nonzero));
+        if (may_fail.isUnknown()) {
+            // Can't decide whether the assert can fail: skip the bug
+            // report (no false positives), keep the path alive under
+            // the assertion constraint, and record the blind spot.
+            noteSolverDegraded(state, "assert", may_fail.timedOut);
+            state.addConstraint(nonzero);
+            break;
+        }
+        if (may_fail.yes()) {
             events_.onBug.emit(
                 state,
                 strprintf("s2e_assert may fail at 0x%x", instr_pc));
-            if (!solver_.mayBeTrue(state.constraints, nonzero)) {
+            auto may_pass = solver_.mayBeTrue(state.constraints, nonzero);
+            if (may_pass.isUnknown()) {
+                noteSolverDegraded(state, "assert", may_pass.timedOut);
+                state.addConstraint(nonzero);
+                break;
+            }
+            if (may_pass.no()) {
                 killState(state, StateStatus::Crashed,
                           strprintf("assertion always fails at 0x%x",
                                     instr_pc));
@@ -919,13 +1046,24 @@ Engine::executeBlock(ExecutionState &state)
                 } else {
                     addr_expr = sum;
                     result = symbolicLoad(state, full, op.size);
+                    if (!state.isActive())
+                        return false;
                     if (op.size < 4 && result.isSymbolic())
                         result = Value(
                             op.signExt
                                 ? builder_.sext(result.expr(), 32)
                                 : builder_.zext(result.expr(), 32));
-                    auto ex = solver_.getValue(state.constraints, sum);
-                    resolved = ex ? static_cast<uint32_t>(*ex) : 0;
+                    // Example address for the access report only; an
+                    // Unknown here just degrades the report, not the
+                    // load itself.
+                    uint64_t exv = 0;
+                    auto ex = solver_.getValue(state.constraints, sum,
+                                               &exv);
+                    resolved =
+                        ex.isSat() ? static_cast<uint32_t>(exv) : 0;
+                    if (ex.isUnknown())
+                        noteSolverDegraded(state, "memaccess_report",
+                                           ex.timedOut);
                 }
             } else {
                 resolved = addr.concrete() + op.imm;
@@ -1143,9 +1281,14 @@ Engine::run()
           case StateStatus::Aborted:
             result.aborted++;
             break;
+          case StateStatus::SolverFailure:
+            result.solverFailures++;
+            break;
           default:
             break;
         }
+        if (s->degraded && s->status != StateStatus::SolverFailure)
+            result.degradedStates++;
     }
     return result;
 }

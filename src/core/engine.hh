@@ -80,6 +80,12 @@ struct RunResult {
     size_t completed = 0; ///< halted or killed cleanly
     size_t crashed = 0;
     size_t aborted = 0;
+    /** States killed because a must-answer solver query returned
+     *  Unknown (StateStatus::SolverFailure). */
+    size_t solverFailures = 0;
+    /** Surviving states that absorbed at least one solver Unknown via
+     *  a degradation action (disjoint from solverFailures). */
+    size_t degradedStates = 0;
     bool budgetExhausted = false;
     double wallSeconds = 0;
 };
@@ -142,6 +148,17 @@ class Engine
     /** Is this pc inside the unit (symbolic domain)? */
     bool isUnitPc(uint32_t pc) const;
 
+    /**
+     * Record a non-fatal solver degradation on `state`: the solver
+     * returned Unknown at `site` and the caller took a conservative
+     * action (suppressed a fork, kept a constraint, skipped a check)
+     * instead of mis-answering. Marks the state degraded, bumps
+     * `engine.solver_degraded` stats and emits onSolverDegraded.
+     * Plugins absorbing Unknown outcomes should call this too.
+     */
+    void noteSolverDegraded(ExecutionState &state, const char *site,
+                            bool timed_out);
+
     // --- Symbolic-value helpers (plugin API) ---------------------------
 
     /** Make a register symbolic; optional inclusive range constraint. */
@@ -195,6 +212,12 @@ class Engine
 
     /** Fork the state on `condition`; parent takes the true side. */
     ExecutionState *fork(ExecutionState &state, ExprRef condition);
+
+    /** A must-answer solver query returned Unknown: kill the state
+     *  with StateStatus::SolverFailure (never misreport as Unsat). */
+    void solverFailState(ExecutionState &state, const char *site,
+                         const solver::QueryOutcome &outcome,
+                         const std::string &message);
 
     /** Resolve a load at a symbolic address via the window/ite scheme. */
     Value symbolicLoad(ExecutionState &state, const Value &addr,

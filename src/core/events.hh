@@ -65,6 +65,16 @@ struct ForkInfo {
     ExprRef condition; ///< constraint added to the parent
 };
 
+/** Payload of onSolverDegraded: where and how a solver Unknown was
+ *  absorbed. `fatal` distinguishes a killed state (must-answer site)
+ *  from a degraded-but-continuing one (e.g. a suppressed fork). */
+struct SolverDegradeInfo {
+    uint32_t pc;      ///< guest pc at the affected site
+    const char *site; ///< "branch", "concretize", "symbolic_load", ...
+    bool timedOut;    ///< Unknown came from the wall-clock deadline
+    bool fatal;       ///< state was killed (StateStatus::SolverFailure)
+};
+
 /** Memory access payload. Symbolic addresses are reported after
  *  resolution; `addr` is the resolved concrete address and `addrExpr`
  *  carries the original symbolic address (null when concrete) so
@@ -115,6 +125,10 @@ struct EventHub {
 
     /** s2e_assert failed (bug found): state + message. */
     Signal<ExecutionState &, const std::string &> onBug;
+
+    /** A solver query gave up (Unknown) and the engine took a
+     *  degradation action instead of silently mis-answering. */
+    Signal<ExecutionState &, const SolverDegradeInfo &> onSolverDegraded;
 };
 
 } // namespace s2e::core

@@ -13,6 +13,7 @@ stateStatusName(StateStatus status)
       case StateStatus::Crashed: return "crashed";
       case StateStatus::Unsat: return "unsat";
       case StateStatus::BudgetExceeded: return "budget-exceeded";
+      case StateStatus::SolverFailure: return "solver-failure";
     }
     return "<bad>";
 }
@@ -40,6 +41,8 @@ ExecutionState::clone(int new_id) const
     child->status = status;
     child->exitCode = exitCode;
     child->statusMessage = statusMessage;
+    child->degraded = degraded;
+    child->degradeCount = degradeCount;
     child->id_ = new_id;
     child->parentId_ = id_;
     child->forkDepth_ = forkDepth_ + 1;

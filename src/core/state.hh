@@ -57,6 +57,7 @@ enum class StateStatus {
     Crashed,     ///< guest fault (bad memory access, decode fault...)
     Unsat,       ///< constraints became unsatisfiable (engine bug guard)
     BudgetExceeded,
+    SolverFailure, ///< a must-answer solver query returned Unknown
 };
 
 const char *stateStatusName(StateStatus status);
@@ -96,6 +97,13 @@ class ExecutionState
     StateStatus status = StateStatus::Running;
     uint32_t exitCode = 0;
     std::string statusMessage;
+
+    /** The path survived a solver Unknown via a degradation action
+     *  (e.g. a suppressed fork): its coverage is best-effort, not
+     *  exhaustive. Inherited by children on fork. */
+    bool degraded = false;
+    /** How many degradation actions this path absorbed. */
+    uint32_t degradeCount = 0;
 
     bool isActive() const { return status == StateStatus::Running; }
 

@@ -96,9 +96,15 @@ MemoryChecker::MemoryChecker(Engine &engine, Annotation &annotation,
                                  32));
                 expr::ExprRef before = bld.ult(info.addrExpr,
                                          bld.constant(live->first, 32));
-                if (engine_.solver().mayBeTrue(state.constraints,
-                                               bld.lor(past_end,
-                                                       before))) {
+                auto escape = engine_.solver().mayBeTrue(
+                    state.constraints, bld.lor(past_end, before));
+                if (escape.isUnknown()) {
+                    // Solver gave up on the bounds proof: don't report
+                    // (avoid a spurious bug) but record the blind spot.
+                    engine_.noteSolverDegraded(state, "memchecker_bounds",
+                                               escape.timedOut);
+                }
+                if (escape.yes()) {
                     report(state, "overflow",
                            strprintf("symbolic pointer into chunk 0x%x "
                                      "(size %u) can escape its bounds "

@@ -1,6 +1,7 @@
 #include "solver/sat.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "support/logging.hh"
@@ -378,8 +379,10 @@ SatSolver::lubyWindow(uint64_t restarts)
 }
 
 SatResult
-SatSolver::solve(const std::vector<Lit> &assumptions, int64_t maxConflicts)
+SatSolver::solve(const std::vector<Lit> &assumptions,
+                 const QueryBudget &budget)
 {
+    lastStopDeadline_ = false;
     if (!ok_)
         return SatResult::Unsat;
     cancelUntil(0);
@@ -387,7 +390,22 @@ SatSolver::solve(const std::vector<Lit> &assumptions, int64_t maxConflicts)
     uint64_t restarts = 0;
     int64_t restart_budget = lubyWindow(restarts);
     uint64_t conflicts_this_call = 0;
+    uint64_t decisions_this_call = 0;
     size_t learnt_cap = clauses_.size() / 2 + 1000;
+
+    // Wall-clock deadline, checked every few conflicts (and
+    // periodically between decisions, for instances that propagate for
+    // a long time without conflicting).
+    const bool has_deadline = budget.maxMicros >= 0;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(has_deadline ? budget.maxMicros : 0);
+    constexpr uint64_t kConflictCheckMask = 0x3;   // every 4 conflicts
+    constexpr uint64_t kDecisionCheckMask = 0xFF;  // every 256 decisions
+    auto deadline_hit = [&] {
+        return has_deadline &&
+               std::chrono::steady_clock::now() >= deadline;
+    };
 
     for (;;) {
         Clause *conflict = propagate();
@@ -415,8 +433,15 @@ SatSolver::solve(const std::vector<Lit> &assumptions, int64_t maxConflicts)
                 enqueue(learnt[0], c);
             }
             decayActivities();
-            if (maxConflicts >= 0 &&
-                conflicts_this_call > static_cast<uint64_t>(maxConflicts)) {
+            if (budget.maxConflicts >= 0 &&
+                conflicts_this_call >
+                    static_cast<uint64_t>(budget.maxConflicts)) {
+                cancelUntil(0);
+                return SatResult::Unknown;
+            }
+            if ((conflicts_this_call & kConflictCheckMask) == 0 &&
+                deadline_hit()) {
+                lastStopDeadline_ = true;
                 cancelUntil(0);
                 return SatResult::Unknown;
             }
@@ -462,6 +487,12 @@ SatSolver::solve(const std::vector<Lit> &assumptions, int64_t maxConflicts)
             return SatResult::Sat;
         }
         decisions_++;
+        if ((++decisions_this_call & kDecisionCheckMask) == 0 &&
+            deadline_hit()) {
+            lastStopDeadline_ = true;
+            cancelUntil(0);
+            return SatResult::Unknown;
+        }
         trailLim_.push_back(static_cast<int>(trail_.size()));
         enqueue(next, nullptr);
     }

@@ -65,6 +65,37 @@ lboolNot(LBool v)
 enum class SatResult { Sat, Unsat, Unknown };
 
 /**
+ * Per-call resource budget. Negative fields mean unlimited. The
+ * wall-clock deadline is checked inside the CDCL loop every few
+ * conflicts (and periodically between decisions), so a runaway query
+ * returns Unknown within microseconds of the deadline instead of
+ * blocking the whole-system run.
+ */
+struct QueryBudget {
+    int64_t maxConflicts = -1; ///< conflicts allowed in this call
+    int64_t maxMicros = -1;    ///< wall-clock budget in microseconds
+
+    bool unlimited() const { return maxConflicts < 0 && maxMicros < 0; }
+
+    /** Budget for a retry pass: every finite limit is multiplied. */
+    QueryBudget
+    escalated(double multiplier) const
+    {
+        QueryBudget b;
+        if (maxConflicts >= 0)
+            b.maxConflicts = static_cast<int64_t>(
+                                 static_cast<double>(maxConflicts) *
+                                 multiplier) +
+                             1;
+        if (maxMicros >= 0)
+            b.maxMicros = static_cast<int64_t>(
+                              static_cast<double>(maxMicros) * multiplier) +
+                          1;
+        return b;
+    }
+};
+
+/**
  * The solver. Variables are created with newVar(); clauses reference
  * them by literal. A solved instance exposes the model via value().
  */
@@ -95,11 +126,25 @@ class SatSolver
     }
 
     /**
-     * Solve under the given assumptions. maxConflicts < 0 means no
-     * budget; on budget exhaustion returns Unknown.
+     * Solve under the given assumptions and budget. On budget
+     * exhaustion returns Unknown; the solver keeps its learnt clauses,
+     * so calling solve() again with a larger budget resumes the proof
+     * rather than restarting it (retry-with-escalated-budget).
      */
-    SatResult solve(const std::vector<Lit> &assumptions = {},
-                    int64_t maxConflicts = -1);
+    SatResult solve(const std::vector<Lit> &assumptions,
+                    const QueryBudget &budget);
+
+    /** Convenience overload: conflict budget only (<0 = unlimited). */
+    SatResult
+    solve(const std::vector<Lit> &assumptions = {},
+          int64_t maxConflicts = -1)
+    {
+        return solve(assumptions, QueryBudget{maxConflicts, -1});
+    }
+
+    /** Did the last solve() stop on the wall-clock deadline (as
+     *  opposed to the conflict budget)? Valid after an Unknown. */
+    bool lastStopWasDeadline() const { return lastStopDeadline_; }
 
     /** Model value of a variable after a Sat result. */
     LBool value(Var v) const { return model_[v]; }
@@ -187,6 +232,7 @@ class SatSolver
     uint64_t conflicts_ = 0;
     uint64_t decisions_ = 0;
     uint64_t propagations_ = 0;
+    bool lastStopDeadline_ = false;
 };
 
 } // namespace s2e::sat

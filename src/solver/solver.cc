@@ -1,6 +1,7 @@
 #include "solver/solver.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -39,11 +40,55 @@ varsOf(ExprRef e)
     return vars;
 }
 
+uint64_t
+microsSince(std::chrono::steady_clock::time_point start)
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+}
+
+/** Fold a sub-query's telemetry into an aggregate outcome. */
+void
+accumulate(QueryOutcome &agg, const QueryOutcome &sub)
+{
+    agg.conflicts += sub.conflicts;
+    agg.micros += sub.micros;
+    agg.retries += sub.retries;
+    agg.timedOut = agg.timedOut || sub.timedOut;
+}
+
 } // namespace
 
 Solver::Solver(expr::ExprBuilder &builder, SolverOptions opts)
-    : builder_(builder), simplifier_(builder), opts_(opts)
+    : builder_(builder), simplifier_(builder), opts_(opts),
+      faultRng_(faultPolicy_.seed)
 {
+}
+
+void
+Solver::setFaultPolicy(const FaultPolicy &policy)
+{
+    faultPolicy_ = policy;
+    faultRng_ = Rng(policy.seed);
+    queryCounter_ = 0; // trigger indices are relative to installation
+}
+
+bool
+Solver::faultTriggers(uint64_t query_index)
+{
+    if (!faultPolicy_.enabled)
+        return false;
+    for (uint64_t t : faultPolicy_.triggerQueries)
+        if (t == query_index)
+            return true;
+    // Advance the RNG only when rate-based injection is on, so explicit
+    // trigger lists stay deterministic regardless of query volume.
+    if (faultPolicy_.unknownRate > 0.0 &&
+        faultRng_.chance(faultPolicy_.unknownRate))
+        return true;
+    return false;
 }
 
 std::vector<ExprRef>
@@ -119,12 +164,39 @@ Solver::tryCachedModels(const std::vector<ExprRef> &constraints,
     return false;
 }
 
-CheckResult
+QueryOutcome
 Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
                  Assignment *model)
 {
     stats_.add("solver.queries");
-    ScopedTimer timer(stats_, "solver.time");
+    ++queryCounter_;
+
+    QueryOutcome out;
+    const auto start = std::chrono::steady_clock::now();
+    // Record wall time + high-water latency on every exit path.
+    struct Finalize {
+        QueryOutcome &out;
+        Stats &stats;
+        std::chrono::steady_clock::time_point start;
+        ~Finalize()
+        {
+            out.micros = microsSince(start);
+            stats.addSeconds("solver.time",
+                             static_cast<double>(out.micros) * 1e-6);
+            stats.high("solver.max_query_micros", out.micros);
+            if (out.result == CheckResult::Unknown)
+                stats.add("solver.unknown_results");
+        }
+    } finalize{out, stats_, start};
+
+    // Deterministic fault injection: the shim sits in front of the
+    // whole pipeline so every call site sees a realistic Unknown.
+    if (faultTriggers(queryCounter_)) {
+        stats_.add("solver.faults_injected");
+        out.result = CheckResult::Unknown;
+        out.timedOut = true; // presents as a wall-clock timeout
+        return out;
+    }
 
     // Simplification pass.
     ExprRef q = query;
@@ -137,14 +209,18 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
     }
 
     // Constant fast paths.
-    if (q->isFalse())
-        return CheckResult::Unsat;
+    if (q->isFalse()) {
+        out.result = CheckResult::Unsat;
+        return out;
+    }
     bool any_false = false;
     for (ExprRef c : cs)
         if (c->isFalse())
             any_false = true;
-    if (any_false)
-        return CheckResult::Unsat;
+    if (any_false) {
+        out.result = CheckResult::Unsat;
+        return out;
+    }
     cs.erase(std::remove_if(cs.begin(), cs.end(),
                             [](ExprRef c) { return c->isTrue(); }),
              cs.end());
@@ -154,7 +230,8 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
     if (cs.empty() && q->isTrue()) {
         if (model)
             *model = Assignment();
-        return CheckResult::Sat;
+        out.result = CheckResult::Sat;
+        return out;
     }
 
     // Independence slicing. Skipped when the caller wants a model:
@@ -166,7 +243,8 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
     // Model cache.
     if (tryCachedModels(sliced, q, model)) {
         stats_.add("solver.cache_sat");
-        return CheckResult::Sat;
+        out.result = CheckResult::Sat;
+        return out;
     }
 
     // Full SAT solving.
@@ -177,20 +255,42 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
     for (ExprRef c : sliced)
         blaster.assertTrue(c);
     blaster.assertTrue(q);
-    if (sat.inConflict())
-        return CheckResult::Unsat;
+    if (sat.inConflict()) {
+        out.result = CheckResult::Unsat;
+        return out;
+    }
 
-    sat::SatResult res = sat.solve({}, opts_.maxConflicts);
-    stats_.add("solver.sat_conflicts", sat.numConflicts());
+    // Solve under the per-query budget, retrying with an escalated
+    // budget on Unknown. The SatSolver keeps its learnt clauses across
+    // solve() calls, so a retry resumes the proof instead of redoing it.
+    QueryBudget budget{opts_.maxConflicts, opts_.maxMicros};
+    sat::SatResult res;
+    for (;;) {
+        uint64_t before = sat.numConflicts();
+        res = sat.solve({}, budget);
+        out.conflicts += sat.numConflicts() - before;
+        if (res != sat::SatResult::Unknown)
+            break;
+        if (out.retries >= opts_.maxRetries || budget.unlimited())
+            break;
+        ++out.retries;
+        stats_.add("solver.retries");
+        budget = budget.escalated(opts_.retryMultiplier);
+    }
+    stats_.add("solver.sat_conflicts", out.conflicts);
     stats_.add("solver.sat_decisions", sat.numDecisions());
     stats_.high("solver.max_gates", blaster.numGates());
 
     switch (res) {
       case sat::SatResult::Unsat:
-        return CheckResult::Unsat;
+        out.result = CheckResult::Unsat;
+        return out;
       case sat::SatResult::Unknown:
-        stats_.add("solver.unknown_results");
-        return CheckResult::Unknown;
+        out.result = CheckResult::Unknown;
+        out.timedOut = sat.lastStopWasDeadline();
+        if (out.timedOut)
+            stats_.add("solver.timeouts");
+        return out;
       case sat::SatResult::Sat: {
         Assignment a;
         for (const auto &[var_id, bits] : blaster.varBits()) {
@@ -207,53 +307,70 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
         }
         if (model)
             *model = std::move(a);
-        return CheckResult::Sat;
+        out.result = CheckResult::Sat;
+        return out;
       }
     }
     panic("unreachable");
 }
 
-CheckResult
+QueryOutcome
 Solver::checkSat(const std::vector<ExprRef> &constraints, ExprRef query,
                  Assignment *model)
 {
     return solveSat(constraints, query, model);
 }
 
-bool
+QueryOutcome
 Solver::mayBeTrue(const std::vector<ExprRef> &constraints, ExprRef query)
 {
-    return checkSat(constraints, query) == CheckResult::Sat;
+    return checkSat(constraints, query);
 }
 
-bool
+QueryOutcome
 Solver::mustBeTrue(const std::vector<ExprRef> &constraints, ExprRef query)
 {
-    return checkSat(constraints, builder_.lnot(query)) == CheckResult::Unsat;
+    // must(q) == !may(!q): remap the inner check's answer, keeping
+    // Unknown as Unknown (a timed-out refutation proves nothing).
+    QueryOutcome inner = checkSat(constraints, builder_.lnot(query));
+    QueryOutcome out = inner;
+    switch (inner.result) {
+      case CheckResult::Unsat: out.result = CheckResult::Sat; break;
+      case CheckResult::Sat: out.result = CheckResult::Unsat; break;
+      case CheckResult::Unknown: break;
+    }
+    return out;
 }
 
 Solver::BranchFeasibility
 Solver::checkBranch(const std::vector<ExprRef> &constraints, ExprRef cond)
 {
     BranchFeasibility f;
-    f.trueFeasible = mayBeTrue(constraints, cond);
-    // If true is infeasible, false must be feasible (assuming the
-    // constraint set itself is satisfiable, which path invariants
-    // guarantee); skip the second query.
-    if (!f.trueFeasible) {
-        f.falseFeasible = true;
+    f.trueSide = mayBeTrue(constraints, cond);
+    // If the true side is *definitely* infeasible, the false side must
+    // be feasible (path invariants keep the constraint set satisfiable)
+    // and the second query can be skipped. An Unknown true side proves
+    // nothing — never short-circuit on it.
+    if (f.trueSide.isUnsat()) {
+        f.falseSide.result = CheckResult::Sat;
         stats_.add("solver.branch_short_circuits");
         return f;
     }
-    f.falseFeasible = mayBeTrue(constraints, builder_.lnot(cond));
+    f.falseSide = mayBeTrue(constraints, builder_.lnot(cond));
     return f;
 }
 
-std::optional<uint64_t>
-Solver::getValue(const std::vector<ExprRef> &constraints, ExprRef query)
+QueryOutcome
+Solver::getValue(const std::vector<ExprRef> &constraints, ExprRef query,
+                 uint64_t *value)
 {
-    if (query->isConstant())
-        return query->value();
+    if (query->isConstant()) {
+        if (value)
+            *value = query->value();
+        QueryOutcome out;
+        out.result = CheckResult::Sat;
+        return out;
+    }
     // Slice to the constraints transitively sharing variables with
     // the query: a value feasible under the slice is feasible under
     // the full set (independent constraints cannot restrict it, given
@@ -261,62 +378,99 @@ Solver::getValue(const std::vector<ExprRef> &constraints, ExprRef query)
     // this, concretization cost grows with the whole path history.
     std::vector<ExprRef> sliced = sliceIndependent(constraints, query);
     Assignment model;
-    CheckResult res = solveSat(sliced, builder_.trueExpr(), &model);
-    if (res != CheckResult::Sat)
-        return std::nullopt;
-    return expr::evaluate(query, model);
+    QueryOutcome out = solveSat(sliced, builder_.trueExpr(), &model);
+    if (out.isSat() && value)
+        *value = expr::evaluate(query, model);
+    return out;
 }
 
-std::optional<Assignment>
-Solver::getInitialValues(const std::vector<ExprRef> &constraints)
+QueryOutcome
+Solver::getInitialValues(const std::vector<ExprRef> &constraints,
+                         Assignment *model)
 {
-    Assignment model;
-    CheckResult res = checkSat(constraints, builder_.trueExpr(), &model);
-    if (res != CheckResult::Sat)
-        return std::nullopt;
-    return model;
+    Assignment a;
+    QueryOutcome out = checkSat(constraints, builder_.trueExpr(), &a);
+    if (out.isSat() && model)
+        *model = std::move(a);
+    return out;
 }
 
-std::optional<std::pair<uint64_t, uint64_t>>
-Solver::getRange(const std::vector<ExprRef> &constraints, ExprRef query)
+QueryOutcome
+Solver::getRange(const std::vector<ExprRef> &constraints, ExprRef query,
+                 uint64_t *min_out, uint64_t *max_out)
 {
-    if (query->isConstant())
-        return std::make_pair(query->value(), query->value());
+    QueryOutcome agg;
+    if (query->isConstant()) {
+        if (min_out)
+            *min_out = query->value();
+        if (max_out)
+            *max_out = query->value();
+        agg.result = CheckResult::Sat;
+        return agg;
+    }
     unsigned w = query->width();
 
+    // Any sub-query giving up poisons the whole range: a bound derived
+    // from an Unknown answer could exclude feasible values.
+    bool unknown = false;
     auto feasible_le = [&](uint64_t bound) {
-        return mayBeTrue(constraints,
-                         builder_.ule(query, builder_.constant(bound, w)));
+        QueryOutcome sub = mayBeTrue(
+            constraints, builder_.ule(query, builder_.constant(bound, w)));
+        accumulate(agg, sub);
+        if (sub.isUnknown())
+            unknown = true;
+        return sub.yes();
     };
     auto feasible_ge = [&](uint64_t bound) {
-        return mayBeTrue(constraints,
-                         builder_.uge(query, builder_.constant(bound, w)));
+        QueryOutcome sub = mayBeTrue(
+            constraints, builder_.uge(query, builder_.constant(bound, w)));
+        accumulate(agg, sub);
+        if (sub.isUnknown())
+            unknown = true;
+        return sub.yes();
     };
 
-    if (!mayBeTrue(constraints, builder_.trueExpr()))
-        return std::nullopt;
+    QueryOutcome base = mayBeTrue(constraints, builder_.trueExpr());
+    accumulate(agg, base);
+    if (!base.isSat()) {
+        agg.result = base.result;
+        return agg;
+    }
 
     // Binary search for the minimum.
     uint64_t lo = 0, hi = lowMask(w);
-    while (lo < hi) {
+    while (lo < hi && !unknown) {
         uint64_t mid = lo + (hi - lo) / 2;
         if (feasible_le(mid))
             hi = mid;
         else
             lo = mid + 1;
     }
+    if (unknown) {
+        agg.result = CheckResult::Unknown;
+        return agg;
+    }
     uint64_t min_v = lo;
 
     lo = min_v;
     hi = lowMask(w);
-    while (lo < hi) {
+    while (lo < hi && !unknown) {
         uint64_t mid = lo + (hi - lo + 1) / 2;
         if (feasible_ge(mid))
             lo = mid;
         else
             hi = mid - 1;
     }
-    return std::make_pair(min_v, lo);
+    if (unknown) {
+        agg.result = CheckResult::Unknown;
+        return agg;
+    }
+    if (min_out)
+        *min_out = min_v;
+    if (max_out)
+        *max_out = lo;
+    agg.result = CheckResult::Sat;
+    return agg;
 }
 
 } // namespace s2e::solver

@@ -7,6 +7,14 @@
  * scratch: bitfield simplification -> constant/known-bits fast path ->
  * constraint independence slicing -> counterexample (model) cache ->
  * bit-blasting -> CDCL SAT.
+ *
+ * Resilience layer: every query runs under a QueryBudget (conflict +
+ * wall-clock limits) with one optional retry at an escalated budget,
+ * and every public method returns a tri-state QueryOutcome — Unknown
+ * is a first-class answer that callers must handle explicitly (the
+ * engine degrades gracefully instead of silently dropping paths). A
+ * deterministic FaultPolicy shim can force Unknown on chosen queries
+ * so every degradation path is exercisable in tests and benchmarks.
  */
 
 #ifndef S2E_SOLVER_SOLVER_HH
@@ -19,29 +27,76 @@
 #include "expr/eval.hh"
 #include "expr/simplify.hh"
 #include "solver/sat.hh"
+#include "support/rng.hh"
 #include "support/stats.hh"
 
 namespace s2e::solver {
 
 using expr::Assignment;
 using expr::ExprRef;
+using sat::QueryBudget;
 
-/** Solver feature switches (benchmarkable ablations). */
+/** Solver feature switches (benchmarkable ablations) and budgets. */
 struct SolverOptions {
     bool useSimplifier = true;   ///< §5 bitfield simplifier
     bool useIndependence = true; ///< constraint independence slicing
     bool useModelCache = true;   ///< counterexample cache / model reuse
     int64_t maxConflicts = -1;   ///< SAT conflict budget per query
+    int64_t maxMicros = -1;      ///< wall-clock budget per query (µs)
+    double retryMultiplier = 4.0; ///< budget escalation factor per retry
+    unsigned maxRetries = 1;      ///< escalated-budget passes before Unknown
 };
 
 /** Outcome of a satisfiability check. */
 enum class CheckResult { Sat, Unsat, Unknown };
 
 /**
+ * Tri-state result of one solver query plus its resource telemetry.
+ *
+ * For predicate-style queries (mayBeTrue / mustBeTrue / the two sides
+ * of checkBranch) `result` encodes the *answer*: Sat = definitely yes,
+ * Unsat = definitely no, Unknown = the solver gave up inside its
+ * budget. There is deliberately no conversion to bool: collapsing
+ * Unknown silently is exactly the unsoundness this type exists to
+ * prevent — call yes()/no()/isUnknown() and take an explicit action.
+ */
+struct QueryOutcome {
+    CheckResult result = CheckResult::Unknown;
+    uint64_t conflicts = 0; ///< SAT conflicts spent (all attempts)
+    uint64_t micros = 0;    ///< wall-clock microseconds spent
+    bool timedOut = false;  ///< Unknown caused by the wall deadline
+                            ///< (or an injected fault), not conflicts
+    unsigned retries = 0;   ///< escalated-budget re-solves used
+
+    bool isSat() const { return result == CheckResult::Sat; }
+    bool isUnsat() const { return result == CheckResult::Unsat; }
+    bool isUnknown() const { return result == CheckResult::Unknown; }
+
+    /** Definite-answer accessors for predicate-style queries. */
+    bool yes() const { return isSat(); }
+    bool no() const { return isUnsat(); }
+};
+
+/**
+ * Deterministic solver fault injection (the paper's hardware
+ * fault-injection idea from DDT, pointed at the solver itself): forces
+ * Unknown on selected queries so engine degradation paths can be
+ * exercised deterministically. Queries are numbered from 1, counting
+ * from the moment the policy is installed.
+ */
+struct FaultPolicy {
+    bool enabled = false;
+    uint64_t seed = 0x5eedULL;   ///< seed for the rate-based trigger
+    double unknownRate = 0.0;    ///< fraction of queries forced Unknown
+    std::vector<uint64_t> triggerQueries; ///< explicit 1-based indices
+};
+
+/**
  * The solver facade. All methods are complete decision procedures
  * over 1..64-bit bitvector expressions (no arrays: symbolic memory is
  * lowered to ite chains by the memory model, as in the paper's
- * page-passing scheme).
+ * page-passing scheme) — modulo the per-query budget, which turns
+ * blow-ups into Unknown outcomes instead of unbounded stalls.
  *
  * Contract with independence slicing enabled (the default): query
  * methods answer relative to the *satisfiable-constraint-set
@@ -56,42 +111,61 @@ class Solver
   public:
     explicit Solver(expr::ExprBuilder &builder, SolverOptions opts = {});
 
-    /** Is `constraints && expr` satisfiable? Fills model if non-null. */
-    CheckResult checkSat(const std::vector<ExprRef> &constraints,
-                         ExprRef expr, Assignment *model = nullptr);
+    /** Is `constraints && expr` satisfiable? Fills model if non-null
+     *  on a Sat result. */
+    QueryOutcome checkSat(const std::vector<ExprRef> &constraints,
+                          ExprRef expr, Assignment *model = nullptr);
 
-    /** May `expr` be true under the constraints? */
-    bool mayBeTrue(const std::vector<ExprRef> &constraints, ExprRef expr);
+    /** May `expr` be true under the constraints? (Sat = yes.) */
+    QueryOutcome mayBeTrue(const std::vector<ExprRef> &constraints,
+                           ExprRef expr);
 
-    /** Must `expr` be true under the constraints? */
-    bool mustBeTrue(const std::vector<ExprRef> &constraints, ExprRef expr);
+    /** Must `expr` be true under the constraints? (Sat = yes.) */
+    QueryOutcome mustBeTrue(const std::vector<ExprRef> &constraints,
+                            ExprRef expr);
 
-    /** Both directions with one entry point (forking uses this). */
+    /** Both directions with one entry point (forking uses this).
+     *  Each side is the tri-state feasibility of that branch. */
     struct BranchFeasibility {
-        bool trueFeasible;
-        bool falseFeasible;
+        QueryOutcome trueSide;
+        QueryOutcome falseSide;
     };
     BranchFeasibility checkBranch(const std::vector<ExprRef> &constraints,
                                   ExprRef cond);
 
     /**
      * A concrete value for `expr` consistent with the constraints.
-     * Returns nullopt when the constraints are unsatisfiable.
+     * Fills *value on a Sat result; Unsat means the (sliced)
+     * constraint set is infeasible, Unknown that the solver gave up.
      */
-    std::optional<uint64_t> getValue(const std::vector<ExprRef> &constraints,
-                                     ExprRef expr);
+    QueryOutcome getValue(const std::vector<ExprRef> &constraints,
+                          ExprRef expr, uint64_t *value);
 
     /**
      * Satisfying assignment covering every variable in the constraint
-     * set (used to produce test cases / crash inputs).
+     * set (used to produce test cases / crash inputs). Fills *model on
+     * a Sat result.
      */
-    std::optional<Assignment>
-    getInitialValues(const std::vector<ExprRef> &constraints);
+    QueryOutcome getInitialValues(const std::vector<ExprRef> &constraints,
+                                  Assignment *model);
 
-    /** Minimum and maximum of expr under the constraints (binary
-     *  search over mustBeTrue bounds). */
-    std::optional<std::pair<uint64_t, uint64_t>>
-    getRange(const std::vector<ExprRef> &constraints, ExprRef expr);
+    /**
+     * Minimum and maximum of expr under the constraints (binary search
+     * over feasibility bounds). Fills min_out and max_out on Sat; any
+     * sub-query giving up yields an Unknown outcome (never a bogus
+     * range). Telemetry aggregates over all sub-queries.
+     */
+    QueryOutcome getRange(const std::vector<ExprRef> &constraints,
+                          ExprRef expr, uint64_t *min_out,
+                          uint64_t *max_out);
+
+    /** Install (or clear) the fault-injection shim. Resets the query
+     *  counter and the policy RNG so runs are reproducible. */
+    void setFaultPolicy(const FaultPolicy &policy);
+    const FaultPolicy &faultPolicy() const { return faultPolicy_; }
+
+    /** Queries issued since construction / the last setFaultPolicy. */
+    uint64_t queryCount() const { return queryCounter_; }
 
     Stats &stats() { return stats_; }
     const SolverOptions &options() const { return opts_; }
@@ -99,16 +173,20 @@ class Solver
   private:
     std::vector<ExprRef>
     sliceIndependent(const std::vector<ExprRef> &constraints, ExprRef expr);
-    CheckResult solveSat(const std::vector<ExprRef> &constraints,
-                         ExprRef expr, Assignment *model);
+    QueryOutcome solveSat(const std::vector<ExprRef> &constraints,
+                          ExprRef expr, Assignment *model);
     bool tryCachedModels(const std::vector<ExprRef> &constraints,
                          ExprRef expr, Assignment *model);
+    bool faultTriggers(uint64_t query_index);
 
     expr::ExprBuilder &builder_;
     expr::Simplifier simplifier_;
     SolverOptions opts_;
     Stats stats_;
     std::vector<Assignment> recentModels_; ///< bounded model cache
+    FaultPolicy faultPolicy_;
+    Rng faultRng_;
+    uint64_t queryCounter_ = 0;
 };
 
 } // namespace s2e::solver

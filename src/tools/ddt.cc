@@ -188,8 +188,14 @@ Ddt::installAnnotations()
                 ->count++ > 4)
             return; // bound failure-injection depth per path
         ExecutionState *child = e.forkState(st);
-        if (child)
-            child->cpu.regs[1] = core::Value(0u);
+        if (!child) {
+            // State budget exhausted: the success path continues, the
+            // alloc-failure world is skipped. Count it so a sweep can
+            // tell "no failure path existed" from "we ran out of room".
+            e.stats().add("ddt.alloc_failure_forks_suppressed");
+            return;
+        }
+        child->cpu.regs[1] = core::Value(0u);
     });
 
     // --- Ioctl arguments: the SetInformation-style symbolic inputs.
@@ -215,6 +221,8 @@ Ddt::run()
     DdtResult result;
     result.run = engine_->run();
     result.pathsExplored = result.run.statesCreated;
+    result.solverFailures = result.run.solverFailures;
+    result.degradedStates = result.run.degradedStates;
 
     for (const auto &r : memChecker_->reports()) {
         result.bugs.push_back({r.kind, r.message, r.stateId});

@@ -60,6 +60,11 @@ struct DdtResult {
     std::set<std::string> bugKinds; ///< deduplicated bug classes
     size_t pathsExplored = 0;
     double driverCoverage = 0.0; ///< basic-block fraction
+    /** Solver-resilience summary (mirrors run.solverFailures /
+     *  run.degradedStates): paths killed by a solver give-up and paths
+     *  that survived one via degradation. */
+    size_t solverFailures = 0;
+    size_t degradedStates = 0;
     core::RunResult run;
 };
 

@@ -36,6 +36,13 @@ metricsFrom(core::Engine &engine, const core::RunResult &run,
     r.pathsExplored = run.statesCreated;
     r.instructions = run.totalInstructions;
     r.budgetExhausted = run.budgetExhausted;
+    r.solverUnknowns =
+        engine.solver().stats().get("solver.unknown_results");
+    r.solverRetries = engine.solver().stats().get("solver.retries");
+    r.maxQueryMicros =
+        engine.solver().stats().get("solver.max_query_micros");
+    r.solverFailures = run.solverFailures;
+    r.degradedStates = run.degradedStates;
     return r;
 }
 

@@ -28,6 +28,13 @@ struct SweepResult {
     size_t pathsExplored = 0;
     uint64_t instructions = 0;
     bool budgetExhausted = false;
+
+    // Solver-resilience telemetry (robustness of long sweeps).
+    uint64_t solverUnknowns = 0;   ///< queries that ended Unknown
+    uint64_t solverRetries = 0;    ///< escalated-budget re-solves
+    uint64_t maxQueryMicros = 0;   ///< worst single-query latency
+    size_t solverFailures = 0;     ///< states killed on Unknown
+    size_t degradedStates = 0;     ///< states that absorbed an Unknown
 };
 
 /** Budgets shared by every sweep cell. */

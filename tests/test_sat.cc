@@ -125,11 +125,10 @@ TEST(Sat, PigeonHole5Into4IsUnsat)
     EXPECT_GT(s.numConflicts(), 0u);
 }
 
-TEST(Sat, ConflictBudgetReturnsUnknown)
+/** Encode PHP(n,m): n pigeons into m holes (unsat when n > m). */
+void
+addPigeonhole(SatSolver &s, int n, int m)
 {
-    // PHP(7,6) takes many conflicts; a budget of 1 must bail out.
-    SatSolver s;
-    const int n = 7, m = 6;
     std::vector<std::vector<Var>> p(n, std::vector<Var>(m));
     for (auto &row : p)
         for (auto &v : row)
@@ -144,7 +143,48 @@ TEST(Sat, ConflictBudgetReturnsUnknown)
         for (int i = 0; i < n; ++i)
             for (int j = i + 1; j < n; ++j)
                 s.addClause(mkLit(p[i][h], true), mkLit(p[j][h], true));
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown)
+{
+    // PHP(7,6) takes many conflicts; a budget of 1 must bail out.
+    SatSolver s;
+    addPigeonhole(s, 7, 6);
     EXPECT_EQ(s.solve({}, 1), SatResult::Unknown);
+    EXPECT_FALSE(s.lastStopWasDeadline());
+}
+
+TEST(Sat, WallClockDeadlineReturnsUnknown)
+{
+    // A 1µs deadline on a hard instance must trip the wall-clock
+    // check (every few conflicts / every few hundred decisions) and
+    // be reported as a deadline stop, not a conflict-budget stop.
+    SatSolver s;
+    addPigeonhole(s, 9, 8);
+    QueryBudget budget;
+    budget.maxMicros = 1;
+    EXPECT_EQ(s.solve({}, budget), SatResult::Unknown);
+    EXPECT_TRUE(s.lastStopWasDeadline());
+}
+
+TEST(Sat, IncrementalResumeAfterBudgetExhaustion)
+{
+    // An exhausted budget leaves the solver reusable: learnt clauses
+    // persist, and a later unlimited solve() on the same instance
+    // reaches the definite answer.
+    SatSolver s;
+    addPigeonhole(s, 5, 4);
+    QueryBudget tiny;
+    tiny.maxConflicts = 1;
+    ASSERT_EQ(s.solve({}, tiny), SatResult::Unknown);
+    uint64_t conflicts_after_first = s.numConflicts();
+    EXPECT_GE(conflicts_after_first, 1u);
+    EXPECT_EQ(s.solve({}, QueryBudget{}), SatResult::Unsat);
+    // The second run continued from the learnt state (conflict count
+    // is cumulative, never reset).
+    EXPECT_GT(s.numConflicts(), conflicts_after_first);
+    // The solver still answers unrelated queries after the Unsat.
+    EXPECT_EQ(s.solve({}, tiny), SatResult::Unsat);
 }
 
 /** Random 3-SAT instances cross-checked against brute force. */

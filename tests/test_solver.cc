@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "expr/builder.hh"
 #include "expr/eval.hh"
 #include "solver/bitblast.hh"
@@ -22,10 +24,33 @@ class SolverTest : public ::testing::Test
     Solver solver{b};
 };
 
+/** Pigeonhole(n, m) at the expression level: unsatisfiable for n > m,
+ *  immune to root-level unit propagation, needs many conflicts. */
+std::vector<ExprRef>
+pigeonhole(ExprBuilder &b, int n, int m)
+{
+    std::vector<std::vector<ExprRef>> p(n);
+    for (int i = 0; i < n; ++i)
+        for (int h = 0; h < m; ++h)
+            p[i].push_back(b.freshVar("php", 1));
+    std::vector<ExprRef> cs;
+    for (int i = 0; i < n; ++i) {
+        ExprRef any = b.falseExpr();
+        for (int h = 0; h < m; ++h)
+            any = b.lor(any, p[i][h]);
+        cs.push_back(any);
+    }
+    for (int h = 0; h < m; ++h)
+        for (int i = 0; i < n; ++i)
+            for (int j = i + 1; j < n; ++j)
+                cs.push_back(b.lnot(b.land(p[i][h], p[j][h])));
+    return cs;
+}
+
 TEST_F(SolverTest, TrivialSat)
 {
-    EXPECT_TRUE(solver.mayBeTrue({}, b.trueExpr()));
-    EXPECT_FALSE(solver.mayBeTrue({}, b.falseExpr()));
+    EXPECT_TRUE(solver.mayBeTrue({}, b.trueExpr()).yes());
+    EXPECT_TRUE(solver.mayBeTrue({}, b.falseExpr()).no());
 }
 
 TEST_F(SolverTest, VariableEquality)
@@ -33,7 +58,7 @@ TEST_F(SolverTest, VariableEquality)
     ExprRef x = b.var("x", 32);
     ExprRef c = b.eq(x, b.constant(42, 32));
     Assignment model;
-    EXPECT_EQ(solver.checkSat({}, c, &model), CheckResult::Sat);
+    EXPECT_EQ(solver.checkSat({}, c, &model).result, CheckResult::Sat);
     EXPECT_EQ(expr::evaluate(x, model), 42u);
 }
 
@@ -41,15 +66,15 @@ TEST_F(SolverTest, ContradictionUnsat)
 {
     ExprRef x = b.var("x", 32);
     std::vector<ExprRef> cs = {b.eq(x, b.constant(1, 32))};
-    EXPECT_FALSE(solver.mayBeTrue(cs, b.eq(x, b.constant(2, 32))));
+    EXPECT_TRUE(solver.mayBeTrue(cs, b.eq(x, b.constant(2, 32))).no());
 }
 
 TEST_F(SolverTest, MustBeTrue)
 {
     ExprRef x = b.var("x", 8);
     std::vector<ExprRef> cs = {b.ult(x, b.constant(10, 8))};
-    EXPECT_TRUE(solver.mustBeTrue(cs, b.ult(x, b.constant(11, 8))));
-    EXPECT_FALSE(solver.mustBeTrue(cs, b.ult(x, b.constant(5, 8))));
+    EXPECT_TRUE(solver.mustBeTrue(cs, b.ult(x, b.constant(11, 8))).yes());
+    EXPECT_TRUE(solver.mustBeTrue(cs, b.ult(x, b.constant(5, 8))).no());
 }
 
 TEST_F(SolverTest, ArithmeticReasoning)
@@ -61,7 +86,7 @@ TEST_F(SolverTest, ArithmeticReasoning)
         b.eq(b.add(x, y), b.constant(10, 32)),
         b.eq(x, b.constant(3, 32)),
     };
-    EXPECT_TRUE(solver.mustBeTrue(cs, b.eq(y, b.constant(7, 32))));
+    EXPECT_TRUE(solver.mustBeTrue(cs, b.eq(y, b.constant(7, 32))).yes());
 }
 
 TEST_F(SolverTest, MultiplicationInversion)
@@ -71,7 +96,7 @@ TEST_F(SolverTest, MultiplicationInversion)
     ExprRef x = b.var("x", 16);
     ExprRef c = b.eq(b.mul(x, b.constant(3, 16)), b.constant(21, 16));
     Assignment model;
-    ASSERT_EQ(solver.checkSat({}, c, &model), CheckResult::Sat);
+    ASSERT_EQ(solver.checkSat({}, c, &model).result, CheckResult::Sat);
     uint64_t xv = expr::evaluate(x, model);
     EXPECT_EQ((xv * 3) & 0xFFFF, 21u);
 }
@@ -81,7 +106,8 @@ TEST_F(SolverTest, DivisionSemantics)
     // x / 0 == 0xFF for all 8-bit x (total-function semantics).
     ExprRef x = b.var("x", 8);
     ExprRef q = b.udiv(x, b.constant(0, 8));
-    EXPECT_TRUE(solver.mustBeTrue({}, b.eq(q, b.constant(0xFF, 8))));
+    EXPECT_TRUE(
+        solver.mustBeTrue({}, b.eq(q, b.constant(0xFF, 8))).yes());
 }
 
 TEST_F(SolverTest, SignedComparisonReasoning)
@@ -93,7 +119,8 @@ TEST_F(SolverTest, SignedComparisonReasoning)
         b.slt(x, b.constant(0, 8)),
     };
     Assignment model;
-    ASSERT_EQ(solver.checkSat(cs, b.trueExpr(), &model), CheckResult::Sat);
+    ASSERT_EQ(solver.checkSat(cs, b.trueExpr(), &model).result,
+              CheckResult::Sat);
     int64_t xv = signExtend(expr::evaluate(x, model), 8);
     EXPECT_GT(xv, -5);
     EXPECT_LT(xv, 0);
@@ -107,7 +134,7 @@ TEST_F(SolverTest, ShiftReasoning)
         b.eq(b.shl(b.constant(1, 8), x), b.constant(16, 8)),
         b.ult(x, b.constant(8, 8)),
     };
-    EXPECT_TRUE(solver.mustBeTrue(cs, b.eq(x, b.constant(4, 8))));
+    EXPECT_TRUE(solver.mustBeTrue(cs, b.eq(x, b.constant(4, 8))).yes());
 }
 
 TEST_F(SolverTest, GetValueReturnsConsistentWitness)
@@ -115,10 +142,10 @@ TEST_F(SolverTest, GetValueReturnsConsistentWitness)
     ExprRef x = b.var("x", 32);
     std::vector<ExprRef> cs = {b.ult(b.constant(100, 32), x),
                                b.ult(x, b.constant(110, 32))};
-    auto v = solver.getValue(cs, x);
-    ASSERT_TRUE(v.has_value());
-    EXPECT_GT(*v, 100u);
-    EXPECT_LT(*v, 110u);
+    uint64_t v = 0;
+    ASSERT_TRUE(solver.getValue(cs, x, &v).isSat());
+    EXPECT_GT(v, 100u);
+    EXPECT_LT(v, 110u);
 }
 
 TEST_F(SolverTest, GetValueOnUnsatReturnsNothing)
@@ -126,7 +153,8 @@ TEST_F(SolverTest, GetValueOnUnsatReturnsNothing)
     ExprRef x = b.var("x", 8);
     std::vector<ExprRef> cs = {b.ult(x, b.constant(1, 8)),
                                b.ult(b.constant(1, 8), x)};
-    EXPECT_FALSE(solver.getValue(cs, x).has_value());
+    uint64_t v = 0;
+    EXPECT_TRUE(solver.getValue(cs, x, &v).isUnsat());
 }
 
 TEST_F(SolverTest, GetRangeExact)
@@ -134,28 +162,29 @@ TEST_F(SolverTest, GetRangeExact)
     ExprRef x = b.var("x", 8);
     std::vector<ExprRef> cs = {b.uge(x, b.constant(17, 8)),
                                b.ule(x, b.constant(63, 8))};
-    auto range = solver.getRange(cs, x);
-    ASSERT_TRUE(range.has_value());
-    EXPECT_EQ(range->first, 17u);
-    EXPECT_EQ(range->second, 63u);
+    uint64_t lo = 0, hi = 0;
+    ASSERT_TRUE(solver.getRange(cs, x, &lo, &hi).isSat());
+    EXPECT_EQ(lo, 17u);
+    EXPECT_EQ(hi, 63u);
 }
 
 TEST_F(SolverTest, GetRangeOfDerivedExpr)
 {
     ExprRef x = b.var("x", 8);
     std::vector<ExprRef> cs = {b.ule(x, b.constant(10, 8))};
-    auto range = solver.getRange(cs, b.add(x, b.constant(5, 8)));
-    ASSERT_TRUE(range.has_value());
-    EXPECT_EQ(range->first, 5u);
-    EXPECT_EQ(range->second, 15u);
+    uint64_t lo = 0, hi = 0;
+    ASSERT_TRUE(
+        solver.getRange(cs, b.add(x, b.constant(5, 8)), &lo, &hi).isSat());
+    EXPECT_EQ(lo, 5u);
+    EXPECT_EQ(hi, 15u);
 }
 
 TEST_F(SolverTest, CheckBranchBothFeasible)
 {
     ExprRef x = b.var("x", 8);
     auto f = solver.checkBranch({}, b.ult(x, b.constant(5, 8)));
-    EXPECT_TRUE(f.trueFeasible);
-    EXPECT_TRUE(f.falseFeasible);
+    EXPECT_TRUE(f.trueSide.yes());
+    EXPECT_TRUE(f.falseSide.yes());
 }
 
 TEST_F(SolverTest, CheckBranchOnlyOneFeasible)
@@ -163,8 +192,8 @@ TEST_F(SolverTest, CheckBranchOnlyOneFeasible)
     ExprRef x = b.var("x", 8);
     std::vector<ExprRef> cs = {b.ult(x, b.constant(3, 8))};
     auto f = solver.checkBranch(cs, b.ult(x, b.constant(10, 8)));
-    EXPECT_TRUE(f.trueFeasible);
-    EXPECT_FALSE(f.falseFeasible);
+    EXPECT_TRUE(f.trueSide.yes());
+    EXPECT_TRUE(f.falseSide.no());
 }
 
 TEST_F(SolverTest, IndependenceSlicing)
@@ -178,7 +207,7 @@ TEST_F(SolverTest, IndependenceSlicing)
         cs.push_back(b.eq(z, b.constant(i, 32)));
     }
     cs.push_back(b.ult(x, b.constant(4, 32)));
-    EXPECT_TRUE(solver.mayBeTrue(cs, b.eq(x, b.constant(3, 32))));
+    EXPECT_TRUE(solver.mayBeTrue(cs, b.eq(x, b.constant(3, 32))).yes());
     EXPECT_GT(solver.stats().get("solver.constraints_sliced_away"), 0u);
 }
 
@@ -186,9 +215,9 @@ TEST_F(SolverTest, ModelCacheHitsOnRepeatedQueries)
 {
     ExprRef x = b.var("x", 16);
     std::vector<ExprRef> cs = {b.ult(x, b.constant(100, 16))};
-    EXPECT_TRUE(solver.mayBeTrue(cs, b.ult(x, b.constant(50, 16))));
+    EXPECT_TRUE(solver.mayBeTrue(cs, b.ult(x, b.constant(50, 16))).yes());
     uint64_t sat_before = solver.stats().get("solver.sat_queries");
-    EXPECT_TRUE(solver.mayBeTrue(cs, b.ult(x, b.constant(50, 16))));
+    EXPECT_TRUE(solver.mayBeTrue(cs, b.ult(x, b.constant(50, 16))).yes());
     // Second identical query should reuse the cached model.
     EXPECT_EQ(solver.stats().get("solver.sat_queries"), sat_before);
 }
@@ -199,10 +228,10 @@ TEST_F(SolverTest, GetInitialValuesCoversVariables)
     ExprRef y = b.var("y", 8);
     std::vector<ExprRef> cs = {b.eq(b.add(x, y), b.constant(9, 8)),
                                b.ult(x, b.constant(3, 8))};
-    auto model = solver.getInitialValues(cs);
-    ASSERT_TRUE(model.has_value());
+    Assignment model;
+    ASSERT_TRUE(solver.getInitialValues(cs, &model).isSat());
     for (ExprRef c : cs)
-        EXPECT_TRUE(expr::evaluateBool(c, *model));
+        EXPECT_TRUE(expr::evaluateBool(c, model));
 }
 
 TEST_F(SolverTest, IteConstraint)
@@ -212,7 +241,7 @@ TEST_F(SolverTest, IteConstraint)
     ExprRef sel = b.ite(b.ult(x, b.constant(5, 8)), b.constant(1, 8),
                         b.constant(2, 8));
     std::vector<ExprRef> cs = {b.eq(sel, b.constant(2, 8))};
-    EXPECT_TRUE(solver.mustBeTrue(cs, b.uge(x, b.constant(5, 8))));
+    EXPECT_TRUE(solver.mustBeTrue(cs, b.uge(x, b.constant(5, 8))).yes());
 }
 
 TEST_F(SolverTest, SymbolicPointerStyleIteChain)
@@ -231,7 +260,8 @@ TEST_F(SolverTest, SymbolicPointerStyleIteChain)
     std::vector<ExprRef> cs = {b.ult(idx, b.constant(16, 8)),
                                b.eq(read, b.constant(content[11], 8))};
     Assignment model;
-    ASSERT_EQ(solver.checkSat(cs, b.trueExpr(), &model), CheckResult::Sat);
+    ASSERT_EQ(solver.checkSat(cs, b.trueExpr(), &model).result,
+              CheckResult::Sat);
     // content[11] is unique in the table, so idx must be 11.
     EXPECT_EQ(expr::evaluate(idx, model), 11u);
 }
@@ -278,8 +308,9 @@ TEST_P(BlastExhaustiveTest, MatchesEvaluatorOn4Bits)
                 b.eq(x, b.constant(xv, 4)),
                 b.eq(y, b.constant(yv, 4)),
             };
-            ASSERT_TRUE(solver.mustBeTrue(cs,
-                                          b.eq(e, b.constant(expect, 4))))
+            ASSERT_TRUE(
+                solver.mustBeTrue(cs, b.eq(e, b.constant(expect, 4)))
+                    .yes())
                 << expr::kindName(kind) << "(" << xv << ", " << yv
                 << ") != " << expect;
         }
@@ -327,8 +358,8 @@ TEST_P(BlastCompareTest, MatchesEvaluatorOn4Bits)
                 b.eq(x, b.constant(xv, 4)),
                 b.eq(y, b.constant(yv, 4)),
             };
-            ASSERT_TRUE(solver.mustBeTrue(
-                cs, expect ? e : b.lnot(e)))
+            ASSERT_TRUE(
+                solver.mustBeTrue(cs, expect ? e : b.lnot(e)).yes())
                 << expr::kindName(kind) << "(" << xv << ", " << yv << ")";
         }
     }
@@ -362,8 +393,11 @@ TEST_F(SolverTest, ConstantOperandOpsExhaustive4Bit)
                 uint64_t expect =
                     ExprBuilder::foldBinary(kinds[k], v, d, 4);
                 std::vector<ExprRef> cs = {b.eq(x, b.constant(v, 4))};
-                ASSERT_TRUE(solver.mustBeTrue(
-                    cs, b.eq(ops[k], b.constant(expect, 4))))
+                ASSERT_TRUE(
+                    solver
+                        .mustBeTrue(cs,
+                                    b.eq(ops[k], b.constant(expect, 4)))
+                        .yes())
                     << expr::kindName(kinds[k]) << "(" << v << ", " << d
                     << ")";
             }
@@ -412,8 +446,8 @@ TEST_F(SolverTest, PropertyModelsSatisfyConstraints)
             }
         }
         Assignment model;
-        CheckResult res = solver.checkSat(cs, b.trueExpr(), &model);
-        if (res == CheckResult::Sat) {
+        QueryOutcome res = solver.checkSat(cs, b.trueExpr(), &model);
+        if (res.isSat()) {
             for (ExprRef c : cs)
                 ASSERT_TRUE(expr::evaluateBool(c, model))
                     << c->toString();
@@ -430,9 +464,9 @@ TEST_F(SolverTest, WideWidthArithmetic)
              b.constant(1000000007ULL * 123456789ULL, 64)),
         b.ult(x, b.constant(1ULL << 32, 64)),
     };
-    auto v = solver.getValue(cs, x);
-    ASSERT_TRUE(v.has_value());
-    EXPECT_EQ(*v, 123456789u);
+    uint64_t v = 0;
+    ASSERT_TRUE(solver.getValue(cs, x, &v).isSat());
+    EXPECT_EQ(v, 123456789u);
 }
 
 TEST_F(SolverTest, ConflictBudgetYieldsUnknown)
@@ -444,37 +478,147 @@ TEST_F(SolverTest, ConflictBudgetYieldsUnknown)
     // satisfiable; see Solver docs).
     SolverOptions opts;
     opts.maxConflicts = 1;
+    opts.maxRetries = 0; // no escalation: test the raw budget
     opts.useModelCache = false;
     opts.useIndependence = false;
     Solver limited(b, opts);
-    // Pigeonhole(5,4) at the expression level: unsatisfiable, immune
-    // to root-level unit propagation, and needs many conflicts.
-    const int n = 5, m = 4;
-    ExprRef p[5][4];
-    for (int i = 0; i < n; ++i)
-        for (int h = 0; h < m; ++h)
-            p[i][h] = b.freshVar("php", 1);
-    std::vector<ExprRef> cs;
-    for (int i = 0; i < n; ++i) {
-        ExprRef any = b.falseExpr();
-        for (int h = 0; h < m; ++h)
-            any = b.lor(any, p[i][h]);
-        cs.push_back(any);
-    }
-    for (int h = 0; h < m; ++h)
-        for (int i = 0; i < n; ++i)
-            for (int j = i + 1; j < n; ++j)
-                cs.push_back(b.lnot(b.land(p[i][h], p[j][h])));
+    std::vector<ExprRef> cs = pigeonhole(b, 5, 4);
 
-    CheckResult res = limited.checkSat(cs, b.trueExpr());
-    EXPECT_EQ(res, CheckResult::Unknown);
+    QueryOutcome res = limited.checkSat(cs, b.trueExpr());
+    EXPECT_TRUE(res.isUnknown());
+    EXPECT_FALSE(res.timedOut); // conflict budget, not the deadline
     EXPECT_GT(limited.stats().get("solver.unknown_results"), 0u);
 
     // An unlimited solver proves it unsatisfiable.
     SolverOptions plain_opts;
     plain_opts.useIndependence = false;
     Solver plain(b, plain_opts);
-    EXPECT_EQ(plain.checkSat(cs, b.trueExpr()), CheckResult::Unsat);
+    EXPECT_TRUE(plain.checkSat(cs, b.trueExpr()).isUnsat());
+}
+
+TEST_F(SolverTest, PredicateQueriesReportUnknownUnderBudget)
+{
+    // mayBeTrue / mustBeTrue / getRange must all surface Unknown (never
+    // a silent definite answer) when the budget is too small.
+    SolverOptions opts;
+    opts.maxConflicts = 1;
+    opts.maxRetries = 0;
+    opts.useModelCache = false;
+    opts.useIndependence = false;
+    Solver limited(b, opts);
+    std::vector<ExprRef> cs = pigeonhole(b, 5, 4);
+
+    ExprRef x = b.var("pqx", 8);
+    EXPECT_TRUE(limited.mayBeTrue(cs, b.ult(x, b.constant(5, 8)))
+                    .isUnknown());
+    EXPECT_TRUE(limited.mustBeTrue(cs, b.ult(x, b.constant(5, 8)))
+                    .isUnknown());
+    uint64_t lo = 0xAA, hi = 0xBB;
+    auto range = limited.getRange(cs, x, &lo, &hi);
+    EXPECT_TRUE(range.isUnknown());
+    // Out-params untouched on a non-Sat outcome.
+    EXPECT_EQ(lo, 0xAAu);
+    EXPECT_EQ(hi, 0xBBu);
+
+    // checkBranch: an Unknown true side must NOT be short-circuited
+    // into a feasible false side (the old unsound fast path).
+    auto f = limited.checkBranch(cs, b.ult(x, b.constant(5, 8)));
+    EXPECT_TRUE(f.trueSide.isUnknown());
+    EXPECT_TRUE(f.falseSide.isUnknown());
+}
+
+TEST_F(SolverTest, WallClockDeadlineYieldsTimedOutUnknown)
+{
+    // A 1µs deadline on a hard instance: Unknown with timedOut set.
+    SolverOptions opts;
+    opts.maxMicros = 1;
+    opts.maxRetries = 0;
+    opts.useModelCache = false;
+    opts.useIndependence = false;
+    opts.useSimplifier = false;
+    Solver limited(b, opts);
+    // PHP(8,7) generates hundreds of conflicts — far past the first
+    // deadline check (every 4 conflicts / 256 decisions).
+    std::vector<ExprRef> cs = pigeonhole(b, 8, 7);
+
+    QueryOutcome res = limited.checkSat(cs, b.trueExpr());
+    EXPECT_TRUE(res.isUnknown());
+    EXPECT_TRUE(res.timedOut);
+    EXPECT_GT(limited.stats().get("solver.timeouts"), 0u);
+}
+
+TEST_F(SolverTest, RetryEscalationSolvesAfterUnknown)
+{
+    // 1 conflict is not enough for PHP(5,4); a huge escalation factor
+    // makes the single retry pass succeed. The outcome records the
+    // retry, and the answer is the *correct* one (Unsat).
+    SolverOptions opts;
+    opts.maxConflicts = 1;
+    opts.maxRetries = 1;
+    opts.retryMultiplier = 1e6;
+    opts.useModelCache = false;
+    opts.useIndependence = false;
+    Solver limited(b, opts);
+    std::vector<ExprRef> cs = pigeonhole(b, 5, 4);
+
+    QueryOutcome res = limited.checkSat(cs, b.trueExpr());
+    EXPECT_TRUE(res.isUnsat());
+    EXPECT_EQ(res.retries, 1u);
+    EXPECT_EQ(limited.stats().get("solver.retries"), 1u);
+    EXPECT_EQ(limited.stats().get("solver.unknown_results"), 0u);
+}
+
+TEST_F(SolverTest, FaultInjectionTriggersChosenQuery)
+{
+    ExprRef x = b.var("fx", 8);
+    std::vector<ExprRef> cs = {b.ult(x, b.constant(10, 8))};
+
+    FaultPolicy policy;
+    policy.enabled = true;
+    policy.triggerQueries = {2}; // second query fails
+    solver.setFaultPolicy(policy);
+
+    auto first = solver.mayBeTrue(cs, b.ult(x, b.constant(5, 8)));
+    EXPECT_TRUE(first.yes());
+    auto second = solver.mayBeTrue(cs, b.ult(x, b.constant(5, 8)));
+    EXPECT_TRUE(second.isUnknown());
+    EXPECT_TRUE(second.timedOut); // injected faults present as timeouts
+    EXPECT_EQ(solver.stats().get("solver.faults_injected"), 1u);
+    auto third = solver.mayBeTrue(cs, b.ult(x, b.constant(5, 8)));
+    EXPECT_TRUE(third.yes());
+}
+
+TEST_F(SolverTest, FaultInjectionRateIsDeterministic)
+{
+    ExprRef x = b.var("frx", 8);
+    std::vector<ExprRef> cs = {b.ult(x, b.constant(10, 8))};
+
+    FaultPolicy policy;
+    policy.enabled = true;
+    policy.seed = 1234;
+    policy.unknownRate = 0.5;
+
+    auto run_pattern = [&] {
+        solver.setFaultPolicy(policy); // resets RNG + query counter
+        std::vector<bool> pattern;
+        for (int i = 0; i < 32; ++i)
+            pattern.push_back(
+                solver.mayBeTrue(cs, b.ult(x, b.constant(5, 8)))
+                    .isUnknown());
+        return pattern;
+    };
+
+    auto a = run_pattern();
+    auto bp = run_pattern();
+    EXPECT_EQ(a, bp); // same seed => identical fault pattern
+    EXPECT_TRUE(std::find(a.begin(), a.end(), true) != a.end());
+    EXPECT_TRUE(std::find(a.begin(), a.end(), false) != a.end());
+
+    // Clearing the policy stops injection.
+    solver.setFaultPolicy(FaultPolicy{});
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(solver.mayBeTrue(cs, b.ult(x, b.constant(5, 8)))
+                        .yes());
 }
 
 TEST_F(SolverTest, GetRangeSingletonAfterConstraints)
@@ -484,10 +628,10 @@ TEST_F(SolverTest, GetRangeSingletonAfterConstraints)
         b.eq(b.bAnd(x, b.constant(0xFF00, 16)), b.constant(0x1200, 16)),
         b.eq(b.bAnd(x, b.constant(0x00FF, 16)), b.constant(0x0034, 16)),
     };
-    auto range = solver.getRange(cs, x);
-    ASSERT_TRUE(range.has_value());
-    EXPECT_EQ(range->first, 0x1234u);
-    EXPECT_EQ(range->second, 0x1234u);
+    uint64_t lo = 0, hi = 0;
+    ASSERT_TRUE(solver.getRange(cs, x, &lo, &hi).isSat());
+    EXPECT_EQ(lo, 0x1234u);
+    EXPECT_EQ(hi, 0x1234u);
 }
 
 TEST_F(SolverTest, GetValueSlicesIndependentConstraints)
@@ -502,9 +646,9 @@ TEST_F(SolverTest, GetValueSlicesIndependentConstraints)
         cs.push_back(b.eq(b.mul(z, z), b.constant(i, 32)));
     }
     uint64_t sat_before = solver.stats().get("solver.sat_queries");
-    auto v = solver.getValue(cs, x);
-    ASSERT_TRUE(v.has_value());
-    EXPECT_LT(*v, 50u);
+    uint64_t v = 0;
+    ASSERT_TRUE(solver.getValue(cs, x, &v).isSat());
+    EXPECT_LT(v, 50u);
     // At most a couple of SAT calls; never one per unrelated z.
     EXPECT_LE(solver.stats().get("solver.sat_queries"), sat_before + 2);
 }
@@ -519,9 +663,11 @@ TEST_F(SolverTest, SimplifierAblationStillCorrect)
     ExprRef x = b.var("xa", 32);
     std::vector<ExprRef> cs = {
         b.eq(b.bAnd(x, b.constant(0xFF, 32)), b.constant(0x42, 32))};
-    EXPECT_TRUE(plain.mayBeTrue(cs, b.trueExpr()));
-    EXPECT_TRUE(plain.mustBeTrue(
-        cs, b.eq(b.extract(x, 0, 8), b.constant(0x42, 8))));
+    EXPECT_TRUE(plain.mayBeTrue(cs, b.trueExpr()).yes());
+    EXPECT_TRUE(plain
+                    .mustBeTrue(cs, b.eq(b.extract(x, 0, 8),
+                                         b.constant(0x42, 8)))
+                    .yes());
 }
 
 } // namespace
