@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ddt_bugs.dir/bench_ddt_bugs.cc.o"
+  "CMakeFiles/bench_ddt_bugs.dir/bench_ddt_bugs.cc.o.d"
+  "bench_ddt_bugs"
+  "bench_ddt_bugs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ddt_bugs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

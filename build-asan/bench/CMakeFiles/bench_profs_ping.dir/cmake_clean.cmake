@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profs_ping.dir/bench_profs_ping.cc.o"
+  "CMakeFiles/bench_profs_ping.dir/bench_profs_ping.cc.o.d"
+  "bench_profs_ping"
+  "bench_profs_ping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profs_ping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

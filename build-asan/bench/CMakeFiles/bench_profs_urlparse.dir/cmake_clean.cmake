@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_profs_urlparse.dir/bench_profs_urlparse.cc.o"
+  "CMakeFiles/bench_profs_urlparse.dir/bench_profs_urlparse.cc.o.d"
+  "bench_profs_urlparse"
+  "bench_profs_urlparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_profs_urlparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_simplifier_ablation.dir/bench_simplifier_ablation.cc.o"
+  "CMakeFiles/bench_simplifier_ablation.dir/bench_simplifier_ablation.cc.o.d"
+  "bench_simplifier_ablation"
+  "bench_simplifier_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_simplifier_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sympointer_pagesize.dir/bench_sympointer_pagesize.cc.o"
+  "CMakeFiles/bench_sympointer_pagesize.dir/bench_sympointer_pagesize.cc.o.d"
+  "bench_sympointer_pagesize"
+  "bench_sympointer_pagesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sympointer_pagesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/driver_testing.dir/driver_testing.cpp.o"
+  "CMakeFiles/driver_testing.dir/driver_testing.cpp.o.d"
+  "driver_testing"
+  "driver_testing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/driver_testing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

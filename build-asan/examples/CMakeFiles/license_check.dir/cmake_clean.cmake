@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/license_check.dir/license_check.cpp.o"
+  "CMakeFiles/license_check.dir/license_check.cpp.o.d"
+  "license_check"
+  "license_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/license_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

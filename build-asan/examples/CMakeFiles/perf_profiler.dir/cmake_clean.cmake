@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_profiler.dir/perf_profiler.cpp.o"
+  "CMakeFiles/perf_profiler.dir/perf_profiler.cpp.o.d"
+  "perf_profiler"
+  "perf_profiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_profiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/reverse_engineering.cpp" "examples/CMakeFiles/reverse_engineering.dir/reverse_engineering.cpp.o" "gcc" "examples/CMakeFiles/reverse_engineering.dir/reverse_engineering.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/tools/CMakeFiles/s2e_tools.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/plugins/CMakeFiles/s2e_plugins.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/perf/CMakeFiles/s2e_perf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/guest/CMakeFiles/s2e_guest.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/s2e_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dbt/CMakeFiles/s2e_dbt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vm/CMakeFiles/s2e_vm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/solver/CMakeFiles/s2e_solver.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/expr/CMakeFiles/s2e_expr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/s2e_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/s2e_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reverse_engineering.dir/reverse_engineering.cpp.o"
+  "CMakeFiles/reverse_engineering.dir/reverse_engineering.cpp.o.d"
+  "reverse_engineering"
+  "reverse_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reverse_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

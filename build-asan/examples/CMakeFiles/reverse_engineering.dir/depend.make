@@ -1,0 +1,2 @@
+# Empty dependencies file for reverse_engineering.
+# This may be replaced when dependencies are built.

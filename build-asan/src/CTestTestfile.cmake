@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build-asan/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("expr")
+subdirs("solver")
+subdirs("isa")
+subdirs("vm")
+subdirs("dbt")
+subdirs("perf")
+subdirs("core")
+subdirs("plugins")
+subdirs("guest")
+subdirs("tools")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_core.dir/consistency.cc.o"
+  "CMakeFiles/s2e_core.dir/consistency.cc.o.d"
+  "CMakeFiles/s2e_core.dir/engine.cc.o"
+  "CMakeFiles/s2e_core.dir/engine.cc.o.d"
+  "CMakeFiles/s2e_core.dir/memory.cc.o"
+  "CMakeFiles/s2e_core.dir/memory.cc.o.d"
+  "CMakeFiles/s2e_core.dir/state.cc.o"
+  "CMakeFiles/s2e_core.dir/state.cc.o.d"
+  "libs2e_core.a"
+  "libs2e_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

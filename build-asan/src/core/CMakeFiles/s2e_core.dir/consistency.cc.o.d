@@ -1,0 +1,3 @@
+src/core/CMakeFiles/s2e_core.dir/consistency.cc.o: \
+ /root/repo/src/core/consistency.cc /usr/include/stdc-predef.h \
+ /root/repo/src/core/consistency.hh

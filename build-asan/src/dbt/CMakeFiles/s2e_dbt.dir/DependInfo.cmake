@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dbt/fastexec.cc" "src/dbt/CMakeFiles/s2e_dbt.dir/fastexec.cc.o" "gcc" "src/dbt/CMakeFiles/s2e_dbt.dir/fastexec.cc.o.d"
+  "/root/repo/src/dbt/ir.cc" "src/dbt/CMakeFiles/s2e_dbt.dir/ir.cc.o" "gcc" "src/dbt/CMakeFiles/s2e_dbt.dir/ir.cc.o.d"
+  "/root/repo/src/dbt/translator.cc" "src/dbt/CMakeFiles/s2e_dbt.dir/translator.cc.o" "gcc" "src/dbt/CMakeFiles/s2e_dbt.dir/translator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/isa/CMakeFiles/s2e_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/s2e_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

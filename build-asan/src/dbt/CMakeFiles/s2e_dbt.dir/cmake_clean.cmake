@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_dbt.dir/fastexec.cc.o"
+  "CMakeFiles/s2e_dbt.dir/fastexec.cc.o.d"
+  "CMakeFiles/s2e_dbt.dir/ir.cc.o"
+  "CMakeFiles/s2e_dbt.dir/ir.cc.o.d"
+  "CMakeFiles/s2e_dbt.dir/translator.cc.o"
+  "CMakeFiles/s2e_dbt.dir/translator.cc.o.d"
+  "libs2e_dbt.a"
+  "libs2e_dbt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_expr.dir/builder.cc.o"
+  "CMakeFiles/s2e_expr.dir/builder.cc.o.d"
+  "CMakeFiles/s2e_expr.dir/eval.cc.o"
+  "CMakeFiles/s2e_expr.dir/eval.cc.o.d"
+  "CMakeFiles/s2e_expr.dir/expr.cc.o"
+  "CMakeFiles/s2e_expr.dir/expr.cc.o.d"
+  "CMakeFiles/s2e_expr.dir/simplify.cc.o"
+  "CMakeFiles/s2e_expr.dir/simplify.cc.o.d"
+  "libs2e_expr.a"
+  "libs2e_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

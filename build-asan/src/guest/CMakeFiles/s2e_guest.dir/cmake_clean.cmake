@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_guest.dir/drivers.cc.o"
+  "CMakeFiles/s2e_guest.dir/drivers.cc.o.d"
+  "CMakeFiles/s2e_guest.dir/kernel.cc.o"
+  "CMakeFiles/s2e_guest.dir/kernel.cc.o.d"
+  "CMakeFiles/s2e_guest.dir/workloads.cc.o"
+  "CMakeFiles/s2e_guest.dir/workloads.cc.o.d"
+  "libs2e_guest.a"
+  "libs2e_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

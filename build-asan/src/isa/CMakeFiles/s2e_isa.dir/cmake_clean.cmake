@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_isa.dir/assembler.cc.o"
+  "CMakeFiles/s2e_isa.dir/assembler.cc.o.d"
+  "CMakeFiles/s2e_isa.dir/isa.cc.o"
+  "CMakeFiles/s2e_isa.dir/isa.cc.o.d"
+  "libs2e_isa.a"
+  "libs2e_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_perf.dir/cache.cc.o"
+  "CMakeFiles/s2e_perf.dir/cache.cc.o.d"
+  "libs2e_perf.a"
+  "libs2e_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plugins/annotation.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/annotation.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/annotation.cc.o.d"
+  "/root/repo/src/plugins/bugcheck.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/bugcheck.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/bugcheck.cc.o.d"
+  "/root/repo/src/plugins/codeselector.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/codeselector.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/codeselector.cc.o.d"
+  "/root/repo/src/plugins/coverage.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/coverage.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/coverage.cc.o.d"
+  "/root/repo/src/plugins/energy.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/energy.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/energy.cc.o.d"
+  "/root/repo/src/plugins/memchecker.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/memchecker.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/memchecker.cc.o.d"
+  "/root/repo/src/plugins/pathkiller.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/pathkiller.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/pathkiller.cc.o.d"
+  "/root/repo/src/plugins/perfprofile.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/perfprofile.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/perfprofile.cc.o.d"
+  "/root/repo/src/plugins/privacy.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/privacy.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/privacy.cc.o.d"
+  "/root/repo/src/plugins/racedetector.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/racedetector.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/racedetector.cc.o.d"
+  "/root/repo/src/plugins/tracer.cc" "src/plugins/CMakeFiles/s2e_plugins.dir/tracer.cc.o" "gcc" "src/plugins/CMakeFiles/s2e_plugins.dir/tracer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/core/CMakeFiles/s2e_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/perf/CMakeFiles/s2e_perf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dbt/CMakeFiles/s2e_dbt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vm/CMakeFiles/s2e_vm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/solver/CMakeFiles/s2e_solver.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/expr/CMakeFiles/s2e_expr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/s2e_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/s2e_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

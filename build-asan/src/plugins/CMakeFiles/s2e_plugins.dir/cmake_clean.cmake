@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_plugins.dir/annotation.cc.o"
+  "CMakeFiles/s2e_plugins.dir/annotation.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/bugcheck.cc.o"
+  "CMakeFiles/s2e_plugins.dir/bugcheck.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/codeselector.cc.o"
+  "CMakeFiles/s2e_plugins.dir/codeselector.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/coverage.cc.o"
+  "CMakeFiles/s2e_plugins.dir/coverage.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/energy.cc.o"
+  "CMakeFiles/s2e_plugins.dir/energy.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/memchecker.cc.o"
+  "CMakeFiles/s2e_plugins.dir/memchecker.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/pathkiller.cc.o"
+  "CMakeFiles/s2e_plugins.dir/pathkiller.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/perfprofile.cc.o"
+  "CMakeFiles/s2e_plugins.dir/perfprofile.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/privacy.cc.o"
+  "CMakeFiles/s2e_plugins.dir/privacy.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/racedetector.cc.o"
+  "CMakeFiles/s2e_plugins.dir/racedetector.cc.o.d"
+  "CMakeFiles/s2e_plugins.dir/tracer.cc.o"
+  "CMakeFiles/s2e_plugins.dir/tracer.cc.o.d"
+  "libs2e_plugins.a"
+  "libs2e_plugins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

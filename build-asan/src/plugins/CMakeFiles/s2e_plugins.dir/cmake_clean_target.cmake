@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libs2e_plugins.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_solver.dir/bitblast.cc.o"
+  "CMakeFiles/s2e_solver.dir/bitblast.cc.o.d"
+  "CMakeFiles/s2e_solver.dir/sat.cc.o"
+  "CMakeFiles/s2e_solver.dir/sat.cc.o.d"
+  "CMakeFiles/s2e_solver.dir/solver.cc.o"
+  "CMakeFiles/s2e_solver.dir/solver.cc.o.d"
+  "libs2e_solver.a"
+  "libs2e_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

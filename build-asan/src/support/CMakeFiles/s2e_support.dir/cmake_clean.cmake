@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_support.dir/logging.cc.o"
+  "CMakeFiles/s2e_support.dir/logging.cc.o.d"
+  "CMakeFiles/s2e_support.dir/stats.cc.o"
+  "CMakeFiles/s2e_support.dir/stats.cc.o.d"
+  "libs2e_support.a"
+  "libs2e_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_tools.dir/ddt.cc.o"
+  "CMakeFiles/s2e_tools.dir/ddt.cc.o.d"
+  "CMakeFiles/s2e_tools.dir/modelsweep.cc.o"
+  "CMakeFiles/s2e_tools.dir/modelsweep.cc.o.d"
+  "CMakeFiles/s2e_tools.dir/profs.cc.o"
+  "CMakeFiles/s2e_tools.dir/profs.cc.o.d"
+  "CMakeFiles/s2e_tools.dir/rev.cc.o"
+  "CMakeFiles/s2e_tools.dir/rev.cc.o.d"
+  "libs2e_tools.a"
+  "libs2e_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/s2e_vm.dir/nic.cc.o"
+  "CMakeFiles/s2e_vm.dir/nic.cc.o.d"
+  "libs2e_vm.a"
+  "libs2e_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/s2e_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

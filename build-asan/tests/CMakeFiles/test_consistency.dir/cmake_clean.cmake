@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_consistency.dir/test_consistency.cc.o"
+  "CMakeFiles/test_consistency.dir/test_consistency.cc.o.d"
+  "test_consistency"
+  "test_consistency.pdb"
+  "test_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dbt.dir/test_dbt.cc.o"
+  "CMakeFiles/test_dbt.dir/test_dbt.cc.o.d"
+  "test_dbt"
+  "test_dbt.pdb"
+  "test_dbt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dbt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

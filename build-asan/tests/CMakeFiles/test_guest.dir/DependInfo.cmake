@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_guest.cc" "tests/CMakeFiles/test_guest.dir/test_guest.cc.o" "gcc" "tests/CMakeFiles/test_guest.dir/test_guest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/guest/CMakeFiles/s2e_guest.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/plugins/CMakeFiles/s2e_plugins.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/core/CMakeFiles/s2e_core.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/dbt/CMakeFiles/s2e_dbt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/vm/CMakeFiles/s2e_vm.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/solver/CMakeFiles/s2e_solver.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/expr/CMakeFiles/s2e_expr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/isa/CMakeFiles/s2e_isa.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/perf/CMakeFiles/s2e_perf.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/support/CMakeFiles/s2e_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

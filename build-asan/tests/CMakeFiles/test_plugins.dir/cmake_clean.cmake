@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_plugins.dir/test_plugins.cc.o"
+  "CMakeFiles/test_plugins.dir/test_plugins.cc.o.d"
+  "test_plugins"
+  "test_plugins.pdb"
+  "test_plugins[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_plugins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

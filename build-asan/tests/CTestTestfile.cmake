@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-asan/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-asan/tests/test_support[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_expr[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_simplify[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_sat[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_solver[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_isa[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_assembler[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_dbt[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_engine[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_memory[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_devices[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_guest[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_perf[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_plugins[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_tools[1]_include.cmake")
+include("/root/repo/build-asan/tests/test_consistency[1]_include.cmake")
