@@ -9,6 +9,7 @@
 
 #include <cstdio>
 
+#include "obs/report.hh"
 #include "tools/ddt.hh"
 
 using namespace s2e;
@@ -18,7 +19,7 @@ namespace {
 
 DdtResult
 runOne(guest::DriverKind kind, core::ConsistencyModel model,
-       bool annotations)
+       bool annotations, obs::RunReport *report = nullptr)
 {
     DdtConfig config;
     config.driver = kind;
@@ -27,7 +28,10 @@ runOne(guest::DriverKind kind, core::ConsistencyModel model,
     config.maxWallSeconds = 25;
     config.maxInstructions = 20'000'000;
     Ddt ddt(config);
-    return ddt.run();
+    DdtResult result = ddt.run();
+    if (report)
+        report->captureEngine(ddt.engine(), result.run);
+    return result;
 }
 
 void
@@ -45,6 +49,7 @@ main()
     std::setbuf(stdout, nullptr);
     std::printf("=== §6.1.1: DDT+ automated driver testing ===\n\n");
 
+    obs::RunReport report("bench_ddt_bugs");
     size_t scse_total = 0, lc_total = 0;
     for (guest::DriverKind kind :
          {guest::DriverKind::Dma, guest::DriverKind::Pio}) {
@@ -58,12 +63,24 @@ main()
                     scse.driverCoverage * 100);
         printKinds(scse);
 
-        DdtResult lc = runOne(kind, core::ConsistencyModel::Lc, true);
+        // Engine snapshot comes from the LC runs (the richer mode).
+        DdtResult lc =
+            runOne(kind, core::ConsistencyModel::Lc, true, &report);
         std::printf("  LC (+interface annotations): %zu bug classes, "
                     "%zu paths, coverage %.0f%%\n",
                     lc.bugKinds.size(), lc.pathsExplored,
                     lc.driverCoverage * 100);
         printKinds(lc);
+
+        std::string name = guest::driverName(kind);
+        report.setMetric(name + "_scse_bug_classes",
+                         double(scse.bugKinds.size()));
+        report.setMetric(name + "_lc_bug_classes",
+                         double(lc.bugKinds.size()));
+        report.setMetric(name + "_scse_paths",
+                         double(scse.pathsExplored));
+        report.setMetric(name + "_lc_paths", double(lc.pathsExplored));
+        report.setMetric(name + "_lc_coverage", lc.driverCoverage);
 
         scse_total += scse.bugKinds.size();
         lc_total += lc.bugKinds.size();
@@ -76,5 +93,8 @@ main()
     std::printf("Shape check vs paper: LC finds strictly more bug "
                 "classes than SC-SE: %s\n",
                 lc_total > scse_total ? "YES" : "NO");
+    report.setMetric("scse_total_bug_classes", double(scse_total));
+    report.setMetric("lc_total_bug_classes", double(lc_total));
+    report.writeBenchFile();
     return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "plugins/coverage.hh"
 #include "guest/layout.hh"
+#include "obs/report.hh"
 #include "tools/ddt.hh"
 #include "tools/rev.hh"
 
@@ -28,6 +29,7 @@ main()
                 "(%.0fs budget per driver) ===\n",
                 kBudgetSeconds);
 
+    obs::RunReport report("bench_fig6_coverage_time");
     for (guest::DriverKind kind : guest::allDriverKinds()) {
         RevConfig config;
         config.driver = kind;
@@ -35,6 +37,9 @@ main()
         config.maxInstructions = 4'000'000;
         Rev rev(config);
         RevResult result = rev.run();
+        // Engine snapshot of the last driver; coverage timelines for
+        // every driver ride along as series.
+        report.captureEngine(rev.engine(), result.run);
 
         isa::Program program = driverProgram(kind);
         plugins::StaticBlocks blocks = plugins::staticBasicBlocks(
@@ -73,6 +78,19 @@ main()
         }
         std::printf("  steep-rise-then-plateau shape: %s\n",
                     steep ? "YES" : "NO");
+
+        std::string name = guest::driverName(kind);
+        report.setMetric(name + "_final_coverage",
+                         result.driverCoverage);
+        report.setMetric(name + "_steep_rise", steep ? 1.0 : 0.0);
+        std::vector<double> secs, covered;
+        for (const auto &[t, instr] : tl) {
+            secs.push_back(t);
+            covered.push_back(static_cast<double>(instr));
+        }
+        report.setSeries(name + "_timeline_seconds", std::move(secs));
+        report.setSeries(name + "_timeline_covered", std::move(covered));
     }
+    report.writeBenchFile();
     return 0;
 }

@@ -11,6 +11,12 @@
  * symbolic data, and the symbolic-mode run executes the same loop
  * with its working set symbolic (branch-free, so the slowdown is
  * expression construction, not forking).
+ *
+ * Also the harness for two observability checks: the symbolic run is
+ * captured as a RunReport (BENCH_overhead.json) whose phase fractions
+ * must sum to <= 1.0 of wall time, and a profiler-off concrete run
+ * measures the cost of the profiling spans themselves (the
+ * S2E_OBS_DEFAULT_OFF zero-overhead check).
  */
 
 #include <chrono>
@@ -18,6 +24,8 @@
 
 #include "core/engine.hh"
 #include "dbt/fastexec.hh"
+#include "obs/heartbeat.hh"
+#include "obs/report.hh"
 #include "vm/devices.hh"
 
 using namespace s2e;
@@ -82,10 +90,11 @@ struct EngineRun {
     uint64_t maxQueryMicros = 0;
     size_t solverFailures = 0;
     size_t degradedStates = 0;
+    size_t heartbeats = 0;
 };
 
 EngineRun
-runEngine(bool symbolic)
+runEngine(bool symbolic, bool profile, obs::RunReport *report = nullptr)
 {
     vm::MachineConfig m;
     m.ramSize = 64 * 1024;
@@ -93,7 +102,13 @@ runEngine(bool symbolic)
     m.deviceSetup = [](vm::DeviceSet &devices) {
         devices.add(std::make_unique<vm::ConsoleDevice>());
     };
-    core::Engine engine(m, core::EngineConfig{});
+    core::EngineConfig config;
+    config.profileExecution = profile;
+    core::Engine engine(m, config);
+    obs::Heartbeat::Config hb_config;
+    hb_config.everyBlocks = 8192;
+    hb_config.log = false; // sampled for the report, not printed
+    obs::Heartbeat heartbeat(engine, hb_config);
     auto start = std::chrono::steady_clock::now();
     core::RunResult r = engine.run();
     double secs = std::chrono::duration<double>(
@@ -109,6 +124,9 @@ runEngine(bool symbolic)
     out.maxQueryMicros = ss.get("solver.max_query_micros");
     out.solverFailures = r.solverFailures;
     out.degradedStates = r.degradedStates;
+    out.heartbeats = heartbeat.records().size();
+    if (report)
+        report->captureEngine(engine, r);
     return out;
 }
 
@@ -121,8 +139,10 @@ main()
     std::printf("=== §6.2: runtime overhead vs vanilla execution ===\n\n");
 
     double vanilla = instrPerSecondVanilla();
-    EngineRun concrete_run = runEngine(false);
-    EngineRun symbolic_run = runEngine(true);
+    EngineRun concrete_run = runEngine(false, true);
+    EngineRun concrete_noprof = runEngine(false, false);
+    obs::RunReport report("bench_overhead");
+    EngineRun symbolic_run = runEngine(true, true, &report);
     double concrete = concrete_run.instrPerSecond;
     double symbolic = symbolic_run.instrPerSecond;
 
@@ -152,6 +172,37 @@ main()
     std::printf("%-28s %14zu\n", "run.degradedStates",
                 symbolic_run.degradedStates);
 
+    std::printf("\n--- phase breakdown (symbolic run, Fig 9) ---\n");
+    for (const auto &row : report.phases())
+        std::printf("%-28s %13.1f%%  (%llu spans)\n", row.name.c_str(),
+                    row.fraction * 100.0,
+                    static_cast<unsigned long long>(row.spans));
+    double fraction_sum = report.phaseFractionSum();
+    std::printf("%-28s %13.1f%%\n", "sum of fractions",
+                fraction_sum * 100.0);
+    std::printf("%zu heartbeats sampled during the symbolic run\n",
+                symbolic_run.heartbeats);
+
+    // Cost of the profiling spans themselves, measured on the concrete
+    // run (concrete mode has the most spans per unit of work). Noise on
+    // short runs is real, so this is a reported metric plus a lenient
+    // shape line, not a hard gate.
+    double profiler_overhead =
+        concrete_noprof.instrPerSecond > 0
+            ? concrete_noprof.instrPerSecond / concrete - 1.0
+            : 0.0;
+    std::printf("\nprofiler on->off speedup on the concrete run: %+.1f%%\n",
+                profiler_overhead * 100.0);
+
+    report.setMetric("vanilla_instr_per_sec", vanilla);
+    report.setMetric("concrete_instr_per_sec", concrete);
+    report.setMetric("symbolic_instr_per_sec", symbolic);
+    report.setMetric("concrete_overhead_x", vanilla / concrete);
+    report.setMetric("symbolic_overhead_x", vanilla / symbolic);
+    report.setMetric("profiler_overhead_fraction", profiler_overhead);
+    report.setMetric("heartbeats", double(symbolic_run.heartbeats));
+    report.writeBenchFile();
+
     std::printf("\nShape check vs paper: symbolic >> concrete > vanilla "
                 "overhead ordering: %s\n",
                 (vanilla > concrete && concrete > symbolic) ? "YES"
@@ -159,5 +210,10 @@ main()
     std::printf("Shape check vs paper: symbolic mode at least 5x "
                 "slower than concrete mode: %s\n",
                 concrete > 5 * symbolic ? "YES" : "NO");
+    std::printf("Observability check: phase fractions sum <= 1.0: %s\n",
+                fraction_sum <= 1.0 ? "YES" : "NO");
+    std::printf("Observability check: disabled profiler within noise "
+                "(<5%% cost): %s\n",
+                profiler_overhead < 0.05 ? "YES" : "NO");
     return 0;
 }

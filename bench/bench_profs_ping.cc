@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "obs/report.hh"
 #include "tools/profs.hh"
 
 using namespace s2e;
@@ -70,5 +71,27 @@ main()
                         2 * patched.envelope.minInstructions
                     ? "YES"
                     : "NO");
+
+    obs::RunReport report("bench_profs_ping");
+    report.setMetric("unpatched_paths", double(buggy.paths.size()));
+    report.setMetric("unpatched_min_instructions",
+                     double(buggy.envelope.minInstructions));
+    report.setMetric("unpatched_max_instructions",
+                     double(buggy.envelope.maxInstructions));
+    report.setMetric("unpatched_unbounded_suspected",
+                     buggy.unboundedSuspected ? 1.0 : 0.0);
+    report.setMetric("patched_paths", double(patched.paths.size()));
+    report.setMetric("patched_min_instructions",
+                     double(patched.envelope.minInstructions));
+    report.setMetric("patched_max_instructions",
+                     double(patched.envelope.maxInstructions));
+    report.setMetric("patched_unbounded_suspected",
+                     patched.unboundedSuspected ? 1.0 : 0.0);
+    report.setMetric("patched_min_page_faults",
+                     double(patched.envelope.minPageFaults));
+    report.setMetric("patched_max_page_faults",
+                     double(patched.envelope.maxPageFaults));
+    report.addNote("profilePing owns its engine: metrics only");
+    report.writeBenchFile();
     return 0;
 }

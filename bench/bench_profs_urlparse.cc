@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/report.hh"
 #include "tools/profs.hh"
 
 using namespace s2e;
@@ -107,5 +108,26 @@ main()
                 "%.0f%% vs %.0f%%): %s\n",
                 miss_spread * 100, instr_spread * 100,
                 miss_spread * 2 < instr_spread ? "YES" : "NO");
+
+    obs::RunReport bench_report("bench_profs_urlparse");
+    bench_report.setMetric("paths", double(report.paths.size()));
+    bench_report.setMetric("min_instructions",
+                           double(report.envelope.minInstructions));
+    bench_report.setMetric("max_instructions",
+                           double(report.envelope.maxInstructions));
+    bench_report.setMetric("min_cache_misses",
+                           double(report.envelope.minCacheMisses));
+    bench_report.setMetric("max_cache_misses",
+                           double(report.envelope.maxCacheMisses));
+    bench_report.setMetric("solver_seconds", report.solverSeconds);
+    bench_report.setMetric("wall_seconds", report.wallSeconds);
+    bench_report.setMetric("instr_relative_spread", instr_spread);
+    bench_report.setMetric("miss_relative_spread", miss_spread);
+    bench_report.setSeries(
+        "max_instr_by_segment_count",
+        std::vector<double>(max_by_seg.begin(), max_by_seg.end()));
+    bench_report.addNote(
+        "profileUrlParser owns its engine: metrics/series only");
+    bench_report.writeBenchFile();
     return 0;
 }

@@ -14,6 +14,7 @@
 
 #include "core/engine.hh"
 #include "expr/simplify.hh"
+#include "obs/report.hh"
 #include "solver/solver.hh"
 #include "vm/devices.hh"
 
@@ -74,7 +75,7 @@ solvePopulation(bool use_simplifier, size_t &nodes_blasted)
 }
 
 double
-guestRunSeconds(bool use_simplifier)
+guestRunSeconds(bool use_simplifier, obs::RunReport *report = nullptr)
 {
     vm::MachineConfig m;
     m.ramSize = 64 * 1024;
@@ -105,6 +106,8 @@ guestRunSeconds(bool use_simplifier)
     config.maxWallSeconds = 30;
     core::Engine engine(m, config);
     core::RunResult r = engine.run();
+    if (report)
+        report->captureEngine(engine, r);
     return r.wallSeconds;
 }
 
@@ -117,10 +120,10 @@ main()
     std::printf("=== §5 ablation: bitfield-theory simplifier ===\n\n");
 
     // Direct measurement of expression shrinkage.
+    size_t in_nodes = 0, out_nodes = 0;
     {
         expr::ExprBuilder b;
         expr::Simplifier simp(b);
-        size_t in_nodes = 0, out_nodes = 0;
         for (int i = 0; i < 40; ++i) {
             expr::ExprRef cond = flagCondition(b, i);
             in_nodes += cond->nodeCount();
@@ -139,8 +142,11 @@ main()
                 "%.3fs with the simplifier (%.2fx)\n",
                 t_plain, t_simplified, t_plain / t_simplified);
 
+    obs::RunReport report("bench_simplifier_ablation");
     double g_plain = guestRunSeconds(false);
-    double g_simplified = guestRunSeconds(true);
+    // Engine snapshot from the simplifier-enabled run (the default
+    // configuration).
+    double g_simplified = guestRunSeconds(true, &report);
     std::printf("whole-guest symbolic run: %.3fs without vs %.3fs with "
                 "(%.2fx)\n",
                 g_plain, g_simplified, g_plain / g_simplified);
@@ -151,5 +157,16 @@ main()
     std::printf("Shape check: no slowdown from enabling the simplifier "
                 "(within 20%%): %s\n",
                 t_simplified <= t_plain * 1.2 ? "YES" : "NO");
+
+    report.setMetric("dag_nodes_in", double(in_nodes));
+    report.setMetric("dag_nodes_out", double(out_nodes));
+    report.setMetric("query_seconds_plain", t_plain);
+    report.setMetric("query_seconds_simplified", t_simplified);
+    report.setMetric("blasted_nodes_plain", double(nodes_plain));
+    report.setMetric("blasted_nodes_simplified",
+                     double(nodes_simplified));
+    report.setMetric("guest_seconds_plain", g_plain);
+    report.setMetric("guest_seconds_simplified", g_simplified);
+    report.writeBenchFile();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/engine.hh"
+#include "obs/report.hh"
 #include "vm/devices.hh"
 
 using namespace s2e;
@@ -50,7 +51,8 @@ struct CellResult {
 };
 
 CellResult
-runWithWindow(uint32_t window, double budget_seconds)
+runWithWindow(uint32_t window, double budget_seconds,
+              obs::RunReport *report = nullptr)
 {
     vm::MachineConfig m;
     m.ramSize = 64 * 1024;
@@ -74,6 +76,8 @@ runWithWindow(uint32_t window, double budget_seconds)
     config.maxStatesCreated = 4096;
     core::Engine engine(m, config);
     core::RunResult r = engine.run();
+    if (report)
+        report->captureEngine(engine, r);
 
     CellResult cell;
     cell.instructions = r.totalInstructions;
@@ -104,10 +108,18 @@ main()
     std::printf("%-10s %12s %10s %14s %10s\n", "window", "instructions",
                 "paths", "avg query", "queries");
 
+    obs::RunReport report("bench_sympointer_pagesize");
+    report.addNote("engine snapshot taken at the 128-byte window");
+    std::vector<double> windows, paths_s, query_s;
     double small_rate = 0, large_rate = 0;
     double small_query = 0, large_query = 0;
     for (uint32_t window : {64u, 128u, 512u, 2048u, 4096u}) {
-        CellResult cell = runWithWindow(window, kBudget);
+        CellResult cell = runWithWindow(window, kBudget,
+                                        window == 128 ? &report
+                                                      : nullptr);
+        windows.push_back(window);
+        paths_s.push_back(double(cell.paths));
+        query_s.push_back(cell.avgQueryMs);
         std::printf("%7uB %13llu %10llu %11.3fms %10llu\n", window,
                     static_cast<unsigned long long>(cell.instructions),
                     static_cast<unsigned long long>(cell.paths),
@@ -133,5 +145,12 @@ main()
     std::printf("Shape check vs paper: average query time grows with "
                 "the window: %s\n",
                 large_query > small_query ? "YES" : "NO");
+
+    report.setSeries("window_bytes", std::move(windows));
+    report.setSeries("paths", std::move(paths_s));
+    report.setSeries("avg_query_ms", std::move(query_s));
+    report.setMetric("small_window_instr_per_sec", small_rate);
+    report.setMetric("large_window_instr_per_sec", large_rate);
+    report.writeBenchFile();
     return 0;
 }

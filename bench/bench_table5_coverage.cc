@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "obs/report.hh"
 #include "tools/rev.hh"
 
 using namespace s2e;
@@ -39,6 +40,7 @@ main()
         {guest::DriverKind::Ring, "84% -> 86%"},
     };
 
+    obs::RunReport report("bench_table5_coverage");
     bool all_improved = true;
     for (const auto &row : rows) {
         RevNicBaselineResult fuzz = runRevNicBaseline(
@@ -50,6 +52,12 @@ main()
         config.maxInstructions = kBudgetInstructions;
         Rev rev(config);
         RevResult sym = rev.run();
+        // The report carries the last driver's full engine snapshot
+        // plus one coverage pair per driver.
+        report.captureEngine(rev.engine(), sym.run);
+        std::string name = guest::driverName(row.kind);
+        report.setMetric(name + "_revnic_coverage", fuzz.driverCoverage);
+        report.setMetric(name + "_rev_coverage", sym.driverCoverage);
 
         double delta = (sym.driverCoverage - fuzz.driverCoverage) * 100;
         if (sym.driverCoverage + 1e-9 < fuzz.driverCoverage)
@@ -62,5 +70,7 @@ main()
     std::printf("\nShape check vs paper: REV+ coverage >= baseline on "
                 "every driver: %s\n",
                 all_improved ? "YES" : "NO");
+    report.setMetric("all_improved", all_improved ? 1.0 : 0.0);
+    report.writeBenchFile();
     return 0;
 }

@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "obs/report.hh"
 #include "tools/modelsweep.hh"
 
 using namespace s2e;
@@ -150,5 +151,32 @@ main()
     std::printf("Shape check vs paper: SC-UE never exceeds the other "
                 "models' coverage: %s\n",
                 scue_worst_coverage ? "YES" : "NO");
+
+    obs::RunReport report("bench_table6_fig789_models");
+    report.addNote("series order: RC-OC, LC, SC-SE, SC-UE");
+    report.addNote("runDriverSweep/runLuaSweep own their engines: "
+                   "metrics/series only");
+    for (const auto &row : rows) {
+        std::vector<double> wall, cov, mem, frac, query, paths;
+        for (const auto &c : row.cells) {
+            wall.push_back(c.wallSeconds);
+            cov.push_back(c.coverage);
+            mem.push_back(double(c.memoryHighWatermark));
+            frac.push_back(c.solverFraction);
+            query.push_back(c.avgQuerySeconds);
+            paths.push_back(double(c.pathsExplored));
+        }
+        std::string t = row.target;
+        report.setSeries(t + "_wall_seconds", std::move(wall));
+        report.setSeries(t + "_coverage", std::move(cov));
+        report.setSeries(t + "_memory_high_watermark", std::move(mem));
+        report.setSeries(t + "_solver_fraction", std::move(frac));
+        report.setSeries(t + "_avg_query_seconds", std::move(query));
+        report.setSeries(t + "_paths_explored", std::move(paths));
+    }
+    report.setMetric("scue_fastest", scue_fastest ? 1.0 : 0.0);
+    report.setMetric("scue_worst_coverage",
+                     scue_worst_coverage ? 1.0 : 0.0);
+    report.writeBenchFile();
     return 0;
 }

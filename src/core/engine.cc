@@ -104,8 +104,47 @@ Engine::Engine(vm::MachineConfig machine, EngineConfig config)
     : machine_(std::move(machine)), config_(config),
       policy_(policyFor(config.model)), builder_(),
       solver_(builder_, config.solverOptions),
+      profiler_(config.profileExecution),
+      concretizationSites_(stats_, "engine.concretizations"),
+      degradeSites_(stats_, "engine.solver_degraded"),
+      solverFailureSites_(stats_, "engine.solver_failures"),
       searcher_(std::make_unique<DfsSearcher>())
 {
+    // Register every per-event counter once; the run loop then updates
+    // them through plain pointers (no string build, no map lookup).
+    hot_.translations = &stats_.counterSlot("engine.translations");
+    hot_.instructions = &stats_.counterSlot("engine.instructions");
+    hot_.forks = &stats_.counterSlot("engine.forks");
+    hot_.forksSuppressedBudget =
+        &stats_.counterSlot("engine.forks_suppressed_budget");
+    hot_.forksSuppressedDegraded =
+        &stats_.counterSlot("engine.forks_suppressed_degraded");
+    hot_.cfgForks = &stats_.counterSlot("engine.cfg_forks");
+    hot_.envBranchConcretizations =
+        &stats_.counterSlot("engine.env_branch_concretizations");
+    hot_.symValuesCreated =
+        &stats_.counterSlot("engine.symbolic_values_created");
+    hot_.symPointerLoads =
+        &stats_.counterSlot("engine.symbolic_pointer_loads");
+    hot_.symPointerStores =
+        &stats_.counterSlot("engine.symbolic_pointer_stores");
+    hot_.symPointerWindowConstrained =
+        &stats_.counterSlot("engine.symbolic_pointer_window_constrained");
+    hot_.symPointerMaxWindow =
+        &stats_.counterSlot("engine.symbolic_pointer_max_window");
+    hot_.symbolicHardwareReads =
+        &stats_.counterSlot("engine.symbolic_hardware_reads");
+    hot_.dmaConcretizations =
+        &stats_.counterSlot("engine.dma_concretizations");
+    hot_.interruptsDelivered =
+        &stats_.counterSlot("engine.interrupts_delivered");
+    hot_.solverDegraded = &stats_.counterSlot("engine.solver_degraded");
+    hot_.solverFailures = &stats_.counterSlot("engine.solver_failures");
+    hot_.memoryHighWatermark =
+        &stats_.counterSlot("engine.memory_high_watermark");
+    hot_.maxActiveStates = &stats_.counterSlot("engine.max_active_states");
+    solver_.setProfiler(&profiler_);
+
     auto initial = std::make_unique<ExecutionState>(machine_.ramSize,
                                                     [this] {
                                                         vm::DeviceSet set;
@@ -192,7 +231,7 @@ Engine::deviceBusFor(ExecutionState &state)
         state.addConstraint(
             builder_.eq(e, builder_.constant(cv, 8)));
         state.mem.writeConcreteByte(addr, cv);
-        stats_.add("engine.dma_concretizations");
+        (*hot_.dmaConcretizations)++;
         return cv;
     };
     bus.writeMem = [this, &state](uint32_t addr, uint8_t value) {
@@ -222,8 +261,9 @@ Engine::fetchBlock(ExecutionState &state)
     if (tb)
         return tb;
 
+    obs::PhaseSpan span(profiler_, obs::Phase::Translate);
     tb = translator_.translate(state.cpu.pc, reader);
-    stats_.add("engine.translations");
+    (*hot_.translations)++;
     if (tb->instrPcs.empty())
         return tb; // decode fault; caller handles
 
@@ -269,7 +309,7 @@ Engine::makeRegSymbolic(ExecutionState &state, unsigned reg,
             builder_.ule(var, builder_.constant(range->second, 32)));
     }
     state.cpu.regs[reg] = Value(var);
-    stats_.add("engine.symbolic_values_created");
+    (*hot_.symValuesCreated)++;
     return var;
 }
 
@@ -288,7 +328,7 @@ Engine::makeMemSymbolic(ExecutionState &state, uint32_t addr, uint32_t len,
     }
     if (tbCache_.overlapsCode(addr, len))
         tbCache_.notifyWrite(addr, len);
-    stats_.add("engine.symbolic_values_created", len);
+    *hot_.symValuesCreated += len;
 }
 
 std::optional<uint32_t>
@@ -297,7 +337,7 @@ Engine::concretize(ExecutionState &state, const Value &value,
 {
     if (value.isConcrete())
         return value.concrete();
-    stats_.add(strprintf("engine.concretizations.%s", reason));
+    concretizationSites_.slot(reason)++;
     uint64_t raw = 0;
     auto v = solver_.getValue(state.constraints, value.expr(), &raw);
     if (v.isUnknown()) {
@@ -350,8 +390,8 @@ Engine::noteSolverDegraded(ExecutionState &state, const char *site,
 {
     state.degraded = true;
     state.degradeCount++;
-    stats_.add("engine.solver_degraded");
-    stats_.add(strprintf("engine.solver_degraded.%s", site));
+    (*hot_.solverDegraded)++;
+    degradeSites_.slot(site)++;
     SolverDegradeInfo info{state.cpu.pc, site, timed_out, false};
     events_.onSolverDegraded.emit(state, info);
 }
@@ -361,8 +401,8 @@ Engine::solverFailState(ExecutionState &state, const char *site,
                         const solver::QueryOutcome &outcome,
                         const std::string &message)
 {
-    stats_.add("engine.solver_failures");
-    stats_.add(strprintf("engine.solver_failures.%s", site));
+    (*hot_.solverFailures)++;
+    solverFailureSites_.slot(site)++;
     SolverDegradeInfo info{state.cpu.pc, site, outcome.timedOut, true};
     events_.onSolverDegraded.emit(state, info);
     killState(state, StateStatus::SolverFailure, message);
@@ -379,14 +419,15 @@ Engine::fork(ExecutionState &state, ExprRef condition)
 {
     if (config_.maxStatesCreated &&
         states_.size() >= config_.maxStatesCreated) {
-        stats_.add("engine.forks_suppressed_budget");
+        (*hot_.forksSuppressedBudget)++;
         return nullptr;
     }
+    obs::PhaseSpan span(profiler_, obs::Phase::Fork);
     auto child = state.clone(nextStateId_++);
     ExecutionState *child_ptr = child.get();
     states_.push_back(std::move(child));
     active_.push_back(child_ptr);
-    stats_.add("engine.forks");
+    (*hot_.forks)++;
 
     ForkInfo info{&state, child_ptr, condition};
     events_.onExecutionFork.emit(info);
@@ -402,6 +443,7 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
     if (cond.isConcrete())
         return cond.concrete() ? taken_pc : fallthrough_pc;
 
+    obs::PhaseSpan span(profiler_, obs::Phase::SymbolicExec);
     state.symInstrCount++;
     ExprRef c = builder_.ne(cond.toExpr(builder_),
                             builder_.constant(0, 32));
@@ -421,7 +463,7 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
             return fallthrough_pc;
           case EnvSymbolicBranchPolicy::ConcretizeHard:
           case EnvSymbolicBranchPolicy::ConcretizeSoft: {
-            stats_.add("engine.env_branch_concretizations");
+            (*hot_.envBranchConcretizations)++;
             auto v = concretize(state, cond, "env_branch");
             if (!v)
                 return fallthrough_pc;
@@ -447,7 +489,7 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
         ExecutionState *child = fork(state, c);
         if (child)
             child->cpu.pc = fallthrough_pc;
-        stats_.add("engine.cfg_forks");
+        (*hot_.cfgForks)++;
         return taken_pc;
     }
 
@@ -485,7 +527,7 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
     // fork and follow exactly one side that is *known or made*
     // feasible — never silently drop a definite side, never follow an
     // infeasible one.
-    stats_.add("engine.forks_suppressed_degraded");
+    (*hot_.forksSuppressedDegraded)++;
     noteSolverDegraded(state, "branch", ts.timedOut || fs.timedOut);
     if (ts.isSat()) {
         state.addConstraint(c);
@@ -524,7 +566,8 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
 Value
 Engine::symbolicLoad(ExecutionState &state, const Value &addr, unsigned len)
 {
-    stats_.add("engine.symbolic_pointer_loads");
+    obs::PhaseSpan span(profiler_, obs::Phase::SymbolicExec);
+    (*hot_.symPointerLoads)++;
     ExprRef a = addr.expr();
 
     // Pick the window containing one feasible address, constrain the
@@ -562,7 +605,7 @@ Engine::symbolicLoad(ExecutionState &state, const Value &addr, unsigned len)
         // either way, but an Unknown means feasible addresses may have
         // been cut off — record the degradation.
         state.addConstraint(in_window); // soft window constraint
-        stats_.add("engine.symbolic_pointer_window_constrained");
+        (*hot_.symPointerWindowConstrained)++;
         if (must.isUnknown())
             noteSolverDegraded(state, "symload_window", must.timedOut);
     }
@@ -587,7 +630,7 @@ Engine::symbolicLoad(ExecutionState &state, const Value &addr, unsigned len)
                 read);
         }
     }
-    stats_.high("engine.symbolic_pointer_max_window", window);
+    Stats::raiseTo(*hot_.symPointerMaxWindow, window);
     result = Value(read);
     (void)result;
     return Value(read);
@@ -603,7 +646,7 @@ Engine::loadFrom(ExecutionState &state, uint32_t addr, unsigned len,
             if (addr >= lo && addr < hi &&
                 policy_.symbolicHardwareAllowed &&
                 policy_.symbolicInputsEnabled) {
-                stats_.add("engine.symbolic_hardware_reads");
+                (*hot_.symbolicHardwareReads)++;
                 return Value(builder_.freshVar(
                     strprintf("mmio_%x", addr), 32));
             }
@@ -684,7 +727,7 @@ Engine::ioRead(ExecutionState &state, uint32_t port)
     for (const auto &[lo, hi] : config_.symbolicPortRanges) {
         if (p >= lo && p <= hi && policy_.symbolicHardwareAllowed &&
             policy_.symbolicInputsEnabled) {
-            stats_.add("engine.symbolic_hardware_reads");
+            (*hot_.symbolicHardwareReads)++;
             Value v(builder_.freshVar(strprintf("port_%x", p), 32));
             events_.onPortAccess.emit(state, p, v, false);
             return v;
@@ -809,7 +852,7 @@ Engine::deliverInterrupts(ExecutionState &state)
         return;
     unsigned irq = __builtin_ctz(state.cpu.pendingIrqs);
     state.cpu.pendingIrqs &= ~(1u << irq);
-    stats_.add("engine.interrupts_delivered");
+    (*hot_.interruptsDelivered)++;
     enterInterrupt(state, irq, state.cpu.pc);
 }
 
@@ -925,6 +968,10 @@ Engine::execS2Op(ExecutionState &state, const MicroOp &op,
 bool
 Engine::executeBlock(ExecutionState &state)
 {
+    // The enclosing span: nested translate/symbolic/solver/fork spans
+    // carve their time out of it (exclusive accounting), so what
+    // remains charged here is the true concrete-execution fraction.
+    obs::PhaseSpan span(profiler_, obs::Phase::ConcreteExec);
     deliverInterrupts(state);
     if (!state.isActive())
         return false;
@@ -989,6 +1036,7 @@ Engine::executeBlock(ExecutionState &state)
                 temps[op.dst] = Value(op.op == UOp::Not ? ~a.concrete()
                                                         : 0 - a.concrete());
             } else {
+                obs::PhaseSpan sym(profiler_, obs::Phase::SymbolicExec);
                 state.symInstrCount++;
                 temps[op.dst] = Value(op.op == UOp::Not
                                           ? builder_.bNot(a.expr())
@@ -1020,6 +1068,7 @@ Engine::executeBlock(ExecutionState &state)
                     Value(concreteBinary(op.op, a.concrete(),
                                          b.concrete()));
             } else {
+                obs::PhaseSpan sym(profiler_, obs::Phase::SymbolicExec);
                 state.symInstrCount++;
                 temps[op.dst] = Value(symbolicBinary(
                     op.op, a.toExpr(builder_), b.toExpr(builder_),
@@ -1097,7 +1146,7 @@ Engine::executeBlock(ExecutionState &state)
                 if (!v)
                     return false;
                 resolved = *v;
-                stats_.add("engine.symbolic_pointer_stores");
+                (*hot_.symPointerStores)++;
             } else {
                 resolved = addr.concrete() + op.imm;
             }
@@ -1207,8 +1256,8 @@ Engine::accountMemory()
     uint64_t total = 0;
     for (ExecutionState *s : active_)
         total += s->memoryFootprint();
-    stats_.high("engine.memory_high_watermark", total);
-    stats_.high("engine.max_active_states", active_.size());
+    Stats::raiseTo(*hot_.memoryHighWatermark, total);
+    Stats::raiseTo(*hot_.maxActiveStates, active_.size());
 }
 
 RunResult
@@ -1216,14 +1265,13 @@ Engine::run()
 {
     RunResult result;
     auto start = std::chrono::steady_clock::now();
-    uint64_t start_instr = stats_.get("engine.instructions");
+    uint64_t start_instr = *hot_.instructions;
 
     while (!active_.empty()) {
         double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
-        uint64_t executed =
-            stats_.get("engine.instructions") - start_instr;
+        uint64_t executed = *hot_.instructions - start_instr;
         if ((config_.maxWallSeconds > 0 &&
              elapsed > config_.maxWallSeconds) ||
             (config_.maxInstructions > 0 &&
@@ -1243,8 +1291,7 @@ Engine::run()
                 if (!executeBlock(*state))
                     break;
             }
-            stats_.add("engine.instructions",
-                       state->instrCount - instr_before);
+            *hot_.instructions += state->instrCount - instr_before;
         }
 
         // Sweep terminated states.
@@ -1263,9 +1310,9 @@ Engine::run()
     result.wallSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
-    result.totalInstructions =
-        stats_.get("engine.instructions") - start_instr;
-    result.forks = stats_.get("engine.forks");
+    profiler_.flushTo(stats_, "engine.phase");
+    result.totalInstructions = *hot_.instructions - start_instr;
+    result.forks = *hot_.forks;
     result.statesCreated = states_.size();
     for (const auto &s : states_) {
         result.totalBlocks += s->blockCount;

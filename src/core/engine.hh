@@ -23,6 +23,7 @@
 #include "core/events.hh"
 #include "core/state.hh"
 #include "dbt/translator.hh"
+#include "obs/profiler.hh"
 #include "solver/solver.hh"
 #include "vm/machine.hh"
 
@@ -68,6 +69,11 @@ struct EngineConfig {
     /** Translation blocks per scheduling quantum. */
     unsigned timesliceBlocks = 64;
 
+    /** Record the phase-time breakdown (translate / concrete /
+     *  symbolic / solver / fork). The compile-time default follows
+     *  the S2E_OBS_DEFAULT_OFF CMake option. */
+    bool profileExecution = obs::kProfilerDefaultEnabled;
+
     solver::SolverOptions solverOptions;
 };
 
@@ -106,6 +112,7 @@ class Engine
     solver::Solver &solver() { return solver_; }
     EventHub &events() { return events_; }
     Stats &stats() { return stats_; }
+    obs::PhaseProfiler &profiler() { return profiler_; }
     const EngineConfig &config() const { return config_; }
     const ConsistencyPolicy &policy() const { return policy_; }
 
@@ -245,6 +252,35 @@ class Engine
     solver::Solver solver_;
     EventHub events_;
     Stats stats_;
+    obs::PhaseProfiler profiler_;
+
+    /** Pre-registered Stats slots for per-event counters: the run
+     *  loop bumps these through plain pointers, never a map lookup. */
+    struct HotCounters {
+        uint64_t *translations = nullptr;
+        uint64_t *instructions = nullptr;
+        uint64_t *forks = nullptr;
+        uint64_t *forksSuppressedBudget = nullptr;
+        uint64_t *forksSuppressedDegraded = nullptr;
+        uint64_t *cfgForks = nullptr;
+        uint64_t *envBranchConcretizations = nullptr;
+        uint64_t *symValuesCreated = nullptr;
+        uint64_t *symPointerLoads = nullptr;
+        uint64_t *symPointerStores = nullptr;
+        uint64_t *symPointerWindowConstrained = nullptr;
+        uint64_t *symPointerMaxWindow = nullptr;
+        uint64_t *symbolicHardwareReads = nullptr;
+        uint64_t *dmaConcretizations = nullptr;
+        uint64_t *interruptsDelivered = nullptr;
+        uint64_t *solverDegraded = nullptr;
+        uint64_t *solverFailures = nullptr;
+        uint64_t *memoryHighWatermark = nullptr;
+        uint64_t *maxActiveStates = nullptr;
+    } hot_;
+    SiteCounterCache concretizationSites_;
+    SiteCounterCache degradeSites_;
+    SiteCounterCache solverFailureSites_;
+
     dbt::Translator translator_;
     dbt::TbCache tbCache_;
     std::unique_ptr<Searcher> searcher_;

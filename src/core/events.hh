@@ -36,6 +36,15 @@ class Signal
         return callbacks_.size() - 1;
     }
 
+    /** Release a subscription. Handles are never reused, so a double
+     *  unsubscribe (or one with a stale handle) is a harmless no-op. */
+    void
+    unsubscribe(size_t handle)
+    {
+        if (handle < callbacks_.size())
+            callbacks_[handle] = nullptr;
+    }
+
     void
     emit(Args... args) const
     {

@@ -1,0 +1,137 @@
+#include "obs/forktree.hh"
+
+#include "expr/expr.hh"
+#include "obs/json.hh"
+#include "support/logging.hh"
+
+namespace s2e::obs {
+
+namespace {
+
+/** Render a branch condition, bounded so huge expressions cannot
+ *  bloat the tree (conditions are for humans here, not replay). */
+std::string
+renderCondition(expr::ExprRef cond)
+{
+    if (!cond)
+        return "";
+    std::string s = cond->toString();
+    constexpr size_t kMaxLen = 160;
+    if (s.size() > kMaxLen)
+        s = s.substr(0, kMaxLen) + "...";
+    return s;
+}
+
+} // namespace
+
+ForkTreeRecorder::ForkTreeRecorder(core::EventHub &events) : events_(events)
+{
+    forkHandle_ =
+        events_.onExecutionFork.subscribe([this](const core::ForkInfo &fi) {
+            forks_++;
+            ForkNode &parent = ensure(fi.parent->id());
+            ForkNode &child = ensure(fi.child->id());
+            parent.children.push_back(fi.child->id());
+            child.parent = fi.parent->id();
+            child.forkPc = fi.parent->cpu.pc;
+            child.condition = renderCondition(fi.condition);
+        });
+    killHandle_ =
+        events_.onStateKill.subscribe([this](core::ExecutionState &state) {
+            ForkNode &node = ensure(state.id());
+            node.finished = true;
+            node.status = core::stateStatusName(state.status);
+            node.statusMessage = state.statusMessage;
+            node.instructions = state.instrCount;
+            node.degraded = state.degraded;
+        });
+    degradeHandle_ = events_.onSolverDegraded.subscribe(
+        [this](core::ExecutionState &state,
+               const core::SolverDegradeInfo &) {
+            ForkNode &node = ensure(state.id());
+            node.degraded = true;
+            node.degradeEvents++;
+        });
+}
+
+ForkTreeRecorder::~ForkTreeRecorder()
+{
+    events_.onExecutionFork.unsubscribe(forkHandle_);
+    events_.onStateKill.unsubscribe(killHandle_);
+    events_.onSolverDegraded.unsubscribe(degradeHandle_);
+}
+
+ForkNode &
+ForkTreeRecorder::ensure(int id)
+{
+    ForkNode &node = nodes_[id];
+    node.id = id;
+    return node;
+}
+
+std::string
+ForkTreeRecorder::toDot() const
+{
+    std::string out = "digraph forktree {\n";
+    out += "  node [shape=box fontsize=9];\n";
+    for (const auto &[id, node] : nodes_) {
+        std::string label = strprintf("s%d", id);
+        if (node.finished)
+            label += "\\n" + node.status;
+        if (node.degraded)
+            label += "\\ndegraded";
+        out += strprintf("  n%d [label=\"%s\"];\n", id, label.c_str());
+    }
+    for (const auto &[id, node] : nodes_) {
+        for (int child : node.children) {
+            auto it = nodes_.find(child);
+            std::string cond =
+                it == nodes_.end() ? "" : it->second.condition;
+            // DOT string escaping for the edge label
+            std::string esc;
+            for (char c : cond) {
+                if (c == '"' || c == '\\')
+                    esc += '\\';
+                esc += c;
+            }
+            out += strprintf("  n%d -> n%d [label=\"%s\"];\n", id, child,
+                             esc.c_str());
+        }
+    }
+    out += "}\n";
+    return out;
+}
+
+std::string
+ForkTreeRecorder::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "s2e.fork_tree.v1");
+    w.field("forks", static_cast<uint64_t>(forks_));
+    w.key("nodes").beginArray();
+    for (const auto &[id, node] : nodes_) {
+        w.beginObject();
+        w.field("id", static_cast<int64_t>(node.id));
+        w.field("parent", static_cast<int64_t>(node.parent));
+        w.field("fork_pc", static_cast<uint64_t>(node.forkPc));
+        w.field("condition", node.condition);
+        w.key("children").beginArray();
+        for (int child : node.children)
+            w.value(static_cast<int64_t>(child));
+        w.endArray();
+        w.field("finished", node.finished);
+        w.field("status", node.status);
+        w.field("message", node.statusMessage);
+        w.field("instructions", node.instructions);
+        w.field("degraded", node.degraded);
+        w.field("degrade_events",
+                static_cast<uint64_t>(node.degradeEvents));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+} // namespace s2e::obs

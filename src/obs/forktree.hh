@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fork-tree recorder: reconstructs the exploration tree of one run
+ * for debugging path explosion and solver degradation. Subscribes to
+ * onExecutionFork / onStateKill / onSolverDegraded and captures, per
+ * state, the parent id, the guest pc of the fork, the rendered branch
+ * condition and the terminal status. Exportable as DOT (graphviz) and
+ * JSON (`s2e.fork_tree.v1`).
+ */
+
+#ifndef S2E_OBS_FORKTREE_HH
+#define S2E_OBS_FORKTREE_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/events.hh"
+
+namespace s2e::obs {
+
+/** One state's record in the exploration tree. */
+struct ForkNode {
+    int id = 0;
+    int parent = -1;        ///< -1 for the root
+    uint32_t forkPc = 0;    ///< guest pc at the fork that created it
+    std::string condition;  ///< rendered branch constraint (truncated)
+    std::vector<int> children;
+    bool finished = false;
+    std::string status;     ///< stateStatusName() at kill time
+    std::string statusMessage;
+    uint64_t instructions = 0;
+    bool degraded = false;
+    uint32_t degradeEvents = 0;
+};
+
+/**
+ * Observer over an EventHub. Detaches cleanly in the destructor via
+ * Signal::unsubscribe, so a recorder may have a narrower lifetime
+ * than the engine it watches.
+ */
+class ForkTreeRecorder
+{
+  public:
+    explicit ForkTreeRecorder(core::EventHub &events);
+    ~ForkTreeRecorder();
+    ForkTreeRecorder(const ForkTreeRecorder &) = delete;
+    ForkTreeRecorder &operator=(const ForkTreeRecorder &) = delete;
+
+    const std::map<int, ForkNode> &nodes() const { return nodes_; }
+    size_t forkCount() const { return forks_; }
+
+    /** Graphviz rendering: one node per state, edges labeled with the
+     *  branch condition that separated child from parent. */
+    std::string toDot() const;
+
+    /** JSON rendering (schema `s2e.fork_tree.v1`). */
+    std::string toJson() const;
+
+  private:
+    ForkNode &ensure(int id);
+
+    core::EventHub &events_;
+    size_t forkHandle_;
+    size_t killHandle_;
+    size_t degradeHandle_;
+    std::map<int, ForkNode> nodes_;
+    size_t forks_ = 0;
+};
+
+} // namespace s2e::obs
+
+#endif // S2E_OBS_FORKTREE_HH

@@ -1,0 +1,65 @@
+#include "obs/heartbeat.hh"
+
+#include "support/logging.hh"
+
+namespace s2e::obs {
+
+Heartbeat::Heartbeat(core::Engine &engine, Config config)
+    : engine_(engine), config_(config),
+      start_(std::chrono::steady_clock::now()), lastTime_(start_)
+{
+    if (config_.everyBlocks == 0)
+        config_.everyBlocks = 1;
+    blockHandle_ = engine_.events().onBlockExecute.subscribe(
+        [this](core::ExecutionState &, const dbt::TranslationBlock &tb) {
+            blocks_++;
+            instructions_ += tb.instrPcs.size();
+            if (blocks_ % config_.everyBlocks == 0)
+                beat();
+        });
+}
+
+Heartbeat::~Heartbeat()
+{
+    engine_.events().onBlockExecute.unsubscribe(blockHandle_);
+}
+
+void
+Heartbeat::beat()
+{
+    auto now = std::chrono::steady_clock::now();
+    double wall = std::chrono::duration<double>(now - start_).count();
+    double interval = std::chrono::duration<double>(now - lastTime_).count();
+
+    uint64_t forks = engine_.stats().get("engine.forks");
+    double solverSecs = engine_.solver().stats().seconds("solver.time");
+
+    HeartbeatRecord rec;
+    rec.blocks = blocks_;
+    rec.instructions = instructions_;
+    rec.activeStates = engine_.activeStates().size();
+    rec.wallSeconds = wall;
+    if (interval > 0) {
+        rec.instrPerSec =
+            static_cast<double>(instructions_ - lastInstructions_) / interval;
+        rec.forksPerSec = static_cast<double>(forks - lastForks_) / interval;
+        rec.solverFraction = (solverSecs - lastSolverSeconds_) / interval;
+    }
+    rec.memHighWatermark = engine_.stats().get("engine.memory_high_watermark");
+    records_.push_back(rec);
+
+    if (config_.log) {
+        inform("heartbeat: %llu blocks, %zu active states, %.0f instr/s, "
+               "%.1f forks/s, %.1f%% solver, %llu B mem high",
+               static_cast<unsigned long long>(rec.blocks), rec.activeStates,
+               rec.instrPerSec, rec.forksPerSec, rec.solverFraction * 100.0,
+               static_cast<unsigned long long>(rec.memHighWatermark));
+    }
+
+    lastTime_ = now;
+    lastInstructions_ = instructions_;
+    lastForks_ = forks;
+    lastSolverSeconds_ = solverSecs;
+}
+
+} // namespace s2e::obs

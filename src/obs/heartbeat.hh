@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Heartbeat emitter: periodic liveness/progress lines for long
+ * explorations. Every N executed translation blocks it samples the
+ * engine — active states, instructions/second, fork rate, solver-time
+ * fraction, memory high-watermark — logs one line through
+ * logging.hh's inform() and keeps the sample for RunReport/tests.
+ */
+
+#ifndef S2E_OBS_HEARTBEAT_HH
+#define S2E_OBS_HEARTBEAT_HH
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "core/engine.hh"
+
+namespace s2e::obs {
+
+/** One heartbeat sample. Rates are over the interval since the
+ *  previous beat (or since attach, for the first one). */
+struct HeartbeatRecord {
+    uint64_t blocks = 0;        ///< blocks executed so far
+    uint64_t instructions = 0;  ///< instructions executed so far
+    size_t activeStates = 0;
+    double wallSeconds = 0;     ///< since attach
+    double instrPerSec = 0;
+    double forksPerSec = 0;
+    double solverFraction = 0;  ///< solver time / wall time, interval
+    uint64_t memHighWatermark = 0;
+};
+
+class Heartbeat
+{
+  public:
+    struct Config {
+        uint64_t everyBlocks = 4096;
+        bool log = true; ///< emit inform() lines (records always kept)
+    };
+
+    explicit Heartbeat(core::Engine &engine) : Heartbeat(engine, Config()) {}
+    Heartbeat(core::Engine &engine, Config config);
+    ~Heartbeat();
+    Heartbeat(const Heartbeat &) = delete;
+    Heartbeat &operator=(const Heartbeat &) = delete;
+
+    const std::vector<HeartbeatRecord> &records() const { return records_; }
+
+  private:
+    void beat();
+
+    core::Engine &engine_;
+    Config config_;
+    size_t blockHandle_;
+
+    uint64_t blocks_ = 0;
+    uint64_t instructions_ = 0;
+    std::chrono::steady_clock::time_point start_;
+
+    // previous-beat baselines for interval rates
+    std::chrono::steady_clock::time_point lastTime_;
+    uint64_t lastInstructions_ = 0;
+    uint64_t lastForks_ = 0;
+    double lastSolverSeconds_ = 0;
+
+    std::vector<HeartbeatRecord> records_;
+};
+
+} // namespace s2e::obs
+
+#endif // S2E_OBS_HEARTBEAT_HH

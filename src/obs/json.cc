@@ -1,0 +1,151 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace s2e::obs {
+
+std::string
+JsonWriter::quote(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already emitted "name":
+    }
+    if (!needComma_.empty()) {
+        if (needComma_.back())
+            out_ += ',';
+        needComma_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    out_ += '}';
+    needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    needComma_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    out_ += ']';
+    needComma_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &name)
+{
+    separate();
+    out_ += quote(name);
+    out_ += ':';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &s)
+{
+    separate();
+    out_ += quote(s);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string(s));
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    separate();
+    if (!std::isfinite(d)) {
+        out_ += "null"; // JSON has no inf/nan
+        return *this;
+    }
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", d);
+    out_ += buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t u)
+{
+    separate();
+    out_ += std::to_string(u);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t i)
+{
+    separate();
+    out_ += std::to_string(i);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    separate();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separate();
+    out_ += "null";
+    return *this;
+}
+
+} // namespace s2e::obs

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Minimal JSON emitter for observability exports (RunReport, fork
+ * tree). Hand-rolled on purpose: the repo takes no third-party
+ * dependencies, and the writers here only need objects, arrays,
+ * strings, bools and finite numbers. Commas and quoting are managed
+ * by a nesting stack so callers cannot emit malformed documents by
+ * forgetting separators.
+ */
+
+#ifndef S2E_OBS_JSON_HH
+#define S2E_OBS_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace s2e::obs {
+
+/** Streaming JSON writer with automatic separators. */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key; the next emitted value belongs to it. */
+    JsonWriter &key(const std::string &name);
+
+    JsonWriter &value(const std::string &s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(double d);
+    JsonWriter &value(uint64_t u);
+    JsonWriter &value(int64_t i);
+    JsonWriter &value(int i) { return value(static_cast<int64_t>(i)); }
+    JsonWriter &value(unsigned u) { return value(static_cast<uint64_t>(u)); }
+    JsonWriter &value(bool b);
+    JsonWriter &null();
+
+    /** key() + value() in one call. */
+    template <typename T>
+    JsonWriter &
+    field(const std::string &name, const T &v)
+    {
+        key(name);
+        return value(v);
+    }
+
+    const std::string &str() const { return out_; }
+
+    /** Escape one string into a quoted JSON literal. */
+    static std::string quote(const std::string &s);
+
+  private:
+    void separate();
+
+    std::string out_;
+    std::vector<bool> needComma_; ///< one flag per open container
+    bool pendingKey_ = false;
+};
+
+} // namespace s2e::obs
+
+#endif // S2E_OBS_JSON_HH

@@ -13,8 +13,7 @@ ExecutionTracer::ExecutionTracer(Engine &engine, Config config)
                    const dbt::TranslationBlock &tb) {
                 auto *ts = state.pluginState<TraceState>(this);
                 ts->currentBlockPc = tb.pc;
-                if (!inRanges(tb.pc) ||
-                    ts->entries.size() >= config_.maxEntriesPerPath)
+                if (!inRanges(tb.pc) || !admit(ts))
                     return;
                 ts->entries.push_back(
                     {TraceEntry::Kind::Block, tb.pc, 0, 0, 0});
@@ -25,8 +24,7 @@ ExecutionTracer::ExecutionTracer(Engine &engine, Config config)
             [this](ExecutionState &state,
                    const core::MemAccessInfo &info) {
                 auto *ts = state.pluginState<TraceState>(this);
-                if (!inRanges(ts->currentBlockPc) ||
-                    ts->entries.size() >= config_.maxEntriesPerPath)
+                if (!inRanges(ts->currentBlockPc))
                     return;
                 bool is_mmio = info.addr >= vm::kMmioBase;
                 uint32_t v = info.value && info.value->isConcrete()
@@ -34,6 +32,8 @@ ExecutionTracer::ExecutionTracer(Engine &engine, Config config)
                                  : 0;
                 if (is_mmio && config_.traceMmio) {
                     // MMIO device accesses are hardware I/O.
+                    if (!admit(ts))
+                        return;
                     ts->entries.push_back(
                         {info.isWrite ? TraceEntry::Kind::PortOut
                                       : TraceEntry::Kind::PortIn,
@@ -41,7 +41,7 @@ ExecutionTracer::ExecutionTracer(Engine &engine, Config config)
                          static_cast<uint8_t>(info.size)});
                     return;
                 }
-                if (!config_.traceMemory)
+                if (!config_.traceMemory || !admit(ts))
                     return;
                 ts->entries.push_back(
                     {info.isWrite ? TraceEntry::Kind::MemWrite
@@ -55,8 +55,7 @@ ExecutionTracer::ExecutionTracer(Engine &engine, Config config)
             [this](ExecutionState &state, uint16_t port,
                    const core::Value &value, bool is_write) {
                 auto *ts = state.pluginState<TraceState>(this);
-                if (!inRanges(ts->currentBlockPc) ||
-                    ts->entries.size() >= config_.maxEntriesPerPath)
+                if (!inRanges(ts->currentBlockPc) || !admit(ts))
                     return;
                 uint32_t v =
                     value.isConcrete() ? value.concrete() : 0;
@@ -68,7 +67,9 @@ ExecutionTracer::ExecutionTracer(Engine &engine, Config config)
     }
     engine_.events().onStateKill.subscribe([this](ExecutionState &state) {
         const auto *ts = traceOf(state);
-        if (ts && !ts->entries.empty())
+        // A fully-truncated trace (all entries dropped) still counts:
+        // consumers must see that recording happened and was lossy.
+        if (ts && (!ts->entries.empty() || ts->dropped > 0))
             finished_.emplace_back(state.id(), *ts);
     });
 }

@@ -26,6 +26,10 @@ struct TraceEntry {
 struct TraceState : public core::PluginState {
     std::vector<TraceEntry> entries;
     uint32_t currentBlockPc = 0;
+    /** Entries that passed the filters but were discarded because the
+     *  path hit maxEntriesPerPath — a truncated trace is detectable,
+     *  never silent (REV+'s CFG would otherwise just look sparser). */
+    uint64_t dropped = 0;
     std::unique_ptr<core::PluginState>
     clone() const override
     {
@@ -79,6 +83,18 @@ class ExecutionTracer : public Plugin
         for (const auto &[lo, hi] : config_.ranges)
             if (pc >= lo && pc < hi)
                 return true;
+        return false;
+    }
+
+    /** False (and counts the drop) once the path is at capacity. Only
+     *  called for entries that passed the filters, so `dropped` never
+     *  counts records that would have been skipped anyway. */
+    bool
+    admit(TraceState *ts)
+    {
+        if (ts->entries.size() < config_.maxEntriesPerPath)
+            return true;
+        ts->dropped++;
         return false;
     }
 

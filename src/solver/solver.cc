@@ -65,6 +65,27 @@ Solver::Solver(expr::ExprBuilder &builder, SolverOptions opts)
     : builder_(builder), simplifier_(builder), opts_(opts),
       faultRng_(faultPolicy_.seed)
 {
+    // Register the per-query telemetry slots once; solveSat then
+    // updates them through plain pointers (no map lookup per query).
+    hot_.queries = &stats_.counterSlot("solver.queries");
+    hot_.unknownResults = &stats_.counterSlot("solver.unknown_results");
+    hot_.maxQueryMicros = &stats_.counterSlot("solver.max_query_micros");
+    hot_.faultsInjected = &stats_.counterSlot("solver.faults_injected");
+    hot_.constraintsSlicedAway =
+        &stats_.counterSlot("solver.constraints_sliced_away");
+    hot_.modelCacheHits = &stats_.counterSlot("solver.model_cache_hits");
+    hot_.cacheSat = &stats_.counterSlot("solver.cache_sat");
+    hot_.satQueries = &stats_.counterSlot("solver.sat_queries");
+    hot_.satConflicts = &stats_.counterSlot("solver.sat_conflicts");
+    hot_.satDecisions = &stats_.counterSlot("solver.sat_decisions");
+    hot_.maxGates = &stats_.counterSlot("solver.max_gates");
+    hot_.retries = &stats_.counterSlot("solver.retries");
+    hot_.timeouts = &stats_.counterSlot("solver.timeouts");
+    hot_.branchShortCircuits =
+        &stats_.counterSlot("solver.branch_short_circuits");
+    hot_.time = &stats_.timerSlot("solver.time");
+    hot_.simplifyTime = &stats_.timerSlot("solver.simplify_time");
+    hot_.satTime = &stats_.timerSlot("solver.sat_time");
 }
 
 void
@@ -132,8 +153,7 @@ Solver::sliceIndependent(const std::vector<ExprRef> &constraints,
     for (size_t i = 0; i < constraints.size(); ++i)
         if (included[i])
             out.push_back(constraints[i]);
-    stats_.add("solver.constraints_sliced_away",
-               constraints.size() - out.size());
+    *hot_.constraintsSlicedAway += constraints.size() - out.size();
     return out;
 }
 
@@ -155,7 +175,7 @@ Solver::tryCachedModels(const std::vector<ExprRef> &constraints,
             }
         }
         if (all) {
-            stats_.add("solver.model_cache_hits");
+            (*hot_.modelCacheHits)++;
             if (model)
                 *model = a;
             return true;
@@ -168,7 +188,8 @@ QueryOutcome
 Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
                  Assignment *model)
 {
-    stats_.add("solver.queries");
+    obs::PhaseSpan span(profiler_, obs::Phase::Solver);
+    (*hot_.queries)++;
     ++queryCounter_;
 
     QueryOutcome out;
@@ -176,23 +197,22 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
     // Record wall time + high-water latency on every exit path.
     struct Finalize {
         QueryOutcome &out;
-        Stats &stats;
+        HotStats &hot;
         std::chrono::steady_clock::time_point start;
         ~Finalize()
         {
             out.micros = microsSince(start);
-            stats.addSeconds("solver.time",
-                             static_cast<double>(out.micros) * 1e-6);
-            stats.high("solver.max_query_micros", out.micros);
+            *hot.time += static_cast<double>(out.micros) * 1e-6;
+            Stats::raiseTo(*hot.maxQueryMicros, out.micros);
             if (out.result == CheckResult::Unknown)
-                stats.add("solver.unknown_results");
+                (*hot.unknownResults)++;
         }
-    } finalize{out, stats_, start};
+    } finalize{out, hot_, start};
 
     // Deterministic fault injection: the shim sits in front of the
     // whole pipeline so every call site sees a realistic Unknown.
     if (faultTriggers(queryCounter_)) {
-        stats_.add("solver.faults_injected");
+        (*hot_.faultsInjected)++;
         out.result = CheckResult::Unknown;
         out.timedOut = true; // presents as a wall-clock timeout
         return out;
@@ -202,7 +222,7 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
     ExprRef q = query;
     std::vector<ExprRef> cs(constraints);
     if (opts_.useSimplifier) {
-        ScopedTimer st(stats_, "solver.simplify_time");
+        ScopedTimer st(*hot_.simplifyTime);
         q = simplifier_.simplify(q);
         for (auto &c : cs)
             c = simplifier_.simplify(c);
@@ -242,14 +262,14 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
 
     // Model cache.
     if (tryCachedModels(sliced, q, model)) {
-        stats_.add("solver.cache_sat");
+        (*hot_.cacheSat)++;
         out.result = CheckResult::Sat;
         return out;
     }
 
     // Full SAT solving.
-    stats_.add("solver.sat_queries");
-    ScopedTimer sat_timer(stats_, "solver.sat_time");
+    (*hot_.satQueries)++;
+    ScopedTimer sat_timer(*hot_.satTime);
     sat::SatSolver sat;
     BitBlaster blaster(sat);
     for (ExprRef c : sliced)
@@ -274,12 +294,12 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
         if (out.retries >= opts_.maxRetries || budget.unlimited())
             break;
         ++out.retries;
-        stats_.add("solver.retries");
+        (*hot_.retries)++;
         budget = budget.escalated(opts_.retryMultiplier);
     }
-    stats_.add("solver.sat_conflicts", out.conflicts);
-    stats_.add("solver.sat_decisions", sat.numDecisions());
-    stats_.high("solver.max_gates", blaster.numGates());
+    *hot_.satConflicts += out.conflicts;
+    *hot_.satDecisions += sat.numDecisions();
+    Stats::raiseTo(*hot_.maxGates, blaster.numGates());
 
     switch (res) {
       case sat::SatResult::Unsat:
@@ -289,7 +309,7 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
         out.result = CheckResult::Unknown;
         out.timedOut = sat.lastStopWasDeadline();
         if (out.timedOut)
-            stats_.add("solver.timeouts");
+            (*hot_.timeouts)++;
         return out;
       case sat::SatResult::Sat: {
         Assignment a;
@@ -353,7 +373,7 @@ Solver::checkBranch(const std::vector<ExprRef> &constraints, ExprRef cond)
     // nothing — never short-circuit on it.
     if (f.trueSide.isUnsat()) {
         f.falseSide.result = CheckResult::Sat;
-        stats_.add("solver.branch_short_circuits");
+        (*hot_.branchShortCircuits)++;
         return f;
     }
     f.falseSide = mayBeTrue(constraints, builder_.lnot(cond));

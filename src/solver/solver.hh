@@ -26,6 +26,7 @@
 #include "expr/builder.hh"
 #include "expr/eval.hh"
 #include "expr/simplify.hh"
+#include "obs/profiler.hh"
 #include "solver/sat.hh"
 #include "support/rng.hh"
 #include "support/stats.hh"
@@ -170,6 +171,10 @@ class Solver
     Stats &stats() { return stats_; }
     const SolverOptions &options() const { return opts_; }
 
+    /** Attach the engine's phase profiler: every query then runs
+     *  under a Solver span (nullptr detaches; never owned). */
+    void setProfiler(obs::PhaseProfiler *profiler) { profiler_ = profiler; }
+
   private:
     std::vector<ExprRef>
     sliceIndependent(const std::vector<ExprRef> &constraints, ExprRef expr);
@@ -183,6 +188,29 @@ class Solver
     expr::Simplifier simplifier_;
     SolverOptions opts_;
     Stats stats_;
+    obs::PhaseProfiler *profiler_ = nullptr;
+
+    /** Pre-registered Stats slots for the per-query telemetry: the
+     *  query path updates these through plain pointers. */
+    struct HotStats {
+        uint64_t *queries = nullptr;
+        uint64_t *unknownResults = nullptr;
+        uint64_t *maxQueryMicros = nullptr;
+        uint64_t *faultsInjected = nullptr;
+        uint64_t *constraintsSlicedAway = nullptr;
+        uint64_t *modelCacheHits = nullptr;
+        uint64_t *cacheSat = nullptr;
+        uint64_t *satQueries = nullptr;
+        uint64_t *satConflicts = nullptr;
+        uint64_t *satDecisions = nullptr;
+        uint64_t *maxGates = nullptr;
+        uint64_t *retries = nullptr;
+        uint64_t *timeouts = nullptr;
+        uint64_t *branchShortCircuits = nullptr;
+        double *time = nullptr;
+        double *simplifyTime = nullptr;
+        double *satTime = nullptr;
+    } hot_;
     std::vector<Assignment> recentModels_; ///< bounded model cache
     FaultPolicy faultPolicy_;
     Rng faultRng_;

@@ -3,6 +3,12 @@
  * Lightweight named-statistics registry. Engine components register
  * counters and timers here; benchmark harnesses snapshot and print
  * them (e.g., the solver-time fractions of Fig 9).
+ *
+ * Two access tiers: the string-keyed add()/get() API for cold paths,
+ * and stable slot references (counterSlot/timerSlot) that hot paths
+ * register once and then bump with a plain increment — no string
+ * formatting and no map lookup per event. Slots stay valid for the
+ * lifetime of the Stats object (std::map nodes do not move).
  */
 
 #ifndef S2E_SUPPORT_STATS_HH
@@ -12,6 +18,8 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace s2e {
 
@@ -62,6 +70,36 @@ class Stats
         return it == seconds_.end() ? 0.0 : it->second;
     }
 
+    /** Overwrite a timer (for flushed absolute values). */
+    void
+    setSeconds(const std::string &name, double secs)
+    {
+        seconds_[name] = secs;
+    }
+
+    // --- Hot-path slot API --------------------------------------------
+    //
+    // Register once (pays the map lookup), then update through the
+    // returned reference in O(1). References remain valid as long as
+    // the Stats object lives; clear() invalidates them.
+
+    /** Stable reference to a counter slot (created at zero). */
+    uint64_t &counterSlot(const std::string &name)
+    {
+        return counters_[name];
+    }
+
+    /** Stable reference to a timer slot (created at zero). */
+    double &timerSlot(const std::string &name) { return seconds_[name]; }
+
+    /** Slot-based high-watermark update. */
+    static void
+    raiseTo(uint64_t &slot, uint64_t value)
+    {
+        if (value > slot)
+            slot = value;
+    }
+
     const std::map<std::string, uint64_t> &counters() const
     {
         return counters_;
@@ -88,22 +126,57 @@ class ScopedTimer
 {
   public:
     ScopedTimer(Stats &stats, std::string name)
-        : stats_(stats), name_(std::move(name)),
+        : slot_(&stats.timerSlot(name)),
           start_(std::chrono::steady_clock::now())
+    {
+    }
+
+    /** Hot-path variant: accumulate into a pre-registered slot. */
+    explicit ScopedTimer(double &slot)
+        : slot_(&slot), start_(std::chrono::steady_clock::now())
     {
     }
 
     ~ScopedTimer()
     {
         auto end = std::chrono::steady_clock::now();
-        stats_.addSeconds(
-            name_, std::chrono::duration<double>(end - start_).count());
+        *slot_ += std::chrono::duration<double>(end - start_).count();
+    }
+
+  private:
+    double *slot_;
+    std::chrono::steady_clock::time_point start_;
+};
+
+/**
+ * Pointer-keyed cache of counter slots for per-site counters whose
+ * site is a string literal (`prefix.site`). The first bump of a site
+ * builds the composite name once; subsequent bumps are a short
+ * pointer scan plus an increment — no strprintf, no map lookup.
+ */
+class SiteCounterCache
+{
+  public:
+    SiteCounterCache(Stats &stats, std::string prefix)
+        : stats_(stats), prefix_(std::move(prefix))
+    {
+    }
+
+    uint64_t &
+    slot(const char *site)
+    {
+        for (const auto &[key, slot] : cache_)
+            if (key == site)
+                return *slot;
+        uint64_t &created = stats_.counterSlot(prefix_ + "." + site);
+        cache_.emplace_back(site, &created);
+        return created;
     }
 
   private:
     Stats &stats_;
-    std::string name_;
-    std::chrono::steady_clock::time_point start_;
+    std::string prefix_;
+    std::vector<std::pair<const char *, uint64_t *>> cache_;
 };
 
 } // namespace s2e

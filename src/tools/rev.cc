@@ -95,6 +95,7 @@ Rev::run()
 
     // Offline CFG reconstruction from the per-path trace fragments.
     auto ingest = [&](const plugins::TraceState &trace) {
+        result.droppedTraceEntries += trace.dropped;
         uint32_t prev = 0;
         bool have_prev = false;
         for (const auto &entry : trace.entries) {
@@ -130,6 +131,10 @@ Rev::run()
         if (trace && s->status == core::StateStatus::BudgetExceeded)
             ingest(*trace);
     }
+    if (result.droppedTraceEntries > 0)
+        warn("tracer dropped %llu entries at the per-path cap; the "
+             "recovered CFG is built from truncated traces",
+             static_cast<unsigned long long>(result.droppedTraceEntries));
 
     plugins::StaticBlocks blocks = plugins::staticBasicBlocks(
         program_, guest::kDriverCode, guest::kDriverCodeEnd);

@@ -65,6 +65,10 @@ struct RevResult {
     /** Coverage-over-time samples (seconds, covered blocks). */
     std::vector<std::pair<double, size_t>> coverageTimeline;
     size_t pathsExplored = 0;
+    /** Trace entries lost to ExecutionTracer's per-path cap, summed
+     *  over all ingested traces. Non-zero means the recovered CFG was
+     *  built from truncated evidence. */
+    uint64_t droppedTraceEntries = 0;
     core::RunResult run;
 };
 

@@ -122,5 +122,84 @@ TEST(Stats, ScopedTimerRecordsSomething)
     EXPECT_GE(s.seconds("scoped"), 0.0);
 }
 
+TEST(Stats, SetSecondsOverwrites)
+{
+    Stats s;
+    s.addSeconds("t", 0.5);
+    s.setSeconds("t", 0.125);
+    EXPECT_DOUBLE_EQ(s.seconds("t"), 0.125);
+}
+
+TEST(Stats, ToStringListsCountersThenTimersSorted)
+{
+    Stats s;
+    s.add("b.counter", 2);
+    s.add("a.counter", 1);
+    s.addSeconds("z.timer", 1.0);
+    std::string out = s.toString();
+    size_t a = out.find("a.counter = 1");
+    size_t b = out.find("b.counter = 2");
+    size_t z = out.find("z.timer = 1.000000 s");
+    ASSERT_NE(a, std::string::npos);
+    ASSERT_NE(b, std::string::npos);
+    ASSERT_NE(z, std::string::npos);
+    EXPECT_LT(a, b); // counters are map-ordered
+    EXPECT_LT(b, z); // timers come after counters
+}
+
+TEST(Stats, CounterSlotIsStableAcrossInsertions)
+{
+    Stats s;
+    uint64_t &slot = s.counterSlot("hot.counter");
+    // Insert many more names: the reference must stay valid (std::map
+    // nodes do not move).
+    for (int i = 0; i < 100; ++i)
+        s.add("filler." + std::to_string(i));
+    slot += 7;
+    slot++;
+    EXPECT_EQ(s.get("hot.counter"), 8u);
+    EXPECT_EQ(&slot, &s.counterSlot("hot.counter"));
+}
+
+TEST(Stats, TimerSlotAndScopedTimerHotOverload)
+{
+    Stats s;
+    double &slot = s.timerSlot("hot.timer");
+    {
+        ScopedTimer t(slot);
+    }
+    {
+        ScopedTimer t(slot); // accumulates, does not overwrite
+    }
+    EXPECT_GE(s.seconds("hot.timer"), 0.0);
+    slot = 2.5;
+    EXPECT_DOUBLE_EQ(s.seconds("hot.timer"), 2.5);
+}
+
+TEST(Stats, RaiseToIsAHighWatermark)
+{
+    Stats s;
+    uint64_t &slot = s.counterSlot("peak");
+    Stats::raiseTo(slot, 10);
+    Stats::raiseTo(slot, 5);
+    Stats::raiseTo(slot, 20);
+    EXPECT_EQ(s.get("peak"), 20u);
+}
+
+TEST(Stats, SiteCounterCacheBuildsCompositeNamesOnce)
+{
+    Stats s;
+    SiteCounterCache cache(s, "engine.concretizations");
+    static const char *kDma = "dma";
+    static const char *kBranch = "branch";
+    cache.slot(kDma)++;
+    cache.slot(kBranch) += 2;
+    cache.slot(kDma)++;
+    EXPECT_EQ(s.get("engine.concretizations.dma"), 2u);
+    EXPECT_EQ(s.get("engine.concretizations.branch"), 2u);
+    // Same literal -> same slot.
+    EXPECT_EQ(&cache.slot(kDma), &cache.slot(kDma));
+}
+
 } // namespace
 } // namespace s2e
