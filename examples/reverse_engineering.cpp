@@ -36,6 +36,15 @@ main()
     std::printf("%s\n",
                 Rev::synthesizeDriver(result.cfg, "rtl8029").c_str());
 
+    // What static disassembly alone would have recovered, and which
+    // blocks only multi-path execution found (the interrupt handler
+    // hangs off the runtime-written IVT and is statically invisible).
+    std::printf("static CFG from the driver ABI exports: %zu blocks, "
+                "%zu unresolved indirect transfers\n",
+                result.staticCfg.blocks.size(),
+                result.staticCfg.unresolvedIndirects.size());
+    std::printf("%s\n", result.cfgDiff.toString().c_str());
+
     std::printf("coverage over time:\n");
     const auto &tl = result.coverageTimeline;
     size_t step = tl.size() > 10 ? tl.size() / 10 : 1;

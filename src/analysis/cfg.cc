@@ -1,0 +1,366 @@
+#include "analysis/cfg.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/logging.hh"
+
+namespace s2e::analysis {
+
+namespace {
+
+/** Longest gisa encoding (s2e_symrange: op + reg + two imm32). */
+constexpr size_t kMaxInstrLen = 10;
+
+/** Copy up to n image bytes at addr; returns bytes available. */
+size_t
+fetch(const isa::Program &program, uint32_t addr, uint8_t *buf, size_t n)
+{
+    for (const auto &sec : program.sections) {
+        if (addr < sec.addr || addr >= sec.addr + sec.bytes.size())
+            continue;
+        size_t off = addr - sec.addr;
+        size_t avail = std::min(n, sec.bytes.size() - off);
+        std::memcpy(buf, sec.bytes.data() + off, avail);
+        return avail;
+    }
+    return 0;
+}
+
+/** Control-flow classification of a decoded instruction. */
+struct Flow {
+    bool endsBlock = false;
+    bool fallsThrough = false;   ///< pc+len is a successor
+    bool indirect = false;       ///< has a statically unknown target
+    std::vector<uint32_t> targets;
+};
+
+Flow
+flowOf(const isa::Instruction &in, uint32_t pc)
+{
+    Flow f;
+    switch (in.op) {
+      case isa::Opcode::Jmp:
+        f.endsBlock = true;
+        f.targets.push_back(in.imm);
+        break;
+      case isa::Opcode::Jcc:
+        f.endsBlock = true;
+        f.fallsThrough = true;
+        f.targets.push_back(in.imm);
+        break;
+      case isa::Opcode::Call:
+        // The callee and the return point are both reachable.
+        f.endsBlock = true;
+        f.fallsThrough = true;
+        f.targets.push_back(in.imm);
+        break;
+      case isa::Opcode::CallR:
+        f.endsBlock = true;
+        f.fallsThrough = true;
+        f.indirect = true;
+        break;
+      case isa::Opcode::Int:
+        // Handler address lives in the runtime-written IVT: the
+        // canonical statically-invisible edge. Execution resumes
+        // after the int once the handler irets.
+        f.endsBlock = true;
+        f.fallsThrough = true;
+        f.indirect = true;
+        break;
+      case isa::Opcode::JmpR:
+      case isa::Opcode::Ret:
+      case isa::Opcode::Iret:
+        f.endsBlock = true;
+        f.indirect = true;
+        break;
+      case isa::Opcode::Hlt:
+      case isa::Opcode::S2Kill:
+        f.endsBlock = true;
+        break;
+      default:
+        f.fallsThrough = true;
+        break;
+    }
+    (void)pc;
+    return f;
+}
+
+} // namespace
+
+StaticCfg
+recoverStaticCfg(const isa::Program &program,
+                 const std::vector<uint32_t> &entries, uint32_t lo,
+                 uint32_t hi)
+{
+    StaticCfg cfg;
+
+    struct Decoded {
+        isa::Instruction instr;
+        Flow flow;
+    };
+    std::map<uint32_t, Decoded> decoded;
+    std::set<uint32_t> leaders;
+    std::vector<uint32_t> work;
+
+    auto in_range = [&](uint32_t pc) { return pc >= lo && pc < hi; };
+    auto enqueue = [&](uint32_t pc) {
+        if (in_range(pc) && decoded.count(pc) == 0)
+            work.push_back(pc);
+    };
+
+    for (uint32_t e : entries) {
+        if (!in_range(e))
+            continue;
+        cfg.entries.push_back(e);
+        leaders.insert(e);
+        enqueue(e);
+    }
+
+    // Phase 1: recursive-descent decode along all direct paths.
+    while (!work.empty()) {
+        uint32_t pc = work.back();
+        work.pop_back();
+        while (in_range(pc) && decoded.count(pc) == 0) {
+            uint8_t buf[kMaxInstrLen];
+            size_t avail = fetch(program, pc, buf, sizeof(buf));
+            isa::Instruction in;
+            if (avail == 0 || !isa::decode(buf, avail, in))
+                break; // data or a hole: stop this path
+            Decoded d{in, flowOf(in, pc)};
+            decoded.emplace(pc, d);
+            for (uint32_t t : d.flow.targets) {
+                if (in_range(t)) {
+                    leaders.insert(t);
+                    enqueue(t);
+                }
+            }
+            if (d.flow.indirect)
+                cfg.unresolvedIndirects.push_back(pc);
+            uint32_t next = pc + in.length;
+            if (!d.flow.endsBlock) {
+                pc = next;
+                continue;
+            }
+            if (d.flow.fallsThrough && in_range(next)) {
+                leaders.insert(next);
+                pc = next;
+                continue;
+            }
+            break;
+        }
+    }
+    std::sort(cfg.unresolvedIndirects.begin(),
+              cfg.unresolvedIndirects.end());
+    for (const auto &[pc, d] : decoded)
+        cfg.instrPcs.insert(pc);
+
+    // Phase 2: partition the decoded instructions into basic blocks.
+    // A block starts at each leader and ends at a control transfer,
+    // before the next leader, or at a decode gap.
+    for (auto it = decoded.begin(); it != decoded.end(); ++it) {
+        uint32_t start = it->first;
+        if (leaders.count(start) == 0)
+            continue;
+        StaticCfg::Block blk;
+        blk.pc = start;
+        auto cur = it;
+        while (true) {
+            uint32_t pc = cur->first;
+            const Decoded &d = cur->second;
+            uint32_t next = pc + d.instr.length;
+            blk.instrPcs.push_back(pc);
+            blk.end = next;
+            bool next_decoded =
+                decoded.count(next) != 0 &&
+                std::next(cur) != decoded.end() &&
+                std::next(cur)->first == next;
+            if (d.flow.endsBlock) {
+                blk.indirectExit = d.flow.indirect;
+                for (uint32_t t : d.flow.targets)
+                    if (in_range(t))
+                        blk.successors.insert(t);
+                if (d.flow.fallsThrough && next_decoded)
+                    blk.successors.insert(next);
+                break;
+            }
+            if (!next_decoded) // flowed into a hole
+                break;
+            if (leaders.count(next)) { // next block begins here
+                blk.successors.insert(next);
+                break;
+            }
+            ++cur;
+        }
+        cfg.blocks.emplace(start, std::move(blk));
+    }
+
+    // Phase 3: dominators (iterative Cooper/Harvey/Kennedy over RPO),
+    // rooted at a virtual entry fanning into all real entries.
+    std::vector<uint32_t> pcs;
+    pcs.reserve(cfg.blocks.size());
+    std::map<uint32_t, int> index;
+    for (const auto &[pc, blk] : cfg.blocks) {
+        index[pc] = static_cast<int>(pcs.size());
+        pcs.push_back(pc);
+    }
+    const int n = static_cast<int>(pcs.size());
+    const int root = n; // virtual entry
+    std::vector<std::vector<int>> preds(n + 1);
+    for (const auto &[pc, blk] : cfg.blocks)
+        for (uint32_t s : blk.successors)
+            if (auto si = index.find(s); si != index.end())
+                preds[si->second].push_back(index[pc]);
+    for (uint32_t e : cfg.entries)
+        if (auto ei = index.find(e); ei != index.end())
+            preds[ei->second].push_back(root);
+
+    // Reverse postorder from the virtual root.
+    std::vector<int> rpo;
+    {
+        std::vector<char> seen(n + 1, 0);
+        // Iterative DFS with an explicit post stack.
+        std::vector<std::pair<int, size_t>> stack;
+        auto succs_of = [&](int v) -> std::vector<int> {
+            std::vector<int> out;
+            if (v == root) {
+                for (uint32_t e : cfg.entries)
+                    if (auto ei = index.find(e); ei != index.end())
+                        out.push_back(ei->second);
+            } else {
+                for (uint32_t s : cfg.blocks[pcs[v]].successors)
+                    if (auto si = index.find(s); si != index.end())
+                        out.push_back(si->second);
+            }
+            return out;
+        };
+        std::vector<int> post;
+        stack.push_back({root, 0});
+        seen[root] = 1;
+        std::vector<std::vector<int>> succ_cache(n + 1);
+        succ_cache[root] = succs_of(root);
+        while (!stack.empty()) {
+            auto &[v, i] = stack.back();
+            if (i < succ_cache[v].size()) {
+                int s = succ_cache[v][i++];
+                if (!seen[s]) {
+                    seen[s] = 1;
+                    succ_cache[s] = succs_of(s);
+                    stack.push_back({s, 0});
+                }
+            } else {
+                post.push_back(v);
+                stack.pop_back();
+            }
+        }
+        rpo.assign(post.rbegin(), post.rend());
+    }
+    std::vector<int> rpo_num(n + 1, -1);
+    for (size_t i = 0; i < rpo.size(); ++i)
+        rpo_num[rpo[i]] = static_cast<int>(i);
+
+    std::vector<int> idom(n + 1, -1);
+    idom[root] = root;
+    auto intersect = [&](int a, int b) {
+        while (a != b) {
+            while (rpo_num[a] > rpo_num[b])
+                a = idom[a];
+            while (rpo_num[b] > rpo_num[a])
+                b = idom[b];
+        }
+        return a;
+    };
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (int v : rpo) {
+            if (v == root)
+                continue;
+            int new_idom = -1;
+            for (int p : preds[v]) {
+                if (idom[p] < 0)
+                    continue;
+                new_idom = new_idom < 0 ? p : intersect(p, new_idom);
+            }
+            if (new_idom >= 0 && idom[v] != new_idom) {
+                idom[v] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    for (int v = 0; v < n; ++v) {
+        auto &blk = cfg.blocks[pcs[v]];
+        blk.idom = (idom[v] < 0 || idom[v] == root) ? blk.pc
+                                                    : pcs[idom[v]];
+    }
+    return cfg;
+}
+
+std::string
+StaticCfg::toString() const
+{
+    std::string out = strprintf(
+        "static cfg: %zu blocks, %zu instructions, %zu entries, "
+        "%zu unresolved indirect transfers\n",
+        blocks.size(), instrPcs.size(), entries.size(),
+        unresolvedIndirects.size());
+    for (const auto &[pc, blk] : blocks) {
+        out += strprintf("  block 0x%05x..0x%05x (%zu instrs) idom=0x%05x",
+                         blk.pc, blk.end, blk.instrPcs.size(), blk.idom);
+        if (!blk.successors.empty()) {
+            out += " ->";
+            for (uint32_t s : blk.successors)
+                out += strprintf(" 0x%05x", s);
+        }
+        if (blk.indirectExit)
+            out += " [indirect]";
+        out += "\n";
+    }
+    for (uint32_t pc : unresolvedIndirects)
+        out += strprintf("  unresolved indirect at 0x%05x\n", pc);
+    return out;
+}
+
+CfgDiff
+diffCfg(const StaticCfg &cfg, const std::set<uint32_t> &dynamicBlockPcs)
+{
+    CfgDiff diff;
+    // Dynamic TBs split at different points than the static block
+    // partition (instruction-count limits, interrupt resume pcs), so
+    // a dynamic pc counts as statically known when it lands on any
+    // statically decoded instruction.
+    for (uint32_t pc : dynamicBlockPcs) {
+        if (cfg.instrPcs.count(pc))
+            diff.shared.push_back(pc);
+        else
+            diff.dynamicOnly.push_back(pc);
+    }
+    for (const auto &[pc, blk] : cfg.blocks) {
+        bool executed = false;
+        for (uint32_t ip : blk.instrPcs)
+            if (dynamicBlockPcs.count(ip)) {
+                executed = true;
+                break;
+            }
+        if (!executed)
+            diff.staticOnly.push_back(pc);
+    }
+    return diff;
+}
+
+std::string
+CfgDiff::toString() const
+{
+    std::string out = strprintf(
+        "cfg diff: %zu shared, %zu static-only, %zu dynamic-only\n",
+        shared.size(), staticOnly.size(), dynamicOnly.size());
+    auto dump = [&](const char *label, const std::vector<uint32_t> &v) {
+        for (uint32_t pc : v)
+            out += strprintf("  %s 0x%05x\n", label, pc);
+    };
+    dump("static-only ", staticOnly);
+    dump("dynamic-only", dynamicOnly);
+    return out;
+}
+
+} // namespace s2e::analysis

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Static CFG recovery over gisa images (the REV+ baseline).
+ *
+ * Recursive-descent disassembly from a set of entry points into a
+ * basic-block control-flow graph with dominators. Direct edges (jmp,
+ * jcc, call + its return point) are followed; indirect control
+ * transfers (jmpr, callr, ret targets, software-interrupt handlers
+ * installed at runtime) cannot be resolved statically and are
+ * reported in unresolvedIndirects instead.
+ *
+ * This is exactly the limitation motivating REV+ in paper §6.1.2:
+ * code reached only through indirect dispatch — interrupt handlers
+ * hung off the runtime-written IVT, jump tables, callbacks — is
+ * invisible to static disassembly but discovered by multi-path
+ * execution. diffCfg() regenerates that argument as data: the blocks
+ * only the dynamic run found.
+ */
+
+#ifndef S2E_ANALYSIS_CFG_HH
+#define S2E_ANALYSIS_CFG_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "isa/assembler.hh"
+
+namespace s2e::analysis {
+
+/** Statically recovered control-flow graph. */
+struct StaticCfg {
+    struct Block {
+        uint32_t pc = 0;        ///< first instruction address
+        uint32_t end = 0;       ///< one past the last instruction byte
+        std::vector<uint32_t> instrPcs;
+        std::set<uint32_t> successors;
+        /** Ends in jmpr/callr/ret/int: some successors are unknown. */
+        bool indirectExit = false;
+        /** Immediate dominator block pc; the block's own pc for entry
+         *  blocks (and unreachable-from-entry corner cases). */
+        uint32_t idom = 0;
+    };
+
+    std::map<uint32_t, Block> blocks;
+    std::vector<uint32_t> entries;
+    /** Instruction pcs of unresolved indirect transfers, sorted. */
+    std::vector<uint32_t> unresolvedIndirects;
+    /** Every statically decoded instruction address. */
+    std::set<uint32_t> instrPcs;
+
+    bool
+    containsBlock(uint32_t pc) const
+    {
+        return blocks.count(pc) != 0;
+    }
+
+    /** Human-readable report: blocks, edges, indirect-jump sites. */
+    std::string toString() const;
+};
+
+/**
+ * Recover the CFG of the code in [lo, hi) reachable from `entries`.
+ * Control transfers leaving the range are treated as external calls
+ * (no successor inside). Undecodable bytes end the exploration of
+ * that path. Dominators are computed over the result, rooted at a
+ * virtual entry fanning into all real entries.
+ */
+StaticCfg recoverStaticCfg(const isa::Program &program,
+                           const std::vector<uint32_t> &entries,
+                           uint32_t lo, uint32_t hi);
+
+/** Static-vs-dynamic comparison (the REV+ evaluation artifact). */
+struct CfgDiff {
+    /** Block pcs discovered by both. */
+    std::vector<uint32_t> shared;
+    /** Statically recovered, never executed by any explored path. */
+    std::vector<uint32_t> staticOnly;
+    /** Executed, but unreachable by static recursive descent —
+     *  evidence that static disassembly alone is not enough. */
+    std::vector<uint32_t> dynamicOnly;
+
+    std::string toString() const;
+};
+
+/**
+ * Diff a static CFG against the block-start pcs observed by a
+ * dynamic (multi-path) run. A dynamic block counts as statically
+ * known when its pc falls on any statically decoded instruction
+ * (dynamic TBs split blocks at different points than the static
+ * partition, so comparing block-start sets directly would report
+ * spurious misses).
+ */
+CfgDiff diffCfg(const StaticCfg &cfg,
+                const std::set<uint32_t> &dynamicBlockPcs);
+
+} // namespace s2e::analysis
+
+#endif // S2E_ANALYSIS_CFG_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Optimization passes over translation blocks.
+ *
+ * The translator emits naive micro-op sequences: every ALU
+ * instruction fully materializes Z/N/C/V with mask/shift/compare
+ * chains, the way QEMU's x86 frontend computes eflags. Most of those
+ * flag values are overwritten by the next ALU instruction before
+ * anything reads them, so both execution backends burn work on them —
+ * and the symbolic backend additionally materializes the §5
+ * bitfield-heavy expressions for values nobody will ever observe.
+ *
+ * Three passes, built on the dataflow framework (dataflow.hh) and run
+ * by optimizeBlock() before a TB enters the cache:
+ *
+ *   - constantFold():   rewrite pure ops whose inputs are known
+ *                       constants into Const, propagating through
+ *                       in-block register/flag writes; a Branch on a
+ *                       constant condition becomes a Goto;
+ *   - deadFlagElim():   drop SetFlag ops overwritten before any
+ *                       GetFlag / terminator use (lazy condition
+ *                       codes);
+ *   - deadTempElim():   liveness-based removal of pure ops whose
+ *                       results are never needed, then temp-id
+ *                       compaction.
+ *
+ * Every pass preserves the TB's architectural semantics: registers,
+ * flags, memory, I/O and event ordering are bit-identical with the
+ * passes on or off (enforced by the differential suite in
+ * test_analysis.cc). The instruction maps (instrPcs/instrOpIndex/
+ * marked) are remapped so per-instruction events still fire at the
+ * right boundaries.
+ */
+
+#ifndef S2E_ANALYSIS_PASSES_HH
+#define S2E_ANALYSIS_PASSES_HH
+
+#include <cstddef>
+
+#include "dbt/ir.hh"
+
+namespace s2e::analysis {
+
+/** What the pipeline did to one block. */
+struct PassStats {
+    size_t opsBefore = 0;
+    size_t opsAfter = 0;
+    size_t tempsBefore = 0;
+    size_t tempsAfter = 0;
+    size_t constFolded = 0;   ///< ops rewritten to Const
+    size_t branchesFolded = 0;///< Branch -> Goto rewrites
+    size_t deadFlagOps = 0;   ///< SetFlag ops removed
+    size_t deadTempOps = 0;   ///< pure ops removed
+    size_t iterations = 0;    ///< pipeline rounds until fixpoint
+};
+
+/** Fold constant-input pure ops; returns number of rewrites. */
+size_t constantFold(dbt::TranslationBlock &tb, PassStats *stats = nullptr);
+
+/** Remove SetFlags dead under forward overwrite analysis. */
+size_t deadFlagElim(dbt::TranslationBlock &tb, PassStats *stats = nullptr);
+
+/** Remove pure ops with dead results (liveness-based). */
+size_t deadTempElim(dbt::TranslationBlock &tb, PassStats *stats = nullptr);
+
+/** Renumber temps densely; updates numTemps. */
+void compactTemps(dbt::TranslationBlock &tb);
+
+/**
+ * The pipeline: fold + dead-flag + dead-temp to fixpoint, then temp
+ * compaction. Never touches empty (decode-fault) blocks.
+ */
+void optimizeBlock(dbt::TranslationBlock &tb, PassStats *stats = nullptr);
+
+} // namespace s2e::analysis
+
+#endif // S2E_ANALYSIS_PASSES_HH

@@ -1,0 +1,180 @@
+#include "analysis/verifier.hh"
+
+#include <vector>
+
+#include "analysis/dataflow.hh"
+#include "support/logging.hh"
+
+namespace s2e::analysis {
+
+using dbt::MicroOp;
+using dbt::TranslationBlock;
+using dbt::UOp;
+
+namespace {
+
+/** The S2Op payload must be one of the opcodes execS2Op handles. */
+bool
+validS2Payload(uint32_t imm)
+{
+    switch (static_cast<isa::Opcode>(imm)) {
+      case isa::Opcode::Cli:
+      case isa::Opcode::Sti:
+      case isa::Opcode::S2SymMem:
+      case isa::Opcode::S2SymReg:
+      case isa::Opcode::S2SymRange:
+      case isa::Opcode::S2Ena:
+      case isa::Opcode::S2Dis:
+      case isa::Opcode::S2Out:
+      case isa::Opcode::S2Kill:
+      case isa::Opcode::S2Assert:
+      case isa::Opcode::S2Concrete:
+        return true;
+      default:
+        return false;
+    }
+}
+
+VerifyResult
+fail(size_t op_index, std::string error)
+{
+    VerifyResult r;
+    r.ok = false;
+    r.opIndex = op_index;
+    r.error = std::move(error);
+    return r;
+}
+
+} // namespace
+
+VerifyResult
+verifyBlock(const TranslationBlock &tb)
+{
+    const size_t n = tb.ops.size();
+
+    // Instruction maps: parallel arrays, indexes non-decreasing and
+    // inside ops[].
+    if (tb.instrOpIndex.size() != tb.instrPcs.size())
+        return fail(n, strprintf("instrOpIndex has %zu entries for %zu "
+                                 "instructions",
+                                 tb.instrOpIndex.size(),
+                                 tb.instrPcs.size()));
+    if (tb.marked.size() != tb.instrPcs.size())
+        return fail(n, strprintf("marked has %zu entries for %zu "
+                                 "instructions",
+                                 tb.marked.size(), tb.instrPcs.size()));
+    for (size_t i = 0; i < tb.instrOpIndex.size(); ++i) {
+        if (tb.instrOpIndex[i] > n)
+            return fail(n, strprintf("instrOpIndex[%zu]=%u beyond %zu ops",
+                                     i, tb.instrOpIndex[i], n));
+        if (i > 0 && tb.instrOpIndex[i] < tb.instrOpIndex[i - 1])
+            return fail(n, strprintf("instrOpIndex[%zu]=%u decreases "
+                                     "(prev %u)",
+                                     i, tb.instrOpIndex[i],
+                                     tb.instrOpIndex[i - 1]));
+    }
+
+    // A decode-fault block (no instructions) must carry no ops; any
+    // other block ends with exactly one terminator.
+    if (tb.instrPcs.empty()) {
+        if (n != 0)
+            return fail(0, strprintf("%zu ops in a block with no "
+                                     "instructions",
+                                     n));
+        return {};
+    }
+    if (n == 0)
+        return fail(0, "block with instructions but no ops");
+    if (!isTerminator(tb.ops[n - 1].op))
+        return fail(n - 1, strprintf("last op is not a terminator: %s",
+                                     tb.ops[n - 1].toString().c_str()));
+
+    std::vector<bool> defined(tb.numTemps, false);
+    for (size_t i = 0; i < n; ++i) {
+        const MicroOp &op = tb.ops[i];
+        OpEffects e = effectsOf(op);
+
+        if (e.terminator && i != n - 1)
+            return fail(i, strprintf("terminator %s before the last op",
+                                     op.toString().c_str()));
+
+        // Temp operands: in range, defined before use.
+        auto check_use = [&](uint16_t t, char which) -> VerifyResult {
+            if (t >= tb.numTemps)
+                return fail(i, strprintf("operand %c: t%u out of range "
+                                         "(numTemps=%u)",
+                                         which, t, tb.numTemps));
+            if (!defined[t])
+                return fail(i,
+                            strprintf("operand %c: t%u used before "
+                                      "definition",
+                                      which, t));
+            return {};
+        };
+        if (e.usesA)
+            if (auto r = check_use(op.a, 'a'); !r)
+                return r;
+        if (e.usesB)
+            if (auto r = check_use(op.b, 'b'); !r)
+                return r;
+        if (e.defsTemp) {
+            if (op.dst >= tb.numTemps)
+                return fail(i, strprintf("dst t%u out of range "
+                                         "(numTemps=%u)",
+                                         op.dst, tb.numTemps));
+            defined[op.dst] = true;
+        }
+
+        // Register / flag id ranges.
+        switch (op.op) {
+          case UOp::GetReg:
+          case UOp::SetReg:
+            if (op.reg >= isa::kNumRegs)
+                return fail(i, strprintf("register id %u out of range",
+                                         op.reg));
+            break;
+          case UOp::GetFlag:
+          case UOp::SetFlag:
+            if (op.reg >= kNumFlags)
+                return fail(i,
+                            strprintf("flag id %u out of range", op.reg));
+            break;
+          case UOp::Load:
+          case UOp::Store:
+            if (op.size != 1 && op.size != 2 && op.size != 4)
+                return fail(i, strprintf("access size %u not in {1,2,4}",
+                                         op.size));
+            break;
+          case UOp::S2Op:
+            if (!validS2Payload(op.imm))
+                return fail(i, strprintf("s2op payload 0x%x is not a "
+                                         "custom opcode",
+                                         op.imm));
+            if ((static_cast<isa::Opcode>(op.imm) ==
+                     isa::Opcode::S2SymReg ||
+                 static_cast<isa::Opcode>(op.imm) ==
+                     isa::Opcode::S2SymRange ||
+                 static_cast<isa::Opcode>(op.imm) ==
+                     isa::Opcode::S2Concrete) &&
+                op.reg >= isa::kNumRegs)
+                return fail(i, strprintf("s2op register id %u out of "
+                                         "range",
+                                         op.reg));
+            break;
+          default:
+            break;
+        }
+    }
+    return {};
+}
+
+void
+verifyOrPanic(const TranslationBlock &tb, const char *context)
+{
+    VerifyResult r = verifyBlock(tb);
+    if (!r)
+        panic("TB verifier (%s): %s at op %zu of:\n%s", context,
+              r.error.c_str(), r.opIndex, tb.toString().c_str());
+}
+
+} // namespace s2e::analysis

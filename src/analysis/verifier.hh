@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Structural verifier for translated blocks.
+ *
+ * The translator's output is the contract every executor (the engine's
+ * symbolic interpreter, the vanilla fast executor) and every analysis
+ * pass relies on. verifyBlock() enforces that contract:
+ *
+ *   - a non-empty block ends with exactly one terminator, in last
+ *     position;
+ *   - every temp operand is defined before it is used and all temp
+ *     ids are below numTemps;
+ *   - register ids are < isa::kNumRegs, flag ids are < kNumFlags;
+ *   - Load/Store access sizes are 1, 2 or 4;
+ *   - S2Op carries a valid custom opcode and its temp operands obey
+ *     the same define-before-use rule;
+ *   - the instruction maps (instrPcs / instrOpIndex / marked) are
+ *     consistent and instrOpIndex is non-decreasing within ops.
+ *
+ * The verifier runs after every translation (and again after the
+ * optimization pipeline) in debug builds; release builds enable it
+ * with the S2E_VERIFY_TB environment toggle (see translator.hh).
+ */
+
+#ifndef S2E_ANALYSIS_VERIFIER_HH
+#define S2E_ANALYSIS_VERIFIER_HH
+
+#include <string>
+
+#include "dbt/ir.hh"
+
+namespace s2e::analysis {
+
+/** Outcome of a verification run. */
+struct VerifyResult {
+    bool ok = true;
+    /** Index of the offending op (or ops.size() for block-level
+     *  violations such as a missing terminator). */
+    size_t opIndex = 0;
+    std::string error;
+
+    explicit operator bool() const { return ok; }
+};
+
+/** Check every structural invariant; first violation wins. */
+VerifyResult verifyBlock(const dbt::TranslationBlock &tb);
+
+/** verifyBlock + panic with the op dump on failure. `context` names
+ *  the pipeline stage (e.g. "translator output", "after tb-opt"). */
+void verifyOrPanic(const dbt::TranslationBlock &tb, const char *context);
+
+} // namespace s2e::analysis
+
+#endif // S2E_ANALYSIS_VERIFIER_HH

@@ -108,6 +108,10 @@ Engine::Engine(vm::MachineConfig machine, EngineConfig config)
       concretizationSites_(stats_, "engine.concretizations"),
       degradeSites_(stats_, "engine.solver_degraded"),
       solverFailureSites_(stats_, "engine.solver_failures"),
+      translator_(dbt::TranslatorConfig{
+          .optimize = config.optimizeTb,
+          .verify = config.verifyTb,
+      }),
       searcher_(std::make_unique<DfsSearcher>())
 {
     // Register every per-event counter once; the run loop then updates
@@ -143,6 +147,8 @@ Engine::Engine(vm::MachineConfig machine, EngineConfig config)
     hot_.memoryHighWatermark =
         &stats_.counterSlot("engine.memory_high_watermark");
     hot_.maxActiveStates = &stats_.counterSlot("engine.max_active_states");
+    hot_.uopsExecuted = &stats_.counterSlot("engine.uops_executed");
+    hot_.uopsPreOpt = &stats_.counterSlot("engine.uops_pre_opt");
     solver_.setProfiler(&profiler_);
 
     auto initial = std::make_unique<ExecutionState>(machine_.ramSize,
@@ -262,12 +268,13 @@ Engine::fetchBlock(ExecutionState &state)
         return tb;
 
     obs::PhaseSpan span(profiler_, obs::Phase::Translate);
-    tb = translator_.translate(state.cpu.pc, reader);
+    tb = translator_.translateRaw(state.cpu.pc, reader);
     (*hot_.translations)++;
     if (tb->instrPcs.empty())
         return tb; // decode fault; caller handles
 
     // onInstrTranslation: let plugins inspect and mark instructions.
+    bool any_marked = false;
     if (!events_.onInstrTranslation.empty()) {
         for (size_t i = 0; i < tb->instrPcs.size(); ++i) {
             uint8_t buf[10];
@@ -283,10 +290,18 @@ Engine::fetchBlock(ExecutionState &state)
             bool mark = false;
             events_.onInstrTranslation.emit(state, tb->instrPcs[i], instr,
                                             &mark);
-            if (mark)
+            if (mark) {
                 tb->marked[i] = true;
+                any_marked = true;
+            }
         }
     }
+    // A mark means a hook fires at that instruction boundary and may
+    // read or rewrite registers and flags mid-block — state the
+    // optimization passes assume only the block's own ops touch. Keep
+    // hooked blocks naive; optimize the rest.
+    if (!any_marked)
+        translator_.optimizeBlock(*tb);
     tbCache_.insert(tb, reader);
     return tb;
 }
@@ -991,6 +1006,8 @@ Engine::executeBlock(ExecutionState &state)
     tb->execCount++;
     state.blockCount++;
     state.instrCount += tb->instrPcs.size();
+    *hot_.uopsExecuted += tb->ops.size();
+    *hot_.uopsPreOpt += tb->origOpCount;
     events_.onBlockExecute.emit(state, *tb);
 
     std::vector<Value> temps(tb->numTemps);

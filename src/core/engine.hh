@@ -74,6 +74,15 @@ struct EngineConfig {
      *  the S2E_OBS_DEFAULT_OFF CMake option. */
     bool profileExecution = obs::kProfilerDefaultEnabled;
 
+    /** Run the TB optimization passes (constant folding, dead-flag
+     *  and dead-temp elimination) after translation. The compile-time
+     *  default follows the S2E_TB_OPT CMake option; the differential
+     *  equivalence suite flips it per engine. */
+    bool optimizeTb = dbt::kTbOptimizeDefault;
+
+    /** Verify TB structural invariants after translate/optimize. */
+    bool verifyTb = dbt::tbVerifyDefault();
+
     solver::SolverOptions solverOptions;
 };
 
@@ -276,6 +285,8 @@ class Engine
         uint64_t *solverFailures = nullptr;
         uint64_t *memoryHighWatermark = nullptr;
         uint64_t *maxActiveStates = nullptr;
+        uint64_t *uopsExecuted = nullptr;
+        uint64_t *uopsPreOpt = nullptr;
     } hot_;
     SiteCounterCache concretizationSites_;
     SiteCounterCache degradeSites_;

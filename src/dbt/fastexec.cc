@@ -20,9 +20,10 @@ FastMachine::load(const isa::Program &program)
 }
 
 FastRunResult
-fastRun(FastMachine &m, uint64_t max_instructions, TbCache *cache)
+fastRun(FastMachine &m, uint64_t max_instructions, TbCache *cache,
+        TranslatorConfig translator_config)
 {
-    Translator translator;
+    Translator translator(translator_config);
     TbCache local_cache;
     if (!cache)
         cache = &local_cache;

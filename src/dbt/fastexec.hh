@@ -49,7 +49,8 @@ class FastMachine
  * interrupts halt (the fast machine models no kernel).
  */
 FastRunResult fastRun(FastMachine &machine, uint64_t maxInstructions,
-                      TbCache *cache = nullptr);
+                      TbCache *cache = nullptr,
+                      TranslatorConfig translatorConfig = {});
 
 } // namespace s2e::dbt
 

@@ -14,6 +14,7 @@
 #ifndef S2E_DBT_IR_HH
 #define S2E_DBT_IR_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -109,17 +110,27 @@ struct TranslationBlock {
 
     uint64_t execCount = 0;
 
-    /** Guest pc of the instruction that owns ops[op_index]. */
+    /** Op and temp counts as emitted, before optimization passes
+     *  shrank the block (equal to ops.size()/numTemps when the
+     *  optimizer is off). Overhead metrics compare against these. */
+    uint32_t origOpCount = 0;
+    uint16_t origNumTemps = 0;
+
+    /**
+     * Guest pc of the instruction that owns ops[op_index].
+     * instrOpIndex is non-decreasing, so the owning instruction is
+     * the last entry with instrOpIndex <= op_index: binary search
+     * instead of the obvious linear scan — this sits on the
+     * per-micro-op fault/event path.
+     */
     uint32_t
     instrPcForOp(size_t op_index) const
     {
-        uint32_t pc_out = pc;
-        for (size_t i = 0; i < instrOpIndex.size(); ++i) {
-            if (instrOpIndex[i] > op_index)
-                break;
-            pc_out = instrPcs[i];
-        }
-        return pc_out;
+        auto it = std::upper_bound(instrOpIndex.begin(),
+                                   instrOpIndex.end(), op_index);
+        if (it == instrOpIndex.begin())
+            return pc;
+        return instrPcs[std::distance(instrOpIndex.begin(), it) - 1];
     }
 
     std::string toString() const;

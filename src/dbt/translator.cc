@@ -1,8 +1,23 @@
 #include "dbt/translator.hh"
 
+#include <cstdlib>
+
+#include "analysis/passes.hh"
+#include "analysis/verifier.hh"
 #include "support/logging.hh"
 
 namespace s2e::dbt {
+
+bool
+tbVerifyDefault()
+{
+#ifndef NDEBUG
+    return true;
+#else
+    static const bool enabled = std::getenv("S2E_VERIFY_TB") != nullptr;
+    return enabled;
+#endif
+}
 
 using isa::Cond;
 using isa::Instruction;
@@ -363,7 +378,7 @@ memLowering(Opcode op, MemLowering &out)
 } // namespace
 
 std::shared_ptr<TranslationBlock>
-Translator::translate(uint32_t start_pc, const CodeReader &reader)
+Translator::translateRaw(uint32_t start_pc, const CodeReader &reader)
 {
     auto tb = std::make_shared<TranslationBlock>();
     tb->pc = start_pc;
@@ -675,7 +690,30 @@ Translator::translate(uint32_t start_pc, const CodeReader &reader)
         op.imm = pc;
         tb->ops.push_back(op);
     }
+
+    tb->origOpCount = static_cast<uint32_t>(tb->ops.size());
+    tb->origNumTemps = tb->numTemps;
+    if (config_.verify)
+        analysis::verifyOrPanic(*tb, "post-translate");
     return tb;
+}
+
+std::shared_ptr<TranslationBlock>
+Translator::translate(uint32_t start_pc, const CodeReader &reader)
+{
+    auto tb = translateRaw(start_pc, reader);
+    optimizeBlock(*tb);
+    return tb;
+}
+
+void
+Translator::optimizeBlock(TranslationBlock &tb) const
+{
+    if (!config_.optimize)
+        return;
+    analysis::optimizeBlock(tb);
+    if (config_.verify)
+        analysis::verifyOrPanic(tb, "post-optimize");
 }
 
 // --- TbCache ------------------------------------------------------------

@@ -25,9 +25,33 @@ namespace s2e::dbt {
  */
 using CodeReader = std::function<bool(uint32_t addr, uint8_t *out)>;
 
+/**
+ * Compile-time default for TB optimization; the S2E_TB_OPT CMake
+ * option (default ON) flips it for differential/debug builds.
+ */
+#ifdef S2E_TB_OPT_OFF
+inline constexpr bool kTbOptimizeDefault = false;
+#else
+inline constexpr bool kTbOptimizeDefault = true;
+#endif
+
+/**
+ * Default for post-translation TB verification: always on in debug
+ * builds; in release builds opt in with the S2E_VERIFY_TB environment
+ * variable.
+ */
+bool tbVerifyDefault();
+
 /** Translator configuration. */
 struct TranslatorConfig {
     unsigned maxInstrsPerBlock = 16;
+    /** Run the analysis passes (constant folding, dead-flag and
+     *  dead-temp elimination) on each block before returning it. */
+    bool optimize = kTbOptimizeDefault;
+    /** Verify structural TB invariants after translation (and again
+     *  after optimization when `optimize` is set); panics on a
+     *  violation — a violation is a translator or pass bug. */
+    bool verify = tbVerifyDefault();
 };
 
 /**
@@ -41,12 +65,28 @@ class Translator
     explicit Translator(TranslatorConfig config = {}) : config_(config) {}
 
     /**
-     * Translate a block starting at pc. On an undecodable first
-     * instruction the returned block has empty instrPcs (a decode
-     * fault the engine turns into a guest exception).
+     * Translate a block starting at pc and (per config) optimize it.
+     * On an undecodable first instruction the returned block has
+     * empty instrPcs (a decode fault the engine turns into a guest
+     * exception). Equivalent to translateRaw + optimizeBlock.
      */
     std::shared_ptr<TranslationBlock> translate(uint32_t pc,
                                                 const CodeReader &reader);
+
+    /**
+     * Translate without running the optimization passes (still
+     * verifies when configured). The engine uses this to defer the
+     * optimize decision until plugins had a chance to mark
+     * instructions: a marked instruction means a hook will observe —
+     * and may mutate — architectural state at that boundary, which
+     * in-block constant propagation and dead-flag elimination must
+     * not reason across.
+     */
+    std::shared_ptr<TranslationBlock> translateRaw(uint32_t pc,
+                                                   const CodeReader &reader);
+
+    /** Apply the passes per config (no-op when optimize is off). */
+    void optimizeBlock(TranslationBlock &tb) const;
 
   private:
     TranslatorConfig config_;

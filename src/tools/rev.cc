@@ -140,6 +140,25 @@ Rev::run()
         program_, guest::kDriverCode, guest::kDriverCodeEnd);
     result.driverCoverage = coverage_->coverageFraction(blocks);
     result.coverageTimeline = coverage_->timeline();
+
+    // Static-vs-dynamic CFG diff. The static half starts from the
+    // driver ABI symbols a disassembler would get from the binary's
+    // export table; drv_isr is intentionally absent — its address is
+    // written into the IVT at runtime, so static recursive descent
+    // cannot see it. Every ISR block the diff reports as dynamic-only
+    // is a block multi-path execution alone discovered.
+    std::vector<uint32_t> entries;
+    for (const char *sym :
+         {"drv_init", "drv_send", "drv_recv", "drv_ioctl", "drv_unload"})
+        if (auto it = program_.symbols.find(sym);
+            it != program_.symbols.end())
+            entries.push_back(it->second);
+    result.staticCfg = analysis::recoverStaticCfg(
+        program_, entries, guest::kDriverCode, guest::kDriverCodeEnd);
+    std::set<uint32_t> dynamic_pcs;
+    for (const auto &[pc, block] : result.cfg.blocks)
+        dynamic_pcs.insert(pc);
+    result.cfgDiff = analysis::diffCfg(result.staticCfg, dynamic_pcs);
     return result;
 }
 

@@ -22,6 +22,7 @@
 #include <memory>
 #include <set>
 
+#include "analysis/cfg.hh"
 #include "core/engine.hh"
 #include "guest/drivers.hh"
 #include "plugins/coverage.hh"
@@ -69,6 +70,15 @@ struct RevResult {
      *  over all ingested traces. Non-zero means the recovered CFG was
      *  built from truncated evidence. */
     uint64_t droppedTraceEntries = 0;
+
+    /** What recursive-descent disassembly recovers from the driver
+     *  ABI entry points alone (no runtime knowledge: the interrupt
+     *  handler hangs off the runtime-written IVT and is invisible). */
+    analysis::StaticCfg staticCfg;
+    /** Static vs multi-path comparison; dynamicOnly lists the blocks
+     *  only in-vivo execution discovered (the REV+ argument). */
+    analysis::CfgDiff cfgDiff;
+
     core::RunResult run;
 };
 

@@ -1,0 +1,36 @@
+#!/bin/sh
+# Run clang-tidy over the source tree with the repo's .clang-tidy
+# profile. Skips cleanly (exit 0) when clang-tidy is not installed, so
+# minimal CI images can still run the script unconditionally.
+#
+# Usage: tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+#   build-dir: a CMake build directory containing
+#              compile_commands.json (default: build)
+set -u
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build"}
+
+tidy=$(command -v clang-tidy || true)
+if [ -z "$tidy" ]; then
+    echo "run_tidy: clang-tidy not installed; skipping (not a failure)"
+    exit 0
+fi
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+    echo "run_tidy: $build_dir/compile_commands.json not found;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 1
+fi
+
+shift 2>/dev/null || true
+[ "${1:-}" = "--" ] && shift
+
+files=$(find "$repo_root/src" "$repo_root/bench" "$repo_root/examples" \
+        -name '*.cc' -o -name '*.cpp' | sort)
+
+status=0
+for f in $files; do
+    "$tidy" -p "$build_dir" --quiet "$@" "$f" || status=1
+done
+exit $status
