@@ -9,6 +9,8 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "plugins/coverage.hh"
 #include "guest/layout.hh"
@@ -20,8 +22,14 @@ using namespace s2e;
 using namespace s2e::tools;
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned workers = 4;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
+            workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+
     std::setbuf(stdout, nullptr);
     const double kBudgetSeconds = 8.0;
 
@@ -91,6 +99,45 @@ main()
         report.setSeries(name + "_timeline_seconds", std::move(secs));
         report.setSeries(name + "_timeline_covered", std::move(covered));
     }
+
+    // Serial vs parallel: same driver, same instruction budget (so
+    // both runs do the same exploration work), wall-clock compared.
+    // On a multi-core host the parallel run should reach the same
+    // coverage in well under the serial time; path sets are identical
+    // by the differential suite either way.
+    std::printf("\n=== serial vs parallel (%u workers, fixed "
+                "instruction budget) ===\n",
+                workers);
+    auto timed_run = [](unsigned n) {
+        RevConfig config;
+        config.driver = guest::allDriverKinds()[0];
+        config.maxWallSeconds = 0; // instruction budget only
+        config.maxInstructions = 1'500'000;
+        config.numWorkers = n;
+        Rev rev(config);
+        RevResult result = rev.run();
+        return std::make_pair(result.run.wallSeconds,
+                              result.driverCoverage);
+    };
+    auto [serial_secs, serial_cov] = timed_run(1);
+    auto [parallel_secs, parallel_cov] = timed_run(workers);
+    double speedup = parallel_secs > 0 ? serial_secs / parallel_secs : 0;
+    std::printf("  serial   (1 worker): %7.3f s, %.1f%% coverage\n",
+                serial_secs, serial_cov * 100);
+    std::printf("  parallel (%u workers): %6.3f s, %.1f%% coverage\n",
+                workers, parallel_secs, parallel_cov * 100);
+    // Budget kills land at scheduling-dependent points, so allow a small
+    // coverage delta; unconstrained runs are path-set-identical (see
+    // tests/test_parallel.cc).
+    std::printf("  speedup: %.2fx; coverage parity: %s\n", speedup,
+                parallel_cov + 0.05 >= serial_cov ? "YES" : "NO");
+    report.setMetric("parallel_workers", double(workers));
+    report.setMetric("serial_wall_seconds", serial_secs);
+    report.setMetric("parallel_wall_seconds", parallel_secs);
+    report.setMetric("parallel_speedup_x", speedup);
+    report.setMetric("serial_coverage", serial_cov);
+    report.setMetric("parallel_coverage", parallel_cov);
+
     report.writeBenchFile();
     return 0;
 }

@@ -21,6 +21,8 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "analysis/cfg.hh"
 #include "core/engine.hh"
@@ -135,11 +137,74 @@ runEngine(bool symbolic, bool profile, obs::RunReport *report = nullptr)
     return out;
 }
 
+/** Fork-heavy workload for the serial-vs-parallel comparison: six
+ *  symbolic branch levels (64 paths), each path then grinding a
+ *  private ALU loop so workers have real work to steal. */
+std::string
+forkWorkloadSource()
+{
+    return R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        s2e_symreg r1
+        movi r5, 0
+        testi r1, 1
+        jeq b1
+        ori r5, 1
+    b1: testi r1, 2
+        jeq b2
+        ori r5, 2
+    b2: testi r1, 4
+        jeq b3
+        ori r5, 4
+    b3: testi r1, 8
+        jeq b4
+        ori r5, 8
+    b4: testi r1, 16
+        jeq b5
+        ori r5, 16
+    b5: testi r1, 32
+        jeq work
+        ori r5, 32
+    work:
+        movi r10, 2000
+    loop:
+        add r6, r5
+        xor r6, r10
+        muli r6, 3
+        subi r10, 1
+        cmpi r10, 0
+        jne loop
+        hlt
+    )";
+}
+
+/** One fork-heavy run; returns {wallSeconds, completedPaths}. */
+std::pair<double, size_t>
+runForkWorkload(unsigned workers)
+{
+    vm::MachineConfig m;
+    m.ramSize = 64 * 1024;
+    m.program = isa::assemble(forkWorkloadSource());
+    core::EngineConfig config;
+    config.numWorkers = workers;
+    core::Engine engine(m, config);
+    core::RunResult r = engine.run();
+    return {r.wallSeconds, r.completed};
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    unsigned workers = 4;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--workers") == 0 && i + 1 < argc)
+            workers = static_cast<unsigned>(std::atoi(argv[++i]));
+    }
+
     std::setbuf(stdout, nullptr);
     std::printf("=== §6.2: runtime overhead vs vanilla execution ===\n\n");
 
@@ -257,6 +322,30 @@ main()
         report.setSeries("tb_uops_pre_opt", std::move(pre));
         report.setSeries("tb_uops_post_opt", std::move(post));
     }
+
+    // Serial vs parallel exploration on a fork-heavy workload. On a
+    // single-core host the speedup reflects scheduling overhead only;
+    // the differential suite (tests/test_parallel.cc) proves the path
+    // sets are identical regardless.
+    std::printf("\n--- parallel exploration (fork-heavy, %u workers) "
+                "---\n",
+                workers);
+    auto [serial_secs, serial_paths] = runForkWorkload(1);
+    auto [parallel_secs, parallel_paths] = runForkWorkload(workers);
+    double speedup =
+        parallel_secs > 0 ? serial_secs / parallel_secs : 0.0;
+    std::printf("%-28s %14.3f s  (%zu paths)\n", "serial (1 worker)",
+                serial_secs, serial_paths);
+    std::printf("%-28s %14.3f s  (%zu paths)\n", "parallel", parallel_secs,
+                parallel_paths);
+    std::printf("%-28s %14.2fx\n", "speedup", speedup);
+    report.setMetric("parallel_workers", double(workers));
+    report.setMetric("serial_wall_seconds", serial_secs);
+    report.setMetric("parallel_wall_seconds", parallel_secs);
+    report.setMetric("parallel_speedup_x", speedup);
+    report.setMetric("parallel_paths_match",
+                     serial_paths == parallel_paths ? 1.0 : 0.0);
+
     report.writeBenchFile();
 
     std::printf("\nShape check vs paper: symbolic >> concrete > vanilla "

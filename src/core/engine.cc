@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
+#include <unordered_map>
 
 #include "support/bitops.hh"
 #include "support/logging.hh"
@@ -10,6 +12,52 @@ namespace s2e::core {
 
 using dbt::MicroOp;
 using dbt::UOp;
+
+/**
+ * Everything a worker thread needs that cannot be shared: the solver
+ * (stateful: model cache, RNG, telemetry), the phase profiler (a span
+ * stack is inherently per-thread), and an L1 translation-block cache
+ * that makes the TB lookup hot path lock-free — it is flushed whenever
+ * the shared TbCache's generation counter moves (self-modifying code).
+ */
+struct Engine::WorkerContext {
+    WorkerContext(unsigned worker_id, ExprBuilder &builder,
+                  const EngineConfig &config)
+        : id(worker_id), solver(builder, config.solverOptions),
+          profiler(config.profileExecution)
+    {
+        solver.setProfiler(&profiler);
+    }
+
+    unsigned id;
+    solver::Solver solver;
+    obs::PhaseProfiler profiler;
+    /** Children forked during the current block, fully set up only
+     *  once the forking call returns; published to the work queue at
+     *  the next block boundary (see Engine::fork). */
+    std::vector<ExecutionState *> pendingChildren;
+    /** pc -> canonical block, valid only for blocks whose pages were
+     *  never written and only while tbGeneration is current. */
+    std::unordered_map<uint32_t, std::shared_ptr<dbt::TranslationBlock>>
+        tbL1;
+    uint64_t tbGeneration = 0;
+    double busySeconds = 0;
+    uint64_t statesRetired = 0;
+};
+
+thread_local Engine::WorkerContext *Engine::tlsWorker_ = nullptr;
+
+solver::Solver &
+Engine::curSolver()
+{
+    return tlsWorker_ ? tlsWorker_->solver : solver_;
+}
+
+obs::PhaseProfiler &
+Engine::curProfiler()
+{
+    return tlsWorker_ ? tlsWorker_->profiler : profiler_;
+}
 
 namespace {
 
@@ -171,6 +219,7 @@ void
 Engine::setSearcher(std::unique_ptr<Searcher> searcher)
 {
     S2E_ASSERT(searcher != nullptr, "null searcher");
+    std::lock_guard<std::mutex> lock(statesMutex_);
     searcher_ = std::move(searcher);
     for (ExecutionState *s : active_)
         searcher_->stateAdded(*s);
@@ -185,6 +234,7 @@ Engine::initialState()
 std::vector<ExecutionState *>
 Engine::activeStates() const
 {
+    std::lock_guard<std::mutex> lock(statesMutex_);
     return active_;
 }
 
@@ -221,8 +271,8 @@ Engine::deviceBusFor(ExecutionState &state)
         // device is part of the concrete domain).
         ExprRef e = state.mem.byteExpr(addr, builder_);
         uint64_t raw = 0;
-        auto v = solver_.getValue(state.constraints,
-                                  builder_.zext(e, 32), &raw);
+        auto v = curSolver().getValue(state.constraints,
+                                      builder_.zext(e, 32), &raw);
         if (v.isUnknown()) {
             solverFailState(state, "dma_read", v,
                             "solver gave up concretizing a DMA read");
@@ -237,7 +287,7 @@ Engine::deviceBusFor(ExecutionState &state)
         state.addConstraint(
             builder_.eq(e, builder_.constant(cv, 8)));
         state.mem.writeConcreteByte(addr, cv);
-        (*hot_.dmaConcretizations)++;
+        Stats::bump(*hot_.dmaConcretizations);
         return cv;
     };
     bus.writeMem = [this, &state](uint32_t addr, uint8_t value) {
@@ -263,13 +313,34 @@ std::shared_ptr<dbt::TranslationBlock>
 Engine::fetchBlock(ExecutionState &state)
 {
     dbt::CodeReader reader = codeReaderFor(state);
-    auto tb = tbCache_.lookup(state.cpu.pc, reader);
-    if (tb)
-        return tb;
 
-    obs::PhaseSpan span(profiler_, obs::Phase::Translate);
+    // Worker L1: lock-free hit path over the shared cache. Entries
+    // only exist for blocks on never-written pages, and the whole L1
+    // is dropped when the shared cache's generation moves (another
+    // state invalidated translations).
+    WorkerContext *w = tlsWorker_;
+    if (w) {
+        uint64_t gen = tbCache_.generation();
+        if (gen != w->tbGeneration) {
+            w->tbL1.clear();
+            w->tbGeneration = gen;
+        }
+        auto it = w->tbL1.find(state.cpu.pc);
+        if (it != w->tbL1.end())
+            return it->second;
+    }
+
+    bool clean = false;
+    auto tb = tbCache_.lookup(state.cpu.pc, reader, &clean);
+    if (tb) {
+        if (w && clean)
+            w->tbL1.emplace(state.cpu.pc, tb);
+        return tb;
+    }
+
+    obs::PhaseSpan span(curProfiler(), obs::Phase::Translate);
     tb = translator_.translateRaw(state.cpu.pc, reader);
-    (*hot_.translations)++;
+    Stats::bump(*hot_.translations);
     if (tb->instrPcs.empty())
         return tb; // decode fault; caller handles
 
@@ -302,7 +373,11 @@ Engine::fetchBlock(ExecutionState &state)
     // hooked blocks naive; optimize the rest.
     if (!any_marked)
         translator_.optimizeBlock(*tb);
-    tbCache_.insert(tb, reader);
+    // Canonical insert: if another worker raced us to translate this
+    // pc, adopt its block so every worker executes the same object.
+    tb = tbCache_.insert(tb, reader, &clean);
+    if (w && clean)
+        w->tbL1.emplace(state.cpu.pc, tb);
     return tb;
 }
 
@@ -316,7 +391,7 @@ Engine::makeRegSymbolic(ExecutionState &state, unsigned reg,
         // SC-CE: inputs stay concrete; return the current value.
         return state.cpu.regs[reg].toExpr(builder_);
     }
-    ExprRef var = builder_.freshVar(name, 32);
+    ExprRef var = builder_.var(symName(state, name), 32);
     if (range) {
         state.addConstraint(
             builder_.uge(var, builder_.constant(range->first, 32)));
@@ -324,7 +399,7 @@ Engine::makeRegSymbolic(ExecutionState &state, unsigned reg,
             builder_.ule(var, builder_.constant(range->second, 32)));
     }
     state.cpu.regs[reg] = Value(var);
-    (*hot_.symValuesCreated)++;
+    Stats::bump(*hot_.symValuesCreated);
     return var;
 }
 
@@ -334,16 +409,17 @@ Engine::makeMemSymbolic(ExecutionState &state, uint32_t addr, uint32_t len,
 {
     if (!policy_.symbolicInputsEnabled)
         return;
+    std::string base = symName(state, name);
     for (uint32_t i = 0; i < len; ++i) {
         if (!state.mem.inBounds(addr + i, 1))
             break;
-        ExprRef var = builder_.freshVar(
-            strprintf("%s[%u]", name.c_str(), i), 8);
+        ExprRef var =
+            builder_.var(strprintf("%s[%u]", base.c_str(), i), 8);
         state.mem.makeSymbolic(addr + i, var);
     }
     if (tbCache_.overlapsCode(addr, len))
         tbCache_.notifyWrite(addr, len);
-    *hot_.symValuesCreated += len;
+    Stats::bump(*hot_.symValuesCreated, len);
 }
 
 std::optional<uint32_t>
@@ -352,9 +428,9 @@ Engine::concretize(ExecutionState &state, const Value &value,
 {
     if (value.isConcrete())
         return value.concrete();
-    concretizationSites_.slot(reason)++;
+    Stats::bump(concretizationSites_.slot(reason));
     uint64_t raw = 0;
-    auto v = solver_.getValue(state.constraints, value.expr(), &raw);
+    auto v = curSolver().getValue(state.constraints, value.expr(), &raw);
     if (v.isUnknown()) {
         // A concretization site must produce *a* value; with the
         // solver giving up there is no sound one. Kill the state as a
@@ -393,10 +469,15 @@ void
 Engine::killState(ExecutionState &state, StateStatus status,
                   const std::string &message)
 {
+    // Cross-thread kills (e.g. a plugin killing a sibling path) are
+    // serialized here; the message is written before the release
+    // status store so any thread that observes !isActive() (acquire)
+    // also sees the message.
+    std::lock_guard<std::mutex> lock(killMutex_);
     if (!state.isActive())
         return;
-    state.status = status;
     state.statusMessage = message;
+    state.setStatus(status);
 }
 
 void
@@ -405,8 +486,8 @@ Engine::noteSolverDegraded(ExecutionState &state, const char *site,
 {
     state.degraded = true;
     state.degradeCount++;
-    (*hot_.solverDegraded)++;
-    degradeSites_.slot(site)++;
+    Stats::bump(*hot_.solverDegraded);
+    Stats::bump(degradeSites_.slot(site));
     SolverDegradeInfo info{state.cpu.pc, site, timed_out, false};
     events_.onSolverDegraded.emit(state, info);
 }
@@ -416,8 +497,8 @@ Engine::solverFailState(ExecutionState &state, const char *site,
                         const solver::QueryOutcome &outcome,
                         const std::string &message)
 {
-    (*hot_.solverFailures)++;
-    solverFailureSites_.slot(site)++;
+    Stats::bump(*hot_.solverFailures);
+    Stats::bump(solverFailureSites_.slot(site));
     SolverDegradeInfo info{state.cpu.pc, site, outcome.timedOut, true};
     events_.onSolverDegraded.emit(state, info);
     killState(state, StateStatus::SolverFailure, message);
@@ -432,21 +513,49 @@ Engine::forkState(ExecutionState &state)
 ExecutionState *
 Engine::fork(ExecutionState &state, ExprRef condition)
 {
-    if (config_.maxStatesCreated &&
-        states_.size() >= config_.maxStatesCreated) {
-        (*hot_.forksSuppressedBudget)++;
-        return nullptr;
+    obs::PhaseSpan span(curProfiler(), obs::Phase::Fork);
+    ExecutionState *child_ptr = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(statesMutex_);
+        if (config_.maxStatesCreated &&
+            states_.size() >= config_.maxStatesCreated) {
+            Stats::bump(*hot_.forksSuppressedBudget);
+            return nullptr;
+        }
+        // The child's path id is derived from the parent's, not from
+        // the runtime state id: "<parent>.<k>" for the parent's k-th
+        // fork. This keeps path identity independent of worker
+        // scheduling so serial and parallel runs name paths alike.
+        uint32_t fork_seq = state.nextForkSeq();
+        auto child = state.clone(nextStateId_++);
+        child->setPathId(state.pathId() + "." +
+                         std::to_string(fork_seq));
+        child_ptr = child.get();
+        states_.push_back(std::move(child));
+        active_.push_back(child_ptr);
+        Stats::raiseTo(*hot_.maxActiveStates, active_.size());
+        searcher_->stateAdded(*child_ptr);
     }
-    obs::PhaseSpan span(profiler_, obs::Phase::Fork);
-    auto child = state.clone(nextStateId_++);
-    ExecutionState *child_ptr = child.get();
-    states_.push_back(std::move(child));
-    active_.push_back(child_ptr);
-    (*hot_.forks)++;
+    Stats::bump(*hot_.forks);
 
+    // Signal dispatch stays on the forking worker: plugins see the
+    // fork before either side of it runs again.
     ForkInfo info{&state, child_ptr, condition};
     events_.onExecutionFork.emit(info);
-    searcher_->stateAdded(*child_ptr);
+
+    // In parallel mode the child must NOT become runnable yet: the
+    // caller still diverges it after fork() returns (handleBranch adds
+    // the negated constraint and the fallthrough pc; plugins inject
+    // failure values). Publishing now would let another worker steal a
+    // half-built state. Park it on the forking worker's pending list;
+    // workerLoop flushes at the next block boundary, after the
+    // caller's mutations are complete.
+    if (queue_) {
+        if (tlsWorker_)
+            tlsWorker_->pendingChildren.push_back(child_ptr);
+        else
+            queue_->add(0, child_ptr);
+    }
     return child_ptr;
 }
 
@@ -458,7 +567,7 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
     if (cond.isConcrete())
         return cond.concrete() ? taken_pc : fallthrough_pc;
 
-    obs::PhaseSpan span(profiler_, obs::Phase::SymbolicExec);
+    obs::PhaseSpan span(curProfiler(), obs::Phase::SymbolicExec);
     state.symInstrCount++;
     ExprRef c = builder_.ne(cond.toExpr(builder_),
                             builder_.constant(0, 32));
@@ -478,7 +587,7 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
             return fallthrough_pc;
           case EnvSymbolicBranchPolicy::ConcretizeHard:
           case EnvSymbolicBranchPolicy::ConcretizeSoft: {
-            (*hot_.envBranchConcretizations)++;
+            Stats::bump(*hot_.envBranchConcretizations);
             auto v = concretize(state, cond, "env_branch");
             if (!v)
                 return fallthrough_pc;
@@ -504,11 +613,11 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
         ExecutionState *child = fork(state, c);
         if (child)
             child->cpu.pc = fallthrough_pc;
-        (*hot_.cfgForks)++;
+        Stats::bump(*hot_.cfgForks);
         return taken_pc;
     }
 
-    auto feasibility = solver_.checkBranch(state.constraints, c);
+    auto feasibility = curSolver().checkBranch(state.constraints, c);
     const auto &ts = feasibility.trueSide;
     const auto &fs = feasibility.falseSide;
 
@@ -542,7 +651,7 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
     // fork and follow exactly one side that is *known or made*
     // feasible — never silently drop a definite side, never follow an
     // infeasible one.
-    (*hot_.forksSuppressedDegraded)++;
+    Stats::bump(*hot_.forksSuppressedDegraded);
     noteSolverDegraded(state, "branch", ts.timedOut || fs.timedOut);
     if (ts.isSat()) {
         state.addConstraint(c);
@@ -556,7 +665,7 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
     // by only short-circuiting on definite Unsat): fall back to the
     // concrete-evaluated side, like concretization does.
     uint64_t cv = 0;
-    auto pick = solver_.getValue(state.constraints, c, &cv);
+    auto pick = curSolver().getValue(state.constraints, c, &cv);
     if (pick.isUnknown()) {
         solverFailState(state, "branch", pick,
                         strprintf("solver gave up on both sides of the "
@@ -581,15 +690,15 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
 Value
 Engine::symbolicLoad(ExecutionState &state, const Value &addr, unsigned len)
 {
-    obs::PhaseSpan span(profiler_, obs::Phase::SymbolicExec);
-    (*hot_.symPointerLoads)++;
+    obs::PhaseSpan span(curProfiler(), obs::Phase::SymbolicExec);
+    Stats::bump(*hot_.symPointerLoads);
     ExprRef a = addr.expr();
 
     // Pick the window containing one feasible address, constrain the
     // pointer into it (the paper's page-content-passing scheme: only
     // a small page of memory is handed to the solver).
     uint64_t example = 0;
-    auto ex = solver_.getValue(state.constraints, a, &example);
+    auto ex = curSolver().getValue(state.constraints, a, &example);
     if (ex.isUnknown()) {
         solverFailState(state, "symbolic_load", ex,
                         "solver gave up resolving a symbolic load "
@@ -613,14 +722,14 @@ Engine::symbolicLoad(ExecutionState &state, const Value &addr, unsigned len)
     ExprRef hi = builder_.constant(base + window - len, 32);
     ExprRef in_window = builder_.land(builder_.uge(a, lo),
                                       builder_.ule(a, hi));
-    auto must = solver_.mustBeTrue(state.constraints, in_window);
+    auto must = curSolver().mustBeTrue(state.constraints, in_window);
     if (!must.yes()) {
         // Not *proved* inside the window (definite no, or the solver
         // gave up): the soft constraint keeps the ite chain sound
         // either way, but an Unknown means feasible addresses may have
         // been cut off — record the degradation.
         state.addConstraint(in_window); // soft window constraint
-        (*hot_.symPointerWindowConstrained)++;
+        Stats::bump(*hot_.symPointerWindowConstrained);
         if (must.isUnknown())
             noteSolverDegraded(state, "symload_window", must.timedOut);
     }
@@ -661,9 +770,9 @@ Engine::loadFrom(ExecutionState &state, uint32_t addr, unsigned len,
             if (addr >= lo && addr < hi &&
                 policy_.symbolicHardwareAllowed &&
                 policy_.symbolicInputsEnabled) {
-                (*hot_.symbolicHardwareReads)++;
-                return Value(builder_.freshVar(
-                    strprintf("mmio_%x", addr), 32));
+                Stats::bump(*hot_.symbolicHardwareReads);
+                return Value(builder_.var(
+                    symName(state, strprintf("mmio_%x", addr)), 32));
             }
         }
         vm::Device *dev = state.devices.findMmio(addr);
@@ -742,8 +851,9 @@ Engine::ioRead(ExecutionState &state, uint32_t port)
     for (const auto &[lo, hi] : config_.symbolicPortRanges) {
         if (p >= lo && p <= hi && policy_.symbolicHardwareAllowed &&
             policy_.symbolicInputsEnabled) {
-            (*hot_.symbolicHardwareReads)++;
-            Value v(builder_.freshVar(strprintf("port_%x", p), 32));
+            Stats::bump(*hot_.symbolicHardwareReads);
+            Value v(builder_.var(
+                symName(state, strprintf("port_%x", p)), 32));
             events_.onPortAccess.emit(state, p, v, false);
             return v;
         }
@@ -867,7 +977,7 @@ Engine::deliverInterrupts(ExecutionState &state)
         return;
     unsigned irq = __builtin_ctz(state.cpu.pendingIrqs);
     state.cpu.pendingIrqs &= ~(1u << irq);
-    (*hot_.interruptsDelivered)++;
+    Stats::bump(*hot_.interruptsDelivered);
     enterInterrupt(state, irq, state.cpu.pc);
 }
 
@@ -892,18 +1002,15 @@ Engine::execS2Op(ExecutionState &state, const MicroOp &op,
         state.multiPathEnabled = false;
         break;
       case isa::Opcode::S2SymReg:
-        makeRegSymbolic(state, op.reg,
-                        strprintf("sym_r%u_%llu", op.reg,
-                                  static_cast<unsigned long long>(
-                                      symNameCounter_++)));
+        // Base names are per-site; makeRegSymbolic scopes them with
+        // the state's path id and per-state sequence, so names stay
+        // deterministic under any worker interleaving.
+        makeRegSymbolic(state, op.reg, strprintf("sym_r%u", op.reg));
         break;
       case isa::Opcode::S2SymRange: {
         uint32_t lo = temps[op.a].concrete();
         uint32_t hi = temps[op.b].concrete();
-        makeRegSymbolic(state, op.reg,
-                        strprintf("sym_r%u_%llu", op.reg,
-                                  static_cast<unsigned long long>(
-                                      symNameCounter_++)),
+        makeRegSymbolic(state, op.reg, strprintf("sym_r%u", op.reg),
                         std::make_pair(lo, hi));
         break;
       }
@@ -911,10 +1018,7 @@ Engine::execS2Op(ExecutionState &state, const MicroOp &op,
         auto addr = concretize(state, temps[op.a], "s2symmem_addr");
         auto len = concretize(state, temps[op.b], "s2symmem_len");
         if (addr && len)
-            makeMemSymbolic(state, *addr, *len,
-                            strprintf("sym_mem_%llu",
-                                      static_cast<unsigned long long>(
-                                          symNameCounter_++)));
+            makeMemSymbolic(state, *addr, *len, "sym_mem");
         break;
       }
       case isa::Opcode::S2Out:
@@ -939,8 +1043,8 @@ Engine::execS2Op(ExecutionState &state, const MicroOp &op,
         }
         ExprRef nonzero = builder_.ne(v.toExpr(builder_),
                                       builder_.constant(0, 32));
-        auto may_fail = solver_.mayBeTrue(state.constraints,
-                                          builder_.lnot(nonzero));
+        auto may_fail = curSolver().mayBeTrue(state.constraints,
+                                              builder_.lnot(nonzero));
         if (may_fail.isUnknown()) {
             // Can't decide whether the assert can fail: skip the bug
             // report (no false positives), keep the path alive under
@@ -953,7 +1057,8 @@ Engine::execS2Op(ExecutionState &state, const MicroOp &op,
             events_.onBug.emit(
                 state,
                 strprintf("s2e_assert may fail at 0x%x", instr_pc));
-            auto may_pass = solver_.mayBeTrue(state.constraints, nonzero);
+            auto may_pass =
+                curSolver().mayBeTrue(state.constraints, nonzero);
             if (may_pass.isUnknown()) {
                 noteSolverDegraded(state, "assert", may_pass.timedOut);
                 state.addConstraint(nonzero);
@@ -986,7 +1091,7 @@ Engine::executeBlock(ExecutionState &state)
     // The enclosing span: nested translate/symbolic/solver/fork spans
     // carve their time out of it (exclusive accounting), so what
     // remains charged here is the true concrete-execution fraction.
-    obs::PhaseSpan span(profiler_, obs::Phase::ConcreteExec);
+    obs::PhaseSpan span(curProfiler(), obs::Phase::ConcreteExec);
     deliverInterrupts(state);
     if (!state.isActive())
         return false;
@@ -1003,11 +1108,11 @@ Engine::executeBlock(ExecutionState &state)
                   strprintf("invalid instruction at 0x%x", state.cpu.pc));
         return false;
     }
-    tb->execCount++;
+    Stats::bump(tb->execCount);
     state.blockCount++;
     state.instrCount += tb->instrPcs.size();
-    *hot_.uopsExecuted += tb->ops.size();
-    *hot_.uopsPreOpt += tb->origOpCount;
+    Stats::bump(*hot_.uopsExecuted, tb->ops.size());
+    Stats::bump(*hot_.uopsPreOpt, tb->origOpCount);
     events_.onBlockExecute.emit(state, *tb);
 
     std::vector<Value> temps(tb->numTemps);
@@ -1053,7 +1158,7 @@ Engine::executeBlock(ExecutionState &state)
                 temps[op.dst] = Value(op.op == UOp::Not ? ~a.concrete()
                                                         : 0 - a.concrete());
             } else {
-                obs::PhaseSpan sym(profiler_, obs::Phase::SymbolicExec);
+                obs::PhaseSpan sym(curProfiler(), obs::Phase::SymbolicExec);
                 state.symInstrCount++;
                 temps[op.dst] = Value(op.op == UOp::Not
                                           ? builder_.bNot(a.expr())
@@ -1085,7 +1190,7 @@ Engine::executeBlock(ExecutionState &state)
                     Value(concreteBinary(op.op, a.concrete(),
                                          b.concrete()));
             } else {
-                obs::PhaseSpan sym(profiler_, obs::Phase::SymbolicExec);
+                obs::PhaseSpan sym(curProfiler(), obs::Phase::SymbolicExec);
                 state.symInstrCount++;
                 temps[op.dst] = Value(symbolicBinary(
                     op.op, a.toExpr(builder_), b.toExpr(builder_),
@@ -1123,8 +1228,8 @@ Engine::executeBlock(ExecutionState &state)
                     // Unknown here just degrades the report, not the
                     // load itself.
                     uint64_t exv = 0;
-                    auto ex = solver_.getValue(state.constraints, sum,
-                                               &exv);
+                    auto ex = curSolver().getValue(state.constraints,
+                                                   sum, &exv);
                     resolved =
                         ex.isSat() ? static_cast<uint32_t>(exv) : 0;
                     if (ex.isUnknown())
@@ -1163,7 +1268,7 @@ Engine::executeBlock(ExecutionState &state)
                 if (!v)
                     return false;
                 resolved = *v;
-                (*hot_.symPointerStores)++;
+                Stats::bump(*hot_.symPointerStores);
             } else {
                 resolved = addr.concrete() + op.imm;
             }
@@ -1260,11 +1365,38 @@ Engine::executeBlock(ExecutionState &state)
     return state.isActive();
 }
 
+std::string
+Engine::symName(ExecutionState &state, const std::string &base)
+{
+    // Scope every symbolic-value name by the state's deterministic
+    // path id and a per-state sequence number. Names — unlike global
+    // counters — then depend only on the path's own history, so serial
+    // and parallel runs build byte-identical expressions.
+    return strprintf("%s@%s#%llu", base.c_str(), state.pathId().c_str(),
+                     static_cast<unsigned long long>(state.nextSymSeq()));
+}
+
 void
 Engine::finishState(ExecutionState &state)
 {
     events_.onStateKill.emit(state);
     searcher_->stateRemoved(state);
+}
+
+void
+Engine::retireState(ExecutionState &state)
+{
+    // Parallel-mode counterpart of the serial sweep: drop the state
+    // from active_ under the mutex, then fire the kill event outside
+    // it (plugins may call back into activeStates()).
+    {
+        std::lock_guard<std::mutex> lock(statesMutex_);
+        auto it = std::find(active_.begin(), active_.end(), &state);
+        if (it != active_.end())
+            active_.erase(it);
+        searcher_->stateRemoved(state);
+    }
+    events_.onStateKill.emit(state);
 }
 
 void
@@ -1277,18 +1409,41 @@ Engine::accountMemory()
     Stats::raiseTo(*hot_.maxActiveStates, active_.size());
 }
 
+void
+Engine::accountStateMemory(ExecutionState &state)
+{
+    // Incremental version of accountMemory() for parallel mode: each
+    // worker maintains the pool-wide footprint by publishing the delta
+    // of the one state it owns.
+    uint64_t now_bytes = state.isActive() ? state.memoryFootprint() : 0;
+    uint64_t prev = state.accountedBytes;
+    state.accountedBytes = now_bytes;
+    uint64_t cur = currentMemBytes_.fetch_add(
+                       now_bytes - prev, std::memory_order_relaxed) +
+                   (now_bytes - prev);
+    Stats::raiseTo(*hot_.memoryHighWatermark, cur);
+}
+
 RunResult
 Engine::run()
 {
+    if (config_.numWorkers <= 1)
+        return runSerial();
+    return runParallel();
+}
+
+RunResult
+Engine::runSerial()
+{
     RunResult result;
     auto start = std::chrono::steady_clock::now();
-    uint64_t start_instr = *hot_.instructions;
+    uint64_t start_instr = Stats::read(*hot_.instructions);
 
     while (!active_.empty()) {
         double elapsed = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
-        uint64_t executed = *hot_.instructions - start_instr;
+        uint64_t executed = Stats::read(*hot_.instructions) - start_instr;
         if ((config_.maxWallSeconds > 0 &&
              elapsed > config_.maxWallSeconds) ||
             (config_.maxInstructions > 0 &&
@@ -1308,7 +1463,8 @@ Engine::run()
                 if (!executeBlock(*state))
                     break;
             }
-            *hot_.instructions += state->instrCount - instr_before;
+            Stats::bump(*hot_.instructions,
+                        state->instrCount - instr_before);
         }
 
         // Sweep terminated states.
@@ -1324,12 +1480,137 @@ Engine::run()
         accountMemory();
     }
 
+    finalizeResult(result, start, start_instr);
+    return result;
+}
+
+RunResult
+Engine::runParallel()
+{
+    RunResult result;
+    auto start = std::chrono::steady_clock::now();
+    uint64_t start_instr = Stats::read(*hot_.instructions);
+    unsigned n = config_.numWorkers;
+
+    workers_.clear();
+    for (unsigned i = 0; i < n; ++i) {
+        workers_.push_back(
+            std::make_unique<WorkerContext>(i, builder_, config_));
+        // Fault injection (if configured) applies pool-wide.
+        workers_.back()->solver.setFaultPolicy(solver_.faultPolicy());
+    }
+
+    WorkQueue queue(n);
+    stopFlag_.store(false, std::memory_order_relaxed);
+    budgetExhaustedFlag_.store(false, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> lock(statesMutex_);
+        for (size_t i = 0; i < active_.size(); ++i)
+            queue.add(static_cast<unsigned>(i % n), active_[i]);
+    }
+    queue_ = &queue;
+
+    std::vector<std::thread> threads;
+    threads.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        threads.emplace_back([this, i, &queue, start, start_instr] {
+            workerLoop(i, queue, start, start_instr);
+        });
+    for (std::thread &t : threads)
+        t.join();
+    queue_ = nullptr;
+
+    // Workers are quiescent: fold their telemetry into the engine-level
+    // profiler and solver stats so reports aggregate the whole pool.
+    result.workers = n;
+    for (auto &w : workers_) {
+        profiler_.mergeFrom(w->profiler);
+        solver_.stats().mergeFrom(w->solver.stats());
+        result.workerBusySeconds.push_back(w->busySeconds);
+    }
+    workers_.clear();
+
+    result.budgetExhausted =
+        budgetExhaustedFlag_.load(std::memory_order_relaxed);
+    finalizeResult(result, start, start_instr);
+    return result;
+}
+
+void
+Engine::workerLoop(unsigned wid, WorkQueue &queue,
+                   std::chrono::steady_clock::time_point start,
+                   uint64_t start_instr)
+{
+    WorkerContext &w = *workers_[wid];
+    tlsWorker_ = &w;
+    // Children forked during a block are runnable only from the next
+    // block boundary on (their setup completes after fork() returns).
+    // Publishing before finish() below keeps the queue's pending count
+    // from hitting zero while an unpublished child exists.
+    auto flush_children = [&] {
+        for (ExecutionState *child : w.pendingChildren)
+            queue.add(wid, child);
+        w.pendingChildren.clear();
+    };
+    while (ExecutionState *state = queue.take(wid)) {
+        auto slice_start = std::chrono::steady_clock::now();
+        if (stopFlag_.load(std::memory_order_acquire)) {
+            killState(*state, StateStatus::BudgetExceeded, "run budget");
+        } else {
+            uint64_t instr_before = state->instrCount;
+            for (unsigned i = 0;
+                 i < config_.timesliceBlocks && state->isActive(); ++i) {
+                bool running = executeBlock(*state);
+                flush_children();
+                if (!running)
+                    break;
+            }
+            Stats::bump(*hot_.instructions,
+                        state->instrCount - instr_before);
+            double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            uint64_t executed =
+                Stats::read(*hot_.instructions) - start_instr;
+            if ((config_.maxWallSeconds > 0 &&
+                 elapsed > config_.maxWallSeconds) ||
+                (config_.maxInstructions > 0 &&
+                 executed > config_.maxInstructions)) {
+                budgetExhaustedFlag_.store(true,
+                                           std::memory_order_relaxed);
+                stopFlag_.store(true, std::memory_order_release);
+            }
+        }
+        accountStateMemory(*state);
+        w.busySeconds +=
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - slice_start)
+                .count();
+        flush_children(); // forks from kill-path event handlers
+        if (state->isActive()) {
+            queue.put(wid, state);
+        } else {
+            retireState(*state);
+            w.statesRetired++;
+            queue.finish();
+        }
+    }
+    tlsWorker_ = nullptr;
+}
+
+void
+Engine::finalizeResult(RunResult &result,
+                       std::chrono::steady_clock::time_point start,
+                       uint64_t start_instr)
+{
     result.wallSeconds = std::chrono::duration<double>(
                              std::chrono::steady_clock::now() - start)
                              .count();
     profiler_.flushTo(stats_, "engine.phase");
-    result.totalInstructions = *hot_.instructions - start_instr;
-    result.forks = *hot_.forks;
+    result.totalInstructions =
+        Stats::read(*hot_.instructions) - start_instr;
+    result.forks = Stats::read(*hot_.forks);
     result.statesCreated = states_.size();
     for (const auto &s : states_) {
         result.totalBlocks += s->blockCount;
@@ -1354,7 +1635,6 @@ Engine::run()
         if (s->degraded && s->status != StateStatus::SolverFailure)
             result.degradedStates++;
     }
-    return result;
 }
 
 } // namespace s2e::core

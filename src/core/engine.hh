@@ -14,7 +14,10 @@
 #ifndef S2E_CORE_ENGINE_HH
 #define S2E_CORE_ENGINE_HH
 
+#include <atomic>
+#include <chrono>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <vector>
@@ -22,6 +25,7 @@
 #include "core/consistency.hh"
 #include "core/events.hh"
 #include "core/state.hh"
+#include "core/workqueue.hh"
 #include "dbt/translator.hh"
 #include "obs/profiler.hh"
 #include "solver/solver.hh"
@@ -69,6 +73,16 @@ struct EngineConfig {
     /** Translation blocks per scheduling quantum. */
     unsigned timesliceBlocks = 64;
 
+    /**
+     * Exploration worker threads. 1 (the default) runs the original
+     * single-threaded loop with the engine-level Searcher; >1 spawns a
+     * worker pool draining a work-stealing queue of ready states, with
+     * per-worker solvers and profilers. Path *results* are identical
+     * either way (see tests/test_parallel.cc); only scheduling order
+     * differs.
+     */
+    unsigned numWorkers = 1;
+
     /** Record the phase-time breakdown (translate / concrete /
      *  symbolic / solver / fork). The compile-time default follows
      *  the S2E_OBS_DEFAULT_OFF CMake option. */
@@ -103,6 +117,12 @@ struct RunResult {
     size_t degradedStates = 0;
     bool budgetExhausted = false;
     double wallSeconds = 0;
+    /** Worker pool size used by the run (1 = serial loop). */
+    unsigned workers = 1;
+    /** Per-worker busy wall-clock (executing states, not idling in the
+     *  queue); workerBusySeconds[i] / wallSeconds is worker i's
+     *  utilization. Empty for serial runs. */
+    std::vector<double> workerBusySeconds;
 };
 
 /**
@@ -208,6 +228,36 @@ class Engine
   private:
     struct TempFile; // per-block temp values
 
+    /** Per-worker context: private solver, profiler and a lock-free L1
+     *  over the shared TbCache. Reached via tlsWorker_. */
+    struct WorkerContext;
+
+    /** The executing worker's context; null on the serial path. */
+    static thread_local WorkerContext *tlsWorker_;
+
+    /** Solver/profiler for the calling thread: the worker's own in a
+     *  parallel run, the engine-level ones otherwise. */
+    solver::Solver &curSolver();
+    obs::PhaseProfiler &curProfiler();
+
+    RunResult runSerial();
+    RunResult runParallel();
+    void workerLoop(unsigned worker_id, WorkQueue &queue,
+                    std::chrono::steady_clock::time_point start,
+                    uint64_t start_instr);
+    void finalizeResult(RunResult &result,
+                        std::chrono::steady_clock::time_point start,
+                        uint64_t start_instr);
+    /** Parallel-mode incremental footprint accounting (the owner
+     *  worker updates its state's share of the global watermark). */
+    void accountStateMemory(ExecutionState &state);
+    /** Remove a finished state from active_ and emit its kill event. */
+    void retireState(ExecutionState &state);
+
+    /** Schedule-independent symbolic variable name:
+     *  `<base>@<pathId>#<per-path-seq>`. */
+    std::string symName(ExecutionState &state, const std::string &base);
+
     dbt::CodeReader codeReaderFor(ExecutionState &state);
     vm::DeviceBus deviceBusFor(ExecutionState &state);
     std::shared_ptr<dbt::TranslationBlock> fetchBlock(ExecutionState &state);
@@ -296,11 +346,24 @@ class Engine
     dbt::TbCache tbCache_;
     std::unique_ptr<Searcher> searcher_;
 
+    // State bookkeeping. statesMutex_ guards states_/active_/
+    // nextStateId_ and searcher notifications; killMutex_ serializes
+    // the (rare) status transitions so a cross-thread kill cannot race
+    // the owner's own termination. Lock order: statesMutex_ and
+    // killMutex_ are leaves — never both held at once.
+    mutable std::mutex statesMutex_;
+    std::mutex killMutex_;
     std::vector<std::unique_ptr<ExecutionState>> states_;
     std::vector<ExecutionState *> active_;
     int nextStateId_ = 0;
-    uint64_t symNameCounter_ = 0;
-    bool anyTranslationSubscriber_ = false;
+
+    // Parallel-run machinery (all quiescent on the serial path).
+    std::vector<std::unique_ptr<WorkerContext>> workers_;
+    WorkQueue *queue_ = nullptr; ///< non-null only inside runParallel
+    std::atomic<bool> stopFlag_{false};
+    std::atomic<bool> budgetExhaustedFlag_{false};
+    /** Sum of active states' accounted footprints (parallel runs). */
+    std::atomic<uint64_t> currentMemBytes_{0};
 };
 
 } // namespace s2e::core

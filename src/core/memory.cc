@@ -40,6 +40,13 @@ MemoryState::writablePageFor(uint32_t addr)
     S2E_ASSERT(idx < pages_.size(), "memory access at 0x%x out of range",
                addr);
     auto &p = pages_[idx];
+    // COW break, safe under parallel exploration without a lock: page
+    // refcounts are the shared_ptr control block's atomics, and a state
+    // is only ever mutated by the worker that owns it. use_count()==1
+    // therefore proves exclusivity — no other thread can copy *our*
+    // reference concurrently (cloning this state would require owning
+    // it), and a sibling dropping its reference after we read a stale
+    // count >1 only costs a redundant copy, never a race.
     if (!p) {
         p = std::make_shared<Page>();
     } else if (p.use_count() > 1) {

@@ -46,6 +46,11 @@ ExecutionState::clone(int new_id) const
     child->id_ = new_id;
     child->parentId_ = id_;
     child->forkDepth_ = forkDepth_ + 1;
+    // The engine overwrites pathId_ with "<parent>.<forkSeq>"; the
+    // inherited sequence counters keep sibling numbering deterministic.
+    child->pathId_ = pathId_;
+    child->forkSeq_ = forkSeq_;
+    child->symSeq_ = symSeq_;
     for (const auto &[key, ps] : pluginStates_)
         child->pluginStates_[key] = ps->clone();
     return child;

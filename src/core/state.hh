@@ -12,6 +12,7 @@
 #ifndef S2E_CORE_STATE_HH
 #define S2E_CORE_STATE_HH
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -76,6 +77,24 @@ class ExecutionState
     int parentId() const { return parentId_; }
     uint32_t forkDepth() const { return forkDepth_; }
 
+    // --- Deterministic path identity ---------------------------------
+    //
+    // Runtime ids (id()) are assigned in scheduling order, so they
+    // differ between serial and parallel runs. The path id is derived
+    // purely from the fork tree: the root is "0" and the k-th fork
+    // taken by path P creates child "P.k" — identical no matter which
+    // worker executes the path or in what order.
+
+    const std::string &pathId() const { return pathId_; }
+    void setPathId(std::string path_id) { pathId_ = std::move(path_id); }
+
+    /** Ordinal of the next fork performed by this path (1-based). */
+    uint32_t nextForkSeq() { return ++forkSeq_; }
+
+    /** Ordinal for the next symbolic value created on this path; used
+     *  to build schedule-independent variable names. */
+    uint64_t nextSymSeq() { return symSeq_++; }
+
     CpuState cpu;
     MemoryState mem;
     vm::DeviceSet devices;
@@ -105,7 +124,27 @@ class ExecutionState
     /** How many degradation actions this path absorbed. */
     uint32_t degradeCount = 0;
 
-    bool isActive() const { return status == StateStatus::Running; }
+    /**
+     * True while the path is still schedulable. Reads the status with
+     * an acquire atomic so a worker observing a cross-thread kill (the
+     * only remote write a state ever receives) also sees the status
+     * message written before it.
+     */
+    bool
+    isActive() const
+    {
+        auto *self = const_cast<ExecutionState *>(this);
+        return std::atomic_ref<StateStatus>(self->status).load(
+                   std::memory_order_acquire) == StateStatus::Running;
+    }
+
+    /** Atomic (release) status transition; pairs with isActive(). */
+    void
+    setStatus(StateStatus new_status)
+    {
+        std::atomic_ref<StateStatus>(status).store(
+            new_status, std::memory_order_release);
+    }
 
     void
     addConstraint(ExprRef c)
@@ -146,12 +185,19 @@ class ExecutionState
      *  privatized COW pages + constraint nodes + symbolic bytes. */
     uint64_t memoryFootprint() const;
 
+    /** Last footprint published to the engine's pool-wide total
+     *  (written only by the owning worker; see accountStateMemory). */
+    uint64_t accountedBytes = 0;
+
   private:
     ExecutionState(const ExecutionState &) = default;
 
     int id_ = 0;
     int parentId_ = -1;
     uint32_t forkDepth_ = 0;
+    std::string pathId_ = "0";
+    uint32_t forkSeq_ = 0;
+    uint64_t symSeq_ = 0;
     std::map<const void *, std::unique_ptr<PluginState>> pluginStates_;
 };
 

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Work-stealing scheduler queue for parallel multi-path exploration.
+ *
+ * Each worker owns a deque shard: it pushes and pops ready states at
+ * the back (depth-first, cache-warm), while idle workers steal from
+ * the front of other shards (breadth-first, stealing the states
+ * closest to the fork-tree root and hence the largest subtrees —
+ * the classic Cilk-style split).
+ *
+ * Ownership protocol: a state is either queued here or being executed
+ * by exactly one worker; only that worker may touch the state's
+ * mutable fields. The shard mutexes double as the release/acquire
+ * edge that publishes all writes the previous owner made.
+ *
+ * Termination: `pending` counts states that are queued or held by a
+ * worker. take() returns nullptr only when pending reaches zero, i.e.
+ * every path has finished — an empty shard alone means nothing while
+ * another worker still runs a state that may fork.
+ */
+
+#ifndef S2E_CORE_WORKQUEUE_HH
+#define S2E_CORE_WORKQUEUE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "support/logging.hh"
+
+namespace s2e::core {
+
+class ExecutionState;
+
+class WorkQueue
+{
+  public:
+    explicit WorkQueue(unsigned workers) : shards_(workers)
+    {
+        S2E_ASSERT(workers >= 1, "work queue needs at least one shard");
+    }
+
+    WorkQueue(const WorkQueue &) = delete;
+    WorkQueue &operator=(const WorkQueue &) = delete;
+
+    /** Schedule a state the queue has not seen before (initial states
+     *  and fork children). Safe from any worker. */
+    void
+    add(unsigned worker, ExecutionState *state)
+    {
+        pending_.fetch_add(1, std::memory_order_relaxed);
+        pushBack(worker, state);
+    }
+
+    /** Re-queue a still-active state after a timeslice. */
+    void
+    put(unsigned worker, ExecutionState *state)
+    {
+        pushBack(worker, state);
+    }
+
+    /** A state previously returned by take() finished for good. */
+    void
+    finish()
+    {
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            std::lock_guard<std::mutex> lock(waitMu_);
+            cv_.notify_all();
+        }
+    }
+
+    /**
+     * Dequeue the next state for `worker`: its own shard first, then
+     * steal. Blocks while other workers still hold states; returns
+     * nullptr once every path has finished.
+     */
+    ExecutionState *
+    take(unsigned worker)
+    {
+        while (true) {
+            if (ExecutionState *s = popBack(worker))
+                return s;
+            for (size_t i = 1; i < shards_.size(); ++i) {
+                unsigned victim =
+                    (worker + i) % static_cast<unsigned>(shards_.size());
+                if (ExecutionState *s = stealFront(victim))
+                    return s;
+            }
+            if (pending_.load(std::memory_order_acquire) == 0)
+                return nullptr;
+            // Another worker holds the remaining states; they may fork
+            // or finish any moment. The timeout bounds the window for
+            // a push we raced with.
+            std::unique_lock<std::mutex> lock(waitMu_);
+            cv_.wait_for(lock, std::chrono::milliseconds(1));
+        }
+    }
+
+    /** States currently queued or held by workers. */
+    size_t
+    pending() const
+    {
+        return pending_.load(std::memory_order_acquire);
+    }
+
+  private:
+    struct Shard {
+        std::mutex mu;
+        std::deque<ExecutionState *> q;
+    };
+
+    void
+    pushBack(unsigned worker, ExecutionState *state)
+    {
+        Shard &shard = shards_[worker % shards_.size()];
+        {
+            std::lock_guard<std::mutex> lock(shard.mu);
+            shard.q.push_back(state);
+        }
+        std::lock_guard<std::mutex> lock(waitMu_);
+        cv_.notify_one();
+    }
+
+    ExecutionState *
+    popBack(unsigned worker)
+    {
+        Shard &shard = shards_[worker % shards_.size()];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.q.empty())
+            return nullptr;
+        ExecutionState *s = shard.q.back();
+        shard.q.pop_back();
+        return s;
+    }
+
+    ExecutionState *
+    stealFront(unsigned victim)
+    {
+        Shard &shard = shards_[victim];
+        std::lock_guard<std::mutex> lock(shard.mu);
+        if (shard.q.empty())
+            return nullptr;
+        ExecutionState *s = shard.q.front();
+        shard.q.pop_front();
+        return s;
+    }
+
+    // std::deque constructs shards in place; Shard itself is immovable
+    // (it holds a mutex).
+    std::deque<Shard> shards_;
+    std::atomic<size_t> pending_{0};
+    std::mutex waitMu_;
+    std::condition_variable cv_;
+};
+
+} // namespace s2e::core
+
+#endif // S2E_CORE_WORKQUEUE_HH

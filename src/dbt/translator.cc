@@ -732,45 +732,70 @@ TbCache::checksum(const TranslationBlock &tb, const CodeReader &reader) const
 }
 
 std::shared_ptr<TranslationBlock>
-TbCache::lookup(uint32_t pc, const CodeReader &reader)
+TbCache::lookup(uint32_t pc, const CodeReader &reader, bool *clean)
 {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (clean)
+        *clean = false;
     auto it = blocks_.find(pc);
     if (it == blocks_.end()) {
-        misses_++;
+        misses_.fetch_add(1, std::memory_order_relaxed);
         return nullptr;
     }
     const Entry &entry = it->second;
     // Verify pages that were ever written (self-modifying code may
     // diverge between states sharing this cache).
+    bool ever_dirty = false;
     uint32_t first_page = pc >> kCodePageBits;
     uint32_t last_page = (pc + entry.tb->byteSize - 1) >> kCodePageBits;
     for (uint32_t page = first_page; page <= last_page; ++page) {
         if (dirtyPages_.count(page)) {
+            ever_dirty = true;
             if (checksum(*entry.tb, reader) != entry.checksum) {
-                misses_++;
+                misses_.fetch_add(1, std::memory_order_relaxed);
                 return nullptr;
             }
             break;
         }
     }
-    hits_++;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (clean)
+        *clean = !ever_dirty;
     return entry.tb;
 }
 
-void
+std::shared_ptr<TranslationBlock>
 TbCache::insert(const std::shared_ptr<TranslationBlock> &tb,
-                const CodeReader &reader)
+                const CodeReader &reader, bool *clean)
 {
-    Entry entry;
-    entry.tb = tb;
-    entry.checksum = checksum(*tb, reader);
-    blocks_[tb->pc] = entry;
+    uint64_t sum = checksum(*tb, reader);
+    std::lock_guard<std::mutex> lock(mu_);
     uint32_t first_page = tb->pc >> kCodePageBits;
     uint32_t last_page =
         tb->byteSize ? (tb->pc + tb->byteSize - 1) >> kCodePageBits
                      : first_page;
+    bool ever_dirty = false;
     for (uint32_t page = first_page; page <= last_page; ++page)
+        if (dirtyPages_.count(page))
+            ever_dirty = true;
+    if (clean)
+        *clean = !ever_dirty;
+
+    auto it = blocks_.find(tb->pc);
+    if (it != blocks_.end() && it->second.checksum == sum) {
+        // A concurrent worker translated the same code first; keep the
+        // published block canonical so execution counts aggregate.
+        return it->second.tb;
+    }
+    Entry entry;
+    entry.tb = tb;
+    entry.checksum = sum;
+    blocks_[tb->pc] = entry;
+    for (uint32_t page = first_page; page <= last_page; ++page) {
         pageIndex_[page].push_back(tb->pc);
+        pageBit(page).fetch_or(pageMask(page), std::memory_order_relaxed);
+    }
+    return tb;
 }
 
 void
@@ -778,6 +803,8 @@ TbCache::notifyWrite(uint32_t addr, uint32_t len)
 {
     if (len == 0)
         return;
+    std::lock_guard<std::mutex> lock(mu_);
+    bool invalidated = false;
     for (uint32_t page = addr >> kCodePageBits;
          page <= (addr + len - 1) >> kCodePageBits; ++page) {
         auto it = pageIndex_.find(page);
@@ -787,15 +814,31 @@ TbCache::notifyWrite(uint32_t addr, uint32_t len)
         for (uint32_t tb_pc : it->second)
             blocks_.erase(tb_pc);
         pageIndex_.erase(it);
+        invalidated = true;
+        // The page bitmap bit stays set: future overlapsCode() calls
+        // keep routing writes here, which is conservative but correct.
     }
+    if (invalidated)
+        generation_.fetch_add(1, std::memory_order_release);
 }
 
 void
 TbCache::clear()
 {
+    std::lock_guard<std::mutex> lock(mu_);
     blocks_.clear();
     pageIndex_.clear();
     dirtyPages_.clear();
+    for (auto &word : pageBitmap_)
+        word.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+}
+
+size_t
+TbCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return blocks_.size();
 }
 
 } // namespace s2e::dbt

@@ -7,8 +7,11 @@
 #ifndef S2E_DBT_TRANSLATOR_HH
 #define S2E_DBT_TRANSLATOR_HH
 
+#include <array>
+#include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -97,56 +100,111 @@ constexpr uint32_t kCodePageBits = 10;
 constexpr uint32_t kCodePageSize = 1u << kCodePageBits;
 
 /**
- * Global translation-block cache shared by all execution states.
+ * Global translation-block cache shared by all execution states and
+ * all exploration workers.
+ *
  * Blocks are invalidated when guest code writes to a page containing
  * translated code; pages that have ever been written are additionally
  * checksum-verified on lookup, so states whose self-modified code
  * diverged never execute a stale block.
+ *
+ * Concurrency discipline: the map structures are guarded by an
+ * internal mutex (lookup/insert/notifyWrite/clear). Two lock-free
+ * paths keep worker hot loops cheap: overlapsCode() consults a hashed
+ * page bitmap (conservative: may report true for untranslated pages,
+ * never false for translated ones), and generation() is an atomic
+ * that bumps on every invalidation so workers can maintain private
+ * lookup caches and flush them only when the shared cache changed
+ * underneath them.
  */
 class TbCache
 {
   public:
-    /** Look up a valid block, verifying dirty pages via `reader`. */
+    /**
+     * Look up a valid block, verifying dirty pages via `reader`. When
+     * `clean` is non-null it is set to true iff none of the block's
+     * pages were ever written — i.e. the block may be cached outside
+     * TbCache until generation() changes.
+     */
     std::shared_ptr<TranslationBlock> lookup(uint32_t pc,
-                                             const CodeReader &reader);
+                                             const CodeReader &reader,
+                                             bool *clean = nullptr);
 
-    void insert(const std::shared_ptr<TranslationBlock> &tb,
-                const CodeReader &reader);
+    /**
+     * Insert a freshly translated block. If another worker already
+     * published an identical block for this pc, the existing one wins;
+     * the canonical block is returned and should replace the caller's.
+     * `clean` is as for lookup().
+     */
+    std::shared_ptr<TranslationBlock>
+    insert(const std::shared_ptr<TranslationBlock> &tb,
+           const CodeReader &reader, bool *clean = nullptr);
 
     /** A guest write hit [addr, addr+len): drop affected blocks. */
     void notifyWrite(uint32_t addr, uint32_t len);
 
-    /** True if [addr, addr+len) overlaps any translated code page
-     *  (callers can skip notifyWrite bookkeeping otherwise). */
+    /** True if [addr, addr+len) may overlap a translated code page
+     *  (callers can skip notifyWrite bookkeeping otherwise). Lock-free
+     *  and conservative: false positives possible, negatives exact. */
     bool
     overlapsCode(uint32_t addr, uint32_t len) const
     {
+        if (len == 0)
+            return false;
         for (uint32_t page = addr >> kCodePageBits;
              page <= (addr + len - 1) >> kCodePageBits; ++page)
-            if (pageIndex_.count(page))
+            if (pageBit(page).load(std::memory_order_relaxed) &
+                pageMask(page))
                 return true;
         return false;
     }
 
     void clear();
 
-    uint64_t hits() const { return hits_; }
-    uint64_t misses() const { return misses_; }
-    size_t size() const { return blocks_.size(); }
+    /** Monotonic invalidation counter (notifyWrite/clear bump it). */
+    uint64_t
+    generation() const
+    {
+        return generation_.load(std::memory_order_acquire);
+    }
+
+    uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+    uint64_t
+    misses() const
+    {
+        return misses_.load(std::memory_order_relaxed);
+    }
+    size_t size() const;
 
   private:
     uint64_t checksum(const TranslationBlock &tb,
                       const CodeReader &reader) const;
 
+    // Hashed one-bit-per-page presence filter for overlapsCode().
+    // Bits are only ever set while the page holds translated code and
+    // only cleared wholesale in clear(), so a zero bit is authoritative.
+    static constexpr uint32_t kPageBitmapWords = 1024; // 32K page slots
+
+    std::atomic<uint32_t> &
+    pageBit(uint32_t page) const
+    {
+        return pageBitmap_[(page >> 5) % kPageBitmapWords];
+    }
+    static uint32_t pageMask(uint32_t page) { return 1u << (page & 31); }
+
     struct Entry {
         std::shared_ptr<TranslationBlock> tb;
         uint64_t checksum = 0;
     };
+    mutable std::mutex mu_;
     std::unordered_map<uint32_t, Entry> blocks_;
     std::unordered_map<uint32_t, std::vector<uint32_t>> pageIndex_;
     std::unordered_set<uint32_t> dirtyPages_;
-    uint64_t hits_ = 0;
-    uint64_t misses_ = 0;
+    mutable std::array<std::atomic<uint32_t>, kPageBitmapWords>
+        pageBitmap_{};
+    std::atomic<uint64_t> generation_{0};
+    std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
 };
 
 } // namespace s2e::dbt

@@ -74,6 +74,42 @@ ExprBuilder::intern(Kind kind, unsigned width, unsigned aux, uint64_t value,
     probe.hash_ = computeHash(kind, width, aux, value, k0, k1, k2);
     probe.name_ = name;
 
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        auto it = table_.find(&probe);
+        if (it != table_.end())
+            return *it;
+    }
+
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    // Another worker may have interned the node between the locks.
+    auto it = table_.find(&probe);
+    if (it != table_.end())
+        return *it;
+
+    arena_.push_back(probe);
+    Expr *node = &arena_.back();
+    table_.insert(node);
+    return node;
+}
+
+/** intern() body for callers already holding mu_ exclusively. */
+ExprRef
+ExprBuilder::internLocked(Kind kind, unsigned width, unsigned aux,
+                          uint64_t value, ExprRef k0, ExprRef k1, ExprRef k2,
+                          const std::string *name)
+{
+    Expr probe;
+    probe.kind_ = kind;
+    probe.width_ = width;
+    probe.aux_ = aux;
+    probe.value_ = value;
+    probe.kids_[0] = k0;
+    probe.kids_[1] = k1;
+    probe.kids_[2] = k2;
+    probe.hash_ = computeHash(kind, width, aux, value, k0, k1, k2);
+    probe.name_ = name;
+
     auto it = table_.find(&probe);
     if (it != table_.end())
         return *it;
@@ -96,11 +132,12 @@ ExprRef
 ExprBuilder::freshVar(const std::string &base, unsigned width)
 {
     S2E_ASSERT(width >= 1 && width <= 64, "bad variable width %u", width);
+    std::unique_lock<std::shared_mutex> lock(mu_);
     uint64_t id = nextVarId_++;
     names_.push_back(strprintf("%s#%llu", base.c_str(),
                                static_cast<unsigned long long>(id)));
-    ExprRef v = intern(Kind::Variable, width, 0, id, nullptr, nullptr,
-                       nullptr, &names_.back());
+    ExprRef v = internLocked(Kind::Variable, width, 0, id, nullptr, nullptr,
+                             nullptr, &names_.back());
     varsById_.push_back(v);
     return v;
 }
@@ -108,6 +145,7 @@ ExprBuilder::freshVar(const std::string &base, unsigned width)
 ExprRef
 ExprBuilder::var(const std::string &name, unsigned width)
 {
+    std::unique_lock<std::shared_mutex> lock(mu_);
     auto it = namedVars_.find(name);
     if (it != namedVars_.end()) {
         S2E_ASSERT(it->second->width() == width,
@@ -118,8 +156,8 @@ ExprBuilder::var(const std::string &name, unsigned width)
     S2E_ASSERT(width >= 1 && width <= 64, "bad variable width %u", width);
     uint64_t id = nextVarId_++;
     names_.push_back(name);
-    ExprRef v = intern(Kind::Variable, width, 0, id, nullptr, nullptr,
-                       nullptr, &names_.back());
+    ExprRef v = internLocked(Kind::Variable, width, 0, id, nullptr, nullptr,
+                             nullptr, &names_.back());
     varsById_.push_back(v);
     namedVars_[name] = v;
     return v;
@@ -128,9 +166,35 @@ ExprBuilder::var(const std::string &name, unsigned width)
 ExprRef
 ExprBuilder::varById(uint64_t id) const
 {
+    std::shared_lock<std::shared_mutex> lock(mu_);
     S2E_ASSERT(id < varsById_.size(), "unknown variable id %llu",
                static_cast<unsigned long long>(id));
     return varsById_[id];
+}
+
+bool
+ExprBuilder::structLess(ExprRef a, ExprRef b)
+{
+    // Hash-consing guarantees structurally equal nodes share an
+    // address, so equality short-circuits the recursion.
+    if (a == b)
+        return false;
+    if (a->kind() != b->kind())
+        return a->kind() < b->kind();
+    if (a->width() != b->width())
+        return a->width() < b->width();
+    if (a->aux() != b->aux())
+        return a->aux() < b->aux();
+    if (a->kind() == Kind::Constant)
+        return a->value() < b->value();
+    if (a->kind() == Kind::Variable)
+        return a->name() < b->name();
+    for (unsigned i = 0; i < a->arity(); ++i) {
+        if (a->kid(i) == b->kid(i))
+            continue;
+        return structLess(a->kid(i), b->kid(i));
+    }
+    return false;
 }
 
 uint64_t
@@ -199,14 +263,15 @@ ExprBuilder::binary(Kind kind, ExprRef a, ExprRef b)
         return constant(foldBinary(kind, a->value(), b->value(), w), w);
 
     // Canonicalize commutative operand order for better hash-consing:
-    // constants to the right, otherwise pointer order.
+    // constants to the right, otherwise deterministic structural order
+    // (address order would vary with worker scheduling).
     switch (kind) {
       case Kind::Add:
       case Kind::Mul:
       case Kind::And:
       case Kind::Or:
       case Kind::Xor:
-        if (a->isConstant() || (!b->isConstant() && b < a))
+        if (a->isConstant() || (!b->isConstant() && structLess(b, a)))
             std::swap(a, b);
         break;
       default:
@@ -472,7 +537,7 @@ ExprBuilder::compare(Kind kind, ExprRef a, ExprRef b)
                 return false_; // constant outside zext range
             return eq(a->kid(0), constant(b->value(), iw));
         }
-        if (!a->isConstant() && !b->isConstant() && b < a)
+        if (!a->isConstant() && !b->isConstant() && structLess(b, a))
             std::swap(a, b);
     }
     return intern(kind, 1, 0, 0, a, b, nullptr, nullptr);

@@ -12,6 +12,8 @@
 #define S2E_EXPR_BUILDER_HH
 
 #include <deque>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -22,8 +24,11 @@
 namespace s2e::expr {
 
 /**
- * Factory and owner of all expression nodes. One builder per engine;
- * not thread safe.
+ * Factory and owner of all expression nodes. One builder per engine,
+ * shared by all exploration workers: the hash-cons table takes a
+ * shared lock on the lookup hot path and an exclusive lock only to
+ * insert a new node, so concurrent workers may intern expressions
+ * freely. Returned ExprRefs are immutable and never invalidated.
  */
 class ExprBuilder
 {
@@ -52,7 +57,12 @@ class ExprBuilder
     ExprRef var(const std::string &name, unsigned width);
 
     /** Number of variables created so far. */
-    uint64_t numVars() const { return nextVarId_; }
+    uint64_t
+    numVars() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        return nextVarId_;
+    }
 
     /** Look up a variable node by id (panics if unknown). */
     ExprRef varById(uint64_t id) const;
@@ -115,16 +125,32 @@ class ExprBuilder
     // --- Introspection ----------------------------------------------
 
     /** Total distinct nodes allocated (constants included). */
-    size_t numNodes() const { return arena_.size(); }
+    size_t
+    numNodes() const
+    {
+        std::shared_lock<std::shared_mutex> lock(mu_);
+        return arena_.size();
+    }
 
     /** Constant-fold a binary op on raw values (exposed for tests). */
     static uint64_t foldBinary(Kind kind, uint64_t a, uint64_t b,
                                unsigned width);
 
+    /**
+     * Deterministic structural total order used for commutative
+     * canonicalization: compares kind/width/aux, constant values,
+     * variable names, then kids recursively — never node addresses,
+     * which depend on interning (i.e., worker-scheduling) order.
+     */
+    static bool structLess(ExprRef a, ExprRef b);
+
   private:
     ExprRef intern(Kind kind, unsigned width, unsigned aux, uint64_t value,
                    ExprRef k0, ExprRef k1, ExprRef k2,
                    const std::string *name);
+    ExprRef internLocked(Kind kind, unsigned width, unsigned aux,
+                         uint64_t value, ExprRef k0, ExprRef k1, ExprRef k2,
+                         const std::string *name);
     ExprRef binary(Kind kind, ExprRef a, ExprRef b);
     ExprRef compare(Kind kind, ExprRef a, ExprRef b);
 
@@ -135,6 +161,7 @@ class ExprBuilder
         bool operator()(const Expr *a, const Expr *b) const;
     };
 
+    mutable std::shared_mutex mu_;
     std::deque<Expr> arena_;
     std::unordered_set<Expr *, NodeHash, NodeEq> table_;
     std::deque<std::string> names_;

@@ -1,5 +1,7 @@
 #include "obs/forktree.hh"
 
+#include <algorithm>
+
 #include "expr/expr.hh"
 #include "obs/json.hh"
 #include "support/logging.hh"
@@ -28,17 +30,22 @@ ForkTreeRecorder::ForkTreeRecorder(core::EventHub &events) : events_(events)
 {
     forkHandle_ =
         events_.onExecutionFork.subscribe([this](const core::ForkInfo &fi) {
+            std::lock_guard<std::mutex> lock(mu_);
             forks_++;
             ForkNode &parent = ensure(fi.parent->id());
+            parent.pathId = fi.parent->pathId();
             ForkNode &child = ensure(fi.child->id());
             parent.children.push_back(fi.child->id());
             child.parent = fi.parent->id();
+            child.pathId = fi.child->pathId();
             child.forkPc = fi.parent->cpu.pc;
             child.condition = renderCondition(fi.condition);
         });
     killHandle_ =
         events_.onStateKill.subscribe([this](core::ExecutionState &state) {
+            std::lock_guard<std::mutex> lock(mu_);
             ForkNode &node = ensure(state.id());
+            node.pathId = state.pathId();
             node.finished = true;
             node.status = core::stateStatusName(state.status);
             node.statusMessage = state.statusMessage;
@@ -48,7 +55,9 @@ ForkTreeRecorder::ForkTreeRecorder(core::EventHub &events) : events_(events)
     degradeHandle_ = events_.onSolverDegraded.subscribe(
         [this](core::ExecutionState &state,
                const core::SolverDegradeInfo &) {
+            std::lock_guard<std::mutex> lock(mu_);
             ForkNode &node = ensure(state.id());
+            node.pathId = state.pathId();
             node.degraded = true;
             node.degradeEvents++;
         });
@@ -72,6 +81,7 @@ ForkTreeRecorder::ensure(int id)
 std::string
 ForkTreeRecorder::toDot() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::string out = "digraph forktree {\n";
     out += "  node [shape=box fontsize=9];\n";
     for (const auto &[id, node] : nodes_) {
@@ -105,6 +115,7 @@ ForkTreeRecorder::toDot() const
 std::string
 ForkTreeRecorder::toJson() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     JsonWriter w;
     w.beginObject();
     w.field("schema", "s2e.fork_tree.v1");
@@ -127,6 +138,58 @@ ForkTreeRecorder::toJson() const
         w.field("degraded", node.degraded);
         w.field("degrade_events",
                 static_cast<uint64_t>(node.degradeEvents));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
+}
+
+std::string
+ForkTreeRecorder::toCanonicalJson() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+
+    // Key everything by path id: runtime state ids depend on the order
+    // in which workers reached their forks; path ids do not.
+    std::map<std::string, const ForkNode *> by_path;
+    for (const auto &[id, node] : nodes_)
+        by_path.emplace(node.pathId, &node);
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("schema", "s2e.fork_tree.v1");
+    w.field("canonical", true);
+    w.field("forks", static_cast<uint64_t>(forks_));
+    w.key("nodes").beginArray();
+    for (const auto &[path, node] : by_path) {
+        auto parent_it = nodes_.find(node->parent);
+        std::vector<std::string> child_paths;
+        for (int child : node->children) {
+            auto it = nodes_.find(child);
+            if (it != nodes_.end())
+                child_paths.push_back(it->second.pathId);
+        }
+        std::sort(child_paths.begin(), child_paths.end());
+
+        w.beginObject();
+        w.field("path", path);
+        w.field("parent", parent_it == nodes_.end()
+                              ? std::string()
+                              : parent_it->second.pathId);
+        w.field("fork_pc", static_cast<uint64_t>(node->forkPc));
+        w.field("condition", node->condition);
+        w.key("children").beginArray();
+        for (const std::string &cp : child_paths)
+            w.value(cp);
+        w.endArray();
+        w.field("finished", node->finished);
+        w.field("status", node->status);
+        w.field("message", node->statusMessage);
+        w.field("instructions", node->instructions);
+        w.field("degraded", node->degraded);
+        w.field("degrade_events",
+                static_cast<uint64_t>(node->degradeEvents));
         w.endObject();
     }
     w.endArray();

@@ -12,6 +12,7 @@
 #define S2E_OBS_FORKTREE_HH
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@ namespace s2e::obs {
 struct ForkNode {
     int id = 0;
     int parent = -1;        ///< -1 for the root
+    std::string pathId;     ///< schedule-independent identity ("0.2.1")
     uint32_t forkPc = 0;    ///< guest pc at the fork that created it
     std::string condition;  ///< rendered branch constraint (truncated)
     std::vector<int> children;
@@ -47,23 +49,46 @@ class ForkTreeRecorder
     ForkTreeRecorder(const ForkTreeRecorder &) = delete;
     ForkTreeRecorder &operator=(const ForkTreeRecorder &) = delete;
 
-    const std::map<int, ForkNode> &nodes() const { return nodes_; }
-    size_t forkCount() const { return forks_; }
+    /** Snapshot accessors; take them only while the engine is
+     *  quiescent (between run() calls) for a consistent view. */
+    std::map<int, ForkNode> nodes() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return nodes_;
+    }
+    size_t forkCount() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return forks_;
+    }
 
     /** Graphviz rendering: one node per state, edges labeled with the
      *  branch condition that separated child from parent. */
     std::string toDot() const;
 
-    /** JSON rendering (schema `s2e.fork_tree.v1`). */
+    /** JSON rendering (schema `s2e.fork_tree.v1`), keyed by runtime
+     *  state id. Node numbering depends on worker scheduling. */
     std::string toJson() const;
 
+    /**
+     * Canonical JSON rendering (schema `s2e.fork_tree.v1`): nodes
+     * keyed and sorted by deterministic path id, runtime state ids
+     * omitted, children sorted. A parallel run's canonical tree is
+     * byte-identical to the serial run's (tests/test_parallel.cc).
+     */
+    std::string toCanonicalJson() const;
+
   private:
+    /** Requires mu_ held. */
     ForkNode &ensure(int id);
 
     core::EventHub &events_;
     size_t forkHandle_;
     size_t killHandle_;
     size_t degradeHandle_;
+    /** Guards nodes_ and forks_: fork/kill/degrade events fire
+     *  concurrently from every worker in a parallel run. */
+    mutable std::mutex mu_;
     std::map<int, ForkNode> nodes_;
     size_t forks_ = 0;
 };

@@ -132,6 +132,22 @@ class PhaseProfiler
         last_ = 0;
     }
 
+    /**
+     * Fold a quiescent per-worker profiler's tallies into this one
+     * (span counts and exclusive nanos add). After merging N workers
+     * the summed phase seconds represent CPU time across the pool and
+     * may legitimately exceed one wall-clock; consumers normalize by
+     * wall * workers (see RunReport).
+     */
+    void
+    mergeFrom(const PhaseProfiler &other)
+    {
+        for (size_t i = 0; i < kNumPhases; ++i) {
+            stats_[i].spans += other.stats_[i].spans;
+            stats_[i].exclusiveNanos += other.stats_[i].exclusiveNanos;
+        }
+    }
+
     /** Write absolute phase times/counts into a Stats registry as
      *  `<prefix>.<phase>` timers and `<prefix>.<phase>.spans`
      *  counters (set semantics: safe to flush repeatedly). */

@@ -36,6 +36,7 @@ RunReport::captureEngine(core::Engine &engine, const core::RunResult &run)
         StateRow row;
         row.id = state->id();
         row.parent = state->parentId();
+        row.path = state->pathId();
         row.status = core::stateStatusName(state->status);
         row.message = state->statusMessage;
         row.instructions = state->instrCount;
@@ -79,6 +80,17 @@ RunReport::toJson() const
         w.field("degraded_states",
                 static_cast<uint64_t>(run_.degradedStates));
         w.field("budget_exhausted", run_.budgetExhausted);
+        w.field("workers", run_.workers);
+        w.key("worker_busy_seconds").beginArray();
+        for (double busy : run_.workerBusySeconds)
+            w.value(busy);
+        w.endArray();
+        // Fraction of the run's wall time each worker spent executing
+        // states (vs idling in the work queue).
+        w.key("worker_utilization").beginArray();
+        for (double busy : run_.workerBusySeconds)
+            w.value(wallSeconds_ > 0 ? busy / wallSeconds_ : 0.0);
+        w.endArray();
         w.endObject();
     }
 
@@ -115,6 +127,7 @@ RunReport::toJson() const
         w.beginObject();
         w.field("id", static_cast<int64_t>(row.id));
         w.field("parent", static_cast<int64_t>(row.parent));
+        w.field("path", row.path);
         w.field("status", row.status);
         w.field("message", row.message);
         w.field("instructions", row.instructions);

@@ -36,6 +36,7 @@ class RunReport
     struct StateRow {
         int id = 0;
         int parent = -1;
+        std::string path; ///< deterministic path id ("0.2.1")
         std::string status;
         std::string message;
         uint64_t instructions = 0;

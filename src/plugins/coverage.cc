@@ -75,6 +75,7 @@ CoverageTracker::CoverageTracker(
 {
     engine_.events().onBlockExecute.subscribe(
         [this](ExecutionState &, const dbt::TranslationBlock &tb) {
+            std::lock_guard<std::mutex> lock(mu_);
             if (seenTbPcs_.count(tb.pc))
                 return;
             seenTbPcs_.insert(tb.pc);
@@ -84,7 +85,7 @@ CoverageTracker::CoverageTracker(
                     grew = true;
             }
             if (grew) {
-                epoch_++;
+                epoch_.fetch_add(1, std::memory_order_release);
                 double t = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - start_)
                                .count();
@@ -96,6 +97,7 @@ CoverageTracker::CoverageTracker(
 size_t
 CoverageTracker::coveredBlocks(const StaticBlocks &blocks) const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     size_t covered = 0;
     for (uint32_t start : blocks.starts)
         if (coveredPcs_.count(start))

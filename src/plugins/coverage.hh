@@ -11,7 +11,9 @@
 #ifndef S2E_PLUGINS_COVERAGE_HH
 #define S2E_PLUGINS_COVERAGE_HH
 
+#include <atomic>
 #include <chrono>
+#include <mutex>
 #include <set>
 #include <unordered_set>
 
@@ -47,7 +49,12 @@ class CoverageTracker : public Plugin
     const char *name() const override { return "coverage"; }
 
     /** Distinct covered instruction addresses. */
-    size_t coveredInstructions() const { return coveredPcs_.size(); }
+    size_t
+    coveredInstructions() const
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return coveredPcs_.size();
+    }
 
     /** Covered blocks of a static partition. */
     size_t coveredBlocks(const StaticBlocks &blocks) const;
@@ -65,14 +72,20 @@ class CoverageTracker : public Plugin
     bool
     isCovered(uint32_t pc) const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         return coveredPcs_.count(pc) != 0;
     }
 
     /** Monotonic counter bumped whenever new coverage appears; cheap
-     *  stagnation detection for PathKiller. */
-    uint64_t coverageEpoch() const { return epoch_; }
+     *  stagnation detection for PathKiller. Lock-free. */
+    uint64_t
+    coverageEpoch() const
+    {
+        return epoch_.load(std::memory_order_acquire);
+    }
 
-    /** (wall-seconds, covered-instruction-count) series. */
+    /** (wall-seconds, covered-instruction-count) series. Read only
+     *  while the engine is quiescent (after run()). */
     const std::vector<std::pair<double, size_t>> &timeline() const
     {
         return timeline_;
@@ -91,9 +104,12 @@ class CoverageTracker : public Plugin
     }
 
     std::vector<std::pair<uint32_t, uint32_t>> ranges_;
+    /** Guards the coverage sets and the timeline; block-execute events
+     *  arrive from every worker in a parallel run. */
+    mutable std::mutex mu_;
     std::unordered_set<uint32_t> coveredPcs_;
     std::unordered_set<uint32_t> seenTbPcs_;
-    uint64_t epoch_ = 0;
+    std::atomic<uint64_t> epoch_{0};
     std::vector<std::pair<double, size_t>> timeline_;
     std::chrono::steady_clock::time_point start_;
 };

@@ -9,11 +9,12 @@ PathKiller::PathKiller(Engine &engine, const CoverageTracker &coverage,
     engine_.events().onBlockExecute.subscribe(
         [this](ExecutionState &state, const dbt::TranslationBlock &tb) {
             uint64_t epoch = coverage_.coverageEpoch();
-            if (epoch != lastEpoch_) {
-                lastEpoch_ = epoch;
-                blocksSinceGrowth_ = 0;
+            if (epoch != lastEpoch_.load(std::memory_order_relaxed)) {
+                lastEpoch_.store(epoch, std::memory_order_relaxed);
+                blocksSinceGrowth_.store(0, std::memory_order_relaxed);
             } else {
-                blocksSinceGrowth_++;
+                blocksSinceGrowth_.fetch_add(1,
+                                             std::memory_order_relaxed);
             }
 
             // Loop killer: repeats only count while the path makes no
@@ -25,7 +26,7 @@ PathKiller::PathKiller(Engine &engine, const CoverageTracker &coverage,
                 } else {
                     uint32_t visits = ++ps->blockVisits[tb.pc];
                     if (visits > config_.maxLoopVisits) {
-                        killed_++;
+                        killed_.fetch_add(1, std::memory_order_relaxed);
                         engine_.killState(
                             state, core::StateStatus::Killed,
                             strprintf("path-killer: block 0x%x "
@@ -37,14 +38,19 @@ PathKiller::PathKiller(Engine &engine, const CoverageTracker &coverage,
                 }
             }
 
-            // Stagnation killer: keep only the current state.
+            // Stagnation killer: keep only the current state. The
+            // exchange makes exactly one worker run the sweep when
+            // several cross the threshold together.
             if (config_.stagnationBlocks &&
-                blocksSinceGrowth_ > config_.stagnationBlocks) {
-                blocksSinceGrowth_ = 0;
-                sweeps_++;
+                blocksSinceGrowth_.load(std::memory_order_relaxed) >
+                    config_.stagnationBlocks &&
+                blocksSinceGrowth_.exchange(0,
+                                            std::memory_order_relaxed) >
+                    config_.stagnationBlocks) {
+                sweeps_.fetch_add(1, std::memory_order_relaxed);
                 for (ExecutionState *other : engine_.activeStates()) {
                     if (other != &state) {
-                        killed_++;
+                        killed_.fetch_add(1, std::memory_order_relaxed);
                         engine_.killState(
                             *other, core::StateStatus::Killed,
                             "path-killer: coverage stagnation sweep");

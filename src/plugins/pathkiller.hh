@@ -15,6 +15,7 @@
 #ifndef S2E_PLUGINS_PATHKILLER_HH
 #define S2E_PLUGINS_PATHKILLER_HH
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -53,16 +54,20 @@ class PathKiller : public Plugin
 
     const char *name() const override { return "path-killer"; }
 
-    uint64_t pathsKilled() const { return killed_; }
-    uint64_t stagnationSweeps() const { return sweeps_; }
+    uint64_t pathsKilled() const { return killed_.load(); }
+    uint64_t stagnationSweeps() const { return sweeps_.load(); }
 
   private:
     const CoverageTracker &coverage_;
     Config config_;
-    uint64_t killed_ = 0;
-    uint64_t sweeps_ = 0;
-    uint64_t blocksSinceGrowth_ = 0;
-    uint64_t lastEpoch_ = 0;
+    // Shared across workers in a parallel run; the per-path loop
+    // bookkeeping lives in PathKillerState (thread-confined with its
+    // state). Stagnation detection tolerates benign races — it is an
+    // approximate global heuristic either way.
+    std::atomic<uint64_t> killed_{0};
+    std::atomic<uint64_t> sweeps_{0};
+    std::atomic<uint64_t> blocksSinceGrowth_{0};
+    std::atomic<uint64_t> lastEpoch_{0};
 };
 
 } // namespace s2e::plugins

@@ -69,8 +69,10 @@ ExecutionTracer::ExecutionTracer(Engine &engine, Config config)
         const auto *ts = traceOf(state);
         // A fully-truncated trace (all entries dropped) still counts:
         // consumers must see that recording happened and was lossy.
-        if (ts && (!ts->entries.empty() || ts->dropped > 0))
+        if (ts && (!ts->entries.empty() || ts->dropped > 0)) {
+            std::lock_guard<std::mutex> lock(finishedMu_);
             finished_.emplace_back(state.id(), *ts);
+        }
     });
 }
 

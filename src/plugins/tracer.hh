@@ -8,6 +8,8 @@
 #ifndef S2E_PLUGINS_TRACER_HH
 #define S2E_PLUGINS_TRACER_HH
 
+#include <mutex>
+
 #include "plugins/plugin.hh"
 
 namespace s2e::plugins {
@@ -68,7 +70,9 @@ class ExecutionTracer : public Plugin
             state.findPluginState(this));
     }
 
-    /** Traces of all terminated states, appended at kill time. */
+    /** Traces of all terminated states, appended at kill time. Read
+     *  only while the engine is quiescent (after run()); kill events
+     *  append concurrently during a parallel run. */
     const std::vector<std::pair<int, TraceState>> &finishedTraces() const
     {
         return finished_;
@@ -99,6 +103,8 @@ class ExecutionTracer : public Plugin
     }
 
     Config config_;
+    /** Guards finished_ (kill events fire from every worker). */
+    std::mutex finishedMu_;
     std::vector<std::pair<int, TraceState>> finished_;
 };
 

@@ -6,20 +6,32 @@
  *
  * Two access tiers: the string-keyed add()/get() API for cold paths,
  * and stable slot references (counterSlot/timerSlot) that hot paths
- * register once and then bump with a plain increment — no string
- * formatting and no map lookup per event. Slots stay valid for the
- * lifetime of the Stats object (std::map nodes do not move).
+ * register once and then bump in O(1) — no string formatting and no
+ * map lookup per event. Slots stay valid for the lifetime of the
+ * Stats object (std::map nodes do not move).
+ *
+ * Concurrency: the registry itself (map structure) is guarded by an
+ * internal mutex, so slot registration and cold-path add/get are safe
+ * from any thread. Slot *updates* must go through the static bump() /
+ * raiseTo() / bumpSeconds() helpers, which use relaxed std::atomic_ref
+ * operations — race-free when multiple workers share a slot, and
+ * compiled to a plain increment's cost on uncontended cache lines.
+ * Aggregate snapshots (counters()/timers()/toString()) copy under the
+ * lock but read slots non-atomically, so take them only while no
+ * concurrent bumps are in flight (i.e., outside a parallel run).
  */
 
 #ifndef S2E_SUPPORT_STATS_HH
 #define S2E_SUPPORT_STATS_HH
 
+#include <array>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <utility>
-#include <vector>
 
 namespace s2e {
 
@@ -27,16 +39,33 @@ namespace s2e {
 class Stats
 {
   public:
+    Stats() = default;
+
+    Stats(const Stats &other) { *this = other; }
+
+    Stats &
+    operator=(const Stats &other)
+    {
+        if (this == &other)
+            return *this;
+        std::scoped_lock lock(mu_, other.mu_);
+        counters_ = other.counters_;
+        seconds_ = other.seconds_;
+        return *this;
+    }
+
     /** Add delta to counter name (creating it at zero). */
     void
     add(const std::string &name, uint64_t delta = 1)
     {
-        counters_[name] += delta;
+        std::lock_guard<std::mutex> lock(mu_);
+        bump(counters_[name], delta);
     }
 
     void
     set(const std::string &name, uint64_t value)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         counters_[name] = value;
     }
 
@@ -44,28 +73,30 @@ class Stats
     void
     high(const std::string &name, uint64_t value)
     {
-        auto &slot = counters_[name];
-        if (value > slot)
-            slot = value;
+        std::lock_guard<std::mutex> lock(mu_);
+        raiseTo(counters_[name], value);
     }
 
     uint64_t
     get(const std::string &name) const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = counters_.find(name);
-        return it == counters_.end() ? 0 : it->second;
+        return it == counters_.end() ? 0 : read(it->second);
     }
 
     /** Accumulate wall-clock seconds under a named timer. */
     void
     addSeconds(const std::string &name, double secs)
     {
-        seconds_[name] += secs;
+        std::lock_guard<std::mutex> lock(mu_);
+        bumpSeconds(seconds_[name], secs);
     }
 
     double
     seconds(const std::string &name) const
     {
+        std::lock_guard<std::mutex> lock(mu_);
         auto it = seconds_.find(name);
         return it == seconds_.end() ? 0.0 : it->second;
     }
@@ -74,30 +105,97 @@ class Stats
     void
     setSeconds(const std::string &name, double secs)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         seconds_[name] = secs;
     }
 
     // --- Hot-path slot API --------------------------------------------
     //
-    // Register once (pays the map lookup), then update through the
-    // returned reference in O(1). References remain valid as long as
-    // the Stats object lives; clear() invalidates them.
+    // Register once (pays the map lookup under the lock), then update
+    // through the returned reference with bump()/raiseTo(). References
+    // remain valid as long as the Stats object lives; clear()
+    // invalidates them.
 
     /** Stable reference to a counter slot (created at zero). */
-    uint64_t &counterSlot(const std::string &name)
+    uint64_t &
+    counterSlot(const std::string &name)
     {
+        std::lock_guard<std::mutex> lock(mu_);
         return counters_[name];
     }
 
     /** Stable reference to a timer slot (created at zero). */
-    double &timerSlot(const std::string &name) { return seconds_[name]; }
+    double &
+    timerSlot(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return seconds_[name];
+    }
 
-    /** Slot-based high-watermark update. */
+    /** Relaxed-atomic slot increment; safe from any thread. */
+    static void
+    bump(uint64_t &slot, uint64_t delta = 1)
+    {
+        std::atomic_ref<uint64_t>(slot).fetch_add(delta,
+                                                  std::memory_order_relaxed);
+    }
+
+    /** Relaxed-atomic slot read (pairs with bump/raiseTo). */
+    static uint64_t
+    read(const uint64_t &slot)
+    {
+        // atomic_ref<const T> is not portable until C++26; the cast is
+        // sound because the referent is always a mutable map slot.
+        return std::atomic_ref<uint64_t>(const_cast<uint64_t &>(slot))
+            .load(std::memory_order_relaxed);
+    }
+
+    /** Slot-based high-watermark update (atomic CAS loop). */
     static void
     raiseTo(uint64_t &slot, uint64_t value)
     {
-        if (value > slot)
-            slot = value;
+        std::atomic_ref<uint64_t> ref(slot);
+        uint64_t cur = ref.load(std::memory_order_relaxed);
+        while (value > cur &&
+               !ref.compare_exchange_weak(cur, value,
+                                          std::memory_order_relaxed))
+        {
+        }
+    }
+
+    /** Relaxed-atomic timer-slot accumulate. */
+    static void
+    bumpSeconds(double &slot, double secs)
+    {
+        std::atomic_ref<double> ref(slot);
+        double cur = ref.load(std::memory_order_relaxed);
+        while (!ref.compare_exchange_weak(cur, cur + secs,
+                                          std::memory_order_relaxed))
+        {
+        }
+    }
+
+    /**
+     * Fold another registry into this one: counters add (except names
+     * containing "max", which take the high watermark) and timers add.
+     * Used to merge per-worker solver/profiler stats after a parallel
+     * run. `other` must be quiescent.
+     */
+    void
+    mergeFrom(const Stats &other)
+    {
+        std::scoped_lock lock(mu_, other.mu_);
+        for (const auto &[name, value] : other.counters_) {
+            auto &slot = counters_[name];
+            if (name.find("max") != std::string::npos) {
+                if (value > slot)
+                    slot = value;
+            } else {
+                slot += value;
+            }
+        }
+        for (const auto &[name, secs] : other.seconds_)
+            seconds_[name] += secs;
     }
 
     const std::map<std::string, uint64_t> &counters() const
@@ -109,6 +207,7 @@ class Stats
     void
     clear()
     {
+        std::lock_guard<std::mutex> lock(mu_);
         counters_.clear();
         seconds_.clear();
     }
@@ -117,6 +216,7 @@ class Stats
     std::string toString() const;
 
   private:
+    mutable std::mutex mu_;
     std::map<std::string, uint64_t> counters_;
     std::map<std::string, double> seconds_;
 };
@@ -140,7 +240,8 @@ class ScopedTimer
     ~ScopedTimer()
     {
         auto end = std::chrono::steady_clock::now();
-        *slot_ += std::chrono::duration<double>(end - start_).count();
+        Stats::bumpSeconds(
+            *slot_, std::chrono::duration<double>(end - start_).count());
     }
 
   private:
@@ -153,6 +254,11 @@ class ScopedTimer
  * site is a string literal (`prefix.site`). The first bump of a site
  * builds the composite name once; subsequent bumps are a short
  * pointer scan plus an increment — no strprintf, no map lookup.
+ *
+ * Thread-safe: hits scan a fixed array published with release stores
+ * (lock-free); misses take a mutex to register the site. Sites beyond
+ * the fixed capacity still resolve correctly, they just pay the slow
+ * path every time.
  */
 class SiteCounterCache
 {
@@ -165,18 +271,42 @@ class SiteCounterCache
     uint64_t &
     slot(const char *site)
     {
-        for (const auto &[key, slot] : cache_)
-            if (key == site)
-                return *slot;
-        uint64_t &created = stats_.counterSlot(prefix_ + "." + site);
-        cache_.emplace_back(site, &created);
-        return created;
+        size_t n = count_.load(std::memory_order_acquire);
+        for (size_t i = 0; i < n; ++i)
+            if (entries_[i].key == site)
+                return *entries_[i].slot;
+        return slotSlow(site);
     }
 
   private:
+    uint64_t &
+    slotSlow(const char *site)
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        size_t n = count_.load(std::memory_order_relaxed);
+        for (size_t i = 0; i < n; ++i)
+            if (entries_[i].key == site)
+                return *entries_[i].slot;
+        uint64_t &created =
+            stats_.counterSlot(prefix_ + "." + site);
+        if (n < kCapacity) {
+            entries_[n] = {site, &created};
+            count_.store(n + 1, std::memory_order_release);
+        }
+        return created;
+    }
+
+    static constexpr size_t kCapacity = 64;
+    struct Entry {
+        const char *key;
+        uint64_t *slot;
+    };
+
     Stats &stats_;
     std::string prefix_;
-    std::vector<std::pair<const char *, uint64_t *>> cache_;
+    std::array<Entry, kCapacity> entries_{};
+    std::atomic<size_t> count_{0};
+    std::mutex mu_;
 };
 
 } // namespace s2e

@@ -46,6 +46,7 @@ Rev::Rev(RevConfig config)
     engine_config.maxInstructions = config_.maxInstructions;
     engine_config.maxWallSeconds = config_.maxWallSeconds;
     engine_config.maxStatesCreated = config_.maxStates;
+    engine_config.numWorkers = config_.numWorkers;
 
     engine_ = std::make_unique<core::Engine>(
         driverMachine(config_.driver, program_), engine_config);

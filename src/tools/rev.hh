@@ -40,6 +40,8 @@ struct RevConfig {
     double maxWallSeconds = 30.0;
     size_t maxStates = 512;
     uint64_t stagnationBlocks = 20'000;
+    /** Exploration worker threads (EngineConfig::numWorkers). */
+    unsigned numWorkers = 1;
 };
 
 /** Reconstructed control-flow graph of the driver. */

@@ -209,9 +209,11 @@ TEST(ForkTree, RecordsMultiPathRunAndDotRoundTrips)
     EXPECT_EQ(recorder.nodes().size(), 8u);
 
     // Every non-root node has a parent that lists it as a child, a
-    // recorded condition, and a terminal status.
+    // recorded condition, and a terminal status. nodes() returns a
+    // snapshot copy; take it once so lookups stay in one map.
     size_t roots = 0;
-    for (const auto &[id, node] : recorder.nodes()) {
+    const auto nodes = recorder.nodes();
+    for (const auto &[id, node] : nodes) {
         EXPECT_TRUE(node.finished) << "state " << id;
         EXPECT_EQ(node.status, "halted");
         if (node.parent < 0) {
@@ -219,7 +221,7 @@ TEST(ForkTree, RecordsMultiPathRunAndDotRoundTrips)
             continue;
         }
         EXPECT_FALSE(node.condition.empty());
-        const ForkNode &parent = recorder.nodes().at(node.parent);
+        const ForkNode &parent = nodes.at(node.parent);
         EXPECT_NE(std::find(parent.children.begin(),
                             parent.children.end(), id),
                   parent.children.end());

@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Serial-vs-parallel differential suite: the parallel exploration
+ * engine must produce exactly the same *set* of paths as the serial
+ * loop — only scheduling order may differ. Every workload runs at
+ * numWorkers ∈ {1, 2, 4} and the per-path outcomes (terminal status,
+ * final registers and flags, a memory digest, console output and the
+ * solver-generated test case) are compared keyed by the deterministic
+ * path id. Also covers the canonical fork-tree property (a parallel
+ * run's sorted `s2e.fork_tree.v1` JSON byte-matches the serial one)
+ * and the relaxed-atomic Stats slots under thread contention.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "core/engine.hh"
+#include "expr/eval.hh"
+#include "guest/drivers.hh"
+#include "guest/kernel.hh"
+#include "guest/layout.hh"
+#include "guest/workloads.hh"
+#include "obs/forktree.hh"
+#include "support/stats.hh"
+#include "vm/devices.hh"
+#include "vm/nic.hh"
+
+namespace s2e::core {
+namespace {
+
+using guest::DriverKind;
+
+vm::MachineConfig
+machineFor(const std::string &source, uint32_t ram = guest::kRamSize,
+           bool loopback = false)
+{
+    vm::MachineConfig m;
+    m.ramSize = ram;
+    m.program = isa::assemble(source);
+    m.deviceSetup = [loopback](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+        devices.add(std::make_unique<vm::TimerDevice>());
+        auto nic = std::make_unique<vm::DmaNic>();
+        nic->setLoopback(loopback);
+        devices.add(std::move(nic));
+    };
+    return m;
+}
+
+/**
+ * Engine configuration for differential runs: no budgets (a budget
+ * kills whichever paths happen to be alive when it trips, which is
+ * scheduling-dependent) and no model cache (a cached model makes
+ * getValue() answers depend on query history, which differs between
+ * schedules).
+ */
+EngineConfig
+differentialConfig(unsigned workers)
+{
+    EngineConfig config;
+    config.numWorkers = workers;
+    config.solverOptions.useModelCache = false;
+    return config;
+}
+
+std::string
+consoleOf(const ExecutionState &state)
+{
+    auto *console = state.devices.get<vm::ConsoleDevice>("console");
+    return console ? console->output() : "";
+}
+
+std::string
+valueRepr(const Value &v)
+{
+    if (v.isConcrete())
+        return strprintf("%x", v.concrete());
+    return v.expr()->toString();
+}
+
+void
+collectVars(ExprRef e, std::set<ExprRef> &visited,
+            std::map<std::string, ExprRef> &vars)
+{
+    if (!visited.insert(e).second)
+        return;
+    if (e->isVariable()) {
+        vars.emplace(e->name(), e);
+        return;
+    }
+    for (unsigned i = 0; i < e->arity(); ++i)
+        collectVars(e->kid(i), visited, vars);
+}
+
+/** FNV-1a over the full guest memory; symbolic bytes hash the
+ *  rendered byte expression (variable names are deterministic). */
+uint64_t
+memoryDigest(const ExecutionState &state, ExprBuilder &builder)
+{
+    uint64_t h = 1469598103934665603ull;
+    auto mix = [&h](uint8_t byte) {
+        h ^= byte;
+        h *= 1099511628211ull;
+    };
+    for (uint32_t addr = 0; addr < state.mem.size(); ++addr) {
+        uint8_t byte = 0;
+        if (state.mem.readConcreteByte(addr, &byte)) {
+            mix(byte);
+        } else {
+            mix(0xFF); // symbolic marker
+            for (char c : state.mem.byteExpr(addr, builder)->toString())
+                mix(static_cast<uint8_t>(c));
+        }
+    }
+    return h;
+}
+
+/** The solver-generated test case: one concrete value per variable
+ *  referenced by the path constraints, sorted by variable name. */
+std::string
+testCaseOf(const ExecutionState &state, ExprBuilder &builder)
+{
+    std::map<std::string, ExprRef> vars;
+    std::set<ExprRef> visited;
+    for (ExprRef c : state.constraints)
+        collectVars(c, visited, vars);
+    if (vars.empty())
+        return "none";
+
+    solver::SolverOptions options;
+    options.useModelCache = false;
+    solver::Solver solver(builder, options);
+    expr::Assignment model;
+    auto outcome = solver.getInitialValues(state.constraints, &model);
+    if (!outcome.isSat())
+        return "unsat";
+    std::string out;
+    for (const auto &[name, var] : vars)
+        out += strprintf("%s=%llx,", name.c_str(),
+                         static_cast<unsigned long long>(
+                             model.lookup(var->varId())));
+    return out;
+}
+
+/**
+ * Fingerprint every completed path of a finished run, keyed by the
+ * schedule-independent path id. Two runs explored the same path set
+ * iff the returned maps are equal.
+ */
+std::map<std::string, std::string>
+pathFingerprints(Engine &engine)
+{
+    std::map<std::string, std::string> out;
+    for (const auto &s : engine.allStates()) {
+        std::string fp = strprintf("status:%s exit:%u msg:%s\n",
+                                   stateStatusName(s->status), s->exitCode,
+                                   s->statusMessage.c_str());
+        fp += "console:" + consoleOf(*s) + "\n";
+        for (unsigned r = 0; r < isa::kNumRegs; ++r)
+            fp += strprintf("r%u:%s\n", r,
+                            valueRepr(s->cpu.regs[r]).c_str());
+        for (unsigned f = 0; f < 4; ++f)
+            fp += strprintf("f%u:%s\n", f,
+                            valueRepr(s->cpu.flags[f]).c_str());
+        fp += strprintf("mem:%llx\n",
+                        static_cast<unsigned long long>(
+                            memoryDigest(*s, engine.builder())));
+        fp += "tc:" + testCaseOf(*s, engine.builder()) + "\n";
+        bool fresh = out.emplace(s->pathId(), std::move(fp)).second;
+        EXPECT_TRUE(fresh) << "duplicate path id " << s->pathId();
+    }
+    return out;
+}
+
+void
+expectSamePathSets(const std::map<std::string, std::string> &serial,
+                   const std::map<std::string, std::string> &parallel,
+                   unsigned workers)
+{
+    EXPECT_EQ(serial.size(), parallel.size())
+        << "path count diverged with " << workers << " workers";
+    for (const auto &[path, fp] : serial) {
+        auto it = parallel.find(path);
+        if (it == parallel.end()) {
+            ADD_FAILURE() << "path " << path << " missing with "
+                          << workers << " workers";
+            continue;
+        }
+        EXPECT_EQ(fp, it->second) << "path " << path
+                                  << " diverged with " << workers
+                                  << " workers";
+    }
+    for (const auto &[path, fp] : parallel)
+        if (!serial.count(path))
+            ADD_FAILURE() << "path " << path << " extra with "
+                          << workers << " workers";
+}
+
+constexpr unsigned kWorkerCounts[] = {2, 4};
+
+// --- Workload runners ----------------------------------------------------
+
+std::map<std::string, std::string>
+runLicense(unsigned workers)
+{
+    std::string src = guest::kernelSource() + guest::licenseCheckSource();
+    Engine engine(machineFor(src), differentialConfig(workers));
+    auto &state = engine.initialState();
+    uint32_t key_addr = guest::addConfigString(state, engine.builder(), 0,
+                                               "AAAAAAAA");
+    guest::setConfig(state, engine.builder(), guest::kCfgLicensePtr,
+                     key_addr);
+    engine.makeMemSymbolic(state, key_addr, guest::kLicenseKeyLen,
+                           "license");
+    engine.run();
+    return pathFingerprints(engine);
+}
+
+std::map<std::string, std::string>
+runUrlParser(unsigned workers)
+{
+    std::string src = guest::kernelSource() + guest::urlParserSource();
+    Engine engine(machineFor(src), differentialConfig(workers));
+    auto &state = engine.initialState();
+    std::string url = "http://ab"; // two symbolic tail bytes + NUL
+    for (size_t i = 0; i <= url.size(); ++i)
+        state.mem.write(guest::kUrlBuffer + static_cast<uint32_t>(i),
+                        Value(i < url.size() ? url[i] : 0), 1,
+                        engine.builder());
+    engine.makeMemSymbolic(state, guest::kUrlBuffer + 7, 2, "url");
+    engine.run();
+    return pathFingerprints(engine);
+}
+
+std::map<std::string, std::string>
+runLua(unsigned workers)
+{
+    std::string src = guest::kernelSource() + guest::luaSource();
+    Engine engine(machineFor(src), differentialConfig(workers));
+    auto &state = engine.initialState();
+    std::string program = "!1+2;";
+    for (size_t i = 0; i <= program.size(); ++i)
+        state.mem.write(guest::kLuaInput + static_cast<uint32_t>(i),
+                        Value(i < program.size() ? program[i] : 0), 1,
+                        engine.builder());
+    // One symbolic byte in operand position: the lexer forks on its
+    // character class, the interpreter on the value.
+    engine.makeMemSymbolic(state, guest::kLuaInput + 1, 1, "lua");
+    engine.run();
+    return pathFingerprints(engine);
+}
+
+std::map<std::string, std::string>
+runPing(unsigned workers)
+{
+    std::string src = guest::kernelSource() +
+                      guest::driverSource(DriverKind::Dma) +
+                      guest::pingSource(/*patched=*/true);
+    Engine engine(machineFor(src, guest::kRamSize, /*loopback=*/true),
+                  differentialConfig(workers));
+    guest::setConfig(engine.initialState(), engine.builder(),
+                     guest::kCfgCardType, 0);
+    engine.run();
+    return pathFingerprints(engine);
+}
+
+/** High-fork-rate stress: nine independent symbolic branch bits fork
+ *  2^9 = 512 paths, each then doing a short private work loop. */
+const char *
+stressSource()
+{
+    return R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        s2e_symreg r1
+        movi r5, 0
+        testi r1, 1
+        jeq b1
+        ori r5, 1
+    b1: testi r1, 2
+        jeq b2
+        ori r5, 2
+    b2: testi r1, 4
+        jeq b3
+        ori r5, 4
+    b3: testi r1, 8
+        jeq b4
+        ori r5, 8
+    b4: testi r1, 16
+        jeq b5
+        ori r5, 16
+    b5: testi r1, 32
+        jeq b6
+        ori r5, 32
+    b6: testi r1, 64
+        jeq b7
+        ori r5, 64
+    b7: testi r1, 128
+        jeq b8
+        ori r5, 128
+    b8: testi r1, 256
+        jeq b9
+        ori r5, 256
+    b9: movi r3, 0
+        movi r4, 0
+    work:
+        add r3, r5
+        addi r4, 1
+        cmpi r4, 20
+        jne work
+        hlt
+    )";
+}
+
+std::map<std::string, std::string>
+runStress(unsigned workers)
+{
+    Engine engine(machineFor(stressSource(), 64 * 1024),
+                  differentialConfig(workers));
+    engine.run();
+    return pathFingerprints(engine);
+}
+
+// --- Differential tests --------------------------------------------------
+
+TEST(ParallelDifferential, LicenseCheckPathSetInvariant)
+{
+    auto serial = runLicense(1);
+    EXPECT_GT(serial.size(), 4u); // the key ladder forks many paths
+    for (unsigned w : kWorkerCounts)
+        expectSamePathSets(serial, runLicense(w), w);
+}
+
+TEST(ParallelDifferential, UrlParserPathSetInvariant)
+{
+    auto serial = runUrlParser(1);
+    EXPECT_GT(serial.size(), 2u);
+    for (unsigned w : kWorkerCounts)
+        expectSamePathSets(serial, runUrlParser(w), w);
+}
+
+TEST(ParallelDifferential, LuaPathSetInvariant)
+{
+    auto serial = runLua(1);
+    EXPECT_GT(serial.size(), 2u);
+    for (unsigned w : kWorkerCounts)
+        expectSamePathSets(serial, runLua(w), w);
+}
+
+TEST(ParallelDifferential, PingPathSetInvariant)
+{
+    // Single concrete path: exercises devices, DMA and interrupt
+    // delivery under the worker pool.
+    auto serial = runPing(1);
+    EXPECT_GE(serial.size(), 1u);
+    for (unsigned w : kWorkerCounts)
+        expectSamePathSets(serial, runPing(w), w);
+}
+
+TEST(ParallelDifferential, ForkStormPathSetInvariant)
+{
+    // ≥ 500 live states: stresses the work-stealing queue, the shared
+    // TB cache and concurrent fork bookkeeping.
+    auto serial = runStress(1);
+    EXPECT_EQ(serial.size(), 512u);
+    for (unsigned w : kWorkerCounts)
+        expectSamePathSets(serial, runStress(w), w);
+}
+
+TEST(ParallelDifferential, WorkerTelemetryReported)
+{
+    Engine engine(machineFor(stressSource(), 64 * 1024),
+                  differentialConfig(2));
+    RunResult r = engine.run();
+    EXPECT_EQ(r.workers, 2u);
+    ASSERT_EQ(r.workerBusySeconds.size(), 2u);
+    double busy = 0;
+    for (double s : r.workerBusySeconds) {
+        EXPECT_GE(s, 0.0);
+        busy += s;
+    }
+    EXPECT_GT(busy, 0.0);
+    EXPECT_EQ(r.statesCreated, 512u);
+    EXPECT_EQ(r.completed, 512u);
+}
+
+// --- Fork-tree canonicalization property ---------------------------------
+
+TEST(ParallelForkTree, CanonicalJsonMatchesSerialByteForByte)
+{
+    auto canonical_tree = [](unsigned workers) {
+        Engine engine(machineFor(stressSource(), 64 * 1024),
+                      differentialConfig(workers));
+        obs::ForkTreeRecorder recorder(engine.events());
+        engine.run();
+        return recorder.toCanonicalJson();
+    };
+    std::string serial = canonical_tree(1);
+    EXPECT_NE(serial.find("\"s2e.fork_tree.v1\""), std::string::npos);
+    EXPECT_NE(serial.find("\"canonical\":true"), std::string::npos);
+    for (unsigned w : kWorkerCounts)
+        EXPECT_EQ(serial, canonical_tree(w))
+            << "canonical fork tree diverged with " << w << " workers";
+}
+
+// --- Relaxed-atomic hot counters under contention ------------------------
+
+TEST(ParallelStats, SlotCountersSurviveContention)
+{
+    Stats stats;
+    uint64_t &counter = stats.counterSlot("hammer.count");
+    uint64_t &watermark = stats.counterSlot("hammer.max");
+    SiteCounterCache sites(stats, "hammer.site");
+    static const char *kSites[4] = {"alpha", "beta", "gamma", "delta"};
+
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kIters = 20000;
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            for (uint64_t i = 0; i < kIters; ++i) {
+                Stats::bump(counter);
+                Stats::raiseTo(watermark, t * kIters + i + 1);
+                Stats::bump(sites.slot(kSites[(t + i) % 4]));
+            }
+        });
+    for (auto &th : threads)
+        th.join();
+
+    EXPECT_EQ(Stats::read(counter), kThreads * kIters);
+    EXPECT_EQ(Stats::read(watermark), kThreads * kIters);
+    uint64_t site_total = 0;
+    for (const char *site : kSites)
+        site_total += Stats::read(sites.slot(site));
+    EXPECT_EQ(site_total, kThreads * kIters);
+}
+
+} // namespace
+} // namespace s2e::core
