@@ -29,6 +29,7 @@
 #include "dbt/fastexec.hh"
 #include "obs/heartbeat.hh"
 #include "obs/report.hh"
+#include "solver/context.hh"
 #include "vm/devices.hh"
 
 using namespace s2e;
@@ -39,7 +40,11 @@ std::string
 workloadSource(bool make_symbolic)
 {
     // Branch-free ALU mix over r1..r4; only the loop counter (always
-    // concrete) controls branches.
+    // concrete) controls branches until the tail. r7 keeps a pristine
+    // copy of r1 (the loop mangles r1 into a deep expression), so the
+    // two-branch tail issues cheap solver queries in symbolic mode —
+    // exercising the per-path incremental context on this workload —
+    // and runs concretely (no queries) in the baseline.
     std::string inject = make_symbolic ? R"(
         s2e_symreg r1
         s2e_symreg r2
@@ -52,6 +57,8 @@ workloadSource(bool make_symbolic)
         movi r1, 0x1234
         movi r2, 0x9876
 )" + inject + R"(
+        movi r7, 0
+        add r7, r1            ; pristine copy of r1
         movi r10, 60000       ; iterations
     loop:
         add r1, r2
@@ -65,7 +72,13 @@ workloadSource(bool make_symbolic)
         subi r10, 1
         cmpi r10, 0
         jne loop
-        hlt
+        testi r7, 1
+        jeq t1
+        ori r6, 1
+    t1: testi r7, 2
+        jeq t2
+        ori r6, 2
+    t2: hlt
     )";
 }
 
@@ -91,6 +104,9 @@ struct EngineRun {
     uint64_t solverRetries = 0;
     uint64_t solverTimeouts = 0;
     uint64_t maxQueryMicros = 0;
+    uint64_t ctxReuses = 0;    ///< per-path incremental context reuses
+    uint64_t gatesSaved = 0;   ///< bit-blast gates skipped via guards
+    uint64_t ctxEvictions = 0; ///< contexts dropped at the high-water
     size_t solverFailures = 0;
     size_t degradedStates = 0;
     size_t heartbeats = 0;
@@ -127,6 +143,9 @@ runEngine(bool symbolic, bool profile, obs::RunReport *report = nullptr)
     out.solverRetries = ss.get("solver.retries");
     out.solverTimeouts = ss.get("solver.timeouts");
     out.maxQueryMicros = ss.get("solver.max_query_micros");
+    out.ctxReuses = ss.get("solver.ctx_reuses");
+    out.gatesSaved = ss.get("solver.gates_saved");
+    out.ctxEvictions = ss.get("solver.ctx_evictions");
     out.solverFailures = r.solverFailures;
     out.degradedStates = r.degradedStates;
     out.heartbeats = heartbeat.records().size();
@@ -194,6 +213,65 @@ runForkWorkload(unsigned workers)
     return {r.wallSeconds, r.completed};
 }
 
+/** Incremental-vs-fresh solver comparison: one path's worth of
+ *  mul-heavy constraint history and a stream of checkBranch/getValue
+ *  queries against it. With useIncremental the bound path context
+ *  bit-blasts the ladder once and replays it via activation-literal
+ *  assumptions; the fresh oracle re-blasts everything per query. */
+struct SolverBench {
+    double queriesPerSecond = 0;
+    uint64_t ctxReuses = 0;
+    uint64_t gatesSaved = 0;
+    uint64_t ctxEvictions = 0;
+    std::string answers; ///< outcome-kind digest for cross-checking
+};
+
+SolverBench
+runSolverBench(bool incremental)
+{
+    expr::ExprBuilder b;
+    solver::SolverOptions opts;
+    opts.useModelCache = false; // measure the SAT layer, not the cache
+    opts.useIncremental = incremental;
+    solver::Solver s(b, opts);
+    std::shared_ptr<solver::IncrementalContext> slot;
+    s.bindPathContext(&slot);
+
+    expr::ExprRef x = b.var("bx", 32);
+    expr::ExprRef y = b.var("by", 32);
+    std::vector<expr::ExprRef> cs;
+    cs.push_back(b.ult(x, b.constant(1u << 20, 32)));
+    cs.push_back(b.ult(y, b.constant(1u << 20, 32)));
+    for (uint32_t i = 0; i < 16; ++i)
+        cs.push_back(b.ult(b.add(b.mul(x, b.constant(3 + i, 32)),
+                                 b.mul(y, b.constant(5 + i, 32))),
+                           b.constant(0x40000000u + (i << 16), 32)));
+
+    SolverBench out;
+    uint64_t queries = 0;
+    auto start = std::chrono::steady_clock::now();
+    for (uint32_t k = 0; k < 40; ++k) {
+        auto branch =
+            s.checkBranch(cs, b.ult(x, b.constant(100 + k * 8, 32)));
+        out.answers += branch.trueSide.isSat() ? 'T' : 't';
+        out.answers += branch.falseSide.isSat() ? 'F' : 'f';
+        uint64_t v = 0;
+        auto gv = s.getValue(cs, b.add(x, y), &v);
+        out.answers += gv.isSat() ? 'V' : 'v';
+        queries += 3;
+    }
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    s.bindPathContext(nullptr);
+    out.queriesPerSecond =
+        secs > 0 ? static_cast<double>(queries) / secs : 0.0;
+    out.ctxReuses = s.stats().get("solver.ctx_reuses");
+    out.gatesSaved = s.stats().get("solver.gates_saved");
+    out.ctxEvictions = s.stats().get("solver.ctx_evictions");
+    return out;
+}
+
 } // namespace
 
 int
@@ -241,6 +319,13 @@ main(int argc, char **argv)
                 symbolic_run.solverFailures);
     std::printf("%-28s %14zu\n", "run.degradedStates",
                 symbolic_run.degradedStates);
+    std::printf("%-28s %14llu\n", "solver.ctx_reuses",
+                static_cast<unsigned long long>(symbolic_run.ctxReuses));
+    std::printf("%-28s %14llu\n", "solver.gates_saved",
+                static_cast<unsigned long long>(symbolic_run.gatesSaved));
+    std::printf("%-28s %14llu\n", "solver.ctx_evictions",
+                static_cast<unsigned long long>(
+                    symbolic_run.ctxEvictions));
 
     std::printf("\n--- phase breakdown (symbolic run, Fig 9) ---\n");
     for (const auto &row : report.phases())
@@ -346,6 +431,42 @@ main(int argc, char **argv)
     report.setMetric("parallel_paths_match",
                      serial_paths == parallel_paths ? 1.0 : 0.0);
 
+    // Incremental per-path contexts vs the fresh-per-query oracle on
+    // the same constraint history and query stream. Answers must be
+    // identical (the models behind them may differ; only outcome
+    // kinds are compared) and the persistent context should win on
+    // throughput by skipping the per-query re-blast.
+    std::printf("\n--- incremental solver contexts (microbench) ---\n");
+    SolverBench fresh_bench = runSolverBench(false);
+    SolverBench inc_bench = runSolverBench(true);
+    double throughput_x =
+        fresh_bench.queriesPerSecond > 0
+            ? inc_bench.queriesPerSecond / fresh_bench.queriesPerSecond
+            : 0.0;
+    bool answers_match = fresh_bench.answers == inc_bench.answers;
+    std::printf("%-28s %14.0f queries/s\n", "fresh solver per query",
+                fresh_bench.queriesPerSecond);
+    std::printf("%-28s %14.0f queries/s\n", "incremental context",
+                inc_bench.queriesPerSecond);
+    std::printf("%-28s %14.2fx\n", "query throughput ratio",
+                throughput_x);
+    std::printf("%-28s %14llu\n", "ctx reuses (microbench)",
+                static_cast<unsigned long long>(inc_bench.ctxReuses));
+    std::printf("%-28s %14llu\n", "gates saved (microbench)",
+                static_cast<unsigned long long>(inc_bench.gatesSaved));
+    report.setMetric("fresh_queries_per_sec",
+                     fresh_bench.queriesPerSecond);
+    report.setMetric("incremental_queries_per_sec",
+                     inc_bench.queriesPerSecond);
+    report.setMetric("incremental_query_throughput_x", throughput_x);
+    report.setMetric("solver_ctx_reuses", double(inc_bench.ctxReuses));
+    report.setMetric("solver_gates_saved",
+                     double(inc_bench.gatesSaved));
+    report.setMetric("solver_ctx_evictions",
+                     double(inc_bench.ctxEvictions));
+    report.setMetric("incremental_answers_match",
+                     answers_match ? 1.0 : 0.0);
+
     report.writeBenchFile();
 
     std::printf("\nShape check vs paper: symbolic >> concrete > vanilla "
@@ -362,5 +483,14 @@ main(int argc, char **argv)
                 profiler_overhead < 0.05 ? "YES" : "NO");
     std::printf("Optimizer check: >5%% fewer micro-ops executed: %s\n",
                 uop_reduction > 0.05 ? "YES" : "NO");
+    std::printf("Incremental check: answers match the fresh oracle: "
+                "%s\n",
+                answers_match ? "YES" : "NO");
+    std::printf("Incremental check: query throughput ratio >= 1.0: "
+                "%s\n",
+                throughput_x >= 1.0 ? "YES" : "NO");
+    std::printf("Incremental check: engine run reused contexts "
+                "(solver.ctx_reuses > 0): %s\n",
+                symbolic_run.ctxReuses > 0 ? "YES" : "NO");
     return 0;
 }

@@ -1381,6 +1381,7 @@ Engine::finishState(ExecutionState &state)
 {
     events_.onStateKill.emit(state);
     searcher_->stateRemoved(state);
+    state.solverCtx.reset(); // terminated paths never query again
 }
 
 void
@@ -1397,6 +1398,7 @@ Engine::retireState(ExecutionState &state)
         searcher_->stateRemoved(state);
     }
     events_.onStateKill.emit(state);
+    state.solverCtx.reset(); // terminated paths never query again
 }
 
 void
@@ -1457,12 +1459,17 @@ Engine::runSerial()
             ExecutionState *state = searcher_->select(active_);
             S2E_ASSERT(state && state->isActive(),
                        "searcher returned inactive state");
+            // Give the solver this path's incremental-context slot for
+            // the duration of the timeslice (created lazily on the
+            // first SAT-reaching query, reused across queries).
+            solver_.bindPathContext(&state->solverCtx);
             uint64_t instr_before = state->instrCount;
             for (unsigned i = 0;
                  i < config_.timesliceBlocks && state->isActive(); ++i) {
                 if (!executeBlock(*state))
                     break;
             }
+            solver_.bindPathContext(nullptr);
             Stats::bump(*hot_.instructions,
                         state->instrCount - instr_before);
         }
@@ -1557,6 +1564,11 @@ Engine::workerLoop(unsigned wid, WorkQueue &queue,
         if (stopFlag_.load(std::memory_order_acquire)) {
             killState(*state, StateStatus::BudgetExceeded, "run budget");
         } else {
+            // Bind the state's incremental-context slot to this
+            // worker's solver for the slice. Unbinding before the
+            // state is re-queued matters: once put back, another
+            // worker may steal the state (and the context with it).
+            w.solver.bindPathContext(&state->solverCtx);
             uint64_t instr_before = state->instrCount;
             for (unsigned i = 0;
                  i < config_.timesliceBlocks && state->isActive(); ++i) {
@@ -1565,6 +1577,7 @@ Engine::workerLoop(unsigned wid, WorkQueue &queue,
                 if (!running)
                     break;
             }
+            w.solver.bindPathContext(nullptr);
             Stats::bump(*hot_.instructions,
                         state->instrCount - instr_before);
             double elapsed =

@@ -46,6 +46,10 @@ ExecutionState::clone(int new_id) const
     child->id_ = new_id;
     child->parentId_ = id_;
     child->forkDepth_ = forkDepth_ + 1;
+    // solverCtx is intentionally left null: the child's incremental
+    // solver context is rebuilt lazily from its own constraints (a
+    // shared context would be mutated from two workers once the child
+    // is stolen, and a SatSolver cannot be cloned).
     // The engine overwrites pathId_ with "<parent>.<forkSeq>"; the
     // inherited sequence counters keep sibling numbering deterministic.
     child->pathId_ = pathId_;

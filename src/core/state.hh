@@ -22,6 +22,10 @@
 #include "core/value.hh"
 #include "vm/machine.hh"
 
+namespace s2e::solver {
+class IncrementalContext;
+}
+
 namespace s2e::core {
 
 /** CPU register file and execution flags for one path. */
@@ -101,6 +105,19 @@ class ExecutionState
 
     /** Path constraints (width-1 expressions, all conjoined). */
     std::vector<ExprRef> constraints;
+
+    /**
+     * This path's persistent incremental solver context (activation-
+     * literal guarded constraints; see solver/context.hh). Created
+     * lazily by the bound Solver on the path's first SAT-reaching
+     * query; deliberately NOT inherited on fork — a SatSolver is not
+     * copyable, so each child rebuilds its own from its constraint
+     * set, and the parent keeps the original. Only the worker
+     * currently executing the state touches it (the engine binds it
+     * per timeslice), so it is thread-confined exactly like the rest
+     * of the state, and it is released when the path terminates.
+     */
+    std::shared_ptr<solver::IncrementalContext> solverCtx;
 
     /** Per-state virtual clock, in executed guest instructions. It
      *  freezes while the state is not scheduled (paper §5). */

@@ -482,6 +482,18 @@ BitBlaster::assertTrue(ExprRef e)
     sat_.addClause(blastBool(e));
 }
 
+void
+BitBlaster::assertImplies(Lit guard, ExprRef e)
+{
+    // Blast first: gate clauses must reference only unconditional
+    // Tseitin definitions, never the guard. If e lowers to constant
+    // true the clause is satisfied at the root and addClause drops it;
+    // constant false leaves the unit ¬guard, permanently disabling
+    // this activation literal (any query assuming it is Unsat).
+    Lit lit = blastBool(e);
+    sat_.addClause(sat::litNot(guard), lit);
+}
+
 uint64_t
 BitBlaster::modelValue(ExprRef var) const
 {

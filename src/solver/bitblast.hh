@@ -36,6 +36,16 @@ class BitBlaster
     /** Assert a width-1 expression to be true. */
     void assertTrue(ExprRef e);
 
+    /**
+     * Assert `guard -> e` (clause ¬guard ∨ lit(e)). With `guard` free
+     * the constraint is inert; passing `guard` as a solve() assumption
+     * activates it. This is the activation-literal primitive behind
+     * the incremental solver context: constraints asserted this way
+     * can be selectively enabled per query while their Tseitin gates
+     * stay in the clause database for reuse.
+     */
+    void assertImplies(Lit guard, ExprRef e);
+
     /** After SatResult::Sat: concrete value of a Variable expression. */
     uint64_t modelValue(ExprRef var) const;
 

@@ -1,0 +1,22 @@
+#include "solver/context.hh"
+
+namespace s2e::solver {
+
+sat::Lit
+IncrementalContext::guardFor(ExprRef e, uint64_t *gates_saved)
+{
+    auto it = guards_.find(e);
+    if (it != guards_.end()) {
+        if (gates_saved)
+            *gates_saved += it->second.gateCost;
+        return it->second.lit;
+    }
+    uint64_t gates_before = blaster_.numGates();
+    sat::Lit act = sat::mkLit(sat_.newVar());
+    blaster_.assertImplies(act, e);
+    Guard g{act, blaster_.numGates() - gates_before};
+    guards_.emplace(e, g);
+    return g.lit;
+}
+
+} // namespace s2e::solver

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Persistent incremental solver context: one long-lived SatSolver +
+ * BitBlaster pair serving every SAT query issued along one execution
+ * path.
+ *
+ * The fresh-per-query pipeline discards all Tseitin gates, structural
+ * gate-hash entries and learnt clauses between queries, even though
+ * consecutive queries on a path share almost their entire constraint
+ * set. Here each constraint (and each query expression) is asserted
+ * once, guarded by an activation literal `a` as the clause `¬a ∨ C`:
+ * with `a` free the constraint is inert, and passing `a` as a solve()
+ * assumption activates it. A query then selects exactly its
+ * independence-sliced constraint subset plus the (possibly negated)
+ * query expression via assumptions, so the clause database — gates and
+ * learnt clauses included — survives and composes across
+ * checkBranch/getValue/getRange calls.
+ *
+ * Soundness of the scheme:
+ *  - The guarded database is always satisfiable (set every activation
+ *    literal false), so the underlying solver can never latch its
+ *    permanent conflict flag; Unsat under assumptions is an answer
+ *    about the *selected* subset only.
+ *  - CDCL learnt clauses are resolvents of database clauses alone
+ *    (assumptions enter conflict analysis as decisions, which stay in
+ *    the learnt clause as literals), so they remain valid for every
+ *    later query regardless of which guards it assumes.
+ *
+ * Lifecycle: contexts are carried on the owning ExecutionState and
+ * created lazily by the Solver on the path's first SAT-reaching query.
+ * A fork drops the child's context (rebuilt lazily from the child's
+ * own constraint set), and the state's current worker is the only
+ * thread that ever touches it — ownership transfers with the state,
+ * preserving the PR 4 thread-confinement model. Memory is bounded by a
+ * gate/clause high-water eviction in the Solver (see
+ * SolverOptions::maxCtxGates / maxCtxClauses).
+ */
+
+#ifndef S2E_SOLVER_CONTEXT_HH
+#define S2E_SOLVER_CONTEXT_HH
+
+#include <unordered_map>
+
+#include "solver/bitblast.hh"
+#include "solver/sat.hh"
+
+namespace s2e::solver {
+
+class IncrementalContext
+{
+  public:
+    IncrementalContext() : blaster_(sat_) {}
+    IncrementalContext(const IncrementalContext &) = delete;
+    IncrementalContext &operator=(const IncrementalContext &) = delete;
+
+    /**
+     * Activation literal guarding `e`; blasts the expression and adds
+     * the guard clause on first use. On reuse, the gate cost recorded
+     * at creation time is added to *gates_saved — exactly the gates a
+     * fresh-per-query pipeline would have rebuilt for this expression.
+     */
+    sat::Lit guardFor(ExprRef e, uint64_t *gates_saved);
+
+    sat::SatSolver &sat() { return sat_; }
+    BitBlaster &blaster() { return blaster_; }
+
+    uint64_t gates() const { return blaster_.numGates(); }
+    size_t
+    clauseCount() const
+    {
+        return sat_.numClauses() + sat_.numLearnts();
+    }
+    size_t guardCount() const { return guards_.size(); }
+
+    /** Has the context outgrown its memory bound? (Eviction test.) */
+    bool
+    overBudget(uint64_t max_gates, uint64_t max_clauses) const
+    {
+        return gates() > max_gates || clauseCount() > max_clauses;
+    }
+
+  private:
+    struct Guard {
+        sat::Lit lit;
+        uint64_t gateCost; ///< gates created blasting this expression
+    };
+
+    sat::SatSolver sat_;
+    BitBlaster blaster_;
+    std::unordered_map<ExprRef, Guard> guards_;
+};
+
+} // namespace s2e::solver
+
+#endif // S2E_SOLVER_CONTEXT_HH

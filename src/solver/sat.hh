@@ -13,6 +13,7 @@
 #define S2E_SOLVER_SAT_HH
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "support/stats.hh"
@@ -77,21 +78,35 @@ struct QueryBudget {
 
     bool unlimited() const { return maxConflicts < 0 && maxMicros < 0; }
 
-    /** Budget for a retry pass: every finite limit is multiplied. */
+    /**
+     * Budget for a retry pass: every finite limit is multiplied,
+     * saturating at INT64_MAX. Saturation matters: a wrapped negative
+     * limit would read as "unlimited", silently discarding the budget
+     * exactly on the escalation path that exists to bound retries.
+     */
     QueryBudget
     escalated(double multiplier) const
     {
         QueryBudget b;
         if (maxConflicts >= 0)
-            b.maxConflicts = static_cast<int64_t>(
-                                 static_cast<double>(maxConflicts) *
-                                 multiplier) +
-                             1;
+            b.maxConflicts = scaleSaturating(maxConflicts, multiplier);
         if (maxMicros >= 0)
-            b.maxMicros = static_cast<int64_t>(
-                              static_cast<double>(maxMicros) * multiplier) +
-                          1;
+            b.maxMicros = scaleSaturating(maxMicros, multiplier);
         return b;
+    }
+
+    static int64_t
+    scaleSaturating(int64_t limit, double multiplier)
+    {
+        constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+        double scaled = static_cast<double>(limit) * multiplier;
+        // Casting a double >= 2^63 to int64_t is UB; 2^63 is exactly
+        // representable, so `scaled < 2^63` is the safe-cast test (it
+        // also rejects NaN, which must saturate rather than wrap).
+        if (!(scaled < static_cast<double>(kMax)))
+            return kMax;
+        int64_t s = static_cast<int64_t>(scaled);
+        return s < kMax ? s + 1 : kMax;
     }
 };
 

@@ -8,6 +8,7 @@
 #include "support/bitops.hh"
 
 #include "solver/bitblast.hh"
+#include "solver/context.hh"
 #include "support/logging.hh"
 
 namespace s2e::solver {
@@ -79,6 +80,9 @@ Solver::Solver(expr::ExprBuilder &builder, SolverOptions opts)
     hot_.satConflicts = &stats_.counterSlot("solver.sat_conflicts");
     hot_.satDecisions = &stats_.counterSlot("solver.sat_decisions");
     hot_.maxGates = &stats_.counterSlot("solver.max_gates");
+    hot_.ctxReuses = &stats_.counterSlot("solver.ctx_reuses");
+    hot_.gatesSaved = &stats_.counterSlot("solver.gates_saved");
+    hot_.ctxEvictions = &stats_.counterSlot("solver.ctx_evictions");
     hot_.retries = &stats_.counterSlot("solver.retries");
     hot_.timeouts = &stats_.counterSlot("solver.timeouts");
     hot_.branchShortCircuits =
@@ -163,25 +167,40 @@ Solver::tryCachedModels(const std::vector<ExprRef> &constraints,
 {
     if (!opts_.useModelCache)
         return false;
-    for (auto it = recentModels_.rbegin(); it != recentModels_.rend(); ++it) {
-        const Assignment &a = *it;
-        if (!expr::evaluateBool(query, a))
-            continue;
-        bool all = true;
-        for (ExprRef c : constraints) {
-            if (!expr::evaluateBool(c, a)) {
-                all = false;
-                break;
-            }
-        }
-        if (all) {
-            (*hot_.modelCacheHits)++;
-            if (model)
-                *model = a;
+    const Assignment *hit =
+        recentModels_.findNewestFirst([&](const Assignment &a) {
+            if (!expr::evaluateBool(query, a))
+                return false;
+            for (ExprRef c : constraints)
+                if (!expr::evaluateBool(c, a))
+                    return false;
             return true;
-        }
+        });
+    if (!hit)
+        return false;
+    (*hot_.modelCacheHits)++;
+    if (model) {
+        // Extend-and-verify. Cached models can be partial relative to
+        // this query's constraint set (getValue caches models over its
+        // *sliced* variables), and evaluation above verified them by
+        // treating every absent variable as 0 — so the zero-extension
+        // is the assignment that was actually validated. Materialize
+        // those zeros: returning the partial model as-is would break
+        // the contract that a model covers every constraint variable
+        // (consumers treating absent variables as unconstrained could
+        // emit invalid test cases).
+        Assignment extended = *hit;
+        std::unordered_set<uint64_t> vars;
+        std::unordered_set<ExprRef> seen;
+        collectVars(query, vars, seen);
+        for (ExprRef c : constraints)
+            collectVars(c, vars, seen);
+        for (uint64_t id : vars)
+            if (!extended.has(id))
+                extended.setById(id, 0);
+        *model = std::move(extended);
     }
-    return false;
+    return true;
 }
 
 QueryOutcome
@@ -267,17 +286,63 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
         return out;
     }
 
-    // Full SAT solving.
+    // Full SAT solving — through the path's persistent incremental
+    // context when one is bound, otherwise via a throwaway pair.
     (*hot_.satQueries)++;
     ScopedTimer sat_timer(*hot_.satTime);
-    sat::SatSolver sat;
-    BitBlaster blaster(sat);
-    for (ExprRef c : sliced)
-        blaster.assertTrue(c);
-    blaster.assertTrue(q);
-    if (sat.inConflict()) {
-        out.result = CheckResult::Unsat;
-        return out;
+
+    IncrementalContext *ctx = nullptr;
+    if (opts_.useIncremental && ctxSlot_) {
+        auto &slot = *ctxSlot_;
+        // High-water eviction bounds the context's memory: a path
+        // whose accumulated gates/clauses outgrow the limits restarts
+        // from an empty context holding just this query's slice. Also
+        // covers the (unreachable by construction: the guarded clause
+        // database is always satisfiable) permanent-conflict case,
+        // where reuse would turn every future answer into Unsat.
+        if (slot && (slot->overBudget(opts_.maxCtxGates,
+                                      opts_.maxCtxClauses) ||
+                     slot->sat().inConflict())) {
+            slot.reset();
+            (*hot_.ctxEvictions)++;
+        }
+        if (slot)
+            (*hot_.ctxReuses)++;
+        else
+            slot = std::make_shared<IncrementalContext>();
+        ctx = slot.get();
+    }
+
+    std::optional<sat::SatSolver> freshSat;
+    std::optional<BitBlaster> freshBlaster;
+    sat::SatSolver *sat;
+    BitBlaster *blaster;
+    std::vector<sat::Lit> assumptions;
+    if (ctx) {
+        // Select the active constraint set: one activation literal
+        // per sliced constraint plus one for the query expression.
+        // Slicing stays sound under assumptions because unselected
+        // constraints' guards are free — the solver can switch them
+        // off, so they cannot restrict the selected subset.
+        uint64_t saved = 0;
+        for (ExprRef c : sliced)
+            assumptions.push_back(ctx->guardFor(c, &saved));
+        assumptions.push_back(ctx->guardFor(q, &saved));
+        *hot_.gatesSaved += saved;
+        sat = &ctx->sat();
+        blaster = &ctx->blaster();
+    } else {
+        freshSat.emplace();
+        freshBlaster.emplace(*freshSat);
+        sat = &*freshSat;
+        blaster = &*freshBlaster;
+        for (ExprRef c : sliced)
+            blaster->assertTrue(c);
+        blaster->assertTrue(q);
+        if (sat->inConflict()) {
+            out.result = CheckResult::Unsat;
+            return out;
+        }
     }
 
     // Solve under the per-query budget, retrying with an escalated
@@ -285,10 +350,11 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
     // solve() calls, so a retry resumes the proof instead of redoing it.
     QueryBudget budget{opts_.maxConflicts, opts_.maxMicros};
     sat::SatResult res;
+    uint64_t decisions_before = sat->numDecisions();
     for (;;) {
-        uint64_t before = sat.numConflicts();
-        res = sat.solve({}, budget);
-        out.conflicts += sat.numConflicts() - before;
+        uint64_t before = sat->numConflicts();
+        res = sat->solve(assumptions, budget);
+        out.conflicts += sat->numConflicts() - before;
         if (res != sat::SatResult::Unknown)
             break;
         if (out.retries >= opts_.maxRetries || budget.unlimited())
@@ -298,8 +364,8 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
         budget = budget.escalated(opts_.retryMultiplier);
     }
     *hot_.satConflicts += out.conflicts;
-    *hot_.satDecisions += sat.numDecisions();
-    Stats::raiseTo(*hot_.maxGates, blaster.numGates());
+    *hot_.satDecisions += sat->numDecisions() - decisions_before;
+    Stats::raiseTo(*hot_.maxGates, blaster->numGates());
 
     switch (res) {
       case sat::SatResult::Unsat:
@@ -307,24 +373,44 @@ Solver::solveSat(const std::vector<ExprRef> &constraints, ExprRef query,
         return out;
       case sat::SatResult::Unknown:
         out.result = CheckResult::Unknown;
-        out.timedOut = sat.lastStopWasDeadline();
+        out.timedOut = sat->lastStopWasDeadline();
         if (out.timedOut)
             (*hot_.timeouts)++;
         return out;
       case sat::SatResult::Sat: {
         Assignment a;
-        for (const auto &[var_id, bits] : blaster.varBits()) {
-            uint64_t v = 0;
-            for (size_t i = 0; i < bits.size(); ++i)
-                if (sat.modelTrue(bits[i]))
-                    v |= 1ULL << i;
-            a.setById(var_id, v);
+        if (ctx) {
+            // The context's varBits span every expression ever blasted
+            // on this path; variables outside the active set carry
+            // arbitrary values (their constraints were switched off).
+            // Restrict the model to this query's own variables.
+            std::unordered_set<uint64_t> vars;
+            std::unordered_set<ExprRef> seen;
+            collectVars(q, vars, seen);
+            for (ExprRef c : sliced)
+                collectVars(c, vars, seen);
+            const auto &var_bits = blaster->varBits();
+            for (uint64_t id : vars) {
+                auto it = var_bits.find(id);
+                if (it == var_bits.end())
+                    continue; // simplified away while blasting
+                uint64_t v = 0;
+                for (size_t i = 0; i < it->second.size(); ++i)
+                    if (sat->modelTrue(it->second[i]))
+                        v |= 1ULL << i;
+                a.setById(id, v);
+            }
+        } else {
+            for (const auto &[var_id, bits] : blaster->varBits()) {
+                uint64_t v = 0;
+                for (size_t i = 0; i < bits.size(); ++i)
+                    if (sat->modelTrue(bits[i]))
+                        v |= 1ULL << i;
+                a.setById(var_id, v);
+            }
         }
-        if (opts_.useModelCache) {
-            recentModels_.push_back(a);
-            if (recentModels_.size() > 64)
-                recentModels_.erase(recentModels_.begin());
-        }
+        if (opts_.useModelCache)
+            recentModels_.insert(a);
         if (model)
             *model = std::move(a);
         out.result = CheckResult::Sat;

@@ -20,6 +20,7 @@
 #ifndef S2E_SOLVER_SOLVER_HH
 #define S2E_SOLVER_SOLVER_HH
 
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -33,6 +34,8 @@
 
 namespace s2e::solver {
 
+class IncrementalContext;
+
 using expr::Assignment;
 using expr::ExprRef;
 using sat::QueryBudget;
@@ -42,10 +45,75 @@ struct SolverOptions {
     bool useSimplifier = true;   ///< §5 bitfield simplifier
     bool useIndependence = true; ///< constraint independence slicing
     bool useModelCache = true;   ///< counterexample cache / model reuse
+    /** Per-path incremental SAT contexts (activation-literal guarded
+     *  constraint reuse; see context.hh). Only effective while a path
+     *  context slot is bound (bindPathContext); with no slot, or with
+     *  this off, every query builds a fresh solver — the differential
+     *  oracle the incremental path is validated against. */
+    bool useIncremental = true;
+    uint64_t maxCtxGates = 1u << 18;   ///< ctx eviction high-water (gates)
+    uint64_t maxCtxClauses = 1u << 19; ///< ditto (clauses incl. learnts)
     int64_t maxConflicts = -1;   ///< SAT conflict budget per query
     int64_t maxMicros = -1;      ///< wall-clock budget per query (µs)
     double retryMultiplier = 4.0; ///< budget escalation factor per retry
     unsigned maxRetries = 1;      ///< escalated-budget passes before Unknown
+};
+
+/**
+ * Fixed-capacity ring of recent solver models (the counterexample
+ * cache's backing store). Insertion past capacity overwrites the
+ * oldest entry in O(1) — the previous std::vector backing paid an
+ * O(n) erase(begin()) shift on every insertion once full — and
+ * assignments identical to a cached one are skipped entirely (repeat
+ * queries otherwise flush the older, still-useful models).
+ */
+class ModelRing
+{
+  public:
+    explicit ModelRing(size_t capacity = 64) : cap_(capacity) {}
+
+    /** Store a model unless an identical assignment is already
+     *  cached; returns false when skipped as a duplicate. */
+    bool
+    insert(Assignment a)
+    {
+        for (const Assignment &m : ring_)
+            if (m.values() == a.values())
+                return false;
+        if (ring_.size() < cap_) {
+            ring_.push_back(std::move(a));
+        } else {
+            ring_[next_] = std::move(a);
+            next_ = (next_ + 1) % cap_;
+        }
+        return true;
+    }
+
+    size_t size() const { return ring_.size(); }
+    size_t capacity() const { return cap_; }
+
+    /** First model (newest insertion first) satisfying `pred`, or
+     *  nullptr. Newest-first keeps the hottest models cheapest. */
+    template <typename Pred>
+    const Assignment *
+    findNewestFirst(Pred pred) const
+    {
+        size_t n = ring_.size();
+        for (size_t k = 0; k < n; ++k) {
+            // While filling, newest is the back; once full, the slot
+            // before next_ (the overwrite cursor) is newest.
+            size_t idx = n < cap_ ? n - 1 - k
+                                  : (next_ + 2 * cap_ - 1 - k) % cap_;
+            if (pred(ring_[idx]))
+                return &ring_[idx];
+        }
+        return nullptr;
+    }
+
+  private:
+    size_t cap_;
+    std::vector<Assignment> ring_;
+    size_t next_ = 0; ///< overwrite cursor, meaningful once full
 };
 
 /** Outcome of a satisfiability check. */
@@ -175,6 +243,21 @@ class Solver
      *  under a Solver span (nullptr detaches; never owned). */
     void setProfiler(obs::PhaseProfiler *profiler) { profiler_ = profiler; }
 
+    /**
+     * Bind the current path's incremental-context slot (the
+     * ExecutionState field). The engine binds before executing a
+     * state's timeslice and unbinds (nullptr) when done; while bound
+     * and useIncremental is on, SAT-reaching queries go through the
+     * persistent context, which the solver creates into the slot
+     * lazily and evicts when it outgrows the configured high-water
+     * marks. The slot must outlive the binding.
+     */
+    void
+    bindPathContext(std::shared_ptr<IncrementalContext> *slot)
+    {
+        ctxSlot_ = slot;
+    }
+
   private:
     std::vector<ExprRef>
     sliceIndependent(const std::vector<ExprRef> &constraints, ExprRef expr);
@@ -204,6 +287,9 @@ class Solver
         uint64_t *satConflicts = nullptr;
         uint64_t *satDecisions = nullptr;
         uint64_t *maxGates = nullptr;
+        uint64_t *ctxReuses = nullptr;
+        uint64_t *gatesSaved = nullptr;
+        uint64_t *ctxEvictions = nullptr;
         uint64_t *retries = nullptr;
         uint64_t *timeouts = nullptr;
         uint64_t *branchShortCircuits = nullptr;
@@ -211,7 +297,10 @@ class Solver
         double *simplifyTime = nullptr;
         double *satTime = nullptr;
     } hot_;
-    std::vector<Assignment> recentModels_; ///< bounded model cache
+    ModelRing recentModels_; ///< bounded model cache
+    /** Bound path-context slot (owned by the current ExecutionState);
+     *  nullptr outside engine timeslices. */
+    std::shared_ptr<IncrementalContext> *ctxSlot_ = nullptr;
     FaultPolicy faultPolicy_;
     Rng faultRng_;
     uint64_t queryCounter_ = 0;

@@ -441,5 +441,43 @@ TEST(ParallelStats, SlotCountersSurviveContention)
     EXPECT_EQ(site_total, kThreads * kIters);
 }
 
+TEST(ParallelStats, RaiseToIsAtomicMaxUnderRacingWriters)
+{
+    // Adversarial watermark audit: writers race strictly *descending*
+    // sequences from different starting points. A read-compare-store
+    // raiseTo loses the race when a smaller value lands between the
+    // read and the store; the CAS max loop must always converge on
+    // the global maximum, and never move downward at any point.
+    Stats stats;
+    uint64_t &watermark = stats.counterSlot("race.max");
+    constexpr unsigned kThreads = 8;
+    constexpr uint64_t kIters = 50000;
+    constexpr uint64_t kTrueMax = kThreads * kIters;
+    std::atomic<bool> go{false};
+    std::atomic<bool> sawDecrease{false};
+    std::vector<std::thread> threads;
+    for (unsigned t = 0; t < kThreads; ++t)
+        threads.emplace_back([&, t] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            // Thread t publishes (t+1)*kIters down to t*kIters+1, so
+            // high maxima are proposed early and every later proposal
+            // tries to drag the watermark down.
+            uint64_t prev = 0;
+            for (uint64_t i = 0; i < kIters; ++i) {
+                Stats::raiseTo(watermark, (t + 1) * kIters - i);
+                uint64_t now = Stats::read(watermark);
+                if (now < prev)
+                    sawDecrease.store(true, std::memory_order_relaxed);
+                prev = now;
+            }
+        });
+    go.store(true, std::memory_order_release);
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(Stats::read(watermark), kTrueMax);
+    EXPECT_FALSE(sawDecrease.load());
+}
+
 } // namespace
 } // namespace s2e::core

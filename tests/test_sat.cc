@@ -125,24 +125,31 @@ TEST(Sat, PigeonHole5Into4IsUnsat)
     EXPECT_GT(s.numConflicts(), 0u);
 }
 
-/** Encode PHP(n,m): n pigeons into m holes (unsat when n > m). */
+/** Encode PHP(n,m): n pigeons into m holes (unsat when n > m). With
+ *  a guard, every clause is (¬guard ∨ ...) — active only while the
+ *  guard is assumed, like an incremental-context constraint. */
 void
-addPigeonhole(SatSolver &s, int n, int m)
+addPigeonhole(SatSolver &s, int n, int m, Lit guard = -1)
 {
     std::vector<std::vector<Var>> p(n, std::vector<Var>(m));
     for (auto &row : p)
         for (auto &v : row)
             v = s.newVar();
+    auto add = [&](std::vector<Lit> clause) {
+        if (guard >= 0)
+            clause.push_back(litNot(guard));
+        s.addClause(clause);
+    };
     for (int i = 0; i < n; ++i) {
         std::vector<Lit> clause;
         for (int h = 0; h < m; ++h)
             clause.push_back(mkLit(p[i][h]));
-        s.addClause(clause);
+        add(clause);
     }
     for (int h = 0; h < m; ++h)
         for (int i = 0; i < n; ++i)
             for (int j = i + 1; j < n; ++j)
-                s.addClause(mkLit(p[i][h], true), mkLit(p[j][h], true));
+                add({mkLit(p[i][h], true), mkLit(p[j][h], true)});
 }
 
 TEST(Sat, ConflictBudgetReturnsUnknown)
@@ -246,6 +253,110 @@ TEST(Sat, PropertyRandom3SatMatchesBruteForce)
             }
         }
     }
+}
+
+TEST(Sat, BudgetEscalationSaturatesInsteadOfWrapping)
+{
+    // Regression: escalated() used to compute limit * multiplier in
+    // double and cast straight back to int64_t — for limits near
+    // INT64_MAX the cast was UB and in practice wrapped negative,
+    // which solve() interprets as *unlimited*. It must saturate.
+    constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+    QueryBudget huge;
+    huge.maxConflicts = kMax - 1;
+    huge.maxMicros = kMax / 2;
+    QueryBudget up = huge.escalated(4.0);
+    EXPECT_EQ(up.maxConflicts, kMax);
+    EXPECT_EQ(up.maxMicros, kMax);
+    EXPECT_FALSE(up.unlimited()); // saturated, NOT converted to -1
+    // Repeated escalation stays pinned at the cap, still limited.
+    QueryBudget up2 = up.escalated(4.0).escalated(4.0);
+    EXPECT_EQ(up2.maxConflicts, kMax);
+    EXPECT_EQ(up2.maxMicros, kMax);
+    EXPECT_FALSE(up2.unlimited());
+    // Unlimited fields (-1) stay unlimited; small fields still grow.
+    QueryBudget small;
+    small.maxConflicts = 100;
+    QueryBudget sup = small.escalated(4.0);
+    EXPECT_GT(sup.maxConflicts, 100);
+    EXPECT_LT(sup.maxConflicts, 1000);
+    EXPECT_EQ(sup.maxMicros, -1);
+}
+
+TEST(Sat, ActivationLiteralsSelectConstraintSubsets)
+{
+    // The incremental-context clause scheme: each constraint C is
+    // asserted as (¬a ∨ C) and enabled by assuming a. Conflicting
+    // constraints coexist in one database; per-query assumption sets
+    // pick the active subset, and an Unsat answer under assumptions
+    // must not poison the solver (the guarded DB stays satisfiable).
+    SatSolver s;
+    Var x = s.newVar();
+    Var g1 = s.newVar(), g2 = s.newVar();
+    s.addClause(mkLit(g1, true), mkLit(x));       // g1 -> x
+    s.addClause(mkLit(g2, true), mkLit(x, true)); // g2 -> ¬x
+
+    EXPECT_EQ(s.solve({mkLit(g1)}), SatResult::Sat);
+    EXPECT_TRUE(s.modelTrue(mkLit(x)));
+    EXPECT_EQ(s.solve({mkLit(g2)}), SatResult::Sat);
+    EXPECT_TRUE(s.modelTrue(mkLit(x, true)));
+    EXPECT_EQ(s.solve({mkLit(g1), mkLit(g2)}), SatResult::Unsat);
+    EXPECT_FALSE(s.inConflict()); // no root-level poisoning
+    // All guards off: trivially satisfiable again.
+    EXPECT_EQ(s.solve(), SatResult::Sat);
+    // And the conflicting pair is still Unsat on re-query.
+    EXPECT_EQ(s.solve({mkLit(g2), mkLit(g1)}), SatResult::Unsat);
+    EXPECT_FALSE(s.inConflict());
+}
+
+TEST(Sat, GrowsVarsAndClausesAfterSolve)
+{
+    // A persistent per-path context keeps adding constraints between
+    // queries: newVar/addClause after a prior solve() must integrate
+    // with watches, saved phases, and the VSIDS heap.
+    SatSolver s;
+    Var a = s.newVar(), b = s.newVar();
+    s.addClause(mkLit(a), mkLit(b));
+    ASSERT_EQ(s.solve(), SatResult::Sat);
+
+    Var c = s.newVar(), d = s.newVar();
+    s.addClause(mkLit(c, true), mkLit(d)); // c -> d
+    ASSERT_EQ(s.solve({mkLit(c)}), SatResult::Sat);
+    EXPECT_TRUE(s.modelTrue(mkLit(d)));
+
+    // Grow by a guarded instance needing conflict analysis, then
+    // solve under assumptions touching the earliest variables.
+    Var g = s.newVar();
+    addPigeonhole(s, 4, 3, mkLit(g));
+    s.addClause(mkLit(a, true), mkLit(b, true));
+    EXPECT_EQ(s.solve({mkLit(a)}), SatResult::Sat);
+    EXPECT_TRUE(s.modelTrue(mkLit(b, true)));
+    EXPECT_EQ(s.solve({mkLit(a), mkLit(g)}), SatResult::Unsat);
+    EXPECT_FALSE(s.inConflict());
+    EXPECT_EQ(s.solve({mkLit(a), mkLit(b)}), SatResult::Unsat);
+    EXPECT_FALSE(s.inConflict());
+}
+
+TEST(Sat, BudgetedAssumptionSolveIsResumable)
+{
+    // Budget exhaustion inside an assumption-scoped solve leaves the
+    // solver reusable for later queries with different assumptions —
+    // the exact shape of an incremental-context query timing out.
+    SatSolver s;
+    Var g = s.newVar();
+    addPigeonhole(s, 6, 5, mkLit(g));
+    QueryBudget tiny;
+    tiny.maxConflicts = 1;
+    ASSERT_EQ(s.solve({mkLit(g)}, tiny), SatResult::Unknown);
+    EXPECT_FALSE(s.inConflict());
+    // Guard off: trivially Sat, the solver is not poisoned.
+    EXPECT_EQ(s.solve({mkLit(g, true)}), SatResult::Sat);
+    EXPECT_FALSE(s.inConflict());
+    // Unlimited re-solve under the guard reaches the definite Unsat,
+    // with the learnt clauses from the budgeted attempt carried over.
+    EXPECT_EQ(s.solve({mkLit(g)}), SatResult::Unsat);
+    EXPECT_FALSE(s.inConflict());
+    EXPECT_EQ(s.solve(), SatResult::Sat);
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 #include "expr/builder.hh"
 #include "expr/eval.hh"
 #include "solver/bitblast.hh"
+#include "solver/context.hh"
 #include "solver/solver.hh"
 #include "support/rng.hh"
 
@@ -668,6 +669,241 @@ TEST_F(SolverTest, SimplifierAblationStillCorrect)
                     .mustBeTrue(cs, b.eq(b.extract(x, 0, 8),
                                          b.constant(0x42, 8)))
                     .yes());
+}
+
+TEST(ModelRing, BoundedFifoOverwrite)
+{
+    ModelRing ring(3);
+    auto mk = [](uint64_t id, uint64_t v) {
+        Assignment a;
+        a.setById(id, v);
+        return a;
+    };
+    EXPECT_TRUE(ring.insert(mk(1, 10)));
+    EXPECT_TRUE(ring.insert(mk(2, 20)));
+    EXPECT_TRUE(ring.insert(mk(3, 30)));
+    EXPECT_EQ(ring.size(), 3u);
+    // A fourth insertion overwrites the oldest (id 1), not the newest.
+    EXPECT_TRUE(ring.insert(mk(4, 40)));
+    EXPECT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.findNewestFirst(
+                  [](const Assignment &a) { return a.has(1); }),
+              nullptr);
+    for (uint64_t id : {2u, 3u, 4u})
+        EXPECT_NE(ring.findNewestFirst(
+                      [id](const Assignment &a) { return a.has(id); }),
+                  nullptr);
+}
+
+TEST(ModelRing, NewestFirstLookupOrder)
+{
+    ModelRing ring(3);
+    for (uint64_t i = 1; i <= 5; ++i) { // leaves {3, 4, 5}, newest 5
+        Assignment a;
+        a.setById(i, i);
+        a.setById(99, i); // shared key: every model matches
+        ASSERT_TRUE(ring.insert(std::move(a)));
+    }
+    const Assignment *hit = ring.findNewestFirst(
+        [](const Assignment &a) { return a.has(99); });
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->lookup(99), 5u); // newest wins
+    EXPECT_EQ(ring.findNewestFirst(
+                  [](const Assignment &a) { return a.has(2); }),
+              nullptr); // evicted
+}
+
+TEST(ModelRing, DuplicateAssignmentsAreSkipped)
+{
+    // Regression companion to the ring conversion: repeat queries used
+    // to re-insert the identical model and flush older entries.
+    ModelRing ring(2);
+    Assignment a;
+    a.setById(7, 42);
+    EXPECT_TRUE(ring.insert(a));
+    EXPECT_FALSE(ring.insert(a)); // identical values() => skipped
+    EXPECT_EQ(ring.size(), 1u);
+    Assignment other;
+    other.setById(8, 1);
+    EXPECT_TRUE(ring.insert(other));
+    EXPECT_FALSE(ring.insert(a)); // still cached, still skipped
+    EXPECT_EQ(ring.size(), 2u);
+}
+
+TEST_F(SolverTest, CachedModelsMustCoverAllQueryVariables)
+{
+    // Regression: getValue caches a model over only the *sliced*
+    // variables. A later getInitialValues whose constraint set has
+    // more variables could hit that partial model (evaluate()'s
+    // zero-default makes it "satisfy" the extra constraints) and
+    // return it as-is — callers then see no binding at all for the
+    // missing variables. The cache hit must extend the model to
+    // explicit values covering every variable of the query.
+    ExprRef x = b.var("cachx", 32);
+    ExprRef y = b.var("cachy", 32);
+    std::vector<ExprRef> cs1 = {b.ult(x, b.constant(50, 32))};
+    uint64_t v = 0;
+    ASSERT_TRUE(solver.getValue(cs1, x, &v).isSat()); // seeds the cache
+    ASSERT_LT(v, 50u);
+
+    std::vector<ExprRef> cs2 = {
+        b.ult(x, b.constant(50, 32)),
+        b.eq(y, b.constant(0, 32)), // y=0: satisfied by the zero-default
+    };
+    Assignment model;
+    ASSERT_TRUE(solver.getInitialValues(cs2, &model).isSat());
+    EXPECT_TRUE(model.has(x->varId()));
+    EXPECT_TRUE(model.has(y->varId())) // failed before the fix
+        << "cache hit returned a model that does not cover y";
+    for (ExprRef c : cs2)
+        EXPECT_TRUE(expr::evaluateBool(c, model));
+}
+
+/** Run a fixed query battery against one solver; collects outcome
+ *  kinds plus verified witness values so two solvers can be compared
+ *  even when their model bits legitimately differ. */
+std::vector<std::string>
+queryBattery(Solver &s, ExprBuilder &b, const std::vector<ExprRef> &vars)
+{
+    std::vector<std::string> log;
+    std::vector<ExprRef> cs;
+    auto outcome = [](const QueryOutcome &o) {
+        return o.isSat() ? "sat" : o.isUnsat() ? "unsat" : "unknown";
+    };
+    for (size_t i = 0; i < vars.size(); ++i) {
+        ExprRef x = vars[i];
+        cs.push_back(b.ult(x, b.constant(100 + 10 * i, 32)));
+        auto branch =
+            s.checkBranch(cs, b.ult(x, b.constant(5, 32)));
+        log.push_back(std::string("branchT:") + outcome(branch.trueSide));
+        log.push_back(std::string("branchF:") + outcome(branch.falseSide));
+        uint64_t v = 0;
+        auto gv = s.getValue(cs, b.mul(x, x), &v);
+        log.push_back(std::string("getValue:") + outcome(gv));
+        log.push_back(
+            std::string("must:") +
+            outcome(s.mustBeTrue(cs, b.ult(x, b.constant(200, 32)))));
+        log.push_back(
+            std::string("may:") +
+            outcome(s.mayBeTrue(cs, b.eq(x, b.constant(1000, 32)))));
+        uint64_t lo = 0, hi = 0;
+        auto gr = s.getRange(cs, x, &lo, &hi);
+        log.push_back(std::string("range:") + outcome(gr) + ":" +
+                      std::to_string(lo) + ":" + std::to_string(hi));
+        Assignment m;
+        auto gi = s.getInitialValues(cs, &m);
+        log.push_back(std::string("init:") + outcome(gi));
+        if (gi.isSat()) {
+            for (ExprRef c : cs)
+                EXPECT_TRUE(expr::evaluateBool(c, m));
+        }
+    }
+    return log;
+}
+
+TEST_F(SolverTest, IncrementalContextMatchesFreshAcrossBattery)
+{
+    // The same battery through (a) a solver with a bound path context
+    // and (b) the fresh-per-query oracle must agree on every outcome
+    // kind and every range (models may differ bit-for-bit; witnesses
+    // are validated semantically inside the battery).
+    SolverOptions opts;
+    opts.useModelCache = false; // force every query to reach SAT
+    Solver incremental(b, opts);
+    SolverOptions fresh_opts = opts;
+    fresh_opts.useIncremental = false;
+    Solver fresh(b, fresh_opts);
+
+    std::vector<ExprRef> vars;
+    for (int i = 0; i < 6; ++i)
+        vars.push_back(b.freshVar("bat", 32));
+
+    std::shared_ptr<IncrementalContext> slot;
+    incremental.bindPathContext(&slot);
+    auto inc_log = queryBattery(incremental, b, vars);
+    incremental.bindPathContext(nullptr);
+    auto fresh_log = queryBattery(fresh, b, vars);
+
+    EXPECT_EQ(inc_log, fresh_log);
+    EXPECT_NE(slot, nullptr); // the context was actually created
+    EXPECT_GT(incremental.stats().get("solver.ctx_reuses"), 0u);
+    EXPECT_GT(incremental.stats().get("solver.gates_saved"), 0u);
+    EXPECT_EQ(fresh.stats().get("solver.ctx_reuses"), 0u);
+}
+
+TEST_F(SolverTest, IncrementalContextEvictionStaysCorrect)
+{
+    // A gate high-water of 1 forces an eviction on (nearly) every
+    // query; answers must be unaffected and the telemetry must show
+    // the evictions.
+    SolverOptions opts;
+    opts.useModelCache = false;
+    opts.maxCtxGates = 1;
+    Solver tiny(b, opts);
+    std::shared_ptr<IncrementalContext> slot;
+    tiny.bindPathContext(&slot);
+
+    ExprRef x = b.var("evx", 32);
+    std::vector<ExprRef> cs = {b.ult(x, b.constant(50, 32))};
+    for (int i = 0; i < 8; ++i) {
+        cs.push_back(b.ult(b.mul(x, b.constant(3 + i, 32)),
+                           b.constant(1000 + i, 32)));
+        EXPECT_TRUE(tiny.mayBeTrue(cs, b.ult(x, b.constant(40, 32))).yes());
+        EXPECT_TRUE(
+            tiny.mustBeTrue(cs, b.ult(x, b.constant(50, 32))).yes());
+    }
+    tiny.bindPathContext(nullptr);
+    EXPECT_GT(tiny.stats().get("solver.ctx_evictions"), 0u);
+}
+
+TEST_F(SolverTest, IncrementalContextSurvivesInjectedFaults)
+{
+    // A forced-Unknown query must leave the persistent context usable:
+    // subsequent queries on the same path answer correctly.
+    SolverOptions opts;
+    opts.useModelCache = false;
+    Solver s(b, opts);
+    std::shared_ptr<IncrementalContext> slot;
+    s.bindPathContext(&slot);
+
+    ExprRef x = b.var("fcx", 8);
+    std::vector<ExprRef> cs = {b.ult(x, b.constant(10, 8))};
+    ASSERT_TRUE(s.mayBeTrue(cs, b.ult(x, b.constant(5, 8))).yes());
+    ASSERT_NE(slot, nullptr);
+
+    FaultPolicy policy;
+    policy.enabled = true;
+    policy.triggerQueries = {1}; // next query fails
+    s.setFaultPolicy(policy);
+    EXPECT_TRUE(s.mayBeTrue(cs, b.ult(x, b.constant(5, 8))).isUnknown());
+    s.setFaultPolicy(FaultPolicy{});
+
+    cs.push_back(b.ugt(x, b.constant(3, 8)));
+    EXPECT_TRUE(s.mustBeTrue(cs, b.ult(x, b.constant(10, 8))).yes());
+    EXPECT_TRUE(s.mayBeTrue(cs, b.eq(x, b.constant(20, 8))).no());
+    s.bindPathContext(nullptr);
+}
+
+TEST_F(SolverTest, IncrementalContextCoexistsWithModelCache)
+{
+    // Default options: model cache ON and incremental ON. Cache hits
+    // bypass the context; misses go through it. Answers stay correct
+    // and cached models keep satisfying the constraints they answer.
+    std::shared_ptr<IncrementalContext> slot;
+    solver.bindPathContext(&slot);
+    ExprRef x = b.var("mcx", 32);
+    std::vector<ExprRef> cs = {b.ult(x, b.constant(64, 32))};
+    uint64_t v1 = 0, v2 = 0;
+    ASSERT_TRUE(solver.getValue(cs, x, &v1).isSat());
+    ASSERT_TRUE(solver.getValue(cs, x, &v2).isSat()); // cache hit path
+    EXPECT_EQ(v1, v2);
+    EXPECT_LT(v1, 64u);
+    cs.push_back(b.ugt(x, b.constant(60, 32)));
+    uint64_t v3 = 0;
+    ASSERT_TRUE(solver.getValue(cs, x, &v3).isSat());
+    EXPECT_GT(v3, 60u);
+    EXPECT_LT(v3, 64u);
+    solver.bindPathContext(nullptr);
 }
 
 } // namespace

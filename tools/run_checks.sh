@@ -1,10 +1,13 @@
 #!/bin/sh
-# Run the serial-vs-parallel differential suite in both configurations
-# that guard the parallel engine:
-#   1. the default build           — `ctest -L parallel`
-#   2. a ThreadSanitizer build     — `ctest -L tsan` under build-tsan/
-# Both must pass with zero path-set divergences before a change to the
-# exploration core lands.
+# Run the differential suites that guard the exploration core in both
+# configurations:
+#   1. the default build       — `ctest -L parallel` (serial-vs-parallel)
+#                                and `ctest -L solver` (incremental-vs-
+#                                fresh solver contexts)
+#   2. a ThreadSanitizer build — `ctest -L tsan` under build-tsan/
+#                                (both suites carry the tsan label)
+# All must pass with zero divergences before a change to the
+# exploration core or the solver pipeline lands.
 #
 # Usage: tools/run_checks.sh [build-dir] [tsan-build-dir]
 #   build-dir:      existing default-config build (default: build);
@@ -24,18 +27,21 @@ echo "== run_checks: default configuration ($build_dir) =="
 if [ ! -f "$build_dir/CMakeCache.txt" ]; then
     cmake -B "$build_dir" -S "$repo_root" || exit 1
 fi
-cmake --build "$build_dir" -j "$jobs" --target test_parallel || exit 1
+cmake --build "$build_dir" -j "$jobs" \
+    --target test_parallel test_incremental || exit 1
 (cd "$build_dir" && ctest -L parallel --output-on-failure) || status=1
+(cd "$build_dir" && ctest -L solver --output-on-failure) || status=1
 
 echo "== run_checks: ThreadSanitizer configuration ($tsan_dir) =="
 if [ ! -f "$tsan_dir/CMakeCache.txt" ]; then
     cmake -B "$tsan_dir" -S "$repo_root" -DS2E_SANITIZE=thread || exit 1
 fi
-cmake --build "$tsan_dir" -j "$jobs" --target test_parallel || exit 1
+cmake --build "$tsan_dir" -j "$jobs" \
+    --target test_parallel test_incremental || exit 1
 (cd "$tsan_dir" && ctest -L tsan --output-on-failure) || status=1
 
 if [ "$status" -eq 0 ]; then
-    echo "run_checks: all parallel differential checks passed"
+    echo "run_checks: all differential checks passed"
 else
     echo "run_checks: FAILURES above" >&2
 fi
