@@ -26,6 +26,7 @@
 
 #include "analysis/cfg.hh"
 #include "core/engine.hh"
+#include "core/state.hh"
 #include "dbt/fastexec.hh"
 #include "obs/heartbeat.hh"
 #include "obs/report.hh"
@@ -199,18 +200,29 @@ forkWorkloadSource()
     )";
 }
 
-/** One fork-heavy run; returns {wallSeconds, completedPaths}. */
-std::pair<double, size_t>
-runForkWorkload(unsigned workers)
+/** One fork-heavy run; maxResidentBytes > 0 engages the lifecycle
+ *  memory governor (spill-to-disk) on the same workload. */
+core::RunResult
+runForkWorkload(unsigned workers, uint64_t max_resident_bytes = 0)
 {
     vm::MachineConfig m;
     m.ramSize = 64 * 1024;
     m.program = isa::assemble(forkWorkloadSource());
     core::EngineConfig config;
     config.numWorkers = workers;
+    config.maxResidentBytes = max_resident_bytes;
     core::Engine engine(m, config);
-    core::RunResult r = engine.run();
-    return {r.wallSeconds, r.completed};
+    return engine.run();
+}
+
+/** Resident cap of three empty-state footprints: guaranteed to trip
+ *  the governor once a handful of fork-workload states are live. */
+uint64_t
+forkWorkloadResidentCap()
+{
+    vm::DeviceSet devices;
+    core::ExecutionState probe(64 * 1024, devices);
+    return 3 * probe.memoryFootprint();
 }
 
 /** Incremental-vs-fresh solver comparison: one path's worth of
@@ -415,8 +427,12 @@ main(int argc, char **argv)
     std::printf("\n--- parallel exploration (fork-heavy, %u workers) "
                 "---\n",
                 workers);
-    auto [serial_secs, serial_paths] = runForkWorkload(1);
-    auto [parallel_secs, parallel_paths] = runForkWorkload(workers);
+    core::RunResult serial_run = runForkWorkload(1);
+    core::RunResult parallel_run = runForkWorkload(workers);
+    double serial_secs = serial_run.wallSeconds;
+    double parallel_secs = parallel_run.wallSeconds;
+    size_t serial_paths = serial_run.completed;
+    size_t parallel_paths = parallel_run.completed;
     double speedup =
         parallel_secs > 0 ? serial_secs / parallel_secs : 0.0;
     std::printf("%-28s %14.3f s  (%zu paths)\n", "serial (1 worker)",
@@ -430,6 +446,47 @@ main(int argc, char **argv)
     report.setMetric("parallel_speedup_x", speedup);
     report.setMetric("parallel_paths_match",
                      serial_paths == parallel_paths ? 1.0 : 0.0);
+
+    // State-lifecycle overhead: the same fork workload forced through
+    // constant spill/restore cycles by a resident cap of three state
+    // footprints. Path results are identical (the differential suite,
+    // tests/test_lifecycle.cc, proves byte-equality); here the point
+    // is the wall-time cost and counter visibility of the governor.
+    std::printf("\n--- spill-to-disk memory governor (capped run) ---\n");
+    uint64_t resident_cap = forkWorkloadResidentCap();
+    core::RunResult capped_run = runForkWorkload(workers, resident_cap);
+    double spill_overhead =
+        parallel_secs > 0 ? capped_run.wallSeconds / parallel_secs : 0.0;
+    std::printf("%-28s %14llu B\n", "resident cap (3 footprints)",
+                static_cast<unsigned long long>(resident_cap));
+    std::printf("%-28s %14.3f s  (%zu paths)\n", "capped run",
+                capped_run.wallSeconds, capped_run.completed);
+    std::printf("%-28s %14llu\n", "states spilled",
+                static_cast<unsigned long long>(capped_run.statesSpilled));
+    std::printf("%-28s %14llu\n", "states restored",
+                static_cast<unsigned long long>(
+                    capped_run.statesRestored));
+    std::printf("%-28s %14llu B\n", "spill bytes",
+                static_cast<unsigned long long>(capped_run.spillBytes));
+    std::printf("%-28s %14llu\n", "spill retries",
+                static_cast<unsigned long long>(capped_run.spillRetries));
+    std::printf("%-28s %14llu states\n", "resident peak",
+                static_cast<unsigned long long>(
+                    capped_run.residentStatesPeak));
+    std::printf("%-28s %14.2fx of uncapped wall time\n", "spill overhead",
+                spill_overhead);
+    report.setMetric("resident_cap_bytes", double(resident_cap));
+    report.setMetric("capped_wall_seconds", capped_run.wallSeconds);
+    report.setMetric("capped_paths_match",
+                     capped_run.completed == parallel_paths ? 1.0 : 0.0);
+    report.setMetric("states_spilled", double(capped_run.statesSpilled));
+    report.setMetric("states_restored",
+                     double(capped_run.statesRestored));
+    report.setMetric("spill_bytes", double(capped_run.spillBytes));
+    report.setMetric("spill_retries", double(capped_run.spillRetries));
+    report.setMetric("resident_states_peak",
+                     double(capped_run.residentStatesPeak));
+    report.setMetric("spill_overhead_x", spill_overhead);
 
     // Incremental per-path contexts vs the fresh-per-query oracle on
     // the same constraint history and query stream. Answers must be
@@ -492,5 +549,14 @@ main(int argc, char **argv)
     std::printf("Incremental check: engine run reused contexts "
                 "(solver.ctx_reuses > 0): %s\n",
                 symbolic_run.ctxReuses > 0 ? "YES" : "NO");
+    std::printf("Lifecycle check: capped run spilled and restored "
+                "states: %s\n",
+                capped_run.statesSpilled > 0 &&
+                        capped_run.statesRestored > 0
+                    ? "YES"
+                    : "NO");
+    std::printf("Lifecycle check: capped path count matches uncapped: "
+                "%s\n",
+                capped_run.completed == parallel_paths ? "YES" : "NO");
     return 0;
 }

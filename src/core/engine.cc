@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <thread>
 #include <unordered_map>
 
+#include <unistd.h>
+
+#include "core/lifecycle/checkpoint.hh"
+#include "core/lifecycle/merge.hh"
+#include "core/lifecycle/serializer.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
 
@@ -197,7 +203,30 @@ Engine::Engine(vm::MachineConfig machine, EngineConfig config)
     hot_.maxActiveStates = &stats_.counterSlot("engine.max_active_states");
     hot_.uopsExecuted = &stats_.counterSlot("engine.uops_executed");
     hot_.uopsPreOpt = &stats_.counterSlot("engine.uops_pre_opt");
+    hot_.statesMerged = &stats_.counterSlot("engine.states_merged");
+    hot_.statesSpilled = &stats_.counterSlot("engine.states_spilled");
+    hot_.statesRestored = &stats_.counterSlot("engine.states_restored");
+    hot_.spillBytes = &stats_.counterSlot("engine.spill_bytes");
+    hot_.spillRetries = &stats_.counterSlot("engine.spill_retries");
+    hot_.spillWriteFailures =
+        &stats_.counterSlot("engine.spill_write_failures");
+    hot_.residentStatesPeak =
+        &stats_.counterSlot("engine.resident_states_peak");
     solver_.setProfiler(&profiler_);
+
+    serializer_ = std::make_unique<lifecycle::StateSerializer>(builder_);
+    // The spill store is constructed up front (workers would otherwise
+    // race a lazy init); its directory is only created on first write
+    // and removed with the engine.
+    std::string spill_dir = config_.spillDir;
+    if (spill_dir.empty())
+        spill_dir = (std::filesystem::temp_directory_path() /
+                     strprintf("s2e-spill-%ld-%p",
+                               static_cast<long>(::getpid()),
+                               static_cast<void *>(this)))
+                        .string();
+    spillStore_ = std::make_unique<lifecycle::SpillStore>(
+        spill_dir, config_.spillFaults);
 
     auto initial = std::make_unique<ExecutionState>(machine_.ramSize,
                                                     [this] {
@@ -211,6 +240,11 @@ Engine::Engine(vm::MachineConfig machine, EngineConfig config)
     initial->cpu.pc = machine_.program.entry;
     states_.push_back(std::move(initial));
     active_.push_back(states_.back().get());
+    // Root checkpoint: freezes the loaded program image, so the first
+    // fork's page delta is empty and a spilled never-forked state
+    // serializes only what it wrote after load.
+    lifecycle::takeCheckpoint(*states_.back());
+    residentInc();
 }
 
 Engine::~Engine() = default;
@@ -526,6 +560,11 @@ Engine::fork(ExecutionState &state, ExprRef condition)
         // the runtime state id: "<parent>.<k>" for the parent's k-th
         // fork. This keeps path identity independent of worker
         // scheduling so serial and parallel runs name paths alike.
+        // Re-checkpoint the parent right before cloning: both sides
+        // then share one frozen snapshot (pages + constraint prefix)
+        // and start with an empty delta, so a later spill of either
+        // serializes only what it wrote after this fork.
+        lifecycle::takeCheckpoint(state);
         uint32_t fork_seq = state.nextForkSeq();
         auto child = state.clone(nextStateId_++);
         child->setPathId(state.pathId() + "." +
@@ -535,8 +574,15 @@ Engine::fork(ExecutionState &state, ExprRef condition)
         active_.push_back(child_ptr);
         Stats::raiseTo(*hot_.maxActiveStates, active_.size());
         searcher_->stateAdded(*child_ptr);
+        residentInc();
     }
     Stats::bump(*hot_.forks);
+    // Publish the child's footprint right away: a forked state
+    // consumes memory while it waits in the queue, and short-lived
+    // paths may retire within their first slice — without this the
+    // parallel governor would only ever see states that survived a
+    // requeue and the resident cap could never trip.
+    accountStateMemory(*child_ptr);
 
     // Signal dispatch stays on the forking worker: plugins see the
     // fork before either side of it runs again.
@@ -1079,6 +1125,15 @@ Engine::execS2Op(ExecutionState &state, const MicroOp &op,
         killState(state, StateStatus::Killed,
                   strprintf("s2e_kill(%u)", op.imm2));
         break;
+      case isa::Opcode::S2Merge:
+        // Merge point (real S2E: opcode 0xFF700000). The opcode is a
+        // block terminator, so next_pc is already past it; the run
+        // loop parks the state at that pc until the barrier drains.
+        // With merging disabled it is a pure no-op — exactly the
+        // oracle configuration the merge differential suite uses.
+        if (config_.enableMergePoints && state.multiPathEnabled)
+            state.atMergePoint = true;
+        break;
       default:
         panic("execS2Op: unexpected opcode %s", isa::opcodeName(opcode));
     }
@@ -1381,7 +1436,7 @@ Engine::finishState(ExecutionState &state)
 {
     events_.onStateKill.emit(state);
     searcher_->stateRemoved(state);
-    state.solverCtx.reset(); // terminated paths never query again
+    releaseStateResources(state);
 }
 
 void
@@ -1398,7 +1453,7 @@ Engine::retireState(ExecutionState &state)
         searcher_->stateRemoved(state);
     }
     events_.onStateKill.emit(state);
-    state.solverCtx.reset(); // terminated paths never query again
+    releaseStateResources(state);
 }
 
 void
@@ -1426,6 +1481,239 @@ Engine::accountStateMemory(ExecutionState &state)
     Stats::raiseTo(*hot_.memoryHighWatermark, cur);
 }
 
+void
+Engine::residentInc()
+{
+    uint64_t now =
+        residentStates_.fetch_add(1, std::memory_order_relaxed) + 1;
+    Stats::raiseTo(*hot_.residentStatesPeak, now);
+}
+
+void
+Engine::residentDec()
+{
+    residentStates_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void
+Engine::releaseStateResources(ExecutionState &state)
+{
+    // Exactly-once terminal release: finishState (serial sweep),
+    // retireState (parallel) and the merge/park drain all funnel here,
+    // and a state killed while spilled must still delete its image.
+    if (state.resourcesReleased)
+        return;
+    state.resourcesReleased = true;
+    state.solverCtx.reset(); // terminated paths never query again
+    if (!state.spillKey.empty()) {
+        spillStore_->release(state.spillKey);
+        state.spillKey.clear();
+    }
+    // A spilled state already left the resident count at spill time.
+    if (!state.spilled)
+        residentDec();
+}
+
+bool
+Engine::spillState(ExecutionState &state)
+{
+    S2E_ASSERT(!state.spilled, "double spill of state %d", state.id());
+    obs::PhaseSpan span(curProfiler(), obs::Phase::Fork);
+    std::vector<uint8_t> image = serializer_->serialize(state);
+    std::string key = strprintf("state-%d", state.id());
+    lifecycle::SpillIoResult res = spillStore_->write(key, image);
+    Stats::bump(*hot_.spillRetries, res.retries);
+    if (!res.ok) {
+        // Degrade, don't crash: the image never made it to disk, so
+        // keep the state resident and stop trying to spill it. The
+        // run continues with the memory cap exceeded.
+        state.spillPinned = true;
+        Stats::bump(*hot_.spillWriteFailures);
+        return false;
+    }
+    state.spillKey = key;
+    state.spilled = true;
+    // Everything the image (plus the checkpoint chain) can rebuild is
+    // dropped. Plugin states stay resident: codec-less plugins cannot
+    // round-trip through the image, and the per-path data is tiny
+    // compared to pages and constraints.
+    state.mem.dropAllPages();
+    state.constraints.clear();
+    state.constraints.shrink_to_fit();
+    state.solverCtx.reset();
+    residentDec();
+    Stats::bump(*hot_.statesSpilled);
+    Stats::bump(*hot_.spillBytes, image.size());
+    return true;
+}
+
+bool
+Engine::restoreState(ExecutionState &state)
+{
+    obs::PhaseSpan span(curProfiler(), obs::Phase::Fork);
+    std::vector<uint8_t> image;
+    // Each read attempt must pass the header + checksum check; a
+    // latent corrupt write (or a short read) therefore surfaces as a
+    // retried read, not as a half-applied restore.
+    lifecycle::SpillIoResult res = spillStore_->read(
+        state.spillKey, &image, [](const std::vector<uint8_t> &img) {
+            return lifecycle::StateSerializer::validateImage(img);
+        });
+    Stats::bump(*hot_.spillRetries, res.retries);
+    std::string err;
+    if (!res.ok || !serializer_->deserialize(image, state, &err)) {
+        killState(state, StateStatus::SpillFailure,
+                  strprintf("restore of spilled state failed: %s",
+                            res.ok ? err.c_str() : res.error.c_str()));
+        return false;
+    }
+    spillStore_->release(state.spillKey);
+    state.spillKey.clear();
+    state.spilled = false;
+    residentInc();
+    Stats::bump(*hot_.statesRestored);
+    return true;
+}
+
+void
+Engine::governResident()
+{
+    if (!config_.maxResidentBytes)
+        return;
+    uint64_t total = 0;
+    std::vector<ExecutionState *> candidates;
+    for (ExecutionState *s : active_) {
+        if (s->spilled)
+            continue;
+        total += s->memoryFootprint();
+        if (!s->spillPinned)
+            candidates.push_back(s);
+    }
+    if (total <= config_.maxResidentBytes)
+        return;
+    // Coldest first: the least recently scheduled state is the one a
+    // depth-first searcher will touch last, so spilling it defers the
+    // restore as long as possible. Ties break on id for determinism.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const ExecutionState *a, const ExecutionState *b) {
+                  if (a->lastScheduledTick != b->lastScheduledTick)
+                      return a->lastScheduledTick < b->lastScheduledTick;
+                  return a->id() < b->id();
+              });
+    for (ExecutionState *s : candidates) {
+        if (total <= config_.maxResidentBytes)
+            break;
+        uint64_t before = s->memoryFootprint();
+        if (spillState(*s))
+            total = total - before + s->memoryFootprint();
+    }
+}
+
+void
+Engine::parkForMerge(ExecutionState &state)
+{
+    {
+        std::lock_guard<std::mutex> lock(statesMutex_);
+        auto it = std::find(active_.begin(), active_.end(), &state);
+        if (it != active_.end())
+            active_.erase(it);
+        searcher_->stateRemoved(state);
+    }
+    std::lock_guard<std::mutex> lock(mergeMutex_);
+    mergePool_[state.cpu.pc].push_back(&state);
+}
+
+size_t
+Engine::drainMergePool()
+{
+    std::map<uint32_t, std::vector<ExecutionState *>> pool;
+    {
+        std::lock_guard<std::mutex> lock(mergeMutex_);
+        pool.swap(mergePool_);
+    }
+    size_t reactivated = 0;
+    for (auto &[pc, group] : pool) {
+        // Deterministic fold order regardless of how workers
+        // interleaved arrivals: sort by path id, merge left.
+        std::sort(group.begin(), group.end(),
+                  [](const ExecutionState *a, const ExecutionState *b) {
+                      return a->pathId() < b->pathId();
+                  });
+        std::vector<ExecutionState *> survivors;
+        std::vector<ExecutionState *> absorbedInto;
+        for (ExecutionState *s : group) {
+            if (!s->isActive()) {
+                // Killed while parked (cross-thread plugin kill).
+                // parkForMerge already removed it from active_ and the
+                // searcher, so only the kill event and the terminal
+                // release remain.
+                events_.onStateKill.emit(*s);
+                releaseStateResources(*s);
+                accountStateMemory(*s);
+                continue;
+            }
+            bool absorbed = false;
+            for (size_t i = 0; i < survivors.size(); ++i) {
+                lifecycle::MergeAttempt attempt =
+                    lifecycle::mergeStates(*survivors[i], *s, builder_);
+                if (!attempt.merged)
+                    continue;
+                Stats::bump(*hot_.statesMerged);
+                MergeInfo info{survivors[i], s, pc};
+                events_.onStateMerge.emit(info);
+                killState(*s, StateStatus::Merged,
+                          strprintf("merged into path %s at 0x%x",
+                                    survivors[i]->pathId().c_str(), pc));
+                events_.onStateKill.emit(*s);
+                releaseStateResources(*s);
+                accountStateMemory(*s);
+                absorbedInto.push_back(survivors[i]);
+                absorbed = true;
+                break;
+            }
+            if (!absorbed)
+                survivors.push_back(s);
+        }
+        // A merge rewrites the survivor's constraint vector (prefix +
+        // disjunction), so its old checkpoint's constraints may no
+        // longer be a prefix of it. Re-checkpoint to restore the
+        // spill-baseline invariant before the state runs again.
+        std::sort(absorbedInto.begin(), absorbedInto.end());
+        absorbedInto.erase(
+            std::unique(absorbedInto.begin(), absorbedInto.end()),
+            absorbedInto.end());
+        for (ExecutionState *surv : absorbedInto)
+            lifecycle::takeCheckpoint(*surv);
+        for (ExecutionState *surv : survivors) {
+            surv->atMergePoint = false;
+            std::lock_guard<std::mutex> lock(statesMutex_);
+            active_.push_back(surv);
+            searcher_->stateAdded(*surv);
+            reactivated++;
+        }
+    }
+    return reactivated;
+}
+
+void
+Engine::killParkedStates()
+{
+    std::map<uint32_t, std::vector<ExecutionState *>> pool;
+    {
+        std::lock_guard<std::mutex> lock(mergeMutex_);
+        pool.swap(mergePool_);
+    }
+    for (auto &[pc, group] : pool) {
+        (void)pc;
+        for (ExecutionState *s : group) {
+            killState(*s, StateStatus::BudgetExceeded, "run budget");
+            events_.onStateKill.emit(*s);
+            releaseStateResources(*s);
+            accountStateMemory(*s);
+        }
+    }
+}
+
 RunResult
 Engine::run()
 {
@@ -1441,50 +1729,81 @@ Engine::runSerial()
     auto start = std::chrono::steady_clock::now();
     uint64_t start_instr = Stats::read(*hot_.instructions);
 
-    while (!active_.empty()) {
-        double elapsed = std::chrono::duration<double>(
-                             std::chrono::steady_clock::now() - start)
-                             .count();
-        uint64_t executed = Stats::read(*hot_.instructions) - start_instr;
-        if ((config_.maxWallSeconds > 0 &&
-             elapsed > config_.maxWallSeconds) ||
-            (config_.maxInstructions > 0 &&
-             executed > config_.maxInstructions)) {
-            result.budgetExhausted = true;
-            for (ExecutionState *s : active_)
-                killState(*s, StateStatus::BudgetExceeded, "run budget");
-        }
-
-        if (!result.budgetExhausted) {
-            ExecutionState *state = searcher_->select(active_);
-            S2E_ASSERT(state && state->isActive(),
-                       "searcher returned inactive state");
-            // Give the solver this path's incremental-context slot for
-            // the duration of the timeslice (created lazily on the
-            // first SAT-reaching query, reused across queries).
-            solver_.bindPathContext(&state->solverCtx);
-            uint64_t instr_before = state->instrCount;
-            for (unsigned i = 0;
-                 i < config_.timesliceBlocks && state->isActive(); ++i) {
-                if (!executeBlock(*state))
-                    break;
+    // Outer loop: the merge barrier. The inner loop drains the active
+    // set; when it empties while states sit parked at merge points
+    // (no other state can still arrive — nothing is running), the
+    // pool is folded and the survivors re-enter the active set.
+    while (true) {
+        while (!active_.empty()) {
+            double elapsed =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+            uint64_t executed =
+                Stats::read(*hot_.instructions) - start_instr;
+            if ((config_.maxWallSeconds > 0 &&
+                 elapsed > config_.maxWallSeconds) ||
+                (config_.maxInstructions > 0 &&
+                 executed > config_.maxInstructions)) {
+                result.budgetExhausted = true;
+                for (ExecutionState *s : active_)
+                    killState(*s, StateStatus::BudgetExceeded,
+                              "run budget");
             }
-            solver_.bindPathContext(nullptr);
-            Stats::bump(*hot_.instructions,
-                        state->instrCount - instr_before);
-        }
 
-        // Sweep terminated states.
-        size_t w = 0;
-        for (size_t r = 0; r < active_.size(); ++r) {
-            if (active_[r]->isActive()) {
-                active_[w++] = active_[r];
-            } else {
-                finishState(*active_[r]);
+            if (!result.budgetExhausted) {
+                ExecutionState *state = searcher_->select(active_);
+                S2E_ASSERT(state && state->isActive(),
+                           "searcher returned inactive state");
+                state->lastScheduledTick =
+                    scheduleTick_.fetch_add(
+                        1, std::memory_order_relaxed) +
+                    1;
+                // A spilled state restores transparently when it is
+                // scheduled; on restore failure it is already killed
+                // and the sweep below retires it.
+                if (!state->spilled || restoreState(*state)) {
+                    // Give the solver this path's incremental-context
+                    // slot for the duration of the timeslice (created
+                    // lazily on the first SAT-reaching query, reused
+                    // across queries).
+                    solver_.bindPathContext(&state->solverCtx);
+                    uint64_t instr_before = state->instrCount;
+                    for (unsigned i = 0; i < config_.timesliceBlocks &&
+                                         state->isActive();
+                         ++i) {
+                        if (!executeBlock(*state))
+                            break;
+                        if (state->atMergePoint)
+                            break;
+                    }
+                    solver_.bindPathContext(nullptr);
+                    Stats::bump(*hot_.instructions,
+                                state->instrCount - instr_before);
+                    if (state->isActive() && state->atMergePoint)
+                        parkForMerge(*state);
+                }
             }
+
+            // Sweep terminated states.
+            size_t w = 0;
+            for (size_t r = 0; r < active_.size(); ++r) {
+                if (active_[r]->isActive()) {
+                    active_[w++] = active_[r];
+                } else {
+                    finishState(*active_[r]);
+                }
+            }
+            active_.resize(w);
+            accountMemory();
+            governResident();
         }
-        active_.resize(w);
-        accountMemory();
+        if (result.budgetExhausted) {
+            killParkedStates();
+            break;
+        }
+        if (drainMergePool() == 0)
+            break;
     }
 
     finalizeResult(result, start, start_instr);
@@ -1507,25 +1826,40 @@ Engine::runParallel()
         workers_.back()->solver.setFaultPolicy(solver_.faultPolicy());
     }
 
-    WorkQueue queue(n);
     stopFlag_.store(false, std::memory_order_relaxed);
     budgetExhaustedFlag_.store(false, std::memory_order_relaxed);
-    {
-        std::lock_guard<std::mutex> lock(statesMutex_);
-        for (size_t i = 0; i < active_.size(); ++i)
-            queue.add(static_cast<unsigned>(i % n), active_[i]);
-    }
-    queue_ = &queue;
 
-    std::vector<std::thread> threads;
-    threads.reserve(n);
-    for (unsigned i = 0; i < n; ++i)
-        threads.emplace_back([this, i, &queue, start, start_instr] {
-            workerLoop(i, queue, start, start_instr);
-        });
-    for (std::thread &t : threads)
-        t.join();
-    queue_ = nullptr;
+    // Round loop: one worker-pool round drains every runnable state to
+    // termination or a merge point. Between rounds every thread has
+    // joined — nothing executes, so arrival at each merge pc is
+    // complete and the pool can be folded exactly like the serial
+    // barrier. Runs that never hit a merge point take one round.
+    while (true) {
+        WorkQueue queue(n);
+        {
+            std::lock_guard<std::mutex> lock(statesMutex_);
+            for (size_t i = 0; i < active_.size(); ++i)
+                queue.add(static_cast<unsigned>(i % n), active_[i]);
+        }
+        queue_ = &queue;
+
+        std::vector<std::thread> threads;
+        threads.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            threads.emplace_back([this, i, &queue, start, start_instr] {
+                workerLoop(i, queue, start, start_instr);
+            });
+        for (std::thread &t : threads)
+            t.join();
+        queue_ = nullptr;
+
+        if (budgetExhaustedFlag_.load(std::memory_order_relaxed)) {
+            killParkedStates();
+            break;
+        }
+        if (drainMergePool() == 0)
+            break;
+    }
 
     // Workers are quiescent: fold their telemetry into the engine-level
     // profiler and solver stats so reports aggregate the whole pool.
@@ -1555,14 +1889,34 @@ Engine::workerLoop(unsigned wid, WorkQueue &queue,
     // Publishing before finish() below keeps the queue's pending count
     // from hitting zero while an unpublished child exists.
     auto flush_children = [&] {
-        for (ExecutionState *child : w.pendingChildren)
+        for (ExecutionState *child : w.pendingChildren) {
+            // Over-cap spill at publish time: the child is fully
+            // diverged but not yet visible to other workers, so this
+            // is the one race-free window to drop its payload. Fork
+            // storms whose paths retire within a single slice never
+            // reach the requeue check below — without this, queued
+            // children would be the unbounded part of the pool.
+            if (config_.maxResidentBytes && !child->spilled &&
+                !child->spillPinned &&
+                currentMemBytes_.load(std::memory_order_relaxed) >
+                    config_.maxResidentBytes) {
+                if (spillState(*child))
+                    accountStateMemory(*child);
+            }
             queue.add(wid, child);
+        }
         w.pendingChildren.clear();
     };
     while (ExecutionState *state = queue.take(wid)) {
         auto slice_start = std::chrono::steady_clock::now();
+        state->lastScheduledTick =
+            scheduleTick_.fetch_add(1, std::memory_order_relaxed) + 1;
         if (stopFlag_.load(std::memory_order_acquire)) {
             killState(*state, StateStatus::BudgetExceeded, "run budget");
+        } else if (state->spilled && !restoreState(*state)) {
+            // Restore failed beyond all retries: the state is already
+            // killed with SpillFailure and retires below like any
+            // other terminated state.
         } else {
             // Bind the state's incremental-context slot to this
             // worker's solver for the slice. Unbinding before the
@@ -1574,7 +1928,7 @@ Engine::workerLoop(unsigned wid, WorkQueue &queue,
                  i < config_.timesliceBlocks && state->isActive(); ++i) {
                 bool running = executeBlock(*state);
                 flush_children();
-                if (!running)
+                if (!running || state->atMergePoint)
                     break;
             }
             w.solver.bindPathContext(nullptr);
@@ -1601,12 +1955,29 @@ Engine::workerLoop(unsigned wid, WorkQueue &queue,
                 std::chrono::steady_clock::now() - slice_start)
                 .count();
         flush_children(); // forks from kill-path event handlers
-        if (state->isActive()) {
-            queue.put(wid, state);
-        } else {
+        if (!state->isActive()) {
             retireState(*state);
             w.statesRetired++;
             queue.finish();
+        } else if (state->atMergePoint) {
+            // Out of the schedulable set until the round joins; the
+            // barrier then merges it or hands it to the next round.
+            parkForMerge(*state);
+            queue.finish();
+        } else {
+            // Over-cap self-spill before requeueing: the owner drops
+            // its own state's payload. Requeued-cold states sink to
+            // the front of the shard (steal side), so spilling at
+            // requeue time approximates coldest-first without a
+            // global sort.
+            if (config_.maxResidentBytes && !state->spilled &&
+                !state->spillPinned &&
+                currentMemBytes_.load(std::memory_order_relaxed) >
+                    config_.maxResidentBytes) {
+                if (spillState(*state))
+                    accountStateMemory(*state);
+            }
+            queue.put(wid, state);
         }
     }
     tlsWorker_ = nullptr;
@@ -1642,12 +2013,23 @@ Engine::finalizeResult(RunResult &result,
           case StateStatus::SolverFailure:
             result.solverFailures++;
             break;
+          case StateStatus::Merged:
+            result.mergedStates++;
+            break;
+          case StateStatus::SpillFailure:
+            result.spillFailures++;
+            break;
           default:
             break;
         }
         if (s->degraded && s->status != StateStatus::SolverFailure)
             result.degradedStates++;
     }
+    result.statesSpilled = Stats::read(*hot_.statesSpilled);
+    result.statesRestored = Stats::read(*hot_.statesRestored);
+    result.spillBytes = Stats::read(*hot_.spillBytes);
+    result.spillRetries = Stats::read(*hot_.spillRetries);
+    result.residentStatesPeak = Stats::read(*hot_.residentStatesPeak);
 }
 
 } // namespace s2e::core

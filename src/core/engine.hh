@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -24,6 +25,7 @@
 
 #include "core/consistency.hh"
 #include "core/events.hh"
+#include "core/lifecycle/spill.hh"
 #include "core/state.hh"
 #include "core/workqueue.hh"
 #include "dbt/translator.hh"
@@ -32,6 +34,10 @@
 #include "vm/machine.hh"
 
 namespace s2e::core {
+
+namespace lifecycle {
+class StateSerializer;
+}
 
 /** Picks which state runs next (paper's priority-based selection). */
 class Searcher
@@ -97,6 +103,34 @@ struct EngineConfig {
     /** Verify TB structural invariants after translate/optimize. */
     bool verifyTb = dbt::tbVerifyDefault();
 
+    // --- State lifecycle (checkpoints / spill / merge) ----------------
+
+    /**
+     * Memory-governor cap on the summed engine-accounted footprint
+     * (ExecutionState::memoryFootprint) of resident states; 0 keeps
+     * everything resident. Over the cap, the coldest states (by last
+     * scheduling tick) are serialized to the spill store and their
+     * memory dropped; a spilled state restores transparently the next
+     * time it is scheduled.
+     */
+    uint64_t maxResidentBytes = 0;
+
+    /** Spill directory; empty picks a per-engine directory under the
+     *  system temp dir. Removed when the engine is destroyed. */
+    std::string spillDir;
+
+    /** Deterministic spill-I/O fault injection (tests / benches). */
+    lifecycle::SpillFaultPolicy spillFaults;
+
+    /**
+     * Honor s2e_merge_point opcodes: states reaching one are parked
+     * until no other state can still arrive, then compatible siblings
+     * are ITE-merged pairwise. Off by default — the opcode is then a
+     * no-op, which is exactly the oracle configuration the merge
+     * differential suite compares against.
+     */
+    bool enableMergePoints = false;
+
     solver::SolverOptions solverOptions;
 };
 
@@ -115,6 +149,22 @@ struct RunResult {
     /** Surviving states that absorbed at least one solver Unknown via
      *  a degradation action (disjoint from solverFailures). */
     size_t degradedStates = 0;
+    /** Paths absorbed into a sibling at an s2e_merge point
+     *  (StateStatus::Merged); each one retired a whole subtree of
+     *  would-be duplicate work. */
+    size_t mergedStates = 0;
+    /** States killed because a spilled image could not be restored
+     *  even after retries (StateStatus::SpillFailure). */
+    size_t spillFailures = 0;
+    /** Spill events (one state may spill more than once). */
+    uint64_t statesSpilled = 0;
+    uint64_t statesRestored = 0;
+    /** Serialized bytes successfully written to the spill store. */
+    uint64_t spillBytes = 0;
+    /** Extra I/O attempts the retry/backoff wrapper absorbed. */
+    uint64_t spillRetries = 0;
+    /** Peak count of simultaneously resident (unspilled) states. */
+    uint64_t residentStatesPeak = 0;
     bool budgetExhausted = false;
     double wallSeconds = 0;
     /** Worker pool size used by the run (1 = serial loop). */
@@ -225,6 +275,14 @@ class Engine
 
     dbt::TbCache &tbCache() { return tbCache_; }
 
+    /** The spill serializer. Plugins with per-path state register
+     *  their codec here so spilled states round-trip it; codec-less
+     *  plugin state simply stays resident across a spill. */
+    lifecycle::StateSerializer &stateSerializer() { return *serializer_; }
+
+    /** The spill store (test/bench introspection of I/O counters). */
+    lifecycle::SpillStore &spillStore() { return *spillStore_; }
+
   private:
     struct TempFile; // per-block temp values
 
@@ -304,6 +362,50 @@ class Engine
     void finishState(ExecutionState &state);
     void accountMemory();
 
+    // --- State lifecycle ----------------------------------------------
+
+    /**
+     * Idempotent terminal-resource release: drops the incremental
+     * solver context and deletes any spill image. Every termination
+     * path (finishState, retireState, merge absorption) funnels
+     * through here exactly once per state, so neither resource can
+     * leak or be double-released — including states killed while
+     * spilled.
+     */
+    void releaseStateResources(ExecutionState &state);
+
+    /** Serialize + drop a resident state; on write failure the state
+     *  is re-pinned in memory instead. Returns true when spilled. */
+    bool spillState(ExecutionState &state);
+
+    /** Bring a spilled state back before executing it. On failure the
+     *  state is killed with StateStatus::SpillFailure; returns false. */
+    bool restoreState(ExecutionState &state);
+
+    /** Serial-mode governor: spill coldest states until under cap. */
+    void governResident();
+
+    /** Park a state that hit an s2e_merge point (drops it from the
+     *  active set until the merge barrier drains). */
+    void parkForMerge(ExecutionState &state);
+
+    /**
+     * Merge barrier: called only when no state is executing (serial
+     * loop idle / parallel round joined), so arrival at each merge pc
+     * is complete. Pools are drained in deterministic order (pc, then
+     * pathId), compatible siblings fold left into the survivor, and
+     * survivors are reactivated. Returns the number reactivated.
+     */
+    size_t drainMergePool();
+
+    /** Budget exhaustion with states parked at merge points: kill and
+     *  release them (they are no longer in active_ or any queue). */
+    void killParkedStates();
+
+    /** Resident-state counter transitions (peak statistics). */
+    void residentInc();
+    void residentDec();
+
     vm::MachineConfig machine_;
     EngineConfig config_;
     ConsistencyPolicy policy_;
@@ -337,6 +439,13 @@ class Engine
         uint64_t *maxActiveStates = nullptr;
         uint64_t *uopsExecuted = nullptr;
         uint64_t *uopsPreOpt = nullptr;
+        uint64_t *statesMerged = nullptr;
+        uint64_t *statesSpilled = nullptr;
+        uint64_t *statesRestored = nullptr;
+        uint64_t *spillBytes = nullptr;
+        uint64_t *spillRetries = nullptr;
+        uint64_t *spillWriteFailures = nullptr;
+        uint64_t *residentStatesPeak = nullptr;
     } hot_;
     SiteCounterCache concretizationSites_;
     SiteCounterCache degradeSites_;
@@ -349,10 +458,12 @@ class Engine
     // State bookkeeping. statesMutex_ guards states_/active_/
     // nextStateId_ and searcher notifications; killMutex_ serializes
     // the (rare) status transitions so a cross-thread kill cannot race
-    // the owner's own termination. Lock order: statesMutex_ and
-    // killMutex_ are leaves — never both held at once.
+    // the owner's own termination; mergeMutex_ guards mergePool_.
+    // Lock order: statesMutex_, killMutex_ and mergeMutex_ are all
+    // leaves — never hold two at once.
     mutable std::mutex statesMutex_;
     std::mutex killMutex_;
+    std::mutex mergeMutex_;
     std::vector<std::unique_ptr<ExecutionState>> states_;
     std::vector<ExecutionState *> active_;
     int nextStateId_ = 0;
@@ -364,6 +475,16 @@ class Engine
     std::atomic<bool> budgetExhaustedFlag_{false};
     /** Sum of active states' accounted footprints (parallel runs). */
     std::atomic<uint64_t> currentMemBytes_{0};
+
+    // State-lifecycle machinery.
+    std::unique_ptr<lifecycle::StateSerializer> serializer_;
+    std::unique_ptr<lifecycle::SpillStore> spillStore_;
+    /** States parked at s2e_merge points, keyed by merge pc. */
+    std::map<uint32_t, std::vector<ExecutionState *>> mergePool_;
+    /** Monotonic scheduling clock feeding lastScheduledTick. */
+    std::atomic<uint64_t> scheduleTick_{0};
+    /** Currently resident (unspilled) active states. */
+    std::atomic<uint64_t> residentStates_{0};
 };
 
 } // namespace s2e::core

@@ -84,6 +84,15 @@ struct SolverDegradeInfo {
     bool fatal;       ///< state was killed (StateStatus::SolverFailure)
 };
 
+/** Payload of onStateMerge: `absorbed` was ITE-merged into `survivor`
+ *  at the merge-point pc and then terminated with
+ *  StateStatus::Merged. Fired before the absorbed state's kill. */
+struct MergeInfo {
+    ExecutionState *survivor;
+    ExecutionState *absorbed;
+    uint32_t pc;
+};
+
 /** Memory access payload. Symbolic addresses are reported after
  *  resolution; `addr` is the resolved concrete address and `addrExpr`
  *  carries the original symbolic address (null when concrete) so
@@ -124,6 +133,9 @@ struct EventHub {
 
     /** A state terminated (any non-running status). */
     Signal<ExecutionState &> onStateKill;
+
+    /** Two sibling states coalesced at an s2e_merge point. */
+    Signal<const MergeInfo &> onStateMerge;
 
     /** Port I/O access: port, value (read result or written value),
      *  isWrite. Fires after reads resolve and before writes land. */

@@ -1,0 +1,43 @@
+#include "core/lifecycle/checkpoint.hh"
+
+#include "core/state.hh"
+
+namespace s2e::core::lifecycle {
+
+std::shared_ptr<MemoryState::Page>
+Checkpoint::resolve(uint32_t idx) const
+{
+    for (const Checkpoint *cp = this; cp; cp = cp->parent.get()) {
+        auto it = cp->pages.find(idx);
+        if (it != cp->pages.end())
+            return it->second;
+    }
+    return nullptr; // never written: the shared zero page
+}
+
+std::shared_ptr<const Checkpoint>
+takeCheckpoint(ExecutionState &state)
+{
+    auto cp = std::make_shared<Checkpoint>();
+    cp->parent = state.checkpoint;
+    cp->numPages = static_cast<uint32_t>(state.mem.numPages());
+    cp->depth = state.checkpoint ? state.checkpoint->depth + 1 : 0;
+    if (state.checkpoint) {
+        for (uint32_t idx : state.mem.dirtyPages())
+            cp->pages[idx] = state.mem.pageRef(idx);
+    } else {
+        // Root checkpoint: capture every materialized page so the
+        // chain can rebuild the full image.
+        for (uint32_t idx = 0; idx < cp->numPages; ++idx) {
+            const auto &ref = state.mem.pageRef(idx);
+            if (ref)
+                cp->pages[idx] = ref;
+        }
+    }
+    cp->constraints = state.constraints;
+    state.checkpoint = cp;
+    state.mem.clearDirtyPages();
+    return cp;
+}
+
+} // namespace s2e::core::lifecycle

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Hierarchical copy-on-write checkpoints (paper §3's shared state
+ * representation, applied to whole-state snapshots).
+ *
+ * A checkpoint freezes the page references a state had dirtied since
+ * its previous checkpoint, plus the path constraints at that moment.
+ * Fork parents re-checkpoint right before cloning, so parent and both
+ * children share one snapshot and start with an empty delta. Chains of
+ * checkpoints therefore mirror the fork tree: resolving a page walks
+ * from the newest delta toward the root, and the root checkpoint
+ * (taken after program load) holds every initially non-zero page.
+ *
+ * Checkpoints are the spill baseline: a spilled state serializes only
+ * its dirty pages and its constraint tail beyond the checkpoint
+ * prefix; restore re-resolves everything else through the chain.
+ *
+ * Immutability: a checkpoint holds an extra reference to each frozen
+ * page, so any later write COW-breaks away from it — frozen pages are
+ * never mutated even though they are stored as non-const refs.
+ */
+
+#ifndef S2E_CORE_LIFECYCLE_CHECKPOINT_HH
+#define S2E_CORE_LIFECYCLE_CHECKPOINT_HH
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/memory.hh"
+
+namespace s2e::core {
+class ExecutionState;
+}
+
+namespace s2e::core::lifecycle {
+
+struct Checkpoint {
+    /** Previous checkpoint in the chain (null for the root). */
+    std::shared_ptr<const Checkpoint> parent;
+
+    /** Page index -> page ref frozen when the checkpoint was taken.
+     *  Only pages dirtied since the parent checkpoint appear here. */
+    std::map<uint32_t, std::shared_ptr<MemoryState::Page>> pages;
+
+    /** Path constraints at checkpoint time. Because addConstraint is
+     *  append-only between checkpoints, this is a prefix of every
+     *  descendant state's constraint vector. */
+    std::vector<ExprRef> constraints;
+
+    uint32_t numPages = 0;
+    uint32_t depth = 0;
+
+    /** Resolve a page through the chain; null = the all-zero page. */
+    std::shared_ptr<MemoryState::Page> resolve(uint32_t idx) const;
+};
+
+/**
+ * Freeze `state`'s dirty pages and constraints into a new checkpoint
+ * layered on its current one, install it on the state and clear the
+ * dirty set. For a state with no checkpoint yet (the initial state
+ * right after program load) every non-null page is captured, making
+ * this the root of the chain.
+ */
+std::shared_ptr<const Checkpoint> takeCheckpoint(ExecutionState &state);
+
+} // namespace s2e::core::lifecycle
+
+#endif // S2E_CORE_LIFECYCLE_CHECKPOINT_HH

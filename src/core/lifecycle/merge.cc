@@ -1,0 +1,152 @@
+#include "core/lifecycle/merge.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "expr/builder.hh"
+
+namespace s2e::core::lifecycle {
+
+namespace {
+
+/** Conjunction of constraints[from..] (trueExpr when empty). */
+ExprRef
+suffixConjunction(const ExecutionState &state, size_t from,
+                  ExprBuilder &builder)
+{
+    ExprRef conj = builder.trueExpr();
+    for (size_t i = from; i < state.constraints.size(); ++i)
+        conj = builder.land(conj, state.constraints[i]);
+    return conj;
+}
+
+} // namespace
+
+MergeAttempt
+mergeStates(ExecutionState &survivor, ExecutionState &other,
+            ExprBuilder &builder, uint32_t max_divergent_bytes)
+{
+    MergeAttempt out;
+    auto refuse = [&](const char *why) {
+        out.reason = why;
+        return out;
+    };
+
+    // ---- Pass 1: compatibility checks, no mutation ------------------
+    if (&survivor == &other)
+        return refuse("self");
+    if (!survivor.isActive() || !other.isActive())
+        return refuse("not-active");
+    if (survivor.spilled || other.spilled)
+        return refuse("spilled");
+    if (survivor.cpu.pc != other.cpu.pc)
+        return refuse("pc-mismatch");
+    if (survivor.cpu.intEnabled != other.cpu.intEnabled ||
+        survivor.cpu.pendingIrqs != other.cpu.pendingIrqs ||
+        survivor.cpu.interruptDepth != other.cpu.interruptDepth ||
+        survivor.cpu.halted || other.cpu.halted)
+        return refuse("interrupt-context");
+    if (survivor.multiPathEnabled != other.multiPathEnabled)
+        return refuse("mode-mismatch");
+    if (survivor.mem.size() != other.mem.size() ||
+        survivor.mem.numPages() != other.mem.numPages())
+        return refuse("memory-shape");
+    if (!survivor.pluginStates().empty() || !other.pluginStates().empty())
+        return refuse("plugin-state");
+    uint64_t digest_a = survivor.devices.stateDigest();
+    uint64_t digest_b = other.devices.stateDigest();
+    if (digest_a == vm::Device::kNoStateDigest ||
+        digest_b == vm::Device::kNoStateDigest)
+        return refuse("undigestable-device");
+    if (digest_a != digest_b)
+        return refuse("device-divergence");
+
+    // Common constraint prefix: pointer equality is structural
+    // equality under hash-consing.
+    size_t prefix = 0;
+    size_t limit =
+        std::min(survivor.constraints.size(), other.constraints.size());
+    while (prefix < limit &&
+           survivor.constraints[prefix] == other.constraints[prefix])
+        prefix++;
+
+    // Diverging memory bytes. Pages are compared by reference first:
+    // sibling states share untouched pages, so the scan cost tracks
+    // the actual divergence, not RAM size.
+    struct ByteDiff {
+        uint32_t addr;
+        ExprRef a;
+        ExprRef b;
+    };
+    std::vector<ByteDiff> diffs;
+    size_t num_pages = survivor.mem.numPages();
+    for (size_t idx = 0; idx < num_pages; ++idx) {
+        if (survivor.mem.pageRef(idx) == other.mem.pageRef(idx))
+            continue;
+        uint32_t base = static_cast<uint32_t>(idx) << kMemPageBits;
+        uint32_t page_end = std::min<uint32_t>(kMemPageSize,
+                                               survivor.mem.size() - base);
+        for (uint32_t off = 0; off < page_end; ++off) {
+            uint32_t addr = base + off;
+            ExprRef ea = survivor.mem.byteExpr(addr, builder);
+            ExprRef eb = other.mem.byteExpr(addr, builder);
+            if (ea == eb)
+                continue;
+            if (diffs.size() >= max_divergent_bytes)
+                return refuse("memory-divergence");
+            diffs.push_back({addr, ea, eb});
+        }
+    }
+
+    // ---- Pass 2: apply --------------------------------------------
+    ExprRef cond_a = suffixConjunction(survivor, prefix, builder);
+    ExprRef cond_b = suffixConjunction(other, prefix, builder);
+
+    survivor.constraints.resize(prefix);
+    survivor.addConstraint(builder.lor(cond_a, cond_b));
+
+    auto merge_value = [&](Value &va, const Value &vb) {
+        if (va == vb)
+            return;
+        ExprRef merged = builder.ite(cond_a, va.toExpr(builder),
+                                     vb.toExpr(builder));
+        va = Value(merged);
+    };
+    for (unsigned i = 0; i < isa::kNumRegs; ++i)
+        merge_value(survivor.cpu.regs[i], other.cpu.regs[i]);
+    for (unsigned i = 0; i < 4; ++i)
+        merge_value(survivor.cpu.flags[i], other.cpu.flags[i]);
+
+    for (const ByteDiff &d : diffs) {
+        ExprRef merged = builder.ite(cond_a, d.a, d.b);
+        if (merged->isConstant())
+            survivor.mem.writeConcreteByte(
+                d.addr, static_cast<uint8_t>(merged->value()));
+        else
+            survivor.mem.makeSymbolic(d.addr, merged);
+    }
+
+    // Virtual clocks advance to the farther of the pair; sequence
+    // counters take the max so future fork ordinals / symbolic names
+    // stay collision-free across the absorbed path's lineage.
+    survivor.instrCount = std::max(survivor.instrCount, other.instrCount);
+    survivor.symInstrCount =
+        std::max(survivor.symInstrCount, other.symInstrCount);
+    survivor.blockCount = std::max(survivor.blockCount, other.blockCount);
+    survivor.degraded = survivor.degraded || other.degraded;
+    survivor.degradeCount += other.degradeCount;
+    survivor.mergedSiblings += other.mergedSiblings + 1;
+    survivor.restoreSeqs(
+        std::max(survivor.forkSeqValue(), other.forkSeqValue()),
+        std::max(survivor.symSeqValue(), other.symSeqValue()));
+
+    // The constraint vector was rewritten non-append-only: any
+    // incremental solver context is stale beyond repair.
+    survivor.solverCtx.reset();
+
+    out.merged = true;
+    out.bytesMerged = diffs.size();
+    return out;
+}
+
+} // namespace s2e::core::lifecycle

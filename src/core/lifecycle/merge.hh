@@ -1,0 +1,57 @@
+/**
+ * @file
+ * ITE state merging at s2e_merge_point opcodes.
+ *
+ * Two sibling states that reach the same merge PC are coalesced into
+ * one: let P be their common (pointer-equal) constraint prefix and
+ * a, b the conjunctions of their respective constraint suffixes. The
+ * merged state carries constraints P ∧ (a ∨ b), and every diverging
+ * register, flag and memory byte becomes ite(a, vA, vB) with the
+ * survivor's suffix conjunction `a` as selector.
+ *
+ * Soundness: any model of the merged constraints satisfies a or b.
+ * If it satisfies a, the selectors pick A's values and the model
+ * describes a feasible execution of path A; symmetrically for b. A
+ * model satisfying both picks A's values — still a feasible concrete
+ * execution (path A's), which is the "some real execution" guarantee
+ * the engine provides everywhere else. What merging trades away is
+ * per-path attribution: a merged state represents the union of its
+ * constituents' path sets.
+ *
+ * Compatibility: merging is refused unless program counters and all
+ * interrupt/mode context match, both states are resident, neither
+ * carries plugin state (which cannot be made conditional), device
+ * digests agree exactly, and the number of diverging memory bytes is
+ * below a threshold (a wildly diverged pair is cheaper to keep apart
+ * than to smother in ITEs).
+ */
+
+#ifndef S2E_CORE_LIFECYCLE_MERGE_HH
+#define S2E_CORE_LIFECYCLE_MERGE_HH
+
+#include <cstdint>
+
+#include "core/state.hh"
+
+namespace s2e::core::lifecycle {
+
+struct MergeAttempt {
+    bool merged = false;
+    const char *reason = "";   ///< refusal reason when !merged
+    uint64_t bytesMerged = 0;  ///< memory bytes turned into ITEs
+};
+
+/**
+ * Try to absorb `other` into `survivor` (same merge PC). On refusal
+ * neither state is touched; on success only `survivor` is mutated
+ * (the caller terminates `other` with StateStatus::Merged) and the
+ * survivor's solver context must be rebuilt — its constraint vector
+ * was rewritten non-append-only.
+ */
+MergeAttempt mergeStates(ExecutionState &survivor, ExecutionState &other,
+                         ExprBuilder &builder,
+                         uint32_t max_divergent_bytes = 4096);
+
+} // namespace s2e::core::lifecycle
+
+#endif // S2E_CORE_LIFECYCLE_MERGE_HH

@@ -1,0 +1,635 @@
+#include "core/lifecycle/serializer.hh"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "core/lifecycle/checkpoint.hh"
+#include "expr/builder.hh"
+#include "support/logging.hh"
+
+namespace s2e::core::lifecycle {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', '2', 'E', 'S', 'T', 'A', 'T', 'E'};
+constexpr size_t kHeaderSize = 32;
+
+uint64_t
+fnv1a(const uint8_t *data, size_t n)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (size_t i = 0; i < n; ++i) {
+        h ^= data[i];
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+struct Writer {
+    std::vector<uint8_t> buf;
+
+    void u8(uint8_t v) { buf.push_back(v); }
+    void
+    u16(uint16_t v)
+    {
+        buf.push_back(v & 0xFF);
+        buf.push_back(v >> 8);
+    }
+    void
+    u32(uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            buf.push_back((v >> (8 * i)) & 0xFF);
+    }
+    void
+    u64(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            buf.push_back((v >> (8 * i)) & 0xFF);
+    }
+    void
+    str(const std::string &s)
+    {
+        u32(static_cast<uint32_t>(s.size()));
+        buf.insert(buf.end(), s.begin(), s.end());
+    }
+    void
+    bytes(const uint8_t *data, size_t n)
+    {
+        buf.insert(buf.end(), data, data + n);
+    }
+};
+
+/** Bounds-checked little-endian reader; any overrun latches fail(). */
+struct Reader {
+    const uint8_t *data;
+    size_t size;
+    size_t off = 0;
+    bool ok = true;
+
+    Reader(const uint8_t *d, size_t n) : data(d), size(n) {}
+
+    bool
+    need(size_t n)
+    {
+        if (!ok || size - off < n) {
+            ok = false;
+            return false;
+        }
+        return true;
+    }
+    uint8_t
+    u8()
+    {
+        if (!need(1))
+            return 0;
+        return data[off++];
+    }
+    uint16_t
+    u16()
+    {
+        if (!need(2))
+            return 0;
+        uint16_t v = static_cast<uint16_t>(data[off]) |
+                     static_cast<uint16_t>(data[off + 1]) << 8;
+        off += 2;
+        return v;
+    }
+    uint32_t
+    u32()
+    {
+        if (!need(4))
+            return 0;
+        uint32_t v = 0;
+        for (int i = 0; i < 4; ++i)
+            v |= static_cast<uint32_t>(data[off + i]) << (8 * i);
+        off += 4;
+        return v;
+    }
+    uint64_t
+    u64()
+    {
+        if (!need(8))
+            return 0;
+        uint64_t v = 0;
+        for (int i = 0; i < 8; ++i)
+            v |= static_cast<uint64_t>(data[off + i]) << (8 * i);
+        off += 8;
+        return v;
+    }
+    std::string
+    str()
+    {
+        uint32_t n = u32();
+        if (!need(n))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data + off), n);
+        off += n;
+        return s;
+    }
+    bool
+    bytes(uint8_t *out, size_t n)
+    {
+        if (!need(n))
+            return false;
+        std::memcpy(out, data + off, n);
+        off += n;
+        return true;
+    }
+};
+
+/**
+ * Deduplicating expression table. Nodes are interned in post-order
+ * (children first) along a deterministic walk over the state's
+ * symbolic roots, so serializing the same logical state always yields
+ * the same table.
+ */
+class ExprTable
+{
+  public:
+    uint32_t
+    intern(ExprRef root)
+    {
+        auto found = index_.find(root);
+        if (found != index_.end())
+            return found->second;
+        // Iterative post-order DFS: constraint DAGs can be deep.
+        std::vector<std::pair<ExprRef, unsigned>> stack;
+        stack.emplace_back(root, 0);
+        while (!stack.empty()) {
+            auto &[node, next_kid] = stack.back();
+            if (index_.count(node)) {
+                stack.pop_back();
+                continue;
+            }
+            if (next_kid < node->arity()) {
+                ExprRef kid = node->kid(next_kid++);
+                if (!index_.count(kid))
+                    stack.emplace_back(kid, 0);
+            } else {
+                index_[node] = static_cast<uint32_t>(order_.size());
+                order_.push_back(node);
+                stack.pop_back();
+            }
+        }
+        return index_.at(root);
+    }
+
+    uint32_t at(ExprRef e) const { return index_.at(e); }
+    const std::vector<ExprRef> &order() const { return order_; }
+
+  private:
+    std::unordered_map<ExprRef, uint32_t> index_;
+    std::vector<ExprRef> order_;
+};
+
+/** Rebuild one node from its record; kids already reconstructed.
+ *  Folding is deterministic, so a node that existed unfolded in the
+ *  source builder reconstructs to the structurally identical node. */
+ExprRef
+buildNode(ExprBuilder &b, expr::Kind kind, unsigned width, unsigned aux,
+          ExprRef k0, ExprRef k1, ExprRef k2)
+{
+    using expr::Kind;
+    switch (kind) {
+      case Kind::Add: return b.add(k0, k1);
+      case Kind::Sub: return b.sub(k0, k1);
+      case Kind::Mul: return b.mul(k0, k1);
+      case Kind::UDiv: return b.udiv(k0, k1);
+      case Kind::SDiv: return b.sdiv(k0, k1);
+      case Kind::URem: return b.urem(k0, k1);
+      case Kind::SRem: return b.srem(k0, k1);
+      case Kind::And: return b.bAnd(k0, k1);
+      case Kind::Or: return b.bOr(k0, k1);
+      case Kind::Xor: return b.bXor(k0, k1);
+      case Kind::Not: return b.bNot(k0);
+      case Kind::Neg: return b.neg(k0);
+      case Kind::Shl: return b.shl(k0, k1);
+      case Kind::LShr: return b.lshr(k0, k1);
+      case Kind::AShr: return b.ashr(k0, k1);
+      case Kind::Concat: return b.concat(k0, k1);
+      case Kind::Extract: return b.extract(k0, aux, width);
+      case Kind::ZExt: return b.zext(k0, width);
+      case Kind::SExt: return b.sext(k0, width);
+      case Kind::Eq: return b.eq(k0, k1);
+      case Kind::Ult: return b.ult(k0, k1);
+      case Kind::Ule: return b.ule(k0, k1);
+      case Kind::Slt: return b.slt(k0, k1);
+      case Kind::Sle: return b.sle(k0, k1);
+      case Kind::Ite: return b.ite(k0, k1, k2);
+      case Kind::Constant:
+      case Kind::Variable:
+        break; // handled by the caller
+    }
+    return nullptr;
+}
+
+void
+writeValue(Writer &w, const Value &v, const ExprTable &table)
+{
+    if (v.isConcrete()) {
+        w.u8(0);
+        w.u32(v.concrete());
+    } else {
+        w.u8(1);
+        w.u32(table.at(v.expr()));
+    }
+}
+
+size_t
+checkpointPrefixLen(const ExecutionState &state)
+{
+    return state.checkpoint ? state.checkpoint->constraints.size() : 0;
+}
+
+} // namespace
+
+void
+StateSerializer::registerPluginCodec(const void *plugin_key,
+                                     PluginCodec codec)
+{
+    codecs_[plugin_key] = std::move(codec);
+}
+
+std::vector<uint8_t>
+StateSerializer::serialize(const ExecutionState &state) const
+{
+    Writer w;
+
+    // Deterministic root walk: registers, flags, dirty-page symbolic
+    // overlays (ascending page, ascending offset), constraint tail.
+    ExprTable table;
+    auto intern_value = [&](const Value &v) {
+        if (!v.isConcrete())
+            table.intern(v.expr());
+    };
+    for (const Value &r : state.cpu.regs)
+        intern_value(r);
+    for (const Value &f : state.cpu.flags)
+        intern_value(f);
+    std::vector<uint32_t> dirty = state.mem.dirtyPages();
+    for (uint32_t idx : dirty) {
+        const auto &page = state.mem.pageRef(idx);
+        if (!page)
+            continue;
+        for (const auto &[off, e] : page->symbolic)
+            table.intern(e);
+    }
+    size_t prefix_len = checkpointPrefixLen(state);
+    for (size_t i = prefix_len; i < state.constraints.size(); ++i)
+        table.intern(state.constraints[i]);
+
+    // 1. expression table
+    w.u32(static_cast<uint32_t>(table.order().size()));
+    for (ExprRef e : table.order()) {
+        w.u8(static_cast<uint8_t>(e->kind()));
+        w.u8(static_cast<uint8_t>(e->width()));
+        w.u32(e->aux());
+        if (e->isConstant()) {
+            w.u64(e->value());
+        } else if (e->isVariable()) {
+            w.str(e->name());
+        } else {
+            for (unsigned i = 0; i < e->arity(); ++i)
+                w.u32(table.at(e->kid(i)));
+        }
+    }
+
+    // 2. identity
+    w.str(state.pathId());
+    w.u32(state.forkSeqValue());
+    w.u64(state.symSeqValue());
+
+    // 3. CPU
+    for (const Value &r : state.cpu.regs)
+        writeValue(w, r, table);
+    for (const Value &f : state.cpu.flags)
+        writeValue(w, f, table);
+    w.u32(state.cpu.pc);
+    w.u8(state.cpu.intEnabled ? 1 : 0);
+    w.u32(state.cpu.pendingIrqs);
+    w.u32(state.cpu.interruptDepth);
+    w.u8(state.cpu.halted ? 1 : 0);
+    w.u8(state.multiPathEnabled ? 1 : 0);
+
+    // 4. clocks / status
+    w.u64(state.instrCount);
+    w.u64(state.symInstrCount);
+    w.u64(state.blockCount);
+    w.u8(state.degraded ? 1 : 0);
+    w.u32(state.degradeCount);
+    w.u32(state.exitCode);
+    w.u8(static_cast<uint8_t>(state.status));
+    w.str(state.statusMessage);
+
+    // 5. memory delta
+    w.u32(static_cast<uint32_t>(state.mem.numPages()));
+    w.u32(static_cast<uint32_t>(dirty.size()));
+    static const std::vector<uint8_t> zero_page(kMemPageSize, 0);
+    for (uint32_t idx : dirty) {
+        w.u32(idx);
+        const auto &page = state.mem.pageRef(idx);
+        const auto &bytes = page ? page->bytes : zero_page;
+        w.bytes(bytes.data(), kMemPageSize);
+        if (page) {
+            w.u32(static_cast<uint32_t>(page->symbolic.size()));
+            for (const auto &[off, e] : page->symbolic) {
+                w.u16(off);
+                w.u32(table.at(e));
+            }
+        } else {
+            w.u32(0);
+        }
+    }
+
+    // 6. constraint tail
+    w.u32(static_cast<uint32_t>(prefix_len));
+    w.u32(static_cast<uint32_t>(state.constraints.size() - prefix_len));
+    for (size_t i = prefix_len; i < state.constraints.size(); ++i)
+        w.u32(table.at(state.constraints[i]));
+
+    // 7. plugin state (codec-registered only; the rest stays resident)
+    uint32_t codec_count = 0;
+    for (const auto &[key, ps] : state.pluginStates())
+        if (codecs_.count(key))
+            codec_count++;
+    w.u32(codec_count);
+    for (const auto &[key, ps] : state.pluginStates()) {
+        auto it = codecs_.find(key);
+        if (it == codecs_.end())
+            continue;
+        w.str(it->second.name);
+        std::vector<uint8_t> blob = it->second.encode(*ps);
+        w.u32(static_cast<uint32_t>(blob.size()));
+        w.bytes(blob.data(), blob.size());
+    }
+
+    // 8. solver rebuild info
+    w.u32(static_cast<uint32_t>(state.constraints.size()));
+
+    // Header + payload.
+    std::vector<uint8_t> image;
+    image.reserve(kHeaderSize + w.buf.size());
+    image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
+    Writer header;
+    header.u32(kStateFormatVersion);
+    header.u32(0); // reserved
+    header.u64(w.buf.size());
+    header.u64(fnv1a(w.buf.data(), w.buf.size()));
+    image.insert(image.end(), header.buf.begin(), header.buf.end());
+    image.insert(image.end(), w.buf.begin(), w.buf.end());
+    return image;
+}
+
+bool
+StateSerializer::validateImage(const std::vector<uint8_t> &image,
+                               std::string *error)
+{
+    auto fail = [&](const char *why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    if (image.size() < kHeaderSize)
+        return fail("image shorter than header");
+    if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
+        return fail("bad magic");
+    Reader r(image.data() + sizeof(kMagic), kHeaderSize - sizeof(kMagic));
+    uint32_t version = r.u32();
+    r.u32(); // reserved
+    uint64_t payload_size = r.u64();
+    uint64_t checksum = r.u64();
+    if (version != kStateFormatVersion)
+        return fail("unsupported version");
+    if (payload_size != image.size() - kHeaderSize)
+        return fail("payload size mismatch");
+    if (checksum != fnv1a(image.data() + kHeaderSize, payload_size))
+        return fail("checksum mismatch");
+    return true;
+}
+
+bool
+StateSerializer::deserialize(const std::vector<uint8_t> &image,
+                             ExecutionState &state,
+                             std::string *error) const
+{
+    auto fail = [&](const std::string &why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    if (!validateImage(image, error))
+        return false;
+    Reader r(image.data() + kHeaderSize, image.size() - kHeaderSize);
+
+    // 1. expression table
+    uint32_t num_nodes = r.u32();
+    if (num_nodes > r.size / 3)
+        return fail("implausible expression count");
+    std::vector<ExprRef> nodes;
+    nodes.reserve(num_nodes);
+    for (uint32_t i = 0; i < num_nodes && r.ok; ++i) {
+        auto kind = static_cast<expr::Kind>(r.u8());
+        unsigned width = r.u8();
+        unsigned aux = r.u32();
+        if (kind > expr::Kind::Ite || width < 1 || width > 64)
+            return fail("bad expression record");
+        ExprRef e = nullptr;
+        if (kind == expr::Kind::Constant) {
+            e = builder_.constant(r.u64(), width);
+        } else if (kind == expr::Kind::Variable) {
+            e = builder_.var(r.str(), width);
+        } else {
+            ExprRef kids[3] = {nullptr, nullptr, nullptr};
+            unsigned arity = expr::kindArity(kind);
+            for (unsigned k = 0; k < arity; ++k) {
+                uint32_t idx = r.u32();
+                if (idx >= nodes.size())
+                    return fail("forward expression reference");
+                kids[k] = nodes[idx];
+            }
+            if (!r.ok)
+                return fail("truncated expression table");
+            e = buildNode(builder_, kind, width, aux, kids[0], kids[1],
+                          kids[2]);
+        }
+        if (!e)
+            return fail("unreconstructible expression");
+        nodes.push_back(e);
+    }
+    if (!r.ok)
+        return fail("truncated expression table");
+
+    auto read_expr = [&]() -> ExprRef {
+        uint32_t idx = r.u32();
+        if (idx >= nodes.size()) {
+            r.ok = false;
+            return nullptr;
+        }
+        return nodes[idx];
+    };
+    auto read_value = [&]() -> Value {
+        uint8_t tag = r.u8();
+        if (tag == 0)
+            return Value(r.u32());
+        ExprRef e = read_expr();
+        return e ? Value(e) : Value(0u);
+    };
+
+    // 2. identity
+    std::string path_id = r.str();
+    uint32_t fork_seq = r.u32();
+    uint64_t sym_seq = r.u64();
+
+    // 3. CPU
+    CpuState cpu;
+    for (Value &reg : cpu.regs)
+        reg = read_value();
+    for (Value &flag : cpu.flags)
+        flag = read_value();
+    cpu.pc = r.u32();
+    cpu.intEnabled = r.u8() != 0;
+    cpu.pendingIrqs = r.u32();
+    cpu.interruptDepth = r.u32();
+    cpu.halted = r.u8() != 0;
+    bool multi_path = r.u8() != 0;
+
+    // 4. clocks / status
+    uint64_t instr_count = r.u64();
+    uint64_t sym_instr_count = r.u64();
+    uint64_t block_count = r.u64();
+    bool degraded = r.u8() != 0;
+    uint32_t degrade_count = r.u32();
+    uint32_t exit_code = r.u32();
+    auto status = static_cast<StateStatus>(r.u8());
+    if (status > StateStatus::SpillFailure)
+        return fail("bad status");
+    std::string status_message = r.str();
+    if (!r.ok)
+        return fail("truncated CPU/status section");
+
+    // 5. memory delta — parsed before mutating the state's memory.
+    uint32_t num_pages = r.u32();
+    uint32_t expected_pages =
+        (state.mem.size() + kMemPageSize - 1) >> kMemPageBits;
+    if (num_pages != expected_pages)
+        return fail("page-count mismatch");
+    uint32_t dirty_count = r.u32();
+    if (dirty_count > num_pages)
+        return fail("implausible dirty-page count");
+    struct DirtyPage {
+        uint32_t idx;
+        std::shared_ptr<MemoryState::Page> page;
+    };
+    std::vector<DirtyPage> dirty;
+    dirty.reserve(dirty_count);
+    for (uint32_t i = 0; i < dirty_count && r.ok; ++i) {
+        uint32_t idx = r.u32();
+        if (idx >= num_pages)
+            return fail("dirty page index out of range");
+        auto page = std::make_shared<MemoryState::Page>();
+        if (!r.bytes(page->bytes.data(), kMemPageSize))
+            return fail("truncated page bytes");
+        uint32_t sym_count = r.u32();
+        if (sym_count > kMemPageSize)
+            return fail("implausible symbolic count");
+        for (uint32_t s = 0; s < sym_count && r.ok; ++s) {
+            uint16_t off = r.u16();
+            ExprRef e = read_expr();
+            if (!e || e->width() != 8 || off >= kMemPageSize)
+                return fail("bad symbolic byte record");
+            page->symbolic[off] = e;
+        }
+        dirty.push_back({idx, std::move(page)});
+    }
+    if (!r.ok)
+        return fail("truncated memory section");
+
+    // 6. constraint tail
+    uint32_t prefix_len = r.u32();
+    size_t cp_prefix =
+        state.checkpoint ? state.checkpoint->constraints.size() : 0;
+    if (prefix_len != cp_prefix)
+        return fail("checkpoint constraint-prefix mismatch");
+    uint32_t tail_count = r.u32();
+    std::vector<ExprRef> tail;
+    tail.reserve(tail_count);
+    for (uint32_t i = 0; i < tail_count && r.ok; ++i) {
+        ExprRef e = read_expr();
+        if (!e || e->width() != 1)
+            return fail("bad constraint record");
+        tail.push_back(e);
+    }
+
+    // 7. plugin state
+    std::unordered_map<std::string, const PluginCodec *> by_name;
+    std::unordered_map<std::string, const void *> key_by_name;
+    for (const auto &[key, codec] : codecs_) {
+        by_name[codec.name] = &codec;
+        key_by_name[codec.name] = key;
+    }
+    uint32_t plugin_count = r.u32();
+    std::vector<std::pair<const void *, std::unique_ptr<PluginState>>>
+        plugins;
+    for (uint32_t i = 0; i < plugin_count && r.ok; ++i) {
+        std::string name = r.str();
+        uint32_t blob_len = r.u32();
+        std::vector<uint8_t> blob(blob_len);
+        if (blob_len && !r.bytes(blob.data(), blob_len))
+            return fail("truncated plugin blob");
+        auto it = by_name.find(name);
+        if (it == by_name.end())
+            return fail("unknown plugin codec: " + name);
+        auto decoded = it->second->decode(blob);
+        if (!decoded)
+            return fail("plugin decode failed: " + name);
+        plugins.emplace_back(key_by_name.at(name), std::move(decoded));
+    }
+
+    // 8. solver rebuild info
+    uint32_t constraint_count = r.u32();
+    if (!r.ok)
+        return fail("truncated image");
+    if (constraint_count != cp_prefix + tail.size())
+        return fail("constraint-count mismatch");
+
+    // Everything parsed — apply.
+    state.setPathId(std::move(path_id));
+    state.restoreSeqs(fork_seq, sym_seq);
+    state.cpu = cpu;
+    state.multiPathEnabled = multi_path;
+    state.instrCount = instr_count;
+    state.symInstrCount = sym_instr_count;
+    state.blockCount = block_count;
+    state.degraded = degraded;
+    state.degradeCount = degrade_count;
+    state.exitCode = exit_code;
+    state.status = status;
+    state.statusMessage = std::move(status_message);
+
+    state.mem.restorePages(num_pages);
+    if (state.checkpoint) {
+        for (uint32_t idx = 0; idx < num_pages; ++idx) {
+            auto base = state.checkpoint->resolve(idx);
+            if (base)
+                state.mem.setPageRef(idx, std::move(base));
+        }
+    }
+    for (auto &dp : dirty) {
+        state.mem.setPageRef(dp.idx, std::move(dp.page));
+        state.mem.markPageDirty(dp.idx);
+    }
+
+    state.constraints.clear();
+    if (state.checkpoint)
+        state.constraints = state.checkpoint->constraints;
+    state.constraints.insert(state.constraints.end(), tail.begin(),
+                             tail.end());
+
+    for (auto &[key, ps] : plugins)
+        state.setPluginState(key, std::move(ps));
+
+    return true;
+}
+
+} // namespace s2e::core::lifecycle

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Versioned execution-state serializer — the `s2e.state.v1` format.
+ *
+ * A spilled state is written as a 32-byte header (magic, version,
+ * payload size, FNV-1a content checksum) followed by a little-endian
+ * payload:
+ *
+ *   1. expression table  — the state's symbolic DAG in deterministic
+ *                          post-order (children before parents), each
+ *                          node referencing earlier entries by index
+ *   2. identity          — pathId, fork/sym sequence counters
+ *   3. CPU               — registers and flags as tagged values
+ *                          (concrete word or table index), pc,
+ *                          interrupt and mode bits
+ *   4. clocks / status   — instruction counters, degradation record,
+ *                          status + message
+ *   5. memory delta      — dirty pages only (concrete bytes + sparse
+ *                          symbolic overlay); clean pages re-resolve
+ *                          through the state's checkpoint chain
+ *   6. constraint tail   — constraints beyond the checkpoint prefix
+ *   7. plugin state      — name-tagged opaque blobs via registered
+ *                          codecs (states without a codec stay
+ *                          resident and are simply not serialized)
+ *   8. solver info       — expected constraint count; the incremental
+ *                          solver context itself is dropped on spill
+ *                          and rebuilt lazily after restore
+ *
+ * Round-trip property: because expressions are hash-consed and the
+ * table is emitted in a deterministic walk order, deserializing and
+ * re-serializing a state yields byte-identical images.
+ */
+
+#ifndef S2E_CORE_LIFECYCLE_SERIALIZER_HH
+#define S2E_CORE_LIFECYCLE_SERIALIZER_HH
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/state.hh"
+
+namespace s2e::core::lifecycle {
+
+constexpr uint32_t kStateFormatVersion = 1;
+
+/** Codec for one plugin's per-path state, keyed by the plugin key
+ *  used with ExecutionState::pluginState(). */
+struct PluginCodec {
+    std::string name; ///< stable tag stored in the image
+    std::function<std::vector<uint8_t>(const PluginState &)> encode;
+    std::function<std::unique_ptr<PluginState>(
+        const std::vector<uint8_t> &)> decode;
+};
+
+class StateSerializer
+{
+  public:
+    explicit StateSerializer(ExprBuilder &builder) : builder_(builder) {}
+
+    void registerPluginCodec(const void *plugin_key, PluginCodec codec);
+
+    /** Serialize the state's delta beyond its checkpoint into a
+     *  complete `s2e.state.v1` image (header + payload). */
+    std::vector<uint8_t> serialize(const ExecutionState &state) const;
+
+    /**
+     * Restore a state from an image. The state must carry the same
+     * checkpoint it had when serialized (clean pages and the
+     * constraint prefix resolve through it). Returns false — without
+     * crashing and with `error` filled — on any corrupt, truncated or
+     * mismatched image. The caller resets solverCtx.
+     */
+    bool deserialize(const std::vector<uint8_t> &image,
+                     ExecutionState &state,
+                     std::string *error = nullptr) const;
+
+    /** Header + checksum validation only (spill-read retry guard). */
+    static bool validateImage(const std::vector<uint8_t> &image,
+                              std::string *error = nullptr);
+
+  private:
+    ExprBuilder &builder_;
+    std::map<const void *, PluginCodec> codecs_;
+};
+
+} // namespace s2e::core::lifecycle
+
+#endif // S2E_CORE_LIFECYCLE_SERIALIZER_HH

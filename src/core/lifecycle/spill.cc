@@ -1,0 +1,234 @@
+#include "core/lifecycle/spill.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+#include <thread>
+
+namespace s2e::core::lifecycle {
+
+namespace fs = std::filesystem;
+
+SpillStore::SpillStore(std::string dir, SpillFaultPolicy policy,
+                       unsigned max_attempts)
+    : dir_(std::move(dir)), policy_(policy),
+      maxAttempts_(max_attempts ? max_attempts : 1), rng_(policy.seed)
+{
+}
+
+SpillStore::~SpillStore()
+{
+    if (!dirReady_)
+        return;
+    std::error_code ec;
+    fs::remove_all(dir_, ec); // best effort; never throws
+}
+
+std::string
+SpillStore::pathFor(const std::string &key) const
+{
+    return dir_ + "/" + key + ".bin";
+}
+
+bool
+SpillStore::drawFault()
+{
+    // Caller holds mu_. One 1-based ordinal per logical op, shared by
+    // writes and reads so trigger lists address the full I/O stream.
+    uint64_t op = ++opIndex_;
+    if (!policy_.enabled)
+        return false;
+    if (std::find(policy_.triggerOps.begin(), policy_.triggerOps.end(),
+                  op) != policy_.triggerOps.end())
+        return true;
+    return policy_.faultRate > 0.0 && rng_.chance(policy_.faultRate);
+}
+
+SpillIoResult
+SpillStore::write(const std::string &key,
+                  const std::vector<uint8_t> &image)
+{
+    bool fault;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        counters_.writes++;
+        fault = drawFault();
+        if (!dirReady_) {
+            std::error_code ec;
+            fs::create_directories(dir_, ec);
+            if (ec) {
+                counters_.failures++;
+                return {false, 0, "mkdir " + dir_ + ": " + ec.message()};
+            }
+            dirReady_ = true;
+        }
+    }
+
+    SpillIoResult result;
+    std::string path = pathFor(key);
+    std::string tmp = path + ".tmp";
+    for (unsigned attempt = 0; attempt < maxAttempts_; ++attempt) {
+        if (attempt > 0) {
+            result.retries++;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                counters_.retries++;
+            }
+            // Tiny exponential backoff: real ENOSPC/EIO conditions are
+            // often transient (another state released its image).
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1u << std::min(attempt, 4u)));
+        }
+        bool inject = fault && (attempt == 0 || policy_.persistent);
+        if (inject) {
+            std::lock_guard<std::mutex> lock(mu_);
+            counters_.faultsInjected++;
+        }
+
+        if (inject && policy_.kind == SpillFaultPolicy::Kind::Enospc) {
+            result.error = "no space left on device (injected)";
+            continue;
+        }
+
+        // Assemble the bytes this attempt will actually put on disk.
+        const uint8_t *data = image.data();
+        size_t len = image.size();
+        std::vector<uint8_t> mangled;
+        if (inject &&
+            policy_.kind == SpillFaultPolicy::Kind::CorruptHeader) {
+            mangled = image;
+            for (size_t i = 0; i < mangled.size() && i < 16; ++i)
+                mangled[i] ^= 0xA5;
+            data = mangled.data();
+            len = mangled.size();
+        }
+        bool short_write =
+            inject && policy_.kind == SpillFaultPolicy::Kind::ShortWrite;
+        size_t to_write = short_write ? len / 2 : len;
+
+        std::FILE *f = std::fopen(tmp.c_str(), "wb");
+        if (!f) {
+            result.error = "open " + tmp + " failed";
+            continue;
+        }
+        size_t written = std::fwrite(data, 1, to_write, f);
+        bool flushed = std::fclose(f) == 0;
+        if (short_write || written != len || !flushed) {
+            // Partial image: remove the turd so a later read can never
+            // see it, then retry.
+            std::error_code ec;
+            fs::remove(tmp, ec);
+            result.error = short_write ? "short write (injected)"
+                                       : "short write";
+            continue;
+        }
+        std::error_code ec;
+        fs::rename(tmp, path, ec);
+        if (ec) {
+            result.error = "rename: " + ec.message();
+            continue;
+        }
+        // A corrupt-header fault is a *silent* success: the damage
+        // only surfaces when the restore path checksums the image.
+        result.ok = true;
+        break;
+    }
+
+    std::lock_guard<std::mutex> lock(mu_);
+    if (result.ok) {
+        counters_.bytesWritten += image.size();
+    } else {
+        counters_.failures++;
+        std::error_code ec;
+        fs::remove(tmp, ec);
+    }
+    return result;
+}
+
+SpillIoResult
+SpillStore::read(const std::string &key, std::vector<uint8_t> *out,
+                 const std::function<bool(const std::vector<uint8_t> &)>
+                     &validate)
+{
+    bool fault;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        counters_.reads++;
+        fault = drawFault();
+    }
+
+    SpillIoResult result;
+    std::string path = pathFor(key);
+    for (unsigned attempt = 0; attempt < maxAttempts_; ++attempt) {
+        if (attempt > 0) {
+            result.retries++;
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                counters_.retries++;
+            }
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(1u << std::min(attempt, 4u)));
+        }
+        bool inject = fault && (attempt == 0 || policy_.persistent);
+        bool short_read =
+            inject && policy_.kind == SpillFaultPolicy::Kind::ShortRead;
+        if (inject) {
+            std::lock_guard<std::mutex> lock(mu_);
+            counters_.faultsInjected++;
+        }
+
+        std::FILE *f = std::fopen(path.c_str(), "rb");
+        if (!f) {
+            result.error = "open " + path + " failed";
+            continue;
+        }
+        std::fseek(f, 0, SEEK_END);
+        long fsize = std::ftell(f);
+        std::fseek(f, 0, SEEK_SET);
+        if (fsize < 0) {
+            std::fclose(f);
+            result.error = "stat failed";
+            continue;
+        }
+        std::vector<uint8_t> bytes(static_cast<size_t>(fsize));
+        size_t want = short_read ? bytes.size() / 2 : bytes.size();
+        size_t got = std::fread(bytes.data(), 1, want, f);
+        std::fclose(f);
+        if (got != bytes.size()) {
+            result.error = short_read ? "short read (injected)"
+                                      : "short read";
+            continue;
+        }
+        if (validate && !validate(bytes)) {
+            result.error = "image failed validation";
+            continue;
+        }
+        *out = std::move(bytes);
+        result.ok = true;
+        break;
+    }
+
+    if (!result.ok) {
+        std::lock_guard<std::mutex> lock(mu_);
+        counters_.failures++;
+    }
+    return result;
+}
+
+void
+SpillStore::release(const std::string &key)
+{
+    std::error_code ec;
+    fs::remove(pathFor(key), ec); // idempotent
+}
+
+SpillStore::Counters
+SpillStore::counters() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return counters_;
+}
+
+} // namespace s2e::core::lifecycle

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fault-tolerant spill store: retry/backoff file I/O for serialized
+ * state images, with deterministic fault injection in the same spirit
+ * as the solver's FaultPolicy (solver/solver.hh).
+ *
+ * Every spill write and restore read goes through a bounded retry
+ * loop. Injected faults model the real failure ladder:
+ *
+ *   - ShortWrite     a partial write hits disk, the op reports failure
+ *   - ShortRead      a truncated read returns fewer bytes than stored
+ *   - Enospc         the write fails outright (disk full)
+ *   - CorruptHeader  the write "succeeds" but the on-disk header is
+ *                    mangled — only the restore-side checksum catches it
+ *
+ * Transient faults hit the first attempt only (the retry succeeds);
+ * persistent faults survive every retry and surface as a failed
+ * SpillIoResult, which the engine degrades into re-pinning the state
+ * in memory (write path) or terminating it with
+ * StateStatus::SpillFailure (read path) — never a crash.
+ */
+
+#ifndef S2E_CORE_LIFECYCLE_SPILL_HH
+#define S2E_CORE_LIFECYCLE_SPILL_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/rng.hh"
+
+namespace s2e::core::lifecycle {
+
+/** Deterministic spill-I/O fault injection (tests and benches). */
+struct SpillFaultPolicy {
+    enum class Kind : uint8_t { ShortWrite, ShortRead, Enospc,
+                                CorruptHeader };
+
+    bool enabled = false;
+    /** Seed for the per-op fault draw (mirrors solver FaultPolicy). */
+    uint64_t seed = 0x5eedULL;
+    /** Probability an eligible op faults (0 disables random faults). */
+    double faultRate = 0.0;
+    /** Exact 1-based spill-op ordinals that must fault (write and
+     *  read ops share one counter, in issue order). */
+    std::vector<uint64_t> triggerOps;
+    Kind kind = Kind::ShortWrite;
+    /** Fault survives every retry instead of only the first attempt. */
+    bool persistent = false;
+};
+
+/** Outcome of one logical spill write/read (after retries). */
+struct SpillIoResult {
+    bool ok = false;
+    unsigned retries = 0; ///< extra attempts beyond the first
+    std::string error;
+};
+
+class SpillStore
+{
+  public:
+    /** Creates `dir` (and parents) on first use; removes it and any
+     *  leftover images on destruction. */
+    explicit SpillStore(std::string dir, SpillFaultPolicy policy = {},
+                        unsigned max_attempts = 3);
+    ~SpillStore();
+
+    SpillStore(const SpillStore &) = delete;
+    SpillStore &operator=(const SpillStore &) = delete;
+
+    /** Write an image under `key`, retrying with backoff. On failure
+     *  no usable file is left behind. */
+    SpillIoResult write(const std::string &key,
+                        const std::vector<uint8_t> &image);
+
+    /**
+     * Read the image stored under `key`. When `validate` is given,
+     * each attempt's bytes must pass it (the engine passes the
+     * serializer's header+checksum check), otherwise the read is
+     * retried — this is what turns a short read or a latent
+     * corrupt-header write into a retry instead of a bad restore.
+     */
+    SpillIoResult read(const std::string &key, std::vector<uint8_t> *out,
+                       const std::function<bool(
+                           const std::vector<uint8_t> &)> &validate = {});
+
+    /** Delete the image for `key` (idempotent). */
+    void release(const std::string &key);
+
+    const std::string &dir() const { return dir_; }
+
+    struct Counters {
+        uint64_t writes = 0;
+        uint64_t reads = 0;
+        uint64_t bytesWritten = 0;
+        uint64_t retries = 0;
+        uint64_t failures = 0;
+        uint64_t faultsInjected = 0;
+    };
+    Counters counters() const;
+
+  private:
+    std::string pathFor(const std::string &key) const;
+    /** Decide whether the next op faults (deterministic). */
+    bool drawFault();
+
+    std::string dir_;
+    SpillFaultPolicy policy_;
+    unsigned maxAttempts_;
+    bool dirReady_ = false;
+
+    mutable std::mutex mu_;
+    Rng rng_;
+    uint64_t opIndex_ = 0; ///< 1-based, shared by writes and reads
+    Counters counters_;
+};
+
+} // namespace s2e::core::lifecycle
+
+#endif // S2E_CORE_LIFECYCLE_SPILL_HH

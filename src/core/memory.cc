@@ -52,6 +52,9 @@ MemoryState::writablePageFor(uint32_t addr)
     } else if (p.use_count() > 1) {
         p = std::make_shared<Page>(*p); // copy-on-write
     }
+    // Dirty tracking for checkpoints/spill: every mutation lands here,
+    // so the dirty set over-approximates "differs from the checkpoint".
+    dirty_.insert(idx);
     return p.get();
 }
 

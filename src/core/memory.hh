@@ -15,10 +15,12 @@
 
 #include <map>
 #include <memory>
+#include <set>
 #include <vector>
 
 #include "core/value.hh"
 #include "isa/assembler.hh"
+#include "support/logging.hh"
 
 namespace s2e::core {
 
@@ -90,12 +92,66 @@ class MemoryState
         Page() : bytes(kMemPageSize, 0) {}
     };
 
+    // --- Page-level access (checkpoint / spill machinery) --------------
+
+    size_t numPages() const { return pages_.size(); }
+
+    /** Raw page reference; null means the shared all-zero page. */
+    const std::shared_ptr<Page> &
+    pageRef(size_t idx) const
+    {
+        S2E_ASSERT(idx < pages_.size(), "page index %zu out of range", idx);
+        return pages_[idx];
+    }
+
+    void
+    setPageRef(size_t idx, std::shared_ptr<Page> page)
+    {
+        S2E_ASSERT(idx < pages_.size(), "page index %zu out of range", idx);
+        pages_[idx] = std::move(page);
+    }
+
+    /**
+     * Pages written since the last clearDirtyPages() (ascending).
+     * Invariant used by checkpoints and spilling: a page whose ref
+     * differs from the owning state's checkpoint resolution is always
+     * in this set (every mutation goes through writablePageFor, which
+     * records the index).
+     */
+    std::vector<uint32_t>
+    dirtyPages() const
+    {
+        return {dirty_.begin(), dirty_.end()};
+    }
+    void clearDirtyPages() { dirty_.clear(); }
+    void markPageDirty(uint32_t idx) { dirty_.insert(idx); }
+
+    /** Drop every page reference (a spilled state keeps no memory).
+     *  Any access before restorePages() then trips the page-bound
+     *  assertion instead of silently reading zeros. */
+    void
+    dropAllPages()
+    {
+        pages_.clear();
+        dirty_.clear();
+    }
+
+    /** Re-create the (all-shared-zero) page vector before a restore
+     *  repopulates it from a checkpoint and the spilled image. */
+    void
+    restorePages(size_t num_pages)
+    {
+        pages_.assign(num_pages, nullptr);
+        dirty_.clear();
+    }
+
   private:
     const Page *pageFor(uint32_t addr) const;
     Page *writablePageFor(uint32_t addr);
 
     uint32_t size_;
     std::vector<std::shared_ptr<Page>> pages_;
+    std::set<uint32_t> dirty_; ///< pages written since last checkpoint
 };
 
 } // namespace s2e::core

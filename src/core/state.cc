@@ -14,6 +14,8 @@ stateStatusName(StateStatus status)
       case StateStatus::Unsat: return "unsat";
       case StateStatus::BudgetExceeded: return "budget-exceeded";
       case StateStatus::SolverFailure: return "solver-failure";
+      case StateStatus::Merged: return "merged";
+      case StateStatus::SpillFailure: return "spill-failure";
     }
     return "<bad>";
 }
@@ -43,6 +45,12 @@ ExecutionState::clone(int new_id) const
     child->statusMessage = statusMessage;
     child->degraded = degraded;
     child->degradeCount = degradeCount;
+    // Fork happens mid-execution, so the parent is resident and not
+    // parked: the child starts resident, unpinned and unparked. The
+    // checkpoint ref is shared — the engine re-checkpoints the parent
+    // right before cloning, so both sides start with an empty delta.
+    child->checkpoint = checkpoint;
+    child->lastScheduledTick = lastScheduledTick;
     child->id_ = new_id;
     child->parentId_ = id_;
     child->forkDepth_ = forkDepth_ + 1;

@@ -26,6 +26,10 @@ namespace s2e::solver {
 class IncrementalContext;
 }
 
+namespace s2e::core::lifecycle {
+struct Checkpoint;
+}
+
 namespace s2e::core {
 
 /** CPU register file and execution flags for one path. */
@@ -63,6 +67,8 @@ enum class StateStatus {
     Unsat,       ///< constraints became unsatisfiable (engine bug guard)
     BudgetExceeded,
     SolverFailure, ///< a must-answer solver query returned Unknown
+    Merged,        ///< absorbed into a sibling at an s2e_merge point
+    SpillFailure,  ///< spill/restore I/O failed beyond all retries
 };
 
 const char *stateStatusName(StateStatus status);
@@ -99,6 +105,18 @@ class ExecutionState
      *  to build schedule-independent variable names. */
     uint64_t nextSymSeq() { return symSeq_++; }
 
+    /** Current sequence counters (spill serialization / merge). */
+    uint32_t forkSeqValue() const { return forkSeq_; }
+    uint64_t symSeqValue() const { return symSeq_; }
+    /** Restore counters from a spilled image or a merge (max of the
+     *  merged pair keeps future names collision-free). */
+    void
+    restoreSeqs(uint32_t fork_seq, uint64_t sym_seq)
+    {
+        forkSeq_ = fork_seq;
+        symSeq_ = sym_seq;
+    }
+
     CpuState cpu;
     MemoryState mem;
     vm::DeviceSet devices;
@@ -118,6 +136,36 @@ class ExecutionState
      * of the state, and it is released when the path terminates.
      */
     std::shared_ptr<solver::IncrementalContext> solverCtx;
+
+    // --- Lifecycle (checkpoints / governor / spill / merge) ----------
+
+    /**
+     * Hierarchical COW snapshot shared with fork siblings: the frozen
+     * page refs and constraint prefix at the last fork. A spilled
+     * state only serializes its delta beyond this checkpoint; restore
+     * resolves untouched pages through the chain.
+     */
+    std::shared_ptr<const lifecycle::Checkpoint> checkpoint;
+
+    /** Engine schedule ordinal when last picked (governor coldness). */
+    uint64_t lastScheduledTick = 0;
+
+    /** Memory payload lives on disk (pages/constraints dropped). */
+    bool spilled = false;
+    /** A spill write failed; keep resident, never retry the spill. */
+    bool spillPinned = false;
+    /** Spill-store key while an image exists on disk. */
+    std::string spillKey;
+
+    /** Terminal resources (solver context, spill image, resident
+     *  accounting) already released; guards the engine's exactly-once
+     *  release contract for states killed via multiple paths. */
+    bool resourcesReleased = false;
+
+    /** Parked at an s2e_merge point, awaiting the barrier drain. */
+    bool atMergePoint = false;
+    /** How many sibling paths were ITE-merged into this one. */
+    uint32_t mergedSiblings = 0;
 
     /** Per-state virtual clock, in executed guest instructions. It
      *  freezes while the state is not scheduled (paper §5). */
@@ -194,6 +242,21 @@ class ExecutionState
     {
         auto it = pluginStates_.find(plugin_key);
         return it == pluginStates_.end() ? nullptr : it->second.get();
+    }
+
+    /** All plugin states (serializer / merge compatibility checks). */
+    const std::map<const void *, std::unique_ptr<PluginState>> &
+    pluginStates() const
+    {
+        return pluginStates_;
+    }
+
+    /** Install a decoded plugin state (spill restore path). */
+    void
+    setPluginState(const void *plugin_key,
+                   std::unique_ptr<PluginState> plugin_state)
+    {
+        pluginStates_[plugin_key] = std::move(plugin_state);
     }
 
     // --- Accounting ----------------------------------------------------

@@ -639,6 +639,16 @@ Translator::translateRaw(uint32_t start_pc, const CodeReader &reader)
             terminated = true;
             break;
           }
+          case Opcode::S2Merge: {
+            // Block terminator: the engine parks the state at the
+            // merge barrier with pc already advanced past the opcode.
+            MicroOp op;
+            op.op = UOp::S2Op;
+            op.imm = static_cast<uint32_t>(instr.op);
+            bb.emitRaw(op);
+            terminated = true;
+            break;
+          }
           default: {
             if (aluLowering(instr.op, alu, is_imm)) {
                 uint16_t a = bb.emitGetReg(instr.r1);

@@ -542,6 +542,10 @@ class Assembler
             {"ret", Opcode::Ret},     {"iret", Opcode::Iret},
             {"cli", Opcode::Cli},     {"sti", Opcode::Sti},
             {"s2e_ena", Opcode::S2Ena}, {"s2e_dis", Opcode::S2Dis},
+            // Both spellings assemble to the merge-point opcode; the
+            // long form matches real S2E guest headers.
+            {"s2e_merge", Opcode::S2Merge},
+            {"s2e_merge_point", Opcode::S2Merge},
         };
         if (auto it = simple.find(mnem); it != simple.end()) {
             needOps(0);

@@ -75,6 +75,7 @@ opcodeName(Opcode op)
       case Opcode::S2Kill: return "s2e_kill";
       case Opcode::S2Assert: return "s2e_assert";
       case Opcode::S2Concrete: return "s2e_concrete";
+      case Opcode::S2Merge: return "s2e_merge";
     }
     return "<bad>";
 }
@@ -109,6 +110,7 @@ instrLength(Opcode op)
       case Opcode::Sti:
       case Opcode::S2Ena:
       case Opcode::S2Dis:
+      case Opcode::S2Merge:
         return 1;
       case Opcode::Push:
       case Opcode::Pop:
@@ -333,6 +335,9 @@ isBlockTerminator(Opcode op)
       case Opcode::Int:
       case Opcode::Hlt:
       case Opcode::S2Kill:
+      // A merge point ends the block: the engine must regain control
+      // to park the state before any further instruction executes.
+      case Opcode::S2Merge:
         return true;
       default:
         return false;
@@ -354,6 +359,7 @@ Instruction::toString() const
       case Opcode::Sti:
       case Opcode::S2Ena:
       case Opcode::S2Dis:
+      case Opcode::S2Merge:
         return opcodeName(op);
       case Opcode::Push:
       case Opcode::Pop:

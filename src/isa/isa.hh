@@ -112,6 +112,7 @@ enum class Opcode : uint8_t {
     S2Kill = 0xF6,     ///< [op][imm8 status]: terminate this path (2)
     S2Assert = 0xF7,   ///< [op][r]: report bug if r == 0 (2)
     S2Concrete = 0xF8, ///< [op][r]: force-concretize register (2)
+    S2Merge = 0xF9,    ///< merge point: coalesce sibling paths (1)
 };
 
 /** Branch condition codes for Jcc. */

@@ -79,6 +79,15 @@ RunReport::toJson() const
                 static_cast<uint64_t>(run_.solverFailures));
         w.field("degraded_states",
                 static_cast<uint64_t>(run_.degradedStates));
+        w.field("states_merged",
+                static_cast<uint64_t>(run_.mergedStates));
+        w.field("spill_failures",
+                static_cast<uint64_t>(run_.spillFailures));
+        w.field("states_spilled", run_.statesSpilled);
+        w.field("states_restored", run_.statesRestored);
+        w.field("spill_bytes", run_.spillBytes);
+        w.field("spill_retries", run_.spillRetries);
+        w.field("resident_states_peak", run_.residentStatesPeak);
         w.field("budget_exhausted", run_.budgetExhausted);
         w.field("workers", run_.workers);
         w.key("worker_busy_seconds").beginArray();

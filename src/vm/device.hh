@@ -20,6 +20,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 namespace s2e::vm {
 
@@ -34,6 +36,52 @@ struct DeviceBus {
 };
 
 /**
+ * Incremental FNV-1a accumulator for Device::stateDigest()
+ * implementations: fold in every mutable field, in a fixed order.
+ */
+class StateHasher
+{
+  public:
+    void
+    bytes(const void *data, size_t n)
+    {
+        const auto *p = static_cast<const uint8_t *>(data);
+        for (size_t i = 0; i < n; ++i) {
+            h_ ^= p[i];
+            h_ *= 0x100000001b3ull;
+        }
+    }
+
+    template <typename T>
+    void
+    value(const T &v)
+    {
+        static_assert(std::is_trivially_copyable_v<T>,
+                      "hash trivially copyable values only");
+        bytes(&v, sizeof(v));
+    }
+
+    void
+    str(const std::string &s)
+    {
+        value<uint64_t>(s.size());
+        bytes(s.data(), s.size());
+    }
+
+    void
+    blob(const std::vector<uint8_t> &v)
+    {
+        value<uint64_t>(v.size());
+        bytes(v.data(), v.size());
+    }
+
+    uint64_t digest() const { return h_; }
+
+  private:
+    uint64_t h_ = 0xcbf29ce484222325ull;
+};
+
+/**
  * Base class for all virtual devices. Subclasses must be copyable via
  * clone() with no shared mutable state between the copies.
  */
@@ -42,10 +90,22 @@ class Device
   public:
     virtual ~Device() = default;
 
+    /** Returned by stateDigest() when a device cannot summarize its
+     *  state; state merging is then refused for the owning paths. */
+    static constexpr uint64_t kNoStateDigest = ~0ull;
+
     virtual const std::string &name() const = 0;
 
     /** Deep copy for state forking. */
     virtual std::unique_ptr<Device> clone() const = 0;
+
+    /**
+     * Digest of all mutable device state, used by the s2e_merge_point
+     * machinery: two sibling states may only be ITE-merged when every
+     * device pair digests identically (device state cannot be made
+     * conditional on the merge selector). Defaults to opting out.
+     */
+    virtual uint64_t stateDigest() const { return kNoStateDigest; }
 
     virtual void reset() {}
 

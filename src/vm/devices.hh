@@ -53,6 +53,14 @@ class ConsoleDevice : public Device
     /** Everything the guest printed on this path. */
     const std::string &output() const { return output_; }
 
+    uint64_t
+    stateDigest() const override
+    {
+        StateHasher h;
+        h.str(output_);
+        return h.digest();
+    }
+
   private:
     std::string name_ = "console";
     std::string output_;
@@ -127,6 +135,18 @@ class TimerDevice : public Device
     }
 
     uint64_t tickCount() const { return ticks_; }
+
+    uint64_t
+    stateDigest() const override
+    {
+        StateHasher h;
+        h.value(running_);
+        h.value(armed_);
+        h.value(period_);
+        h.value(next_);
+        h.value(ticks_);
+        return h.digest();
+    }
 
   private:
     std::string name_ = "timer";
@@ -220,6 +240,17 @@ class DiskDevice : public Device
     /** Direct backing-store access for test harnesses. */
     std::vector<uint8_t> &data() { return data_; }
     const std::vector<uint8_t> &data() const { return data_; }
+
+    uint64_t
+    stateDigest() const override
+    {
+        StateHasher h;
+        h.blob(data_);
+        h.value(sector_);
+        h.value(addr_);
+        h.value(status_);
+        return h.digest();
+    }
 
   private:
     std::string name_ = "disk";

@@ -84,6 +84,32 @@ class DeviceSet
 
     size_t size() const { return devices_.size(); }
 
+    Device *
+    deviceAt(size_t idx) const
+    {
+        return devices_[idx].get();
+    }
+
+    /**
+     * Combined digest over all devices (in attach order). Returns
+     * Device::kNoStateDigest as soon as any device opts out, so a set
+     * containing an undigestable device can never satisfy a merge
+     * compatibility check.
+     */
+    uint64_t
+    stateDigest() const
+    {
+        StateHasher h;
+        for (const auto &d : devices_) {
+            uint64_t dd = d->stateDigest();
+            if (dd == Device::kNoStateDigest)
+                return Device::kNoStateDigest;
+            h.str(d->name());
+            h.value(dd);
+        }
+        return h.digest();
+    }
+
   private:
     std::vector<std::unique_ptr<Device>> devices_;
 };

@@ -46,6 +46,19 @@ class NicBase : public Device
     bool rxPending() const { return !rxQueue_.empty(); }
 
   protected:
+    /** Fold the shared NIC state into a digest (see stateDigest()). */
+    void
+    digestBase(StateHasher &h) const
+    {
+        h.value<uint64_t>(rxQueue_.size());
+        for (const auto &p : rxQueue_)
+            h.blob(p);
+        h.value<uint64_t>(txLog_.size());
+        for (const auto &p : txLog_)
+            h.blob(p);
+        h.value(loopback_);
+    }
+
     void
     completeTx(std::vector<uint8_t> packet)
     {
@@ -105,6 +118,21 @@ class PioNic : public NicBase
     uint32_t ioRead(uint16_t port, DeviceBus &bus) override;
     void ioWrite(uint16_t port, uint32_t value, DeviceBus &bus) override;
 
+    uint64_t
+    stateDigest() const override
+    {
+        StateHasher h;
+        digestBase(h);
+        h.value(status_);
+        h.value(txLen_);
+        h.value(ien_);
+        h.value(macIdx_);
+        h.bytes(mac_, sizeof(mac_));
+        h.blob(txFifo_);
+        h.value<uint64_t>(rxPos_);
+        return h.digest();
+    }
+
   private:
     std::string name_ = "pionic";
     uint32_t status_ = kStReady;
@@ -161,6 +189,21 @@ class DmaNic : public NicBase
     uint32_t ioRead(uint16_t port, DeviceBus &bus) override;
     void ioWrite(uint16_t port, uint32_t value, DeviceBus &bus) override;
 
+    uint64_t
+    stateDigest() const override
+    {
+        StateHasher h;
+        digestBase(h);
+        h.value(status_);
+        h.value(txAddr_);
+        h.value(txLen_);
+        h.value(rxAddr_);
+        h.value(rxBufSz_);
+        h.value(rxLen_);
+        h.value(ien_);
+        return h.digest();
+    }
+
   private:
     std::string name_ = "dmanic";
     uint32_t status_ = kStReady;
@@ -214,6 +257,22 @@ class MmioNic : public NicBase
     uint32_t mmioRead(uint32_t addr, unsigned size, DeviceBus &bus) override;
     void mmioWrite(uint32_t addr, uint32_t value, unsigned size,
                    DeviceBus &bus) override;
+
+    uint64_t
+    stateDigest() const override
+    {
+        StateHasher h;
+        digestBase(h);
+        h.value(bank_);
+        h.value(ctrl_);
+        h.value(status_);
+        h.value(txLen_);
+        h.value(macLo_);
+        h.value(macHi_);
+        h.blob(txFifo_);
+        h.value<uint64_t>(rxPos_);
+        return h.digest();
+    }
 
   private:
     std::string name_ = "mmionic";
@@ -273,6 +332,23 @@ class RingNic : public NicBase
     uint32_t ioRead(uint16_t port, DeviceBus &bus) override;
     void ioWrite(uint16_t port, uint32_t value, DeviceBus &bus) override;
     void tick(uint64_t now, DeviceBus &bus) override;
+
+    uint64_t
+    stateDigest() const override
+    {
+        StateHasher h;
+        digestBase(h);
+        h.value(status_);
+        h.value(ringAddr_);
+        h.value(ringSize_);
+        h.value(wrPtr_);
+        h.value(rdPtr_);
+        h.value(txAddr_);
+        h.value(txLen_);
+        h.value(rxEnabled_);
+        h.value(ien_);
+        return h.digest();
+    }
 
   private:
     void deliverPending(DeviceBus &bus);

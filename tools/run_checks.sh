@@ -1,25 +1,37 @@
 #!/bin/sh
-# Run the differential suites that guard the exploration core in both
-# configurations:
-#   1. the default build       — `ctest -L parallel` (serial-vs-parallel)
-#                                and `ctest -L solver` (incremental-vs-
-#                                fresh solver contexts)
-#   2. a ThreadSanitizer build — `ctest -L tsan` under build-tsan/
-#                                (both suites carry the tsan label)
+# Run the differential suites that guard the exploration core in all
+# three configurations:
+#   1. the default build       — `ctest -L parallel` (serial-vs-parallel),
+#                                `ctest -L solver` (incremental-vs-fresh
+#                                solver contexts) and `ctest -L lifecycle`
+#                                (spill/merge-vs-all-resident state
+#                                lifecycle)
+#   2. an AddressSanitizer build — `ctest -L sanitize` under build-asan/
+#                                (solver + engine resilience paths and the
+#                                lifecycle suite's exactly-once resource
+#                                release: solver contexts and spill files)
+#   3. a ThreadSanitizer build — `ctest -L tsan` under build-tsan/
+#                                (parallel, incremental and lifecycle
+#                                suites all carry the tsan label)
 # All must pass with zero divergences before a change to the
-# exploration core or the solver pipeline lands.
+# exploration core, the solver pipeline or the state lifecycle lands.
 #
-# Usage: tools/run_checks.sh [build-dir] [tsan-build-dir]
+# Usage: tools/run_checks.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 #   build-dir:      existing default-config build (default: build);
 #                   configured+built here if missing.
 #   tsan-build-dir: the -DS2E_SANITIZE=thread build (default:
 #                   build-tsan); configured+built here if missing.
+#   asan-build-dir: the -DS2E_SANITIZE=address build (default:
+#                   build-asan); configured+built here if missing.
 set -u
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
 build_dir=${1:-"$repo_root/build"}
 tsan_dir=${2:-"$repo_root/build-tsan"}
+asan_dir=${3:-"$repo_root/build-asan"}
 jobs=$(nproc 2>/dev/null || echo 2)
+
+check_targets="test_parallel test_incremental test_lifecycle"
 
 status=0
 
@@ -28,17 +40,28 @@ if [ ! -f "$build_dir/CMakeCache.txt" ]; then
     cmake -B "$build_dir" -S "$repo_root" || exit 1
 fi
 cmake --build "$build_dir" -j "$jobs" \
-    --target test_parallel test_incremental || exit 1
+    --target $check_targets || exit 1
 (cd "$build_dir" && ctest -L parallel --output-on-failure) || status=1
 (cd "$build_dir" && ctest -L solver --output-on-failure) || status=1
+(cd "$build_dir" && ctest -L lifecycle --output-on-failure) || status=1
+
+echo "== run_checks: AddressSanitizer configuration ($asan_dir) =="
+if [ ! -f "$asan_dir/CMakeCache.txt" ]; then
+    cmake -B "$asan_dir" -S "$repo_root" -DS2E_SANITIZE=address || exit 1
+fi
+cmake --build "$asan_dir" -j "$jobs" \
+    --target test_sat test_solver test_engine test_lifecycle || exit 1
+(cd "$asan_dir" && ctest -L sanitize --output-on-failure) || status=1
+(cd "$asan_dir" && ctest -L lifecycle --output-on-failure) || status=1
 
 echo "== run_checks: ThreadSanitizer configuration ($tsan_dir) =="
 if [ ! -f "$tsan_dir/CMakeCache.txt" ]; then
     cmake -B "$tsan_dir" -S "$repo_root" -DS2E_SANITIZE=thread || exit 1
 fi
 cmake --build "$tsan_dir" -j "$jobs" \
-    --target test_parallel test_incremental || exit 1
+    --target $check_targets || exit 1
 (cd "$tsan_dir" && ctest -L tsan --output-on-failure) || status=1
+(cd "$tsan_dir" && ctest -L lifecycle --output-on-failure) || status=1
 
 if [ "$status" -eq 0 ]; then
     echo "run_checks: all differential checks passed"
