@@ -152,12 +152,29 @@ symbolicBinary(UOp op, ExprRef a, ExprRef b, ExprBuilder &bld)
     }
 }
 
+/**
+ * RC-CC (ignoreFeasibility) deliberately lets paths accumulate
+ * contradictory constraint sets — static feasibility reasoning is
+ * meaningless there, and its static-Sat verdicts (which lean on the
+ * satisfiable-set invariant) would register false disagreements
+ * against the SAT oracle. Force absint off for such runs; every
+ * other option passes through untouched.
+ */
+solver::SolverOptions
+effectiveSolverOptions(const EngineConfig &config)
+{
+    solver::SolverOptions o = config.solverOptions;
+    if (policyFor(config.model).ignoreFeasibility)
+        o.useAbsint = false;
+    return o;
+}
+
 } // namespace
 
 Engine::Engine(vm::MachineConfig machine, EngineConfig config)
     : machine_(std::move(machine)), config_(config),
       policy_(policyFor(config.model)), builder_(),
-      solver_(builder_, config.solverOptions),
+      solver_(builder_, effectiveSolverOptions(config)),
       profiler_(config.profileExecution),
       concretizationSites_(stats_, "engine.concretizations"),
       degradeSites_(stats_, "engine.solver_degraded"),
@@ -168,6 +185,10 @@ Engine::Engine(vm::MachineConfig machine, EngineConfig config)
       }),
       searcher_(std::make_unique<DfsSearcher>())
 {
+    // Worker solvers clone their options from config_ — keep it in
+    // sync with the sanitized set the engine solver received.
+    config_.solverOptions = effectiveSolverOptions(config);
+
     // Register every per-event counter once; the run loop then updates
     // them through plain pointers (no string build, no map lookup).
     hot_.translations = &stats_.counterSlot("engine.translations");
@@ -707,9 +728,23 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
         state.addConstraint(builder_.lnot(c));
         return fallthrough_pc;
     }
-    // Both Unknown (or Unknown + Unsat, which checkBranch rules out
-    // by only short-circuiting on definite Unsat): fall back to the
-    // concrete-evaluated side, like concretization does.
+    // A definite Unsat cannot reach this block on the true side:
+    // checkBranch short-circuits it into a definite-Sat false side,
+    // which the definite-answers block above consumed. Enforce that
+    // instead of assuming it — a future checkBranch change that
+    // breaks the invariant would otherwise silently skew degraded
+    // branch handling.
+    S2E_ASSERT(ts.isUnknown(),
+               "degraded branch: true side is definite but unhandled");
+    if (fs.isUnsat()) {
+        // Unknown + Unsat: the false side is proved infeasible and the
+        // path invariant keeps the constraint set satisfiable, so the
+        // true side is forced — no concretization query needed.
+        state.addConstraint(c);
+        return taken_pc;
+    }
+    // Both Unknown: fall back to the concrete-evaluated side, like
+    // concretization does.
     uint64_t cv = 0;
     auto pick = curSolver().getValue(state.constraints, c, &cv);
     if (pick.isUnknown()) {

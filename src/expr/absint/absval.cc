@@ -1,0 +1,243 @@
+#include "expr/absint/absval.hh"
+
+#include <algorithm>
+
+#include "support/logging.hh"
+
+namespace s2e::expr::absint {
+
+namespace {
+
+int64_t
+minInt(unsigned w)
+{
+    return signExtend(1ULL << (w - 1), w);
+}
+
+int64_t
+maxInt(unsigned w)
+{
+    return static_cast<int64_t>(lowMask(w) >> 1);
+}
+
+} // namespace
+
+AbsValue
+AbsValue::top(unsigned w)
+{
+    AbsValue v;
+    v.width = w;
+    v.kb = KnownBits::unknown();
+    v.umin = 0;
+    v.umax = lowMask(w);
+    v.smin = minInt(w);
+    v.smax = maxInt(w);
+    return v;
+}
+
+AbsValue
+AbsValue::constant(uint64_t c, unsigned w)
+{
+    c = truncate(c, w);
+    AbsValue v;
+    v.width = w;
+    v.kb = KnownBits::constant(c, w);
+    v.umin = v.umax = c;
+    v.smin = v.smax = signExtend(c, w);
+    return v;
+}
+
+AbsValue
+AbsValue::bottom(unsigned w)
+{
+    AbsValue v = top(w);
+    v.bot = true;
+    return v;
+}
+
+AbsValue
+AbsValue::range(uint64_t lo, uint64_t hi, unsigned w)
+{
+    AbsValue v = top(w);
+    v.umin = truncate(lo, w);
+    v.umax = truncate(hi, w);
+    v.reduce();
+    return v;
+}
+
+AbsValue
+AbsValue::signedRange(int64_t lo, int64_t hi, unsigned w)
+{
+    AbsValue v = top(w);
+    v.smin = std::max(lo, minInt(w));
+    v.smax = std::min(hi, maxInt(w));
+    v.reduce();
+    return v;
+}
+
+AbsValue
+AbsValue::bits(KnownBits k, unsigned w)
+{
+    AbsValue v = top(w);
+    v.kb.zeros = k.zeros & lowMask(w);
+    v.kb.ones = k.ones & lowMask(w);
+    v.reduce();
+    return v;
+}
+
+bool
+AbsValue::contains(uint64_t v) const
+{
+    if (bot)
+        return false;
+    v = truncate(v, width);
+    int64_t sv = signExtend(v, width);
+    return (v & kb.zeros) == 0 && (v & kb.ones) == kb.ones &&
+           v >= umin && v <= umax && sv >= smin && sv <= smax;
+}
+
+AbsValue
+AbsValue::meet(const AbsValue &o) const
+{
+    S2E_ASSERT(width == o.width, "absint meet width mismatch %u vs %u",
+               width, o.width);
+    AbsValue v;
+    v.width = width;
+    v.bot = bot || o.bot;
+    v.kb.zeros = kb.zeros | o.kb.zeros;
+    v.kb.ones = kb.ones | o.kb.ones;
+    v.umin = std::max(umin, o.umin);
+    v.umax = std::min(umax, o.umax);
+    v.smin = std::max(smin, o.smin);
+    v.smax = std::min(smax, o.smax);
+    v.reduce();
+    return v;
+}
+
+AbsValue
+AbsValue::join(const AbsValue &o) const
+{
+    S2E_ASSERT(width == o.width, "absint join width mismatch %u vs %u",
+               width, o.width);
+    if (bot)
+        return o;
+    if (o.bot)
+        return *this;
+    AbsValue v;
+    v.width = width;
+    v.kb.zeros = kb.zeros & o.kb.zeros;
+    v.kb.ones = kb.ones & o.kb.ones;
+    v.umin = std::min(umin, o.umin);
+    v.umax = std::max(umax, o.umax);
+    v.smin = std::min(smin, o.smin);
+    v.smax = std::max(smax, o.smax);
+    v.reduce();
+    return v;
+}
+
+bool
+AbsValue::refines(const AbsValue &o) const
+{
+    if (bot != o.bot)
+        return bot;
+    if (bot)
+        return false;
+    return kb.zeros != o.kb.zeros || kb.ones != o.kb.ones ||
+           umin != o.umin || umax != o.umax || smin != o.smin ||
+           smax != o.smax;
+}
+
+void
+AbsValue::reduce()
+{
+    if (bot)
+        return;
+    uint64_t mask = lowMask(width);
+    uint64_t sign = 1ULL << (width - 1);
+    // The components narrow each other monotonically; a handful of
+    // passes reaches the local fixpoint (each pass either changes
+    // nothing or moves at least one bound/bit, and the chains are
+    // short in practice).
+    for (int pass = 0; pass < 4; ++pass) {
+        AbsValue before = *this;
+        before.bot = false; // compare narrowing only
+
+        if (kb.zeros & kb.ones) {
+            bot = true;
+            return;
+        }
+        // known bits -> unsigned bounds
+        umin = std::max(umin, kb.ones);
+        umax = std::min(umax, mask & ~kb.zeros);
+        if (umin > umax) {
+            bot = true;
+            return;
+        }
+        // unsigned bounds -> known bits: every value in [umin, umax]
+        // shares the bounds' common prefix above their highest
+        // differing bit.
+        uint64_t diff = umin ^ umax;
+        unsigned live = diff == 0 ? 0 : 64 - __builtin_clzll(diff);
+        uint64_t common = mask & ~lowMask(live);
+        kb.ones |= umin & common;
+        kb.zeros |= ~umin & common;
+        if (kb.zeros & kb.ones) {
+            bot = true;
+            return;
+        }
+        // unsigned -> signed (wrap-aware)
+        int64_t lo_s;
+        int64_t hi_s;
+        if (umax < sign) {
+            lo_s = static_cast<int64_t>(umin);
+            hi_s = static_cast<int64_t>(umax);
+        } else if (umin >= sign) {
+            lo_s = signExtend(umin, width);
+            hi_s = signExtend(umax, width);
+        } else {
+            lo_s = minInt(width);
+            hi_s = maxInt(width);
+        }
+        smin = std::max(smin, lo_s);
+        smax = std::min(smax, hi_s);
+        if (smin > smax) {
+            bot = true;
+            return;
+        }
+        // signed -> unsigned (wrap-aware)
+        uint64_t lo_u;
+        uint64_t hi_u;
+        if (smin >= 0) {
+            lo_u = static_cast<uint64_t>(smin);
+            hi_u = static_cast<uint64_t>(smax);
+        } else if (smax < 0) {
+            lo_u = truncate(static_cast<uint64_t>(smin), width);
+            hi_u = truncate(static_cast<uint64_t>(smax), width);
+        } else {
+            lo_u = 0;
+            hi_u = mask;
+        }
+        umin = std::max(umin, lo_u);
+        umax = std::min(umax, hi_u);
+        if (umin > umax) {
+            bot = true;
+            return;
+        }
+        if (!refines(before))
+            return;
+    }
+}
+
+std::string
+AbsValue::toString() const
+{
+    if (bot)
+        return strprintf("w%u bottom", width);
+    return strprintf("w%u kb{z=%llx,o=%llx} u[%llu,%llu] s[%lld,%lld]",
+                     width, (unsigned long long)kb.zeros,
+                     (unsigned long long)kb.ones,
+                     (unsigned long long)umin, (unsigned long long)umax,
+                     (long long)smin, (long long)smax);
+}
+
+} // namespace s2e::expr::absint

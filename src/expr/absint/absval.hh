@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Reduced-product abstract value for static expression reasoning.
+ *
+ * One AbsValue over-approximates the set of concrete values a
+ * bitvector expression can take: a known-bits lattice element (per-bit
+ * 0/1/top) plus an unsigned interval and a signed interval, with a
+ * reduction step that lets each component tighten the others (the
+ * known sign bit narrows the signed range, a singleton interval pins
+ * every bit, and so on). The product is what makes the analysis
+ * useful on machine-code expressions, which mix bitfield tests
+ * (known-bits territory) with bounds comparisons (interval territory).
+ *
+ * Soundness invariant used throughout: for every concrete value v the
+ * abstracted expression can evaluate to, contains(v) is true. Bottom
+ * (empty set) arises only from refinement against contradictory
+ * required values, never from forward transfer of consistent inputs.
+ */
+
+#ifndef S2E_EXPR_ABSINT_ABSVAL_HH
+#define S2E_EXPR_ABSINT_ABSVAL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "support/bitops.hh"
+
+namespace s2e::expr::absint {
+
+struct AbsValue
+{
+    unsigned width = 0;
+    KnownBits kb;          ///< per-bit facts, disjoint zeros/ones
+    uint64_t umin = 0;     ///< unsigned interval, inclusive
+    uint64_t umax = 0;
+    int64_t smin = 0;      ///< signed interval, inclusive, sign-extended
+    int64_t smax = 0;
+    bool bot = false;      ///< empty set (contradictory facts)
+
+    /** No information beyond the width. */
+    static AbsValue top(unsigned w);
+    /** Exactly one value. */
+    static AbsValue constant(uint64_t v, unsigned w);
+    /** Empty set. */
+    static AbsValue bottom(unsigned w);
+    /** Interval-only seeds (reduced on construction). */
+    static AbsValue range(uint64_t lo, uint64_t hi, unsigned w);
+    static AbsValue signedRange(int64_t lo, int64_t hi, unsigned w);
+    /** Known-bits-only seed (reduced on construction). */
+    static AbsValue bits(KnownBits k, unsigned w);
+
+    bool isBottom() const { return bot; }
+    /** All four components pin the same single value. */
+    bool isConstant() const { return !bot && umin == umax; }
+    uint64_t constantValue() const { return umin; }
+
+    /** Membership test (v is truncated to width first). */
+    bool contains(uint64_t v) const;
+
+    /** Greatest lower bound: intersection of the two value sets'
+     *  over-approximations. Both operands must share the width. */
+    AbsValue meet(const AbsValue &o) const;
+    /** Least upper bound (join): used for Ite with unknown condition. */
+    AbsValue join(const AbsValue &o) const;
+
+    /** Strictly more precise than `o` in at least one component (used
+     *  by the fixpoint to detect progress). */
+    bool refines(const AbsValue &o) const;
+
+    /**
+     * Mutual refinement between the components; detects bottom.
+     * Idempotent after a bounded number of passes (internally
+     * iterated to a local fixpoint).
+     */
+    void reduce();
+
+    std::string toString() const;
+};
+
+} // namespace s2e::expr::absint
+
+#endif // S2E_EXPR_ABSINT_ABSVAL_HH

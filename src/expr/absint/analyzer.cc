@@ -1,0 +1,470 @@
+#include "expr/absint/analyzer.hh"
+
+#include <algorithm>
+
+namespace s2e::expr::absint {
+
+namespace {
+
+using u128 = unsigned __int128;
+
+constexpr unsigned kMaxFixpointIters = 8;
+constexpr unsigned kMaxRefineDepth = 32;
+constexpr unsigned kRefineBudget = 4096; ///< nodes per constraint pass
+constexpr size_t kFactsCacheCap = 8;
+
+int64_t
+minInt(unsigned w)
+{
+    return signExtend(1ULL << (w - 1), w);
+}
+
+int64_t
+maxInt(unsigned w)
+{
+    return static_cast<int64_t>(lowMask(w) >> 1);
+}
+
+} // namespace
+
+std::shared_ptr<Facts>
+Analyzer::analyze(const std::vector<ExprRef> &constraints)
+{
+    // Exact hit (newest first: the current path's set is hottest).
+    for (auto it = cache_.rbegin(); it != cache_.rend(); ++it) {
+        if ((*it)->key == constraints) {
+            if (factsReused_)
+                (*factsReused_)++;
+            return *it;
+        }
+    }
+    // Longest cached strict prefix: paths grow by appending
+    // constraints, so its facts seed this set's fixpoint.
+    const Facts *base = nullptr;
+    for (const auto &f : cache_) {
+        if (f->bottom || f->key.size() >= constraints.size())
+            continue;
+        if (!std::equal(f->key.begin(), f->key.end(), constraints.begin()))
+            continue;
+        if (!base || f->key.size() > base->key.size())
+            base = f.get();
+    }
+
+    auto facts = std::make_shared<Facts>();
+    facts->key = constraints;
+    facts->generation = nextGen_++;
+    if (base) {
+        facts->refined = base->refined;
+        if (factsReused_)
+            (*factsReused_)++;
+    }
+    if (factsComputed_)
+        (*factsComputed_)++;
+    runFixpoint(*facts);
+    cache_.push_back(facts);
+    if (cache_.size() > kFactsCacheCap)
+        cache_.erase(cache_.begin());
+    return facts;
+}
+
+void
+Analyzer::runFixpoint(Facts &facts)
+{
+    for (unsigned iter = 0; iter < kMaxFixpointIters; ++iter) {
+        if (fixpointIters_)
+            (*fixpointIters_)++;
+        bool changed = false;
+        // Iteration-scoped eval memo: facts only narrow during the
+        // pass, so a stale (wider) entry is sound, merely imprecise;
+        // the next iteration re-evaluates with fresh facts.
+        FactMap memo;
+        for (ExprRef c : facts.key) {
+            unsigned budget = kRefineBudget;
+            refineNode(c, AbsValue::constant(1, 1), facts, memo, changed,
+                       0, budget);
+            if (facts.bottom)
+                return;
+        }
+        if (!changed)
+            return;
+    }
+}
+
+void
+Analyzer::refineNode(ExprRef e, const AbsValue &required, Facts &facts,
+                     FactMap &memo, bool &changed, unsigned depth,
+                     unsigned &budget)
+{
+    if (facts.bottom || budget == 0)
+        return;
+    --budget;
+    if (e->isConstant()) {
+        // A constant either satisfies an implied requirement or the
+        // constraint set is contradictory.
+        if (!required.contains(e->value()))
+            facts.bottom = true;
+        return;
+    }
+
+    auto it = facts.refined.find(e);
+    AbsValue old =
+        it != facts.refined.end() ? it->second : AbsValue::top(e->width());
+    AbsValue nv = old.meet(required);
+    if (nv.isBottom()) {
+        facts.bottom = true;
+        return;
+    }
+    if (nv.refines(old)) {
+        facts.refined[e] = nv;
+        changed = true;
+    }
+    if (depth >= kMaxRefineDepth)
+        return;
+
+    // Structural backward propagation: push the (narrowed) requirement
+    // into operands wherever the operation is invertible enough. Every
+    // derived requirement below is *implied* by `nv` holding at this
+    // node, so a bottom meet further down correctly flags the whole
+    // constraint set as contradictory.
+    const AbsValue &R = nv;
+    unsigned w = e->width();
+    uint64_t mask = lowMask(w);
+    auto ev = [&](ExprRef k) { return evalExpr(k, &facts.refined, memo); };
+    auto rec = [&](ExprRef k, const AbsValue &r) {
+        refineNode(k, r, facts, memo, changed, depth + 1, budget);
+    };
+
+    switch (e->kind()) {
+      case Kind::And: {
+        AbsValue ea = ev(e->kid(0));
+        AbsValue eb = ev(e->kid(1));
+        auto back = [&](const AbsValue &other) {
+            AbsValue r = AbsValue::top(w);
+            r.kb.ones = R.kb.ones;                   // result 1 => operand 1
+            r.kb.zeros = R.kb.zeros & other.kb.ones; // 0 where other is 1
+            r.umin = R.umin;                         // a & b <= a
+            r.reduce();
+            return r;
+        };
+        rec(e->kid(0), back(eb));
+        rec(e->kid(1), back(ea));
+        break;
+      }
+      case Kind::Or: {
+        AbsValue ea = ev(e->kid(0));
+        AbsValue eb = ev(e->kid(1));
+        auto back = [&](const AbsValue &other) {
+            AbsValue r = AbsValue::top(w);
+            r.kb.zeros = R.kb.zeros;
+            r.kb.ones = R.kb.ones & other.kb.zeros;
+            r.umax = R.umax; // a <= a | b
+            r.reduce();
+            return r;
+        };
+        rec(e->kid(0), back(eb));
+        rec(e->kid(1), back(ea));
+        break;
+      }
+      case Kind::Xor: {
+        AbsValue ea = ev(e->kid(0));
+        AbsValue eb = ev(e->kid(1));
+        auto back = [&](const AbsValue &other) {
+            AbsValue r = AbsValue::top(w);
+            uint64_t known =
+                (R.kb.zeros | R.kb.ones) & (other.kb.zeros | other.kb.ones);
+            uint64_t val = (R.kb.ones ^ other.kb.ones) & known;
+            r.kb.ones = val;
+            r.kb.zeros = known & ~val & mask;
+            r.reduce();
+            return r;
+        };
+        rec(e->kid(0), back(eb));
+        rec(e->kid(1), back(ea));
+        break;
+      }
+      case Kind::Not: {
+        AbsValue r = AbsValue::top(w);
+        r.kb.ones = R.kb.zeros;
+        r.kb.zeros = R.kb.ones;
+        r.umin = mask - R.umax;
+        r.umax = mask - R.umin;
+        r.reduce();
+        rec(e->kid(0), r);
+        break;
+      }
+      case Kind::Neg: {
+        AbsValue r = AbsValue::top(w);
+        if (R.umin > 0) { // 0 excluded: x = 2^w - R, monotone reversed
+            r.umin = mask - R.umax + 1;
+            r.umax = mask - R.umin + 1;
+        } else if (R.umax == 0) {
+            r = AbsValue::constant(0, w);
+        }
+        r.reduce();
+        rec(e->kid(0), r);
+        break;
+      }
+      case Kind::Add: {
+        AbsValue ea = ev(e->kid(0));
+        AbsValue eb = ev(e->kid(1));
+        auto shiftBack = [&](ExprRef kid, const AbsValue &other) {
+            if (!other.isConstant())
+                return;
+            uint64_t c = other.constantValue();
+            if (c == 0) {
+                rec(kid, R);
+                return;
+            }
+            // kid = R - c: contiguous unless the interval straddles c.
+            AbsValue r = AbsValue::top(w);
+            if (R.umin >= c) {
+                r.umin = R.umin - c;
+                r.umax = R.umax - c;
+            } else if (R.umax < c) {
+                r.umin = truncate(R.umin - c, w);
+                r.umax = truncate(R.umax - c, w);
+            } else {
+                return; // preimage wraps: no contiguous bound
+            }
+            r.reduce();
+            rec(kid, r);
+        };
+        shiftBack(e->kid(0), eb);
+        shiftBack(e->kid(1), ea);
+        break;
+      }
+      case Kind::Sub: {
+        AbsValue ea = ev(e->kid(0));
+        AbsValue eb = ev(e->kid(1));
+        if (eb.isConstant()) { // kid0 = R + c
+            uint64_t c = eb.constantValue();
+            u128 lo = static_cast<u128>(R.umin) + c;
+            u128 hi = static_cast<u128>(R.umax) + c;
+            AbsValue r = AbsValue::top(w);
+            if (hi <= mask) {
+                r.umin = static_cast<uint64_t>(lo);
+                r.umax = static_cast<uint64_t>(hi);
+            } else if (lo > mask) {
+                r.umin = truncate(static_cast<uint64_t>(lo), w);
+                r.umax = truncate(static_cast<uint64_t>(hi), w);
+            } else {
+                r = AbsValue::top(w); // straddles the wrap
+            }
+            r.reduce();
+            rec(e->kid(0), r);
+        }
+        if (ea.isConstant()) { // kid1 = c - R, monotone reversed
+            uint64_t c = ea.constantValue();
+            AbsValue r = AbsValue::top(w);
+            if (c >= R.umax) {
+                r.umin = c - R.umax;
+                r.umax = c - R.umin;
+            } else if (c < R.umin) {
+                r.umin = truncate(c - R.umax, w);
+                r.umax = truncate(c - R.umin, w);
+            }
+            r.reduce();
+            rec(e->kid(1), r);
+        }
+        break;
+      }
+      case Kind::Eq: {
+        if (!R.isConstant())
+            break;
+        if (R.constantValue() == 1) { // both sides share their values
+            AbsValue ea = ev(e->kid(0));
+            AbsValue eb = ev(e->kid(1));
+            rec(e->kid(0), eb);
+            rec(e->kid(1), ea);
+        }
+        break;
+      }
+      case Kind::Ult:
+      case Kind::Ule:
+      case Kind::Slt:
+      case Kind::Sle: {
+        if (!R.isConstant())
+            break;
+        bool truth = R.constantValue() == 1;
+        ExprRef a = e->kid(0);
+        ExprRef b = e->kid(1);
+        AbsValue ea = ev(a);
+        AbsValue eb = ev(b);
+        unsigned kw = a->width();
+        uint64_t kmask = lowMask(kw);
+        switch (e->kind()) {
+          case Kind::Ult:
+            if (truth) { // a < b
+                if (eb.umax == 0 || ea.umin == kmask) {
+                    facts.bottom = true;
+                    break;
+                }
+                rec(a, AbsValue::range(0, eb.umax - 1, kw));
+                rec(b, AbsValue::range(ea.umin + 1, kmask, kw));
+            } else { // a >= b
+                rec(a, AbsValue::range(eb.umin, kmask, kw));
+                rec(b, AbsValue::range(0, ea.umax, kw));
+            }
+            break;
+          case Kind::Ule:
+            if (truth) { // a <= b
+                rec(a, AbsValue::range(0, eb.umax, kw));
+                rec(b, AbsValue::range(ea.umin, kmask, kw));
+            } else { // a > b
+                if (ea.umax == 0 || eb.umin == kmask) {
+                    facts.bottom = true;
+                    break;
+                }
+                rec(a, AbsValue::range(eb.umin + 1, kmask, kw));
+                rec(b, AbsValue::range(0, ea.umax - 1, kw));
+            }
+            break;
+          case Kind::Slt:
+            if (truth) { // a <s b
+                if (eb.smax == minInt(kw) || ea.smin == maxInt(kw)) {
+                    facts.bottom = true;
+                    break;
+                }
+                rec(a, AbsValue::signedRange(minInt(kw), eb.smax - 1, kw));
+                rec(b, AbsValue::signedRange(ea.smin + 1, maxInt(kw), kw));
+            } else { // a >=s b
+                rec(a, AbsValue::signedRange(eb.smin, maxInt(kw), kw));
+                rec(b, AbsValue::signedRange(minInt(kw), ea.smax, kw));
+            }
+            break;
+          default: // Sle
+            if (truth) { // a <=s b
+                rec(a, AbsValue::signedRange(minInt(kw), eb.smax, kw));
+                rec(b, AbsValue::signedRange(ea.smin, maxInt(kw), kw));
+            } else { // a >s b
+                if (ea.smax == minInt(kw) || eb.smin == maxInt(kw)) {
+                    facts.bottom = true;
+                    break;
+                }
+                rec(a, AbsValue::signedRange(eb.smin + 1, maxInt(kw), kw));
+                rec(b, AbsValue::signedRange(minInt(kw), ea.smax - 1, kw));
+            }
+            break;
+        }
+        break;
+      }
+      case Kind::ZExt: {
+        unsigned iw = e->kid(0)->width();
+        if (R.kb.ones & ~lowMask(iw)) {
+            facts.bottom = true; // a high bit required 1 can't happen
+            break;
+        }
+        AbsValue r = AbsValue::top(iw);
+        r.kb.ones = R.kb.ones & lowMask(iw);
+        r.kb.zeros = R.kb.zeros & lowMask(iw);
+        r.umin = R.umin;
+        r.umax = std::min(R.umax, lowMask(iw));
+        if (r.umin > r.umax) {
+            facts.bottom = true;
+            break;
+        }
+        r.reduce();
+        rec(e->kid(0), r);
+        break;
+      }
+      case Kind::SExt: {
+        unsigned iw = e->kid(0)->width();
+        if (R.smin > maxInt(iw) || R.smax < minInt(iw)) {
+            facts.bottom = true;
+            break;
+        }
+        AbsValue r = AbsValue::top(iw);
+        r.kb.ones = R.kb.ones & lowMask(iw);
+        r.kb.zeros = R.kb.zeros & lowMask(iw);
+        r.smin = std::max(R.smin, minInt(iw));
+        r.smax = std::min(R.smax, maxInt(iw));
+        r.reduce();
+        rec(e->kid(0), r);
+        break;
+      }
+      case Kind::Extract: {
+        unsigned off = e->aux();
+        unsigned aw = e->kid(0)->width();
+        AbsValue r = AbsValue::top(aw);
+        r.kb.ones = R.kb.ones << off;
+        r.kb.zeros = R.kb.zeros << off;
+        if (off + w == aw) { // top slice is monotone in the value
+            r.umin = R.umin << off;
+            r.umax = (R.umax << off) | lowMask(off);
+        }
+        r.reduce();
+        rec(e->kid(0), r);
+        break;
+      }
+      case Kind::Concat: {
+        unsigned lw = e->kid(1)->width();
+        AbsValue rh = AbsValue::top(e->kid(0)->width());
+        rh.kb.ones = R.kb.ones >> lw;
+        rh.kb.zeros = R.kb.zeros >> lw;
+        rh.umin = R.umin >> lw;
+        rh.umax = R.umax >> lw;
+        rh.reduce();
+        rec(e->kid(0), rh);
+        AbsValue rl = AbsValue::top(lw);
+        rl.kb.ones = R.kb.ones & lowMask(lw);
+        rl.kb.zeros = R.kb.zeros & lowMask(lw);
+        rl.reduce();
+        rec(e->kid(1), rl);
+        break;
+      }
+      case Kind::Shl: {
+        AbsValue eb = ev(e->kid(1));
+        if (!eb.isConstant())
+            break;
+        uint64_t s = eb.constantValue();
+        if (s >= w)
+            break; // result is constant 0; operand unconstrained
+        AbsValue r = AbsValue::top(w);
+        r.kb.ones = (R.kb.ones >> s) & lowMask(w - s);
+        r.kb.zeros = (R.kb.zeros >> s) & lowMask(w - s);
+        r.reduce();
+        rec(e->kid(0), r);
+        break;
+      }
+      case Kind::LShr: {
+        AbsValue eb = ev(e->kid(1));
+        if (!eb.isConstant())
+            break;
+        uint64_t s = eb.constantValue();
+        if (s >= w)
+            break;
+        uint64_t max_r = mask >> s;
+        if (R.umin > max_r) {
+            facts.bottom = true; // required more than a >> s can be
+            break;
+        }
+        AbsValue r = AbsValue::top(w);
+        r.kb.ones = (R.kb.ones & lowMask(w - s)) << s;
+        r.kb.zeros = (R.kb.zeros & lowMask(w - s)) << s;
+        r.umin = R.umin << s;
+        r.umax = (std::min(R.umax, max_r) << s) | lowMask(s);
+        r.reduce();
+        rec(e->kid(0), r);
+        break;
+      }
+      case Kind::Ite: {
+        AbsValue ec = ev(e->kid(0));
+        if (ec.isConstant()) {
+            rec(e->kid(ec.constantValue() ? 1 : 2), R);
+            break;
+        }
+        // The requirement can rule a branch out entirely, deciding
+        // the condition (and if it rules out both, the meet of the
+        // two condition requirements flags bottom).
+        if (ev(e->kid(1)).meet(R).isBottom())
+            rec(e->kid(0), AbsValue::constant(0, 1));
+        if (ev(e->kid(2)).meet(R).isBottom())
+            rec(e->kid(0), AbsValue::constant(1, 1));
+        break;
+      }
+      default:
+        break; // Variable, Mul, divisions, AShr: fact recorded above
+    }
+}
+
+} // namespace s2e::expr::absint

@@ -2,195 +2,11 @@
 
 #include <unordered_map>
 
+#include "expr/absint/analyzer.hh"
+
 namespace s2e::expr {
 
 namespace {
-
-/** Known-bits transfer for addition: low bits are known up to the
- *  first position where a carry becomes uncertain. */
-KnownBits
-knownAdd(const KnownBits &a, const KnownBits &b, unsigned width)
-{
-    KnownBits out;
-    unsigned carry_known = 1; // carry into bit 0 is known 0
-    unsigned carry = 0;
-    for (unsigned i = 0; i < width && carry_known; ++i) {
-        bool a_known = ((a.zeros | a.ones) >> i) & 1;
-        bool b_known = ((b.zeros | b.ones) >> i) & 1;
-        if (!a_known || !b_known)
-            break;
-        unsigned abit = (a.ones >> i) & 1;
-        unsigned bbit = (b.ones >> i) & 1;
-        unsigned sum = abit + bbit + carry;
-        if (sum & 1)
-            out.ones |= 1ULL << i;
-        else
-            out.zeros |= 1ULL << i;
-        carry = sum >> 1;
-    }
-    return out;
-}
-
-KnownBits
-knownBitsRec(ExprRef e, std::unordered_map<ExprRef, KnownBits> &memo)
-{
-    auto it = memo.find(e);
-    if (it != memo.end())
-        return it->second;
-
-    unsigned w = e->width();
-    uint64_t mask = lowMask(w);
-    KnownBits out = KnownBits::unknown();
-
-    switch (e->kind()) {
-      case Kind::Constant:
-        out = KnownBits::constant(e->value(), w);
-        break;
-      case Kind::Variable:
-        break;
-      case Kind::And: {
-        KnownBits a = knownBitsRec(e->kid(0), memo);
-        KnownBits b = knownBitsRec(e->kid(1), memo);
-        out.ones = a.ones & b.ones;
-        out.zeros = (a.zeros | b.zeros) & mask;
-        break;
-      }
-      case Kind::Or: {
-        KnownBits a = knownBitsRec(e->kid(0), memo);
-        KnownBits b = knownBitsRec(e->kid(1), memo);
-        out.ones = a.ones | b.ones;
-        out.zeros = a.zeros & b.zeros;
-        break;
-      }
-      case Kind::Xor: {
-        KnownBits a = knownBitsRec(e->kid(0), memo);
-        KnownBits b = knownBitsRec(e->kid(1), memo);
-        uint64_t both = (a.zeros | a.ones) & (b.zeros | b.ones);
-        uint64_t v = a.ones ^ b.ones;
-        out.ones = v & both;
-        out.zeros = ~v & both & mask;
-        break;
-      }
-      case Kind::Not: {
-        KnownBits a = knownBitsRec(e->kid(0), memo);
-        out.ones = a.zeros;
-        out.zeros = a.ones;
-        break;
-      }
-      case Kind::Shl: {
-        if (e->kid(1)->isConstant()) {
-            uint64_t s = e->kid(1)->value();
-            if (s >= w) {
-                out = KnownBits::constant(0, w);
-            } else {
-                KnownBits a = knownBitsRec(e->kid(0), memo);
-                out.ones = (a.ones << s) & mask;
-                out.zeros = ((a.zeros << s) | lowMask(s)) & mask;
-            }
-        }
-        break;
-      }
-      case Kind::LShr: {
-        if (e->kid(1)->isConstant()) {
-            uint64_t s = e->kid(1)->value();
-            if (s >= w) {
-                out = KnownBits::constant(0, w);
-            } else {
-                KnownBits a = knownBitsRec(e->kid(0), memo);
-                out.ones = a.ones >> s;
-                out.zeros =
-                    ((a.zeros >> s) | (~(mask >> s) & mask)) & mask;
-            }
-        }
-        break;
-      }
-      case Kind::AShr: {
-        if (e->kid(1)->isConstant()) {
-            uint64_t s = e->kid(1)->value();
-            KnownBits a = knownBitsRec(e->kid(0), memo);
-            if (s >= w)
-                s = w - 1;
-            out.ones = a.ones >> s;
-            out.zeros = (a.zeros >> s) & mask;
-            uint64_t fill = (~(mask >> s)) & mask;
-            bool sign_known_one = (a.ones >> (w - 1)) & 1;
-            bool sign_known_zero = (a.zeros >> (w - 1)) & 1;
-            if (sign_known_one)
-                out.ones |= fill;
-            else if (sign_known_zero)
-                out.zeros |= fill;
-            break;
-        }
-        break;
-      }
-      case Kind::Concat: {
-        KnownBits hi = knownBitsRec(e->kid(0), memo);
-        KnownBits lo = knownBitsRec(e->kid(1), memo);
-        unsigned lw = e->kid(1)->width();
-        out.ones = (hi.ones << lw) | lo.ones;
-        out.zeros = (hi.zeros << lw) | lo.zeros;
-        break;
-      }
-      case Kind::Extract: {
-        KnownBits a = knownBitsRec(e->kid(0), memo);
-        out.ones = (a.ones >> e->aux()) & mask;
-        out.zeros = (a.zeros >> e->aux()) & mask;
-        break;
-      }
-      case Kind::ZExt: {
-        KnownBits a = knownBitsRec(e->kid(0), memo);
-        unsigned iw = e->kid(0)->width();
-        out.ones = a.ones;
-        out.zeros = a.zeros | (mask & ~lowMask(iw));
-        break;
-      }
-      case Kind::SExt: {
-        KnownBits a = knownBitsRec(e->kid(0), memo);
-        unsigned iw = e->kid(0)->width();
-        out.ones = a.ones;
-        out.zeros = a.zeros;
-        uint64_t fill = mask & ~lowMask(iw);
-        if ((a.ones >> (iw - 1)) & 1)
-            out.ones |= fill;
-        else if ((a.zeros >> (iw - 1)) & 1)
-            out.zeros |= fill;
-        break;
-      }
-      case Kind::Add: {
-        KnownBits a = knownBitsRec(e->kid(0), memo);
-        KnownBits b = knownBitsRec(e->kid(1), memo);
-        out = knownAdd(a, b, w);
-        break;
-      }
-      case Kind::Ite: {
-        KnownBits c = knownBitsRec(e->kid(0), memo);
-        if (c.allKnown(1)) {
-            out = knownBitsRec(e->kid(c.value() ? 1 : 2), memo);
-        } else {
-            KnownBits a = knownBitsRec(e->kid(1), memo);
-            KnownBits b = knownBitsRec(e->kid(2), memo);
-            out.ones = a.ones & b.ones;
-            out.zeros = a.zeros & b.zeros;
-        }
-        break;
-      }
-      case Kind::Eq: {
-        // If the operands have contradictory known bits, the equality
-        // is statically false.
-        KnownBits a = knownBitsRec(e->kid(0), memo);
-        KnownBits b = knownBitsRec(e->kid(1), memo);
-        if ((a.ones & b.zeros) || (a.zeros & b.ones))
-            out = KnownBits::constant(0, 1);
-        break;
-      }
-      default:
-        break; // unknown
-    }
-
-    S2E_ASSERT((out.zeros & out.ones) == 0, "inconsistent known bits");
-    memo[e] = out;
-    return out;
-}
 
 /** Highest set bit position + 1 (i.e., number of live low bits). */
 unsigned
@@ -204,8 +20,20 @@ liveWidth(uint64_t demanded)
 KnownBits
 knownBits(ExprRef e)
 {
-    std::unordered_map<ExprRef, KnownBits> memo;
-    return knownBitsRec(e, memo);
+    absint::FactMap memo;
+    return absint::evalExpr(e, nullptr, memo).kb;
+}
+
+void
+Simplifier::setFacts(const absint::Facts *facts)
+{
+    uint64_t gen = facts ? facts->generation : 0;
+    if (gen != factsGen_) {
+        factsAbs_.clear();
+        factsMemo_.clear();
+        factsGen_ = gen;
+    }
+    facts_ = facts;
 }
 
 ExprRef
@@ -227,8 +55,9 @@ Simplifier::simplifyDemanded(ExprRef e, uint64_t demanded)
         return builder_.constant(0, e->width());
 
     Key key{e, demanded};
-    auto it = memo_.find(key);
-    if (it != memo_.end())
+    auto &memo = facts_ ? factsMemo_ : memo_;
+    auto it = memo.find(key);
+    if (it != memo.end())
         return it->second;
 
     ExprBuilder &b = builder_;
@@ -398,17 +227,21 @@ Simplifier::simplifyDemanded(ExprRef e, uint64_t demanded)
     }
 
     // Known-bits collapse: if every demanded bit of the result is
-    // statically known and the rest are not demanded, fold to constant.
+    // statically known, fold to a constant (undemanded bits become 0,
+    // which the demanded-bits contract allows). Whole-path facts, when
+    // set, let constraint-derived knowledge participate.
     if (!out->isConstant()) {
-        KnownBits kb = knownBits(out);
-        if ((demanded & ~(kb.zeros | kb.ones)) == 0 &&
-            demanded == lowMask(out->width())) {
+        const absint::AbsValue v =
+            facts_ ? absint::evalExpr(out, &facts_->refined, factsAbs_)
+                   : absint::evalExpr(out, nullptr, pureAbs_);
+        if (!v.isBottom() &&
+            (demanded & ~(v.kb.zeros | v.kb.ones)) == 0) {
             stats_.constantsFolded++;
-            out = b.constant(kb.ones, out->width());
+            out = b.constant(v.kb.ones & demanded, out->width());
         }
     }
 
-    memo_[key] = out;
+    memo[key] = out;
     return out;
 }
 

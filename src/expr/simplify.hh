@@ -17,16 +17,23 @@
 #ifndef S2E_EXPR_SIMPLIFY_HH
 #define S2E_EXPR_SIMPLIFY_HH
 
+#include "expr/absint/transfer.hh"
 #include "expr/builder.hh"
 #include "expr/expr.hh"
 #include "support/bitops.hh"
 
 namespace s2e::expr {
 
+namespace absint {
+struct Facts;
+}
+
 /**
  * Compute the known-bits lattice value for an expression. Exposed for
  * tests and for the solver's fast path (a constraint whose known bits
- * pin it to 0/1 needs no SAT call).
+ * pin it to 0/1 needs no SAT call). Backed by the absint transfer
+ * functions, so interval reasoning feeds bit facts too (a singleton
+ * range pins every bit).
  */
 KnownBits knownBits(ExprRef e);
 
@@ -53,6 +60,27 @@ class Simplifier
      */
     ExprRef simplify(ExprRef e);
 
+    /**
+     * Demanded-bits entry point: the result agrees with `e` on every
+     * bit of `demanded` under every assignment; bits outside the mask
+     * are unspecified. Exposed for the property-equivalence suite.
+     */
+    ExprRef
+    simplifyDemandedBits(ExprRef e, uint64_t demanded)
+    {
+        return simplifyDemanded(e, demanded);
+    }
+
+    /**
+     * Use whole-path absint facts for the known-bits collapse (nullptr
+     * reverts to context-free). While facts are set, results are only
+     * equivalent on assignments *satisfying the analyzed constraints*
+     * — callers must restrict use to the query side of a satisfiability
+     * check, never to the constraints themselves. The facts object
+     * must outlive the simplify calls made under it.
+     */
+    void setFacts(const absint::Facts *facts);
+
     const SimplifyStats &stats() const { return stats_; }
     void resetStats() { stats_ = SimplifyStats(); }
 
@@ -61,6 +89,10 @@ class Simplifier
 
     ExprBuilder &builder_;
     SimplifyStats stats_;
+    const absint::Facts *facts_ = nullptr;
+    absint::FactMap pureAbs_;  ///< context-free abstract-value cache
+    absint::FactMap factsAbs_; ///< facts-scoped cache (per generation)
+    uint64_t factsGen_ = 0;
     // Memo keyed by (expr, demanded mask).
     struct Key {
         ExprRef e;
@@ -79,6 +111,10 @@ class Simplifier
         }
     };
     std::unordered_map<Key, ExprRef, KeyHash> memo_;
+    // Separate memo while facts are active: facts-conditioned results
+    // must never leak into (or out of) the context-free cache. Cleared
+    // whenever the facts generation changes.
+    std::unordered_map<Key, ExprRef, KeyHash> factsMemo_;
 };
 
 } // namespace s2e::expr

@@ -1045,6 +1045,62 @@ TEST(Engine, FaultInjectedForkPointDegradesNotDrops)
     EXPECT_FALSE(s.constraints.empty());
 }
 
+TEST(Engine, UnknownPlusUnsatBranchForcesDefiniteSideWithoutFallback)
+{
+    // Degraded branch with one *definite* side: the true side times
+    // out but the false side is proved infeasible, so the true side is
+    // forced — the engine must take it directly, without spending the
+    // concretization getValue query the both-Unknown path needs.
+    Engine engine(machineFor(R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        s2e_symreg r1
+        movi r2, 0
+        cmpi r1, 10
+        jb low
+        hlt                ; r1 >= 10: no further branches
+    low:
+        cmpi r1, 20        ; under r1 < 10: true side forced
+        jb lower
+        movi r2, 9         ; infeasible side
+        hlt
+    lower:
+        movi r2, 1
+        hlt
+    )"),
+                  EngineConfig{});
+    // Queries 1+2 fork the first branch. Query 3 (second branch, true
+    // side) is forced Unknown; query 4 (false side, r1 >= 20 under
+    // r1 < 10) is genuinely Unsat.
+    solver::FaultPolicy policy;
+    policy.enabled = true;
+    policy.triggerQueries = {3};
+    engine.solver().setFaultPolicy(policy);
+
+    RunResult r = engine.run();
+    EXPECT_EQ(r.forks, 1u);
+    EXPECT_EQ(r.statesCreated, 2u);
+    EXPECT_EQ(r.completed, 2u);
+    EXPECT_EQ(r.solverFailures, 0u);
+    EXPECT_EQ(r.degradedStates, 1u);
+    EXPECT_GT(engine.stats().get("engine.forks_suppressed_degraded"), 0u);
+    // Exactly 4 facade queries: the forced side needed no getValue.
+    EXPECT_EQ(engine.solver().queryCount(), 4u);
+    for (const auto &s : engine.allStates()) {
+        ASSERT_TRUE(s->cpu.regs[2].isConcrete());
+        uint32_t r2 = s->cpu.regs[2].concrete();
+        if (s->degraded) {
+            // The degraded path took the forced (feasible) side, never
+            // the infeasible r2 = 9 one.
+            EXPECT_EQ(r2, 1u);
+            EXPECT_GE(s->degradeCount, 1u);
+        } else {
+            EXPECT_EQ(r2, 0u);
+        }
+    }
+}
+
 TEST(Engine, FaultInjectedConcretizeKillsWithSolverFailure)
 {
     // Every query returns Unknown: the store-address concretization

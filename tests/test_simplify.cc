@@ -223,6 +223,94 @@ TEST_F(SimplifyTest, PropertyKnownBitsAreSound)
     }
 }
 
+/** Random 32-bit expression exercising *every* Expr kind (the earlier
+ *  properties stay on bitfieldy shapes; this one is the full grammar,
+ *  including division, comparisons, ite, concat and sign handling). */
+ExprRef
+randomAllKinds(ExprBuilder &b, Rng &rng, const std::vector<ExprRef> &vars,
+               unsigned depth)
+{
+    if (depth == 0 || rng.chance(0.25)) {
+        if (rng.chance(0.3))
+            return b.constant(rng.next(), 32);
+        return vars[rng.below(vars.size())];
+    }
+    ExprRef l = randomAllKinds(b, rng, vars, depth - 1);
+    ExprRef r = randomAllKinds(b, rng, vars, depth - 1);
+    switch (rng.below(24)) {
+      case 0: return b.add(l, r);
+      case 1: return b.sub(l, r);
+      case 2: return b.mul(l, r);
+      case 3: return b.udiv(l, r);
+      case 4: return b.sdiv(l, r);
+      case 5: return b.urem(l, r);
+      case 6: return b.srem(l, r);
+      case 7: return b.bAnd(l, r);
+      case 8: return b.bOr(l, r);
+      case 9: return b.bXor(l, r);
+      case 10: return b.bNot(l);
+      case 11: return b.neg(l);
+      case 12: return b.shl(l, b.constant(rng.below(40), 32));
+      case 13: return b.lshr(l, b.constant(rng.below(40), 32));
+      case 14: return b.ashr(l, b.constant(rng.below(40), 32));
+      case 15:
+        return b.concat(b.extract(l, 16, 16), b.extract(r, 0, 16));
+      case 16: return b.zext(b.extract(l, rng.below(16), 8), 32);
+      case 17: return b.sext(b.extract(l, rng.below(16), 8), 32);
+      case 18: return b.zext(b.eq(l, r), 32);
+      case 19: return b.zext(b.ult(l, r), 32);
+      case 20: return b.zext(b.ule(l, r), 32);
+      case 21: return b.zext(b.slt(l, r), 32);
+      case 22: return b.zext(b.sle(l, r), 32);
+      default: return b.ite(b.ult(l, r), l, r);
+    }
+}
+
+/** Full-grammar equivalence: simplify() must preserve the value of
+ *  random trees over every Expr kind on random models. */
+TEST_F(SimplifyTest, PropertyAllKindsSimplifyPreservesSemantics)
+{
+    Rng rng(20260808);
+    std::vector<ExprRef> vars = {b.var("p", 32), b.var("q", 32),
+                                 b.var("r", 32)};
+    for (int iter = 0; iter < 500; ++iter) {
+        ExprRef e = randomAllKinds(b, rng, vars, 4);
+        ExprRef s = simp.simplify(e);
+        for (int trial = 0; trial < 8; ++trial) {
+            Assignment a;
+            for (ExprRef v : vars)
+                a.set(v, rng.next());
+            ASSERT_EQ(evaluate(e, a), evaluate(s, a))
+                << "expr: " << e->toString()
+                << "\nsimplified: " << s->toString();
+        }
+    }
+}
+
+/** simplifyDemanded may change bits outside the demanded mask but must
+ *  agree on every demanded bit, for random trees and random masks. */
+TEST_F(SimplifyTest, PropertyDemandedBitsAgreeOnDemandedBits)
+{
+    Rng rng(5150);
+    std::vector<ExprRef> vars = {b.var("dp", 32), b.var("dq", 32),
+                                 b.var("dr", 32)};
+    for (int iter = 0; iter < 500; ++iter) {
+        ExprRef e = randomAllKinds(b, rng, vars, 4);
+        uint64_t demanded = rng.next() & 0xFFFFFFFFu;
+        if (demanded == 0)
+            demanded = 1;
+        ExprRef s = simp.simplifyDemandedBits(e, demanded);
+        for (int trial = 0; trial < 8; ++trial) {
+            Assignment a;
+            for (ExprRef v : vars)
+                a.set(v, rng.next());
+            ASSERT_EQ(evaluate(e, a) & demanded, evaluate(s, a) & demanded)
+                << "expr: " << e->toString() << "\ndemanded: " << std::hex
+                << demanded << "\nsimplified: " << s->toString();
+        }
+    }
+}
+
 TEST_F(SimplifyTest, SimplifyIsIdempotent)
 {
     ExprRef x = b.var("x", 32);

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Diff two s2e.run_report.v1 bench JSON files and flag regressions.
+
+Compares the flat ``metrics`` map (plus top-level ``wall_seconds``) of
+a freshly generated report against a committed baseline. Every metric
+is classified by name into lower-is-better (times, byte counts,
+failure/overhead counters), higher-is-better (rates, utilizations,
+reduction factors, boolean ``_ok``/``_match`` gates) or
+direction-unknown; a change past the threshold in the *bad* direction
+is a regression. Direction-unknown metrics are reported but never
+flagged.
+
+Exit status: 0 when no regression exceeds the threshold, 1 otherwise
+(the run_checks.sh wiring treats this as advisory; strict CI can gate
+on it directly).
+
+Usage:
+    tools/bench_diff.py BASELINE.json FRESH.json [--threshold 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+# Substring rules, first match wins. Wall-clock metrics are inherently
+# noisy on shared machines — that is what the threshold is for.
+LOWER_IS_BETTER = (
+    "_seconds",
+    "_micros",
+    "_bytes",
+    "overhead",
+    "failures",
+    "failure",
+    "dropped",
+    "retries",
+    "disagreements",
+    "unknown",
+    "timeouts",
+    "conflicts",
+    "queries",
+    "footprint",
+)
+HIGHER_IS_BETTER = (
+    "_per_sec",
+    "utilization",
+    "reduction",
+    "_match",
+    "_ok",
+    "_exact",
+    "accounted",
+    "absorbed",
+    "prunes",
+    "prune_rate",
+    "paths",
+    "coverage",
+)
+
+
+def direction(name):
+    """-1 = lower is better, +1 = higher is better, 0 = unknown."""
+    low = name.lower()
+    for pat in LOWER_IS_BETTER:
+        if pat in low:
+            return -1
+    for pat in HIGHER_IS_BETTER:
+        if pat in low:
+            return 1
+    return 0
+
+
+def load_metrics(path):
+    with open(path) as f:
+        report = json.load(f)
+    if report.get("schema") != "s2e.run_report.v1":
+        sys.exit(f"bench_diff: {path}: not an s2e.run_report.v1 report")
+    metrics = dict(report.get("metrics") or {})
+    if "wall_seconds" in report:
+        metrics["wall_seconds"] = report["wall_seconds"]
+    return report.get("name", "?"), metrics
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="diff bench reports against a committed baseline")
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="relative change that counts as a regression "
+                         "(default 0.10 = 10%%)")
+    args = ap.parse_args()
+
+    base_name, base = load_metrics(args.baseline)
+    fresh_name, fresh = load_metrics(args.fresh)
+    if base_name != fresh_name:
+        print(f"bench_diff: comparing different benches "
+              f"({base_name} vs {fresh_name})", file=sys.stderr)
+
+    regressions = []
+    rows = []
+    for name in sorted(set(base) | set(fresh)):
+        if name not in base:
+            rows.append((name, None, fresh[name], "new", ""))
+            continue
+        if name not in fresh:
+            rows.append((name, base[name], None, "gone", ""))
+            continue
+        b, f = float(base[name]), float(fresh[name])
+        if b == f:
+            continue
+        rel = (f - b) / abs(b) if b else float("inf")
+        d = direction(name)
+        bad = d != 0 and rel * d < 0 and abs(rel) > args.threshold
+        tag = "REGRESSION" if bad else ("improved" if d and rel * d > 0
+                                        and abs(rel) > args.threshold
+                                        else "changed")
+        rows.append((name, b, f, tag,
+                     f"{rel:+.1%}" if rel != float("inf") else "+inf"))
+        if bad:
+            regressions.append(name)
+
+    if not rows:
+        print(f"bench_diff: {fresh_name}: no metric changes vs baseline")
+        return 0
+    width = max(len(r[0]) for r in rows)
+    for name, b, f, tag, rel in rows:
+        bs = "-" if b is None else f"{b:g}"
+        fs = "-" if f is None else f"{f:g}"
+        print(f"  {name:<{width}}  {bs:>14} -> {fs:<14} {rel:>8}  {tag}")
+    if regressions:
+        print(f"bench_diff: {len(regressions)} regression(s) beyond "
+              f"{args.threshold:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"bench_diff: no regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

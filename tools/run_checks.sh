@@ -3,9 +3,10 @@
 # three configurations:
 #   1. the default build       — `ctest -L parallel` (serial-vs-parallel),
 #                                `ctest -L solver` (incremental-vs-fresh
-#                                solver contexts) and `ctest -L lifecycle`
+#                                solver contexts), `ctest -L lifecycle`
 #                                (spill/merge-vs-all-resident state
-#                                lifecycle)
+#                                lifecycle) and `ctest -L absint` (static
+#                                value analysis vs the solver oracle)
 #   2. an AddressSanitizer build — `ctest -L sanitize` under build-asan/
 #                                (solver + engine resilience paths and the
 #                                lifecycle suite's exactly-once resource
@@ -13,6 +14,9 @@
 #   3. a ThreadSanitizer build — `ctest -L tsan` under build-tsan/
 #                                (parallel, incremental and lifecycle
 #                                suites all carry the tsan label)
+# Also gates clang-tidy (zero warnings over src/expr and src/solver,
+# skipped when clang-tidy is not installed) and, advisory only, diffs a
+# fresh bench_fork_storm report against the committed baseline.
 # All must pass with zero divergences before a change to the
 # exploration core, the solver pipeline or the state lifecycle lands.
 #
@@ -31,7 +35,7 @@ tsan_dir=${2:-"$repo_root/build-tsan"}
 asan_dir=${3:-"$repo_root/build-asan"}
 jobs=$(nproc 2>/dev/null || echo 2)
 
-check_targets="test_parallel test_incremental test_lifecycle"
+check_targets="test_parallel test_incremental test_lifecycle test_absint"
 
 status=0
 
@@ -44,6 +48,13 @@ cmake --build "$build_dir" -j "$jobs" \
 (cd "$build_dir" && ctest -L parallel --output-on-failure) || status=1
 (cd "$build_dir" && ctest -L solver --output-on-failure) || status=1
 (cd "$build_dir" && ctest -L lifecycle --output-on-failure) || status=1
+(cd "$build_dir" && ctest -L absint --output-on-failure) || status=1
+
+echo "== run_checks: clang-tidy gate (src/expr, src/solver) =="
+# Zero-warning gate over the expression and solver layers (the static
+# value analysis lives there); skips cleanly when clang-tidy is absent.
+"$repo_root/tools/run_tidy.sh" "$build_dir" src/expr src/solver \
+    -- --warnings-as-errors='*' || status=1
 
 echo "== run_checks: AddressSanitizer configuration ($asan_dir) =="
 if [ ! -f "$asan_dir/CMakeCache.txt" ]; then
@@ -62,6 +73,31 @@ cmake --build "$tsan_dir" -j "$jobs" \
     --target $check_targets || exit 1
 (cd "$tsan_dir" && ctest -L tsan --output-on-failure) || status=1
 (cd "$tsan_dir" && ctest -L lifecycle --output-on-failure) || status=1
+
+# Advisory bench diff: regenerate the fork-storm report and compare it
+# against the committed baseline. Regressions are reported, never fatal
+# here — wall-clock metrics are noisy on shared machines; gate on
+# tools/bench_diff.py directly where a hard check is wanted.
+if [ -f "$repo_root/BENCH_fork_storm.json" ] &&
+       command -v python3 >/dev/null 2>&1; then
+    echo "== run_checks: bench diff vs committed baseline (advisory) =="
+    if cmake --build "$build_dir" -j "$jobs" \
+             --target bench_fork_storm >/dev/null 2>&1; then
+        bench_tmp=$(mktemp -d)
+        if (cd "$bench_tmp" &&
+                "$build_dir/bench/bench_fork_storm" >/dev/null 2>&1); then
+            python3 "$repo_root/tools/bench_diff.py" \
+                "$repo_root/BENCH_fork_storm.json" \
+                "$bench_tmp/BENCH_fork_storm.json" ||
+                echo "run_checks: bench regressions above are ADVISORY"
+        else
+            echo "run_checks: bench_fork_storm run failed; diff skipped"
+        fi
+        rm -rf "$bench_tmp"
+    else
+        echo "run_checks: bench_fork_storm build failed; diff skipped"
+    fi
+fi
 
 if [ "$status" -eq 0 ]; then
     echo "run_checks: all differential checks passed"

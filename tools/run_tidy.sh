@@ -3,9 +3,12 @@
 # profile. Skips cleanly (exit 0) when clang-tidy is not installed, so
 # minimal CI images can still run the script unconditionally.
 #
-# Usage: tools/run_tidy.sh [build-dir] [-- extra clang-tidy args]
+# Usage: tools/run_tidy.sh [build-dir] [path...] [-- extra clang-tidy args]
 #   build-dir: a CMake build directory containing
 #              compile_commands.json (default: build)
+#   path...:   directories (relative to the repo root or absolute) to
+#              restrict the run to, e.g. `src/expr src/solver`; the
+#              default sweep covers src/, bench/ and examples/
 set -u
 
 repo_root=$(cd "$(dirname "$0")/.." && pwd)
@@ -24,10 +27,27 @@ if [ ! -f "$build_dir/compile_commands.json" ]; then
 fi
 
 shift 2>/dev/null || true
-[ "${1:-}" = "--" ] && shift
 
-files=$(find "$repo_root/src" "$repo_root/bench" "$repo_root/examples" \
-        -name '*.cc' -o -name '*.cpp' | sort)
+# Paths before a `--` narrow the sweep; everything after it goes to
+# clang-tidy verbatim.
+roots=""
+while [ $# -gt 0 ] && [ "$1" != "--" ]; do
+    case $1 in
+      /*) dir=$1 ;;
+      *) dir="$repo_root/$1" ;;
+    esac
+    if [ ! -d "$dir" ]; then
+        echo "run_tidy: no such directory: $1" >&2
+        exit 1
+    fi
+    roots="$roots $dir"
+    shift
+done
+[ "${1:-}" = "--" ] && shift
+[ -z "$roots" ] &&
+    roots="$repo_root/src $repo_root/bench $repo_root/examples"
+
+files=$(find $roots -name '*.cc' -o -name '*.cpp' | sort)
 
 status=0
 for f in $files; do
