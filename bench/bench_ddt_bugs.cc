@@ -5,10 +5,18 @@
  * bugs total: 2 discoverable under SC-SE (symbolic hardware only) and
  * 5 more once local-consistency interface annotations inject symbolic
  * registry configuration, allocator failures and ioctl arguments.
+ *
+ * Every run also exercises the record/replay witness oracle: each
+ * terminated path emits a witness, every bug path (plus a sample of
+ * non-bug paths) is re-executed solver-free from its witness, and the
+ * bench checks the bug re-crashes at the same program counter.
  */
 
 #include <cstdio>
+#include <map>
+#include <set>
 
+#include "core/replay/replayer.hh"
 #include "obs/report.hh"
 #include "tools/ddt.hh"
 
@@ -17,7 +25,30 @@ using namespace s2e::tools;
 
 namespace {
 
-DdtResult
+/** Non-bug witnesses replayed per exploration run (bug paths are
+ *  always replayed; this caps the extra oracle coverage). */
+constexpr size_t kSampleReplays = 8;
+
+/** The symbolic-pointer bounds check reports *may*-overflows: the
+ *  solver proves some assignment escapes the chunk, but the path is
+ *  not constrained to it, so the witness model need not trigger it.
+ *  Those reports are excluded from the concrete re-detection check. */
+bool
+isMayReport(const DdtBug &bug)
+{
+    return bug.message.find("can escape its bounds") != std::string::npos;
+}
+
+struct BenchRun {
+    DdtResult result;
+    std::vector<std::shared_ptr<const core::replay::Witness>> witnesses;
+    /** Paths that died crashing: pathId -> terminal crash pc. */
+    std::map<std::string, uint32_t> crashPaths;
+    /** Concrete (non-may) bug reports per path: pathId -> kinds. */
+    std::map<std::string, std::set<std::string>> pathReports;
+};
+
+BenchRun
 runOne(guest::DriverKind kind, core::ConsistencyModel model,
        bool annotations, obs::RunReport *report = nullptr)
 {
@@ -27,11 +58,158 @@ runOne(guest::DriverKind kind, core::ConsistencyModel model,
     config.annotations = annotations;
     config.maxWallSeconds = 25;
     config.maxInstructions = 20'000'000;
+    config.emitWitnesses = true;
     Ddt ddt(config);
-    DdtResult result = ddt.run();
+    BenchRun run;
+    run.result = ddt.run();
+    run.witnesses = ddt.engine().witnesses();
+
+    std::map<int, std::string> path_of;
+    for (const auto &s : ddt.engine().allStates())
+        path_of[s->id()] = s->pathId();
+    for (const auto &c : ddt.bugCheck().crashes()) {
+        if (c.kind == "kernel-panic" || c.kind == "crash")
+            run.crashPaths.emplace(path_of[c.stateId], c.pc);
+    }
+    for (const auto &b : run.result.bugs) {
+        if (!isMayReport(b))
+            run.pathReports[path_of[b.stateId]].insert(b.kind);
+    }
     if (report)
-        report->captureEngine(ddt.engine(), result.run);
-    return result;
+        report->captureEngine(ddt.engine(), run.result.run);
+    return run;
+}
+
+struct ReplayOutcome {
+    core::replay::ReplayResult verdict;
+    /** Bug kinds the replayed run re-detected. */
+    std::set<std::string> reportKinds;
+};
+
+ReplayOutcome
+replayOne(guest::DriverKind kind, core::ConsistencyModel model,
+          bool annotations,
+          std::shared_ptr<const core::replay::Witness> witness)
+{
+    DdtConfig config;
+    config.driver = kind;
+    config.model = model;
+    config.annotations = annotations;
+    config.replayWitness = std::move(witness);
+    Ddt ddt(config);
+    DdtResult r = ddt.run();
+    ReplayOutcome out;
+    out.verdict = core::replay::replayVerdict(ddt.engine());
+    out.verdict.instructions = r.run.totalInstructions;
+    out.verdict.wallSeconds = r.run.wallSeconds;
+    for (const auto &b : r.bugs)
+        out.reportKinds.insert(b.kind);
+    return out;
+}
+
+struct ReplayTally {
+    size_t replayed = 0;
+    size_t ok = 0;
+    uint64_t solverQueries = 0;
+    uint64_t instructions = 0;
+    double wallSeconds = 0;
+    size_t crashPathsTotal = 0;
+    size_t crashesWithWitness = 0;
+    size_t crashesRecrashed = 0;
+    size_t crashesRecrashSamePc = 0;
+    size_t reportsTotal = 0;
+    size_t reportsRematched = 0;
+    uint64_t witnessesEmitted = 0;
+    uint64_t extractFailures = 0;
+
+    void
+    add(const ReplayOutcome &o)
+    {
+        replayed++;
+        ok += o.verdict.ok ? 1 : 0;
+        solverQueries += o.verdict.solverQueries;
+        instructions += o.verdict.instructions;
+        wallSeconds += o.verdict.wallSeconds;
+    }
+};
+
+void
+replayRun(guest::DriverKind kind, core::ConsistencyModel model,
+          bool annotations, const BenchRun &run, ReplayTally &tally)
+{
+    tally.witnessesEmitted += run.result.run.witnessesEmitted;
+    tally.extractFailures += run.result.run.witnessExtractFailures;
+
+    std::map<std::string,
+             std::shared_ptr<const core::replay::Witness>> by_path;
+    for (const auto &w : run.witnesses)
+        by_path[w->pathId] = w;
+
+    auto check_reports = [&](const std::string &path,
+                             const ReplayOutcome &o) {
+        auto it = run.pathReports.find(path);
+        if (it == run.pathReports.end())
+            return;
+        for (const auto &kind_name : it->second) {
+            tally.reportsTotal++;
+            if (o.reportKinds.count(kind_name))
+                tally.reportsRematched++;
+            else
+                std::printf("    report '%s' on path %s not re-detected "
+                            "by replay\n",
+                            kind_name.c_str(), path.c_str());
+        }
+    };
+
+    tally.crashPathsTotal += run.crashPaths.size();
+    std::set<std::string> replayed_paths;
+    for (const auto &[path, pc] : run.crashPaths) {
+        auto it = by_path.find(path);
+        if (it == by_path.end())
+            continue;
+        tally.crashesWithWitness++;
+        ReplayOutcome o = replayOne(kind, model, annotations, it->second);
+        tally.add(o);
+        replayed_paths.insert(path);
+        check_reports(path, o);
+        if (o.verdict.ok) {
+            tally.crashesRecrashed++;
+            if (o.verdict.terminalPc == pc)
+                tally.crashesRecrashSamePc++;
+        } else {
+            std::printf("    REPLAY DIVERGENCE (crash path %s): %s\n",
+                        path.c_str(), o.verdict.divergence.c_str());
+        }
+    }
+
+    // Report-only bug paths next, then plain paths, up to the sample
+    // cap: the oracle should cover every bug class, not just crashes.
+    size_t sampled = 0;
+    auto sample = [&](bool want_reports) {
+        for (const auto &w : run.witnesses) {
+            if (sampled >= kSampleReplays)
+                return;
+            if (replayed_paths.count(w->pathId))
+                continue;
+            if (run.pathReports.count(w->pathId) != want_reports)
+                continue;
+            ReplayOutcome o = replayOne(kind, model, annotations, w);
+            tally.add(o);
+            replayed_paths.insert(w->pathId);
+            check_reports(w->pathId, o);
+            if (!o.verdict.ok)
+                std::printf("    REPLAY DIVERGENCE (path %s): %s\n",
+                            w->pathId.c_str(),
+                            o.verdict.divergence.c_str());
+            sampled++;
+        }
+    };
+    sample(true);
+    sample(false);
+    if (run.witnesses.size() > replayed_paths.size())
+        std::printf("    (replay sample capped: %zu of %zu witnesses "
+                    "replayed)\n",
+                    replayed_paths.size(), run.witnesses.size());
 }
 
 void
@@ -51,39 +229,46 @@ main()
 
     obs::RunReport report("bench_ddt_bugs");
     size_t scse_total = 0, lc_total = 0;
+    ReplayTally tally;
     for (guest::DriverKind kind :
          {guest::DriverKind::Dma, guest::DriverKind::Pio}) {
         std::printf("driver %s:\n", guest::driverName(kind));
 
-        DdtResult scse =
+        BenchRun scse =
             runOne(kind, core::ConsistencyModel::ScSe, false);
         std::printf("  SC-SE (symbolic hardware only): %zu bug classes, "
                     "%zu paths, coverage %.0f%%\n",
-                    scse.bugKinds.size(), scse.pathsExplored,
-                    scse.driverCoverage * 100);
-        printKinds(scse);
+                    scse.result.bugKinds.size(),
+                    scse.result.pathsExplored,
+                    scse.result.driverCoverage * 100);
+        printKinds(scse.result);
+        replayRun(kind, core::ConsistencyModel::ScSe, false, scse,
+                  tally);
 
         // Engine snapshot comes from the LC runs (the richer mode).
-        DdtResult lc =
+        BenchRun lc =
             runOne(kind, core::ConsistencyModel::Lc, true, &report);
         std::printf("  LC (+interface annotations): %zu bug classes, "
                     "%zu paths, coverage %.0f%%\n",
-                    lc.bugKinds.size(), lc.pathsExplored,
-                    lc.driverCoverage * 100);
-        printKinds(lc);
+                    lc.result.bugKinds.size(), lc.result.pathsExplored,
+                    lc.result.driverCoverage * 100);
+        printKinds(lc.result);
+        replayRun(kind, core::ConsistencyModel::Lc, true, lc, tally);
 
         std::string name = guest::driverName(kind);
         report.setMetric(name + "_scse_bug_classes",
-                         double(scse.bugKinds.size()));
+                         double(scse.result.bugKinds.size()));
         report.setMetric(name + "_lc_bug_classes",
-                         double(lc.bugKinds.size()));
+                         double(lc.result.bugKinds.size()));
         report.setMetric(name + "_scse_paths",
-                         double(scse.pathsExplored));
-        report.setMetric(name + "_lc_paths", double(lc.pathsExplored));
-        report.setMetric(name + "_lc_coverage", lc.driverCoverage);
+                         double(scse.result.pathsExplored));
+        report.setMetric(name + "_lc_paths",
+                         double(lc.result.pathsExplored));
+        report.setMetric(name + "_lc_coverage",
+                         lc.result.driverCoverage);
 
-        scse_total += scse.bugKinds.size();
-        lc_total += lc.bugKinds.size();
+        scse_total += scse.result.bugKinds.size();
+        lc_total += lc.result.bugKinds.size();
         std::printf("\n");
     }
 
@@ -93,8 +278,49 @@ main()
     std::printf("Shape check vs paper: LC finds strictly more bug "
                 "classes than SC-SE: %s\n",
                 lc_total > scse_total ? "YES" : "NO");
+
+    double instr_per_sec =
+        tally.wallSeconds > 0
+            ? double(tally.instructions) / tally.wallSeconds
+            : 0.0;
+    std::printf("\nreplay oracle: %zu witnesses emitted, %zu paths "
+                "replayed (%zu ok), %zu solver queries, %.0f instr/s\n",
+                size_t(tally.witnessesEmitted), tally.replayed, tally.ok,
+                size_t(tally.solverQueries), instr_per_sec);
+    std::printf("  crashing bugs: %zu paths, %zu with witness, %zu "
+                "re-crashed, %zu at the same pc\n",
+                tally.crashPathsTotal, tally.crashesWithWitness,
+                tally.crashesRecrashed, tally.crashesRecrashSamePc);
+    std::printf("  concrete bug reports on replayed paths: %zu of %zu "
+                "re-detected\n",
+                tally.reportsRematched, tally.reportsTotal);
+    std::printf("Replay oracle check: every crashing bug re-crashes "
+                "solver-free at the recorded pc: %s\n",
+                (tally.crashesWithWitness == tally.crashPathsTotal &&
+                 tally.crashesRecrashSamePc == tally.crashPathsTotal)
+                    ? "YES"
+                    : "NO");
+
     report.setMetric("scse_total_bug_classes", double(scse_total));
     report.setMetric("lc_total_bug_classes", double(lc_total));
+    report.setMetric("witnesses_emitted",
+                     double(tally.witnessesEmitted));
+    report.setMetric("witness_extract_failures",
+                     double(tally.extractFailures));
+    report.setMetric("replayed_paths", double(tally.replayed));
+    report.setMetric("replay_ok", double(tally.ok));
+    report.setMetric("replay_divergences",
+                     double(tally.replayed - tally.ok));
+    report.setMetric("replay_solver_queries",
+                     double(tally.solverQueries));
+    report.setMetric("replay_instr_per_sec", instr_per_sec);
+    report.setMetric("bugs_recrashed", double(tally.crashesRecrashed));
+    report.setMetric("bugs_recrash_same_pc",
+                     double(tally.crashesRecrashSamePc));
+    report.setMetric("bug_paths_total", double(tally.crashPathsTotal));
+    report.setMetric("bug_reports_rematched",
+                     double(tally.reportsRematched));
+    report.setMetric("bug_reports_total", double(tally.reportsTotal));
     report.writeBenchFile();
     return 0;
 }

@@ -12,6 +12,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "core/replay/replayer.hh"
 #include "plugins/coverage.hh"
 #include "guest/layout.hh"
 #include "obs/report.hh"
@@ -38,11 +39,15 @@ main(int argc, char **argv)
                 kBudgetSeconds);
 
     obs::RunReport report("bench_fig6_coverage_time");
+    uint64_t witnesses_emitted = 0, replayed = 0, replay_ok = 0;
+    uint64_t replay_queries = 0, replay_instr = 0;
+    double replay_wall = 0;
     for (guest::DriverKind kind : guest::allDriverKinds()) {
         RevConfig config;
         config.driver = kind;
         config.maxWallSeconds = kBudgetSeconds;
         config.maxInstructions = 4'000'000;
+        config.emitWitnesses = true;
         Rev rev(config);
         RevResult result = rev.run();
         // Engine snapshot of the last driver; coverage timelines for
@@ -86,6 +91,30 @@ main(int argc, char **argv)
         }
         std::printf("  steep-rise-then-plateau shape: %s\n",
                     steep ? "YES" : "NO");
+
+        // Replay oracle spot check: re-execute a few recorded paths
+        // concretely and verify they land on the recorded terminal.
+        witnesses_emitted += result.run.witnessesEmitted;
+        size_t sample = 0;
+        for (const auto &w : rev.engine().witnesses()) {
+            if (sample++ >= 3)
+                break;
+            RevConfig rc;
+            rc.driver = kind;
+            rc.replayWitness = w;
+            Rev rrev(rc);
+            RevResult rres = rrev.run();
+            core::replay::ReplayResult v =
+                core::replay::replayVerdict(rrev.engine());
+            replayed++;
+            replay_ok += v.ok ? 1 : 0;
+            replay_queries += v.solverQueries;
+            replay_instr += rres.run.totalInstructions;
+            replay_wall += rres.run.wallSeconds;
+            if (!v.ok)
+                std::printf("  REPLAY DIVERGENCE (path %s): %s\n",
+                            w->pathId.c_str(), v.divergence.c_str());
+        }
 
         std::string name = guest::driverName(kind);
         report.setMetric(name + "_final_coverage",
@@ -137,6 +166,22 @@ main(int argc, char **argv)
     report.setMetric("parallel_speedup_x", speedup);
     report.setMetric("serial_coverage", serial_cov);
     report.setMetric("parallel_coverage", parallel_cov);
+
+    double replay_ips =
+        replay_wall > 0 ? double(replay_instr) / replay_wall : 0.0;
+    std::printf("\nreplay oracle: %llu witnesses emitted, %llu replayed "
+                "(%llu ok), %llu solver queries, %.0f instr/s\n",
+                static_cast<unsigned long long>(witnesses_emitted),
+                static_cast<unsigned long long>(replayed),
+                static_cast<unsigned long long>(replay_ok),
+                static_cast<unsigned long long>(replay_queries),
+                replay_ips);
+    report.setMetric("witnesses_emitted", double(witnesses_emitted));
+    report.setMetric("replayed_paths", double(replayed));
+    report.setMetric("replay_ok", double(replay_ok));
+    report.setMetric("replay_divergences", double(replayed - replay_ok));
+    report.setMetric("replay_solver_queries", double(replay_queries));
+    report.setMetric("replay_instr_per_sec", replay_ips);
 
     report.writeBenchFile();
     return 0;

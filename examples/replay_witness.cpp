@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Replay-witness CLI: record `s2e.witness.v1` files for a workload,
+ * or replay one file purely concretely (solver disconnected) and
+ * print the verdict — the recorded terminal outcome on success, the
+ * first mismatching nondeterminism site on divergence.
+ *
+ *   $ ./examples/replay_witness record WITNESS_DIR WORKLOAD [DRIVER]
+ *   $ ./examples/replay_witness replay WITNESS_FILE WORKLOAD [DRIVER]
+ *
+ * WORKLOAD: license | ddt | rev    DRIVER: dma | pio | mmio | ring
+ * (DRIVER applies to ddt/rev; the recording and the replay must use
+ * the same workload and driver — the witness only captures the
+ * nondeterminism, not the machine.)
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/replay/replayer.hh"
+#include "guest/kernel.hh"
+#include "guest/layout.hh"
+#include "guest/workloads.hh"
+#include "tools/ddt.hh"
+#include "tools/rev.hh"
+#include "vm/devices.hh"
+#include "vm/nic.hh"
+
+using namespace s2e;
+using core::replay::ReplayResult;
+using core::replay::Witness;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: replay_witness record WITNESS_DIR WORKLOAD "
+                 "[DRIVER]\n"
+                 "       replay_witness replay WITNESS_FILE WORKLOAD "
+                 "[DRIVER]\n"
+                 "WORKLOAD: license | ddt | rev   "
+                 "DRIVER: dma | pio | mmio | ring (default dma)\n");
+    return 2;
+}
+
+bool
+parseDriver(const char *name, guest::DriverKind *kind)
+{
+    if (!std::strcmp(name, "dma"))
+        *kind = guest::DriverKind::Dma;
+    else if (!std::strcmp(name, "pio"))
+        *kind = guest::DriverKind::Pio;
+    else if (!std::strcmp(name, "mmio"))
+        *kind = guest::DriverKind::Mmio;
+    else if (!std::strcmp(name, "ring"))
+        *kind = guest::DriverKind::Ring;
+    else
+        return false;
+    return true;
+}
+
+vm::MachineConfig
+licenseMachine()
+{
+    vm::MachineConfig m;
+    m.ramSize = guest::kRamSize;
+    m.program = isa::assemble(guest::kernelSource() +
+                              guest::licenseCheckSource());
+    m.deviceSetup = [](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+        devices.add(std::make_unique<vm::TimerDevice>());
+        devices.add(std::make_unique<vm::DmaNic>());
+    };
+    return m;
+}
+
+void
+licenseSetup(core::Engine &engine)
+{
+    auto &state = engine.initialState();
+    uint32_t key_addr = guest::addConfigString(state, engine.builder(), 0,
+                                               "AAAAAAAA");
+    guest::setConfig(state, engine.builder(), guest::kCfgLicensePtr,
+                     key_addr);
+    engine.makeMemSymbolic(state, key_addr, guest::kLicenseKeyLen,
+                           "license");
+}
+
+tools::DdtConfig
+ddtConfig(guest::DriverKind driver)
+{
+    tools::DdtConfig config;
+    config.driver = driver;
+    config.model = core::ConsistencyModel::ScSe;
+    config.annotations = false;
+    config.maxInstructions = 0;
+    config.maxWallSeconds = 0;
+    config.solverOptions.useModelCache = false;
+    return config;
+}
+
+void
+printVerdict(const Witness &w, const ReplayResult &v)
+{
+    std::printf("witness path %s: %zu inputs, %zu nondeterminism "
+                "sites, recorded terminal %s@0x%x after %llu "
+                "instructions\n",
+                w.pathId.c_str(), w.inputs.size(), w.events.size(),
+                core::stateStatusName(
+                    static_cast<core::StateStatus>(w.terminalStatus)),
+                w.terminalPc,
+                static_cast<unsigned long long>(w.terminalInstr));
+    if (v.ok) {
+        std::printf("replay OK: reached the recorded terminal "
+                    "solver-free (%llu solver queries, %llu "
+                    "instructions, %.0f instr/s)\n",
+                    static_cast<unsigned long long>(v.solverQueries),
+                    static_cast<unsigned long long>(v.instructions),
+                    v.instrPerSec());
+    } else {
+        std::printf("replay DIVERGED\n");
+        std::printf("  first mismatching site: %s\n",
+                    v.divergence.c_str());
+    }
+}
+
+int
+record(const std::string &dir, const std::string &workload,
+       guest::DriverKind driver)
+{
+    uint64_t emitted = 0;
+    if (workload == "license") {
+        core::EngineConfig config;
+        config.emitWitnesses = true;
+        config.witnessDir = dir;
+        config.solverOptions.useModelCache = false;
+        core::Engine engine(licenseMachine(), config);
+        licenseSetup(engine);
+        emitted = engine.run().witnessesEmitted;
+    } else if (workload == "ddt") {
+        tools::DdtConfig config = ddtConfig(driver);
+        config.emitWitnesses = true;
+        config.witnessDir = dir;
+        tools::Ddt ddt(config);
+        emitted = ddt.run().run.witnessesEmitted;
+    } else if (workload == "rev") {
+        tools::RevConfig config;
+        config.driver = driver;
+        config.emitWitnesses = true;
+        config.witnessDir = dir;
+        tools::Rev rev(config);
+        emitted = rev.run().run.witnessesEmitted;
+    } else {
+        return usage();
+    }
+    std::printf("recorded %llu witness files under %s\n",
+                static_cast<unsigned long long>(emitted), dir.c_str());
+    return 0;
+}
+
+int
+replay(const std::string &file, const std::string &workload,
+       guest::DriverKind driver)
+{
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "replay_witness: cannot read %s\n",
+                     file.c_str());
+        return 2;
+    }
+    std::vector<uint8_t> image((std::istreambuf_iterator<char>(in)),
+                               std::istreambuf_iterator<char>());
+    Witness parsed;
+    std::string error;
+    if (!core::replay::parseWitness(image, parsed, &error)) {
+        std::fprintf(stderr, "replay_witness: %s: rejected: %s\n",
+                     file.c_str(), error.c_str());
+        return 2;
+    }
+    auto witness = std::make_shared<const Witness>(std::move(parsed));
+
+    ReplayResult v;
+    if (workload == "license") {
+        core::replay::ReplayEngine rep(licenseMachine(),
+                                       core::EngineConfig{}, witness);
+        licenseSetup(rep.engine());
+        v = rep.run();
+    } else if (workload == "ddt") {
+        tools::DdtConfig config = ddtConfig(driver);
+        config.replayWitness = witness;
+        tools::Ddt ddt(config);
+        tools::DdtResult res = ddt.run();
+        v = core::replay::replayVerdict(ddt.engine());
+        v.instructions = res.run.totalInstructions;
+        v.wallSeconds = res.run.wallSeconds;
+    } else if (workload == "rev") {
+        tools::RevConfig config;
+        config.driver = driver;
+        config.replayWitness = witness;
+        tools::Rev rev(config);
+        tools::RevResult res = rev.run();
+        v = core::replay::replayVerdict(rev.engine());
+        v.instructions = res.run.totalInstructions;
+        v.wallSeconds = res.run.wallSeconds;
+    } else {
+        return usage();
+    }
+    printVerdict(*witness, v);
+    return v.ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 4)
+        return usage();
+    guest::DriverKind driver = guest::DriverKind::Dma;
+    if (argc > 4 && !parseDriver(argv[4], &driver))
+        return usage();
+    std::string mode = argv[1];
+    if (mode == "record")
+        return record(argv[2], argv[3], driver);
+    if (mode == "replay")
+        return replay(argv[2], argv[3], driver);
+    return usage();
+}

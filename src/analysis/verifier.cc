@@ -27,6 +27,7 @@ validS2Payload(uint32_t imm)
       case isa::Opcode::S2Dis:
       case isa::Opcode::S2Out:
       case isa::Opcode::S2Kill:
+      case isa::Opcode::S2Merge:
       case isa::Opcode::S2Assert:
       case isa::Opcode::S2Concrete:
         return true;
@@ -85,7 +86,17 @@ verifyBlock(const TranslationBlock &tb)
     }
     if (n == 0)
         return fail(0, "block with instructions but no ops");
-    if (!isTerminator(tb.ops[n - 1].op))
+    // S2Kill / S2Merge end the block from inside execS2Op (the engine
+    // kills or parks the state), so an S2Op carrying them is a valid
+    // last op even though the uop kind is not a branch terminator.
+    auto s2EndsBlock = [](const MicroOp &op) {
+        if (op.op != UOp::S2Op)
+            return false;
+        auto payload = static_cast<isa::Opcode>(op.imm);
+        return payload == isa::Opcode::S2Kill ||
+               payload == isa::Opcode::S2Merge;
+    };
+    if (!isTerminator(tb.ops[n - 1].op) && !s2EndsBlock(tb.ops[n - 1]))
         return fail(n - 1, strprintf("last op is not a terminator: %s",
                                      tb.ops[n - 1].toString().c_str()));
 

@@ -8,9 +8,13 @@
 
 #include <unistd.h>
 
+#include <fstream>
+
 #include "core/lifecycle/checkpoint.hh"
 #include "core/lifecycle/merge.hh"
 #include "core/lifecycle/serializer.hh"
+#include "core/replay/extract.hh"
+#include "core/replay/replayer.hh"
 #include "support/bitops.hh"
 #include "support/logging.hh"
 
@@ -233,7 +237,34 @@ Engine::Engine(vm::MachineConfig machine, EngineConfig config)
         &stats_.counterSlot("engine.spill_write_failures");
     hot_.residentStatesPeak =
         &stats_.counterSlot("engine.resident_states_peak");
+    hot_.witnessesEmitted = &stats_.counterSlot("engine.witnesses_emitted");
+    hot_.witnessExtractFailures =
+        &stats_.counterSlot("engine.witness_extract_failures");
+    hot_.witnessesSkipped =
+        &stats_.counterSlot("engine.witnesses_skipped");
+    hot_.replayDivergences =
+        &stats_.counterSlot("engine.replay_divergences");
     solver_.setProfiler(&profiler_);
+
+    if (config_.replayWitness) {
+        // Replay mode: one concrete path re-executed serially with the
+        // solver disconnected. Budgets, merging and emission are
+        // meaningless here (and budget kills would land at
+        // schedule-dependent points); the witness's own terminal
+        // instruction count bounds the run via the overrun check.
+        config_.numWorkers = 1;
+        config_.emitWitnesses = false;
+        config_.enableMergePoints = false;
+        config_.maxStatesCreated = 0;
+        config_.maxInstructions = 0;
+        config_.maxWallSeconds = 0;
+        config_.maxResidentBytes = 0;
+        replayCursor_ =
+            std::make_unique<replay::ReplayCursor>(config_.replayWitness);
+    }
+    // RC-CC runs (ignoreFeasibility) deliberately keep infeasible
+    // paths alive — there is no model to extract a witness from.
+    recording_ = config_.emitWitnesses && !policy_.ignoreFeasibility;
 
     serializer_ = std::make_unique<lifecycle::StateSerializer>(builder_);
     // The spill store is constructed up front (workers would otherwise
@@ -266,6 +297,8 @@ Engine::Engine(vm::MachineConfig machine, EngineConfig config)
     // serializes only what it wrote after load.
     lifecycle::takeCheckpoint(*states_.back());
     residentInc();
+    if (replayCursor_)
+        replayCursor_->setLeaf(states_.back().get());
 }
 
 Engine::~Engine() = default;
@@ -446,6 +479,14 @@ Engine::makeRegSymbolic(ExecutionState &state, unsigned reg,
         // SC-CE: inputs stay concrete; return the current value.
         return state.cpu.regs[reg].toExpr(builder_);
     }
+    if (replayCursor_) {
+        // Substitute the recorded concrete input; no variable, no
+        // constraints (the witness assignment satisfies them all).
+        auto v = replaySubstitute(state, replay::SiteKind::SymReg, reg, 0);
+        if (v)
+            state.cpu.regs[reg] = Value(static_cast<uint32_t>(*v));
+        return state.cpu.regs[reg].toExpr(builder_);
+    }
     ExprRef var = builder_.var(symName(state, name), 32);
     if (range) {
         state.addConstraint(
@@ -455,6 +496,8 @@ Engine::makeRegSymbolic(ExecutionState &state, unsigned reg,
     }
     state.cpu.regs[reg] = Value(var);
     Stats::bump(*hot_.symValuesCreated);
+    recordEvent(state, replay::SiteKind::SymReg, state.cpu.pc, reg, 0,
+                {var->name()});
     return var;
 }
 
@@ -464,17 +507,46 @@ Engine::makeMemSymbolic(ExecutionState &state, uint32_t addr, uint32_t len,
 {
     if (!policy_.symbolicInputsEnabled)
         return;
+    if (replayCursor_) {
+        // Substitute the recorded bytes (vars may be shorter than len
+        // when the original call ran out of bounds mid-range).
+        const replay::NondetEvent *ev = replayCursor_->expect(
+            replay::SiteKind::SymMem, state.instrCount, state.cpu.pc,
+            addr, len);
+        if (!ev) {
+            replayDiverge(state, replayCursor_->divergence());
+            return;
+        }
+        for (size_t i = 0; i < ev->vars.size(); ++i) {
+            uint64_t v = 0;
+            if (!replayCursor_->inputValue(ev->vars[i], &v)) {
+                replayDiverge(state, "witness has no value for " +
+                                         ev->vars[i]);
+                return;
+            }
+            state.mem.writeConcreteByte(addr + static_cast<uint32_t>(i),
+                                        static_cast<uint8_t>(v));
+        }
+        if (tbCache_.overlapsCode(addr, len))
+            tbCache_.notifyWrite(addr, len);
+        return;
+    }
     std::string base = symName(state, name);
+    std::vector<std::string> names;
     for (uint32_t i = 0; i < len; ++i) {
         if (!state.mem.inBounds(addr + i, 1))
             break;
         ExprRef var =
             builder_.var(strprintf("%s[%u]", base.c_str(), i), 8);
         state.mem.makeSymbolic(addr + i, var);
+        if (recording_)
+            names.push_back(var->name());
     }
     if (tbCache_.overlapsCode(addr, len))
         tbCache_.notifyWrite(addr, len);
     Stats::bump(*hot_.symValuesCreated, len);
+    recordEvent(state, replay::SiteKind::SymMem, state.cpu.pc, addr, len,
+                std::move(names));
 }
 
 std::optional<uint32_t>
@@ -520,6 +592,13 @@ Engine::readRegConcrete(ExecutionState &state, unsigned reg)
     return v;
 }
 
+namespace {
+/** The state currently executing a timeslice on this thread. A kill
+ *  aimed at any other state (sibling sweeps, external callers) lands
+ *  at a schedule-dependent point of the victim's execution. */
+thread_local ExecutionState *tl_executing = nullptr;
+} // namespace
+
 void
 Engine::killState(ExecutionState &state, StateStatus status,
                   const std::string &message)
@@ -531,6 +610,8 @@ Engine::killState(ExecutionState &state, StateStatus status,
     std::lock_guard<std::mutex> lock(killMutex_);
     if (!state.isActive())
         return;
+    if (&state != tl_executing)
+        state.killedAsync = true;
     state.statusMessage = message;
     state.setStatus(status);
 }
@@ -562,7 +643,48 @@ Engine::solverFailState(ExecutionState &state, const char *site,
 ExecutionState *
 Engine::forkState(ExecutionState &state)
 {
-    return fork(state, builder_.trueExpr());
+    if (replayCursor_)
+        return replayApiFork(state);
+    ExecutionState *child = fork(state, builder_.trueExpr());
+    if (recording_) {
+        // Role 0 = the caller's own path continues (even when the
+        // child was suppressed by the state budget: the parent's
+        // behavior is the same either way); role 1 = the path that
+        // became the injected child.
+        recordEvent(state, replay::SiteKind::ApiFork, state.cpu.pc, 0, 0);
+        if (child)
+            recordEvent(*child, replay::SiteKind::ApiFork, state.cpu.pc,
+                        1, 0);
+    }
+    return child;
+}
+
+ExecutionState *
+Engine::replayApiFork(ExecutionState &state)
+{
+    const replay::NondetEvent *ev =
+        replayCursor_->expectApiFork(state.instrCount, state.cpu.pc);
+    if (!ev) {
+        replayDiverge(state, replayCursor_->divergence());
+        return nullptr;
+    }
+    if (ev->a == 0) {
+        // The witness path stayed on the caller's side; returning
+        // null makes the plugin skip its child-only injection, which
+        // is exactly what the original parent observed.
+        return nullptr;
+    }
+    // The witness path *is* the injected child. Re-fork for real so
+    // the child re-executes the current block from its start (the
+    // original child did too, which is what keeps every later
+    // instruction-count stamp aligned), hand the cursor over, and
+    // retire the parent as a replay artifact.
+    ExecutionState *child = fork(state, builder_.trueExpr());
+    S2E_ASSERT(child, "replay fork cannot be budget-suppressed");
+    replayCursor_->setLeaf(child);
+    killState(state, StateStatus::Killed,
+              "replay: path continued as the fork child");
+    return child;
 }
 
 ExecutionState *
@@ -631,9 +753,39 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
                      uint32_t branch_pc, uint32_t taken_pc,
                      uint32_t fallthrough_pc)
 {
-    if (cond.isConcrete())
-        return cond.concrete() ? taken_pc : fallthrough_pc;
+    if (cond.isConcrete()) {
+        uint32_t chosen = cond.concrete() ? taken_pc : fallthrough_pc;
+        // In replay every branch is concrete; the ones that were
+        // symbolic in the original run must go the recorded way.
+        if (replayCursor_ && state.isActive() &&
+            !replayCursor_->checkBranch(state.instrCount, branch_pc,
+                                        chosen))
+            replayDiverge(state, replayCursor_->divergence());
+        return chosen;
+    }
+    if (replayCursor_) {
+        // Recorded inputs are substituted concretely, so a symbolic
+        // condition can only mean the replay went off the rails.
+        replayDiverge(state,
+                      strprintf("symbolic branch condition at 0x%x "
+                                "during concrete replay",
+                                branch_pc));
+        return fallthrough_pc;
+    }
+    uint32_t chosen = resolveSymbolicBranch(state, cond, branch_pc,
+                                            taken_pc, fallthrough_pc);
+    // Record only surviving paths: kill exits never replay, and the
+    // fork child's (opposite) outcome is recorded at the fork site.
+    if (recording_ && state.isActive())
+        recordEvent(state, replay::SiteKind::Branch, branch_pc, chosen, 0);
+    return chosen;
+}
 
+uint32_t
+Engine::resolveSymbolicBranch(ExecutionState &state, const Value &cond,
+                              uint32_t branch_pc, uint32_t taken_pc,
+                              uint32_t fallthrough_pc)
+{
     obs::PhaseSpan span(curProfiler(), obs::Phase::SymbolicExec);
     state.symInstrCount++;
     ExprRef c = builder_.ne(cond.toExpr(builder_),
@@ -694,6 +846,11 @@ Engine::handleBranch(ExecutionState &state, const Value &cond,
         if (child) {
             child->addConstraint(builder_.lnot(c));
             child->cpu.pc = fallthrough_pc;
+            // The child's log was cloned before the branch resolved;
+            // its own outcome (the fallthrough side) goes on its log
+            // here, the parent's on the parent's in handleBranch.
+            recordEvent(*child, replay::SiteKind::Branch, branch_pc,
+                        fallthrough_pc, 0);
         }
         return taken_pc;
     }
@@ -852,8 +1009,16 @@ Engine::loadFrom(ExecutionState &state, uint32_t addr, unsigned len,
                 policy_.symbolicHardwareAllowed &&
                 policy_.symbolicInputsEnabled) {
                 Stats::bump(*hot_.symbolicHardwareReads);
-                return Value(builder_.var(
-                    symName(state, strprintf("mmio_%x", addr)), 32));
+                if (replayCursor_) {
+                    auto v = replaySubstitute(
+                        state, replay::SiteKind::MmioRead, addr, 0);
+                    return Value(static_cast<uint32_t>(v.value_or(0)));
+                }
+                ExprRef var = builder_.var(
+                    symName(state, strprintf("mmio_%x", addr)), 32);
+                recordEvent(state, replay::SiteKind::MmioRead,
+                            state.cpu.pc, addr, 0, {var->name()});
+                return Value(var);
             }
         }
         vm::Device *dev = state.devices.findMmio(addr);
@@ -933,8 +1098,18 @@ Engine::ioRead(ExecutionState &state, uint32_t port)
         if (p >= lo && p <= hi && policy_.symbolicHardwareAllowed &&
             policy_.symbolicInputsEnabled) {
             Stats::bump(*hot_.symbolicHardwareReads);
-            Value v(builder_.var(
-                symName(state, strprintf("port_%x", p)), 32));
+            if (replayCursor_) {
+                auto rv = replaySubstitute(
+                    state, replay::SiteKind::PortRead, p, 0);
+                Value v(static_cast<uint32_t>(rv.value_or(0)));
+                events_.onPortAccess.emit(state, p, v, false);
+                return v;
+            }
+            ExprRef var =
+                builder_.var(symName(state, strprintf("port_%x", p)), 32);
+            recordEvent(state, replay::SiteKind::PortRead, state.cpu.pc,
+                        p, 0, {var->name()});
+            Value v(var);
             events_.onPortAccess.emit(state, p, v, false);
             return v;
         }
@@ -1059,6 +1234,20 @@ Engine::deliverInterrupts(ExecutionState &state)
     unsigned irq = __builtin_ctz(state.cpu.pendingIrqs);
     state.cpu.pendingIrqs &= ~(1u << irq);
     Stats::bump(*hot_.interruptsDelivered);
+    if (replayCursor_) {
+        // Devices tick off the state's own instruction clock, so a
+        // faithful replay re-raises every interrupt at the recorded
+        // point; verify rather than trust.
+        if (!replayCursor_->expect(replay::SiteKind::Interrupt,
+                                   state.instrCount, state.cpu.pc, irq,
+                                   0)) {
+            replayDiverge(state, replayCursor_->divergence());
+            return;
+        }
+    } else {
+        recordEvent(state, replay::SiteKind::Interrupt, state.cpu.pc, irq,
+                    0);
+    }
     enterInterrupt(state, irq, state.cpu.pc);
 }
 
@@ -1201,6 +1390,10 @@ Engine::executeBlock(ExecutionState &state)
     Stats::bump(tb->execCount);
     state.blockCount++;
     state.instrCount += tb->instrPcs.size();
+    if (replayCursor_ && replayCursor_->checkOverrun(state.instrCount)) {
+        replayDiverge(state, replayCursor_->divergence());
+        return false;
+    }
     Stats::bump(*hot_.uopsExecuted, tb->ops.size());
     Stats::bump(*hot_.uopsPreOpt, tb->origOpCount);
     events_.onBlockExecute.emit(state, *tb);
@@ -1467,6 +1660,113 @@ Engine::symName(ExecutionState &state, const std::string &base)
 }
 
 void
+Engine::recordEvent(ExecutionState &state, replay::SiteKind kind,
+                    uint32_t pc, uint32_t a, uint32_t b,
+                    std::vector<std::string> vars)
+{
+    if (!recording_)
+        return;
+    replay::NondetEvent ev;
+    ev.kind = kind;
+    ev.instr = state.instrCount;
+    ev.pc = pc;
+    ev.a = a;
+    ev.b = b;
+    ev.vars = std::move(vars);
+    state.replayLog.events.push_back(std::move(ev));
+}
+
+void
+Engine::maybeEmitWitness(ExecutionState &state)
+{
+    if (!recording_)
+        return;
+    switch (state.status) {
+      case StateStatus::Halted:
+      case StateStatus::Killed:
+      case StateStatus::Crashed:
+        break;
+      default:
+        // Unsat/Aborted paths have no consistent model, Merged states
+        // surrendered their log to the survivor, and budget/solver/
+        // spill terminations land at schedule-dependent points.
+        Stats::bump(*hot_.witnessesSkipped);
+        return;
+    }
+    if (state.spilled || state.mergedSiblings > 0 || state.killedAsync) {
+        // Killed-while-spilled states dropped their constraints; a
+        // merge survivor's model may follow the absorbed sibling's
+        // disjunct, whose events are not in this log; async kills
+        // terminate at schedule-dependent points no replay can hit.
+        Stats::bump(*hot_.witnessesSkipped);
+        return;
+    }
+    replay::ExtractResult r =
+        replay::extractWitness(state, builder_, config_.solverOptions);
+    if (!r.witness) {
+        Stats::bump(*hot_.witnessExtractFailures);
+        warn("witness extraction failed for path %s: %s",
+             state.pathId().c_str(), r.error.c_str());
+        return;
+    }
+    Stats::bump(*hot_.witnessesEmitted);
+    if (!config_.witnessDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(config_.witnessDir, ec);
+        std::vector<uint8_t> image = replay::serializeWitness(*r.witness);
+        std::string path = config_.witnessDir + "/" + r.witness->pathId +
+                           ".witness";
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(reinterpret_cast<const char *>(image.data()),
+                  static_cast<std::streamsize>(image.size()));
+    }
+    std::lock_guard<std::mutex> lock(witnessMutex_);
+    witnesses_.push_back(std::move(r.witness));
+}
+
+std::vector<std::shared_ptr<const replay::Witness>>
+Engine::witnesses() const
+{
+    std::lock_guard<std::mutex> lock(witnessMutex_);
+    return witnesses_;
+}
+
+void
+Engine::replayDiverge(ExecutionState &state, const std::string &what)
+{
+    // Keep the *first* mismatch: the cursor latches its own report and
+    // ignores later ones, and the counter moves once per replay.
+    replayCursor_->forceDiverge(what);
+    if (Stats::read(*hot_.replayDivergences) == 0)
+        Stats::bump(*hot_.replayDivergences);
+    killState(state, StateStatus::Killed,
+              "replay divergence: " + replayCursor_->divergence());
+}
+
+std::optional<uint64_t>
+Engine::replaySubstitute(ExecutionState &state, replay::SiteKind kind,
+                         uint32_t a, uint32_t b)
+{
+    const replay::NondetEvent *ev = replayCursor_->expect(
+        kind, state.instrCount, state.cpu.pc, a, b);
+    if (!ev) {
+        replayDiverge(state, replayCursor_->divergence());
+        return std::nullopt;
+    }
+    if (ev->vars.size() != 1) {
+        replayDiverge(state, "malformed witness event: expected exactly "
+                             "one variable");
+        return std::nullopt;
+    }
+    uint64_t v = 0;
+    if (!replayCursor_->inputValue(ev->vars[0], &v)) {
+        replayDiverge(state, "witness has no value for " + ev->vars[0]);
+        return std::nullopt;
+    }
+    return v;
+}
+
+void
 Engine::finishState(ExecutionState &state)
 {
     events_.onStateKill.emit(state);
@@ -1539,6 +1839,10 @@ Engine::releaseStateResources(ExecutionState &state)
     if (state.resourcesReleased)
         return;
     state.resourcesReleased = true;
+    // Witness extraction needs the path constraints, which stay on the
+    // state until destruction — but the exactly-once guarantee of this
+    // funnel is what makes it the right emission point.
+    maybeEmitWitness(state);
     state.solverCtx.reset(); // terminated paths never query again
     if (!state.spillKey.empty()) {
         spillStore_->release(state.spillKey);
@@ -1803,6 +2107,7 @@ Engine::runSerial()
                     // lazily on the first SAT-reaching query, reused
                     // across queries).
                     solver_.bindPathContext(&state->solverCtx);
+                    tl_executing = state;
                     uint64_t instr_before = state->instrCount;
                     for (unsigned i = 0; i < config_.timesliceBlocks &&
                                          state->isActive();
@@ -1812,6 +2117,7 @@ Engine::runSerial()
                         if (state->atMergePoint)
                             break;
                     }
+                    tl_executing = nullptr;
                     solver_.bindPathContext(nullptr);
                     Stats::bump(*hot_.instructions,
                                 state->instrCount - instr_before);
@@ -1958,6 +2264,7 @@ Engine::workerLoop(unsigned wid, WorkQueue &queue,
             // state is re-queued matters: once put back, another
             // worker may steal the state (and the context with it).
             w.solver.bindPathContext(&state->solverCtx);
+            tl_executing = state;
             uint64_t instr_before = state->instrCount;
             for (unsigned i = 0;
                  i < config_.timesliceBlocks && state->isActive(); ++i) {
@@ -1966,6 +2273,7 @@ Engine::workerLoop(unsigned wid, WorkQueue &queue,
                 if (!running || state->atMergePoint)
                     break;
             }
+            tl_executing = nullptr;
             w.solver.bindPathContext(nullptr);
             Stats::bump(*hot_.instructions,
                         state->instrCount - instr_before);
@@ -2065,6 +2373,11 @@ Engine::finalizeResult(RunResult &result,
     result.spillBytes = Stats::read(*hot_.spillBytes);
     result.spillRetries = Stats::read(*hot_.spillRetries);
     result.residentStatesPeak = Stats::read(*hot_.residentStatesPeak);
+    result.witnessesEmitted = Stats::read(*hot_.witnessesEmitted);
+    result.witnessExtractFailures =
+        Stats::read(*hot_.witnessExtractFailures);
+    result.witnessesSkipped = Stats::read(*hot_.witnessesSkipped);
+    result.replayDivergences = Stats::read(*hot_.replayDivergences);
 }
 
 } // namespace s2e::core

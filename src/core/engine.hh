@@ -38,6 +38,9 @@ namespace s2e::core {
 namespace lifecycle {
 class StateSerializer;
 }
+namespace replay {
+class ReplayCursor;
+}
 
 /** Picks which state runs next (paper's priority-based selection). */
 class Searcher
@@ -131,6 +134,32 @@ struct EngineConfig {
      */
     bool enableMergePoints = false;
 
+    // --- Record/replay witnesses --------------------------------------
+
+    /**
+     * Emit an `s2e.witness.v1` replay witness for every eligible
+     * terminated path (Halted/Killed/Crashed, not merged, constraints
+     * resident): a complete concrete input assignment extracted from
+     * a fresh solver model plus the path's ordered nondeterminism log.
+     * Ignored under RC-CC (infeasible paths have no model) and in
+     * replay mode.
+     */
+    bool emitWitnesses = false;
+
+    /** Also write each emitted witness to `<witnessDir>/<pathId>.witness`
+     *  (created on demand). Empty keeps witnesses in memory only. */
+    std::string witnessDir;
+
+    /**
+     * Replay mode: re-execute this witness purely concretely with the
+     * solver disconnected. Recorded values are substituted at each
+     * nondeterminism site and every site/branch/interrupt must match
+     * the log; the first mismatch kills the path with a divergence
+     * report (see core/replay/replayer.hh). Forces numWorkers = 1 and
+     * disables witness emission, merge points and state budgets.
+     */
+    std::shared_ptr<const replay::Witness> replayWitness;
+
     solver::SolverOptions solverOptions;
 };
 
@@ -165,6 +194,16 @@ struct RunResult {
     uint64_t spillRetries = 0;
     /** Peak count of simultaneously resident (unspilled) states. */
     uint64_t residentStatesPeak = 0;
+    /** Replay witnesses emitted (EngineConfig::emitWitnesses). */
+    uint64_t witnessesEmitted = 0;
+    /** Terminated paths whose witness extraction failed (solver gave
+     *  up / completed assignment failed validation). */
+    uint64_t witnessExtractFailures = 0;
+    /** Terminated paths ineligible for a witness (merged survivors,
+     *  killed-while-spilled, non-terminal statuses). */
+    uint64_t witnessesSkipped = 0;
+    /** Replay-mode paths killed at the first mismatching site. */
+    uint64_t replayDivergences = 0;
     bool budgetExhausted = false;
     double wallSeconds = 0;
     /** Worker pool size used by the run (1 = serial loop). */
@@ -283,6 +322,15 @@ class Engine
     /** The spill store (test/bench introspection of I/O counters). */
     lifecycle::SpillStore &spillStore() { return *spillStore_; }
 
+    /** Witnesses emitted so far (EngineConfig::emitWitnesses). */
+    std::vector<std::shared_ptr<const replay::Witness>> witnesses() const;
+
+    /** Replay-mode cursor; null outside replay mode. */
+    replay::ReplayCursor *replayCursor() const
+    {
+        return replayCursor_.get();
+    }
+
   private:
     struct TempFile; // per-block temp values
 
@@ -329,10 +377,18 @@ class Engine
     Value packFlags(ExecutionState &state) const;
     void unpackFlags(ExecutionState &state, const Value &word);
 
-    /** Handle a symbolic branch condition; returns chosen target. */
+    /** Handle a branch condition; returns chosen target. Concrete
+     *  conditions take the fast path (checked against the log in
+     *  replay mode); symbolic ones go to resolveSymbolicBranch and
+     *  the outcome is recorded when witness recording is on. */
     uint32_t handleBranch(ExecutionState &state, const Value &cond,
                           uint32_t branch_pc, uint32_t taken_pc,
                           uint32_t fallthrough_pc);
+
+    /** Symbolic-branch resolution (policy / solver / fork). */
+    uint32_t resolveSymbolicBranch(ExecutionState &state, const Value &cond,
+                                   uint32_t branch_pc, uint32_t taken_pc,
+                                   uint32_t fallthrough_pc);
 
     /** Fork the state on `condition`; parent takes the true side. */
     ExecutionState *fork(ExecutionState &state, ExprRef condition);
@@ -361,6 +417,27 @@ class Engine
 
     void finishState(ExecutionState &state);
     void accountMemory();
+
+    // --- Record/replay witnesses --------------------------------------
+
+    /** Append a nondeterminism event to the state's log (recording
+     *  mode only; no-op otherwise). */
+    void recordEvent(ExecutionState &state, replay::SiteKind kind,
+                     uint32_t pc, uint32_t a, uint32_t b,
+                     std::vector<std::string> vars = {});
+
+    /** Extract + store a witness for an eligible terminated state.
+     *  Runs exactly once per state, from releaseStateResources. */
+    void maybeEmitWitness(ExecutionState &state);
+
+    /** Latch a replay divergence and kill the state. */
+    void replayDiverge(ExecutionState &state, const std::string &what);
+
+    /** Replay-mode guts of the nondeterminism sites. */
+    std::optional<uint64_t> replaySubstitute(ExecutionState &state,
+                                             replay::SiteKind kind,
+                                             uint32_t a, uint32_t b);
+    ExecutionState *replayApiFork(ExecutionState &state);
 
     // --- State lifecycle ----------------------------------------------
 
@@ -446,6 +523,10 @@ class Engine
         uint64_t *spillRetries = nullptr;
         uint64_t *spillWriteFailures = nullptr;
         uint64_t *residentStatesPeak = nullptr;
+        uint64_t *witnessesEmitted = nullptr;
+        uint64_t *witnessExtractFailures = nullptr;
+        uint64_t *witnessesSkipped = nullptr;
+        uint64_t *replayDivergences = nullptr;
     } hot_;
     SiteCounterCache concretizationSites_;
     SiteCounterCache degradeSites_;
@@ -485,6 +566,16 @@ class Engine
     std::atomic<uint64_t> scheduleTick_{0};
     /** Currently resident (unspilled) active states. */
     std::atomic<uint64_t> residentStates_{0};
+
+    // Record/replay machinery. recording_ is fixed at construction
+    // (emitWitnesses, feasible model, not replaying); witnessMutex_
+    // guards witnesses_ (workers emit from their own termination
+    // funnels). replayCursor_ is non-null only in replay mode, which
+    // is always serial.
+    bool recording_ = false;
+    mutable std::mutex witnessMutex_;
+    std::vector<std::shared_ptr<const replay::Witness>> witnesses_;
+    std::unique_ptr<replay::ReplayCursor> replayCursor_;
 };
 
 } // namespace s2e::core

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "core/lifecycle/checkpoint.hh"
+#include "core/lifecycle/wire.hh"
 #include "expr/builder.hh"
 #include "support/logging.hh"
 
@@ -12,131 +13,10 @@ namespace s2e::core::lifecycle {
 namespace {
 
 constexpr char kMagic[8] = {'S', '2', 'E', 'S', 'T', 'A', 'T', 'E'};
-constexpr size_t kHeaderSize = 32;
+constexpr size_t kHeaderSize = wire::kHeaderSize;
 
-uint64_t
-fnv1a(const uint8_t *data, size_t n)
-{
-    uint64_t h = 0xcbf29ce484222325ull;
-    for (size_t i = 0; i < n; ++i) {
-        h ^= data[i];
-        h *= 0x100000001b3ull;
-    }
-    return h;
-}
-
-struct Writer {
-    std::vector<uint8_t> buf;
-
-    void u8(uint8_t v) { buf.push_back(v); }
-    void
-    u16(uint16_t v)
-    {
-        buf.push_back(v & 0xFF);
-        buf.push_back(v >> 8);
-    }
-    void
-    u32(uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            buf.push_back((v >> (8 * i)) & 0xFF);
-    }
-    void
-    u64(uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            buf.push_back((v >> (8 * i)) & 0xFF);
-    }
-    void
-    str(const std::string &s)
-    {
-        u32(static_cast<uint32_t>(s.size()));
-        buf.insert(buf.end(), s.begin(), s.end());
-    }
-    void
-    bytes(const uint8_t *data, size_t n)
-    {
-        buf.insert(buf.end(), data, data + n);
-    }
-};
-
-/** Bounds-checked little-endian reader; any overrun latches fail(). */
-struct Reader {
-    const uint8_t *data;
-    size_t size;
-    size_t off = 0;
-    bool ok = true;
-
-    Reader(const uint8_t *d, size_t n) : data(d), size(n) {}
-
-    bool
-    need(size_t n)
-    {
-        if (!ok || size - off < n) {
-            ok = false;
-            return false;
-        }
-        return true;
-    }
-    uint8_t
-    u8()
-    {
-        if (!need(1))
-            return 0;
-        return data[off++];
-    }
-    uint16_t
-    u16()
-    {
-        if (!need(2))
-            return 0;
-        uint16_t v = static_cast<uint16_t>(data[off]) |
-                     static_cast<uint16_t>(data[off + 1]) << 8;
-        off += 2;
-        return v;
-    }
-    uint32_t
-    u32()
-    {
-        if (!need(4))
-            return 0;
-        uint32_t v = 0;
-        for (int i = 0; i < 4; ++i)
-            v |= static_cast<uint32_t>(data[off + i]) << (8 * i);
-        off += 4;
-        return v;
-    }
-    uint64_t
-    u64()
-    {
-        if (!need(8))
-            return 0;
-        uint64_t v = 0;
-        for (int i = 0; i < 8; ++i)
-            v |= static_cast<uint64_t>(data[off + i]) << (8 * i);
-        off += 8;
-        return v;
-    }
-    std::string
-    str()
-    {
-        uint32_t n = u32();
-        if (!need(n))
-            return {};
-        std::string s(reinterpret_cast<const char *>(data + off), n);
-        off += n;
-        return s;
-    }
-    bool
-    bytes(uint8_t *out, size_t n)
-    {
-        if (!need(n))
-            return false;
-        std::memcpy(out, data + off, n);
-        off += n;
-        return true;
-    }
-};
+using wire::Reader;
+using wire::Writer;
 
 /**
  * Deduplicating expression table. Nodes are interned in post-order
@@ -368,44 +248,14 @@ StateSerializer::serialize(const ExecutionState &state) const
     w.u32(static_cast<uint32_t>(state.constraints.size()));
 
     // Header + payload.
-    std::vector<uint8_t> image;
-    image.reserve(kHeaderSize + w.buf.size());
-    image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
-    Writer header;
-    header.u32(kStateFormatVersion);
-    header.u32(0); // reserved
-    header.u64(w.buf.size());
-    header.u64(fnv1a(w.buf.data(), w.buf.size()));
-    image.insert(image.end(), header.buf.begin(), header.buf.end());
-    image.insert(image.end(), w.buf.begin(), w.buf.end());
-    return image;
+    return wire::sealImage(kMagic, kStateFormatVersion, w);
 }
 
 bool
 StateSerializer::validateImage(const std::vector<uint8_t> &image,
                                std::string *error)
 {
-    auto fail = [&](const char *why) {
-        if (error)
-            *error = why;
-        return false;
-    };
-    if (image.size() < kHeaderSize)
-        return fail("image shorter than header");
-    if (std::memcmp(image.data(), kMagic, sizeof(kMagic)) != 0)
-        return fail("bad magic");
-    Reader r(image.data() + sizeof(kMagic), kHeaderSize - sizeof(kMagic));
-    uint32_t version = r.u32();
-    r.u32(); // reserved
-    uint64_t payload_size = r.u64();
-    uint64_t checksum = r.u64();
-    if (version != kStateFormatVersion)
-        return fail("unsupported version");
-    if (payload_size != image.size() - kHeaderSize)
-        return fail("payload size mismatch");
-    if (checksum != fnv1a(image.data() + kHeaderSize, payload_size))
-        return fail("checksum mismatch");
-    return true;
+    return wire::checkImage(kMagic, kStateFormatVersion, image, error);
 }
 
 bool

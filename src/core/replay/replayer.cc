@@ -1,0 +1,250 @@
+#include "core/replay/replayer.hh"
+
+#include "support/logging.hh"
+
+namespace s2e::core::replay {
+
+namespace {
+
+const char *
+siteKindName(SiteKind kind)
+{
+    switch (kind) {
+    case SiteKind::SymReg:
+        return "SymReg";
+    case SiteKind::SymMem:
+        return "SymMem";
+    case SiteKind::PortRead:
+        return "PortRead";
+    case SiteKind::MmioRead:
+        return "MmioRead";
+    case SiteKind::Branch:
+        return "Branch";
+    case SiteKind::Interrupt:
+        return "Interrupt";
+    case SiteKind::ApiFork:
+        return "ApiFork";
+    }
+    return "?";
+}
+
+} // namespace
+
+ReplayCursor::ReplayCursor(std::shared_ptr<const Witness> witness)
+    : witness_(std::move(witness))
+{
+    S2E_ASSERT(witness_, "ReplayCursor without a witness");
+}
+
+std::string
+ReplayCursor::describe(const NondetEvent &ev) const
+{
+    return strprintf("%s@instr=%llu pc=0x%x a=0x%x b=0x%x",
+                     siteKindName(ev.kind),
+                     static_cast<unsigned long long>(ev.instr), ev.pc,
+                     ev.a, ev.b);
+}
+
+void
+ReplayCursor::diverge(std::string what)
+{
+    if (diverged_)
+        return;
+    diverged_ = true;
+    divergence_ = strprintf("site %zu: %s", next_, what.c_str());
+}
+
+void
+ReplayCursor::forceDiverge(const std::string &what)
+{
+    diverge(what);
+}
+
+const NondetEvent *
+ReplayCursor::expect(SiteKind kind, uint64_t instr, uint32_t pc,
+                     uint32_t a, uint32_t b)
+{
+    if (diverged_)
+        return nullptr;
+    if (next_ >= witness_->events.size()) {
+        diverge(strprintf("extra %s site at instr=%llu pc=0x%x — "
+                          "witness log exhausted",
+                          siteKindName(kind),
+                          static_cast<unsigned long long>(instr), pc));
+        return nullptr;
+    }
+    const NondetEvent &ev = witness_->events[next_];
+    if (ev.kind != kind || ev.instr != instr || ev.pc != pc ||
+        ev.a != a || ev.b != b) {
+        diverge(strprintf(
+            "expected %s, execution reached %s@instr=%llu pc=0x%x "
+            "a=0x%x b=0x%x",
+            describe(ev).c_str(), siteKindName(kind),
+            static_cast<unsigned long long>(instr), pc, a, b));
+        return nullptr;
+    }
+    ++next_;
+    return &ev;
+}
+
+const NondetEvent *
+ReplayCursor::expectApiFork(uint64_t instr, uint32_t pc)
+{
+    if (diverged_)
+        return nullptr;
+    if (next_ >= witness_->events.size()) {
+        diverge(strprintf("extra ApiFork site at instr=%llu pc=0x%x — "
+                          "witness log exhausted",
+                          static_cast<unsigned long long>(instr), pc));
+        return nullptr;
+    }
+    const NondetEvent &ev = witness_->events[next_];
+    if (ev.kind != SiteKind::ApiFork || ev.instr != instr ||
+        ev.pc != pc) {
+        diverge(strprintf("expected %s, execution reached "
+                          "ApiFork@instr=%llu pc=0x%x",
+                          describe(ev).c_str(),
+                          static_cast<unsigned long long>(instr), pc));
+        return nullptr;
+    }
+    ++next_;
+    return &ev;
+}
+
+bool
+ReplayCursor::checkBranch(uint64_t instr, uint32_t branch_pc,
+                          uint32_t chosen)
+{
+    if (diverged_)
+        return false;
+    if (next_ >= witness_->events.size())
+        return true; // past the last recorded site; overrun check rules
+    const NondetEvent &ev = witness_->events[next_];
+    if (ev.kind == SiteKind::Branch && ev.instr == instr &&
+        ev.pc == branch_pc) {
+        if (ev.a != chosen) {
+            diverge(strprintf("branch at instr=%llu pc=0x%x went to "
+                              "0x%x, witness recorded 0x%x",
+                              static_cast<unsigned long long>(instr),
+                              branch_pc, chosen, ev.a));
+            return false;
+        }
+        ++next_;
+        return true;
+    }
+    if (ev.instr < instr) {
+        diverge(strprintf("recorded site %s never occurred "
+                          "(execution already at instr=%llu pc=0x%x)",
+                          describe(ev).c_str(),
+                          static_cast<unsigned long long>(instr),
+                          branch_pc));
+        return false;
+    }
+    return true; // branch that was concrete in the original run too
+}
+
+bool
+ReplayCursor::checkOverrun(uint64_t instr)
+{
+    if (diverged_)
+        return false;
+    if (instr <= witness_->terminalInstr)
+        return false;
+    diverge(strprintf("execution ran past the recorded terminal "
+                      "(instr=%llu > recorded %llu)",
+                      static_cast<unsigned long long>(instr),
+                      static_cast<unsigned long long>(
+                          witness_->terminalInstr)));
+    return true;
+}
+
+bool
+ReplayCursor::inputValue(const std::string &name, uint64_t *value) const
+{
+    const WitnessInput *in = witness_->find(name);
+    if (!in)
+        return false;
+    *value = in->value;
+    return true;
+}
+
+ReplayResult
+replayVerdict(Engine &engine)
+{
+    ReplayResult r;
+    ReplayCursor *cur = engine.replayCursor();
+    S2E_ASSERT(cur, "replayVerdict on an engine not in replay mode");
+    const Witness &w = cur->witness();
+    r.solverQueries = engine.solver().queryCount();
+
+    ExecutionState *leaf = cur->leaf();
+    if (leaf) {
+        r.terminalStatus = static_cast<uint8_t>(leaf->status);
+        r.terminalPc = leaf->cpu.pc;
+        r.terminalInstr = leaf->instrCount;
+    }
+
+    if (cur->diverged()) {
+        r.divergence = cur->divergence();
+        return r;
+    }
+    if (!leaf) {
+        r.divergence = "replay produced no path";
+        return r;
+    }
+    if (!cur->allConsumed()) {
+        r.divergence = strprintf(
+            "path terminated early: %zu of %zu nondeterminism sites "
+            "replayed",
+            cur->consumed(), w.events.size());
+        return r;
+    }
+    if (static_cast<uint8_t>(leaf->status) != w.terminalStatus) {
+        r.divergence = strprintf(
+            "terminal status %s, witness recorded %s",
+            stateStatusName(leaf->status),
+            stateStatusName(static_cast<StateStatus>(w.terminalStatus)));
+        return r;
+    }
+    if (leaf->cpu.pc != w.terminalPc) {
+        r.divergence =
+            strprintf("terminal pc 0x%x, witness recorded 0x%x",
+                      leaf->cpu.pc, w.terminalPc);
+        return r;
+    }
+    if (leaf->instrCount != w.terminalInstr) {
+        r.divergence = strprintf(
+            "terminal instruction count %llu, witness recorded %llu",
+            static_cast<unsigned long long>(leaf->instrCount),
+            static_cast<unsigned long long>(w.terminalInstr));
+        return r;
+    }
+    if (leaf->exitCode != w.exitCode) {
+        r.divergence =
+            strprintf("exit code %u, witness recorded %u",
+                      leaf->exitCode, w.exitCode);
+        return r;
+    }
+    r.ok = true;
+    return r;
+}
+
+ReplayEngine::ReplayEngine(vm::MachineConfig machine, EngineConfig config,
+                           std::shared_ptr<const Witness> witness)
+{
+    config.replayWitness = std::move(witness);
+    engine_ = std::make_unique<Engine>(std::move(machine),
+                                       std::move(config));
+}
+
+ReplayResult
+ReplayEngine::run()
+{
+    RunResult run = engine_->run();
+    ReplayResult r = replayVerdict(*engine_);
+    r.instructions = run.totalInstructions;
+    r.wallSeconds = run.wallSeconds;
+    return r;
+}
+
+} // namespace s2e::core::replay

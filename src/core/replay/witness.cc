@@ -1,0 +1,147 @@
+#include "core/replay/witness.hh"
+
+#include <algorithm>
+
+#include "core/lifecycle/wire.hh"
+
+namespace s2e::core::replay {
+
+namespace {
+
+using lifecycle::wire::Reader;
+using lifecycle::wire::Writer;
+
+constexpr char kMagic[8] = {'S', '2', 'E', 'W', 'T', 'N', 'E', 'S'};
+
+} // namespace
+
+const WitnessInput *
+Witness::find(const std::string &name) const
+{
+    // inputs is sorted by name (serializeWitness/extractWitness keep
+    // the invariant; parseWitness rejects unsorted images).
+    auto it = std::lower_bound(inputs.begin(), inputs.end(), name,
+                               [](const WitnessInput &in,
+                                  const std::string &n) {
+                                   return in.name < n;
+                               });
+    if (it == inputs.end() || it->name != name)
+        return nullptr;
+    return &*it;
+}
+
+std::vector<uint8_t>
+serializeWitness(const Witness &w)
+{
+    Writer p;
+    p.str(w.pathId);
+    p.u8(w.terminalStatus);
+    p.u32(w.terminalPc);
+    p.u32(w.exitCode);
+    p.u64(w.terminalInstr);
+    p.u64(w.terminalBlocks);
+    p.u32(static_cast<uint32_t>(w.inputs.size()));
+    for (const auto &in : w.inputs) {
+        p.str(in.name);
+        p.u8(in.width);
+        p.u64(in.value);
+    }
+    p.u32(static_cast<uint32_t>(w.events.size()));
+    for (const auto &ev : w.events) {
+        p.u8(static_cast<uint8_t>(ev.kind));
+        p.u64(ev.instr);
+        p.u32(ev.pc);
+        p.u32(ev.a);
+        p.u32(ev.b);
+        p.u32(static_cast<uint32_t>(ev.vars.size()));
+        for (const auto &name : ev.vars)
+            p.str(name);
+    }
+    return lifecycle::wire::sealImage(kMagic, kWitnessFormatVersion, p);
+}
+
+bool
+validateWitnessImage(const std::vector<uint8_t> &image, std::string *error)
+{
+    return lifecycle::wire::checkImage(kMagic, kWitnessFormatVersion,
+                                       image, error);
+}
+
+bool
+parseWitness(const std::vector<uint8_t> &image, Witness &out,
+             std::string *error)
+{
+    auto fail = [&](const char *why) {
+        if (error)
+            *error = why;
+        return false;
+    };
+    if (!validateWitnessImage(image, error))
+        return false;
+
+    // Decode into a scratch witness; out is only assigned at the end.
+    Witness w;
+    Reader r(image.data() + lifecycle::wire::kHeaderSize,
+             image.size() - lifecycle::wire::kHeaderSize);
+    w.pathId = r.str();
+    w.terminalStatus = r.u8();
+    w.terminalPc = r.u32();
+    w.exitCode = r.u32();
+    w.terminalInstr = r.u64();
+    w.terminalBlocks = r.u64();
+
+    uint32_t input_count = r.u32();
+    if (input_count > r.size / 13) // minimum input record size
+        return fail("implausible input count");
+    w.inputs.reserve(input_count);
+    for (uint32_t i = 0; i < input_count && r.ok; ++i) {
+        WitnessInput in;
+        in.name = r.str();
+        in.width = r.u8();
+        in.value = r.u64();
+        if (in.width != 8 && in.width != 16 && in.width != 32 &&
+            in.width != 64)
+            return fail("bad input width");
+        if (!w.inputs.empty() && !(w.inputs.back().name < in.name))
+            return fail("inputs not sorted by name");
+        w.inputs.push_back(std::move(in));
+    }
+
+    uint32_t event_count = r.u32();
+    if (event_count > r.size / 21) // minimum event record size
+        return fail("implausible event count");
+    w.events.reserve(event_count);
+    for (uint32_t i = 0; i < event_count && r.ok; ++i) {
+        NondetEvent ev;
+        uint8_t kind = r.u8();
+        if (kind >= kSiteKindCount)
+            return fail("bad event kind");
+        ev.kind = static_cast<SiteKind>(kind);
+        ev.instr = r.u64();
+        ev.pc = r.u32();
+        ev.a = r.u32();
+        ev.b = r.u32();
+        uint32_t var_count = r.u32();
+        if (var_count > r.size / 4)
+            return fail("implausible variable count");
+        ev.vars.reserve(var_count);
+        for (uint32_t j = 0; j < var_count && r.ok; ++j) {
+            std::string name = r.str();
+            if (name.empty())
+                return fail("empty variable name");
+            if (!w.find(name) && r.ok)
+                return fail("event variable missing from assignment");
+            ev.vars.push_back(std::move(name));
+        }
+        w.events.push_back(std::move(ev));
+    }
+    if (!r.ok)
+        return fail("truncated payload");
+    if (r.off != r.size)
+        return fail("trailing bytes after payload");
+
+    out = std::move(w);
+    return true;
+}
+
+} // namespace s2e::core::replay

@@ -1,0 +1,128 @@
+#pragma once
+
+/**
+ * @file
+ * Concrete replay witnesses (`s2e.witness.v1`).
+ *
+ * A witness captures everything needed to re-execute one terminated
+ * path purely concretely, with the solver disconnected:
+ *
+ *  - a full concrete input assignment — one value per symbolic
+ *    variable the path ever created, extracted from a solver model of
+ *    the path constraints with every hole repaired (no default-zero
+ *    values);
+ *  - the ordered nondeterminism log — symbolic input injection sites,
+ *    symbolic device/port/MMIO reads, fork-decision outcomes and
+ *    interrupt delivery points, each stamped with the state's
+ *    instruction count and pc;
+ *  - the terminal outcome (status, pc, exit code, instruction and
+ *    block counts) the replay must reproduce.
+ *
+ * Images follow the PR 6 serializer conventions: 8-byte magic +
+ * 32-byte header with version and FNV-1a payload checksum
+ * (core/lifecycle/wire.hh), validate-before-apply parsing.
+ */
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace s2e::core::replay {
+
+/** Kind of nondeterminism site recorded in the witness event log. */
+enum class SiteKind : uint8_t {
+    SymReg = 0,   ///< makeRegSymbolic: a = register index
+    SymMem = 1,   ///< makeMemSymbolic: a = address, b = length
+    PortRead = 2, ///< symbolic I/O port read: a = port
+    MmioRead = 3, ///< symbolic MMIO read: a = address
+    Branch = 4,   ///< symbolic branch outcome: a = chosen next pc
+    Interrupt = 5, ///< interrupt delivery: a = irq, pc = return pc
+    ApiFork = 6,  ///< plugin forkState(): a = role (0 parent, 1 child)
+};
+
+constexpr uint8_t kSiteKindCount = 7;
+
+/** One nondeterminism event, stamped with the state's position. */
+struct NondetEvent {
+    SiteKind kind = SiteKind::SymReg;
+    uint64_t instr = 0; ///< state.instrCount at the site
+    uint32_t pc = 0;    ///< state pc at the site (branch pc for Branch)
+    uint32_t a = 0;     ///< kind-specific operand (see SiteKind)
+    uint32_t b = 0;     ///< kind-specific operand (SymMem length)
+    /** Names of variables created at this site (per byte for SymMem;
+     *  empty for Branch/Interrupt/ApiFork). Values live in the
+     *  witness input assignment, keyed by name. */
+    std::vector<std::string> vars;
+
+    bool
+    operator==(const NondetEvent &o) const
+    {
+        return kind == o.kind && instr == o.instr && pc == o.pc &&
+               a == o.a && b == o.b && vars == o.vars;
+    }
+};
+
+/** Per-path recording of nondeterminism events; lives on the
+ *  ExecutionState and is copied to children on fork. */
+struct PathRecord {
+    std::vector<NondetEvent> events;
+};
+
+/** One entry of the concrete input assignment. */
+struct WitnessInput {
+    std::string name; ///< schedule-independent variable name
+    uint8_t width = 0;
+    uint64_t value = 0;
+
+    bool
+    operator==(const WitnessInput &o) const
+    {
+        return name == o.name && width == o.width && value == o.value;
+    }
+};
+
+/** A complete replay witness for one terminated path. */
+struct Witness {
+    std::string pathId;
+    uint8_t terminalStatus = 0; ///< StateStatus of the original path
+    uint32_t terminalPc = 0;
+    uint32_t exitCode = 0;
+    uint64_t terminalInstr = 0;
+    uint64_t terminalBlocks = 0;
+    /** Full concrete assignment, sorted by variable name. */
+    std::vector<WitnessInput> inputs;
+    /** Ordered nondeterminism log of the path. */
+    std::vector<NondetEvent> events;
+
+    /** Look up an input value by variable name. */
+    const WitnessInput *find(const std::string &name) const;
+
+    bool
+    operator==(const Witness &o) const
+    {
+        return pathId == o.pathId && terminalStatus == o.terminalStatus &&
+               terminalPc == o.terminalPc && exitCode == o.exitCode &&
+               terminalInstr == o.terminalInstr &&
+               terminalBlocks == o.terminalBlocks && inputs == o.inputs &&
+               events == o.events;
+    }
+};
+
+/** Version written into the image header. */
+constexpr uint32_t kWitnessFormatVersion = 1;
+
+/** Serialize a witness into an s2e.witness.v1 image. Deterministic:
+ *  the same witness always yields the same bytes. */
+std::vector<uint8_t> serializeWitness(const Witness &w);
+
+/** Header-level validation (magic, version, size, checksum). */
+bool validateWitnessImage(const std::vector<uint8_t> &image,
+                          std::string *error = nullptr);
+
+/** Parse an image. The whole image is validated and decoded before
+ *  *out is touched; on failure *out is left unmodified. */
+bool parseWitness(const std::vector<uint8_t> &image, Witness &out,
+                  std::string *error = nullptr);
+
+} // namespace s2e::core::replay

@@ -40,6 +40,7 @@ ExecutionState::clone(int new_id) const
     child->symInstrCount = symInstrCount;
     child->blockCount = blockCount;
     child->multiPathEnabled = multiPathEnabled;
+    child->replayLog = replayLog; // nondeterminism prefix is shared
     child->status = status;
     child->exitCode = exitCode;
     child->statusMessage = statusMessage;

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/memory.hh"
+#include "core/replay/witness.hh"
 #include "core/value.hh"
 #include "vm/machine.hh"
 
@@ -162,6 +163,11 @@ class ExecutionState
      *  release contract for states killed via multiple paths. */
     bool resourcesReleased = false;
 
+    /** Killed while not the executing state (sibling sweeps, external
+     *  callers): the terminal point is schedule-dependent, so the path
+     *  is not witness-eligible. */
+    bool killedAsync = false;
+
     /** Parked at an s2e_merge point, awaiting the barrier drain. */
     bool atMergePoint = false;
     /** How many sibling paths were ITE-merged into this one. */
@@ -177,6 +183,11 @@ class ExecutionState
 
     /** Multi-path mode toggle (s2e_ena / s2e_dis opcodes). */
     bool multiPathEnabled = true;
+
+    /** Ordered nondeterminism log feeding witness extraction
+     *  (EngineConfig::emitWitnesses). Children inherit the parent's
+     *  prefix on fork; empty when recording is off. */
+    replay::PathRecord replayLog;
 
     StateStatus status = StateStatus::Running;
     uint32_t exitCode = 0;

@@ -56,6 +56,7 @@ BugCheck::record(ExecutionState &state, const std::string &kind,
                                        out.timedOut);
         }
     }
+    std::lock_guard<std::mutex> lock(mu_);
     crashes_.push_back(std::move(rec));
 }
 

@@ -9,6 +9,8 @@
 #ifndef S2E_PLUGINS_BUGCHECK_HH
 #define S2E_PLUGINS_BUGCHECK_HH
 
+#include <mutex>
+
 #include "expr/eval.hh"
 #include "plugins/memchecker.hh"
 #include "plugins/plugin.hh"
@@ -41,6 +43,7 @@ class BugCheck : public Plugin
 
     const char *name() const override { return "bug-check"; }
 
+    /** Only safe to call after Engine::run() returns. */
     const std::vector<CrashRecord> &crashes() const { return crashes_; }
 
   private:
@@ -48,6 +51,9 @@ class BugCheck : public Plugin
                 const std::string &message);
 
     Config config_;
+    // record() runs on worker threads (onBug/onStateKill fire wherever
+    // the path executes); the mutex serialises the pushes.
+    mutable std::mutex mu_;
     std::vector<CrashRecord> crashes_;
 };
 

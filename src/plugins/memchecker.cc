@@ -156,13 +156,17 @@ void
 MemoryChecker::report(ExecutionState &state, const std::string &kind,
                       const std::string &message)
 {
-    reports_.push_back({state.id(), kind, message});
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        reports_.push_back({state.id(), kind, message});
+    }
     engine_.events().onBug.emit(state, kind + ": " + message);
 }
 
 size_t
 MemoryChecker::distinctBugs() const
 {
+    std::lock_guard<std::mutex> lock(mu_);
     std::set<std::pair<std::string, std::string>> uniq;
     for (const auto &r : reports_)
         uniq.insert({r.kind, r.message});

@@ -11,6 +11,7 @@
 #define S2E_PLUGINS_MEMCHECKER_HH
 
 #include <map>
+#include <mutex>
 
 #include "plugins/annotation.hh"
 #include "plugins/plugin.hh"
@@ -61,6 +62,7 @@ class MemoryChecker : public Plugin
 
     const char *name() const override { return "memory-checker"; }
 
+    /** Only safe to call after Engine::run() returns. */
     const std::vector<BugReport> &reports() const { return reports_; }
 
     /** Bugs deduplicated by (kind, message). */
@@ -71,6 +73,9 @@ class MemoryChecker : public Plugin
                 const std::string &message);
 
     Config config_;
+    // Engine callbacks fire on worker threads when numWorkers > 1; the
+    // mutex serialises report() pushes. reports() is post-run only.
+    mutable std::mutex mu_;
     std::vector<BugReport> reports_;
 };
 

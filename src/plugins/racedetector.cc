@@ -39,7 +39,10 @@ DataRaceDetector::DataRaceDetector(Engine &engine, Config config)
                 "accessed from mainline with interrupts enabled "
                 "(block 0x%x)",
                 info.addr, rs->currentBlockPc);
-            reports_.push_back({state.id(), "data-race", msg});
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                reports_.push_back({state.id(), "data-race", msg});
+            }
             engine_.events().onBug.emit(state, "data-race: " + msg);
         }
     });

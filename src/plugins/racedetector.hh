@@ -11,6 +11,7 @@
 #ifndef S2E_PLUGINS_RACEDETECTOR_HH
 #define S2E_PLUGINS_RACEDETECTOR_HH
 
+#include <mutex>
 #include <unordered_map>
 
 #include "plugins/memchecker.hh" // BugReport
@@ -48,10 +49,14 @@ class DataRaceDetector : public Plugin
 
     const char *name() const override { return "data-race-detector"; }
 
+    /** Only safe to call after Engine::run() returns. */
     const std::vector<BugReport> &reports() const { return reports_; }
 
   private:
     Config config_;
+    // Memory-access callbacks fire on worker threads when
+    // numWorkers > 1; the mutex serialises the report pushes.
+    mutable std::mutex mu_;
     std::vector<BugReport> reports_;
 };
 

@@ -69,6 +69,11 @@ Ddt::Ddt(DdtConfig config)
     engine_config.maxInstructions = config_.maxInstructions;
     engine_config.maxWallSeconds = config_.maxWallSeconds;
     engine_config.maxStatesCreated = config_.maxStates;
+    engine_config.numWorkers = config_.numWorkers;
+    engine_config.emitWitnesses = config_.emitWitnesses;
+    engine_config.witnessDir = config_.witnessDir;
+    engine_config.replayWitness = config_.replayWitness;
+    engine_config.solverOptions = config_.solverOptions;
 
     engine_ = std::make_unique<core::Engine>(
         driverMachine(config_.driver, program_), engine_config);
@@ -102,6 +107,10 @@ Ddt::Ddt(DdtConfig config)
 
     plugins::BugCheck::Config bc;
     bc.panicPc = program_.symbol("kpanic");
+    // Replay is a solver-free oracle: crash reproduction inputs come
+    // from the witness itself, so the on-crash model query must stay
+    // off or the "zero solver queries" property breaks.
+    bc.computeInputs = !config_.replayWitness;
     bugCheck_ = std::make_unique<plugins::BugCheck>(*engine_, bc);
 
     coverage_ = std::make_unique<plugins::CoverageTracker>(

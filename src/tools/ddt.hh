@@ -45,6 +45,17 @@ struct DdtConfig {
     uint32_t pathKillerLoopVisits = 200;
     uint64_t stagnationBlocks = 0; // off: sweeps can starve rare paths
     uint64_t searcherSeed = 42;    // seeded Random path selection
+    unsigned numWorkers = 1;
+    /** Extract a replay witness for every eligible terminated path. */
+    bool emitWitnesses = false;
+    /** Optional witness output directory (EngineConfig::witnessDir). */
+    std::string witnessDir;
+    /** Replay this witness concretely instead of exploring: the engine
+     *  goes solver-free and BugCheck input computation is disabled. */
+    std::shared_ptr<const core::replay::Witness> replayWitness;
+    /** Solver options passthrough (differential runs disable the model
+     *  cache so serial and parallel witnesses match byte-for-byte). */
+    solver::SolverOptions solverOptions;
 };
 
 /** One reproducible bug ("crash dump" + inputs, paper §6.1.1). */

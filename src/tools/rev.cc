@@ -47,6 +47,9 @@ Rev::Rev(RevConfig config)
     engine_config.maxWallSeconds = config_.maxWallSeconds;
     engine_config.maxStatesCreated = config_.maxStates;
     engine_config.numWorkers = config_.numWorkers;
+    engine_config.emitWitnesses = config_.emitWitnesses;
+    engine_config.witnessDir = config_.witnessDir;
+    engine_config.replayWitness = config_.replayWitness;
 
     engine_ = std::make_unique<core::Engine>(
         driverMachine(config_.driver, program_), engine_config);

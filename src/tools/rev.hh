@@ -42,6 +42,12 @@ struct RevConfig {
     uint64_t stagnationBlocks = 20'000;
     /** Exploration worker threads (EngineConfig::numWorkers). */
     unsigned numWorkers = 1;
+    /** Extract a replay witness for every eligible terminated path. */
+    bool emitWitnesses = false;
+    /** Optional witness output directory (EngineConfig::witnessDir). */
+    std::string witnessDir;
+    /** Replay this witness concretely instead of exploring. */
+    std::shared_ptr<const core::replay::Witness> replayWitness;
 };
 
 /** Reconstructed control-flow graph of the driver. */

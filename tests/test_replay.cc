@@ -1,0 +1,710 @@
+/**
+ * @file
+ * Record/replay witness suite: every terminated path yields an
+ * `s2e.witness.v1` witness whose concrete input assignment and
+ * nondeterminism log replay the path solver-free to the identical
+ * terminal outcome. Covers byte-identical witnesses across
+ * numWorkers ∈ {1, 2, 4} (the witness is a pure function of the
+ * path, not the schedule), full-coverage model extraction (no
+ * default-zero holes), serialize→parse→serialize round trips, the
+ * corruption harness (bit flips / truncation / wrong version reject
+ * before any state is touched), divergence detection on tampered
+ * witnesses, and the emitWitnesses / witnessDir configuration knobs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/engine.hh"
+#include "core/replay/replayer.hh"
+#include "core/replay/witness.hh"
+#include "guest/drivers.hh"
+#include "guest/kernel.hh"
+#include "guest/layout.hh"
+#include "guest/workloads.hh"
+#include "plugins/annotation.hh"
+#include "support/logging.hh"
+#include "tools/ddt.hh"
+#include "vm/devices.hh"
+#include "vm/nic.hh"
+
+namespace s2e::core {
+namespace {
+
+namespace fs = std::filesystem;
+using replay::Witness;
+
+vm::MachineConfig
+machineFor(const std::string &source, uint32_t ram = guest::kRamSize,
+           bool loopback = false)
+{
+    vm::MachineConfig m;
+    m.ramSize = ram;
+    m.program = isa::assemble(source);
+    m.deviceSetup = [loopback](vm::DeviceSet &devices) {
+        devices.add(std::make_unique<vm::ConsoleDevice>());
+        devices.add(std::make_unique<vm::TimerDevice>());
+        auto nic = std::make_unique<vm::DmaNic>();
+        nic->setLoopback(loopback);
+        devices.add(std::move(nic));
+    };
+    return m;
+}
+
+/** Differential witness config: no budgets (budget kills land at
+ *  schedule-dependent points) and no model cache (cached models make
+ *  extraction depend on query history). */
+EngineConfig
+witnessConfig(unsigned workers)
+{
+    EngineConfig config;
+    config.numWorkers = workers;
+    config.solverOptions.useModelCache = false;
+    config.emitWitnesses = true;
+    return config;
+}
+
+struct WitnessRun {
+    /** pathId → serialized witness image. */
+    std::map<std::string, std::vector<uint8_t>> images;
+    std::vector<std::shared_ptr<const replay::Witness>> witnesses;
+    RunResult run;
+};
+
+void
+collectWitnesses(Engine &engine, WitnessRun &out)
+{
+    out.witnesses = engine.witnesses();
+    for (const auto &w : out.witnesses) {
+        bool fresh =
+            out.images.emplace(w->pathId, replay::serializeWitness(*w))
+                .second;
+        EXPECT_TRUE(fresh) << "duplicate witness for path " << w->pathId;
+    }
+}
+
+void
+expectSameImages(const WitnessRun &serial, const WitnessRun &parallel,
+                 unsigned workers)
+{
+    EXPECT_EQ(serial.images.size(), parallel.images.size())
+        << "witness count diverged with " << workers << " workers";
+    for (const auto &[path, img] : serial.images) {
+        auto it = parallel.images.find(path);
+        if (it == parallel.images.end()) {
+            ADD_FAILURE() << "witness for path " << path
+                          << " missing with " << workers << " workers";
+            continue;
+        }
+        EXPECT_TRUE(img == it->second)
+            << "witness for path " << path
+            << " not byte-identical with " << workers << " workers";
+    }
+}
+
+constexpr unsigned kWorkerCounts[] = {2, 4};
+
+// --- Workload runners ----------------------------------------------------
+
+void
+licenseSetup(Engine &engine)
+{
+    auto &state = engine.initialState();
+    uint32_t key_addr = guest::addConfigString(state, engine.builder(), 0,
+                                               "AAAAAAAA");
+    guest::setConfig(state, engine.builder(), guest::kCfgLicensePtr,
+                     key_addr);
+    engine.makeMemSymbolic(state, key_addr, guest::kLicenseKeyLen,
+                           "license");
+}
+
+WitnessRun
+runLicense(unsigned workers, const std::string &witness_dir = "")
+{
+    std::string src = guest::kernelSource() + guest::licenseCheckSource();
+    EngineConfig config = witnessConfig(workers);
+    config.witnessDir = witness_dir;
+    Engine engine(machineFor(src), config);
+    licenseSetup(engine);
+    WitnessRun out;
+    out.run = engine.run();
+    collectWitnesses(engine, out);
+    return out;
+}
+
+replay::ReplayResult
+replayLicense(std::shared_ptr<const Witness> w)
+{
+    std::string src = guest::kernelSource() + guest::licenseCheckSource();
+    replay::ReplayEngine rep(machineFor(src), EngineConfig{},
+                             std::move(w));
+    licenseSetup(rep.engine());
+    return rep.run();
+}
+
+/** High-fork-rate stress: nine independent symbolic branch bits fork
+ *  2^9 = 512 paths (mirrors tests/test_parallel.cc). */
+const char *
+stressSource()
+{
+    return R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        s2e_symreg r1
+        movi r5, 0
+        testi r1, 1
+        jeq b1
+        ori r5, 1
+    b1: testi r1, 2
+        jeq b2
+        ori r5, 2
+    b2: testi r1, 4
+        jeq b3
+        ori r5, 4
+    b3: testi r1, 8
+        jeq b4
+        ori r5, 8
+    b4: testi r1, 16
+        jeq b5
+        ori r5, 16
+    b5: testi r1, 32
+        jeq b6
+        ori r5, 32
+    b6: testi r1, 64
+        jeq b7
+        ori r5, 64
+    b7: testi r1, 128
+        jeq b8
+        ori r5, 128
+    b8: testi r1, 256
+        jeq b9
+        ori r5, 256
+    b9: movi r3, 0
+        movi r4, 0
+    work:
+        add r3, r5
+        addi r4, 1
+        cmpi r4, 20
+        jne work
+        hlt
+    )";
+}
+
+WitnessRun
+runStress(unsigned workers)
+{
+    Engine engine(machineFor(stressSource(), 64 * 1024),
+                  witnessConfig(workers));
+    WitnessRun out;
+    out.run = engine.run();
+    collectWitnesses(engine, out);
+    return out;
+}
+
+replay::ReplayResult
+replayStress(std::shared_ptr<const Witness> w)
+{
+    replay::ReplayEngine rep(machineFor(stressSource(), 64 * 1024),
+                             EngineConfig{}, std::move(w));
+    return rep.run();
+}
+
+/** DDT+ over the PIO NIC under SC-SE: the only symbolic input is the
+ *  hardware, and the workload terminates without budgets (budget
+ *  kills would make witness sets schedule-dependent). */
+tools::DdtConfig
+ddtConfig(unsigned workers)
+{
+    tools::DdtConfig config;
+    config.driver = guest::DriverKind::Pio;
+    config.model = ConsistencyModel::ScSe;
+    config.annotations = false;
+    config.maxInstructions = 0;
+    config.maxWallSeconds = 0;
+    config.numWorkers = workers;
+    config.emitWitnesses = true;
+    config.solverOptions.useModelCache = false;
+    return config;
+}
+
+WitnessRun
+runDdt(unsigned workers)
+{
+    tools::Ddt ddt(ddtConfig(workers));
+    WitnessRun out;
+    out.run = ddt.run().run;
+    collectWitnesses(ddt.engine(), out);
+    return out;
+}
+
+replay::ReplayResult
+replayDdt(std::shared_ptr<const Witness> w, RunResult *run_out = nullptr)
+{
+    tools::DdtConfig config = ddtConfig(1);
+    config.emitWitnesses = false;
+    config.replayWitness = std::move(w);
+    tools::Ddt ddt(config);
+    tools::DdtResult res = ddt.run();
+    replay::ReplayResult v = replay::replayVerdict(ddt.engine());
+    v.instructions = res.run.totalInstructions;
+    v.wallSeconds = res.run.wallSeconds;
+    if (run_out)
+        *run_out = res.run;
+    return v;
+}
+
+/** Two paths off one symbolic register bit, plus four symbolic bytes
+ *  the program never reads (extraction-hole bait). */
+const char *
+twoPathSource()
+{
+    return R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        s2e_symreg r1
+        testi r1, 1
+        jeq zero
+        movi r2, 1
+        hlt
+    zero:
+        movi r2, 0
+        hlt
+    )";
+}
+
+constexpr uint32_t kPadAddr = 0x4000;
+
+// --- Byte-identical witnesses across worker counts -----------------------
+
+TEST(ReplayWitnessDifferential, LicenseWitnessesByteIdenticalAcrossWorkers)
+{
+    WitnessRun serial = runLicense(1);
+    EXPECT_GT(serial.images.size(), 4u);
+    EXPECT_EQ(serial.run.witnessesEmitted, serial.images.size());
+    EXPECT_EQ(serial.run.witnessExtractFailures, 0u);
+    for (unsigned w : kWorkerCounts)
+        expectSameImages(serial, runLicense(w), w);
+}
+
+TEST(ReplayWitnessDifferential, ForkStormWitnessesByteIdenticalAcrossWorkers)
+{
+    WitnessRun serial = runStress(1);
+    EXPECT_EQ(serial.images.size(), 512u);
+    EXPECT_EQ(serial.run.witnessExtractFailures, 0u);
+    for (unsigned w : kWorkerCounts)
+        expectSameImages(serial, runStress(w), w);
+}
+
+TEST(ReplayWitnessDifferential, DdtWitnessesByteIdenticalAcrossWorkers)
+{
+    WitnessRun serial = runDdt(1);
+    EXPECT_GT(serial.images.size(), 4u);
+    EXPECT_EQ(serial.run.witnessExtractFailures, 0u);
+    for (unsigned w : kWorkerCounts)
+        expectSameImages(serial, runDdt(w), w);
+}
+
+// --- Solver-free replay to the identical terminal outcome ----------------
+
+TEST(ReplayWitnessOracle, LicenseEveryPathReplaysSolverFree)
+{
+    WitnessRun serial = runLicense(1);
+    ASSERT_FALSE(serial.witnesses.empty());
+    for (const auto &w : serial.witnesses) {
+        replay::ReplayResult v = replayLicense(w);
+        EXPECT_TRUE(v.ok) << "path " << w->pathId << ": " << v.divergence;
+        EXPECT_EQ(v.solverQueries, 0u) << "path " << w->pathId;
+        EXPECT_EQ(v.terminalPc, w->terminalPc);
+        EXPECT_EQ(v.terminalStatus, w->terminalStatus);
+        EXPECT_EQ(v.terminalInstr, w->terminalInstr);
+    }
+}
+
+TEST(ReplayWitnessOracle, ForkStormSampleReplaysSolverFree)
+{
+    WitnessRun serial = runStress(1);
+    ASSERT_EQ(serial.witnesses.size(), 512u);
+    // Every 32nd path: 16 replays spread across the fork tree.
+    for (size_t i = 0; i < serial.witnesses.size(); i += 32) {
+        const auto &w = serial.witnesses[i];
+        replay::ReplayResult v = replayStress(w);
+        EXPECT_TRUE(v.ok) << "path " << w->pathId << ": " << v.divergence;
+        EXPECT_EQ(v.solverQueries, 0u) << "path " << w->pathId;
+    }
+}
+
+TEST(ReplayWitnessOracle, DdtEveryPathReplaysAtAllWorkerCounts)
+{
+    WitnessRun serial = runDdt(1);
+    ASSERT_FALSE(serial.witnesses.empty());
+    for (const auto &w : serial.witnesses) {
+        RunResult run;
+        replay::ReplayResult v = replayDdt(w, &run);
+        EXPECT_TRUE(v.ok) << "path " << w->pathId << ": " << v.divergence;
+        EXPECT_EQ(v.solverQueries, 0u) << "path " << w->pathId;
+        EXPECT_EQ(run.replayDivergences, 0u) << "path " << w->pathId;
+    }
+    // Witnesses recorded by parallel runs replay just as cleanly.
+    for (unsigned workers : kWorkerCounts) {
+        WitnessRun par = runDdt(workers);
+        size_t sample = 0;
+        for (const auto &w : par.witnesses) {
+            if (sample++ >= 5)
+                break;
+            replay::ReplayResult v = replayDdt(w);
+            EXPECT_TRUE(v.ok) << "path " << w->pathId << " (" << workers
+                              << " workers): " << v.divergence;
+            EXPECT_EQ(v.solverQueries, 0u);
+        }
+    }
+}
+
+TEST(ReplayWitnessOracle, PingInterruptDeliveryReplays)
+{
+    // Single concrete path through kernel + DMA driver + ping harness:
+    // the witness log carries interrupt delivery points (and DMA), not
+    // input substitutions.
+    std::string src = guest::kernelSource() +
+                      guest::driverSource(guest::DriverKind::Dma) +
+                      guest::pingSource(/*patched=*/true);
+    Engine engine(machineFor(src, guest::kRamSize, /*loopback=*/true),
+                  witnessConfig(1));
+    guest::setConfig(engine.initialState(), engine.builder(),
+                     guest::kCfgCardType, 0);
+    engine.run();
+    auto witnesses = engine.witnesses();
+    ASSERT_GE(witnesses.size(), 1u);
+
+    bool saw_interrupt = false;
+    for (const auto &ev : witnesses.front()->events)
+        if (ev.kind == replay::SiteKind::Interrupt)
+            saw_interrupt = true;
+    EXPECT_TRUE(saw_interrupt)
+        << "ping witness records no interrupt delivery points";
+
+    replay::ReplayEngine rep(
+        machineFor(src, guest::kRamSize, /*loopback=*/true),
+        EngineConfig{}, witnesses.front());
+    guest::setConfig(rep.engine().initialState(), rep.engine().builder(),
+                     guest::kCfgCardType, 0);
+    replay::ReplayResult v = rep.run();
+    EXPECT_TRUE(v.ok) << v.divergence;
+    EXPECT_EQ(v.solverQueries, 0u);
+}
+
+// --- Plugin fork decisions (ApiFork) -------------------------------------
+
+/** A plugin fork at `work`: the child takes the r1 = 0 arm. r7 is the
+ *  per-path "already forked" latch (the child re-executes the block
+ *  from its start, so the callback fires again on it). */
+const char *
+apiForkSource()
+{
+    return R"(
+        .entry main
+    main:
+        movi sp, 0x8000
+        movi r1, 1
+        jmp work
+    work:
+        cmpi r1, 0
+        jeq zero
+        movi r2, 5
+        hlt
+    zero:
+        movi r2, 9
+        hlt
+    )";
+}
+
+void
+apiForkAnnotation(Engine &engine, plugins::Annotation &ann,
+                  uint32_t work_pc)
+{
+    ann.at(work_pc, [](ExecutionState &st, Engine &e) {
+        if (st.cpu.regs[7].isConcrete() && st.cpu.regs[7].concrete() != 0)
+            return;
+        st.cpu.regs[7] = Value(uint32_t(1));
+        ExecutionState *child = e.forkState(st);
+        if (child)
+            child->cpu.regs[1] = Value(uint32_t(0));
+    });
+    (void)engine;
+}
+
+TEST(ReplayWitnessOracle, ApiForkRolesRecordAndReplay)
+{
+    isa::Program prog = isa::assemble(apiForkSource());
+    uint32_t work_pc = prog.symbol("work");
+
+    Engine engine(machineFor(apiForkSource(), 64 * 1024),
+                  witnessConfig(1));
+    plugins::Annotation ann(engine);
+    apiForkAnnotation(engine, ann, work_pc);
+    engine.run();
+
+    auto witnesses = engine.witnesses();
+    ASSERT_EQ(witnesses.size(), 2u);
+    for (const auto &w : witnesses) {
+        const replay::NondetEvent *fork_ev = nullptr;
+        for (const auto &ev : w->events)
+            if (ev.kind == replay::SiteKind::ApiFork)
+                fork_ev = &ev;
+        ASSERT_NE(fork_ev, nullptr)
+            << "path " << w->pathId << " has no ApiFork event";
+        // Role 0 on the parent path, role 1 on the injected child.
+        EXPECT_EQ(fork_ev->a, w->pathId == "0" ? 0u : 1u);
+
+        replay::ReplayEngine rep(machineFor(apiForkSource(), 64 * 1024),
+                                 EngineConfig{}, w);
+        plugins::Annotation replay_ann(rep.engine());
+        apiForkAnnotation(rep.engine(), replay_ann, work_pc);
+        replay::ReplayResult v = rep.run();
+        EXPECT_TRUE(v.ok) << "path " << w->pathId << ": " << v.divergence;
+        EXPECT_EQ(v.solverQueries, 0u);
+    }
+}
+
+// --- Serialization round trip & corruption harness -----------------------
+
+TEST(ReplayWitnessFormat, RoundTripIsByteIdentical)
+{
+    WitnessRun serial = runLicense(1);
+    ASSERT_FALSE(serial.witnesses.empty());
+    for (const auto &w : serial.witnesses) {
+        std::vector<uint8_t> img = replay::serializeWitness(*w);
+        EXPECT_TRUE(replay::validateWitnessImage(img));
+        Witness parsed;
+        std::string error;
+        ASSERT_TRUE(replay::parseWitness(img, parsed, &error)) << error;
+        EXPECT_TRUE(parsed == *w) << "path " << w->pathId;
+        EXPECT_TRUE(replay::serializeWitness(parsed) == img)
+            << "re-serialization of path " << w->pathId
+            << " is not byte-identical";
+    }
+}
+
+TEST(ReplayWitnessFormat, CorruptImagesAreRejectedNotApplied)
+{
+    WitnessRun serial = runLicense(1);
+    ASSERT_FALSE(serial.witnesses.empty());
+    const std::vector<uint8_t> img =
+        replay::serializeWitness(*serial.witnesses.front());
+
+    Witness sentinel;
+    sentinel.pathId = "sentinel";
+    sentinel.terminalPc = 0xDEAD;
+    sentinel.inputs.push_back({"keep", 8, 7});
+
+    auto expect_rejected = [&](const std::vector<uint8_t> &bad,
+                               const std::string &what) {
+        EXPECT_FALSE(replay::validateWitnessImage(bad) &&
+                     bad.size() == img.size() && bad == img)
+            << what; // only the pristine image may validate
+        Witness out = sentinel;
+        std::string error;
+        EXPECT_FALSE(replay::parseWitness(bad, out, &error)) << what;
+        EXPECT_FALSE(error.empty()) << what;
+        // Validate-before-apply: the output witness is untouched.
+        EXPECT_EQ(out.pathId, "sentinel") << what;
+        EXPECT_EQ(out.terminalPc, 0xDEADu) << what;
+        ASSERT_EQ(out.inputs.size(), 1u) << what;
+        EXPECT_EQ(out.inputs[0].name, "keep") << what;
+    };
+
+    // Single-bit corruption anywhere in the image. The only bytes a
+    // flip may survive are the header's reserved u32 (offsets 12-15,
+    // ignored by checkImage) — and then the parse must still yield
+    // the original witness, untouched by the flip.
+    for (size_t off = 0; off < img.size();
+         off += std::max<size_t>(1, img.size() / 64)) {
+        std::vector<uint8_t> bad = img;
+        bad[off] ^= 0x40;
+        if (off >= 12 && off < 16) {
+            Witness out;
+            ASSERT_TRUE(replay::parseWitness(bad, out))
+                << "reserved-byte flip at offset " << off;
+            EXPECT_TRUE(out == *serial.witnesses.front());
+            continue;
+        }
+        expect_rejected(bad, strprintf("bit flip at offset %zu", off));
+    }
+
+    // Truncation at header, mid-payload and off-by-one boundaries.
+    for (size_t n : {size_t(0), size_t(8), size_t(31), img.size() / 2,
+                     img.size() - 1}) {
+        std::vector<uint8_t> bad(img.begin(), img.begin() + n);
+        expect_rejected(bad, strprintf("truncated to %zu bytes", n));
+    }
+
+    // Wrong format version (offset 8, little-endian u32; the payload
+    // checksum is still valid, the version gate alone must reject).
+    {
+        std::vector<uint8_t> bad = img;
+        bad[8] = static_cast<uint8_t>(replay::kWitnessFormatVersion + 1);
+        std::string error;
+        EXPECT_FALSE(replay::validateWitnessImage(bad, &error));
+        EXPECT_NE(error.find("version"), std::string::npos) << error;
+        expect_rejected(bad, "wrong format version");
+    }
+}
+
+// --- Model extraction covers every symbolic byte -------------------------
+
+TEST(ReplayWitnessExtraction, AssignmentCoversAllSymbolicBytes)
+{
+    // One constrained 32-bit register variable plus four symbolic
+    // bytes the program never reads: the extracted assignment must
+    // cover all five (a zero-default extractor would drop the four
+    // unconstrained bytes, and could violate the reg constraint).
+    Engine engine(machineFor(twoPathSource(), 64 * 1024),
+                  witnessConfig(1));
+    engine.makeMemSymbolic(engine.initialState(), kPadAddr, 4, "pad");
+    RunResult run = engine.run();
+    EXPECT_EQ(run.witnessExtractFailures, 0u);
+    auto witnesses = engine.witnesses();
+    ASSERT_EQ(witnesses.size(), 2u);
+
+    bool saw_bit_set = false, saw_bit_clear = false;
+    for (const auto &w : witnesses) {
+        ASSERT_EQ(w->inputs.size(), 5u)
+            << "path " << w->pathId
+            << ": extraction left holes in the assignment";
+        size_t pad_bytes = 0;
+        const replay::WitnessInput *reg = nullptr;
+        for (const auto &in : w->inputs) {
+            if (in.width == 8) {
+                pad_bytes++;
+                EXPECT_EQ(in.name.rfind("pad", 0), 0u) << in.name;
+            } else {
+                EXPECT_EQ(in.width, 32u) << in.name;
+                reg = &in;
+            }
+        }
+        EXPECT_EQ(pad_bytes, 4u);
+        ASSERT_NE(reg, nullptr);
+        // The model must satisfy the path constraint on bit 0 — a
+        // default-zero value would break the bit-set path.
+        if (reg->value & 1)
+            saw_bit_set = true;
+        else
+            saw_bit_clear = true;
+    }
+    EXPECT_TRUE(saw_bit_set);
+    EXPECT_TRUE(saw_bit_clear);
+}
+
+// --- Divergence detection ------------------------------------------------
+
+TEST(ReplayWitnessDivergence, TamperedBranchChoiceReportsFirstMismatch)
+{
+    WitnessRun serial = runLicense(1);
+    ASSERT_FALSE(serial.witnesses.empty());
+    // Flip the recorded direction of the first branch site.
+    Witness tampered = *serial.witnesses.front();
+    replay::NondetEvent *branch = nullptr;
+    for (auto &ev : tampered.events)
+        if (ev.kind == replay::SiteKind::Branch) {
+            branch = &ev;
+            break;
+        }
+    ASSERT_NE(branch, nullptr) << "license witness has no branch sites";
+    branch->a ^= 0x40;
+
+    replay::ReplayResult v = replayLicense(
+        std::make_shared<const Witness>(std::move(tampered)));
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.divergence.find("branch"), std::string::npos)
+        << v.divergence;
+}
+
+TEST(ReplayWitnessDivergence, TamperedInputValueDivergesAtItsBranch)
+{
+    Engine engine(machineFor(twoPathSource(), 64 * 1024),
+                  witnessConfig(1));
+    engine.makeMemSymbolic(engine.initialState(), kPadAddr, 4, "pad");
+    engine.run();
+    auto witnesses = engine.witnesses();
+    ASSERT_EQ(witnesses.size(), 2u);
+
+    // Flip the decision bit of the register input: the replayed
+    // execution takes the other arm and must report the branch site.
+    Witness tampered = *witnesses.front();
+    bool flipped = false;
+    for (auto &in : tampered.inputs)
+        if (in.width == 32) {
+            in.value ^= 1;
+            flipped = true;
+        }
+    ASSERT_TRUE(flipped);
+
+    replay::ReplayEngine rep(machineFor(twoPathSource(), 64 * 1024),
+                             EngineConfig{},
+                             std::make_shared<const Witness>(
+                                 std::move(tampered)));
+    rep.engine().makeMemSymbolic(rep.engine().initialState(), kPadAddr, 4,
+                                 "pad");
+    replay::ReplayResult v = rep.run();
+    EXPECT_FALSE(v.ok);
+    EXPECT_NE(v.divergence.find("branch"), std::string::npos)
+        << v.divergence;
+    ASSERT_NE(rep.engine().replayCursor(), nullptr);
+    EXPECT_TRUE(rep.engine().replayCursor()->diverged());
+}
+
+// --- Configuration knobs -------------------------------------------------
+
+TEST(ReplayWitnessConfig, EmissionIsOffByDefault)
+{
+    EngineConfig config;
+    config.solverOptions.useModelCache = false;
+    Engine engine(machineFor(twoPathSource(), 64 * 1024), config);
+    RunResult run = engine.run();
+    EXPECT_TRUE(engine.witnesses().empty());
+    EXPECT_EQ(run.witnessesEmitted, 0u);
+}
+
+TEST(ReplayWitnessConfig, RcCcPathsAreNotWitnessed)
+{
+    // RC-CC ignores feasibility: its paths may be infeasible, so no
+    // sound concrete model exists and recording stays disabled.
+    EngineConfig config = witnessConfig(1);
+    config.model = ConsistencyModel::RcCc;
+    Engine engine(machineFor(twoPathSource(), 64 * 1024), config);
+    RunResult run = engine.run();
+    EXPECT_TRUE(engine.witnesses().empty());
+    EXPECT_EQ(run.witnessesEmitted, 0u);
+}
+
+TEST(ReplayWitnessConfig, WitnessDirHoldsByteIdenticalImages)
+{
+    fs::path dir = fs::temp_directory_path() /
+                   strprintf("s2e-witness-test-%ld", (long)getpid());
+    fs::remove_all(dir);
+    WitnessRun serial = runLicense(1, dir.string());
+    ASSERT_FALSE(serial.images.empty());
+    for (const auto &[path_id, img] : serial.images) {
+        fs::path file = dir / (path_id + ".witness");
+        ASSERT_TRUE(fs::exists(file)) << file;
+        std::ifstream in(file, std::ios::binary);
+        std::vector<uint8_t> bytes(
+            (std::istreambuf_iterator<char>(in)),
+            std::istreambuf_iterator<char>());
+        EXPECT_TRUE(bytes == img)
+            << "on-disk witness for path " << path_id
+            << " differs from the in-memory image";
+    }
+    fs::remove_all(dir);
+}
+
+} // namespace
+} // namespace s2e::core

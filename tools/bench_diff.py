@@ -10,9 +10,14 @@ direction-unknown; a change past the threshold in the *bad* direction
 is a regression. Direction-unknown metrics are reported but never
 flagged.
 
-Exit status: 0 when no regression exceeds the threshold, 1 otherwise
-(the run_checks.sh wiring treats this as advisory; strict CI can gate
-on it directly).
+Exit status:
+    0  no regression exceeds the threshold
+    1  magnitude regressions only (run_checks.sh treats these as
+       advisory — wall-clock metrics are noisy on shared machines)
+    2  schema/presence failure: a report is unreadable or not an
+       s2e.run_report.v1, or a baseline metric is GONE from the fresh
+       report. A counter that stopped being emitted is a wiring bug,
+       not noise, so run_checks.sh gates on this hard.
 
 Usage:
     tools/bench_diff.py BASELINE.json FRESH.json [--threshold 0.10]
@@ -69,10 +74,16 @@ def direction(name):
 
 
 def load_metrics(path):
-    with open(path) as f:
-        report = json.load(f)
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_diff: {path}: {e}", file=sys.stderr)
+        sys.exit(2)
     if report.get("schema") != "s2e.run_report.v1":
-        sys.exit(f"bench_diff: {path}: not an s2e.run_report.v1 report")
+        print(f"bench_diff: {path}: not an s2e.run_report.v1 report",
+              file=sys.stderr)
+        sys.exit(2)
     metrics = dict(report.get("metrics") or {})
     if "wall_seconds" in report:
         metrics["wall_seconds"] = report["wall_seconds"]
@@ -96,13 +107,15 @@ def main():
               f"({base_name} vs {fresh_name})", file=sys.stderr)
 
     regressions = []
+    gone = []
     rows = []
     for name in sorted(set(base) | set(fresh)):
         if name not in base:
             rows.append((name, None, fresh[name], "new", ""))
             continue
         if name not in fresh:
-            rows.append((name, base[name], None, "gone", ""))
+            rows.append((name, base[name], None, "GONE", ""))
+            gone.append(name)
             continue
         b, f = float(base[name]), float(fresh[name])
         if b == f:
@@ -126,6 +139,10 @@ def main():
         bs = "-" if b is None else f"{b:g}"
         fs = "-" if f is None else f"{f:g}"
         print(f"  {name:<{width}}  {bs:>14} -> {fs:<14} {rel:>8}  {tag}")
+    if gone:
+        print(f"bench_diff: {len(gone)} baseline metric(s) gone from "
+              f"the fresh report: {', '.join(gone)}", file=sys.stderr)
+        return 2
     if regressions:
         print(f"bench_diff: {len(regressions)} regression(s) beyond "
               f"{args.threshold:.0%}: {', '.join(regressions)}",

@@ -1,0 +1,38 @@
+#!/bin/sh
+# One-shot witness replay: build the replay_witness CLI and replay a
+# recorded `s2e.witness.v1` file purely concretely (solver
+# disconnected), printing the verdict — recorded terminal reached, or
+# the first mismatching nondeterminism site.
+#
+# Usage: tools/replay.sh WITNESS_FILE [WORKLOAD] [DRIVER] [build-dir]
+#   WITNESS_FILE: a file produced by EngineConfig::witnessDir (e.g.
+#                 via `replay_witness record DIR WORKLOAD`).
+#   WORKLOAD:     license | ddt | rev (default: ddt) — must match the
+#                 workload that recorded the witness.
+#   DRIVER:       dma | pio | mmio | ring (default: dma; ddt/rev only).
+#   build-dir:    existing cmake build (default: build); configured
+#                 and built here if missing.
+#
+# Exit status: 0 replay reached the recorded terminal, 1 divergence,
+# 2 unusable input (unreadable/corrupt witness, bad arguments).
+set -u
+
+repo_root=$(cd "$(dirname "$0")/.." && pwd)
+witness=${1:?usage: tools/replay.sh WITNESS_FILE [WORKLOAD] [DRIVER] [build-dir]}
+workload=${2:-ddt}
+driver=${3:-dma}
+build_dir=${4:-"$repo_root/build"}
+jobs=$(nproc 2>/dev/null || echo 2)
+
+if [ ! -f "$witness" ]; then
+    echo "replay.sh: no such witness file: $witness" >&2
+    exit 2
+fi
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+    cmake -B "$build_dir" -S "$repo_root" || exit 2
+fi
+cmake --build "$build_dir" -j "$jobs" --target replay_witness || exit 2
+
+exec "$build_dir/examples/replay_witness" replay "$witness" \
+    "$workload" "$driver"

@@ -5,18 +5,23 @@
 #                                `ctest -L solver` (incremental-vs-fresh
 #                                solver contexts), `ctest -L lifecycle`
 #                                (spill/merge-vs-all-resident state
-#                                lifecycle) and `ctest -L absint` (static
-#                                value analysis vs the solver oracle)
+#                                lifecycle), `ctest -L absint` (static
+#                                value analysis vs the solver oracle) and
+#                                `ctest -L replay` (record/replay witness
+#                                oracle: solver-free replay differentials)
 #   2. an AddressSanitizer build — `ctest -L sanitize` under build-asan/
 #                                (solver + engine resilience paths and the
 #                                lifecycle suite's exactly-once resource
 #                                release: solver contexts and spill files)
+#                                plus `ctest -L replay` there
 #   3. a ThreadSanitizer build — `ctest -L tsan` under build-tsan/
 #                                (parallel, incremental and lifecycle
 #                                suites all carry the tsan label)
 # Also gates clang-tidy (zero warnings over src/expr and src/solver,
-# skipped when clang-tidy is not installed) and, advisory only, diffs a
-# fresh bench_fork_storm report against the committed baseline.
+# skipped when clang-tidy is not installed) and diffs a fresh
+# bench_fork_storm report against the committed baseline: missing
+# metric keys (a counter that stopped being emitted) fail hard;
+# magnitude regressions stay advisory.
 # All must pass with zero divergences before a change to the
 # exploration core, the solver pipeline or the state lifecycle lands.
 #
@@ -35,7 +40,8 @@ tsan_dir=${2:-"$repo_root/build-tsan"}
 asan_dir=${3:-"$repo_root/build-asan"}
 jobs=$(nproc 2>/dev/null || echo 2)
 
-check_targets="test_parallel test_incremental test_lifecycle test_absint"
+check_targets="test_parallel test_incremental test_lifecycle test_absint \
+test_replay"
 
 status=0
 
@@ -49,6 +55,7 @@ cmake --build "$build_dir" -j "$jobs" \
 (cd "$build_dir" && ctest -L solver --output-on-failure) || status=1
 (cd "$build_dir" && ctest -L lifecycle --output-on-failure) || status=1
 (cd "$build_dir" && ctest -L absint --output-on-failure) || status=1
+(cd "$build_dir" && ctest -L replay --output-on-failure) || status=1
 
 echo "== run_checks: clang-tidy gate (src/expr, src/solver) =="
 # Zero-warning gate over the expression and solver layers (the static
@@ -61,9 +68,11 @@ if [ ! -f "$asan_dir/CMakeCache.txt" ]; then
     cmake -B "$asan_dir" -S "$repo_root" -DS2E_SANITIZE=address || exit 1
 fi
 cmake --build "$asan_dir" -j "$jobs" \
-    --target test_sat test_solver test_engine test_lifecycle || exit 1
+    --target test_sat test_solver test_engine test_lifecycle \
+    test_replay || exit 1
 (cd "$asan_dir" && ctest -L sanitize --output-on-failure) || status=1
 (cd "$asan_dir" && ctest -L lifecycle --output-on-failure) || status=1
+(cd "$asan_dir" && ctest -L replay --output-on-failure) || status=1
 
 echo "== run_checks: ThreadSanitizer configuration ($tsan_dir) =="
 if [ ! -f "$tsan_dir/CMakeCache.txt" ]; then
@@ -74,13 +83,14 @@ cmake --build "$tsan_dir" -j "$jobs" \
 (cd "$tsan_dir" && ctest -L tsan --output-on-failure) || status=1
 (cd "$tsan_dir" && ctest -L lifecycle --output-on-failure) || status=1
 
-# Advisory bench diff: regenerate the fork-storm report and compare it
-# against the committed baseline. Regressions are reported, never fatal
-# here — wall-clock metrics are noisy on shared machines; gate on
-# tools/bench_diff.py directly where a hard check is wanted.
+# Bench diff: regenerate the fork-storm report and compare it against
+# the committed baseline. Metric *presence* is a hard gate — a counter
+# gone from the fresh report (bench_diff exit 2) means someone broke
+# the metric wiring. Magnitude regressions (exit 1) stay advisory:
+# wall-clock metrics are noisy on shared machines.
 if [ -f "$repo_root/BENCH_fork_storm.json" ] &&
        command -v python3 >/dev/null 2>&1; then
-    echo "== run_checks: bench diff vs committed baseline (advisory) =="
+    echo "== run_checks: bench diff vs committed baseline =="
     if cmake --build "$build_dir" -j "$jobs" \
              --target bench_fork_storm >/dev/null 2>&1; then
         bench_tmp=$(mktemp -d)
@@ -88,8 +98,16 @@ if [ -f "$repo_root/BENCH_fork_storm.json" ] &&
                 "$build_dir/bench/bench_fork_storm" >/dev/null 2>&1); then
             python3 "$repo_root/tools/bench_diff.py" \
                 "$repo_root/BENCH_fork_storm.json" \
-                "$bench_tmp/BENCH_fork_storm.json" ||
-                echo "run_checks: bench regressions above are ADVISORY"
+                "$bench_tmp/BENCH_fork_storm.json"
+            diff_rc=$?
+            if [ "$diff_rc" -ge 2 ]; then
+                echo "run_checks: bench metric keys missing vs" \
+                     "baseline — HARD FAILURE" >&2
+                status=1
+            elif [ "$diff_rc" -ne 0 ]; then
+                echo "run_checks: bench magnitude regressions above" \
+                     "are ADVISORY"
+            fi
         else
             echo "run_checks: bench_fork_storm run failed; diff skipped"
         fi
