@@ -1,0 +1,298 @@
+#include "core/fiber.hh"
+
+#include <cstdint>
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include "support/logging.hh"
+
+// --- Sanitizer fiber hooks ----------------------------------------------
+// ASan has to move its fake-stack state along with the context and TSan
+// models each fiber as a logical thread; without these annotations both
+// report false positives the moment a fiber migrates across OS threads.
+#if defined(__SANITIZE_ADDRESS__)
+#define S2E_FIBER_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define S2E_FIBER_ASAN 1
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+#define S2E_FIBER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define S2E_FIBER_TSAN 1
+#endif
+#endif
+
+#if defined(S2E_FIBER_ASAN)
+#include <sanitizer/common_interface_defs.h>
+#endif
+#if defined(S2E_FIBER_TSAN)
+#include <sanitizer/tsan_interface.h>
+#endif
+
+namespace s2e::core {
+
+namespace {
+thread_local Fiber *tl_currentFiber = nullptr;
+} // namespace
+
+#if defined(__x86_64__)
+
+// Raw context switch: save the six callee-saved registers plus the
+// stack pointer of the caller into *save_sp, install load_sp and pop
+// the target's registers. Everything else is caller-saved — the
+// compiler already spilled what it needs around the call. The ret at
+// the end either returns into a previously parked switchOut()/resume()
+// frame or, on a fiber's first run, "returns" into the trampoline the
+// seeded frame points at.
+extern "C" void s2e_fiber_switch(void **save_sp, void *load_sp);
+
+asm(R"(
+        .text
+        .globl s2e_fiber_switch
+        .type s2e_fiber_switch, @function
+s2e_fiber_switch:
+        endbr64
+        pushq %rbp
+        pushq %rbx
+        pushq %r12
+        pushq %r13
+        pushq %r14
+        pushq %r15
+        movq %rsp, (%rdi)
+        movq %rsi, %rsp
+        popq %r15
+        popq %r14
+        popq %r13
+        popq %r12
+        popq %rbx
+        popq %rbp
+        ret
+        .size s2e_fiber_switch, . - s2e_fiber_switch
+
+        .globl s2e_fiber_trampoline
+        .type s2e_fiber_trampoline, @function
+s2e_fiber_trampoline:
+        movq %r15, %rdi
+        call s2e_fiber_entry
+        ud2
+        .size s2e_fiber_trampoline, . - s2e_fiber_trampoline
+        .previous
+)");
+
+extern "C" void s2e_fiber_trampoline();
+
+#endif // __x86_64__
+
+// First C++ frames on a fiber stack; never return (runEntry loops
+// around park for the fiber's whole life so the stack can be reused).
+// fiberEntryThunk is the class friend; the extern "C" symbol is what
+// the assembly trampoline (and the ucontext fallback) can name.
+void
+fiberEntryThunk(Fiber *fiber)
+{
+    fiber->runEntry(); // noreturn
+}
+
+extern "C" void
+s2e_fiber_entry(Fiber *fiber)
+{
+    fiberEntryThunk(fiber);
+}
+
+Fiber::Fiber(size_t stack_bytes)
+{
+    long page = sysconf(_SC_PAGESIZE);
+    S2E_ASSERT(page > 0, "sysconf(_SC_PAGESIZE) failed");
+    size_t ps = static_cast<size_t>(page);
+    stackBytes_ = ((stack_bytes + ps - 1) / ps) * ps;
+    if (stackBytes_ < 4 * ps)
+        stackBytes_ = 4 * ps;
+    mapBytes_ = stackBytes_ + ps;
+    void *base = mmap(nullptr, mapBytes_, PROT_READ | PROT_WRITE,
+                      MAP_PRIVATE | MAP_ANONYMOUS | MAP_STACK, -1, 0);
+    S2E_ASSERT(base != MAP_FAILED, "fiber stack mmap failed");
+    // Guard page at the low end turns overflow into a clean fault.
+    int rc = mprotect(base, ps, PROT_NONE);
+    S2E_ASSERT(rc == 0, "fiber guard mprotect failed");
+    mapBase_ = base;
+    stackLow_ = static_cast<char *>(base) + ps;
+#if defined(S2E_FIBER_TSAN)
+    tsanFiber_ = __tsan_create_fiber(0);
+#endif
+}
+
+Fiber::~Fiber()
+{
+    S2E_ASSERT(tl_currentFiber != this, "destroying the running fiber");
+    S2E_ASSERT(!started_ || finished_,
+               "destroying a parked fiber (its stack cannot unwind)");
+#if defined(S2E_FIBER_TSAN)
+    if (tsanFiber_)
+        __tsan_destroy_fiber(tsanFiber_);
+#endif
+    if (mapBase_)
+        munmap(mapBase_, mapBytes_);
+}
+
+void
+Fiber::reset(std::function<void()> entry)
+{
+    S2E_ASSERT(!started_ || finished_, "reset of a live (parked) fiber");
+    S2E_ASSERT(entry, "fiber needs an entry function");
+    entry_ = std::move(entry);
+    finished_ = false;
+}
+
+Fiber *
+Fiber::current()
+{
+    return tl_currentFiber;
+}
+
+#if defined(__x86_64__)
+
+void
+Fiber::seedStack()
+{
+    // Frame the raw switch will consume on first resume: six register
+    // slots (popped in r15..rbp order) and the trampoline as the
+    // return address. r15 carries `this` into the trampoline, which
+    // moves it to rdi and calls s2e_fiber_entry. Alignment: top is
+    // 16-aligned; after the six pops rsp = top-8, the ret makes it
+    // top, and the trampoline's call leaves rsp % 16 == 8 at
+    // s2e_fiber_entry's first instruction — the standard post-call
+    // alignment the ABI promises every function.
+    uintptr_t top = reinterpret_cast<uintptr_t>(stackLow_) + stackBytes_;
+    top &= ~static_cast<uintptr_t>(15);
+    void **frame = reinterpret_cast<void **>(top) - 7;
+    frame[0] = this; // r15
+    frame[1] = nullptr;
+    frame[2] = nullptr;
+    frame[3] = nullptr;
+    frame[4] = nullptr;
+    frame[5] = nullptr;
+    frame[6] = reinterpret_cast<void *>(&s2e_fiber_trampoline);
+    fiberSp_ = frame;
+    started_ = true;
+}
+
+#else // !__x86_64__
+
+namespace {
+/** makecontext only passes ints portably; hand the pointer over in a
+ *  thread-local instead (resume() runs on the same thread that seeds). */
+thread_local Fiber *tl_seedingFiber = nullptr;
+
+extern "C" void
+s2eFiberUcontextEntry()
+{
+    fiberEntryThunk(tl_seedingFiber);
+}
+} // namespace
+
+void
+Fiber::seedStack()
+{
+    getcontext(&fiberCtx_);
+    fiberCtx_.uc_stack.ss_sp = stackLow_;
+    fiberCtx_.uc_stack.ss_size = stackBytes_;
+    fiberCtx_.uc_link = nullptr;
+    tl_seedingFiber = this;
+    makecontext(&fiberCtx_, reinterpret_cast<void (*)()>(
+                                &s2eFiberUcontextEntry),
+                0);
+    started_ = true;
+}
+
+#endif // __x86_64__
+
+bool
+Fiber::resume()
+{
+    S2E_ASSERT(tl_currentFiber == nullptr,
+               "resume from inside a fiber (nesting unsupported)");
+    S2E_ASSERT(entry_ && !finished_, "resume without a pending entry");
+    if (!started_)
+        seedStack();
+    tl_currentFiber = this;
+#if defined(S2E_FIBER_TSAN)
+    // Captured fresh every resume: the fiber switches back to
+    // whichever thread is driving it *now*, not its first resumer.
+    resumerTsan_ = __tsan_get_current_fiber();
+#endif
+#if defined(S2E_FIBER_ASAN)
+    __sanitizer_start_switch_fiber(&schedFake_, stackLow_, stackBytes_);
+#endif
+#if defined(S2E_FIBER_TSAN)
+    __tsan_switch_to_fiber(tsanFiber_, 0);
+#endif
+#if defined(__x86_64__)
+    s2e_fiber_switch(&schedSp_, fiberSp_);
+#else
+    swapcontext(&schedCtx_, &fiberCtx_);
+#endif
+    // Back on the driving thread: the fiber parked or finished.
+#if defined(S2E_FIBER_ASAN)
+    __sanitizer_finish_switch_fiber(schedFake_, nullptr, nullptr);
+#endif
+    tl_currentFiber = nullptr;
+    return !finished_;
+}
+
+void
+Fiber::park()
+{
+    Fiber *f = tl_currentFiber;
+    S2E_ASSERT(f, "park() outside any fiber");
+    f->switchOut();
+}
+
+void
+Fiber::switchOut()
+{
+#if defined(S2E_FIBER_ASAN)
+    // The resumer's stack bounds were captured on arrival (below), so
+    // this returns to the *current* driving thread's stack even after
+    // a migration.
+    __sanitizer_start_switch_fiber(&fiberFake_, resumerStackBottom_,
+                                   resumerStackSize_);
+#endif
+#if defined(S2E_FIBER_TSAN)
+    __tsan_switch_to_fiber(resumerTsan_, 0);
+#endif
+#if defined(__x86_64__)
+    s2e_fiber_switch(&fiberSp_, schedSp_);
+#else
+    swapcontext(&fiberCtx_, &schedCtx_);
+#endif
+    // Resumed — possibly on a different OS thread than the one that
+    // parked us. Re-capture where to switch back to.
+#if defined(S2E_FIBER_ASAN)
+    __sanitizer_finish_switch_fiber(fiberFake_, &resumerStackBottom_,
+                                    &resumerStackSize_);
+#endif
+}
+
+void
+Fiber::runEntry()
+{
+#if defined(S2E_FIBER_ASAN)
+    // First entry: null fake-stack (there is no previous fiber frame
+    // to unpoison), and capture the resumer's stack for switchOut.
+    __sanitizer_finish_switch_fiber(nullptr, &resumerStackBottom_,
+                                    &resumerStackSize_);
+#endif
+    for (;;) {
+        entry_();
+        finished_ = true;
+        // Park "forever": a pooled fiber is re-armed with reset() and
+        // the next resume() continues this loop with the new entry.
+        switchOut();
+    }
+}
+
+} // namespace s2e::core

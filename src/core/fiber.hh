@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Minimal stackful fibers for one-suspendable-context-per-state
+ * scheduling (ROADMAP item 2).
+ *
+ * A Fiber is a heap-allocated call stack plus the six callee-saved
+ * registers of the System V x86-64 ABI; switching costs one function
+ * call each way and never enters the kernel (unlike ucontext, which
+ * pays a sigprocmask syscall per swap). The engine runs each
+ * execution-state timeslice on one of these: when a solver choke
+ * point needs an answer it calls Fiber::park(), the driving worker
+ * gets control back and picks up other work, and whichever worker
+ * later takes the state again continues the slice with resume() —
+ * fibers deliberately migrate across OS threads.
+ *
+ * Ownership protocol: a fiber is driven by exactly one thread at a
+ * time. resume() may only be called from plain thread context (never
+ * from inside another fiber), park() only from inside the fiber.
+ * All cross-thread publication happens through the structure that
+ * hands the owning state between workers (the work queue / solver
+ * service), never through the Fiber itself.
+ *
+ * Sanitizer support: every switch is bracketed with the ASan fiber
+ * annotations (so the fake-stack machinery follows the context) and
+ * the TSan fiber API (so the race detector models the fiber as its
+ * own logical thread); both are compiled out in plain builds.
+ */
+
+#ifndef S2E_CORE_FIBER_HH
+#define S2E_CORE_FIBER_HH
+
+#include <cstddef>
+#include <functional>
+
+#if !defined(__x86_64__)
+#include <ucontext.h>
+#endif
+
+namespace s2e::core {
+
+class Fiber
+{
+  public:
+    static constexpr size_t kDefaultStackBytes = 256 * 1024;
+
+    explicit Fiber(size_t stack_bytes = kDefaultStackBytes);
+    ~Fiber();
+    Fiber(const Fiber &) = delete;
+    Fiber &operator=(const Fiber &) = delete;
+
+    /**
+     * Arm the fiber with a new entry function. Valid on a fresh fiber
+     * or one whose previous entry has returned (finished()); the
+     * stack mapping is reused, which is what makes per-slice fibers
+     * cheap enough to recycle through a pool.
+     */
+    void reset(std::function<void()> entry);
+
+    /**
+     * Run the fiber on the calling thread until it parks or its entry
+     * returns. Returns true while the entry has not finished (i.e.
+     * the fiber is parked and must eventually be resumed again so its
+     * C++ stack unwinds), false once the entry returned.
+     */
+    bool resume();
+
+    /** From inside the fiber: switch back to whatever thread called
+     *  resume(). The next resume() — possibly on a different thread —
+     *  returns control right here. */
+    static void park();
+
+    /** The fiber currently running on this thread, null outside any
+     *  fiber. */
+    static Fiber *current();
+
+    /** Did the armed entry run to completion? */
+    bool finished() const { return finished_; }
+
+    /** Usable stack bytes (excluding the guard page). */
+    size_t stackBytes() const { return stackBytes_; }
+
+  private:
+    void seedStack();
+    void switchOut();
+    [[noreturn]] void runEntry();
+
+    friend void fiberEntryThunk(Fiber *fiber);
+
+    std::function<void()> entry_;
+    bool started_ = false;
+    bool finished_ = false;
+
+    /** mmap base (low guard page included). */
+    void *mapBase_ = nullptr;
+    size_t mapBytes_ = 0;
+    /** Lowest usable stack address (just above the guard page). */
+    void *stackLow_ = nullptr;
+    size_t stackBytes_ = 0;
+
+#if defined(__x86_64__)
+    /** Saved stack pointer of the parked fiber. */
+    void *fiberSp_ = nullptr;
+    /** Saved stack pointer of the thread driving resume(). */
+    void *schedSp_ = nullptr;
+#else
+    ucontext_t fiberCtx_;
+    ucontext_t schedCtx_;
+#endif
+
+    // Sanitizer bookkeeping (unused members in plain builds are
+    // cheaper than another #ifdef layer in this header).
+    void *tsanFiber_ = nullptr;
+    void *resumerTsan_ = nullptr;
+    void *fiberFake_ = nullptr;
+    void *schedFake_ = nullptr;
+    const void *resumerStackBottom_ = nullptr;
+    size_t resumerStackSize_ = 0;
+};
+
+} // namespace s2e::core
+
+#endif // S2E_CORE_FIBER_HH

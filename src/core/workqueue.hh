@@ -11,23 +11,37 @@
  * Ownership protocol: a state is either queued here or being executed
  * by exactly one worker; only that worker may touch the state's
  * mutable fields. The shard mutexes double as the release/acquire
- * edge that publishes all writes the previous owner made.
+ * edge that publishes all writes the previous owner made. (With the
+ * fiber scheduler a suspended state counts as "held": the worker that
+ * parked it hands it to the solver service, which put()s it back —
+ * the SPSC ring and the shard mutex form the same publication chain.)
  *
  * Termination: `pending` counts states that are queued or held by a
  * worker. take() returns nullptr only when pending reaches zero, i.e.
  * every path has finished — an empty shard alone means nothing while
  * another worker still runs a state that may fork.
+ *
+ * Idle waiting is epoch/predicate based: a waiter snapshots the push
+ * epoch *before* scanning the shards, so any push it could have missed
+ * either landed before the snapshot (the scan finds it — the push
+ * writes the shard before bumping the epoch) or after (the epoch
+ * moved and the predicate refuses to sleep). Blocked workers
+ * genuinely sleep — no timed polling — which is what lets a worker
+ * whose states are all parked in the solver service idle for free.
+ * Pushes take the wait mutex only when a sleeper exists (seq_cst
+ * fences on the epoch bump and the waiter count close the classic
+ * flag/flag race), so the hot fork path is two uncontended atomics
+ * past the shard lock.
  */
 
 #ifndef S2E_CORE_WORKQUEUE_HH
 #define S2E_CORE_WORKQUEUE_HH
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
-#include <vector>
 
 #include "support/logging.hh"
 
@@ -55,7 +69,8 @@ class WorkQueue
         pushBack(worker, state);
     }
 
-    /** Re-queue a still-active state after a timeslice. */
+    /** Re-queue a still-active state after a timeslice (also how the
+     *  solver service hands a resumed state back). */
     void
     put(unsigned worker, ExecutionState *state)
     {
@@ -67,6 +82,7 @@ class WorkQueue
     finish()
     {
         if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+            // Everyone must wake to observe termination.
             std::lock_guard<std::mutex> lock(waitMu_);
             cv_.notify_all();
         }
@@ -74,13 +90,18 @@ class WorkQueue
 
     /**
      * Dequeue the next state for `worker`: its own shard first, then
-     * steal. Blocks while other workers still hold states; returns
-     * nullptr once every path has finished.
+     * steal. Sleeps while other workers hold the remaining states;
+     * returns nullptr once every path has finished.
      */
     ExecutionState *
     take(unsigned worker)
     {
         while (true) {
+            // Epoch before scan: a push that beats the scan is found
+            // in its shard; one that loses bumps the epoch and the
+            // wait predicate below refuses to sleep. seq_cst pairs
+            // with the pusher's epoch-bump/waiter-check ordering.
+            uint64_t seen = pushEpoch_.load(std::memory_order_seq_cst);
             if (ExecutionState *s = popBack(worker))
                 return s;
             for (size_t i = 1; i < shards_.size(); ++i) {
@@ -91,11 +112,17 @@ class WorkQueue
             }
             if (pending_.load(std::memory_order_acquire) == 0)
                 return nullptr;
-            // Another worker holds the remaining states; they may fork
-            // or finish any moment. The timeout bounds the window for
-            // a push we raced with.
             std::unique_lock<std::mutex> lock(waitMu_);
-            cv_.wait_for(lock, std::chrono::milliseconds(1));
+            waiters_.fetch_add(1, std::memory_order_seq_cst);
+            waitStats_.sleeps.fetch_add(1, std::memory_order_relaxed);
+            cv_.wait(lock, [&] {
+                return pushEpoch_.load(std::memory_order_relaxed) !=
+                           seen ||
+                       pending_.load(std::memory_order_relaxed) == 0;
+            });
+            waiters_.fetch_sub(1, std::memory_order_relaxed);
+            lock.unlock();
+            waitStats_.wakeups.fetch_add(1, std::memory_order_relaxed);
         }
     }
 
@@ -105,6 +132,19 @@ class WorkQueue
     {
         return pending_.load(std::memory_order_acquire);
     }
+
+    /** Idle-wait introspection (tests and the wakeup stress bench). */
+    struct WaitStats {
+        /** Times a worker went to sleep in take(). */
+        std::atomic<uint64_t> sleeps{0};
+        /** Times a sleeping worker was woken (predicate satisfied). */
+        std::atomic<uint64_t> wakeups{0};
+        /** Pushes that found a sleeper and paid for a notify. */
+        std::atomic<uint64_t> notifies{0};
+        /** Pushes that skipped the wait mutex (no sleeper). */
+        std::atomic<uint64_t> notifySkips{0};
+    };
+    const WaitStats &waitStats() const { return waitStats_; }
 
   private:
     struct Shard {
@@ -120,8 +160,18 @@ class WorkQueue
             std::lock_guard<std::mutex> lock(shard.mu);
             shard.q.push_back(state);
         }
-        std::lock_guard<std::mutex> lock(waitMu_);
-        cv_.notify_one();
+        // Publish the push to the wait predicate *before* checking for
+        // sleepers; take() registers as a waiter before re-reading the
+        // epoch. Both sides seq_cst: one of them must see the other.
+        pushEpoch_.fetch_add(1, std::memory_order_seq_cst);
+        if (waiters_.load(std::memory_order_seq_cst) > 0) {
+            waitStats_.notifies.fetch_add(1, std::memory_order_relaxed);
+            std::lock_guard<std::mutex> lock(waitMu_);
+            cv_.notify_one();
+        } else {
+            waitStats_.notifySkips.fetch_add(1,
+                                             std::memory_order_relaxed);
+        }
     }
 
     ExecutionState *
@@ -152,8 +202,13 @@ class WorkQueue
     // (it holds a mutex).
     std::deque<Shard> shards_;
     std::atomic<size_t> pending_{0};
+    /** Bumped after every push; the waiters' sleep predicate. */
+    std::atomic<uint64_t> pushEpoch_{0};
+    /** Workers currently inside the cv wait (or registering for it). */
+    std::atomic<uint32_t> waiters_{0};
     std::mutex waitMu_;
     std::condition_variable cv_;
+    WaitStats waitStats_;
 };
 
 } // namespace s2e::core

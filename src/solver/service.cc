@@ -1,0 +1,295 @@
+#include "solver/service.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "solver/context.hh"
+#include "support/logging.hh"
+
+namespace s2e::solver {
+
+namespace {
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+/** Batch grouping key: sibling states forked from one path share
+ *  their oldest constraint, and constraints are hash-consed, so the
+ *  first constraint's identity is a cheap shared-prefix witness. */
+ExprRef
+prefixKey(const AsyncQuery *q)
+{
+    return q->constraints->empty() ? nullptr : q->constraints->front();
+}
+
+} // namespace
+
+// --- SpscRing -----------------------------------------------------------
+
+SpscRing::SpscRing(size_t capacity)
+{
+    size_t cap = 1;
+    while (cap < capacity)
+        cap <<= 1;
+    slots_.resize(cap, nullptr);
+    mask_ = cap - 1;
+}
+
+bool
+SpscRing::push(AsyncQuery *q)
+{
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_)
+        return false; // full
+    slots_[tail & mask_] = q;
+    // Release publishes the slot write *and* everything the suspended
+    // state wrote before parking.
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+}
+
+AsyncQuery *
+SpscRing::pop()
+{
+    size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire))
+        return nullptr; // empty
+    AsyncQuery *q = slots_[head & mask_];
+    head_.store(head + 1, std::memory_order_release);
+    return q;
+}
+
+size_t
+SpscRing::size() const
+{
+    size_t tail = tail_.load(std::memory_order_relaxed);
+    size_t head = head_.load(std::memory_order_relaxed);
+    return tail >= head ? tail - head : 0;
+}
+
+// --- SolverService ------------------------------------------------------
+
+/** Everything one service thread owns: its solver (stateful, never
+ *  shared) and the persistent context sibling batches share. */
+struct SolverService::Lane {
+    Lane(expr::ExprBuilder &builder, const SolverOptions &opts)
+        : solver(builder, opts)
+    {
+    }
+
+    Solver solver;
+    /** Shared incremental context for grouped queries. Guarded
+     *  constraints from many paths coexist soundly (activation
+     *  literals); the Solver evicts it like any path context when it
+     *  outgrows the gate/clause high-water marks. */
+    std::shared_ptr<IncrementalContext> batchSlot;
+    std::thread thread;
+    ServiceStats stats;
+};
+
+SolverService::SolverService(expr::ExprBuilder &builder,
+                             const SolverOptions &opts, const Config &cfg,
+                             CompletionFn complete)
+    : builder_(builder), opts_(opts), cfg_(cfg),
+      complete_(std::move(complete))
+{
+    S2E_ASSERT(cfg_.threads >= 1, "solver service needs >= 1 thread");
+    S2E_ASSERT(cfg_.workers >= 1, "solver service needs >= 1 producer");
+    S2E_ASSERT(complete_, "solver service needs a completion callback");
+    for (unsigned w = 0; w < cfg_.workers; ++w)
+        rings_.push_back(std::make_unique<SpscRing>(cfg_.queueCapacity));
+    for (unsigned t = 0; t < cfg_.threads; ++t)
+        lanes_.push_back(std::make_unique<Lane>(builder_, opts_));
+}
+
+SolverService::~SolverService()
+{
+    stop();
+}
+
+void
+SolverService::start()
+{
+    S2E_ASSERT(!started_, "solver service started twice");
+    started_ = true;
+    for (unsigned t = 0; t < cfg_.threads; ++t)
+        lanes_[t]->thread = std::thread([this, t] { threadMain(t); });
+}
+
+void
+SolverService::stop()
+{
+    if (!started_ || joined_)
+        return;
+    stopping_.store(true, std::memory_order_seq_cst);
+    {
+        std::lock_guard<std::mutex> lock(waitMu_);
+        cv_.notify_all();
+    }
+    for (auto &lane : lanes_)
+        if (lane->thread.joinable())
+            lane->thread.join();
+    joined_ = true;
+    for (auto &lane : lanes_) {
+        stats_.queriesServed += lane->stats.queriesServed;
+        stats_.batchedQueries += lane->stats.batchedQueries;
+        stats_.batches += lane->stats.batches;
+        stats_.queueDepthPeak =
+            std::max(stats_.queueDepthPeak, lane->stats.queueDepthPeak);
+        stats_.busySeconds += lane->stats.busySeconds;
+        stats_.overlapSeconds += lane->stats.overlapSeconds;
+    }
+}
+
+bool
+SolverService::submit(unsigned worker, AsyncQuery *q)
+{
+    S2E_ASSERT(worker < rings_.size(), "submit from unknown worker");
+    if (!rings_[worker]->push(q))
+        return false;
+    // Same lost-wakeup-free ordering as WorkQueue::pushBack: publish
+    // the push to the sleep predicate, then check for sleepers.
+    submitEpoch_.fetch_add(1, std::memory_order_seq_cst);
+    if (sleepers_.load(std::memory_order_seq_cst) > 0) {
+        std::lock_guard<std::mutex> lock(waitMu_);
+        // Rings are partitioned across lanes, so the sleeper this
+        // push is for might not be the one notify_one would pick.
+        cv_.notify_all();
+    }
+    return true;
+}
+
+std::vector<Solver *>
+SolverService::solvers()
+{
+    std::vector<Solver *> out;
+    for (auto &lane : lanes_)
+        out.push_back(&lane->solver);
+    return out;
+}
+
+void
+SolverService::executeOn(Solver &solver, AsyncQuery &q)
+{
+    switch (q.kind) {
+      case AsyncQuery::Kind::CheckBranch:
+        q.branch = solver.checkBranch(*q.constraints, q.expr);
+        break;
+      case AsyncQuery::Kind::GetValue:
+        q.outcome = solver.getValue(*q.constraints, q.expr, &q.value);
+        break;
+      case AsyncQuery::Kind::MayBeTrue:
+        q.outcome = solver.mayBeTrue(*q.constraints, q.expr);
+        break;
+      case AsyncQuery::Kind::MustBeTrue:
+        q.outcome = solver.mustBeTrue(*q.constraints, q.expr);
+        break;
+      case AsyncQuery::Kind::GetRange:
+        q.outcome = solver.getRange(*q.constraints, q.expr, &q.lo, &q.hi);
+        break;
+    }
+}
+
+size_t
+SolverService::drain(unsigned lane_id, std::vector<AsyncQuery *> &out)
+{
+    // Rings are statically partitioned: worker w belongs to lane
+    // w % threads, so each ring keeps exactly one consumer.
+    uint64_t depth = 0;
+    for (size_t w = lane_id; w < rings_.size(); w += cfg_.threads)
+        depth += rings_[w]->size();
+    Lane &lane = *lanes_[lane_id];
+    lane.stats.queueDepthPeak =
+        std::max(lane.stats.queueDepthPeak, depth);
+    for (size_t w = lane_id;
+         w < rings_.size() && out.size() < cfg_.batchMax;
+         w += cfg_.threads) {
+        while (out.size() < cfg_.batchMax) {
+            AsyncQuery *q = rings_[w]->pop();
+            if (!q)
+                break;
+            out.push_back(q);
+        }
+    }
+    return out.size();
+}
+
+void
+SolverService::runBatch(Lane &lane, std::vector<AsyncQuery *> &batch)
+{
+    // Adjacent grouping by shared constraint prefix. stable_sort keeps
+    // same-key queries in submission order (oldest ring entries first).
+    std::stable_sort(batch.begin(), batch.end(),
+                     [](const AsyncQuery *a, const AsyncQuery *b) {
+                         return prefixKey(a) < prefixKey(b);
+                     });
+    size_t i = 0;
+    while (i < batch.size()) {
+        size_t j = i + 1;
+        ExprRef key = prefixKey(batch[i]);
+        while (j < batch.size() && key != nullptr &&
+               prefixKey(batch[j]) == key)
+            ++j;
+        bool grouped = (j - i) >= 2;
+        for (size_t k = i; k < j; ++k) {
+            AsyncQuery &q = *batch[k];
+            // Grouped queries share the lane's persistent context —
+            // the activation-literal guards keep cross-path clause
+            // mixing sound while sharing gates and learnt clauses.
+            // Singletons use the owner's private slot, like the
+            // blocking engine.
+            lane.solver.bindPathContext(grouped ? &lane.batchSlot
+                                                : q.ctxSlot);
+            q.batched = grouped;
+            bool overlapped =
+                execGauge_ &&
+                execGauge_->load(std::memory_order_relaxed) > 0;
+            double t0 = nowSeconds();
+            executeOn(lane.solver, q);
+            double dt = nowSeconds() - t0;
+            lane.solver.bindPathContext(nullptr);
+            lane.stats.queriesServed++;
+            if (grouped)
+                lane.stats.batchedQueries++;
+            lane.stats.busySeconds += dt;
+            if (overlapped)
+                lane.stats.overlapSeconds += dt;
+            complete_(q);
+        }
+        i = j;
+    }
+    lane.stats.batches++;
+    batch.clear();
+}
+
+void
+SolverService::threadMain(unsigned lane_id)
+{
+    Lane &lane = *lanes_[lane_id];
+    std::vector<AsyncQuery *> batch;
+    batch.reserve(cfg_.batchMax);
+    while (true) {
+        uint64_t seen = submitEpoch_.load(std::memory_order_seq_cst);
+        if (drain(lane_id, batch) > 0) {
+            runBatch(lane, batch);
+            continue;
+        }
+        if (stopping_.load(std::memory_order_acquire))
+            return; // stopping and this lane's rings are drained
+        std::unique_lock<std::mutex> lock(waitMu_);
+        sleepers_.fetch_add(1, std::memory_order_seq_cst);
+        cv_.wait(lock, [&] {
+            return submitEpoch_.load(std::memory_order_relaxed) != seen ||
+                   stopping_.load(std::memory_order_relaxed);
+        });
+        sleepers_.fetch_sub(1, std::memory_order_relaxed);
+    }
+}
+
+} // namespace s2e::solver

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Asynchronous batched solver service: the "solving happens elsewhere"
+ * half of the fiber scheduler (ROADMAP item 2).
+ *
+ * Workers never block in the solver. A choke-point query (checkBranch,
+ * getValue, getRange, mayBeTrue/mustBeTrue) is written into an
+ * AsyncQuery descriptor, pushed onto the submitting worker's SPSC
+ * ring, and the state's fiber parks — the worker immediately takes
+ * other work. Dedicated service threads drain the rings in small
+ * batches, answer each query on their own Solver, and invoke the
+ * completion callback, which hands the owning state back to the work
+ * queue so any worker can resume its fiber with the results.
+ *
+ * Batching: queries whose constraint sets share a prefix (in practice:
+ * sibling states recently forked from one path) are grouped into one
+ * incremental context per service thread. The activation-literal
+ * scheme from context.hh makes this sound — every asserted constraint
+ * is guarded, so a context can hold clauses from *different* paths and
+ * each query still selects exactly its own sliced subset via
+ * assumptions, while sharing Tseitin gates and learnt clauses across
+ * the whole sibling group. Queries that batch with nobody run against
+ * the owning state's private context slot, exactly as the blocking
+ * engine would.
+ *
+ * Memory model: an AsyncQuery lives on the suspended fiber's stack.
+ * The SPSC ring's release/acquire pair publishes the descriptor (and
+ * everything the parked state wrote) to the service thread; the
+ * completion callback's work-queue push publishes the results back to
+ * whichever worker resumes the fiber. While a query is in flight its
+ * state is owned by the service — no worker touches it.
+ *
+ * Overlap accounting: the engine exposes a gauge of workers currently
+ * executing guest code; the service samples it at each query start and
+ * counts query seconds that overlapped ≥1 executing worker. On the
+ * blocking engine this ratio is identically zero (the querying worker
+ * stops executing to solve); any positive value is execution the fiber
+ * scheduler reclaimed.
+ */
+
+#ifndef S2E_SOLVER_SERVICE_HH
+#define S2E_SOLVER_SERVICE_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "solver/solver.hh"
+
+namespace s2e::solver {
+
+class IncrementalContext;
+
+/**
+ * One in-flight solver query. Allocated on the suspended fiber's stack
+ * by the engine's choke-point helper; the service fills the result
+ * fields and hands the owner back through the completion callback.
+ */
+struct AsyncQuery {
+    enum class Kind {
+        CheckBranch, ///< both-sides feasibility (fork points)
+        GetValue,    ///< one concrete example value
+        MayBeTrue,   ///< Sat = the predicate can hold
+        MustBeTrue,  ///< Sat = the predicate always holds
+        GetRange,    ///< min/max by feasibility binary search
+    };
+
+    Kind kind = Kind::MayBeTrue;
+    /** The owning state's constraint set; stable while suspended. */
+    const std::vector<ExprRef> *constraints = nullptr;
+    ExprRef expr = nullptr;
+    /** The owning state's private incremental-context slot, used when
+     *  the query does not batch with siblings. */
+    std::shared_ptr<IncrementalContext> *ctxSlot = nullptr;
+    /** Opaque owner handle (the ExecutionState) for the completion
+     *  callback. */
+    void *token = nullptr;
+    /** Worker that submitted — the completion push targets its shard
+     *  to keep the resumed state cache-warm. */
+    unsigned producer = 0;
+
+    // --- results (valid once the completion callback runs) ---
+    Solver::BranchFeasibility branch; ///< Kind::CheckBranch
+    QueryOutcome outcome;             ///< every other kind
+    uint64_t value = 0;               ///< Kind::GetValue
+    uint64_t lo = 0;                  ///< Kind::GetRange
+    uint64_t hi = 0;                  ///< Kind::GetRange
+    /** Answered inside a shared sibling-batch context? */
+    bool batched = false;
+};
+
+/**
+ * Single-producer single-consumer pointer ring (lock-free, power-of-two
+ * capacity). The producer is the owning worker thread; the consumer is
+ * the service thread the ring is partitioned to.
+ */
+class SpscRing
+{
+  public:
+    explicit SpscRing(size_t capacity);
+
+    /** Producer side. False when full — the caller falls back to
+     *  answering the query inline on the worker. */
+    bool push(AsyncQuery *q);
+
+    /** Consumer side. Null when empty. */
+    AsyncQuery *pop();
+
+    /** Approximate occupancy (telemetry only). */
+    size_t size() const;
+
+  private:
+    std::vector<AsyncQuery *> slots_;
+    size_t mask_;
+    /** Consumer cursor; producer reads it to detect full. */
+    std::atomic<size_t> head_{0};
+    /** Producer cursor; consumer reads it to detect empty. */
+    std::atomic<size_t> tail_{0};
+};
+
+class SolverService
+{
+  public:
+    struct Config {
+        unsigned threads = 1;     ///< service threads
+        unsigned workers = 1;     ///< producer rings (one per worker)
+        size_t queueCapacity = 64; ///< per-ring capacity (rounded to 2^k)
+        unsigned batchMax = 16;    ///< max queries drained per batch
+    };
+
+    struct ServiceStats {
+        uint64_t queriesServed = 0;
+        /** Queries answered inside a shared sibling-batch context. */
+        uint64_t batchedQueries = 0;
+        uint64_t batches = 0; ///< drain rounds with ≥1 query
+        uint64_t queueDepthPeak = 0;
+        double busySeconds = 0;    ///< service time inside the solver
+        double overlapSeconds = 0; ///< busy time with ≥1 worker executing
+    };
+
+    /** Called on a service thread once a query's results are filled;
+     *  must hand the owning state back to the scheduler. */
+    using CompletionFn = std::function<void(AsyncQuery &)>;
+
+    SolverService(expr::ExprBuilder &builder, const SolverOptions &opts,
+                  const Config &cfg, CompletionFn complete);
+    ~SolverService();
+
+    SolverService(const SolverService &) = delete;
+    SolverService &operator=(const SolverService &) = delete;
+
+    /** Spawn the service threads. */
+    void start();
+
+    /** Drain every ring, run the threads down, join them, and fold the
+     *  per-thread stats. Idempotent. */
+    void stop();
+
+    /**
+     * Submit from worker `worker`'s ring. False when the ring is full:
+     * the caller must answer the query inline instead (never blocks).
+     * On success the descriptor belongs to the service until the
+     * completion callback has run.
+     */
+    bool submit(unsigned worker, AsyncQuery *q);
+
+    /** Engine gauge: number of workers currently executing guest code.
+     *  Sampled per query for the overlap metric. Optional. */
+    void
+    setExecGauge(const std::atomic<int> *gauge)
+    {
+        execGauge_ = gauge;
+    }
+
+    /** Valid after stop(). */
+    const ServiceStats &stats() const { return stats_; }
+
+    /** The per-thread solvers, for end-of-run stats merging (valid
+     *  after stop(); the engine folds them like worker solvers). */
+    std::vector<Solver *> solvers();
+
+    /** Answer one descriptor on `solver` — the single switch shared by
+     *  the service threads and the engine's ring-full inline fallback,
+     *  so both execute byte-identical pipelines. */
+    static void executeOn(Solver &solver, AsyncQuery &q);
+
+  private:
+    struct Lane; // per-service-thread context (solver, batch slot)
+
+    void threadMain(unsigned lane_id);
+    /** Drain up to batchMax descriptors from this lane's rings. */
+    size_t drain(unsigned lane_id, std::vector<AsyncQuery *> &out);
+    void runBatch(Lane &lane, std::vector<AsyncQuery *> &batch);
+
+    expr::ExprBuilder &builder_;
+    SolverOptions opts_;
+    Config cfg_;
+    CompletionFn complete_;
+
+    std::vector<std::unique_ptr<SpscRing>> rings_; ///< one per worker
+    std::vector<std::unique_ptr<Lane>> lanes_;     ///< one per thread
+
+    /** Bumped (seq_cst) after every ring push; the lanes' sleep
+     *  predicate — same lost-wakeup-free scheme as WorkQueue. */
+    std::atomic<uint64_t> submitEpoch_{0};
+    std::atomic<uint32_t> sleepers_{0};
+    std::mutex waitMu_;
+    std::condition_variable cv_;
+    std::atomic<bool> stopping_{false};
+    bool started_ = false;
+    bool joined_ = false;
+
+    const std::atomic<int> *execGauge_ = nullptr;
+    ServiceStats stats_; ///< folded from lanes in stop()
+};
+
+} // namespace s2e::solver
+
+#endif // S2E_SOLVER_SERVICE_HH

@@ -9,6 +9,10 @@
 #                                value analysis vs the solver oracle) and
 #                                `ctest -L replay` (record/replay witness
 #                                oracle: solver-free replay differentials)
+#                                and `ctest -L fiber` (fiber scheduler:
+#                                park/resume units, WorkQueue idle-wait,
+#                                solver-service batching and the
+#                                serial-vs-fiber engine differential)
 #   2. an AddressSanitizer build — `ctest -L sanitize` under build-asan/
 #                                (solver + engine resilience paths and the
 #                                lifecycle suite's exactly-once resource
@@ -41,7 +45,7 @@ asan_dir=${3:-"$repo_root/build-asan"}
 jobs=$(nproc 2>/dev/null || echo 2)
 
 check_targets="test_parallel test_incremental test_lifecycle test_absint \
-test_replay"
+test_replay test_fiber"
 
 status=0
 
@@ -56,6 +60,7 @@ cmake --build "$build_dir" -j "$jobs" \
 (cd "$build_dir" && ctest -L lifecycle --output-on-failure) || status=1
 (cd "$build_dir" && ctest -L absint --output-on-failure) || status=1
 (cd "$build_dir" && ctest -L replay --output-on-failure) || status=1
+(cd "$build_dir" && ctest -L fiber --output-on-failure) || status=1
 
 echo "== run_checks: clang-tidy gate (src/expr, src/solver) =="
 # Zero-warning gate over the expression and solver layers (the static
@@ -69,10 +74,11 @@ if [ ! -f "$asan_dir/CMakeCache.txt" ]; then
 fi
 cmake --build "$asan_dir" -j "$jobs" \
     --target test_sat test_solver test_engine test_lifecycle \
-    test_replay || exit 1
+    test_replay test_fiber || exit 1
 (cd "$asan_dir" && ctest -L sanitize --output-on-failure) || status=1
 (cd "$asan_dir" && ctest -L lifecycle --output-on-failure) || status=1
 (cd "$asan_dir" && ctest -L replay --output-on-failure) || status=1
+(cd "$asan_dir" && ctest -L fiber --output-on-failure) || status=1
 
 echo "== run_checks: ThreadSanitizer configuration ($tsan_dir) =="
 if [ ! -f "$tsan_dir/CMakeCache.txt" ]; then
@@ -83,38 +89,42 @@ cmake --build "$tsan_dir" -j "$jobs" \
 (cd "$tsan_dir" && ctest -L tsan --output-on-failure) || status=1
 (cd "$tsan_dir" && ctest -L lifecycle --output-on-failure) || status=1
 
-# Bench diff: regenerate the fork-storm report and compare it against
-# the committed baseline. Metric *presence* is a hard gate — a counter
+# Bench diff: regenerate each benched report and compare it against
+# its committed baseline. Metric *presence* is a hard gate — a counter
 # gone from the fresh report (bench_diff exit 2) means someone broke
-# the metric wiring. Magnitude regressions (exit 1) stay advisory:
-# wall-clock metrics are noisy on shared machines.
-if [ -f "$repo_root/BENCH_fork_storm.json" ] &&
-       command -v python3 >/dev/null 2>&1; then
-    echo "== run_checks: bench diff vs committed baseline =="
-    if cmake --build "$build_dir" -j "$jobs" \
-             --target bench_fork_storm >/dev/null 2>&1; then
-        bench_tmp=$(mktemp -d)
-        if (cd "$bench_tmp" &&
-                "$build_dir/bench/bench_fork_storm" >/dev/null 2>&1); then
-            python3 "$repo_root/tools/bench_diff.py" \
-                "$repo_root/BENCH_fork_storm.json" \
-                "$bench_tmp/BENCH_fork_storm.json"
-            diff_rc=$?
-            if [ "$diff_rc" -ge 2 ]; then
-                echo "run_checks: bench metric keys missing vs" \
-                     "baseline — HARD FAILURE" >&2
-                status=1
-            elif [ "$diff_rc" -ne 0 ]; then
-                echo "run_checks: bench magnitude regressions above" \
-                     "are ADVISORY"
+# the metric wiring (this covers the fiber scheduler's overlap and
+# utilization metrics too). Magnitude regressions (exit 1) stay
+# advisory: wall-clock metrics are noisy on shared machines.
+if command -v python3 >/dev/null 2>&1; then
+    for bench in bench_fork_storm bench_fig6_coverage_time; do
+        baseline="$repo_root/BENCH_${bench#bench_}.json"
+        [ -f "$baseline" ] || continue
+        echo "== run_checks: $bench diff vs committed baseline =="
+        if cmake --build "$build_dir" -j "$jobs" \
+                 --target "$bench" >/dev/null 2>&1; then
+            bench_tmp=$(mktemp -d)
+            if (cd "$bench_tmp" &&
+                    "$build_dir/bench/$bench" >/dev/null 2>&1); then
+                python3 "$repo_root/tools/bench_diff.py" \
+                    "$baseline" \
+                    "$bench_tmp/$(basename "$baseline")"
+                diff_rc=$?
+                if [ "$diff_rc" -ge 2 ]; then
+                    echo "run_checks: $bench metric keys missing vs" \
+                         "baseline — HARD FAILURE" >&2
+                    status=1
+                elif [ "$diff_rc" -ne 0 ]; then
+                    echo "run_checks: $bench magnitude regressions" \
+                         "above are ADVISORY"
+                fi
+            else
+                echo "run_checks: $bench run failed; diff skipped"
             fi
+            rm -rf "$bench_tmp"
         else
-            echo "run_checks: bench_fork_storm run failed; diff skipped"
+            echo "run_checks: $bench build failed; diff skipped"
         fi
-        rm -rf "$bench_tmp"
-    else
-        echo "run_checks: bench_fork_storm build failed; diff skipped"
-    fi
+    done
 fi
 
 if [ "$status" -eq 0 ]; then
